@@ -1,0 +1,105 @@
+//! Criterion micro-benchmarks for the six s-line-graph construction
+//! algorithms (backing Fig. 9 with statistically sound per-kernel
+//! numbers at a fixed small scale).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nwhy_core::slinegraph::ensemble::ensemble;
+use nwhy_core::{slinegraph_edges, Algorithm, BuildOptions, Hypergraph};
+use nwhy_gen::profiles::profile_by_name;
+use nwhy_util::partition::Strategy;
+use std::hint::black_box;
+
+const SCALE: usize = 20_000;
+
+fn datasets() -> Vec<(&'static str, Hypergraph)> {
+    ["com-Orkut", "Rand1"]
+        .iter()
+        .map(|n| (*n, profile_by_name(n).unwrap().generate(SCALE, 42)))
+        .collect()
+}
+
+fn bench_algorithms(c: &mut Criterion) {
+    let mut group = c.benchmark_group("slinegraph");
+    group.sample_size(10);
+    for (name, h) in datasets() {
+        for s in [1usize, 2, 4] {
+            for algo in [
+                Algorithm::Hashmap,
+                Algorithm::Intersection,
+                Algorithm::QueueHashmap,
+                Algorithm::QueueIntersection,
+                Algorithm::PairSort,
+            ] {
+                group.bench_with_input(
+                    BenchmarkId::new(format!("{name}/s{s}"), algo.name()),
+                    &(&h, s, algo),
+                    |b, (h, s, algo)| {
+                        b.iter(|| {
+                            black_box(slinegraph_edges(
+                                h,
+                                *s,
+                                *algo,
+                                &BuildOptions::default(),
+                            ))
+                        })
+                    },
+                );
+            }
+        }
+    }
+    group.finish();
+}
+
+fn bench_ensemble_vs_singles(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ensemble");
+    group.sample_size(10);
+    let h = profile_by_name("com-Orkut").unwrap().generate(SCALE, 42);
+    let svals = [1usize, 2, 4, 8];
+    group.bench_function("one-pass-ensemble", |b| {
+        b.iter(|| black_box(ensemble(&h, &svals, Strategy::AUTO)))
+    });
+    group.bench_function("repeated-singles", |b| {
+        b.iter(|| {
+            for &s in &svals {
+                black_box(slinegraph_edges(
+                    &h,
+                    s,
+                    Algorithm::Hashmap,
+                    &BuildOptions::default(),
+                ));
+            }
+        })
+    });
+    group.finish();
+}
+
+fn bench_weighted_and_online(c: &mut Criterion) {
+    use nwhy_core::algorithms::s_components::s_connected_components_online;
+    use nwhy_core::slinegraph::weighted::slinegraph_weighted_edges;
+    use nwhy_core::smetrics::SLineGraph;
+
+    let mut group = c.benchmark_group("slinegraph_extensions");
+    group.sample_size(10);
+    let h = profile_by_name("com-Orkut").unwrap().generate(SCALE, 42);
+    group.bench_function("weighted-build-s2", |b| {
+        b.iter(|| black_box(slinegraph_weighted_edges(&h, 2, Strategy::AUTO)))
+    });
+    group.bench_function("s2-components-online", |b| {
+        b.iter(|| black_box(s_connected_components_online(&h, 2)))
+    });
+    group.bench_function("s2-components-materialized", |b| {
+        b.iter(|| {
+            let lg = SLineGraph::new(&h, 2);
+            black_box(lg.s_connected_components())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_algorithms,
+    bench_ensemble_vs_singles,
+    bench_weighted_and_online
+);
+criterion_main!(benches);

@@ -1,0 +1,89 @@
+//! Criterion micro-benchmarks for the substrate layers: CSR
+//! construction, transpose, prefix sums, partitioner overhead, clique
+//! expansion, and toplex computation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nwgraph::random::gnm_directed;
+use nwgraph::{Csr, EdgeList};
+use nwhy_core::algorithms::toplex::toplexes;
+use nwhy_core::clique::clique_expansion;
+use nwhy_gen::profiles::profile_by_name;
+use nwhy_util::partition::{par_for_each_index, Strategy};
+use nwhy_util::prefix::exclusive_prefix_sum;
+use std::hint::black_box;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn bench_csr_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("csr");
+    group.sample_size(10);
+    let el: EdgeList = gnm_directed(50_000, 400_000, 1).to_edge_list();
+    group.bench_function("build-50k-400k", |b| {
+        b.iter(|| black_box(Csr::from_edge_list(&el)))
+    });
+    let g = Csr::from_edge_list(&el);
+    group.bench_function("transpose-50k-400k", |b| b.iter(|| black_box(g.transpose())));
+    group.finish();
+}
+
+fn bench_prefix_sum(c: &mut Criterion) {
+    let mut group = c.benchmark_group("prefix_sum");
+    group.sample_size(20);
+    for n in [1usize << 12, 1 << 18, 1 << 21] {
+        let vals: Vec<usize> = (0..n).map(|i| i % 13).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &vals, |b, vals| {
+            b.iter(|| black_box(exclusive_prefix_sum(vals)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_partitioners(c: &mut Criterion) {
+    let mut group = c.benchmark_group("partitioner");
+    group.sample_size(20);
+    // skewed per-item work: item i costs ~i/1000 units, the worst case
+    // for blocked partitioning the cyclic range is designed to fix
+    let n = 100_000;
+    let work = |i: usize| {
+        let mut acc = 0u64;
+        for k in 0..(i / 1000) {
+            acc = acc.wrapping_add(k as u64);
+        }
+        acc
+    };
+    for (name, strategy) in [
+        ("blocked-auto", Strategy::AUTO),
+        ("blocked-16", Strategy::Blocked { num_bins: 16 }),
+        ("cyclic-16", Strategy::Cyclic { num_bins: 16 }),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let total = AtomicU64::new(0);
+                par_for_each_index(n, strategy, |i| {
+                    total.fetch_add(work(i), Ordering::Relaxed);
+                });
+                black_box(total.into_inner())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_projections(c: &mut Criterion) {
+    let mut group = c.benchmark_group("projection");
+    group.sample_size(10);
+    let h = profile_by_name("com-Orkut").unwrap().generate(40_000, 42);
+    group.bench_function("clique-expansion", |b| {
+        b.iter(|| black_box(clique_expansion(&h)))
+    });
+    group.bench_function("toplexes", |b| b.iter(|| black_box(toplexes(&h))));
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_csr_build,
+    bench_prefix_sum,
+    bench_partitioners,
+    bench_projections
+);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Criterion micro-benchmarks for the exact hypergraph traversals —
+//! BFS and CC on every representation plus the Hygra baseline (backing
+//! Figs. 7–8).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nwhy_core::algorithms::{
+    adjoin_bfs, adjoin_cc_afforest, adjoin_cc_label_propagation, hyper_bfs_bottom_up,
+    hyper_bfs_top_down, hyper_cc,
+};
+use nwhy_core::{AdjoinGraph, Hypergraph};
+use nwhy_gen::profiles::profile_by_name;
+use std::hint::black_box;
+
+const SCALE: usize = 20_000;
+
+fn setup(name: &str) -> (Hypergraph, AdjoinGraph, u32) {
+    let h = profile_by_name(name).unwrap().generate(SCALE, 42);
+    let a = AdjoinGraph::from_hypergraph(&h);
+    let src = (0..h.num_hyperedges() as u32)
+        .max_by_key(|&e| h.edge_degree(e))
+        .unwrap();
+    (h, a, src)
+}
+
+fn bench_bfs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bfs");
+    group.sample_size(10);
+    for name in ["com-Orkut", "Rand1"] {
+        let (h, a, src) = setup(name);
+        group.bench_with_input(BenchmarkId::new(name, "HyperBFS-topdown"), &(), |b, _| {
+            b.iter(|| black_box(hyper_bfs_top_down(&h, src)))
+        });
+        group.bench_with_input(BenchmarkId::new(name, "HyperBFS-bottomup"), &(), |b, _| {
+            b.iter(|| black_box(hyper_bfs_bottom_up(&h, src)))
+        });
+        group.bench_with_input(BenchmarkId::new(name, "AdjoinBFS"), &(), |b, _| {
+            b.iter(|| black_box(adjoin_bfs(&a, src)))
+        });
+        group.bench_with_input(BenchmarkId::new(name, "HygraBFS"), &(), |b, _| {
+            b.iter(|| black_box(hygra::hygra_bfs(&h, src)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_cc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cc");
+    group.sample_size(10);
+    for name in ["com-Orkut", "Rand1"] {
+        let (h, a, _) = setup(name);
+        group.bench_with_input(BenchmarkId::new(name, "HyperCC"), &(), |b, _| {
+            b.iter(|| black_box(hyper_cc(&h)))
+        });
+        group.bench_with_input(BenchmarkId::new(name, "AdjoinCC-afforest"), &(), |b, _| {
+            b.iter(|| black_box(adjoin_cc_afforest(&a)))
+        });
+        group.bench_with_input(
+            BenchmarkId::new(name, "AdjoinCC-labelprop"),
+            &(),
+            |b, _| b.iter(|| black_box(adjoin_cc_label_propagation(&a))),
+        );
+        group.bench_with_input(BenchmarkId::new(name, "HygraCC"), &(), |b, _| {
+            b.iter(|| black_box(hygra::hygra_cc(&h)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_bfs, bench_cc);
+criterion_main!(benches);

@@ -1,0 +1,180 @@
+//! `nwhy-bench` — shared harness utilities for regenerating the paper's
+//! tables and figures.
+//!
+//! Binaries (one per experiment — see DESIGN.md's per-experiment index):
+//!
+//! | binary | regenerates |
+//! |---|---|
+//! | `table1` | Table I — dataset characteristics |
+//! | `fig7_cc_scaling` | Fig. 7 — strong scaling of hypergraph CC |
+//! | `fig8_bfs_scaling` | Fig. 8 — strong scaling of hypergraph BFS |
+//! | `fig9_slinegraph` | Fig. 9 — s-line construction, normalized to Hashmap |
+//!
+//! Common environment knobs:
+//!
+//! - `NWHY_SCALE` — down-scale factor for the Table I twins
+//!   (default 2000; the paper runs the real datasets).
+//! - `NWHY_TRIALS` — timed repetitions per cell, minimum reported
+//!   (default 3).
+//! - `NWHY_MAX_THREADS` — top of the thread sweep (default: available
+//!   CPUs). On a single-core host the sweep degenerates to `[1]`; set
+//!   this to e.g. 8 to exercise the harness with oversubscribed pools.
+//! - `NWHY_SEED` — generator seed (default 42).
+
+use nwhy_core::Hypergraph;
+use nwhy_gen::profiles::{DatasetProfile, TABLE1};
+use serde::Serialize;
+
+/// Reads a `usize` knob from the environment.
+pub fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Reads a `u64` knob from the environment.
+pub fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// The harness-wide configuration assembled from the environment.
+#[derive(Debug, Clone, Copy)]
+pub struct HarnessConfig {
+    /// Twin down-scale factor.
+    pub scale: usize,
+    /// Timed repetitions per cell (min is reported).
+    pub trials: usize,
+    /// Top of the thread sweep.
+    pub max_threads: usize,
+    /// Generator seed.
+    pub seed: u64,
+}
+
+impl HarnessConfig {
+    /// Reads `NWHY_SCALE`, `NWHY_TRIALS`, `NWHY_MAX_THREADS`, `NWHY_SEED`.
+    pub fn from_env() -> Self {
+        Self {
+            scale: env_usize("NWHY_SCALE", 2000),
+            trials: env_usize("NWHY_TRIALS", 3),
+            max_threads: env_usize("NWHY_MAX_THREADS", nwhy_util::pool::max_threads()),
+            seed: env_u64("NWHY_SEED", 42),
+        }
+    }
+
+    /// The thread counts Figures 7–8 sweep.
+    pub fn thread_counts(&self) -> Vec<usize> {
+        nwhy_util::pool::thread_sweep(self.max_threads)
+    }
+}
+
+/// Generates every Table I twin at the configured scale.
+pub fn all_twins(cfg: &HarnessConfig) -> Vec<(&'static DatasetProfile, Hypergraph)> {
+    TABLE1
+        .iter()
+        .map(|p| (p, p.generate(cfg.scale, cfg.seed)))
+        .collect()
+}
+
+/// Times `f` `trials` times and returns the minimum seconds (the
+/// statistic the GAP/Hygra-style harnesses report).
+pub fn best_of<R>(trials: usize, mut f: impl FnMut() -> R) -> f64 {
+    (0..trials.max(1))
+        .map(|_| {
+            let t = std::time::Instant::now();
+            std::hint::black_box(f());
+            t.elapsed().as_secs_f64()
+        })
+        .fold(f64::INFINITY, f64::min)
+}
+
+/// One timed cell of a scaling figure, serialized into the JSON sidecar
+/// so EXPERIMENTS.md can cite exact numbers.
+#[derive(Debug, Clone, Serialize)]
+pub struct ScalingCell {
+    /// Dataset name.
+    pub dataset: String,
+    /// Algorithm name.
+    pub algorithm: String,
+    /// Thread count.
+    pub threads: usize,
+    /// Best-of-trials runtime in seconds.
+    pub seconds: f64,
+}
+
+/// One timed cell of the Fig. 9 comparison.
+#[derive(Debug, Clone, Serialize)]
+pub struct SLineCell {
+    /// Dataset name.
+    pub dataset: String,
+    /// Construction algorithm.
+    pub algorithm: String,
+    /// Overlap threshold s.
+    pub s: usize,
+    /// Best configuration found (strategy × relabel).
+    pub best_config: String,
+    /// Best-of-configurations runtime in seconds.
+    pub seconds: f64,
+    /// Runtime normalized to the Hashmap algorithm's.
+    pub relative_to_hashmap: f64,
+}
+
+/// Writes a JSON sidecar next to the printed table.
+pub fn write_json<T: Serialize>(path: &str, rows: &[T]) {
+    match serde_json::to_string_pretty(rows) {
+        Ok(s) => {
+            if let Err(e) = std::fs::write(path, s) {
+                eprintln!("warning: could not write {path}: {e}");
+            } else {
+                eprintln!("(wrote {path})");
+            }
+        }
+        Err(e) => eprintln!("warning: could not serialize {path}: {e}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn env_parsing_defaults() {
+        assert_eq!(env_usize("NWHY_DOES_NOT_EXIST", 7), 7);
+        assert_eq!(env_u64("NWHY_DOES_NOT_EXIST", 9), 9);
+    }
+
+    #[test]
+    fn config_thread_counts_start_at_one() {
+        let cfg = HarnessConfig {
+            scale: 1000,
+            trials: 1,
+            max_threads: 4,
+            seed: 1,
+        };
+        assert_eq!(cfg.thread_counts(), vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn best_of_returns_finite_time() {
+        let t = best_of(3, || (0..1000u64).sum::<u64>());
+        assert!(t.is_finite() && t >= 0.0);
+    }
+
+    #[test]
+    fn all_twins_produces_six() {
+        let cfg = HarnessConfig {
+            scale: 100_000,
+            trials: 1,
+            max_threads: 1,
+            seed: 1,
+        };
+        let twins = all_twins(&cfg);
+        assert_eq!(twins.len(), 6);
+        for (p, h) in twins {
+            assert!(h.num_hyperedges() >= 16, "{}", p.name);
+        }
+    }
+}

@@ -1,0 +1,309 @@
+//! HyperBFS — breadth-first search on the bi-adjacency representation
+//! (§III-C.1), with top-down and bottom-up variants.
+//!
+//! A BFS on a hypergraph alternates between the two index sets: a frontier
+//! of hyperedges reaches all incident hypernodes; a frontier of hypernodes
+//! reaches all incident hyperedges. Hyperedges therefore sit at even
+//! levels and hypernodes at odd levels (counting the source hyperedge as
+//! level 0). Exactly as the paper warns, the algorithm must maintain *two*
+//! frontiers, parent arrays, and level arrays — one per index set.
+
+use crate::hypergraph::Hypergraph;
+use crate::Id;
+use nwgraph::INVALID_VERTEX;
+use rayon::prelude::*;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// Output of a hypergraph BFS from a source hyperedge.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HyperBfsResult {
+    /// Level of each hyperedge (`INVALID_VERTEX` if unreached); the
+    /// source hyperedge has level 0, all other levels are even.
+    pub edge_levels: Vec<u32>,
+    /// Level of each hypernode (odd for reached nodes).
+    pub node_levels: Vec<u32>,
+    /// BFS parent of each hyperedge — a *hypernode* ID (the source is its
+    /// own parent as an edge ID).
+    pub edge_parents: Vec<Id>,
+    /// BFS parent of each hypernode — a *hyperedge* ID.
+    pub node_parents: Vec<Id>,
+}
+
+impl HyperBfsResult {
+    /// Hyperedges reached (including the source).
+    pub fn edges_reached(&self) -> usize {
+        self.edge_levels
+            .iter()
+            .filter(|&&l| l != INVALID_VERTEX)
+            .count()
+    }
+
+    /// Hypernodes reached.
+    pub fn nodes_reached(&self) -> usize {
+        self.node_levels
+            .iter()
+            .filter(|&&l| l != INVALID_VERTEX)
+            .count()
+    }
+}
+
+fn init(
+    h: &Hypergraph,
+    source: Id,
+) -> (Vec<AtomicU32>, Vec<AtomicU32>, Vec<AtomicU32>, Vec<AtomicU32>) {
+    let ne = h.num_hyperedges();
+    let nv = h.num_hypernodes();
+    assert!((source as usize) < ne, "source hyperedge {source} out of range {ne}");
+    let edge_levels: Vec<AtomicU32> = (0..ne).map(|_| AtomicU32::new(INVALID_VERTEX)).collect();
+    let node_levels: Vec<AtomicU32> = (0..nv).map(|_| AtomicU32::new(INVALID_VERTEX)).collect();
+    let edge_parents: Vec<AtomicU32> = (0..ne).map(|_| AtomicU32::new(INVALID_VERTEX)).collect();
+    let node_parents: Vec<AtomicU32> = (0..nv).map(|_| AtomicU32::new(INVALID_VERTEX)).collect();
+    edge_levels[source as usize].store(0, Ordering::Relaxed);
+    edge_parents[source as usize].store(source, Ordering::Relaxed);
+    (edge_levels, node_levels, edge_parents, node_parents)
+}
+
+fn finish(
+    edge_levels: Vec<AtomicU32>,
+    node_levels: Vec<AtomicU32>,
+    edge_parents: Vec<AtomicU32>,
+    node_parents: Vec<AtomicU32>,
+) -> HyperBfsResult {
+    HyperBfsResult {
+        edge_levels: edge_levels.into_iter().map(AtomicU32::into_inner).collect(),
+        node_levels: node_levels.into_iter().map(AtomicU32::into_inner).collect(),
+        edge_parents: edge_parents.into_iter().map(AtomicU32::into_inner).collect(),
+        node_parents: node_parents.into_iter().map(AtomicU32::into_inner).collect(),
+    }
+}
+
+/// Expands a frontier across one bipartite direction, claiming unvisited
+/// targets by CAS on their parent slot.
+fn expand(
+    adjacency: &nwgraph::Csr,
+    frontier: &[Id],
+    target_parents: &[AtomicU32],
+    target_levels: &[AtomicU32],
+    depth: u32,
+) -> Vec<Id> {
+    frontier
+        .par_iter()
+        .fold(Vec::new, |mut next, &u| {
+            for &t in adjacency.neighbors(u) {
+                if target_parents[t as usize].load(Ordering::Relaxed) == INVALID_VERTEX
+                    && target_parents[t as usize]
+                        .compare_exchange(INVALID_VERTEX, u, Ordering::AcqRel, Ordering::Relaxed)
+                        .is_ok()
+                {
+                    target_levels[t as usize].store(depth, Ordering::Relaxed);
+                    next.push(t);
+                }
+            }
+            next
+        })
+        .reduce(Vec::new, |mut a, mut b| {
+            a.append(&mut b);
+            a
+        })
+}
+
+/// Top-down HyperBFS from a source hyperedge.
+pub fn hyper_bfs_top_down(h: &Hypergraph, source: Id) -> HyperBfsResult {
+    let (edge_levels, node_levels, edge_parents, node_parents) = init(h, source);
+    let mut edge_frontier = vec![source];
+    let mut depth = 0u32;
+    while !edge_frontier.is_empty() {
+        // hyperedges → hypernodes
+        depth += 1;
+        let node_frontier = expand(h.edges(), &edge_frontier, &node_parents, &node_levels, depth);
+        if node_frontier.is_empty() {
+            break;
+        }
+        // hypernodes → hyperedges
+        depth += 1;
+        edge_frontier = expand(h.nodes(), &node_frontier, &edge_parents, &edge_levels, depth);
+    }
+    finish(edge_levels, node_levels, edge_parents, node_parents)
+}
+
+/// One bottom-up half-step: every unvisited element of the target side
+/// scans its own incidence list for a frontier member.
+fn expand_bottom_up(
+    reverse_adjacency: &nwgraph::Csr, // target → sources
+    in_frontier: &[bool],
+    target_parents: &[AtomicU32],
+    target_levels: &[AtomicU32],
+    depth: u32,
+) -> Vec<Id> {
+    (0..reverse_adjacency.num_vertices())
+        .into_par_iter()
+        .filter_map(|t| {
+            if target_parents[t].load(Ordering::Relaxed) != INVALID_VERTEX {
+                return None;
+            }
+            for &u in reverse_adjacency.neighbors(t as Id) {
+                if in_frontier[u as usize] {
+                    target_parents[t].store(u, Ordering::Relaxed);
+                    target_levels[t].store(depth, Ordering::Relaxed);
+                    return Some(t as Id);
+                }
+            }
+            None
+        })
+        .collect()
+}
+
+/// Bottom-up HyperBFS from a source hyperedge: each half-step is a pull
+/// over the unvisited side. Produces the same levels as
+/// [`hyper_bfs_top_down`].
+pub fn hyper_bfs_bottom_up(h: &Hypergraph, source: Id) -> HyperBfsResult {
+    let (edge_levels, node_levels, edge_parents, node_parents) = init(h, source);
+    let ne = h.num_hyperedges();
+    let nv = h.num_hypernodes();
+    let mut edge_frontier = vec![source];
+    let mut depth = 0u32;
+    while !edge_frontier.is_empty() {
+        // hyperedges → hypernodes, pulled from the node side: a node joins
+        // if any of its hyperedges is in the frontier.
+        let mut edge_in = vec![false; ne];
+        for &e in &edge_frontier {
+            edge_in[e as usize] = true;
+        }
+        depth += 1;
+        let node_frontier =
+            expand_bottom_up(h.nodes(), &edge_in, &node_parents, &node_levels, depth);
+        if node_frontier.is_empty() {
+            break;
+        }
+        let mut node_in = vec![false; nv];
+        for &v in &node_frontier {
+            node_in[v as usize] = true;
+        }
+        depth += 1;
+        edge_frontier =
+            expand_bottom_up(h.edges(), &node_in, &edge_parents, &edge_levels, depth);
+    }
+    finish(edge_levels, node_levels, edge_parents, node_parents)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::paper_hypergraph;
+    use crate::hypergraph::Hypergraph;
+    use proptest::prelude::*;
+
+    #[test]
+    fn fixture_levels_from_e0() {
+        let h = paper_hypergraph();
+        let r = hyper_bfs_top_down(&h, 0);
+        // e0 = {0,1,2,3} at level 0; its nodes at level 1
+        assert_eq!(r.edge_levels[0], 0);
+        for v in [0u32, 1, 2, 3] {
+            assert_eq!(r.node_levels[v as usize], 1, "node {v}");
+        }
+        // e1 (shares node 3) and e3 (shares 0,2,3) at level 2
+        assert_eq!(r.edge_levels[1], 2);
+        assert_eq!(r.edge_levels[3], 2);
+        // nodes {4,5,6,8} first reached via e1/e3 at level 3
+        for v in [4u32, 5, 6, 8] {
+            assert_eq!(r.node_levels[v as usize], 3, "node {v}");
+        }
+        // e2 reached at level 4, node 7 at level 5
+        assert_eq!(r.edge_levels[2], 4);
+        assert_eq!(r.node_levels[7], 5);
+    }
+
+    #[test]
+    fn top_down_and_bottom_up_agree() {
+        let h = paper_hypergraph();
+        for src in 0..4 {
+            let td = hyper_bfs_top_down(&h, src);
+            let bu = hyper_bfs_bottom_up(&h, src);
+            assert_eq!(td.edge_levels, bu.edge_levels, "src {src}");
+            assert_eq!(td.node_levels, bu.node_levels, "src {src}");
+        }
+    }
+
+    #[test]
+    fn parents_are_cross_type() {
+        let h = paper_hypergraph();
+        let r = hyper_bfs_top_down(&h, 0);
+        // node parents are hyperedges containing the node
+        for v in 0..9u32 {
+            let p = r.node_parents[v as usize];
+            if p != INVALID_VERTEX {
+                assert!(h.edge_members(p).contains(&v), "node {v} parent {p}");
+            }
+        }
+        // edge parents (except source) are member nodes
+        for e in 1..4u32 {
+            let p = r.edge_parents[e as usize];
+            if p != INVALID_VERTEX {
+                assert!(h.edge_members(e).contains(&p), "edge {e} parent {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn disconnected_parts_unreached() {
+        let h = Hypergraph::from_memberships(&[vec![0, 1], vec![2, 3]]);
+        let r = hyper_bfs_top_down(&h, 0);
+        assert_eq!(r.edge_levels[1], INVALID_VERTEX);
+        assert_eq!(r.node_levels[2], INVALID_VERTEX);
+        assert_eq!(r.edges_reached(), 1);
+        assert_eq!(r.nodes_reached(), 2);
+    }
+
+    #[test]
+    fn empty_hyperedge_source() {
+        let h = Hypergraph::from_memberships(&[vec![], vec![0]]);
+        let r = hyper_bfs_top_down(&h, 0);
+        assert_eq!(r.edges_reached(), 1);
+        assert_eq!(r.nodes_reached(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_source_panics() {
+        let h = paper_hypergraph();
+        hyper_bfs_top_down(&h, 9);
+    }
+
+    #[test]
+    fn level_parity_invariant() {
+        let h = paper_hypergraph();
+        let r = hyper_bfs_top_down(&h, 2);
+        for &l in &r.edge_levels {
+            if l != INVALID_VERTEX {
+                assert_eq!(l % 2, 0, "hyperedge at odd level");
+            }
+        }
+        for &l in &r.node_levels {
+            if l != INVALID_VERTEX {
+                assert_eq!(l % 2, 1, "hypernode at even level");
+            }
+        }
+    }
+
+    fn arb_memberships() -> impl proptest::strategy::Strategy<Value = Vec<Vec<Id>>> {
+        proptest::collection::vec(
+            proptest::collection::btree_set(0u32..15, 0..6),
+            1..10,
+        )
+        .prop_map(|sets| sets.into_iter().map(|s| s.into_iter().collect()).collect())
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn prop_variants_agree(ms in arb_memberships(), src_seed in 0u32..100) {
+            let h = Hypergraph::from_memberships(&ms);
+            let src = src_seed % h.num_hyperedges() as u32;
+            let td = hyper_bfs_top_down(&h, src);
+            let bu = hyper_bfs_bottom_up(&h, src);
+            prop_assert_eq!(td.edge_levels, bu.edge_levels);
+            prop_assert_eq!(td.node_levels, bu.node_levels);
+        }
+    }
+}

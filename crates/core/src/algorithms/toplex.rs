@@ -1,0 +1,226 @@
+//! Toplex computation — Algorithm 3 of the paper (§III-C.4).
+//!
+//! A *toplex* is a maximal hyperedge: `e` is a toplex iff no other
+//! hyperedge `f ⊋ e`. Duplicate hyperedges (equal as sets) are collapsed
+//! to the representative with the smallest ID, matching the antichain
+//! semantics of Algorithm 3 (which keeps the first of two equal sets it
+//! compares).
+//!
+//! The paper's pseudocode races on its shared `Ě` set; the parallel
+//! implementation here uses an equivalent, race-free formulation: `e` is
+//! dominated iff some hyperedge `f` contains *all* of `e`'s members
+//! (`|e ∩ f| = |e|`) and `f` is "bigger" (`|f| > |e|`, or `|f| = |e|` with
+//! `f < e` for the duplicate tie-break). Containment candidates are
+//! discovered through the bipartite indirection and counted with a
+//! hashmap, so the work per hyperedge is proportional to the incidences
+//! it can actually touch — the same cost structure as Algorithm 3's
+//! subset probes.
+
+use crate::hypergraph::Hypergraph;
+use crate::Id;
+use nwhy_util::fxhash::FxHashMap;
+use rayon::prelude::*;
+
+/// Returns the toplex hyperedge IDs of `h`, in increasing order.
+///
+/// Hyperedges with no members are dominated by any non-empty hyperedge
+/// (∅ ⊆ anything); an empty hyperedge is a toplex only in a hypergraph
+/// where *all* hyperedges are empty (then only the smallest ID survives).
+///
+/// # Examples
+///
+/// ```
+/// use nwhy_core::{algorithms::toplex::toplexes, Hypergraph};
+///
+/// let h = Hypergraph::from_memberships(&[
+///     vec![0, 1, 2],  // maximal
+///     vec![1, 2],     // ⊂ e0
+///     vec![2, 3],     // maximal (3 escapes e0)
+/// ]);
+/// assert_eq!(toplexes(&h), vec![0, 2]);
+/// ```
+pub fn toplexes(h: &Hypergraph) -> Vec<Id> {
+    let ne = h.num_hyperedges();
+    if ne == 0 {
+        return Vec::new();
+    }
+    let any_nonempty = (0..ne as Id).any(|e| h.edge_degree(e) > 0);
+
+    (0..ne as Id)
+        .into_par_iter()
+        .filter(|&e| {
+            let members = h.edge_members(e);
+            if members.is_empty() {
+                // ∅ is dominated by any non-empty hyperedge; among
+                // all-empty hypergraphs keep the smallest ID.
+                return !any_nonempty
+                    && (0..e).all(|f| h.edge_degree(f) > 0);
+            }
+            let de = members.len();
+            // Count overlap with every hyperedge sharing a member.
+            let mut counts: FxHashMap<Id, usize> = FxHashMap::default();
+            for &v in members {
+                for &f in h.node_memberships(v) {
+                    if f != e {
+                        *counts.entry(f).or_insert(0) += 1;
+                    }
+                }
+            }
+            !counts.iter().any(|(&f, &overlap)| {
+                overlap == de && {
+                    let df = h.edge_degree(f);
+                    df > de || (df == de && f < e)
+                }
+            })
+        })
+        .collect()
+}
+
+/// Direct transcription of Algorithm 3 run sequentially — the oracle for
+/// the parallel version. Quadratic; test/diagnostic use only.
+pub fn toplexes_sequential(h: &Hypergraph) -> Vec<Id> {
+    let is_subset = |a: &[Id], b: &[Id]| -> bool {
+        // both sorted
+        let mut j = 0;
+        for &x in a {
+            while j < b.len() && b[j] < x {
+                j += 1;
+            }
+            if j >= b.len() || b[j] != x {
+                return false;
+            }
+        }
+        true
+    };
+    let mut maximal: Vec<Id> = Vec::new();
+    for e in 0..h.num_hyperedges() as Id {
+        let me = h.edge_members(e);
+        let mut flag = true;
+        maximal.retain(|&f| {
+            let mf = h.edge_members(f);
+            if flag && is_subset(me, mf) {
+                flag = false; // e ⊆ f, drop e
+            }
+            // keep f unless strictly f ⊂ e (equal sets keep the earlier f)
+            !(flag && is_subset(mf, me) && mf.len() < me.len())
+        });
+        if flag {
+            maximal.push(e);
+        }
+    }
+    maximal.sort_unstable();
+    maximal
+}
+
+/// Checks the toplex invariants: the returned set is an antichain under
+/// set inclusion (after collapsing duplicates) and every hyperedge is
+/// contained in some toplex.
+pub fn validate_toplexes(h: &Hypergraph, toplexes: &[Id]) -> Result<(), String> {
+    let contains = |sup: &[Id], sub: &[Id]| sub.iter().all(|x| sup.binary_search(x).is_ok());
+    for (i, &a) in toplexes.iter().enumerate() {
+        for &b in &toplexes[i + 1..] {
+            let ma = h.edge_members(a);
+            let mb = h.edge_members(b);
+            if contains(ma, mb) || contains(mb, ma) {
+                return Err(format!("toplexes {a} and {b} are nested/duplicate"));
+            }
+        }
+    }
+    for e in 0..h.num_hyperedges() as Id {
+        let me = h.edge_members(e);
+        if !toplexes
+            .iter()
+            .any(|&t| contains(h.edge_members(t), me))
+        {
+            return Err(format!("hyperedge {e} not covered by any toplex"));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::{nested_hypergraph, paper_hypergraph};
+    use proptest::prelude::*;
+
+    #[test]
+    fn nested_fixture() {
+        // t0={0,1,2,3} ⊇ t1={1,2} ⊇ t2={2}; t3={3,4}; t4={1,2} dup of t1
+        let h = nested_hypergraph();
+        let t = toplexes(&h);
+        assert_eq!(t, vec![0, 3]);
+        validate_toplexes(&h, &t).unwrap();
+    }
+
+    #[test]
+    fn paper_fixture_all_maximal() {
+        let h = paper_hypergraph();
+        let t = toplexes(&h);
+        assert_eq!(t, vec![0, 1, 2, 3]); // no containments in the fixture
+        validate_toplexes(&h, &t).unwrap();
+    }
+
+    #[test]
+    fn duplicates_keep_smallest_id() {
+        let h = Hypergraph::from_memberships(&[vec![0, 1], vec![0, 1], vec![0, 1]]);
+        assert_eq!(toplexes(&h), vec![0]);
+    }
+
+    #[test]
+    fn empty_hyperedges() {
+        let h = Hypergraph::from_memberships(&[vec![], vec![0], vec![]]);
+        assert_eq!(toplexes(&h), vec![1]);
+        // all-empty: smallest ID is the lone toplex
+        let h = Hypergraph::from_memberships(&[vec![], vec![]]);
+        assert_eq!(toplexes(&h), vec![0]);
+    }
+
+    #[test]
+    fn no_hyperedges() {
+        let h = Hypergraph::from_memberships(&[]);
+        assert!(toplexes(&h).is_empty());
+    }
+
+    #[test]
+    fn chain_of_inclusions() {
+        let h = Hypergraph::from_memberships(&[
+            vec![0],
+            vec![0, 1],
+            vec![0, 1, 2],
+            vec![0, 1, 2, 3],
+        ]);
+        assert_eq!(toplexes(&h), vec![3]);
+    }
+
+    #[test]
+    fn sequential_matches_parallel_on_fixtures() {
+        for h in [paper_hypergraph(), nested_hypergraph()] {
+            assert_eq!(toplexes(&h), toplexes_sequential(&h));
+        }
+    }
+
+    fn arb_memberships() -> impl proptest::strategy::Strategy<Value = Vec<Vec<Id>>> {
+        proptest::collection::vec(
+            proptest::collection::btree_set(0u32..10, 0..6),
+            0..12,
+        )
+        .prop_map(|sets| sets.into_iter().map(|s| s.into_iter().collect()).collect())
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn prop_parallel_equals_sequential(ms in arb_memberships()) {
+            let h = Hypergraph::from_memberships(&ms);
+            prop_assert_eq!(toplexes(&h), toplexes_sequential(&h));
+        }
+
+        #[test]
+        fn prop_invariants_hold(ms in arb_memberships()) {
+            let h = Hypergraph::from_memberships(&ms);
+            let t = toplexes(&h);
+            validate_toplexes(&h, &t).map_err(TestCaseError::fail)?;
+        }
+    }
+}

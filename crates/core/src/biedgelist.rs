@@ -1,0 +1,261 @@
+//! The bi-edge-list: incidence pairs staged for bi-adjacency construction.
+//!
+//! Mirrors the paper's `biedgelist` class (Listing 1): a flat list of
+//! `(hyperedge, hypernode)` incidence pairs together with the cardinality
+//! of both vertex partitions (`n0` hyperedges, `n1` hypernodes in the
+//! paper's notation — "due to two separate index spaces, both the maximum
+//! No. of vertices and the maximum No. of hyperedges information may be
+//! required").
+
+use crate::Id;
+
+/// A list of hyperedge–hypernode incidences over two separate ID spaces,
+/// with optional per-incidence weights (the `Attributes...` parameter of
+/// the paper's `biedgelist` template / the `weight` array of Listing 5).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct BiEdgeList {
+    num_hyperedges: usize,
+    num_hypernodes: usize,
+    incidences: Vec<(Id, Id)>,
+    weights: Option<Vec<f64>>,
+}
+
+impl BiEdgeList {
+    /// An empty list with the given partition cardinalities.
+    pub fn new(num_hyperedges: usize, num_hypernodes: usize) -> Self {
+        Self {
+            num_hyperedges,
+            num_hypernodes,
+            incidences: Vec::new(),
+            weights: None,
+        }
+    }
+
+    /// Builds from raw incidence pairs.
+    ///
+    /// # Panics
+    /// Panics if a pair is out of range.
+    pub fn from_incidences(
+        num_hyperedges: usize,
+        num_hypernodes: usize,
+        incidences: Vec<(Id, Id)>,
+    ) -> Self {
+        for &(e, v) in &incidences {
+            assert!(
+                (e as usize) < num_hyperedges,
+                "hyperedge {e} out of range {num_hyperedges}"
+            );
+            assert!(
+                (v as usize) < num_hypernodes,
+                "hypernode {v} out of range {num_hypernodes}"
+            );
+        }
+        Self {
+            num_hyperedges,
+            num_hypernodes,
+            incidences,
+            weights: None,
+        }
+    }
+
+    /// Like [`BiEdgeList::from_incidences`] with per-incidence weights.
+    ///
+    /// # Panics
+    /// Panics if lengths differ or a pair is out of range.
+    pub fn from_weighted_incidences(
+        num_hyperedges: usize,
+        num_hypernodes: usize,
+        incidences: Vec<(Id, Id)>,
+        weights: Vec<f64>,
+    ) -> Self {
+        assert_eq!(
+            incidences.len(),
+            weights.len(),
+            "incidences/weights length mismatch"
+        );
+        let mut bel = Self::from_incidences(num_hyperedges, num_hypernodes, incidences);
+        bel.weights = Some(weights);
+        bel
+    }
+
+    /// Builds from per-hyperedge membership lists (`memberships[e]` is the
+    /// hypernode set of hyperedge `e`), inferring the hypernode count.
+    pub fn from_memberships(memberships: &[Vec<Id>]) -> Self {
+        let num_hyperedges = memberships.len();
+        let num_hypernodes = memberships
+            .iter()
+            .flatten()
+            .map(|&v| v as usize + 1)
+            .max()
+            .unwrap_or(0);
+        let incidences = memberships
+            .iter()
+            .enumerate()
+            .flat_map(|(e, vs)| vs.iter().map(move |&v| (e as Id, v)))
+            .collect();
+        Self {
+            num_hyperedges,
+            num_hypernodes,
+            incidences,
+            weights: None,
+        }
+    }
+
+    /// Number of hyperedges in the ID space (`n0`).
+    #[inline]
+    pub fn num_hyperedges(&self) -> usize {
+        self.num_hyperedges
+    }
+
+    /// Number of hypernodes in the ID space (`n1`).
+    #[inline]
+    pub fn num_hypernodes(&self) -> usize {
+        self.num_hypernodes
+    }
+
+    /// Number of incidence pairs (nonzeros of the incidence matrix).
+    #[inline]
+    pub fn num_incidences(&self) -> usize {
+        self.incidences.len()
+    }
+
+    /// The raw incidence pairs.
+    #[inline]
+    pub fn incidences(&self) -> &[(Id, Id)] {
+        &self.incidences
+    }
+
+    /// Optional per-incidence weights, parallel to
+    /// [`BiEdgeList::incidences`].
+    #[inline]
+    pub fn weights(&self) -> Option<&[f64]> {
+        self.weights.as_deref()
+    }
+
+    /// Appends one incidence.
+    ///
+    /// # Panics
+    /// Panics if out of range.
+    pub fn push(&mut self, hyperedge: Id, hypernode: Id) {
+        assert!(
+            (hyperedge as usize) < self.num_hyperedges,
+            "hyperedge {hyperedge} out of range {}",
+            self.num_hyperedges
+        );
+        assert!(
+            (hypernode as usize) < self.num_hypernodes,
+            "hypernode {hypernode} out of range {}",
+            self.num_hypernodes
+        );
+        self.incidences.push((hyperedge, hypernode));
+    }
+
+    /// Sorts and removes duplicate incidences (a hypernode can only be in
+    /// a hyperedge once; duplicate pairs typically come from noisy input
+    /// files). For weighted lists the first occurrence's weight is kept.
+    pub fn sort_dedup(&mut self) {
+        match &mut self.weights {
+            None => {
+                self.incidences.sort_unstable();
+                self.incidences.dedup();
+            }
+            Some(ws) => {
+                let mut order: Vec<usize> = (0..self.incidences.len()).collect();
+                let inc = &self.incidences;
+                order.sort_by_key(|&i| inc[i]); // stable: first stays first
+                let mut new_inc = Vec::with_capacity(order.len());
+                let mut new_ws = Vec::with_capacity(order.len());
+                for i in order {
+                    if new_inc.last() != Some(&self.incidences[i]) {
+                        new_inc.push(self.incidences[i]);
+                        new_ws.push(ws[i]);
+                    }
+                }
+                self.incidences = new_inc;
+                *ws = new_ws;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_memberships_infers_sizes() {
+        let bel = BiEdgeList::from_memberships(&[vec![0, 1, 2], vec![2, 4]]);
+        assert_eq!(bel.num_hyperedges(), 2);
+        assert_eq!(bel.num_hypernodes(), 5);
+        assert_eq!(bel.num_incidences(), 5);
+        assert!(bel.incidences().contains(&(1, 4)));
+    }
+
+    #[test]
+    fn empty_membership_lists() {
+        let bel = BiEdgeList::from_memberships(&[]);
+        assert_eq!(bel.num_hyperedges(), 0);
+        assert_eq!(bel.num_hypernodes(), 0);
+        let bel = BiEdgeList::from_memberships(&[vec![], vec![]]);
+        assert_eq!(bel.num_hyperedges(), 2);
+        assert_eq!(bel.num_hypernodes(), 0);
+    }
+
+    #[test]
+    fn push_and_bounds() {
+        let mut bel = BiEdgeList::new(2, 3);
+        bel.push(0, 2);
+        bel.push(1, 0);
+        assert_eq!(bel.num_incidences(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "hypernode 3 out of range")]
+    fn push_rejects_bad_node() {
+        let mut bel = BiEdgeList::new(2, 3);
+        bel.push(0, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "hyperedge 2 out of range")]
+    fn from_incidences_rejects_bad_edge() {
+        BiEdgeList::from_incidences(2, 3, vec![(2, 0)]);
+    }
+
+    #[test]
+    fn sort_dedup_removes_duplicate_incidences() {
+        let mut bel = BiEdgeList::from_incidences(2, 3, vec![(1, 2), (0, 1), (1, 2)]);
+        bel.sort_dedup();
+        assert_eq!(bel.incidences(), &[(0, 1), (1, 2)]);
+    }
+
+    #[test]
+    fn weighted_incidences_roundtrip() {
+        let bel = BiEdgeList::from_weighted_incidences(
+            2,
+            3,
+            vec![(0, 1), (1, 2)],
+            vec![0.5, 2.0],
+        );
+        assert_eq!(bel.weights(), Some(&[0.5, 2.0][..]));
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn weighted_length_mismatch_rejected() {
+        BiEdgeList::from_weighted_incidences(2, 3, vec![(0, 1)], vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn weighted_sort_dedup_keeps_first_weight() {
+        let mut bel = BiEdgeList::from_weighted_incidences(
+            2,
+            3,
+            vec![(1, 2), (0, 1), (1, 2)],
+            vec![9.0, 1.0, 5.0],
+        );
+        bel.sort_dedup();
+        assert_eq!(bel.incidences(), &[(0, 1), (1, 2)]);
+        assert_eq!(bel.weights(), Some(&[1.0, 9.0][..]));
+    }
+}

@@ -1,0 +1,174 @@
+//! Clique-expansion graphs (§III-B.3).
+//!
+//! The clique expansion replaces each hyperedge with a clique over its
+//! incident hypernodes. The result is a plain graph over the *hypernode*
+//! ID space on which any graph algorithm runs — at the cost of losing the
+//! inclusion structure and a potentially quadratic blow-up in size (both
+//! drawbacks the paper calls out).
+//!
+//! The clique expansion equals the 1-line graph of the dual hypergraph
+//! (equivalently, the 1-clique graph); [`clique_expansion_via_dual`]
+//! computes it that way and the tests cross-validate the two paths.
+
+use crate::hypergraph::Hypergraph;
+use crate::Id;
+use nwgraph::{Csr, EdgeList};
+use nwhy_util::fxhash::FxHashSet;
+use rayon::prelude::*;
+
+/// Builds the clique-expansion graph of `h`: an undirected simple graph on
+/// the hypernodes where `u ~ w` iff some hyperedge contains both.
+pub fn clique_expansion(h: &Hypergraph) -> Csr {
+    let nv = h.num_hypernodes();
+    // Emit each within-hyperedge pair once per hyperedge, dedup globally.
+    let mut pairs: Vec<(Id, Id)> = h
+        .edges()
+        .par_iter()
+        .fold(Vec::new, |mut acc, (_, members)| {
+            for (i, &u) in members.iter().enumerate() {
+                for &w in &members[i + 1..] {
+                    // members are sorted, so u < w already
+                    acc.push((u, w));
+                }
+            }
+            acc
+        })
+        .reduce(Vec::new, |mut a, mut b| {
+            a.append(&mut b);
+            a
+        });
+    pairs.par_sort_unstable();
+    pairs.dedup();
+    let mut el = EdgeList::from_edges(nv, pairs);
+    el.symmetrize();
+    Csr::from_edge_list(&el)
+}
+
+/// The same graph, computed as the 1-line graph of the dual hypergraph —
+/// the identity the paper states in §III-B.4 ("the 1-line graph of the
+/// dual hypergraph is the clique-expansion graph").
+pub fn clique_expansion_via_dual(h: &Hypergraph) -> Csr {
+    let dual = h.dual();
+    let pairs = crate::slinegraph::slinegraph_edges(
+        &dual,
+        1,
+        crate::slinegraph::Algorithm::Hashmap,
+        &crate::slinegraph::BuildOptions::default(),
+    );
+    let mut el = EdgeList::from_edges(h.num_hypernodes(), pairs);
+    el.symmetrize();
+    el.sort_dedup();
+    Csr::from_edge_list(&el)
+}
+
+/// Counts the number of graph edges the clique expansion of `h` would
+/// have *before* deduplication — the Σ C(|e|, 2) memory-blow-up figure
+/// that motivates s-line graphs.
+pub fn clique_expansion_work(h: &Hypergraph) -> usize {
+    (0..h.num_hyperedges() as Id)
+        .into_par_iter()
+        .map(|e| {
+            let d = h.edge_degree(e);
+            d * d.saturating_sub(1) / 2
+        })
+        .sum()
+}
+
+/// Validates that `g` is exactly the clique expansion of `h`
+/// (test/diagnostic helper): `u ~ w` iff they co-occur in a hyperedge.
+pub fn validate_clique_expansion(h: &Hypergraph, g: &Csr) -> Result<(), String> {
+    if g.num_vertices() != h.num_hypernodes() {
+        return Err("vertex count mismatch".into());
+    }
+    // forward: every co-occurring pair is an edge
+    for e in 0..h.num_hyperedges() as Id {
+        let members = h.edge_members(e);
+        for (i, &u) in members.iter().enumerate() {
+            for &w in &members[i + 1..] {
+                if g.neighbors(u).binary_search(&w).is_err() {
+                    return Err(format!("missing clique edge ({u},{w}) from hyperedge {e}"));
+                }
+            }
+        }
+    }
+    // backward: every edge is justified by some hyperedge
+    for (u, nbrs) in g.iter() {
+        let edges_of_u: FxHashSet<Id> = h.node_memberships(u).iter().copied().collect();
+        for &w in nbrs {
+            let shares = h
+                .node_memberships(w)
+                .iter()
+                .any(|e| edges_of_u.contains(e));
+            if !shares {
+                return Err(format!("edge ({u},{w}) has no witnessing hyperedge"));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::paper_hypergraph;
+
+    #[test]
+    fn fixture_clique_expansion_is_valid() {
+        let h = paper_hypergraph();
+        let g = clique_expansion(&h);
+        assert!(g.is_symmetric());
+        validate_clique_expansion(&h, &g).unwrap();
+    }
+
+    #[test]
+    fn matches_dual_one_line_graph() {
+        let h = paper_hypergraph();
+        let direct = clique_expansion(&h);
+        let via_dual = clique_expansion_via_dual(&h);
+        assert_eq!(direct, via_dual);
+    }
+
+    #[test]
+    fn single_hyperedge_gives_complete_graph() {
+        let h = Hypergraph::from_memberships(&[vec![0, 1, 2, 3]]);
+        let g = clique_expansion(&h);
+        for u in 0..4u32 {
+            assert_eq!(g.degree(u), 3);
+        }
+    }
+
+    #[test]
+    fn disjoint_hyperedges_give_disjoint_cliques() {
+        let h = Hypergraph::from_memberships(&[vec![0, 1], vec![2, 3, 4]]);
+        let g = clique_expansion(&h);
+        assert_eq!(g.neighbors(0), &[1]);
+        assert_eq!(g.neighbors(2), &[3, 4]);
+        assert_eq!(g.num_edges(), 2 * (1 + 3));
+    }
+
+    #[test]
+    fn overlapping_hyperedges_dedup_shared_pairs() {
+        // pair (1,2) appears in both hyperedges but once in the expansion
+        let h = Hypergraph::from_memberships(&[vec![0, 1, 2], vec![1, 2, 3]]);
+        let g = clique_expansion(&h);
+        assert_eq!(g.neighbors(1), &[0, 2, 3]);
+        assert_eq!(g.num_edges(), 2 * 5);
+    }
+
+    #[test]
+    fn work_counts_pre_dedup_pairs() {
+        let h = Hypergraph::from_memberships(&[vec![0, 1, 2], vec![1, 2, 3]]);
+        assert_eq!(clique_expansion_work(&h), 3 + 3);
+        let h = paper_hypergraph();
+        // sizes 4,4,5,5 → 6+6+10+10
+        assert_eq!(clique_expansion_work(&h), 32);
+    }
+
+    #[test]
+    fn empty_and_singleton_edges() {
+        let h = Hypergraph::from_memberships(&[vec![], vec![0]]);
+        let g = clique_expansion(&h);
+        assert_eq!(g.num_edges(), 0);
+        validate_clique_expansion(&h, &g).unwrap();
+    }
+}

@@ -1,0 +1,90 @@
+//! Shared test fixtures.
+//!
+//! [`paper_hypergraph`] is the workspace-wide stand-in for the paper's
+//! Figure 1 example: 4 hyperedges over 9 hypernodes (the adjoin graph of
+//! Figure 3 therefore has IDs 0–3 for hyperedges and 4–12 for hypernodes).
+//! Its pairwise overlaps are chosen so the three s-line graphs of Figure 5
+//! are all distinct:
+//!
+//! | pair      | overlap            | size |
+//! |-----------|--------------------|------|
+//! | e0 ∩ e1   | {3}                | 1    |
+//! | e0 ∩ e2   | ∅                  | 0    |
+//! | e0 ∩ e3   | {0, 2, 3}          | 3    |
+//! | e1 ∩ e2   | {4, 5, 6}          | 3    |
+//! | e1 ∩ e3   | {3, 5}             | 2    |
+//! | e2 ∩ e3   | {5, 8}             | 2    |
+//!
+//! giving line-graph edge sets
+//! `s=1: {01, 03, 12, 13, 23}` · `s=2: {03, 12, 13, 23}` · `s=3: {03, 12}`
+//! and `s=4: ∅`.
+
+use crate::hypergraph::Hypergraph;
+use crate::Id;
+
+/// Membership lists of the Figure 1 stand-in (see module docs).
+pub fn paper_memberships() -> Vec<Vec<Id>> {
+    vec![
+        vec![0, 1, 2, 3],
+        vec![3, 4, 5, 6],
+        vec![4, 5, 6, 7, 8],
+        vec![0, 2, 3, 5, 8],
+    ]
+}
+
+/// The Figure 1 stand-in hypergraph: 4 hyperedges, 9 hypernodes.
+pub fn paper_hypergraph() -> Hypergraph {
+    Hypergraph::from_memberships(&paper_memberships())
+}
+
+/// The expected s-line graph edge sets of [`paper_hypergraph`], as
+/// canonical `(i, j)` pairs with `i < j`, for `s` = 1..=4.
+pub fn paper_slinegraph_edges(s: usize) -> Vec<(Id, Id)> {
+    match s {
+        0 | 1 => vec![(0, 1), (0, 3), (1, 2), (1, 3), (2, 3)],
+        2 => vec![(0, 3), (1, 2), (1, 3), (2, 3)],
+        3 => vec![(0, 3), (1, 2)],
+        _ => vec![],
+    }
+}
+
+/// A small hypergraph with nested hyperedges for toplex tests:
+/// `t0 = {0,1,2,3}` ⊋ `t1 = {1,2}` ⊋ `t2 = {2}`, plus `t3 = {3,4}`
+/// (overlapping but not nested) and `t4 = {1,2}` (duplicate of `t1`).
+pub fn nested_hypergraph() -> Hypergraph {
+    Hypergraph::from_memberships(&[
+        vec![0, 1, 2, 3],
+        vec![1, 2],
+        vec![2],
+        vec![3, 4],
+        vec![1, 2],
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixture_overlap_table_is_accurate() {
+        let ms = paper_memberships();
+        let overlap = |a: &Vec<Id>, b: &Vec<Id>| a.iter().filter(|x| b.contains(x)).count();
+        assert_eq!(overlap(&ms[0], &ms[1]), 1);
+        assert_eq!(overlap(&ms[0], &ms[2]), 0);
+        assert_eq!(overlap(&ms[0], &ms[3]), 3);
+        assert_eq!(overlap(&ms[1], &ms[2]), 3);
+        assert_eq!(overlap(&ms[1], &ms[3]), 2);
+        assert_eq!(overlap(&ms[2], &ms[3]), 2);
+    }
+
+    #[test]
+    fn expected_line_graphs_are_monotone_in_s() {
+        for s in 1..4 {
+            let larger = paper_slinegraph_edges(s);
+            let smaller = paper_slinegraph_edges(s + 1);
+            for e in &smaller {
+                assert!(larger.contains(e), "E_{} ⊄ E_{}", s + 1, s);
+            }
+        }
+    }
+}

@@ -1,0 +1,260 @@
+//! Dense incidence/adjacency matrices for small hypergraphs.
+//!
+//! The paper explains its representations through explicit matrices: the
+//! incidence matrix `B` (§II-C, Eq. 4), its transpose (the dual), and the
+//! adjoin graph's block adjacency `A_G = [[0, Bᵀ], [B, 0]]` (Fig. 4).
+//! This module materializes those views for *small* hypergraphs — as
+//! debugging, teaching, and test artifacts (the CSR structures remain the
+//! computational representation; a dense matrix is Θ(n·m) memory by
+//! construction).
+
+use crate::hypergraph::Hypergraph;
+use crate::Id;
+use std::fmt;
+
+/// A dense 0/1 matrix with row/column labels for Display. Equality
+/// compares shape and entries only (labels are presentation).
+#[derive(Debug, Clone, Eq)]
+pub struct DenseMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<u8>, // row-major
+    row_prefix: &'static str,
+    col_prefix: &'static str,
+}
+
+impl DenseMatrix {
+    fn zeros(rows: usize, cols: usize, row_prefix: &'static str, col_prefix: &'static str) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![0; rows * cols],
+            row_prefix,
+            col_prefix,
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Entry at `(r, c)`.
+    pub fn get(&self, r: usize, c: usize) -> u8 {
+        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        self.data[r * self.cols + c]
+    }
+
+    fn set(&mut self, r: usize, c: usize) {
+        self.data[r * self.cols + c] = 1;
+    }
+
+    /// The transpose.
+    pub fn transpose(&self) -> DenseMatrix {
+        let mut t = DenseMatrix::zeros(self.cols, self.rows, self.col_prefix, self.row_prefix);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                if self.get(r, c) == 1 {
+                    t.set(c, r);
+                }
+            }
+        }
+        t
+    }
+
+    /// Number of nonzero entries.
+    pub fn nnz(&self) -> usize {
+        self.data.iter().filter(|&&x| x == 1).count()
+    }
+
+    /// `true` if square and equal to its transpose.
+    pub fn is_symmetric(&self) -> bool {
+        self.rows == self.cols
+            && (0..self.rows).all(|r| (0..r).all(|c| self.get(r, c) == self.get(c, r)))
+    }
+}
+
+impl PartialEq for DenseMatrix {
+    fn eq(&self, other: &Self) -> bool {
+        self.rows == other.rows && self.cols == other.cols && self.data == other.data
+    }
+}
+
+impl fmt::Display for DenseMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // header
+        write!(f, "{:>4}", "")?;
+        for c in 0..self.cols {
+            write!(f, " {:>3}", format!("{}{}", self.col_prefix, c))?;
+        }
+        writeln!(f)?;
+        for r in 0..self.rows {
+            write!(f, "{:>4}", format!("{}{}", self.row_prefix, r))?;
+            for c in 0..self.cols {
+                write!(f, " {:>3}", self.get(r, c))?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+/// The incidence matrix `B` of `h`: `n × m` (hypernodes × hyperedges),
+/// `B[v][e] = 1` iff `v ∈ e` — Eq. 4 of the paper.
+pub fn incidence_matrix(h: &Hypergraph) -> DenseMatrix {
+    let mut b = DenseMatrix::zeros(h.num_hypernodes(), h.num_hyperedges(), "v", "e");
+    for e in 0..h.num_hyperedges() as Id {
+        for &v in h.edge_members(e) {
+            b.set(v as usize, e as usize);
+        }
+    }
+    b
+}
+
+/// The dual's incidence matrix `Bᵀ` (`m × n`) — §II-C: "the transpose of
+/// the incidence matrix is the dual of H".
+pub fn dual_incidence_matrix(h: &Hypergraph) -> DenseMatrix {
+    incidence_matrix(h).transpose()
+}
+
+/// The adjoin graph's block adjacency `A_G = [[0, Bᵀ], [B, 0]]` with
+/// hyperedges first (IDs `0..m`) then hypernodes (`m..m+n`) — Fig. 4.
+pub fn adjoin_adjacency_matrix(h: &Hypergraph) -> DenseMatrix {
+    let m = h.num_hyperedges();
+    let n = h.num_hypernodes();
+    let mut a = DenseMatrix::zeros(m + n, m + n, "", "");
+    for e in 0..m as Id {
+        for &v in h.edge_members(e) {
+            a.set(e as usize, m + v as usize);
+            a.set(m + v as usize, e as usize);
+        }
+    }
+    a
+}
+
+/// The clique-expansion adjacency over hypernodes (dense; Θ(n²)).
+pub fn clique_adjacency_matrix(h: &Hypergraph) -> DenseMatrix {
+    let n = h.num_hypernodes();
+    let mut a = DenseMatrix::zeros(n, n, "v", "v");
+    for e in 0..h.num_hyperedges() as Id {
+        let members = h.edge_members(e);
+        for (i, &u) in members.iter().enumerate() {
+            for &w in &members[i + 1..] {
+                a.set(u as usize, w as usize);
+                a.set(w as usize, u as usize);
+            }
+        }
+    }
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adjoin::AdjoinGraph;
+    use crate::fixtures::paper_hypergraph;
+
+    #[test]
+    fn incidence_matches_memberships() {
+        let h = paper_hypergraph();
+        let b = incidence_matrix(&h);
+        assert_eq!(b.rows(), 9);
+        assert_eq!(b.cols(), 4);
+        assert_eq!(b.nnz(), 18);
+        for e in 0..4u32 {
+            for v in 0..9u32 {
+                let want = h.edge_members(e).contains(&v);
+                assert_eq!(b.get(v as usize, e as usize) == 1, want, "({v},{e})");
+            }
+        }
+    }
+
+    #[test]
+    fn dual_is_transpose() {
+        let h = paper_hypergraph();
+        assert_eq!(dual_incidence_matrix(&h), incidence_matrix(&h).transpose());
+        assert_eq!(dual_incidence_matrix(&h), incidence_matrix(&h.dual()));
+        assert_eq!(
+            incidence_matrix(&h).transpose().transpose(),
+            incidence_matrix(&h)
+        );
+    }
+
+    #[test]
+    fn adjoin_block_structure_matches_figure4() {
+        let h = paper_hypergraph();
+        let a = adjoin_adjacency_matrix(&h);
+        assert_eq!(a.rows(), 13);
+        assert!(a.is_symmetric());
+        // top-left m×m block and bottom-right n×n block are zero
+        for i in 0..4 {
+            for j in 0..4 {
+                assert_eq!(a.get(i, j), 0, "edge-edge block ({i},{j})");
+            }
+        }
+        for i in 4..13 {
+            for j in 4..13 {
+                assert_eq!(a.get(i, j), 0, "node-node block ({i},{j})");
+            }
+        }
+        // off-diagonal blocks are B / Bᵀ
+        let b = incidence_matrix(&h);
+        for e in 0..4 {
+            for v in 0..9 {
+                assert_eq!(a.get(e, 4 + v), b.get(v, e));
+            }
+        }
+        // and the dense matrix agrees with the CSR AdjoinGraph
+        let ag = AdjoinGraph::from_hypergraph(&h);
+        for (u, nbrs) in ag.graph().iter() {
+            for &v in nbrs {
+                assert_eq!(a.get(u as usize, v as usize), 1);
+            }
+        }
+        assert_eq!(a.nnz(), ag.graph().num_edges());
+    }
+
+    #[test]
+    fn clique_matrix_matches_csr_expansion() {
+        let h = paper_hypergraph();
+        let dense = clique_adjacency_matrix(&h);
+        assert!(dense.is_symmetric());
+        let csr = crate::clique::clique_expansion(&h);
+        assert_eq!(dense.nnz(), csr.num_edges());
+        for (u, nbrs) in csr.iter() {
+            for &w in nbrs {
+                assert_eq!(dense.get(u as usize, w as usize), 1);
+            }
+        }
+    }
+
+    #[test]
+    fn display_renders_labels() {
+        let h = Hypergraph::from_memberships(&[vec![0, 1]]);
+        let s = incidence_matrix(&h).to_string();
+        assert!(s.contains("e0"));
+        assert!(s.contains("v1"));
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 3); // header + 2 node rows
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn get_bounds_checked() {
+        let h = paper_hypergraph();
+        incidence_matrix(&h).get(9, 0);
+    }
+
+    #[test]
+    fn empty_matrices() {
+        let h = Hypergraph::from_memberships(&[]);
+        let b = incidence_matrix(&h);
+        assert_eq!((b.rows(), b.cols(), b.nnz()), (0, 0, 0));
+        assert!(adjoin_adjacency_matrix(&h).is_symmetric());
+    }
+}

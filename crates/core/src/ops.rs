@@ -1,0 +1,279 @@
+//! Rectangular incidence-matrix operations (§III-B.1a).
+//!
+//! "Many of the hypergraph algorithms are operated on the incidence
+//! matrix of a hypergraph … incidence matrices are generally rectangular
+//! (n hypernodes × m hyperedges) … hence hypergraph libraries need to
+//! support rectangular matrices efficiently."
+//!
+//! The bi-adjacency CSR pair *is* the sparse incidence matrix `B` (and
+//! its transpose), so the two fundamental rectangular products come for
+//! free:
+//!
+//! - `y = Bᵀ·x` — gather node values into hyperedges
+//!   ([`edge_gather`]): `y[e] = Σ_{v ∈ e} x[v]`;
+//! - `y = B·x` — scatter hyperedge values onto hypernodes
+//!   ([`node_gather`]): `y[v] = Σ_{e ∋ v} x[e]`.
+//!
+//! Chained, they give the classic two-step hypergraph diffusion
+//! `x ← B·(Bᵀ·x)` used by spectral methods and hypergraph random walks.
+
+use crate::hypergraph::Hypergraph;
+use crate::Id;
+use rayon::prelude::*;
+
+/// `y[e] = Σ_{v ∈ e} x[v]` — one rectangular SpMV with the incidence
+/// matrix transposed (hyperedges gather from their member nodes).
+/// Weighted hypergraphs use the incidence weights as matrix values.
+///
+/// # Panics
+/// Panics if `x.len() != h.num_hypernodes()`.
+pub fn edge_gather(h: &Hypergraph, x: &[f64]) -> Vec<f64> {
+    assert_eq!(x.len(), h.num_hypernodes(), "x must have one entry per hypernode");
+    (0..h.num_hyperedges() as Id)
+        .into_par_iter()
+        .map(|e| {
+            h.edges()
+                .weighted_neighbors(e)
+                .map(|(v, w)| w * x[v as usize])
+                .sum()
+        })
+        .collect()
+}
+
+/// `y[v] = Σ_{e ∋ v} x[e]` — the dual rectangular SpMV (hypernodes
+/// gather from their incident hyperedges).
+///
+/// # Panics
+/// Panics if `x.len() != h.num_hyperedges()`.
+pub fn node_gather(h: &Hypergraph, x: &[f64]) -> Vec<f64> {
+    assert_eq!(x.len(), h.num_hyperedges(), "x must have one entry per hyperedge");
+    (0..h.num_hypernodes() as Id)
+        .into_par_iter()
+        .map(|v| {
+            h.nodes()
+                .weighted_neighbors(v)
+                .map(|(e, w)| w * x[e as usize])
+                .sum()
+        })
+        .collect()
+}
+
+/// One step of the degree-normalized two-phase hypergraph random walk
+/// (Zhou/Huang/Schölkopf-style): node mass spreads uniformly to incident
+/// hyperedges, then uniformly to their members. Rows with zero degree
+/// keep their mass.
+pub fn diffusion_step(h: &Hypergraph, x: &[f64]) -> Vec<f64> {
+    assert_eq!(x.len(), h.num_hypernodes(), "x must have one entry per hypernode");
+    // node → edge, normalized by node degree
+    let edge_mass: Vec<f64> = (0..h.num_hyperedges() as Id)
+        .into_par_iter()
+        .map(|e| {
+            h.edge_members(e)
+                .iter()
+                .map(|&v| {
+                    let d = h.node_degree(v);
+                    if d == 0 {
+                        0.0
+                    } else {
+                        x[v as usize] / d as f64
+                    }
+                })
+                .sum()
+        })
+        .collect();
+    // edge → node, normalized by edge size; stuck mass stays put
+    (0..h.num_hypernodes() as Id)
+        .into_par_iter()
+        .map(|v| {
+            if h.node_degree(v) == 0 {
+                return x[v as usize];
+            }
+            h.node_memberships(v)
+                .iter()
+                .map(|&e| {
+                    let d = h.edge_degree(e);
+                    if d == 0 {
+                        0.0
+                    } else {
+                        edge_mass[e as usize] / d as f64
+                    }
+                })
+                .sum()
+        })
+        .collect()
+}
+
+/// Dominant singular value of the incidence matrix `B` (equivalently,
+/// the spectral radius of the adjoin adjacency `[[0, Bᵀ],[B, 0]]` is
+/// ±σ₁), computed by alternating power iteration `x ← Bᵀ·(B·x)`.
+/// Returns `(sigma1, node_vector)` — the vector is the dominant right
+/// singular vector over hypernodes, normalized to unit 2-norm.
+///
+/// Converges when σ estimates change by < `tol` or after `max_iter`
+/// rounds; returns `(0.0, zeros)` for empty/edgeless hypergraphs.
+pub fn dominant_singular(h: &Hypergraph, tol: f64, max_iter: usize) -> (f64, Vec<f64>) {
+    let nv = h.num_hypernodes();
+    if nv == 0 || h.num_incidences() == 0 {
+        return (0.0, vec![0.0; nv]);
+    }
+    // deterministic non-degenerate start
+    let mut x: Vec<f64> = (0..nv).map(|i| 1.0 + (i % 7) as f64 * 0.1).collect();
+    let norm = |v: &[f64]| v.iter().map(|a| a * a).sum::<f64>().sqrt();
+    let n0 = norm(&x);
+    x.iter_mut().for_each(|a| *a /= n0);
+
+    let mut sigma = 0.0f64;
+    for _ in 0..max_iter.max(1) {
+        let y = edge_gather(h, &x); // y = Bᵀ? (edges gather) — y in edge space
+        let z = node_gather(h, &y); // z = B·y — back to node space
+        let zn = norm(&z);
+        if zn == 0.0 {
+            return (0.0, vec![0.0; nv]);
+        }
+        let new_sigma = zn.sqrt(); // z = BᵀB x ⇒ ‖z‖ ≈ σ² for unit x
+        x = z.into_iter().map(|a| a / zn).collect();
+        if (new_sigma - sigma).abs() < tol {
+            return (new_sigma, x);
+        }
+        sigma = new_sigma;
+    }
+    (sigma, x)
+}
+
+/// The hypergraph-degree identity `1ᵀ·B·1 = Σ d(v) = Σ |e|`: total
+/// incidence count computed three ways (diagnostic helper used by tests
+/// and the bench harness sanity checks).
+pub fn incidence_checksum(h: &Hypergraph) -> (f64, f64, usize) {
+    let by_edges = edge_gather(h, &vec![1.0; h.num_hypernodes()])
+        .iter()
+        .sum::<f64>();
+    let by_nodes = node_gather(h, &vec![1.0; h.num_hyperedges()])
+        .iter()
+        .sum::<f64>();
+    (by_edges, by_nodes, h.num_incidences())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::paper_hypergraph;
+
+    #[test]
+    fn edge_gather_with_ones_gives_edge_sizes() {
+        let h = paper_hypergraph();
+        let sizes = edge_gather(&h, &[1.0; 9]);
+        assert_eq!(sizes, vec![4.0, 4.0, 5.0, 5.0]);
+    }
+
+    #[test]
+    fn node_gather_with_ones_gives_node_degrees() {
+        let h = paper_hypergraph();
+        let degs = node_gather(&h, &[1.0; 4]);
+        let want: Vec<f64> = (0..9u32).map(|v| h.node_degree(v) as f64).collect();
+        assert_eq!(degs, want);
+    }
+
+    #[test]
+    fn checksum_three_ways_agree() {
+        let h = paper_hypergraph();
+        let (a, b, c) = incidence_checksum(&h);
+        assert_eq!(a, 18.0);
+        assert_eq!(b, 18.0);
+        assert_eq!(c, 18);
+    }
+
+    #[test]
+    fn gathers_respect_indicator_vectors() {
+        let h = paper_hypergraph();
+        // indicator of node 3 → count of hyperedges containing it per edge
+        let mut x = vec![0.0; 9];
+        x[3] = 1.0;
+        let y = edge_gather(&h, &x);
+        assert_eq!(y, vec![1.0, 1.0, 0.0, 1.0]); // node 3 ∈ e0, e1, e3
+    }
+
+    #[test]
+    fn diffusion_conserves_mass_on_isolated_free_hypergraph() {
+        let h = paper_hypergraph(); // every node is in some hyperedge
+        let n = h.num_hypernodes();
+        let x = vec![1.0 / n as f64; n];
+        let y = diffusion_step(&h, &x);
+        assert!((y.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(y.iter().all(|&m| m > 0.0));
+    }
+
+    #[test]
+    fn diffusion_keeps_isolated_mass_in_place() {
+        let bel = crate::biedgelist::BiEdgeList::from_incidences(1, 3, vec![(0, 0), (0, 1)]);
+        let h = crate::hypergraph::Hypergraph::from_biedgelist(&bel);
+        let x = vec![0.2, 0.3, 0.5];
+        let y = diffusion_step(&h, &x);
+        assert_eq!(y[2], 0.5, "isolated node keeps its mass");
+        assert!((y.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_incidences_scale_products() {
+        let bel = crate::biedgelist::BiEdgeList::from_weighted_incidences(
+            1,
+            2,
+            vec![(0, 0), (0, 1)],
+            vec![2.0, 3.0],
+        );
+        let h = crate::hypergraph::Hypergraph::from_biedgelist(&bel);
+        let y = edge_gather(&h, &[1.0, 1.0]);
+        assert_eq!(y, vec![5.0]);
+        let z = node_gather(&h, &[1.0]);
+        assert_eq!(z, vec![2.0, 3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "one entry per hypernode")]
+    fn wrong_length_rejected() {
+        let h = paper_hypergraph();
+        edge_gather(&h, &[1.0]);
+    }
+
+    #[test]
+    fn singular_value_of_single_edge_is_sqrt_size() {
+        // B is a 1-column matrix of k ones: σ₁ = √k
+        let h = crate::hypergraph::Hypergraph::from_memberships(&[vec![0, 1, 2, 3]]);
+        let (sigma, vecr) = dominant_singular(&h, 1e-12, 200);
+        assert!((sigma - 2.0).abs() < 1e-6, "{sigma}");
+        // singular vector is uniform over the 4 member nodes
+        for w in vecr.windows(2) {
+            assert!((w[0] - w[1]).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn singular_value_bounds() {
+        let h = paper_hypergraph();
+        let (sigma, vecr) = dominant_singular(&h, 1e-12, 500);
+        // σ₁² is bounded by max column sum × max row sum of BᵀB, and at
+        // least the largest column norm (√|e|max = √5)
+        assert!(sigma >= 5f64.sqrt() - 1e-9, "{sigma}");
+        assert!(sigma <= 18f64, "{sigma}");
+        // unit vector
+        let norm: f64 = vecr.iter().map(|a| a * a).sum::<f64>().sqrt();
+        assert!((norm - 1.0).abs() < 1e-9);
+        // residual check: ‖BᵀB x − σ² x‖ small
+        let bx = edge_gather(&h, &vecr);
+        let btbx = node_gather(&h, &bx);
+        let res: f64 = btbx
+            .iter()
+            .zip(&vecr)
+            .map(|(a, b)| (a - sigma * sigma * b).powi(2))
+            .sum::<f64>()
+            .sqrt();
+        assert!(res < 1e-4, "residual {res}");
+    }
+
+    #[test]
+    fn singular_value_empty_cases() {
+        let h = crate::hypergraph::Hypergraph::from_memberships(&[]);
+        assert_eq!(dominant_singular(&h, 1e-9, 10).0, 0.0);
+        let h = crate::hypergraph::Hypergraph::from_memberships(&[vec![], vec![]]);
+        assert_eq!(dominant_singular(&h, 1e-9, 10).0, 0.0);
+    }
+}

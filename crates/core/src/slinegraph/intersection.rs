@@ -1,0 +1,119 @@
+//! Heuristic set-intersection s-line construction (Liu et al., HiPC 2021).
+//!
+//! The three-nested-loop "indirection" pattern: for each hyperedge `e_i`,
+//! for each incident hypernode `v`, for each hyperedge `e_j ∋ v` with
+//! `j > i` — each *distinct* candidate `e_j` is then checked with a
+//! short-circuiting sorted intersection that stops as soon as `s` common
+//! members are found. Three heuristics cut the work:
+//!
+//! 1. skip hyperedges with fewer than `s` members (can never s-overlap);
+//! 2. visit each candidate pair once (`j > i` plus a per-worker visited
+//!    stamp array, so a pair sharing many hypernodes is intersected once);
+//! 3. short-circuit the intersection at `s`.
+
+use super::{canonicalize, HyperAdjacency};
+use crate::hypergraph::Hypergraph;
+use crate::Id;
+use nwgraph::algorithms::triangles::sorted_intersection_at_least;
+use nwhy_util::partition::{par_for_each_index_with, Strategy};
+
+/// Worker-local state: the output pairs and the candidate-dedup stamps.
+struct Local {
+    pairs: Vec<(Id, Id)>,
+    /// `stamp[j] == current_i + 1` ⇒ candidate `j` already intersected
+    /// for the hyperedge currently being expanded.
+    stamp: Vec<Id>,
+}
+
+/// Heuristic intersection construction; returns canonical pairs.
+pub fn intersection(h: &Hypergraph, s: usize, strategy: Strategy) -> Vec<(Id, Id)> {
+    let ne = h.num_hyperedges();
+    let locals = par_for_each_index_with(
+        ne,
+        strategy,
+        || Local {
+            pairs: Vec::new(),
+            stamp: vec![0; ne],
+        },
+        |local, i| {
+            let i = i as Id;
+            let nbrs_i = h.edge_neighbors(i);
+            if nbrs_i.len() < s {
+                return;
+            }
+            let mark = i + 1;
+            for &v in nbrs_i {
+                for &j in h.node_neighbors(v) {
+                    if j <= i || local.stamp[j as usize] == mark {
+                        continue;
+                    }
+                    local.stamp[j as usize] = mark;
+                    let nbrs_j = h.edge_neighbors(j);
+                    if nbrs_j.len() < s {
+                        continue;
+                    }
+                    if sorted_intersection_at_least(nbrs_i, nbrs_j, s) {
+                        local.pairs.push((i, j));
+                    }
+                }
+            }
+        },
+    );
+    canonicalize(locals.into_iter().flat_map(|l| l.pairs).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::{paper_hypergraph, paper_slinegraph_edges};
+    use crate::slinegraph::naive::naive;
+
+    #[test]
+    fn matches_fixture() {
+        let h = paper_hypergraph();
+        for s in 1..=4 {
+            assert_eq!(
+                intersection(&h, s, Strategy::AUTO),
+                paper_slinegraph_edges(s),
+                "s={s}"
+            );
+        }
+    }
+
+    #[test]
+    fn matches_naive_on_shared_node_hub() {
+        // hypernode 0 belongs to every hyperedge — max candidate fan-out
+        let h = Hypergraph::from_memberships(&[
+            vec![0, 1],
+            vec![0, 2],
+            vec![0, 3],
+            vec![0, 1, 2, 3],
+        ]);
+        for s in 1..=3 {
+            assert_eq!(
+                intersection(&h, s, Strategy::AUTO),
+                naive(&h, s, Strategy::AUTO),
+                "s={s}"
+            );
+        }
+    }
+
+    #[test]
+    fn stamp_dedup_does_not_drop_pairs_across_iterations() {
+        // consecutive hyperedges sharing different nodes: the stamp reset
+        // discipline (mark = i + 1) must not leak between outer iterations
+        let h = Hypergraph::from_memberships(&[
+            vec![0, 1, 2],
+            vec![1, 2, 3],
+            vec![2, 3, 4],
+            vec![3, 4, 0],
+        ]);
+        for s in 1..=2 {
+            assert_eq!(
+                intersection(&h, s, Strategy::Cyclic { num_bins: 2 }),
+                naive(&h, s, Strategy::AUTO),
+                "s={s}"
+            );
+        }
+    }
+}

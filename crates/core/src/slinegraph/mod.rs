@@ -1,0 +1,428 @@
+//! s-line graph construction (§III-B.4, §III-C.3).
+//!
+//! The s-line graph `L_s(H)` has the hyperedges of `H` as vertices and an
+//! edge `{e, f}` whenever `|e ∩ f| ≥ s`. Six construction algorithms are
+//! implemented, all producing identical canonical edge sets:
+//!
+//! | module | algorithm | paper source |
+//! |---|---|---|
+//! | [`naive`] | all-pairs set intersection | baseline |
+//! | [`intersection`] | heuristic candidate + short-circuit intersection | Liu et al., HiPC 2021 \[17\] |
+//! | [`hashmap`] | per-hyperedge overlap counting | Liu et al., IPDPS 2022 \[18\] |
+//! | [`ensemble`] | all requested `s` in one counting pass | \[18\] |
+//! | [`queue_single`] | **Algorithm 1**: work-queue + hashmap counting | this paper |
+//! | [`queue_two_phase`] | **Algorithm 2**: pair queue + set intersection | this paper |
+//! | [`pair_sort`] | pair enumeration + parallel sort | completeness (memory-heavy alternative) |
+//!
+//! The non-queue algorithms iterate hyperedge IDs `0..n_e` and therefore
+//! assume the two-index-set bi-adjacency; the queue-based ones take an
+//! explicit work queue of hyperedge IDs and run unchanged on *any*
+//! representation exposing the bipartite indirection — including the
+//! adjoin graph and relabeled ID spaces. That representation-independence
+//! is captured by the [`HyperAdjacency`] trait.
+
+pub mod ensemble;
+pub mod hashmap;
+pub mod intersection;
+pub mod naive;
+pub mod pair_sort;
+pub mod queue_single;
+pub mod queue_two_phase;
+pub mod weighted;
+
+use crate::adjoin::AdjoinGraph;
+use crate::hypergraph::Hypergraph;
+use crate::Id;
+use nwgraph::{Csr, EdgeList};
+use nwhy_util::partition::Strategy;
+
+/// The bipartite indirection every s-line construction needs: hyperedge →
+/// incident hypernodes → incident hyperedges. Implemented by both the
+/// bi-adjacency [`Hypergraph`] (two index sets) and the [`AdjoinGraph`]
+/// (one shared index set), which is exactly the versatility the paper's
+/// queue-based algorithms are designed for.
+pub trait HyperAdjacency: Sync {
+    /// Number of hyperedges.
+    fn num_hyperedges(&self) -> usize;
+    /// Hypernodes incident to hyperedge `e`, sorted. The hypernode ID
+    /// space is representation-defined (shifted for adjoin graphs) but
+    /// consistent between the two methods.
+    fn edge_neighbors(&self, e: Id) -> &[Id];
+    /// Hyperedges incident to hypernode `v` (in the same hypernode ID
+    /// space as [`HyperAdjacency::edge_neighbors`]), sorted.
+    fn node_neighbors(&self, v: Id) -> &[Id];
+
+    /// Size of hyperedge `e`.
+    #[inline]
+    fn edge_degree(&self, e: Id) -> usize {
+        self.edge_neighbors(e).len()
+    }
+}
+
+impl HyperAdjacency for Hypergraph {
+    #[inline]
+    fn num_hyperedges(&self) -> usize {
+        Hypergraph::num_hyperedges(self)
+    }
+    #[inline]
+    fn edge_neighbors(&self, e: Id) -> &[Id] {
+        self.edge_members(e)
+    }
+    #[inline]
+    fn node_neighbors(&self, v: Id) -> &[Id] {
+        self.node_memberships(v)
+    }
+}
+
+impl HyperAdjacency for AdjoinGraph {
+    #[inline]
+    fn num_hyperedges(&self) -> usize {
+        AdjoinGraph::num_hyperedges(self)
+    }
+    #[inline]
+    fn edge_neighbors(&self, e: Id) -> &[Id] {
+        self.graph().neighbors(e)
+    }
+    #[inline]
+    fn node_neighbors(&self, v: Id) -> &[Id] {
+        self.graph().neighbors(v)
+    }
+}
+
+/// Which construction algorithm to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Algorithm {
+    /// All-pairs intersection (quadratic baseline).
+    Naive,
+    /// Heuristic set-intersection (HiPC 2021).
+    Intersection,
+    /// Hashmap overlap counting (IPDPS 2022).
+    Hashmap,
+    /// Paper Algorithm 1: single-phase queue + hashmap.
+    QueueHashmap,
+    /// Paper Algorithm 2: two-phase queue + set intersection.
+    QueueIntersection,
+    /// Pair-enumeration + parallel sort (memory-heavy alternative).
+    PairSort,
+}
+
+impl Algorithm {
+    /// All algorithm variants, for sweeps.
+    pub const ALL: [Algorithm; 6] = [
+        Algorithm::Naive,
+        Algorithm::Intersection,
+        Algorithm::Hashmap,
+        Algorithm::QueueHashmap,
+        Algorithm::QueueIntersection,
+        Algorithm::PairSort,
+    ];
+
+    /// Short display name used in benchmark tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Algorithm::Naive => "naive",
+            Algorithm::Intersection => "intersection",
+            Algorithm::Hashmap => "hashmap",
+            Algorithm::QueueHashmap => "queue-hashmap(alg1)",
+            Algorithm::QueueIntersection => "queue-intersection(alg2)",
+            Algorithm::PairSort => "pair-sort",
+        }
+    }
+}
+
+/// Degree-based ID relabeling applied before construction (§III-D / Fig. 9
+/// sweep "blocked/cyclic × relabel asc/desc").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Relabel {
+    /// Keep original IDs.
+    #[default]
+    None,
+    /// Low-degree hyperedges first.
+    Ascending,
+    /// High-degree hyperedges first.
+    Descending,
+}
+
+/// Construction tuning knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct BuildOptions {
+    /// Work-partitioning strategy for the parallel loops.
+    pub strategy: Strategy,
+    /// Degree relabeling of hyperedge IDs.
+    pub relabel: Relabel,
+}
+
+impl Default for BuildOptions {
+    fn default() -> Self {
+        Self {
+            strategy: Strategy::AUTO,
+            relabel: Relabel::None,
+        }
+    }
+}
+
+/// Canonicalizes an undirected pair list: orders each pair `(min, max)`,
+/// sorts, and deduplicates. All algorithms funnel through this so their
+/// outputs are directly comparable.
+pub fn canonicalize(mut pairs: Vec<(Id, Id)>) -> Vec<(Id, Id)> {
+    for p in pairs.iter_mut() {
+        if p.0 > p.1 {
+            *p = (p.1, p.0);
+        }
+    }
+    pairs.sort_unstable();
+    pairs.dedup();
+    pairs
+}
+
+/// Computes the canonical s-line edge set of `h` with the chosen
+/// algorithm. Results are in *original* hyperedge IDs even when
+/// `opts.relabel` permutes the working IDs internally.
+///
+/// # Examples
+///
+/// ```
+/// use nwhy_core::{slinegraph_edges, Algorithm, BuildOptions, Hypergraph};
+///
+/// let h = Hypergraph::from_memberships(&[
+///     vec![0, 1, 2],
+///     vec![1, 2, 3],  // shares {1,2} with e0
+///     vec![3, 4],     // shares {3} with e1
+/// ]);
+/// let opts = BuildOptions::default();
+/// assert_eq!(
+///     slinegraph_edges(&h, 1, Algorithm::Hashmap, &opts),
+///     vec![(0, 1), (1, 2)]
+/// );
+/// // s = 2 keeps only the strong overlap
+/// assert_eq!(
+///     slinegraph_edges(&h, 2, Algorithm::QueueHashmap, &opts),
+///     vec![(0, 1)]
+/// );
+/// ```
+///
+/// # Panics
+/// Panics if `s == 0`.
+pub fn slinegraph_edges(
+    h: &Hypergraph,
+    s: usize,
+    algo: Algorithm,
+    opts: &BuildOptions,
+) -> Vec<(Id, Id)> {
+    assert!(s >= 1, "s must be at least 1");
+    match opts.relabel {
+        Relabel::None => dispatch(h, s, algo, opts.strategy),
+        dir => {
+            // Relabel hyperedges by degree, construct on permuted IDs,
+            // then map the result pairs back to original IDs.
+            let degrees: Vec<usize> =
+                (0..h.num_hyperedges() as Id).map(|e| h.edge_degree(e)).collect();
+            let nw_dir = match dir {
+                Relabel::Ascending => nwgraph::Direction::Ascending,
+                Relabel::Descending => nwgraph::Direction::Descending,
+                Relabel::None => unreachable!(),
+            };
+            let perm = nwgraph::degree_permutation(&degrees, nw_dir);
+            let memberships: Vec<Vec<Id>> = perm
+                .iter()
+                .map(|&old| h.edge_members(old).to_vec())
+                .collect();
+            let bel = crate::biedgelist::BiEdgeList::from_incidences(
+                h.num_hyperedges(),
+                h.num_hypernodes(),
+                memberships
+                    .iter()
+                    .enumerate()
+                    .flat_map(|(e, vs)| vs.iter().map(move |&v| (e as Id, v)))
+                    .collect(),
+            );
+            let hp = Hypergraph::from_biedgelist(&bel);
+            let pairs = dispatch(&hp, s, algo, opts.strategy);
+            canonicalize(
+                pairs
+                    .into_iter()
+                    .map(|(a, b)| (perm[a as usize], perm[b as usize]))
+                    .collect(),
+            )
+        }
+    }
+}
+
+fn dispatch(h: &Hypergraph, s: usize, algo: Algorithm, strategy: Strategy) -> Vec<(Id, Id)> {
+    match algo {
+        Algorithm::Naive => naive::naive(h, s, strategy),
+        Algorithm::Intersection => intersection::intersection(h, s, strategy),
+        Algorithm::Hashmap => hashmap::hashmap(h, s, strategy),
+        Algorithm::QueueHashmap => {
+            let queue: Vec<Id> = (0..h.num_hyperedges() as Id).collect();
+            queue_single::queue_hashmap(h, &queue, s, strategy)
+        }
+        Algorithm::QueueIntersection => {
+            let queue: Vec<Id> = (0..h.num_hyperedges() as Id).collect();
+            queue_two_phase::queue_intersection(h, &queue, s, strategy)
+        }
+        Algorithm::PairSort => pair_sort::pair_sort(h, s),
+    }
+}
+
+/// Builds the s-line graph as a symmetric [`Csr`] over hyperedge IDs —
+/// ready for the plain-graph algorithms (`Listing 2`'s
+/// `adjacency<0> slinegraph(slinegraph_els)`).
+pub fn slinegraph_csr(h: &Hypergraph, s: usize, algo: Algorithm, opts: &BuildOptions) -> Csr {
+    let pairs = slinegraph_edges(h, s, algo, opts);
+    let mut el = EdgeList::from_edges(h.num_hyperedges(), pairs);
+    el.symmetrize();
+    Csr::from_edge_list(&el)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use super::Strategy; // disambiguate from proptest's Strategy trait
+    use crate::fixtures::{paper_hypergraph, paper_slinegraph_edges};
+    use proptest::prelude::*;
+    use proptest::strategy::Strategy as _;
+
+    #[test]
+    fn canonicalize_orders_and_dedups() {
+        let pairs = vec![(3, 1), (1, 3), (0, 2), (2, 0), (1, 3)];
+        assert_eq!(canonicalize(pairs), vec![(0, 2), (1, 3)]);
+    }
+
+    #[test]
+    fn all_algorithms_match_fixture_expectations() {
+        let h = paper_hypergraph();
+        for s in 1..=4 {
+            let want = paper_slinegraph_edges(s);
+            for algo in Algorithm::ALL {
+                let got = slinegraph_edges(&h, s, algo, &BuildOptions::default());
+                assert_eq!(got, want, "{} at s={s}", algo.name());
+            }
+        }
+    }
+
+    #[test]
+    fn relabel_variants_produce_identical_results() {
+        let h = paper_hypergraph();
+        for s in 1..=3 {
+            let want = paper_slinegraph_edges(s);
+            for relabel in [Relabel::Ascending, Relabel::Descending] {
+                for algo in Algorithm::ALL {
+                    let opts = BuildOptions {
+                        relabel,
+                        ..Default::default()
+                    };
+                    let got = slinegraph_edges(&h, s, algo, &opts);
+                    assert_eq!(got, want, "{} s={s} {relabel:?}", algo.name());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn strategies_produce_identical_results() {
+        let h = paper_hypergraph();
+        for strategy in [
+            Strategy::AUTO,
+            Strategy::Blocked { num_bins: 2 },
+            Strategy::Cyclic { num_bins: 3 },
+        ] {
+            for algo in Algorithm::ALL {
+                let opts = BuildOptions {
+                    strategy,
+                    ..Default::default()
+                };
+                assert_eq!(
+                    slinegraph_edges(&h, 2, algo, &opts),
+                    paper_slinegraph_edges(2),
+                    "{} {strategy:?}",
+                    algo.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn s_zero_rejected() {
+        let h = paper_hypergraph();
+        slinegraph_edges(&h, 0, Algorithm::Hashmap, &BuildOptions::default());
+    }
+
+    #[test]
+    fn slinegraph_csr_is_symmetric() {
+        let h = paper_hypergraph();
+        let g = slinegraph_csr(&h, 2, Algorithm::Hashmap, &BuildOptions::default());
+        assert!(g.is_symmetric());
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.num_edges(), 2 * paper_slinegraph_edges(2).len());
+    }
+
+    #[test]
+    fn s_larger_than_any_overlap_gives_empty() {
+        let h = paper_hypergraph();
+        for algo in Algorithm::ALL {
+            assert!(slinegraph_edges(&h, 10, algo, &BuildOptions::default()).is_empty());
+        }
+    }
+
+    #[test]
+    fn empty_hypergraph_all_algorithms() {
+        let h = Hypergraph::from_memberships(&[]);
+        for algo in Algorithm::ALL {
+            assert!(slinegraph_edges(&h, 1, algo, &BuildOptions::default()).is_empty());
+        }
+    }
+
+    /// Random hypergraph strategy for cross-validation properties.
+    fn arb_memberships() -> impl proptest::strategy::Strategy<Value = Vec<Vec<Id>>> {
+        proptest::collection::vec(
+            proptest::collection::btree_set(0u32..20, 0..8),
+            0..12,
+        )
+        .prop_map(|sets| sets.into_iter().map(|s| s.into_iter().collect()).collect())
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(40))]
+        #[test]
+        fn prop_all_algorithms_agree(ms in arb_memberships(), s in 1usize..5) {
+            let h = Hypergraph::from_memberships(&ms);
+            let reference = slinegraph_edges(&h, s, Algorithm::Naive, &BuildOptions::default());
+            for algo in [Algorithm::Intersection, Algorithm::Hashmap,
+                         Algorithm::QueueHashmap, Algorithm::QueueIntersection] {
+                let got = slinegraph_edges(&h, s, algo, &BuildOptions::default());
+                prop_assert_eq!(&got, &reference, "{}", algo.name());
+            }
+        }
+
+        #[test]
+        fn prop_monotone_in_s(ms in arb_memberships()) {
+            let h = Hypergraph::from_memberships(&ms);
+            let mut prev = slinegraph_edges(&h, 1, Algorithm::Hashmap, &BuildOptions::default());
+            for s in 2..6 {
+                let cur = slinegraph_edges(&h, s, Algorithm::Hashmap, &BuildOptions::default());
+                for e in &cur {
+                    prop_assert!(prev.contains(e), "E_{} ⊄ E_{}", s, s - 1);
+                }
+                prev = cur;
+            }
+        }
+
+        #[test]
+        fn prop_slinegraph_definition(ms in arb_memberships(), s in 1usize..4) {
+            // got edge {i,j} iff |members(i) ∩ members(j)| >= s
+            let h = Hypergraph::from_memberships(&ms);
+            let got = slinegraph_edges(&h, s, Algorithm::Hashmap, &BuildOptions::default());
+            let ne = h.num_hyperedges() as u32;
+            for i in 0..ne {
+                for j in (i + 1)..ne {
+                    let mi = h.edge_members(i);
+                    let overlap = h.edge_members(j).iter().filter(|v| mi.contains(v)).count();
+                    prop_assert_eq!(got.contains(&(i, j)), overlap >= s,
+                        "pair ({},{}) overlap {}", i, j, overlap);
+                }
+            }
+        }
+    }
+}

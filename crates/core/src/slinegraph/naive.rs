@@ -1,0 +1,73 @@
+//! Naive all-pairs s-line construction.
+//!
+//! Considers every hyperedge pair `(i, j)`, `i < j`, and tests
+//! `|e_i ∩ e_j| ≥ s` by sorted-slice intersection. Quadratic in the number
+//! of hyperedges; it exists as the obviously-correct oracle the other five
+//! algorithms are validated against, and as the baseline the paper's §III-C.3
+//! lists first.
+
+use super::{canonicalize, HyperAdjacency};
+use crate::hypergraph::Hypergraph;
+use crate::Id;
+use nwgraph::algorithms::triangles::sorted_intersection_at_least;
+use nwhy_util::partition::{par_for_each_index_with, Strategy};
+
+/// All-pairs construction; returns canonical pairs.
+pub fn naive(h: &Hypergraph, s: usize, strategy: Strategy) -> Vec<(Id, Id)> {
+    let ne = h.num_hyperedges();
+    let locals = par_for_each_index_with(
+        ne,
+        strategy,
+        Vec::new,
+        |acc: &mut Vec<(Id, Id)>, i| {
+            let i = i as Id;
+            let nbrs_i = h.edge_neighbors(i);
+            if nbrs_i.len() < s {
+                return;
+            }
+            for j in (i + 1)..ne as Id {
+                let nbrs_j = h.edge_neighbors(j);
+                if nbrs_j.len() < s {
+                    continue;
+                }
+                if sorted_intersection_at_least(nbrs_i, nbrs_j, s) {
+                    acc.push((i, j));
+                }
+            }
+        },
+    );
+    canonicalize(locals.into_iter().flatten().collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::{paper_hypergraph, paper_slinegraph_edges};
+
+    #[test]
+    fn matches_fixture() {
+        let h = paper_hypergraph();
+        for s in 1..=4 {
+            assert_eq!(
+                naive(&h, s, Strategy::AUTO),
+                paper_slinegraph_edges(s),
+                "s={s}"
+            );
+        }
+    }
+
+    #[test]
+    fn degree_filter_skips_small_edges() {
+        // e1 has only 1 member; with s=2 it can never appear
+        let h = Hypergraph::from_memberships(&[vec![0, 1, 2], vec![1], vec![1, 2]]);
+        let got = naive(&h, 2, Strategy::AUTO);
+        assert_eq!(got, vec![(0, 2)]);
+    }
+
+    #[test]
+    fn duplicate_member_edges_connect_at_full_size() {
+        let h = Hypergraph::from_memberships(&[vec![0, 1], vec![0, 1]]);
+        assert_eq!(naive(&h, 2, Strategy::AUTO), vec![(0, 1)]);
+        assert!(naive(&h, 3, Strategy::AUTO).is_empty());
+    }
+}

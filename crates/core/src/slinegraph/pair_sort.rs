@@ -1,0 +1,120 @@
+//! Pair-enumeration + sort s-line construction.
+//!
+//! A seventh construction strategy, included for completeness of the
+//! design space the paper's algorithms sit in: instead of counting
+//! overlaps per source hyperedge (hashmap) or intersecting candidate
+//! pairs (intersection), enumerate — for every hypernode — all hyperedge
+//! pairs incident on it (`Σ_v C(d(v), 2)` pairs), then sort the pair
+//! list and measure run lengths: a pair appearing `c` times has overlap
+//! exactly `c`.
+//!
+//! Trades the hashmap's random access for a parallel sort's sequential
+//! bandwidth; memory is proportional to the *pre-threshold* pair count,
+//! which is exactly the quantity the paper's §III-B.3 blow-up discussion
+//! warns about — the tests and bench make that trade-off observable.
+
+use super::{canonicalize, HyperAdjacency};
+use crate::hypergraph::Hypergraph;
+use crate::Id;
+use rayon::prelude::*;
+
+/// Pair-sort construction; returns canonical pairs.
+pub fn pair_sort(h: &Hypergraph, s: usize) -> Vec<(Id, Id)> {
+    assert!(s >= 1, "s must be at least 1");
+    let nv = h.num_hypernodes();
+    // 1. Enumerate co-incident hyperedge pairs per hypernode.
+    let mut pairs: Vec<(Id, Id)> = (0..nv as Id)
+        .into_par_iter()
+        .fold(Vec::new, |mut acc, v| {
+            let edges = h.node_neighbors(v);
+            for (i, &a) in edges.iter().enumerate() {
+                for &b in &edges[i + 1..] {
+                    // node lists are sorted, so a < b
+                    acc.push((a, b));
+                }
+            }
+            acc
+        })
+        .reduce(Vec::new, |mut a, mut b| {
+            a.append(&mut b);
+            a
+        });
+
+    // 2. Sort and scan runs: run length = overlap size.
+    pairs.par_sort_unstable();
+    let mut out: Vec<(Id, Id)> = Vec::new();
+    let mut i = 0;
+    while i < pairs.len() {
+        let mut j = i + 1;
+        while j < pairs.len() && pairs[j] == pairs[i] {
+            j += 1;
+        }
+        if j - i >= s {
+            out.push(pairs[i]);
+        }
+        i = j;
+    }
+    canonicalize(out)
+}
+
+/// The number of pairs the enumeration phase materializes:
+/// `Σ_v C(d(v), 2)`. This is the memory cost that distinguishes this
+/// algorithm from the streaming hashmap approach.
+pub fn pair_sort_work(h: &Hypergraph) -> usize {
+    (0..h.num_hypernodes() as Id)
+        .into_par_iter()
+        .map(|v| {
+            let d = h.node_degree(v);
+            d * d.saturating_sub(1) / 2
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::{paper_hypergraph, paper_slinegraph_edges};
+    use crate::slinegraph::naive::naive;
+    use nwhy_util::partition::Strategy;
+
+    #[test]
+    fn matches_fixture() {
+        let h = paper_hypergraph();
+        for s in 1..=4 {
+            assert_eq!(pair_sort(&h, s), paper_slinegraph_edges(s), "s={s}");
+        }
+    }
+
+    #[test]
+    fn matches_naive_on_hub_structure() {
+        let h = Hypergraph::from_memberships(&[
+            vec![0, 1],
+            vec![0, 2],
+            vec![0, 1, 2],
+            vec![1, 2],
+        ]);
+        for s in 1..=3 {
+            assert_eq!(
+                pair_sort(&h, s),
+                naive(&h, s, Strategy::AUTO),
+                "s={s}"
+            );
+        }
+    }
+
+    #[test]
+    fn work_counts_pairs() {
+        let h = paper_hypergraph();
+        // node degrees: 2,1,2,3,2,3,2,1,2 → C(2,2)*5 + C(3,2)*2 = 5 + 6
+        assert_eq!(pair_sort_work(&h), 11);
+    }
+
+    #[test]
+    fn empty_and_degenerate() {
+        let h = Hypergraph::from_memberships(&[]);
+        assert!(pair_sort(&h, 1).is_empty());
+        let h = Hypergraph::from_memberships(&[vec![0], vec![1]]);
+        assert!(pair_sort(&h, 1).is_empty());
+        assert_eq!(pair_sort_work(&h), 0);
+    }
+}

@@ -1,0 +1,504 @@
+//! s-metrics on s-line graphs — the approximate-analytics surface of NWHy
+//! (§III-B.4 and the Python API of Listing 5).
+//!
+//! An [`SLineGraph`] is the queryable object `hg.s_linegraph(s)` returns
+//! in the paper's Python session: a plain symmetric graph over hyperedge
+//! IDs on which every s-* query is an ordinary graph computation delegated
+//! to `nwgraph`. Metric names and semantics follow Aksoy et al.'s s-walk
+//! framework as exposed by HyperNetX/NWHy.
+
+use crate::hypergraph::Hypergraph;
+use crate::slinegraph::{slinegraph_csr, Algorithm, BuildOptions};
+use crate::Id;
+use nwgraph::algorithms::bfs::bfs_direction_optimizing;
+use nwgraph::algorithms::cc::{afforest, normalize_labels};
+use nwgraph::algorithms::closeness::{
+    closeness_centrality, eccentricity, harmonic_closeness_centrality,
+};
+use nwgraph::algorithms::sssp::path_from_parents;
+use nwgraph::algorithms::betweenness::betweenness_centrality;
+use nwgraph::Csr;
+use nwgraph::INVALID_VERTEX;
+
+/// An s-line graph of a hypergraph, with the s-metric query API.
+///
+/// # Examples
+///
+/// ```
+/// use nwhy_core::{Hypergraph, SLineGraph};
+///
+/// let h = Hypergraph::from_memberships(&[
+///     vec![0, 1, 2],
+///     vec![1, 2, 3],
+///     vec![2, 3, 4],
+/// ]);
+/// let lg = SLineGraph::new(&h, 2);
+/// assert!(lg.is_s_connected());
+/// assert_eq!(lg.s_neighbors(1), &[0, 2]);
+/// assert_eq!(lg.s_distance(0, 2), Some(2));
+/// assert_eq!(lg.s_path(0, 2), Some(vec![0, 1, 2]));
+/// ```
+#[derive(Debug, Clone)]
+pub struct SLineGraph {
+    s: usize,
+    graph: Csr,
+}
+
+impl SLineGraph {
+    /// Constructs the s-line graph of `h` (hashmap algorithm, default
+    /// options). Equivalent to Listing 5's `hg.s_linegraph(s=s)`.
+    pub fn new(h: &Hypergraph, s: usize) -> Self {
+        Self::with_algorithm(h, s, Algorithm::Hashmap, &BuildOptions::default())
+    }
+
+    /// Constructs with an explicit algorithm and options.
+    pub fn with_algorithm(
+        h: &Hypergraph,
+        s: usize,
+        algo: Algorithm,
+        opts: &BuildOptions,
+    ) -> Self {
+        Self {
+            s,
+            graph: slinegraph_csr(h, s, algo, opts),
+        }
+    }
+
+    /// Wraps an already-built symmetric line-graph CSR.
+    pub fn from_csr(s: usize, graph: Csr) -> Self {
+        Self { s, graph }
+    }
+
+    /// The `s` this line graph was built for.
+    #[inline]
+    pub fn s(&self) -> usize {
+        self.s
+    }
+
+    /// The underlying symmetric graph over hyperedge IDs.
+    #[inline]
+    pub fn graph(&self) -> &Csr {
+        &self.graph
+    }
+
+    /// Number of vertices (= hyperedges of the source hypergraph).
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.graph.num_vertices()
+    }
+
+    /// s-degree of hyperedge `e`: how many hyperedges s-overlap it
+    /// (Listing 5 `s_degree`).
+    pub fn s_degree(&self, e: Id) -> usize {
+        self.graph.degree(e)
+    }
+
+    /// The hyperedges s-adjacent to `e` (Listing 5 `s_neighbors`).
+    pub fn s_neighbors(&self, e: Id) -> &[Id] {
+        self.graph.neighbors(e)
+    }
+
+    /// s-connected-component labels over hyperedges, canonicalized to the
+    /// smallest member ID (Listing 5 `s_connected_components`).
+    pub fn s_connected_components(&self) -> Vec<Id> {
+        normalize_labels(&afforest(&self.graph))
+    }
+
+    /// `true` if every hyperedge is in one s-component (Listing 5
+    /// `is_s_connected`). Vacuously true for ≤ 1 hyperedges.
+    pub fn is_s_connected(&self) -> bool {
+        let labels = self.s_connected_components();
+        labels.windows(2).all(|w| w[0] == w[1])
+    }
+
+    /// s-distance (s-walk length) between hyperedges, `None` if not
+    /// s-connected (Listing 5 `s_distance`).
+    pub fn s_distance(&self, src: Id, dest: Id) -> Option<u32> {
+        let levels = bfs_direction_optimizing(&self.graph, src).levels;
+        let d = levels[dest as usize];
+        (d != INVALID_VERTEX).then_some(d)
+    }
+
+    /// One shortest s-walk between hyperedges (Listing 5 `s_path`).
+    pub fn s_path(&self, src: Id, dest: Id) -> Option<Vec<Id>> {
+        let parents = bfs_direction_optimizing(&self.graph, src).parents;
+        path_from_parents(&parents, src, dest)
+    }
+
+    /// s-betweenness centrality of every hyperedge (Listing 5
+    /// `s_betweenness_centrality`).
+    pub fn s_betweenness_centrality(&self, normalized: bool) -> Vec<f64> {
+        betweenness_centrality(&self.graph, normalized)
+    }
+
+    /// Approximate s-betweenness from `samples` Brandes sources
+    /// (Brandes–Pich sampling) — the practical choice when the s-line
+    /// graph is large. Deterministic per seed; exact when
+    /// `samples ≥ |E|`.
+    pub fn s_betweenness_centrality_approx(
+        &self,
+        samples: usize,
+        seed: u64,
+        normalized: bool,
+    ) -> Vec<f64> {
+        nwgraph::algorithms::betweenness::betweenness_sampled(
+            &self.graph,
+            samples,
+            seed,
+            normalized,
+        )
+    }
+
+    /// s-closeness centrality; pass `Some(e)` for one hyperedge or `None`
+    /// for all (Listing 5 `s_closeness_centrality(v=None)`).
+    pub fn s_closeness_centrality(&self, v: Option<Id>) -> Vec<f64> {
+        let all = closeness_centrality(&self.graph);
+        match v {
+            Some(e) => vec![all[e as usize]],
+            None => all,
+        }
+    }
+
+    /// s-harmonic-closeness centrality (Listing 5
+    /// `s_harmonic_closeness_centrality`).
+    pub fn s_harmonic_closeness_centrality(&self, v: Option<Id>) -> Vec<f64> {
+        let all = harmonic_closeness_centrality(&self.graph);
+        match v {
+            Some(e) => vec![all[e as usize]],
+            None => all,
+        }
+    }
+
+    /// s-eccentricity (Listing 5 `s_eccentricity`): greatest finite
+    /// s-distance from each hyperedge within its s-component.
+    pub fn s_eccentricity(&self, v: Option<Id>) -> Vec<u32> {
+        let all = eccentricity(&self.graph);
+        match v {
+            Some(e) => vec![all[e as usize]],
+            None => all,
+        }
+    }
+
+    /// The s-diameter: max finite s-eccentricity.
+    pub fn s_diameter(&self) -> u32 {
+        self.s_eccentricity(None).into_iter().max().unwrap_or(0)
+    }
+
+    /// PageRank over the s-line graph — a hyperedge-importance score
+    /// under s-walks (framework extension; MESH/HyperX expose PageRank
+    /// per §V).
+    pub fn s_pagerank(&self, damping: f64) -> Vec<f64> {
+        let (scores, _) = nwgraph::algorithms::pagerank::pagerank(
+            &self.graph,
+            nwgraph::algorithms::pagerank::PageRankOptions {
+                damping,
+                ..Default::default()
+            },
+        );
+        scores
+    }
+
+    /// Core numbers of the s-line graph (s-core decomposition; k-core is
+    /// in the §V framework algorithm suites).
+    pub fn s_kcore(&self) -> Vec<u32> {
+        nwgraph::algorithms::kcore::kcore_decomposition(&self.graph)
+    }
+
+    /// Triangle count of the s-line graph: triples of mutually
+    /// s-overlapping hyperedges.
+    pub fn s_triangles(&self) -> u64 {
+        nwgraph::algorithms::triangles::triangle_count(&self.graph)
+    }
+
+    /// A maximal set of pairwise *non*-s-overlapping hyperedges
+    /// (independent set on the s-line graph); deterministic per seed.
+    pub fn s_independent_set(&self, seed: u64) -> Vec<bool> {
+        nwgraph::algorithms::mis::maximal_independent_set(&self.graph, seed)
+    }
+
+    /// An s-walk (Aksoy et al.: "an s-walk is a random walk on the s-line
+    /// graph"): a uniform random walk of at most `steps` hops starting at
+    /// hyperedge `start`. The walk stops early at an s-isolated
+    /// hyperedge. Deterministic for a given seed; returns the visited
+    /// sequence including `start`.
+    pub fn s_random_walk(&self, start: Id, steps: usize, seed: u64) -> Vec<Id> {
+        let mut state = seed ^ 0x9E37_79B9_7F4A_7C15;
+        let mut next_u64 = move || {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        let mut walk = Vec::with_capacity(steps + 1);
+        let mut cur = start;
+        walk.push(cur);
+        for _ in 0..steps {
+            let nbrs = self.graph.neighbors(cur);
+            if nbrs.is_empty() {
+                break;
+            }
+            let pick = ((next_u64() as u128 * nbrs.len() as u128) >> 64) as usize;
+            cur = nbrs[pick];
+            walk.push(cur);
+        }
+        walk
+    }
+}
+
+/// An s-line graph whose edges carry the exact overlap size `|e ∩ f|`
+/// (Fig. 5 draws these as line widths). Distances treat an overlap-`o`
+/// edge as length `1/o`, so weighted s-walks prefer strong connections.
+#[derive(Debug, Clone)]
+pub struct WeightedSLineGraph {
+    s: usize,
+    /// Symmetric CSR with weights `1/overlap`.
+    graph: Csr,
+    /// Canonical `(e, f, overlap)` triples, `e < f`.
+    triples: Vec<(Id, Id, u32)>,
+}
+
+impl WeightedSLineGraph {
+    /// Builds the weighted s-line graph of `h`.
+    pub fn new(h: &Hypergraph, s: usize) -> Self {
+        use crate::slinegraph::weighted::{slinegraph_weighted_csr, slinegraph_weighted_edges};
+        use nwhy_util::partition::Strategy;
+        Self {
+            s,
+            graph: slinegraph_weighted_csr(h, s, Strategy::AUTO),
+            triples: slinegraph_weighted_edges(h, s, Strategy::AUTO),
+        }
+    }
+
+    /// The `s` this line graph was built for.
+    pub fn s(&self) -> usize {
+        self.s
+    }
+
+    /// The weighted symmetric CSR (weights `1/overlap`).
+    pub fn graph(&self) -> &Csr {
+        &self.graph
+    }
+
+    /// The canonical `(e, f, overlap)` triples.
+    pub fn triples(&self) -> &[(Id, Id, u32)] {
+        &self.triples
+    }
+
+    /// Exact overlap of two hyperedges, if they s-overlap.
+    pub fn s_overlap(&self, e: Id, f: Id) -> Option<u32> {
+        let key = if e < f { (e, f) } else { (f, e) };
+        self.triples
+            .binary_search_by_key(&key, |&(a, b, _)| (a, b))
+            .ok()
+            .map(|i| self.triples[i].2)
+    }
+
+    /// Weighted s-distance: least total `Σ 1/overlap` over s-walks
+    /// between `src` and `dest` (`None` if not s-connected).
+    pub fn s_distance_weighted(&self, src: Id, dest: Id) -> Option<f64> {
+        let d = nwgraph::algorithms::sssp::delta_stepping(&self.graph, src, None);
+        let dist = d[dest as usize];
+        dist.is_finite().then_some(dist)
+    }
+
+    /// Strength-weighted s-degree of `e`: `Σ overlap(e, f)` over its
+    /// s-neighbors.
+    pub fn s_strength(&self, e: Id) -> u64 {
+        self.triples
+            .iter()
+            .filter(|&&(a, b, _)| a == e || b == e)
+            .map(|&(_, _, o)| o as u64)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::paper_hypergraph;
+
+    // Fixture line graphs (see fixtures.rs):
+    //   s=1: {01, 03, 12, 13, 23}   s=2: {03, 12, 13, 23}   s=3: {03, 12}
+    // overlaps: 01→1, 03→3, 12→3, 13→2, 23→2
+
+    #[test]
+    fn extended_metrics_run_consistently() {
+        let h = paper_hypergraph();
+        let lg = SLineGraph::new(&h, 1);
+        let pr = lg.s_pagerank(0.85);
+        assert_eq!(pr.len(), 4);
+        assert!((pr.iter().sum::<f64>() - 1.0).abs() < 1e-6);
+        // vertex 3 (degree 3) should outrank vertex 0 (degree 2)
+        assert!(pr[3] > pr[0]);
+        let core = lg.s_kcore();
+        assert_eq!(core.len(), 4);
+        assert!(core.iter().all(|&k| k >= 1));
+        // triangles in {01,03,12,13,23}: (0,1,3) and (1,2,3)
+        assert_eq!(lg.s_triangles(), 2);
+        let mis = lg.s_independent_set(7);
+        nwgraph::algorithms::mis::validate_mis(lg.graph(), &mis).unwrap();
+    }
+
+    #[test]
+    fn weighted_linegraph_overlaps() {
+        let h = paper_hypergraph();
+        let w = WeightedSLineGraph::new(&h, 1);
+        assert_eq!(w.s(), 1);
+        assert_eq!(w.s_overlap(0, 3), Some(3));
+        assert_eq!(w.s_overlap(3, 0), Some(3)); // order-insensitive
+        assert_eq!(w.s_overlap(0, 1), Some(1));
+        assert_eq!(w.s_overlap(0, 2), None);
+        assert_eq!(w.triples().len(), 5);
+    }
+
+    #[test]
+    fn weighted_distance_prefers_strong_overlaps() {
+        let h = paper_hypergraph();
+        let w = WeightedSLineGraph::new(&h, 1);
+        // 0→1 direct: 1/1 = 1.0; via 3: 1/3 + 1/2 ≈ 0.833 — the strong
+        // path through 3 is shorter despite more hops
+        let d = w.s_distance_weighted(0, 1).unwrap();
+        assert!((d - (1.0 / 3.0 + 1.0 / 2.0)).abs() < 1e-9, "{d}");
+        // unreachable at high s
+        let w4 = WeightedSLineGraph::new(&h, 4);
+        assert_eq!(w4.s_distance_weighted(0, 1), None);
+    }
+
+    #[test]
+    fn strength_sums_overlaps() {
+        let h = paper_hypergraph();
+        let w = WeightedSLineGraph::new(&h, 1);
+        // edge 3 overlaps: 03→3, 13→2, 23→2
+        assert_eq!(w.s_strength(3), 7);
+        assert_eq!(w.s_strength(0), 4); // 01→1, 03→3
+    }
+
+    #[test]
+    fn random_walk_stays_on_s_edges() {
+        let h = paper_hypergraph();
+        let lg = SLineGraph::new(&h, 2);
+        let walk = lg.s_random_walk(0, 50, 7);
+        assert_eq!(walk[0], 0);
+        assert_eq!(walk.len(), 51);
+        for w in walk.windows(2) {
+            assert!(
+                lg.s_neighbors(w[0]).contains(&w[1]),
+                "walk used non-edge {w:?}"
+            );
+        }
+        // deterministic per seed
+        assert_eq!(walk, lg.s_random_walk(0, 50, 7));
+        assert_ne!(walk, lg.s_random_walk(0, 50, 8));
+    }
+
+    #[test]
+    fn approx_betweenness_with_full_samples_is_exact() {
+        let h = paper_hypergraph();
+        let lg = SLineGraph::new(&h, 1);
+        let exact = lg.s_betweenness_centrality(false);
+        let approx = lg.s_betweenness_centrality_approx(10, 1, false);
+        for (a, b) in exact.iter().zip(&approx) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn random_walk_halts_on_isolated_vertex() {
+        let h = paper_hypergraph();
+        let lg = SLineGraph::new(&h, 4); // no edges at s=4
+        assert_eq!(lg.s_random_walk(2, 10, 1), vec![2]);
+    }
+
+    #[test]
+    fn s_degree_and_neighbors() {
+        let h = paper_hypergraph();
+        let lg = SLineGraph::new(&h, 2);
+        assert_eq!(lg.s(), 2);
+        assert_eq!(lg.s_degree(3), 3); // 03, 13, 23
+        assert_eq!(lg.s_neighbors(3), &[0, 1, 2]);
+        assert_eq!(lg.s_degree(0), 1);
+        assert_eq!(lg.s_neighbors(0), &[3]);
+    }
+
+    #[test]
+    fn connectivity_by_s() {
+        let h = paper_hypergraph();
+        assert!(SLineGraph::new(&h, 1).is_s_connected());
+        assert!(SLineGraph::new(&h, 2).is_s_connected());
+        // s=3: components {0,3} and {1,2}
+        let lg3 = SLineGraph::new(&h, 3);
+        assert!(!lg3.is_s_connected());
+        assert_eq!(lg3.s_connected_components(), vec![0, 1, 1, 0]);
+        // s=4: all isolated
+        let lg4 = SLineGraph::new(&h, 4);
+        assert_eq!(lg4.s_connected_components(), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn s_distance_and_path() {
+        let h = paper_hypergraph();
+        let lg2 = SLineGraph::new(&h, 2);
+        // s=2 edges: 03, 12, 13, 23 → dist(0,2) = 2 via 3
+        assert_eq!(lg2.s_distance(0, 2), Some(2));
+        assert_eq!(lg2.s_path(0, 2), Some(vec![0, 3, 2]));
+        assert_eq!(lg2.s_distance(0, 0), Some(0));
+        let lg3 = SLineGraph::new(&h, 3);
+        assert_eq!(lg3.s_distance(0, 1), None);
+        assert_eq!(lg3.s_path(0, 1), None);
+    }
+
+    #[test]
+    fn betweenness_identifies_cut_vertex() {
+        let h = paper_hypergraph();
+        let lg2 = SLineGraph::new(&h, 2);
+        // in {03,12,13,23}: vertex 3 is the hub connecting 0 to {1,2}
+        let bc = lg2.s_betweenness_centrality(false);
+        let max = bc.iter().cloned().fold(f64::MIN, f64::max);
+        assert_eq!(bc[3], max);
+        assert!(bc[3] > 0.0);
+        assert_eq!(bc[0], 0.0);
+    }
+
+    #[test]
+    fn closeness_queries() {
+        let h = paper_hypergraph();
+        let lg1 = SLineGraph::new(&h, 1);
+        let all = lg1.s_closeness_centrality(None);
+        assert_eq!(all.len(), 4);
+        let single = lg1.s_closeness_centrality(Some(3));
+        assert_eq!(single, vec![all[3]]);
+        let harm = lg1.s_harmonic_closeness_centrality(None);
+        assert!(harm.iter().all(|&x| x > 0.0));
+    }
+
+    #[test]
+    fn eccentricity_and_diameter() {
+        let h = paper_hypergraph();
+        let lg2 = SLineGraph::new(&h, 2);
+        // {03,12,13,23}: ecc(0)=2 (to 1 or 2), ecc(3)=1
+        let ecc = lg2.s_eccentricity(None);
+        assert_eq!(ecc[3], 1);
+        assert_eq!(ecc[0], 2);
+        assert_eq!(lg2.s_diameter(), 2);
+        assert_eq!(lg2.s_eccentricity(Some(3)), vec![1]);
+    }
+
+    #[test]
+    fn singleton_hypergraph_is_connected() {
+        let h = Hypergraph::from_memberships(&[vec![0, 1]]);
+        let lg = SLineGraph::new(&h, 1);
+        assert!(lg.is_s_connected());
+        assert_eq!(lg.s_diameter(), 0);
+    }
+
+    #[test]
+    fn all_construction_algorithms_give_same_queries() {
+        let h = paper_hypergraph();
+        let reference = SLineGraph::new(&h, 2).s_connected_components();
+        for algo in Algorithm::ALL {
+            let lg = SLineGraph::with_algorithm(&h, 2, algo, &BuildOptions::default());
+            assert_eq!(lg.s_connected_components(), reference, "{}", algo.name());
+        }
+    }
+}

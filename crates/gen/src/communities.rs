@@ -1,0 +1,152 @@
+//! Planted overlapping communities.
+//!
+//! The paper's social-network hypergraphs were "materialized by running a
+//! community detection algorithm on the original dataset … each community
+//! is considered as a hyperedge and each member of a community as a
+//! hypernode" (§IV-B). This generator goes the other way: it plants
+//! communities directly. Hypernodes live on a ring; each community picks
+//! a random center and spans a contiguous window plus a few long-range
+//! members, giving overlapping hyperedges with locality — the structure
+//! community detection recovers from real social graphs.
+
+use crate::rng::Rng;
+use nwhy_core::{BiEdgeList, Hypergraph, Id};
+
+/// Parameters for [`planted_communities`].
+#[derive(Debug, Clone, Copy)]
+pub struct CommunityParams {
+    /// Number of hypernodes.
+    pub num_nodes: usize,
+    /// Number of communities (hyperedges).
+    pub num_communities: usize,
+    /// Smallest community size.
+    pub min_size: usize,
+    /// Largest community size (Pareto-tailed between min and max).
+    pub max_size: usize,
+    /// Fraction of members drawn from outside the local window
+    /// (long-range overlap), in `[0, 1]`.
+    pub rewire: f64,
+    /// PRNG seed.
+    pub seed: u64,
+}
+
+/// Generates a planted-community hypergraph.
+///
+/// # Panics
+/// Panics if sizes are inconsistent (`min_size > max_size`,
+/// `max_size > num_nodes`, or a nonsensical `rewire`).
+pub fn planted_communities(p: CommunityParams) -> Hypergraph {
+    assert!(p.min_size <= p.max_size, "min_size > max_size");
+    assert!(p.max_size <= p.num_nodes, "max_size exceeds node count");
+    assert!((0.0..=1.0).contains(&p.rewire), "rewire must be in [0,1]");
+    let mut rng = Rng::new(p.seed);
+    let n = p.num_nodes;
+    let mut memberships: Vec<Vec<Id>> = Vec::with_capacity(p.num_communities);
+
+    for _ in 0..p.num_communities {
+        // Pareto-tailed size in [min_size, max_size].
+        let span = (p.max_size - p.min_size) as f64;
+        let raw = p.min_size as f64 + span * (rng.pareto(2.5) - 1.0).min(span.max(1.0)) / span.max(1.0);
+        let size = (raw.round() as usize).clamp(p.min_size, p.max_size);
+        if size == 0 || n == 0 {
+            memberships.push(Vec::new());
+            continue;
+        }
+        let center = rng.below(n as u64) as usize;
+        let mut members: Vec<Id> = Vec::with_capacity(size);
+        for k in 0..size {
+            let local = ((center + k) % n) as Id;
+            let v = if rng.unit_open() < p.rewire {
+                rng.below(n as u64) as Id
+            } else {
+                local
+            };
+            members.push(v);
+        }
+        members.sort_unstable();
+        members.dedup();
+        memberships.push(members);
+    }
+
+    let incidences: Vec<(Id, Id)> = memberships
+        .iter()
+        .enumerate()
+        .flat_map(|(e, vs)| vs.iter().map(move |&v| (e as Id, v)))
+        .collect();
+    let bel = BiEdgeList::from_incidences(p.num_communities, n, incidences);
+    Hypergraph::from_biedgelist(&bel)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> CommunityParams {
+        CommunityParams {
+            num_nodes: 1000,
+            num_communities: 300,
+            min_size: 4,
+            max_size: 60,
+            rewire: 0.1,
+            seed: 21,
+        }
+    }
+
+    #[test]
+    fn shape_matches_request() {
+        let h = planted_communities(params());
+        assert_eq!(h.num_hypernodes(), 1000);
+        assert_eq!(h.num_hyperedges(), 300);
+    }
+
+    #[test]
+    fn community_sizes_within_bounds() {
+        let h = planted_communities(params());
+        for e in 0..300u32 {
+            let d = h.edge_degree(e);
+            // dedup after rewiring can only shrink
+            assert!(d <= 60, "community {e} size {d}");
+            assert!(d >= 2, "community {e} size {d}");
+        }
+    }
+
+    #[test]
+    fn communities_overlap() {
+        let h = planted_communities(params());
+        // overlapping communities ⇒ some hypernode in ≥ 2 hyperedges
+        let overlapping = (0..1000u32).filter(|&v| h.node_degree(v) >= 2).count();
+        assert!(overlapping > 100, "only {overlapping} overlapping nodes");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(planted_communities(params()), planted_communities(params()));
+    }
+
+    #[test]
+    fn zero_rewire_gives_contiguous_windows() {
+        let h = planted_communities(CommunityParams {
+            rewire: 0.0,
+            ..params()
+        });
+        // with no rewiring each community is a contiguous ring window:
+        // members form a run modulo n (sorted, gaps only at the wrap)
+        for e in 0..300u32 {
+            let m = h.edge_members(e);
+            let gaps = m
+                .windows(2)
+                .filter(|w| w[1] - w[0] != 1)
+                .count();
+            assert!(gaps <= 1, "community {e} not a ring window: {m:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "max_size exceeds")]
+    fn oversize_rejected() {
+        planted_communities(CommunityParams {
+            max_size: 2000,
+            ..params()
+        });
+    }
+}

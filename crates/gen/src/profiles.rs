@@ -1,0 +1,265 @@
+//! Scaled twins of the paper's Table I datasets.
+//!
+//! Each [`DatasetProfile`] records the real dataset's published statistics
+//! (the Table I row) and a generator recipe whose output matches the
+//! row's size ratios, degree averages, and skew at a configurable
+//! down-scale. `generate(scale, …)` with `scale = 1000` yields inputs
+//! roughly 1000× smaller than the originals — big enough to exercise the
+//! parallel kernels' load-balancing behaviour, small enough for a laptop
+//! benchmark run.
+
+use crate::powerlaw::{powerlaw_hypergraph, PowerlawParams};
+use crate::uniform::uniform_random;
+use nwhy_core::Hypergraph;
+
+/// One row of the paper's Table I (real dataset statistics).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TableOneRow {
+    /// Dataset type as printed in Table I ("Social", "Web", …).
+    pub kind: &'static str,
+    /// |V| — hypernodes in the real dataset.
+    pub num_nodes: usize,
+    /// |E| — hyperedges in the real dataset.
+    pub num_edges: usize,
+    /// d̄_v — average hypernode degree.
+    pub avg_node_degree: f64,
+    /// d̄_e — average hyperedge size.
+    pub avg_edge_degree: f64,
+    /// Δ_v — maximum hypernode degree.
+    pub max_node_degree: usize,
+    /// Δ_e — maximum hyperedge size.
+    pub max_edge_degree: usize,
+}
+
+/// Generator recipe for a profile.
+#[derive(Debug, Clone, Copy)]
+pub enum GenSpec {
+    /// Uniform random hyperedges of a fixed size (Rand1).
+    Uniform {
+        /// Hypernodes per hyperedge.
+        edge_size: usize,
+    },
+    /// Power-law configuration model with per-side tail exponents.
+    Powerlaw {
+        /// Hypernode-degree tail exponent.
+        node_exponent: f64,
+        /// Hyperedge-size tail exponent.
+        edge_exponent: f64,
+    },
+}
+
+/// A named Table I twin: paper statistics + generator recipe.
+#[derive(Debug, Clone, Copy)]
+pub struct DatasetProfile {
+    /// Dataset name as printed in the paper.
+    pub name: &'static str,
+    /// The real dataset's Table I row.
+    pub row: TableOneRow,
+    /// How the twin is generated.
+    pub spec: GenSpec,
+}
+
+impl DatasetProfile {
+    /// Generates the twin at `1/scale` of the real size (`scale ≥ 1`),
+    /// deterministically from `seed`.
+    pub fn generate(&self, scale: usize, seed: u64) -> Hypergraph {
+        assert!(scale >= 1, "scale must be at least 1");
+        let nodes = (self.row.num_nodes / scale).max(16);
+        let edges = (self.row.num_edges / scale).max(16);
+        match self.spec {
+            GenSpec::Uniform { edge_size } => {
+                uniform_random(nodes, edges, edge_size.min(nodes), seed)
+            }
+            GenSpec::Powerlaw {
+                node_exponent,
+                edge_exponent,
+            } => powerlaw_hypergraph(PowerlawParams {
+                num_nodes: nodes,
+                num_edges: edges,
+                avg_node_degree: self.row.avg_node_degree,
+                node_exponent,
+                edge_exponent,
+                seed,
+            }),
+        }
+    }
+}
+
+/// The six Table I datasets and their twin recipes. Exponents are chosen
+/// so the Δ/d̄ skew ratio of each side tracks the paper's row (heavier
+/// tails where the paper's max/avg ratio is larger).
+pub const TABLE1: [DatasetProfile; 6] = [
+    DatasetProfile {
+        name: "com-Orkut",
+        row: TableOneRow {
+            kind: "Social",
+            num_nodes: 2_300_000,
+            num_edges: 15_300_000,
+            avg_node_degree: 46.0,
+            avg_edge_degree: 7.0,
+            max_node_degree: 3_000,
+            max_edge_degree: 9_100,
+        },
+        spec: GenSpec::Powerlaw {
+            node_exponent: 2.5,
+            edge_exponent: 2.05,
+        },
+    },
+    DatasetProfile {
+        name: "Friendster",
+        row: TableOneRow {
+            kind: "Social",
+            num_nodes: 7_900_000,
+            num_edges: 1_600_000,
+            avg_node_degree: 3.0,
+            avg_edge_degree: 14.0,
+            max_node_degree: 1_700,
+            max_edge_degree: 9_300,
+        },
+        spec: GenSpec::Powerlaw {
+            node_exponent: 2.1,
+            edge_exponent: 2.1,
+        },
+    },
+    DatasetProfile {
+        name: "Orkut-group",
+        row: TableOneRow {
+            kind: "Social",
+            num_nodes: 2_800_000,
+            num_edges: 8_700_000,
+            avg_node_degree: 118.0,
+            avg_edge_degree: 37.0,
+            max_node_degree: 40_000,
+            max_edge_degree: 318_000,
+        },
+        spec: GenSpec::Powerlaw {
+            node_exponent: 2.3,
+            edge_exponent: 2.05,
+        },
+    },
+    DatasetProfile {
+        name: "LiveJournal",
+        row: TableOneRow {
+            kind: "Social",
+            num_nodes: 3_200_000,
+            num_edges: 7_500_000,
+            avg_node_degree: 35.0,
+            avg_edge_degree: 15.0,
+            max_node_degree: 300,
+            max_edge_degree: 1_100_000,
+        },
+        spec: GenSpec::Powerlaw {
+            node_exponent: 3.5,
+            edge_exponent: 1.9,
+        },
+    },
+    DatasetProfile {
+        name: "Web",
+        row: TableOneRow {
+            kind: "Web",
+            num_nodes: 27_700_000,
+            num_edges: 12_800_000,
+            avg_node_degree: 5.0,
+            avg_edge_degree: 11.0,
+            max_node_degree: 1_100_000,
+            max_edge_degree: 11_600_000,
+        },
+        spec: GenSpec::Powerlaw {
+            node_exponent: 1.9,
+            edge_exponent: 1.9,
+        },
+    },
+    DatasetProfile {
+        name: "Rand1",
+        row: TableOneRow {
+            kind: "Synthetic",
+            num_nodes: 100_000_000,
+            num_edges: 100_000_000,
+            avg_node_degree: 10.0,
+            avg_edge_degree: 10.0,
+            max_node_degree: 34,
+            max_edge_degree: 10,
+        },
+        spec: GenSpec::Uniform { edge_size: 10 },
+    },
+];
+
+/// Looks up a profile by (case-insensitive) name.
+pub fn profile_by_name(name: &str) -> Option<&'static DatasetProfile> {
+    TABLE1
+        .iter()
+        .find(|p| p.name.eq_ignore_ascii_case(name))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn six_profiles_match_paper_names() {
+        let names: Vec<&str> = TABLE1.iter().map(|p| p.name).collect();
+        assert_eq!(
+            names,
+            vec!["com-Orkut", "Friendster", "Orkut-group", "LiveJournal", "Web", "Rand1"]
+        );
+    }
+
+    #[test]
+    fn rows_are_internally_consistent() {
+        // |V|·d̄_v ≈ |E|·d̄_e (both count incidences)
+        for p in &TABLE1 {
+            let by_nodes = p.row.num_nodes as f64 * p.row.avg_node_degree;
+            let by_edges = p.row.num_edges as f64 * p.row.avg_edge_degree;
+            let ratio = by_nodes / by_edges;
+            assert!(
+                (0.5..2.0).contains(&ratio),
+                "{}: incidence counts disagree ({by_nodes:.0} vs {by_edges:.0})",
+                p.name
+            );
+        }
+    }
+
+    #[test]
+    fn generated_twins_have_right_shape() {
+        for p in &TABLE1 {
+            let h = p.generate(10_000, 1);
+            assert_eq!(h.num_hypernodes(), (p.row.num_nodes / 10_000).max(16), "{}", p.name);
+            assert_eq!(h.num_hyperedges(), (p.row.num_edges / 10_000).max(16), "{}", p.name);
+            assert!(h.num_incidences() > 0, "{}", p.name);
+        }
+    }
+
+    #[test]
+    fn rand1_twin_is_uniform() {
+        let p = profile_by_name("rand1").unwrap();
+        let h = p.generate(10_000, 2);
+        let stats = h.stats();
+        assert_eq!(stats.max_edge_degree, 10);
+        assert!((stats.avg_edge_degree - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn social_twins_are_skewed() {
+        let p = profile_by_name("com-Orkut").unwrap();
+        let h = p.generate(1000, 3);
+        let stats = h.stats();
+        assert!(
+            stats.max_edge_degree as f64 > 5.0 * stats.avg_edge_degree,
+            "com-Orkut twin not skewed: max {} avg {}",
+            stats.max_edge_degree,
+            stats.avg_edge_degree
+        );
+    }
+
+    #[test]
+    fn lookup_is_case_insensitive() {
+        assert!(profile_by_name("WEB").is_some());
+        assert!(profile_by_name("nope").is_none());
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let p = profile_by_name("Friendster").unwrap();
+        assert_eq!(p.generate(5000, 7), p.generate(5000, 7));
+    }
+}

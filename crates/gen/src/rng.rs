@@ -1,0 +1,108 @@
+//! Deterministic PRNG for the generators (SplitMix64, same algorithm as
+//! `nwgraph::random` so every dataset twin is reproducible from its seed
+//! across platforms).
+
+/// SplitMix64 PRNG.
+#[derive(Debug, Clone)]
+pub struct Rng {
+    state: u64,
+}
+
+impl Rng {
+    /// Seeds the generator.
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Next 64 random bits.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `0..bound` (`bound > 0`).
+    #[inline]
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+
+    /// Uniform `f64` in `(0, 1]` (never exactly 0, safe for `powf` of
+    /// negative exponents).
+    #[inline]
+    pub fn unit_open(&mut self) -> f64 {
+        (((self.next_u64() >> 11) + 1) as f64) * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = self.below(i as u64 + 1) as usize;
+            xs.swap(i, j);
+        }
+    }
+
+    /// A Pareto-tailed sample `u^(-1/(alpha-1))`, `alpha > 1`: the heavy
+    /// tail that gives social-network degree skew.
+    #[inline]
+    pub fn pareto(&mut self, alpha: f64) -> f64 {
+        debug_assert!(alpha > 1.0);
+        self.unit_open().powf(-1.0 / (alpha - 1.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        let mut a = Rng::new(5);
+        let mut b = Rng::new(5);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn unit_open_never_zero() {
+        let mut rng = Rng::new(1);
+        for _ in 0..100_000 {
+            let u = rng.unit_open();
+            assert!(u > 0.0 && u <= 1.0);
+        }
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = Rng::new(2);
+        let mut xs: Vec<u32> = (0..100).collect();
+        rng.shuffle(&mut xs);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(xs, (0..100).collect::<Vec<_>>()); // astronomically unlikely
+    }
+
+    #[test]
+    fn pareto_at_least_one() {
+        let mut rng = Rng::new(3);
+        for _ in 0..10_000 {
+            assert!(rng.pareto(2.5) >= 1.0);
+        }
+    }
+
+    #[test]
+    fn pareto_is_heavy_tailed() {
+        let mut rng = Rng::new(4);
+        let samples: Vec<f64> = (0..100_000).map(|_| rng.pareto(2.2)).collect();
+        let max = samples.iter().cloned().fold(0.0, f64::max);
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        // tail produces samples far above the mean
+        assert!(max > mean * 20.0, "max {max} mean {mean}");
+    }
+}

@@ -1,0 +1,96 @@
+//! Uniform random hypergraphs — the Rand1 recipe.
+//!
+//! "For Rand1, the hypervertices for each of the hyperedge are chosen
+//! uniformly at random" (§IV-B). Every hyperedge independently samples
+//! `edge_size` distinct hypernodes; hypernode degrees then concentrate
+//! tightly around `num_edges · edge_size / num_nodes` (the paper's Rand1
+//! row: d̄_v = d̄_e = 10, Δ_v = 34 — a light Poisson tail, no skew).
+
+use crate::rng::Rng;
+use nwhy_core::{Hypergraph, Id};
+
+/// Generates a uniform random hypergraph with `num_edges` hyperedges of
+/// exactly `edge_size` distinct hypernodes drawn from `0..num_nodes`.
+///
+/// # Panics
+/// Panics if `edge_size > num_nodes` (cannot draw that many distinct
+/// hypernodes) unless both are 0.
+pub fn uniform_random(num_nodes: usize, num_edges: usize, edge_size: usize, seed: u64) -> Hypergraph {
+    assert!(
+        edge_size <= num_nodes,
+        "edge_size {edge_size} exceeds hypernode count {num_nodes}"
+    );
+    let mut rng = Rng::new(seed);
+    let mut memberships: Vec<Vec<Id>> = Vec::with_capacity(num_edges);
+    let mut scratch: Vec<Id> = Vec::with_capacity(edge_size);
+    for _ in 0..num_edges {
+        scratch.clear();
+        // rejection sampling; edge_size << num_nodes in all profiles
+        while scratch.len() < edge_size {
+            let v = rng.below(num_nodes as u64) as Id;
+            if !scratch.contains(&v) {
+                scratch.push(v);
+            }
+        }
+        memberships.push(scratch.clone());
+    }
+    // Fix the hypernode ID space at num_nodes even if some IDs unseen.
+    let incidences: Vec<(Id, Id)> = memberships
+        .iter()
+        .enumerate()
+        .flat_map(|(e, vs)| vs.iter().map(move |&v| (e as Id, v)))
+        .collect();
+    let mut bel = nwhy_core::BiEdgeList::from_incidences(num_edges, num_nodes, incidences);
+    bel.sort_dedup();
+    Hypergraph::from_biedgelist(&bel)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_is_exact() {
+        let h = uniform_random(1000, 500, 10, 42);
+        assert_eq!(h.num_hypernodes(), 1000);
+        assert_eq!(h.num_hyperedges(), 500);
+        assert_eq!(h.num_incidences(), 5000);
+        for e in 0..500u32 {
+            assert_eq!(h.edge_degree(e), 10);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = uniform_random(100, 50, 5, 7);
+        let b = uniform_random(100, 50, 5, 7);
+        assert_eq!(a, b);
+        let c = uniform_random(100, 50, 5, 8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn node_degrees_concentrate() {
+        let h = uniform_random(1000, 1000, 10, 3);
+        let stats = h.stats();
+        assert!((stats.avg_node_degree - 10.0).abs() < 0.5);
+        // uniform: max degree stays within a small factor of the mean
+        assert!(stats.max_node_degree < 40, "{}", stats.max_node_degree);
+    }
+
+    #[test]
+    fn degenerate_cases() {
+        let h = uniform_random(0, 0, 0, 1);
+        assert_eq!(h.num_hyperedges(), 0);
+        let h = uniform_random(5, 3, 0, 1);
+        assert_eq!(h.num_incidences(), 0);
+        let h = uniform_random(5, 1, 5, 1);
+        assert_eq!(h.edge_members(0), &[0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds hypernode count")]
+    fn oversize_edge_rejected() {
+        uniform_random(3, 1, 4, 1);
+    }
+}

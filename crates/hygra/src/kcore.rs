@@ -1,0 +1,158 @@
+//! Hypergraph k-core decomposition — another of Hygra's §V applications.
+//!
+//! Semantics (stated explicitly, since hypergraph cores come in several
+//! flavours): a hypernode's *induced degree* is the number of its
+//! hyperedges that are still **fully alive** (all members surviving);
+//! peeling removes hypernodes of induced degree < k, which kills every
+//! hyperedge containing them, cascading. A hypernode's core number is the
+//! largest `k` it survives. This is the "hyperedge dies with any member"
+//! model — the strictest of the (k, ℓ)-core family (`ℓ = |e|` per edge),
+//! complementing `nwhy-core`'s general [(k, ℓ)-core](nwhy_core::algorithms::kcore).
+
+use nwhy_core::{Hypergraph, Id};
+use rayon::prelude::*;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Computes hypernode core numbers under the dies-with-any-member model.
+pub fn hygra_kcore(h: &Hypergraph) -> Vec<u32> {
+    let nv = h.num_hypernodes();
+    let ne = h.num_hyperedges();
+    let mut core = vec![0u32; nv];
+    let mut node_alive = vec![true; nv];
+    let mut edge_alive: Vec<bool> = (0..ne as Id)
+        // empty hyperedges are vacuously alive but contribute no degree
+        .map(|_| true)
+        .collect();
+    // live degree = # alive hyperedges containing the node
+    let degree: Vec<AtomicUsize> = (0..nv)
+        .map(|v| AtomicUsize::new(h.node_degree(v as Id)))
+        .collect();
+    let mut remaining: usize = nv;
+    let mut k = 0u32;
+
+    while remaining > 0 {
+        k += 1;
+        loop {
+            let peeled: Vec<Id> = (0..nv as Id)
+                .into_par_iter()
+                .filter(|&v| {
+                    node_alive[v as usize]
+                        && degree[v as usize].load(Ordering::Relaxed) < k as usize
+                })
+                .collect();
+            if peeled.is_empty() {
+                break;
+            }
+            for &v in &peeled {
+                node_alive[v as usize] = false;
+                core[v as usize] = k - 1;
+                remaining -= 1;
+            }
+            // kill hyperedges containing a peeled node; decrement the
+            // degrees of the other still-alive members
+            for &v in &peeled {
+                for &e in h.node_memberships(v) {
+                    if !edge_alive[e as usize] {
+                        continue;
+                    }
+                    edge_alive[e as usize] = false;
+                    for &w in h.edge_members(e) {
+                        if w != v && node_alive[w as usize] {
+                            degree[w as usize].fetch_sub(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    core
+}
+
+/// Validates the coreness array: for each `k`, the set `{v : core(v) ≥ k}`
+/// must be self-consistent — every member has ≥ k hyperedges fully inside
+/// the set.
+pub fn validate_hygra_kcore(h: &Hypergraph, core: &[u32]) -> Result<(), String> {
+    let kmax = core.iter().copied().max().unwrap_or(0);
+    for k in 1..=kmax {
+        let inside: Vec<bool> = core.iter().map(|&c| c >= k).collect();
+        for v in 0..h.num_hypernodes() as Id {
+            if !inside[v as usize] {
+                continue;
+            }
+            let live = h
+                .node_memberships(v)
+                .iter()
+                .filter(|&&e| {
+                    h.edge_members(e)
+                        .iter()
+                        .all(|&w| inside[w as usize])
+                })
+                .count();
+            if live < k as usize {
+                return Err(format!(
+                    "core {k}: node {v} has only {live} fully-inside hyperedges"
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_edge_core_one() {
+        let h = Hypergraph::from_memberships(&[vec![0, 1, 2]]);
+        let core = hygra_kcore(&h);
+        assert_eq!(core, vec![1, 1, 1]);
+        validate_hygra_kcore(&h, &core).unwrap();
+    }
+
+    #[test]
+    fn isolated_nodes_core_zero() {
+        let bel = nwhy_core::BiEdgeList::from_incidences(1, 3, vec![(0, 0), (0, 1)]);
+        let h = Hypergraph::from_biedgelist(&bel);
+        let core = hygra_kcore(&h);
+        assert_eq!(core[2], 0);
+        assert_eq!(core[0], 1);
+        validate_hygra_kcore(&h, &core).unwrap();
+    }
+
+    #[test]
+    fn dense_overlap_raises_core() {
+        // three hyperedges all over {0,1}: both nodes have 3 mutual edges
+        let h = Hypergraph::from_memberships(&[vec![0, 1], vec![0, 1], vec![0, 1]]);
+        let core = hygra_kcore(&h);
+        assert_eq!(core, vec![3, 3]);
+        validate_hygra_kcore(&h, &core).unwrap();
+    }
+
+    #[test]
+    fn fragile_chain_peels() {
+        // chain: killing a low-degree endpoint kills shared edges
+        let h = Hypergraph::from_memberships(&[vec![0, 1], vec![1, 2], vec![2, 3]]);
+        let core = hygra_kcore(&h);
+        // all degree ≤ 2 but edges are fragile: everything is 1-core
+        assert_eq!(core, vec![1, 1, 1, 1]);
+        validate_hygra_kcore(&h, &core).unwrap();
+    }
+
+    #[test]
+    fn fixture_cores_validate() {
+        let h = nwhy_core::fixtures::paper_hypergraph();
+        let core = hygra_kcore(&h);
+        validate_hygra_kcore(&h, &core).unwrap();
+        // coreness bounded by plain degree
+        for v in 0..9u32 {
+            assert!(core[v as usize] as usize <= h.node_degree(v));
+        }
+    }
+
+    #[test]
+    fn empty_hypergraph() {
+        let h = Hypergraph::from_memberships(&[]);
+        assert!(hygra_kcore(&h).is_empty());
+    }
+}

@@ -1,0 +1,190 @@
+//! Hygra's hypergraph PageRank.
+//!
+//! Shun's Hygra framework lists PageRank among its hypergraph
+//! applications (§V of the NWHy paper). The hypergraph formulation is a
+//! two-phase rank flow per iteration: vertex rank spreads uniformly over
+//! incident hyperedges, hyperedge rank spreads uniformly over member
+//! vertices — each phase one dense `edge_map` over the bipartite
+//! structure.
+
+use crate::engine::{edge_map, EdgeMapFns, Mode};
+use crate::subset::VertexSubset;
+use nwhy_core::{Hypergraph, Id};
+use nwhy_util::atomics::AtomicF64;
+
+/// Options for [`hygra_pagerank`].
+#[derive(Debug, Clone, Copy)]
+pub struct PageRankOptions {
+    /// Damping factor.
+    pub damping: f64,
+    /// L1 convergence threshold on the hypernode ranks.
+    pub tolerance: f64,
+    /// Iteration cap.
+    pub max_iterations: usize,
+}
+
+impl Default for PageRankOptions {
+    fn default() -> Self {
+        Self {
+            damping: 0.85,
+            tolerance: 1e-9,
+            max_iterations: 100,
+        }
+    }
+}
+
+/// Accumulates `src_rank / src_degree` into the destination.
+struct Spread<'a> {
+    contribution: &'a [f64],
+    acc: &'a [AtomicF64],
+}
+
+impl EdgeMapFns for Spread<'_> {
+    fn update_atomic(&self, src: Id, dst: Id) -> bool {
+        self.acc[dst as usize].fetch_add(self.contribution[src as usize]);
+        false // frontier membership is not used; we run dense every round
+    }
+    fn cond(&self, _dst: Id) -> bool {
+        true
+    }
+}
+
+/// Hypergraph PageRank over hypernodes. Returns `(node_ranks, iters)`;
+/// ranks sum to 1 (dangling mass redistributed uniformly).
+pub fn hygra_pagerank(h: &Hypergraph, opts: PageRankOptions) -> (Vec<f64>, usize) {
+    let nv = h.num_hypernodes();
+    let ne = h.num_hyperedges();
+    if nv == 0 {
+        return (Vec::new(), 0);
+    }
+    let mut rank = vec![1.0 / nv as f64; nv];
+    let base = (1.0 - opts.damping) / nv as f64;
+
+    for it in 0..opts.max_iterations {
+        // phase 1: nodes → hyperedges
+        let node_contrib: Vec<f64> = (0..nv)
+            .map(|v| {
+                let d = h.node_degree(v as Id);
+                if d == 0 {
+                    0.0
+                } else {
+                    rank[v] / d as f64
+                }
+            })
+            .collect();
+        let edge_acc: Vec<AtomicF64> = (0..ne).map(|_| AtomicF64::new(0.0)).collect();
+        let mut all_nodes = VertexSubset::full(nv);
+        edge_map(
+            h.nodes(),
+            h.edges(),
+            &mut all_nodes,
+            &Spread {
+                contribution: &node_contrib,
+                acc: &edge_acc,
+            },
+            Mode::ForceSparse,
+        );
+
+        // phase 2: hyperedges → nodes
+        let edge_rank: Vec<f64> = edge_acc.iter().map(AtomicF64::load).collect();
+        let edge_contrib: Vec<f64> = (0..ne)
+            .map(|e| {
+                let d = h.edge_degree(e as Id);
+                if d == 0 {
+                    0.0
+                } else {
+                    edge_rank[e] / d as f64
+                }
+            })
+            .collect();
+        let node_acc: Vec<AtomicF64> = (0..nv).map(|_| AtomicF64::new(0.0)).collect();
+        let mut all_edges = VertexSubset::full(ne);
+        edge_map(
+            h.edges(),
+            h.nodes(),
+            &mut all_edges,
+            &Spread {
+                contribution: &edge_contrib,
+                acc: &node_acc,
+            },
+            Mode::ForceSparse,
+        );
+
+        // dangling: rank of isolated nodes + rank stuck in empty edges
+        let gathered: Vec<f64> = node_acc.iter().map(AtomicF64::load).collect();
+        let gathered_sum: f64 = gathered.iter().sum();
+        let dangling = (1.0 - gathered_sum).max(0.0);
+        let dangling_share = opts.damping * dangling / nv as f64;
+
+        let mut delta = 0.0;
+        let mut next = vec![0.0; nv];
+        for v in 0..nv {
+            next[v] = base + dangling_share + opts.damping * gathered[v];
+            delta += (next[v] - rank[v]).abs();
+        }
+        rank = next;
+        if delta < opts.tolerance {
+            return (rank, it + 1);
+        }
+    }
+    (rank, opts.max_iterations)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nwhy_core::fixtures::paper_hypergraph;
+
+    #[test]
+    fn ranks_sum_to_one() {
+        let h = paper_hypergraph();
+        let (pr, iters) = hygra_pagerank(&h, PageRankOptions::default());
+        assert!((pr.iter().sum::<f64>() - 1.0).abs() < 1e-6);
+        assert!(iters > 0);
+    }
+
+    #[test]
+    fn symmetric_structure_gives_symmetric_ranks() {
+        // two hyperedges {0,1} and {2,3}: all nodes equivalent
+        let h = Hypergraph::from_memberships(&[vec![0, 1], vec![2, 3]]);
+        let (pr, _) = hygra_pagerank(&h, PageRankOptions::default());
+        for w in pr.windows(2) {
+            assert!((w[0] - w[1]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn shared_node_gains_rank() {
+        // node 1 sits in both hyperedges — it should outrank the leaves
+        let h = Hypergraph::from_memberships(&[vec![0, 1], vec![1, 2]]);
+        let (pr, _) = hygra_pagerank(&h, PageRankOptions::default());
+        assert!(pr[1] > pr[0]);
+        assert!(pr[1] > pr[2]);
+    }
+
+    #[test]
+    fn isolated_nodes_keep_base_rank() {
+        let bel = nwhy_core::BiEdgeList::from_incidences(1, 3, vec![(0, 0), (0, 1)]);
+        let h = Hypergraph::from_biedgelist(&bel);
+        let (pr, _) = hygra_pagerank(&h, PageRankOptions::default());
+        assert!((pr.iter().sum::<f64>() - 1.0).abs() < 1e-6);
+        assert!(pr[2] > 0.0);
+    }
+
+    #[test]
+    fn matches_pagerank_on_clique_expansion_shape() {
+        // star hypergraph: hub node 0 in every edge
+        let h = Hypergraph::from_memberships(&[vec![0, 1], vec![0, 2], vec![0, 3]]);
+        let (pr, _) = hygra_pagerank(&h, PageRankOptions::default());
+        assert!(pr[0] > pr[1]);
+        assert!((pr[1] - pr[3]).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_hypergraph() {
+        let h = Hypergraph::from_memberships(&[]);
+        let (pr, iters) = hygra_pagerank(&h, PageRankOptions::default());
+        assert!(pr.is_empty());
+        assert_eq!(iters, 0);
+    }
+}

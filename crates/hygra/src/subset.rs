@@ -1,0 +1,213 @@
+//! Vertex subsets — Ligra/Hygra frontiers.
+//!
+//! A frontier is either *sparse* (an unordered list of IDs) or *dense*
+//! (a boolean array over the whole index space). The engine converts
+//! between the two when the direction heuristic switches traversal modes.
+
+use nwhy_core::Id;
+
+/// A subset of a `0..n` ID space in sparse or dense form.
+#[derive(Debug, Clone)]
+pub struct VertexSubset {
+    n: usize,
+    repr: Repr,
+}
+
+#[derive(Debug, Clone)]
+enum Repr {
+    Sparse(Vec<Id>),
+    Dense(Vec<bool>),
+}
+
+impl VertexSubset {
+    /// An empty subset over `0..n`.
+    pub fn empty(n: usize) -> Self {
+        Self {
+            n,
+            repr: Repr::Sparse(Vec::new()),
+        }
+    }
+
+    /// A singleton subset.
+    pub fn single(n: usize, v: Id) -> Self {
+        assert!((v as usize) < n, "vertex {v} out of range {n}");
+        Self {
+            n,
+            repr: Repr::Sparse(vec![v]),
+        }
+    }
+
+    /// The full subset `0..n`.
+    pub fn full(n: usize) -> Self {
+        Self {
+            n,
+            repr: Repr::Dense(vec![true; n]),
+        }
+    }
+
+    /// From a sparse ID list (IDs must be unique and in range).
+    pub fn from_sparse(n: usize, ids: Vec<Id>) -> Self {
+        debug_assert!(ids.iter().all(|&v| (v as usize) < n));
+        Self {
+            n,
+            repr: Repr::Sparse(ids),
+        }
+    }
+
+    /// From a dense membership vector.
+    pub fn from_dense(flags: Vec<bool>) -> Self {
+        Self {
+            n: flags.len(),
+            repr: Repr::Dense(flags),
+        }
+    }
+
+    /// Size of the ID space.
+    #[inline]
+    pub fn space(&self) -> usize {
+        self.n
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        match &self.repr {
+            Repr::Sparse(ids) => ids.len(),
+            Repr::Dense(flags) => flags.iter().filter(|&&b| b).count(),
+        }
+    }
+
+    /// `true` if no members.
+    pub fn is_empty(&self) -> bool {
+        match &self.repr {
+            Repr::Sparse(ids) => ids.is_empty(),
+            Repr::Dense(flags) => !flags.iter().any(|&b| b),
+        }
+    }
+
+    /// Membership test (O(1) dense, O(|S|) sparse).
+    pub fn contains(&self, v: Id) -> bool {
+        match &self.repr {
+            Repr::Sparse(ids) => ids.contains(&v),
+            Repr::Dense(flags) => flags[v as usize],
+        }
+    }
+
+    /// `true` if currently in dense form.
+    pub fn is_dense(&self) -> bool {
+        matches!(self.repr, Repr::Dense(_))
+    }
+
+    /// The members as a sorted vector (allocates).
+    pub fn to_vec(&self) -> Vec<Id> {
+        let mut ids = match &self.repr {
+            Repr::Sparse(ids) => ids.clone(),
+            Repr::Dense(flags) => flags
+                .iter()
+                .enumerate()
+                .filter_map(|(i, &b)| b.then_some(i as Id))
+                .collect(),
+        };
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Converts in place to dense form.
+    pub fn to_dense(&mut self) {
+        if let Repr::Sparse(ids) = &self.repr {
+            let mut flags = vec![false; self.n];
+            for &v in ids {
+                flags[v as usize] = true;
+            }
+            self.repr = Repr::Dense(flags);
+        }
+    }
+
+    /// Converts in place to sparse form.
+    pub fn to_sparse(&mut self) {
+        if let Repr::Dense(flags) = &self.repr {
+            let ids = flags
+                .iter()
+                .enumerate()
+                .filter_map(|(i, &b)| b.then_some(i as Id))
+                .collect();
+            self.repr = Repr::Sparse(ids);
+        }
+    }
+
+    /// Borrow the sparse ID list (converting first if needed).
+    pub fn as_sparse(&mut self) -> &[Id] {
+        self.to_sparse();
+        match &self.repr {
+            Repr::Sparse(ids) => ids,
+            Repr::Dense(_) => unreachable!(),
+        }
+    }
+
+    /// Borrow the dense membership flags (converting first if needed).
+    pub fn as_dense(&mut self) -> &[bool] {
+        self.to_dense();
+        match &self.repr {
+            Repr::Dense(flags) => flags,
+            Repr::Sparse(_) => unreachable!(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_and_single() {
+        let s = VertexSubset::empty(10);
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+        let s = VertexSubset::single(10, 3);
+        assert_eq!(s.len(), 1);
+        assert!(s.contains(3));
+        assert!(!s.contains(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn single_out_of_range() {
+        VertexSubset::single(3, 3);
+    }
+
+    #[test]
+    fn full_subset() {
+        let s = VertexSubset::full(5);
+        assert_eq!(s.len(), 5);
+        assert!(s.is_dense());
+        assert_eq!(s.to_vec(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn conversions_roundtrip() {
+        let mut s = VertexSubset::from_sparse(8, vec![5, 1, 7]);
+        assert!(!s.is_dense());
+        s.to_dense();
+        assert!(s.is_dense());
+        assert_eq!(s.len(), 3);
+        assert!(s.contains(5) && s.contains(1) && s.contains(7));
+        s.to_sparse();
+        assert_eq!(s.to_vec(), vec![1, 5, 7]);
+    }
+
+    #[test]
+    fn dense_is_empty_checks_flags() {
+        let s = VertexSubset::from_dense(vec![false, false]);
+        assert!(s.is_empty());
+        let s = VertexSubset::from_dense(vec![false, true]);
+        assert!(!s.is_empty());
+        assert_eq!(s.to_vec(), vec![1]);
+    }
+
+    #[test]
+    fn as_sparse_and_as_dense_borrow() {
+        let mut s = VertexSubset::full(3);
+        assert_eq!(s.as_sparse(), &[0, 1, 2]);
+        let mut s = VertexSubset::from_sparse(3, vec![2]);
+        assert_eq!(s.as_dense(), &[false, false, true]);
+    }
+}

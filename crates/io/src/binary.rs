@@ -1,0 +1,184 @@
+//! A compact binary hypergraph format.
+//!
+//! Reading multi-hundred-megabyte Matrix Market text files dominates
+//! end-to-end time for large inputs, so (like the C++ NWHy tooling, which
+//! caches binary CSR dumps) this crate ships a straightforward
+//! little-endian binary format:
+//!
+//! ```text
+//! magic   8 bytes  "NWHYBIN1"
+//! flags   u64      bit 0: weights present
+//! n_e     u64      hyperedge-space size
+//! n_v     u64      hypernode-space size
+//! nnz     u64      incidence count
+//! pairs   nnz × (u32 hyperedge, u32 hypernode)
+//! weights nnz × f64   (only if flags bit 0)
+//! ```
+
+use crate::error::IoError;
+use nwhy_core::{BiEdgeList, Hypergraph, Id};
+use std::io::{Read, Write};
+
+const MAGIC: &[u8; 8] = b"NWHYBIN1";
+const FLAG_WEIGHTS: u64 = 1;
+
+fn read_u64<R: Read>(r: &mut R) -> Result<u64, IoError> {
+    let mut buf = [0u8; 8];
+    r.read_exact(&mut buf)?;
+    Ok(u64::from_le_bytes(buf))
+}
+
+fn read_u32<R: Read>(r: &mut R) -> Result<u32, IoError> {
+    let mut buf = [0u8; 4];
+    r.read_exact(&mut buf)?;
+    Ok(u32::from_le_bytes(buf))
+}
+
+/// Reads the binary format into a hypergraph.
+pub fn read_binary<R: Read>(mut r: R) -> Result<Hypergraph, IoError> {
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(IoError::parse(1, "bad magic: not an NWHYBIN1 file"));
+    }
+    let flags = read_u64(&mut r)?;
+    if flags & !FLAG_WEIGHTS != 0 {
+        return Err(IoError::parse(1, format!("unknown flags {flags:#x}")));
+    }
+    let ne = read_u64(&mut r)? as usize;
+    let nv = read_u64(&mut r)? as usize;
+    let nnz = read_u64(&mut r)? as usize;
+    // Defensive cap: refuse nnz that cannot possibly be honest (> u32
+    // pair space) to avoid absurd allocations on corrupt headers.
+    if nnz > (1usize << 40) {
+        return Err(IoError::parse(1, format!("implausible nnz {nnz}")));
+    }
+    let mut incidences = Vec::with_capacity(nnz);
+    for _ in 0..nnz {
+        let e = read_u32(&mut r)?;
+        let v = read_u32(&mut r)?;
+        if e as usize >= ne || v as usize >= nv {
+            return Err(IoError::parse(
+                1,
+                format!("incidence ({e},{v}) out of bounds {ne}x{nv}"),
+            ));
+        }
+        incidences.push((e as Id, v as Id));
+    }
+    let bel = if flags & FLAG_WEIGHTS != 0 {
+        let mut weights = Vec::with_capacity(nnz);
+        for _ in 0..nnz {
+            let mut buf = [0u8; 8];
+            r.read_exact(&mut buf)?;
+            weights.push(f64::from_le_bytes(buf));
+        }
+        BiEdgeList::from_weighted_incidences(ne, nv, incidences, weights)
+    } else {
+        BiEdgeList::from_incidences(ne, nv, incidences)
+    };
+    Ok(Hypergraph::from_biedgelist(&bel))
+}
+
+/// Writes `h` in the binary format; round-trips with [`read_binary`].
+pub fn write_binary<W: Write>(mut w: W, h: &Hypergraph) -> Result<(), IoError> {
+    w.write_all(MAGIC)?;
+    let weighted = h.is_weighted();
+    let flags: u64 = if weighted { FLAG_WEIGHTS } else { 0 };
+    w.write_all(&flags.to_le_bytes())?;
+    w.write_all(&(h.num_hyperedges() as u64).to_le_bytes())?;
+    w.write_all(&(h.num_hypernodes() as u64).to_le_bytes())?;
+    w.write_all(&(h.num_incidences() as u64).to_le_bytes())?;
+    for e in 0..h.num_hyperedges() as Id {
+        for &v in h.edge_members(e) {
+            w.write_all(&e.to_le_bytes())?;
+            w.write_all(&v.to_le_bytes())?;
+        }
+    }
+    if weighted {
+        for e in 0..h.num_hyperedges() as Id {
+            for (_, wgt) in h.edges().weighted_neighbors(e) {
+                w.write_all(&wgt.to_le_bytes())?;
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nwhy_core::fixtures::paper_hypergraph;
+    use std::io::Cursor;
+
+    #[test]
+    fn roundtrip_unweighted() {
+        let h = paper_hypergraph();
+        let mut buf = Vec::new();
+        write_binary(&mut buf, &h).unwrap();
+        let h2 = read_binary(Cursor::new(buf)).unwrap();
+        assert_eq!(h, h2);
+    }
+
+    #[test]
+    fn roundtrip_weighted() {
+        let bel = BiEdgeList::from_weighted_incidences(
+            2,
+            3,
+            vec![(0, 0), (0, 2), (1, 1)],
+            vec![0.25, -1.5, 7.0],
+        );
+        let h = Hypergraph::from_biedgelist(&bel);
+        let mut buf = Vec::new();
+        write_binary(&mut buf, &h).unwrap();
+        let h2 = read_binary(Cursor::new(buf)).unwrap();
+        assert_eq!(h, h2);
+        assert!(h2.is_weighted());
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let e = read_binary(Cursor::new(b"NOTMAGIC\0\0\0\0".to_vec())).unwrap_err();
+        assert!(e.to_string().contains("magic"));
+    }
+
+    #[test]
+    fn rejects_truncated_file() {
+        let h = paper_hypergraph();
+        let mut buf = Vec::new();
+        write_binary(&mut buf, &h).unwrap();
+        buf.truncate(buf.len() - 3);
+        assert!(read_binary(Cursor::new(buf)).is_err());
+    }
+
+    #[test]
+    fn rejects_out_of_bounds_incidence() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        buf.extend_from_slice(&0u64.to_le_bytes()); // flags
+        buf.extend_from_slice(&1u64.to_le_bytes()); // ne
+        buf.extend_from_slice(&1u64.to_le_bytes()); // nv
+        buf.extend_from_slice(&1u64.to_le_bytes()); // nnz
+        buf.extend_from_slice(&5u32.to_le_bytes()); // e out of range
+        buf.extend_from_slice(&0u32.to_le_bytes());
+        let e = read_binary(Cursor::new(buf)).unwrap_err();
+        assert!(e.to_string().contains("out of bounds"));
+    }
+
+    #[test]
+    fn rejects_unknown_flags() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        buf.extend_from_slice(&8u64.to_le_bytes()); // unknown flag bit
+        buf.extend_from_slice(&[0u8; 24]);
+        assert!(read_binary(Cursor::new(buf)).is_err());
+    }
+
+    #[test]
+    fn empty_hypergraph_roundtrip() {
+        let h = Hypergraph::from_memberships(&[]);
+        let mut buf = Vec::new();
+        write_binary(&mut buf, &h).unwrap();
+        let h2 = read_binary(Cursor::new(buf)).unwrap();
+        assert_eq!(h2.num_hyperedges(), 0);
+    }
+}

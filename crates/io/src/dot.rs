@@ -1,0 +1,102 @@
+//! Graphviz DOT export for hypergraphs and their projections.
+//!
+//! Visual inspection of small hypergraphs (like the paper's Figures 1–5)
+//! is easiest through Graphviz. Two exporters:
+//!
+//! - [`write_dot_bipartite`] — the bipartite view (Fig. 1b): hyperedges
+//!   as boxes, hypernodes as circles, incidences as edges;
+//! - [`write_dot_linegraph`] — an s-line graph (Fig. 5), with edge
+//!   `penwidth` proportional to the overlap when weights are supplied,
+//!   exactly how the paper renders connection strength.
+
+use crate::error::IoError;
+use nwhy_core::{Hypergraph, Id};
+use std::io::Write;
+
+/// Writes the bipartite representation of `h` as an undirected DOT graph.
+pub fn write_dot_bipartite<W: Write>(mut w: W, h: &Hypergraph) -> Result<(), IoError> {
+    writeln!(w, "graph hypergraph {{")?;
+    writeln!(w, "  // bipartite view: boxes = hyperedges, circles = hypernodes")?;
+    for e in 0..h.num_hyperedges() as Id {
+        writeln!(w, "  e{e} [shape=box, label=\"e{e}\"];")?;
+    }
+    for v in 0..h.num_hypernodes() as Id {
+        writeln!(w, "  v{v} [shape=circle, label=\"{v}\"];")?;
+    }
+    for e in 0..h.num_hyperedges() as Id {
+        for &v in h.edge_members(e) {
+            writeln!(w, "  e{e} -- v{v};")?;
+        }
+    }
+    writeln!(w, "}}")?;
+    Ok(())
+}
+
+/// Writes an s-line graph as DOT. `triples` are canonical
+/// `(e, f, overlap)` edges (from
+/// `nwhy_core::slinegraph::weighted::slinegraph_weighted_edges`); the
+/// overlap becomes the `penwidth`, reproducing Fig. 5's line widths.
+pub fn write_dot_linegraph<W: Write>(
+    mut w: W,
+    num_hyperedges: usize,
+    s: usize,
+    triples: &[(Id, Id, u32)],
+) -> Result<(), IoError> {
+    writeln!(w, "graph slinegraph_s{s} {{")?;
+    writeln!(w, "  label=\"{s}-line graph\";")?;
+    for e in 0..num_hyperedges {
+        writeln!(w, "  e{e} [shape=circle, label=\"e{e}\"];")?;
+    }
+    for &(a, b, o) in triples {
+        writeln!(w, "  e{a} -- e{b} [penwidth={o}, label=\"{o}\"];")?;
+    }
+    writeln!(w, "}}")?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nwhy_core::fixtures::paper_hypergraph;
+    use nwhy_core::slinegraph::weighted::slinegraph_weighted_edges;
+    use nwhy_util::partition::Strategy;
+
+    #[test]
+    fn bipartite_dot_contains_all_entities() {
+        let h = paper_hypergraph();
+        let mut buf = Vec::new();
+        write_dot_bipartite(&mut buf, &h).unwrap();
+        let dot = String::from_utf8(buf).unwrap();
+        assert!(dot.starts_with("graph hypergraph {"));
+        assert!(dot.trim_end().ends_with('}'));
+        for e in 0..4 {
+            assert!(dot.contains(&format!("e{e} [shape=box")));
+        }
+        for v in 0..9 {
+            assert!(dot.contains(&format!("v{v} [shape=circle")));
+        }
+        // 18 incidences → 18 "--" incidence lines
+        assert_eq!(dot.matches(" -- v").count(), 18);
+    }
+
+    #[test]
+    fn linegraph_dot_widths_match_overlaps() {
+        let h = paper_hypergraph();
+        let triples = slinegraph_weighted_edges(&h, 1, Strategy::AUTO);
+        let mut buf = Vec::new();
+        write_dot_linegraph(&mut buf, 4, 1, &triples).unwrap();
+        let dot = String::from_utf8(buf).unwrap();
+        assert!(dot.contains("e0 -- e3 [penwidth=3"));
+        assert!(dot.contains("e0 -- e1 [penwidth=1"));
+        assert_eq!(dot.matches(" -- e").count(), 5);
+    }
+
+    #[test]
+    fn empty_hypergraph_emits_valid_dot() {
+        let h = nwhy_core::Hypergraph::from_memberships(&[]);
+        let mut buf = Vec::new();
+        write_dot_bipartite(&mut buf, &h).unwrap();
+        let dot = String::from_utf8(buf).unwrap();
+        assert!(dot.contains("graph hypergraph {"));
+    }
+}

@@ -1,0 +1,72 @@
+//! Error type shared by the readers and writers.
+
+use std::fmt;
+
+/// Errors produced by `nwhy-io` readers/writers.
+#[derive(Debug)]
+pub enum IoError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Malformed input, with the 1-based line number where it was found.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+}
+
+impl IoError {
+    /// Convenience constructor for parse errors.
+    pub fn parse(line: usize, message: impl Into<String>) -> Self {
+        IoError::Parse {
+            line,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for IoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "I/O error: {e}"),
+            IoError::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            IoError::Io(e) => Some(e),
+            IoError::Parse { .. } => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for IoError {
+    fn from(e: std::io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        let e = IoError::parse(3, "bad token");
+        assert_eq!(e.to_string(), "parse error at line 3: bad token");
+        let e: IoError = std::io::Error::new(std::io::ErrorKind::NotFound, "gone").into();
+        assert!(e.to_string().contains("gone"));
+    }
+
+    #[test]
+    fn source_chains() {
+        use std::error::Error;
+        let e: IoError = std::io::Error::other("x").into();
+        assert!(e.source().is_some());
+        assert!(IoError::parse(1, "y").source().is_none());
+    }
+}

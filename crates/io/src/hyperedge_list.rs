@@ -1,0 +1,112 @@
+//! Plain-text hyperedge lists: one hyperedge per line.
+//!
+//! Each non-comment line holds the whitespace-separated hypernode IDs
+//! (0-based) of one hyperedge; a blank line is an empty hyperedge.
+//! Lines starting with `#` are comments. This is the layout community
+//! datasets (e.g. SNAP's `com-*.all.cmty.txt` files, the source of the
+//! paper's Orkut/Friendster hypergraphs) use, modulo their 1-based IDs.
+
+use crate::error::IoError;
+use nwhy_core::{Hypergraph, Id};
+use std::io::{BufRead, Write};
+
+/// Reads a hyperedge-list file. The hypernode ID space is the smallest
+/// `0..n` covering all IDs seen.
+pub fn read_hyperedge_list<R: BufRead>(reader: R) -> Result<Hypergraph, IoError> {
+    let mut memberships: Vec<Vec<Id>> = Vec::new();
+    for (i, line) in reader.lines().enumerate() {
+        let line = line?;
+        let t = line.trim();
+        if t.starts_with('#') {
+            continue;
+        }
+        let mut members = Vec::new();
+        for tok in t.split_whitespace() {
+            let v: Id = tok
+                .parse()
+                .map_err(|_| IoError::parse(i + 1, format!("invalid hypernode ID {tok:?}")))?;
+            members.push(v);
+        }
+        members.sort_unstable();
+        members.dedup();
+        memberships.push(members);
+    }
+    // Trailing blank lines are formatting, not hyperedges: trim them.
+    while memberships.last().is_some_and(Vec::is_empty) {
+        memberships.pop();
+    }
+    Ok(Hypergraph::from_memberships(&memberships))
+}
+
+/// Writes `h` in the hyperedge-list format; round-trips with
+/// [`read_hyperedge_list`] when no trailing hyperedge is empty and the
+/// hypernode ID space has no trailing isolated IDs.
+pub fn write_hyperedge_list<W: Write>(mut w: W, h: &Hypergraph) -> Result<(), IoError> {
+    writeln!(w, "# nwhy hyperedge list: one hyperedge per line")?;
+    for e in 0..h.num_hyperedges() as Id {
+        let members: Vec<String> = h.edge_members(e).iter().map(|v| v.to_string()).collect();
+        writeln!(w, "{}", members.join(" "))?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nwhy_core::fixtures::paper_hypergraph;
+    use std::io::Cursor;
+
+    fn read_str(s: &str) -> Result<Hypergraph, IoError> {
+        read_hyperedge_list(Cursor::new(s))
+    }
+
+    #[test]
+    fn reads_basic_file() {
+        let h = read_str("0 1 2\n2 3\n# comment\n3\n").unwrap();
+        assert_eq!(h.num_hyperedges(), 3);
+        assert_eq!(h.num_hypernodes(), 4);
+        assert_eq!(h.edge_members(1), &[2, 3]);
+    }
+
+    #[test]
+    fn interior_blank_line_is_empty_hyperedge() {
+        let h = read_str("0 1\n\n2\n").unwrap();
+        assert_eq!(h.num_hyperedges(), 3);
+        assert_eq!(h.edge_degree(1), 0);
+    }
+
+    #[test]
+    fn trailing_blank_lines_trimmed() {
+        let h = read_str("0 1\n\n\n").unwrap();
+        assert_eq!(h.num_hyperedges(), 1);
+    }
+
+    #[test]
+    fn duplicate_members_deduped() {
+        let h = read_str("5 5 5 1\n").unwrap();
+        assert_eq!(h.edge_members(0), &[1, 5]);
+    }
+
+    #[test]
+    fn rejects_garbage_ids() {
+        let e = read_str("0 x 2\n").unwrap_err();
+        assert!(e.to_string().contains("invalid hypernode ID"));
+        assert!(read_str("-1\n").is_err());
+    }
+
+    #[test]
+    fn roundtrip_fixture() {
+        let h = paper_hypergraph();
+        let mut buf = Vec::new();
+        write_hyperedge_list(&mut buf, &h).unwrap();
+        let h2 = read_hyperedge_list(Cursor::new(buf)).unwrap();
+        assert_eq!(h, h2);
+    }
+
+    #[test]
+    fn empty_input_is_empty_hypergraph() {
+        let h = read_str("").unwrap();
+        assert_eq!(h.num_hyperedges(), 0);
+        assert_eq!(h.num_hypernodes(), 0);
+    }
+}

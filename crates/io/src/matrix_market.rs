@@ -1,0 +1,274 @@
+//! Matrix Market coordinate format for hypergraph incidence matrices.
+//!
+//! The incidence matrix of a hypergraph is `n × m` (hypernodes ×
+//! hyperedges, §II-C of the paper) and generally *rectangular* — the
+//! reason NWHy's data structures support rectangular matrices
+//! (§III-B.1a). The reader accepts `pattern`, `integer`, and `real`
+//! coordinate matrices in `general` symmetry (values are ignored;
+//! presence of an entry is the incidence), with rows interpreted as
+//! hypernodes and columns as hyperedges.
+
+use crate::error::IoError;
+use nwhy_core::{BiEdgeList, Hypergraph, Id};
+use std::io::{BufRead, Write};
+
+/// Reads a Matrix Market coordinate file as a hypergraph incidence
+/// matrix: rows = hypernodes, columns = hyperedges.
+pub fn read_matrix_market<R: BufRead>(reader: R) -> Result<Hypergraph, IoError> {
+    let bel = read_biedgelist(reader)?;
+    Ok(Hypergraph::from_biedgelist(&bel))
+}
+
+/// Reads the raw [`BiEdgeList`] (the paper's `graph_reader(mm_file)`).
+pub fn read_biedgelist<R: BufRead>(reader: R) -> Result<BiEdgeList, IoError> {
+    let mut lines = reader.lines().enumerate();
+
+    // Header line.
+    let (line_no, header) = loop {
+        match lines.next() {
+            Some((i, l)) => {
+                let l = l?;
+                if !l.trim().is_empty() {
+                    break (i + 1, l);
+                }
+            }
+            None => return Err(IoError::parse(1, "empty file")),
+        }
+    };
+    let header_lc = header.to_ascii_lowercase();
+    if !header_lc.starts_with("%%matrixmarket") {
+        return Err(IoError::parse(line_no, "missing %%MatrixMarket header"));
+    }
+    if !header_lc.contains("coordinate") {
+        return Err(IoError::parse(
+            line_no,
+            "only coordinate (sparse) matrices are supported",
+        ));
+    }
+    if header_lc.contains("complex") || header_lc.contains("hermitian") {
+        return Err(IoError::parse(line_no, "complex matrices are not supported"));
+    }
+    let symmetric = header_lc.contains("symmetric");
+    let has_values = !header_lc.contains("pattern");
+
+    // Dimension line (after % comments).
+    let (dim_line_no, dims) = loop {
+        match lines.next() {
+            Some((i, l)) => {
+                let l = l?;
+                let t = l.trim();
+                if t.is_empty() || t.starts_with('%') {
+                    continue;
+                }
+                break (i + 1, l);
+            }
+            None => return Err(IoError::parse(line_no + 1, "missing dimension line")),
+        }
+    };
+    let mut it = dims.split_whitespace();
+    let parse_usize = |tok: Option<&str>, what: &str| -> Result<usize, IoError> {
+        tok.ok_or_else(|| IoError::parse(dim_line_no, format!("missing {what}")))?
+            .parse::<usize>()
+            .map_err(|_| IoError::parse(dim_line_no, format!("invalid {what}")))
+    };
+    let n_rows = parse_usize(it.next(), "row count")?;
+    let n_cols = parse_usize(it.next(), "column count")?;
+    let nnz = parse_usize(it.next(), "nonzero count")?;
+    if symmetric && n_rows != n_cols {
+        return Err(IoError::parse(
+            dim_line_no,
+            "symmetric matrix must be square",
+        ));
+    }
+
+    let mut incidences: Vec<(Id, Id)> = Vec::with_capacity(nnz);
+    let mut seen = 0usize;
+    for (i, l) in lines {
+        let l = l?;
+        let t = l.trim();
+        if t.is_empty() || t.starts_with('%') {
+            continue;
+        }
+        let mut toks = t.split_whitespace();
+        let row: usize = toks
+            .next()
+            .ok_or_else(|| IoError::parse(i + 1, "missing row index"))?
+            .parse()
+            .map_err(|_| IoError::parse(i + 1, "invalid row index"))?;
+        let col: usize = toks
+            .next()
+            .ok_or_else(|| IoError::parse(i + 1, "missing column index"))?
+            .parse()
+            .map_err(|_| IoError::parse(i + 1, "invalid column index"))?;
+        if has_values && toks.next().is_none() {
+            return Err(IoError::parse(i + 1, "missing value"));
+        }
+        if row == 0 || col == 0 || row > n_rows || col > n_cols {
+            return Err(IoError::parse(
+                i + 1,
+                format!("entry ({row},{col}) out of bounds {n_rows}x{n_cols}"),
+            ));
+        }
+        // rows = hypernodes, cols = hyperedges; store (hyperedge, hypernode)
+        incidences.push(((col - 1) as Id, (row - 1) as Id));
+        if symmetric && row != col {
+            incidences.push(((row - 1) as Id, (col - 1) as Id));
+        }
+        seen += 1;
+    }
+    if seen != nnz {
+        return Err(IoError::parse(
+            dim_line_no,
+            format!("expected {nnz} entries, found {seen}"),
+        ));
+    }
+    let mut bel = BiEdgeList::from_incidences(n_cols, n_rows, incidences);
+    bel.sort_dedup();
+    Ok(bel)
+}
+
+/// Writes `h` as a Matrix Market `pattern general` coordinate file
+/// (rows = hypernodes, columns = hyperedges). Round-trips with
+/// [`read_matrix_market`].
+pub fn write_matrix_market<W: Write>(mut w: W, h: &Hypergraph) -> Result<(), IoError> {
+    writeln!(w, "%%MatrixMarket matrix coordinate pattern general")?;
+    writeln!(w, "% hypergraph incidence matrix: rows=hypernodes cols=hyperedges")?;
+    writeln!(
+        w,
+        "{} {} {}",
+        h.num_hypernodes(),
+        h.num_hyperedges(),
+        h.num_incidences()
+    )?;
+    for e in 0..h.num_hyperedges() as Id {
+        for &v in h.edge_members(e) {
+            writeln!(w, "{} {}", v + 1, e + 1)?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nwhy_core::fixtures::paper_hypergraph;
+    use std::io::Cursor;
+
+    fn read_str(s: &str) -> Result<Hypergraph, IoError> {
+        read_matrix_market(Cursor::new(s))
+    }
+
+    #[test]
+    fn reads_pattern_general() {
+        let mm = "%%MatrixMarket matrix coordinate pattern general\n\
+                  % a comment\n\
+                  3 2 4\n\
+                  1 1\n\
+                  2 1\n\
+                  2 2\n\
+                  3 2\n";
+        let h = read_str(mm).unwrap();
+        assert_eq!(h.num_hypernodes(), 3);
+        assert_eq!(h.num_hyperedges(), 2);
+        assert_eq!(h.edge_members(0), &[0, 1]);
+        assert_eq!(h.edge_members(1), &[1, 2]);
+    }
+
+    #[test]
+    fn reads_real_values_ignoring_them() {
+        let mm = "%%MatrixMarket matrix coordinate real general\n\
+                  2 2 2\n\
+                  1 1 3.5\n\
+                  2 2 -1.0\n";
+        let h = read_str(mm).unwrap();
+        assert_eq!(h.num_incidences(), 2);
+    }
+
+    #[test]
+    fn reads_symmetric_expanding_both_triangles() {
+        let mm = "%%MatrixMarket matrix coordinate pattern symmetric\n\
+                  3 3 2\n\
+                  2 1\n\
+                  3 3\n";
+        let h = read_str(mm).unwrap();
+        // entry (2,1) also implies (1,2); diagonal (3,3) only once
+        assert_eq!(h.num_incidences(), 3);
+        assert_eq!(h.edge_members(0), &[1]);
+        assert_eq!(h.edge_members(1), &[0]);
+        assert_eq!(h.edge_members(2), &[2]);
+    }
+
+    #[test]
+    fn rejects_missing_header() {
+        assert!(matches!(
+            read_str("3 2 0\n"),
+            Err(IoError::Parse { line: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_array_format() {
+        let e = read_str("%%MatrixMarket matrix array real general\n2 2\n1.0\n").unwrap_err();
+        assert!(e.to_string().contains("coordinate"));
+    }
+
+    #[test]
+    fn rejects_out_of_bounds_entry() {
+        let mm = "%%MatrixMarket matrix coordinate pattern general\n2 2 1\n3 1\n";
+        let e = read_str(mm).unwrap_err();
+        assert!(e.to_string().contains("out of bounds"));
+    }
+
+    #[test]
+    fn rejects_zero_index() {
+        let mm = "%%MatrixMarket matrix coordinate pattern general\n2 2 1\n0 1\n";
+        assert!(read_str(mm).is_err());
+    }
+
+    #[test]
+    fn rejects_wrong_entry_count() {
+        let mm = "%%MatrixMarket matrix coordinate pattern general\n2 2 2\n1 1\n";
+        let e = read_str(mm).unwrap_err();
+        assert!(e.to_string().contains("expected 2 entries"));
+    }
+
+    #[test]
+    fn rejects_missing_value_in_real_matrix() {
+        let mm = "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1\n";
+        let e = read_str(mm).unwrap_err();
+        assert!(e.to_string().contains("missing value"));
+    }
+
+    #[test]
+    fn rejects_empty_file() {
+        assert!(read_str("").is_err());
+        assert!(read_str("\n\n").is_err());
+    }
+
+    #[test]
+    fn duplicate_entries_are_deduped() {
+        let mm = "%%MatrixMarket matrix coordinate pattern general\n2 1 2\n1 1\n1 1\n";
+        let h = read_str(mm).unwrap();
+        assert_eq!(h.num_incidences(), 1);
+    }
+
+    #[test]
+    fn roundtrip_fixture() {
+        let h = paper_hypergraph();
+        let mut buf = Vec::new();
+        write_matrix_market(&mut buf, &h).unwrap();
+        let h2 = read_matrix_market(Cursor::new(buf)).unwrap();
+        assert_eq!(h, h2);
+    }
+
+    #[test]
+    fn roundtrip_with_isolated_entities() {
+        // hyperedge 1 empty, hypernode 3 isolated
+        let bel = nwhy_core::BiEdgeList::from_incidences(2, 4, vec![(0, 0), (0, 2)]);
+        let h = Hypergraph::from_biedgelist(&bel);
+        let mut buf = Vec::new();
+        write_matrix_market(&mut buf, &h).unwrap();
+        let h2 = read_matrix_market(Cursor::new(buf)).unwrap();
+        assert_eq!(h, h2);
+    }
+}

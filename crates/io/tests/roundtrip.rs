@@ -1,0 +1,102 @@
+//! Property-based round-trip tests across every serialization format:
+//! for arbitrary hypergraphs, write → read must be the identity (up to
+//! each format's documented ID-space caveats, which the generator
+//! avoids by always using trailing IDs).
+
+use nwhy_io::tsv::Orientation;
+use nwhy_core::{BiEdgeList, Hypergraph};
+use proptest::prelude::*;
+use std::io::Cursor;
+
+/// Arbitrary hypergraph with fixed ID spaces (so every format preserves
+/// them: MM and binary store explicit dims; TSV/hyperedge-list infer
+/// them, so we pin the max IDs with a final anchored incidence).
+fn arb_hypergraph() -> impl Strategy<Value = Hypergraph> {
+    (1usize..10, 1usize..14)
+        .prop_flat_map(|(ne, nv)| {
+            let pairs = proptest::collection::btree_set(
+                (0u32..ne as u32, 0u32..nv as u32),
+                0..40,
+            );
+            (Just(ne), Just(nv), pairs)
+        })
+        .prop_map(|(ne, nv, pairs)| {
+            let mut incidences: Vec<(u32, u32)> = pairs.into_iter().collect();
+            // anchor the top corner so inferring readers see full dims
+            incidences.push((ne as u32 - 1, nv as u32 - 1));
+            incidences.sort_unstable();
+            incidences.dedup();
+            let bel = BiEdgeList::from_incidences(ne, nv, incidences);
+            Hypergraph::from_biedgelist(&bel)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn matrix_market_roundtrip(h in arb_hypergraph()) {
+        let mut buf = Vec::new();
+        nwhy_io::write_matrix_market(&mut buf, &h).unwrap();
+        let h2 = nwhy_io::read_matrix_market(Cursor::new(buf)).unwrap();
+        prop_assert_eq!(h, h2);
+    }
+
+    #[test]
+    fn binary_roundtrip(h in arb_hypergraph()) {
+        let mut buf = Vec::new();
+        nwhy_io::write_binary(&mut buf, &h).unwrap();
+        let h2 = nwhy_io::read_binary(Cursor::new(buf)).unwrap();
+        prop_assert_eq!(h, h2);
+    }
+
+    #[test]
+    fn tsv_roundtrip(h in arb_hypergraph()) {
+        // TSV infers ID spaces from max IDs — anchored by construction
+        let mut buf = Vec::new();
+        nwhy_io::write_bipartite_tsv(&mut buf, &h).unwrap();
+        let h2 = nwhy_io::read_bipartite_tsv(Cursor::new(buf), Orientation::NodeEdge).unwrap();
+        prop_assert_eq!(h, h2);
+    }
+
+    #[test]
+    fn hyperedge_list_roundtrip(h in arb_hypergraph()) {
+        // format caveat: trailing empty hyperedges and trailing isolated
+        // nodes are not representable; compare on incidences + edge count
+        let mut buf = Vec::new();
+        nwhy_io::write_hyperedge_list(&mut buf, &h).unwrap();
+        let h2 = nwhy_io::read_hyperedge_list(Cursor::new(buf)).unwrap();
+        // all edges up to the last non-empty one survive exactly
+        prop_assert!(h2.num_hyperedges() <= h.num_hyperedges());
+        for e in 0..h2.num_hyperedges() as u32 {
+            prop_assert_eq!(h2.edge_members(e), h.edge_members(e));
+        }
+        prop_assert_eq!(h2.num_incidences(), h.num_incidences());
+    }
+
+    #[test]
+    fn adjoin_reader_consistent_with_direct(h in arb_hypergraph()) {
+        let mut buf = Vec::new();
+        nwhy_io::write_matrix_market(&mut buf, &h).unwrap();
+        let (a, ne, nv) = nwhy_io::read_adjoin(Cursor::new(buf)).unwrap();
+        prop_assert_eq!(ne, h.num_hyperedges());
+        prop_assert_eq!(nv, h.num_hypernodes());
+        prop_assert_eq!(a.to_hypergraph(), h);
+    }
+
+    #[test]
+    fn cross_format_equivalence(h in arb_hypergraph()) {
+        // MM → binary → TSV → MM must be the identity
+        let mut mm = Vec::new();
+        nwhy_io::write_matrix_market(&mut mm, &h).unwrap();
+        let via_mm = nwhy_io::read_matrix_market(Cursor::new(mm)).unwrap();
+        let mut bin = Vec::new();
+        nwhy_io::write_binary(&mut bin, &via_mm).unwrap();
+        let via_bin = nwhy_io::read_binary(Cursor::new(bin)).unwrap();
+        let mut tsv = Vec::new();
+        nwhy_io::write_bipartite_tsv(&mut tsv, &via_bin).unwrap();
+        let via_tsv =
+            nwhy_io::read_bipartite_tsv(Cursor::new(tsv), Orientation::NodeEdge).unwrap();
+        prop_assert_eq!(via_tsv, h);
+    }
+}

@@ -1,0 +1,116 @@
+//! k-core decomposition by parallel peeling.
+//!
+//! Another of the standard hypergraph-framework algorithms (§V names
+//! k-core among Hygra/MESH/HyperX's suites). The peeling algorithm removes
+//! all vertices of degree < k rounds at a time; a vertex's core number is
+//! the largest k at which it survives.
+
+use crate::csr::Csr;
+use crate::Vertex;
+use rayon::prelude::*;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Computes the core number of every vertex of an undirected graph.
+pub fn kcore_decomposition(g: &Csr) -> Vec<u32> {
+    let n = g.num_vertices();
+    let degree: Vec<AtomicUsize> = (0..n)
+        .map(|v| AtomicUsize::new(g.degree(v as Vertex)))
+        .collect();
+    let mut core = vec![0u32; n];
+    let mut alive: Vec<bool> = vec![true; n];
+    let mut remaining = n;
+    let mut k = 0u32;
+
+    while remaining > 0 {
+        k += 1;
+        // Peel every vertex with degree < k, cascading within this k.
+        loop {
+            let to_remove: Vec<Vertex> = (0..n as Vertex)
+                .into_par_iter()
+                .filter(|&v| {
+                    alive[v as usize] && degree[v as usize].load(Ordering::Relaxed) < k as usize
+                })
+                .collect();
+            if to_remove.is_empty() {
+                break;
+            }
+            for &v in &to_remove {
+                alive[v as usize] = false;
+                core[v as usize] = k - 1;
+                remaining -= 1;
+            }
+            to_remove.par_iter().for_each(|&v| {
+                for &u in g.neighbors(v) {
+                    if alive[u as usize] {
+                        degree[u as usize].fetch_sub(1, Ordering::Relaxed);
+                    }
+                }
+            });
+        }
+    }
+    core
+}
+
+/// The degeneracy of the graph: the maximum core number.
+pub fn degeneracy(g: &Csr) -> u32 {
+    kcore_decomposition(g).into_iter().max().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::edge_list::EdgeList;
+
+    fn undirected(n: usize, edges: &[(u32, u32)]) -> Csr {
+        let mut el = EdgeList::from_edges(n, edges.to_vec());
+        el.symmetrize();
+        el.sort_dedup();
+        Csr::from_edge_list(&el)
+    }
+
+    #[test]
+    fn triangle_with_tail() {
+        // triangle 0-1-2 plus tail 2-3
+        let g = undirected(4, &[(0, 1), (1, 2), (0, 2), (2, 3)]);
+        let core = kcore_decomposition(&g);
+        assert_eq!(core, vec![2, 2, 2, 1]);
+        assert_eq!(degeneracy(&g), 2);
+    }
+
+    #[test]
+    fn path_is_1_core() {
+        let g = undirected(4, &[(0, 1), (1, 2), (2, 3)]);
+        assert_eq!(kcore_decomposition(&g), vec![1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn clique_core_number() {
+        let g = undirected(5, &[
+            (0, 1), (0, 2), (0, 3), (0, 4),
+            (1, 2), (1, 3), (1, 4),
+            (2, 3), (2, 4), (3, 4),
+        ]);
+        assert_eq!(kcore_decomposition(&g), vec![4; 5]);
+    }
+
+    #[test]
+    fn isolated_vertices_are_0_core() {
+        let g = Csr::from_edge_list(&EdgeList::new(3));
+        assert_eq!(kcore_decomposition(&g), vec![0, 0, 0]);
+        assert_eq!(degeneracy(&g), 0);
+    }
+
+    #[test]
+    fn cascading_peel() {
+        // star: removing leaves at k=2 drops hub's degree to 0,
+        // so the hub must also peel at k=2 (core number 1).
+        let g = undirected(5, &[(0, 1), (0, 2), (0, 3), (0, 4)]);
+        assert_eq!(kcore_decomposition(&g), vec![1, 1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Csr::from_edge_list(&EdgeList::new(0));
+        assert!(kcore_decomposition(&g).is_empty());
+    }
+}

@@ -1,0 +1,184 @@
+//! k-truss decomposition by parallel triangle-support peeling.
+//!
+//! The k-truss is the largest subgraph in which every edge participates
+//! in at least `k − 2` triangles — a cohesion measure one notch finer
+//! than k-core, and a standard member of the parallel-graph-kernel
+//! canon. On s-line graphs it isolates clusters of hyperedges whose
+//! pairwise overlaps are mutually reinforced.
+
+use crate::algorithms::triangles::sorted_intersection_count;
+use crate::csr::Csr;
+use crate::Vertex;
+use nwhy_util::fxhash::FxHashMap;
+use rayon::prelude::*;
+
+/// Computes, for every undirected edge `(u, v)` with `u < v`, its *truss
+/// number*: the largest `k` such that the edge survives in the k-truss.
+/// Isolated edges (no triangles) have truss number 2.
+///
+/// Input must be a simple symmetric graph.
+pub fn truss_numbers(g: &Csr) -> FxHashMap<(Vertex, Vertex), u32> {
+    // support[e] = number of triangles through edge e
+    let edges: Vec<(Vertex, Vertex)> = g
+        .par_iter()
+        .flat_map_iter(|(u, nbrs)| nbrs.iter().filter(move |&&v| u < v).map(move |&v| (u, v)))
+        .collect();
+    let mut support: FxHashMap<(Vertex, Vertex), u32> = edges
+        .par_iter()
+        .map(|&(u, v)| {
+            let c = sorted_intersection_count(g.neighbors(u), g.neighbors(v)) as u32;
+            ((u, v), c)
+        })
+        .collect();
+
+    let mut truss: FxHashMap<(Vertex, Vertex), u32> = FxHashMap::default();
+    let mut alive: FxHashMap<(Vertex, Vertex), bool> =
+        edges.iter().map(|&e| (e, true)).collect();
+    let mut remaining = edges.len();
+    let mut k = 2u32;
+
+    let canon = |a: Vertex, b: Vertex| if a < b { (a, b) } else { (b, a) };
+
+    while remaining > 0 {
+        // peel all edges with support < k - 2, cascading
+        loop {
+            let to_remove: Vec<(Vertex, Vertex)> = support
+                .iter()
+                .filter(|(e, &s)| alive[e] && s < k - 2)
+                .map(|(&e, _)| e)
+                .collect();
+            if to_remove.is_empty() {
+                break;
+            }
+            for &(u, v) in &to_remove {
+                alive.insert((u, v), false);
+                truss.insert((u, v), k - 1);
+                remaining -= 1;
+                // decrement support of the other two edges of each
+                // triangle through (u, v)
+                let (su, sv) = (g.neighbors(u), g.neighbors(v));
+                let mut i = 0;
+                let mut j = 0;
+                while i < su.len() && j < sv.len() {
+                    match su[i].cmp(&sv[j]) {
+                        std::cmp::Ordering::Less => i += 1,
+                        std::cmp::Ordering::Greater => j += 1,
+                        std::cmp::Ordering::Equal => {
+                            let w = su[i];
+                            let e1 = canon(u, w);
+                            let e2 = canon(v, w);
+                            if alive.get(&e1) == Some(&true) && alive.get(&e2) == Some(&true) {
+                                if let Some(s) = support.get_mut(&e1) {
+                                    *s = s.saturating_sub(1);
+                                }
+                                if let Some(s) = support.get_mut(&e2) {
+                                    *s = s.saturating_sub(1);
+                                }
+                            }
+                            i += 1;
+                            j += 1;
+                        }
+                    }
+                }
+            }
+        }
+        k += 1;
+    }
+    // edges never peeled before exhaustion already got their number; any
+    // still-alive edges (none, since loop runs to remaining == 0) skipped
+    truss
+}
+
+/// The maximum truss number in the graph (`0` for an edgeless graph,
+/// `2` for a triangle-free one).
+pub fn max_truss(g: &Csr) -> u32 {
+    truss_numbers(g).values().copied().max().unwrap_or(0)
+}
+
+/// The edges of the k-truss subgraph, canonical `(u, v)` with `u < v`.
+pub fn ktruss_edges(g: &Csr, k: u32) -> Vec<(Vertex, Vertex)> {
+    let mut out: Vec<(Vertex, Vertex)> = truss_numbers(g)
+        .into_iter()
+        .filter(|&(_, t)| t >= k)
+        .map(|(e, _)| e)
+        .collect();
+    out.sort_unstable();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::edge_list::EdgeList;
+
+    fn undirected(n: usize, edges: &[(u32, u32)]) -> Csr {
+        let mut el = EdgeList::from_edges(n, edges.to_vec());
+        el.symmetrize();
+        el.sort_dedup();
+        Csr::from_edge_list(&el)
+    }
+
+    #[test]
+    fn triangle_is_3_truss() {
+        let g = undirected(3, &[(0, 1), (1, 2), (0, 2)]);
+        let t = truss_numbers(&g);
+        assert!(t.values().all(|&k| k == 3), "{t:?}");
+        assert_eq!(max_truss(&g), 3);
+    }
+
+    #[test]
+    fn path_is_2_truss() {
+        let g = undirected(4, &[(0, 1), (1, 2), (2, 3)]);
+        let t = truss_numbers(&g);
+        assert!(t.values().all(|&k| k == 2));
+        assert!(ktruss_edges(&g, 3).is_empty());
+    }
+
+    #[test]
+    fn k4_is_4_truss() {
+        let g = undirected(4, &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]);
+        let t = truss_numbers(&g);
+        assert!(t.values().all(|&k| k == 4), "{t:?}");
+        assert_eq!(ktruss_edges(&g, 4).len(), 6);
+    }
+
+    #[test]
+    fn k4_with_tail_mixed_truss() {
+        // K4 on {0,1,2,3} plus tail 3-4
+        let g = undirected(5, &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3), (3, 4)]);
+        let t = truss_numbers(&g);
+        assert_eq!(t[&(3, 4)], 2);
+        assert_eq!(t[&(0, 1)], 4);
+        assert_eq!(ktruss_edges(&g, 4).len(), 6);
+        assert_eq!(ktruss_edges(&g, 2).len(), 7);
+    }
+
+    #[test]
+    fn two_triangles_sharing_edge() {
+        // triangles (0,1,2) and (1,2,3) share edge (1,2)
+        let g = undirected(4, &[(0, 1), (0, 2), (1, 2), (1, 3), (2, 3)]);
+        let t = truss_numbers(&g);
+        // peeling at k=4: every edge has support 1 except (1,2) with 2;
+        // removing the support-1 edges drops (1,2) too → all truss 3
+        assert!(t.values().all(|&k| k == 3), "{t:?}");
+    }
+
+    #[test]
+    fn empty_and_edgeless() {
+        let g = Csr::from_edge_list(&EdgeList::new(0));
+        assert_eq!(max_truss(&g), 0);
+        let g = Csr::from_edge_list(&EdgeList::new(3));
+        assert!(truss_numbers(&g).is_empty());
+    }
+
+    #[test]
+    fn truss_is_at_most_core_plus_one() {
+        // sanity law: truss(e) ≤ min(core(u), core(v)) + 1
+        let g = crate::random::gnm_undirected(40, 120, 5);
+        let core = crate::algorithms::kcore::kcore_decomposition(&g);
+        for ((u, v), t) in truss_numbers(&g) {
+            let bound = core[u as usize].min(core[v as usize]) + 1;
+            assert!(t <= bound, "edge ({u},{v}) truss {t} > bound {bound}");
+        }
+    }
+}

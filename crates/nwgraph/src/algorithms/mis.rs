@@ -1,0 +1,150 @@
+//! Maximal independent set via parallel random-priority selection (Luby's
+//! algorithm with a fixed hash priority — deterministic for a given seed).
+//!
+//! Hygra/MESH/HyperX list MIS among their kernels (§V); it is also handy
+//! for picking well-spread sources in the benchmark harnesses.
+
+use crate::csr::Csr;
+use crate::Vertex;
+use rayon::prelude::*;
+use std::sync::atomic::{AtomicU8, Ordering};
+
+const UNDECIDED: u8 = 0;
+const IN_SET: u8 = 1;
+const OUT: u8 = 2;
+
+/// Mixes a vertex ID with a seed into a 64-bit priority.
+#[inline]
+fn priority(v: Vertex, seed: u64) -> u64 {
+    let mut z = (v as u64).wrapping_add(seed).wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Computes a maximal independent set of an undirected graph; returns a
+/// boolean membership vector. Deterministic for a fixed `seed`.
+pub fn maximal_independent_set(g: &Csr, seed: u64) -> Vec<bool> {
+    let n = g.num_vertices();
+    let state: Vec<AtomicU8> = (0..n).map(|_| AtomicU8::new(UNDECIDED)).collect();
+    let mut undecided: Vec<Vertex> = (0..n as Vertex).collect();
+    let mut round_seed = seed;
+
+    while !undecided.is_empty() {
+        // Snapshot the state at round start so concurrent winners in this
+        // round cannot influence each other's decisions.
+        let snapshot: Vec<u8> = state.iter().map(|s| s.load(Ordering::Relaxed)).collect();
+        // A vertex joins the set if it is a local priority minimum among
+        // undecided neighbors (ties broken by ID).
+        undecided.par_iter().for_each(|&v| {
+            let pv = priority(v, round_seed);
+            let wins = g.neighbors(v).iter().all(|&u| {
+                u == v
+                    || snapshot[u as usize] != UNDECIDED
+                    || priority(u, round_seed) > pv
+                    || (priority(u, round_seed) == pv && u > v)
+            });
+            if wins {
+                state[v as usize].store(IN_SET, Ordering::Relaxed);
+            }
+        });
+        // Winners knock out their undecided neighbors.
+        undecided.par_iter().for_each(|&v| {
+            if state[v as usize].load(Ordering::Relaxed) == IN_SET {
+                for &u in g.neighbors(v) {
+                    let _ = state[u as usize].compare_exchange(
+                        UNDECIDED,
+                        OUT,
+                        Ordering::AcqRel,
+                        Ordering::Relaxed,
+                    );
+                }
+            }
+        });
+        undecided.retain(|&v| state[v as usize].load(Ordering::Relaxed) == UNDECIDED);
+        round_seed = round_seed.wrapping_add(0xA076_1D64_78BD_642F);
+    }
+
+    state
+        .into_iter()
+        .map(|s| s.into_inner() == IN_SET)
+        .collect()
+}
+
+/// Checks the MIS invariants: independence (no two members adjacent) and
+/// maximality (every non-member has a member neighbor).
+pub fn validate_mis(g: &Csr, mis: &[bool]) -> Result<(), String> {
+    for (u, nbrs) in g.iter() {
+        if mis[u as usize] {
+            for &v in nbrs {
+                if v != u && mis[v as usize] {
+                    return Err(format!("members {u} and {v} are adjacent"));
+                }
+            }
+        } else if !nbrs.iter().any(|&v| mis[v as usize]) {
+            return Err(format!("non-member {u} has no member neighbor"));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::edge_list::EdgeList;
+    use crate::random::gnm_undirected;
+
+    fn undirected(n: usize, edges: &[(u32, u32)]) -> Csr {
+        let mut el = EdgeList::from_edges(n, edges.to_vec());
+        el.symmetrize();
+        el.sort_dedup();
+        Csr::from_edge_list(&el)
+    }
+
+    #[test]
+    fn isolated_vertices_all_in() {
+        let g = Csr::from_edge_list(&EdgeList::new(4));
+        let mis = maximal_independent_set(&g, 1);
+        assert_eq!(mis, vec![true; 4]);
+        validate_mis(&g, &mis).unwrap();
+    }
+
+    #[test]
+    fn edge_picks_exactly_one() {
+        let g = undirected(2, &[(0, 1)]);
+        let mis = maximal_independent_set(&g, 1);
+        assert_eq!(mis.iter().filter(|&&b| b).count(), 1);
+        validate_mis(&g, &mis).unwrap();
+    }
+
+    #[test]
+    fn triangle_picks_one() {
+        let g = undirected(3, &[(0, 1), (1, 2), (0, 2)]);
+        let mis = maximal_independent_set(&g, 5);
+        assert_eq!(mis.iter().filter(|&&b| b).count(), 1);
+        validate_mis(&g, &mis).unwrap();
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let g = gnm_undirected(100, 300, 3);
+        let a = maximal_independent_set(&g, 42);
+        let b = maximal_independent_set(&g, 42);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn valid_on_random_graphs() {
+        for seed in 0..5 {
+            let g = gnm_undirected(150, 400, seed);
+            let mis = maximal_independent_set(&g, seed);
+            validate_mis(&g, &mis).unwrap();
+        }
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Csr::from_edge_list(&EdgeList::new(0));
+        assert!(maximal_independent_set(&g, 0).is_empty());
+    }
+}

@@ -1,0 +1,139 @@
+//! PageRank with the power-iteration pull formulation.
+//!
+//! Listed among the algorithms hypergraph frameworks provide (§V of the
+//! paper: MESH/HyperX implement PageRank); included here so the adjoin and
+//! s-line projections can run it unchanged.
+
+use crate::csr::Csr;
+use rayon::prelude::*;
+
+/// Options for [`pagerank`].
+#[derive(Debug, Clone, Copy)]
+pub struct PageRankOptions {
+    /// Damping factor (typically 0.85).
+    pub damping: f64,
+    /// Stop when the L1 change between iterations drops below this.
+    pub tolerance: f64,
+    /// Hard iteration cap.
+    pub max_iterations: usize,
+}
+
+impl Default for PageRankOptions {
+    fn default() -> Self {
+        Self {
+            damping: 0.85,
+            tolerance: 1e-9,
+            max_iterations: 100,
+        }
+    }
+}
+
+/// Computes PageRank scores (summing to 1.0) on the *pull* direction: each
+/// vertex gathers rank from in-neighbors. For the symmetric graphs NWHy
+/// produces, in- and out-neighbors coincide, so the input CSR is used
+/// directly; for directed graphs pass the transpose.
+///
+/// Returns `(scores, iterations_used)`.
+pub fn pagerank(g: &Csr, opts: PageRankOptions) -> (Vec<f64>, usize) {
+    let n = g.num_vertices();
+    if n == 0 {
+        return (Vec::new(), 0);
+    }
+    let out_degree: Vec<usize> = g.degrees();
+    let base = (1.0 - opts.damping) / n as f64;
+    let mut rank = vec![1.0 / n as f64; n];
+    let mut next = vec![0f64; n];
+
+    for it in 0..opts.max_iterations {
+        // Rank lost to dangling vertices is redistributed uniformly.
+        let dangling: f64 = rank
+            .par_iter()
+            .enumerate()
+            .filter(|&(u, _)| out_degree[u] == 0)
+            .map(|(_, r)| r)
+            .sum();
+        let dangling_share = opts.damping * dangling / n as f64;
+
+        next.par_iter_mut().enumerate().for_each(|(v, slot)| {
+            let gathered: f64 = g
+                .neighbors(v as u32)
+                .iter()
+                .map(|&u| rank[u as usize] / out_degree[u as usize] as f64)
+                .sum();
+            *slot = base + dangling_share + opts.damping * gathered;
+        });
+
+        let delta: f64 = rank
+            .par_iter()
+            .zip(next.par_iter())
+            .map(|(a, b)| (a - b).abs())
+            .sum();
+        std::mem::swap(&mut rank, &mut next);
+        if delta < opts.tolerance {
+            return (rank, it + 1);
+        }
+    }
+    let iters = opts.max_iterations;
+    (rank, iters)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::edge_list::EdgeList;
+
+    fn undirected(n: usize, edges: &[(u32, u32)]) -> Csr {
+        let mut el = EdgeList::from_edges(n, edges.to_vec());
+        el.symmetrize();
+        el.sort_dedup();
+        Csr::from_edge_list(&el)
+    }
+
+    #[test]
+    fn sums_to_one() {
+        let g = undirected(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]);
+        let (pr, _) = pagerank(&g, PageRankOptions::default());
+        assert!((pr.iter().sum::<f64>() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn symmetric_cycle_is_uniform() {
+        let g = undirected(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let (pr, _) = pagerank(&g, PageRankOptions::default());
+        for &p in &pr {
+            assert!((p - 0.25).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn hub_outranks_leaves() {
+        let g = undirected(5, &[(0, 1), (0, 2), (0, 3), (0, 4)]);
+        let (pr, _) = pagerank(&g, PageRankOptions::default());
+        assert!(pr[0] > pr[1]);
+        assert!((pr[1] - pr[4]).abs() < 1e-9, "leaves symmetric");
+    }
+
+    #[test]
+    fn dangling_vertices_keep_total_mass() {
+        // directed-ish: isolated vertex 2 is dangling
+        let g = undirected(3, &[(0, 1)]);
+        let (pr, _) = pagerank(&g, PageRankOptions::default());
+        assert!((pr.iter().sum::<f64>() - 1.0).abs() < 1e-6);
+        assert!(pr[2] > 0.0);
+    }
+
+    #[test]
+    fn converges_quickly_on_small_graph() {
+        let g = undirected(4, &[(0, 1), (1, 2), (2, 3)]);
+        let (_, iters) = pagerank(&g, PageRankOptions::default());
+        assert!(iters < 100);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Csr::from_edge_list(&EdgeList::new(0));
+        let (pr, iters) = pagerank(&g, PageRankOptions::default());
+        assert!(pr.is_empty());
+        assert_eq!(iters, 0);
+    }
+}

@@ -1,0 +1,265 @@
+//! Single-source shortest paths.
+//!
+//! NWHy's `s_distance`/`s_path` queries reduce to shortest paths on the
+//! s-line graph. Unweighted distances come straight from BFS levels; the
+//! weighted case uses Δ-stepping (Meyer & Sanders), the standard parallel
+//! SSSP used by shared-memory graph frameworks.
+
+use crate::algorithms::bfs::bfs_direction_optimizing;
+use crate::csr::Csr;
+use crate::{Vertex, INVALID_VERTEX};
+use parking_lot::Mutex;
+use rayon::prelude::*;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Hop distances from `source` (`u32::MAX` ⇒ unreachable). A thin wrapper
+/// over direction-optimizing BFS.
+pub fn unweighted_distances(g: &Csr, source: Vertex) -> Vec<u32> {
+    bfs_direction_optimizing(g, source).levels
+}
+
+/// Reconstructs one shortest path `source → dest` from a parent array
+/// (as produced by BFS); `None` if `dest` is unreachable.
+pub fn path_from_parents(parents: &[Vertex], source: Vertex, dest: Vertex) -> Option<Vec<Vertex>> {
+    if parents[dest as usize] == INVALID_VERTEX {
+        return None;
+    }
+    let mut path = vec![dest];
+    let mut cur = dest;
+    while cur != source {
+        cur = parents[cur as usize];
+        path.push(cur);
+        if path.len() > parents.len() {
+            return None; // defensive: malformed parent array
+        }
+    }
+    path.reverse();
+    Some(path)
+}
+
+/// Atomic f64 min via bit-ordered u64 CAS (non-negative floats order the
+/// same as their bit patterns).
+#[inline]
+fn atomic_min_f64(slot: &AtomicU64, val: f64) -> bool {
+    debug_assert!(val >= 0.0);
+    let bits = val.to_bits();
+    let mut cur = slot.load(Ordering::Relaxed);
+    while bits < cur {
+        match slot.compare_exchange_weak(cur, bits, Ordering::AcqRel, Ordering::Relaxed) {
+            Ok(_) => return true,
+            Err(observed) => cur = observed,
+        }
+    }
+    false
+}
+
+/// Δ-stepping parallel SSSP over non-negative weights. Returns distances
+/// (`f64::INFINITY` ⇒ unreachable).
+///
+/// `delta` is the bucket width; pass `None` to use a heuristic
+/// (average edge weight).
+///
+/// # Panics
+/// Panics if the graph has a negative edge weight or `source` is out of
+/// range.
+pub fn delta_stepping(g: &Csr, source: Vertex, delta: Option<f64>) -> Vec<f64> {
+    let n = g.num_vertices();
+    assert!((source as usize) < n, "source {source} out of range {n}");
+
+    let delta = delta.unwrap_or_else(|| {
+        if g.num_edges() == 0 {
+            1.0
+        } else {
+            let total: f64 = (0..n as Vertex)
+                .flat_map(|u| g.weighted_neighbors(u).map(|(_, w)| w))
+                .sum();
+            (total / g.num_edges() as f64).max(f64::MIN_POSITIVE)
+        }
+    });
+    assert!(delta > 0.0, "delta must be positive");
+
+    let dist: Vec<AtomicU64> = (0..n)
+        .map(|_| AtomicU64::new(f64::INFINITY.to_bits()))
+        .collect();
+    dist[source as usize].store(0f64.to_bits(), Ordering::Relaxed);
+
+    // Buckets of vertex IDs; bucket i holds tentative distances in
+    // [i·Δ, (i+1)·Δ). A simple Mutex-guarded vec-of-vecs is fine: pushes
+    // are amortized rare relative to edge relaxations.
+    let buckets: Mutex<Vec<Vec<Vertex>>> = Mutex::new(vec![vec![source]]);
+
+    let bucket_of = |d: f64| (d / delta) as usize;
+
+    let mut current = 0usize;
+    loop {
+        // Find next non-empty bucket.
+        let frontier = {
+            let mut b = buckets.lock();
+            while current < b.len() && b[current].is_empty() {
+                current += 1;
+            }
+            if current >= b.len() {
+                break;
+            }
+            std::mem::take(&mut b[current])
+        };
+
+        // Relax all edges of this bucket. Re-insertions into the same
+        // bucket are processed in the same outer iteration (light-edge
+        // loop folded into re-reading the bucket).
+        let reinserted: Vec<Vertex> = frontier
+            .par_iter()
+            .fold(Vec::new, |mut acc, &u| {
+                let du = f64::from_bits(dist[u as usize].load(Ordering::Relaxed));
+                // Skip stale entries.
+                if bucket_of(du) < current {
+                    return acc;
+                }
+                for (v, w) in g.weighted_neighbors(u) {
+                    assert!(w >= 0.0, "negative weight on edge ({u},{v})");
+                    let nd = du + w;
+                    if atomic_min_f64(&dist[v as usize], nd) {
+                        acc.push(v);
+                    }
+                }
+                acc
+            })
+            .reduce(Vec::new, |mut a, mut b| {
+                a.append(&mut b);
+                a
+            });
+
+        {
+            let mut b = buckets.lock();
+            for v in reinserted {
+                let dv = f64::from_bits(dist[v as usize].load(Ordering::Relaxed));
+                let idx = bucket_of(dv);
+                if idx >= b.len() {
+                    b.resize(idx + 1, Vec::new());
+                }
+                b[idx].push(v);
+            }
+        }
+    }
+
+    dist.into_iter()
+        .map(|d| f64::from_bits(d.into_inner()))
+        .collect()
+}
+
+/// Sequential Dijkstra, used as the test oracle for Δ-stepping.
+pub fn dijkstra(g: &Csr, source: Vertex) -> Vec<f64> {
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+
+    #[derive(PartialEq)]
+    struct Entry(f64, Vertex);
+    impl Eq for Entry {}
+    impl PartialOrd for Entry {
+        fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+    impl Ord for Entry {
+        fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+            self.0.partial_cmp(&other.0).expect("NaN distance")
+        }
+    }
+
+    let n = g.num_vertices();
+    let mut dist = vec![f64::INFINITY; n];
+    dist[source as usize] = 0.0;
+    let mut heap = BinaryHeap::new();
+    heap.push(Reverse(Entry(0.0, source)));
+    while let Some(Reverse(Entry(d, u))) = heap.pop() {
+        if d > dist[u as usize] {
+            continue;
+        }
+        for (v, w) in g.weighted_neighbors(u) {
+            let nd = d + w;
+            if nd < dist[v as usize] {
+                dist[v as usize] = nd;
+                heap.push(Reverse(Entry(nd, v)));
+            }
+        }
+    }
+    dist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::edge_list::EdgeList;
+    use crate::random::{connected_undirected, weighted_connected};
+
+    #[test]
+    fn unweighted_matches_bfs_levels() {
+        let g = connected_undirected(100, 80, 3);
+        let d = unweighted_distances(&g, 0);
+        let l = bfs_direction_optimizing(&g, 0).levels;
+        assert_eq!(d, l);
+    }
+
+    #[test]
+    fn path_reconstruction() {
+        let mut el = EdgeList::from_edges(4, vec![(0, 1), (1, 2), (2, 3)]);
+        el.symmetrize();
+        let g = Csr::from_edge_list(&el);
+        let r = bfs_direction_optimizing(&g, 0);
+        let p = path_from_parents(&r.parents, 0, 3).unwrap();
+        assert_eq!(p, vec![0, 1, 2, 3]);
+        assert_eq!(path_from_parents(&r.parents, 0, 0).unwrap(), vec![0]);
+    }
+
+    #[test]
+    fn path_unreachable_is_none() {
+        let g = Csr::from_edge_list(&EdgeList::new(3));
+        let r = bfs_direction_optimizing(&g, 0);
+        assert!(path_from_parents(&r.parents, 0, 2).is_none());
+    }
+
+    #[test]
+    fn delta_stepping_tiny_weighted() {
+        // 0 -1.0- 1 -1.0- 2, plus a heavy shortcut 0 -5.0- 2
+        let el = EdgeList::from_weighted_edges(
+            3,
+            vec![(0, 1), (1, 0), (1, 2), (2, 1), (0, 2), (2, 0)],
+            vec![1.0, 1.0, 1.0, 1.0, 5.0, 5.0],
+        );
+        let g = Csr::from_edge_list(&el);
+        let d = delta_stepping(&g, 0, None);
+        assert_eq!(d, vec![0.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn delta_stepping_unreachable_infinite() {
+        let g = Csr::from_edge_list(&EdgeList::new(2));
+        let d = delta_stepping(&g, 0, None);
+        assert_eq!(d[0], 0.0);
+        assert!(d[1].is_infinite());
+    }
+
+    #[test]
+    fn delta_stepping_matches_dijkstra() {
+        for seed in 0..5 {
+            let g = weighted_connected(120, 200, seed);
+            let want = dijkstra(&g, 0);
+            for delta in [None, Some(0.5), Some(2.0), Some(100.0)] {
+                let got = delta_stepping(&g, 0, delta);
+                for (a, b) in got.iter().zip(&want) {
+                    assert!((a - b).abs() < 1e-9, "seed {seed} delta {delta:?}: {a} vs {b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn delta_stepping_on_unweighted_graph_counts_hops() {
+        let g = connected_undirected(60, 60, 2);
+        let got = delta_stepping(&g, 0, None);
+        let hops = unweighted_distances(&g, 0);
+        for (a, &h) in got.iter().zip(&hops) {
+            assert_eq!(*a as u32, h);
+        }
+    }
+}

@@ -1,0 +1,146 @@
+//! Triangle counting by sorted-adjacency intersection.
+//!
+//! Counts each triangle once using the "forward" orientation trick: only
+//! edges (u, v) with u < v are expanded, and only common neighbors w > v
+//! are counted. Exercises the same sorted-set intersection kernel the
+//! s-line-graph Algorithm 2 builds on.
+
+use crate::csr::Csr;
+use crate::Vertex;
+use rayon::prelude::*;
+
+/// Number of common elements in two sorted slices.
+#[inline]
+pub fn sorted_intersection_count(a: &[Vertex], b: &[Vertex]) -> usize {
+    let mut i = 0;
+    let mut j = 0;
+    let mut count = 0;
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                count += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    count
+}
+
+/// Like [`sorted_intersection_count`] but stops early once `threshold`
+/// common elements are found; returns `min(count, threshold)`. This is the
+/// short-circuit the set-intersection s-line algorithm uses: it only needs
+/// to know whether the overlap reaches `s`.
+#[inline]
+pub fn sorted_intersection_at_least(a: &[Vertex], b: &[Vertex], threshold: usize) -> bool {
+    if threshold == 0 {
+        return true;
+    }
+    let mut i = 0;
+    let mut j = 0;
+    let mut count = 0;
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                count += 1;
+                if count >= threshold {
+                    return true;
+                }
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    false
+}
+
+/// Exact triangle count of an undirected graph (each triangle counted
+/// once).
+pub fn triangle_count(g: &Csr) -> u64 {
+    (0..g.num_vertices() as Vertex)
+        .into_par_iter()
+        .map(|u| {
+            let nbrs_u = g.neighbors(u);
+            // only higher neighbors of u
+            let start = nbrs_u.partition_point(|&v| v <= u);
+            let mut local = 0u64;
+            for &v in &nbrs_u[start..] {
+                let nbrs_v = g.neighbors(v);
+                // count w adjacent to both u and v with w > v
+                let su = nbrs_u.partition_point(|&w| w <= v);
+                let sv = nbrs_v.partition_point(|&w| w <= v);
+                local += sorted_intersection_count(&nbrs_u[su..], &nbrs_v[sv..]) as u64;
+            }
+            local
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::edge_list::EdgeList;
+
+    fn undirected(n: usize, edges: &[(u32, u32)]) -> Csr {
+        let mut el = EdgeList::from_edges(n, edges.to_vec());
+        el.symmetrize();
+        el.sort_dedup();
+        Csr::from_edge_list(&el)
+    }
+
+    #[test]
+    fn intersection_count_basics() {
+        assert_eq!(sorted_intersection_count(&[1, 3, 5], &[2, 3, 5, 7]), 2);
+        assert_eq!(sorted_intersection_count(&[], &[1, 2]), 0);
+        assert_eq!(sorted_intersection_count(&[1, 2, 3], &[1, 2, 3]), 3);
+    }
+
+    #[test]
+    fn intersection_at_least_short_circuits() {
+        assert!(sorted_intersection_at_least(&[1, 2, 3], &[1, 9], 1));
+        assert!(!sorted_intersection_at_least(&[1, 2, 3], &[4, 5], 1));
+        assert!(sorted_intersection_at_least(&[1, 2], &[5, 9], 0));
+        assert!(!sorted_intersection_at_least(&[1, 2, 3], &[2, 3], 3));
+    }
+
+    #[test]
+    fn single_triangle() {
+        let g = undirected(3, &[(0, 1), (1, 2), (0, 2)]);
+        assert_eq!(triangle_count(&g), 1);
+    }
+
+    #[test]
+    fn square_has_none() {
+        let g = undirected(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        assert_eq!(triangle_count(&g), 0);
+    }
+
+    #[test]
+    fn complete_graph_count() {
+        // K5 has C(5,3) = 10 triangles
+        let mut edges = Vec::new();
+        for u in 0..5u32 {
+            for v in (u + 1)..5 {
+                edges.push((u, v));
+            }
+        }
+        let g = undirected(5, &edges);
+        assert_eq!(triangle_count(&g), 10);
+    }
+
+    #[test]
+    fn two_triangles_sharing_an_edge() {
+        let g = undirected(4, &[(0, 1), (1, 2), (0, 2), (1, 3), (2, 3)]);
+        assert_eq!(triangle_count(&g), 2);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Csr::from_edge_list(&EdgeList::new(0));
+        assert_eq!(triangle_count(&g), 0);
+    }
+}

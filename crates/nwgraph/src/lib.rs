@@ -1,0 +1,39 @@
+//! `nwgraph` — a from-scratch parallel graph library.
+//!
+//! This crate is the Rust analog of NWGraph, the "third-party graph
+//! library" the NWHy paper leans on for computing metrics on the
+//! lower-order approximations (s-line graphs, clique expansions, adjoin
+//! graphs) of a hypergraph. It provides:
+//!
+//! - [`EdgeList`] — a mutable coordinate-format edge container;
+//! - [`Csr`] — compressed sparse row adjacency, the workhorse structure,
+//!   exposed as a "range of ranges" (indexable outer range over `&[u32]`
+//!   inner neighbor slices), mirroring the paper's C++20 range model;
+//! - degree-based relabeling ([`relabel`]) — the permute-by-degree
+//!   optimization §III-B.2 discusses;
+//! - parallel algorithms ([`algorithms`]): breadth-first search (top-down,
+//!   bottom-up, direction-optimizing), connected components (label
+//!   propagation, Shiloach–Vishkin, Afforest), single-source shortest
+//!   paths, Brandes betweenness centrality, closeness/harmonic/
+//!   eccentricity, PageRank, k-core decomposition, maximal independent
+//!   set, and triangle counting.
+//!
+//! Vertices are dense `u32` IDs; [`INVALID_VERTEX`] (`u32::MAX`) marks
+//! "no vertex" (unvisited parents, infinite distances).
+
+pub mod algorithms;
+pub mod csr;
+pub mod edge_list;
+pub mod neighbor_range;
+pub mod random;
+pub mod relabel;
+
+pub use csr::Csr;
+pub use edge_list::EdgeList;
+pub use relabel::{degree_permutation, invert_permutation, Direction};
+
+/// Sentinel for "no vertex": unvisited BFS parents, unreachable distances.
+pub const INVALID_VERTEX: u32 = u32::MAX;
+
+/// Vertex identifier type used across the workspace.
+pub type Vertex = u32;

@@ -1,0 +1,171 @@
+//! Neighborhood-aware parallel ranges — the paper's *cyclic neighbor
+//! range* adaptor (§III-D).
+//!
+//! A cyclic range hands workers vertex IDs in strided order; a *cyclic
+//! neighbor range* hands them `(vertex, neighborhood)` tuples so kernels
+//! that only need the adjacency slice avoid re-indexing the CSR. The
+//! same per-neighborhood interface is provided for blocked partitioning,
+//! making the partitioning strategy a drop-in parameter for every
+//! neighborhood-driven kernel (Listing 4's third variant).
+
+use crate::csr::Csr;
+use crate::Vertex;
+use nwhy_util::partition::{blocked_ranges, CyclicRange, Strategy};
+use rayon::prelude::*;
+
+/// Runs `f(vertex, neighbors)` for every vertex of `g` in parallel under
+/// the given partitioning strategy.
+pub fn par_for_each_neighborhood<F>(g: &Csr, strategy: Strategy, f: F)
+where
+    F: Fn(Vertex, &[Vertex]) + Sync + Send,
+{
+    let n = g.num_vertices();
+    match strategy {
+        Strategy::Blocked { num_bins: 0 } => {
+            (0..n).into_par_iter().for_each(|u| {
+                let u = u as Vertex;
+                f(u, g.neighbors(u));
+            });
+        }
+        Strategy::Blocked { num_bins } => {
+            blocked_ranges(n, num_bins).into_par_iter().for_each(|r| {
+                for u in r {
+                    let u = u as Vertex;
+                    f(u, g.neighbors(u));
+                }
+            });
+        }
+        Strategy::Cyclic { .. } => {
+            let bins = strategy.bins();
+            (0..bins).into_par_iter().for_each(|bin| {
+                for u in CyclicRange::new(bin, bins, n) {
+                    let u = u as Vertex;
+                    f(u, g.neighbors(u));
+                }
+            });
+        }
+    }
+}
+
+/// Like [`par_for_each_neighborhood`] with a per-worker accumulator
+/// (created by `init`, collected and returned) — the pattern the s-line
+/// construction kernels use for thread-local edge lists.
+pub fn par_neighborhoods_with<A, I, F>(g: &Csr, strategy: Strategy, init: I, f: F) -> Vec<A>
+where
+    A: Send,
+    I: Fn() -> A + Sync,
+    F: Fn(&mut A, Vertex, &[Vertex]) + Sync,
+{
+    let n = g.num_vertices();
+    match strategy {
+        Strategy::Blocked { .. } => {
+            let bins = strategy.bins();
+            blocked_ranges(n, bins)
+                .into_par_iter()
+                .map(|r| {
+                    let mut acc = init();
+                    for u in r {
+                        let u = u as Vertex;
+                        f(&mut acc, u, g.neighbors(u));
+                    }
+                    acc
+                })
+                .collect()
+        }
+        Strategy::Cyclic { .. } => {
+            let bins = strategy.bins();
+            (0..bins)
+                .into_par_iter()
+                .map(|bin| {
+                    let mut acc = init();
+                    for u in CyclicRange::new(bin, bins, n) {
+                        let u = u as Vertex;
+                        f(&mut acc, u, g.neighbors(u));
+                    }
+                    acc
+                })
+                .collect()
+        }
+    }
+}
+
+/// Sequential iterator over `(vertex, neighborhood)` tuples in cyclic
+/// order for one bin — the literal `cyclic_neighbor_range` object of
+/// Listing 4, for callers that drive the loop themselves.
+pub fn cyclic_neighbor_range(
+    g: &Csr,
+    bin: usize,
+    num_bins: usize,
+) -> impl Iterator<Item = (Vertex, &[Vertex])> + '_ {
+    CyclicRange::new(bin, num_bins, g.num_vertices()).map(move |u| {
+        let u = u as Vertex;
+        (u, g.neighbors(u))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::edge_list::EdgeList;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn toy() -> Csr {
+        let el = EdgeList::from_edges(5, vec![(0, 1), (0, 2), (1, 3), (4, 0)]);
+        Csr::from_edge_list(&el)
+    }
+
+    #[test]
+    fn every_strategy_visits_each_neighborhood_once() {
+        let g = toy();
+        for strategy in [
+            Strategy::AUTO,
+            Strategy::Blocked { num_bins: 2 },
+            Strategy::Cyclic { num_bins: 3 },
+            Strategy::Cyclic { num_bins: 0 },
+        ] {
+            let visits: Vec<AtomicUsize> = (0..5).map(|_| AtomicUsize::new(0)).collect();
+            let degree_sum = AtomicUsize::new(0);
+            par_for_each_neighborhood(&g, strategy, |u, nbrs| {
+                visits[u as usize].fetch_add(1, Ordering::Relaxed);
+                degree_sum.fetch_add(nbrs.len(), Ordering::Relaxed);
+            });
+            assert!(visits.iter().all(|v| v.load(Ordering::Relaxed) == 1), "{strategy:?}");
+            assert_eq!(degree_sum.load(Ordering::Relaxed), 4, "{strategy:?}");
+        }
+    }
+
+    #[test]
+    fn neighborhoods_match_direct_indexing() {
+        let g = toy();
+        par_for_each_neighborhood(&g, Strategy::Cyclic { num_bins: 2 }, |u, nbrs| {
+            assert_eq!(nbrs, g.neighbors(u));
+        });
+    }
+
+    #[test]
+    fn accumulators_cover_all_vertices() {
+        let g = toy();
+        for strategy in [Strategy::Blocked { num_bins: 2 }, Strategy::Cyclic { num_bins: 2 }] {
+            let accs = par_neighborhoods_with(&g, strategy, Vec::new, |acc, u, _| acc.push(u));
+            let mut all: Vec<u32> = accs.into_iter().flatten().collect();
+            all.sort_unstable();
+            assert_eq!(all, vec![0, 1, 2, 3, 4]);
+        }
+    }
+
+    #[test]
+    fn sequential_cyclic_neighbor_range() {
+        let g = toy();
+        let items: Vec<(u32, usize)> = cyclic_neighbor_range(&g, 1, 2)
+            .map(|(u, nbrs)| (u, nbrs.len()))
+            .collect();
+        assert_eq!(items, vec![(1, 1), (3, 0)]);
+    }
+
+    #[test]
+    fn empty_graph_is_fine() {
+        let g = Csr::from_edge_list(&EdgeList::new(0));
+        par_for_each_neighborhood(&g, Strategy::AUTO, |_, _| panic!("no vertices"));
+        assert_eq!(cyclic_neighbor_range(&g, 0, 1).count(), 0);
+    }
+}

@@ -1,0 +1,448 @@
+//! `nwhy-cli` — a command-line front end for the framework.
+//!
+//! ```text
+//! nwhy-cli stats   <file>                      Table I-style statistics
+//! nwhy-cli cc      <file> [--algo A]           hypergraph components
+//!                  A ∈ hyper | adjoin | adjoin-lp | hygra   (default hyper)
+//! nwhy-cli bfs     <file> --source E [--algo A]
+//!                  A ∈ hyper | hyper-bu | adjoin | hygra    (default adjoin)
+//! nwhy-cli sline   <file> --s S [--algo A] [--out FILE]
+//!                  A ∈ naive | intersection | hashmap | queue1 | queue2
+//! nwhy-cli toplex  <file>
+//! nwhy-cli scomp   <file> --s S           online s-connected components
+//! nwhy-cli kcore   <file> --k K --l L     (k,l)-core sizes
+//! nwhy-cli pagerank <file> [--damping D] [--top N]
+//! nwhy-cli gen     <profile> [--scale N] [--seed S] --out FILE
+//! nwhy-cli convert <in> <out>
+//! ```
+//!
+//! Formats are inferred from extensions: `.mtx`/`.mm` Matrix Market,
+//! `.tsv` KONECT bipartite (node edge), `.hgr`/`.txt` hyperedge list,
+//! `.bin` binary.
+
+// unit tests sit above `main` for proximity to the helpers they cover
+#![allow(clippy::items_after_test_module)]
+
+use nwhy::core::algorithms::{
+    adjoin_bfs, adjoin_cc_afforest, adjoin_cc_label_propagation, hyper_bfs_bottom_up,
+    hyper_bfs_top_down, hyper_cc, toplexes,
+};
+use nwhy::core::{slinegraph_edges, AdjoinGraph, Algorithm, BuildOptions, Hypergraph};
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Write};
+use std::process::ExitCode;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: nwhy-cli <stats|cc|bfs|sline|toplex|gen|convert> ... \
+         (see --help / crate docs)"
+    );
+    std::process::exit(2);
+}
+
+/// Minimal flag parser: positionals + `--key value` pairs.
+struct Args {
+    positional: Vec<String>,
+    flags: Vec<(String, String)>,
+}
+
+impl Args {
+    fn parse(raw: &[String]) -> Args {
+        let mut positional = Vec::new();
+        let mut flags = Vec::new();
+        let mut it = raw.iter();
+        while let Some(a) = it.next() {
+            if let Some(key) = a.strip_prefix("--") {
+                let val = it.next().cloned().unwrap_or_default();
+                flags.push((key.to_string(), val));
+            } else {
+                positional.push(a.clone());
+            }
+        }
+        Args { positional, flags }
+    }
+
+    fn flag(&self, key: &str) -> Option<&str> {
+        self.flags
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+fn load(path: &str) -> Result<Hypergraph, String> {
+    let file = File::open(path).map_err(|e| format!("{path}: {e}"))?;
+    let reader = BufReader::new(file);
+    let lower = path.to_ascii_lowercase();
+    let result = if lower.ends_with(".mtx") || lower.ends_with(".mm") {
+        nwhy::io::read_matrix_market(reader)
+    } else if lower.ends_with(".tsv") {
+        nwhy::io::read_bipartite_tsv(reader, nwhy::io::Orientation::NodeEdge)
+    } else if lower.ends_with(".bin") {
+        nwhy::io::read_binary(reader)
+    } else {
+        nwhy::io::read_hyperedge_list(reader)
+    };
+    result.map_err(|e| format!("{path}: {e}"))
+}
+
+fn save(path: &str, h: &Hypergraph) -> Result<(), String> {
+    let file = File::create(path).map_err(|e| format!("{path}: {e}"))?;
+    let mut writer = BufWriter::new(file);
+    let lower = path.to_ascii_lowercase();
+    let result = if lower.ends_with(".mtx") || lower.ends_with(".mm") {
+        nwhy::io::write_matrix_market(&mut writer, h)
+    } else if lower.ends_with(".tsv") {
+        nwhy::io::write_bipartite_tsv(&mut writer, h)
+    } else if lower.ends_with(".bin") {
+        nwhy::io::write_binary(&mut writer, h)
+    } else {
+        nwhy::io::write_hyperedge_list(&mut writer, h)
+    };
+    result.map_err(|e| format!("{path}: {e}"))?;
+    writer.flush().map_err(|e| format!("{path}: {e}"))
+}
+
+fn cmd_stats(args: &Args) -> Result<(), String> {
+    let path = args.positional.first().ok_or("stats: missing <file>")?;
+    let h = load(path)?;
+    let s = h.stats();
+    println!("file:            {path}");
+    println!("hypernodes |V|:  {}", s.num_hypernodes);
+    println!("hyperedges |E|:  {}", s.num_hyperedges);
+    println!("incidences:      {}", s.num_incidences);
+    println!("avg node degree: {:.3}", s.avg_node_degree);
+    println!("avg edge size:   {:.3}", s.avg_edge_degree);
+    println!("max node degree: {}", s.max_node_degree);
+    println!("max edge size:   {}", s.max_edge_degree);
+    Ok(())
+}
+
+fn cmd_cc(args: &Args) -> Result<(), String> {
+    let path = args.positional.first().ok_or("cc: missing <file>")?;
+    let algo = args.flag("algo").unwrap_or("hyper");
+    let h = load(path)?;
+    let n = match algo {
+        "hyper" => hyper_cc(&h).num_components(),
+        "adjoin" => adjoin_cc_afforest(&AdjoinGraph::from_hypergraph(&h)).num_components(),
+        "adjoin-lp" => {
+            adjoin_cc_label_propagation(&AdjoinGraph::from_hypergraph(&h)).num_components()
+        }
+        "hygra" => nwhy::hygra::hygra_cc(&h).num_components(),
+        other => return Err(format!("cc: unknown --algo {other}")),
+    };
+    println!("{algo}: {n} connected components");
+    Ok(())
+}
+
+fn cmd_bfs(args: &Args) -> Result<(), String> {
+    let path = args.positional.first().ok_or("bfs: missing <file>")?;
+    let source: u32 = args
+        .flag("source")
+        .ok_or("bfs: missing --source")?
+        .parse()
+        .map_err(|_| "bfs: --source must be an integer")?;
+    let algo = args.flag("algo").unwrap_or("adjoin");
+    let h = load(path)?;
+    if source as usize >= h.num_hyperedges() {
+        return Err(format!(
+            "bfs: source {source} out of range ({} hyperedges)",
+            h.num_hyperedges()
+        ));
+    }
+    let (edges_reached, nodes_reached, max_level) = match algo {
+        "hyper" => {
+            let r = hyper_bfs_top_down(&h, source);
+            (r.edges_reached(), r.nodes_reached(), max_finite(&r.edge_levels))
+        }
+        "hyper-bu" => {
+            let r = hyper_bfs_bottom_up(&h, source);
+            (r.edges_reached(), r.nodes_reached(), max_finite(&r.edge_levels))
+        }
+        "adjoin" => {
+            let r = adjoin_bfs(&AdjoinGraph::from_hypergraph(&h), source);
+            (
+                count_finite(&r.edge_levels),
+                count_finite(&r.node_levels),
+                max_finite(&r.edge_levels),
+            )
+        }
+        "hygra" => {
+            let r = nwhy::hygra::hygra_bfs(&h, source);
+            (
+                count_finite(&r.edge_levels),
+                count_finite(&r.node_levels),
+                max_finite(&r.edge_levels),
+            )
+        }
+        other => return Err(format!("bfs: unknown --algo {other}")),
+    };
+    println!(
+        "{algo}: from hyperedge {source} reached {edges_reached} hyperedges and \
+         {nodes_reached} hypernodes (max hyperedge level {max_level})"
+    );
+    Ok(())
+}
+
+fn count_finite(levels: &[u32]) -> usize {
+    levels.iter().filter(|&&l| l != u32::MAX).count()
+}
+
+fn max_finite(levels: &[u32]) -> u32 {
+    levels
+        .iter()
+        .copied()
+        .filter(|&l| l != u32::MAX)
+        .max()
+        .unwrap_or(0)
+}
+
+fn cmd_sline(args: &Args) -> Result<(), String> {
+    let path = args.positional.first().ok_or("sline: missing <file>")?;
+    let s: usize = args
+        .flag("s")
+        .ok_or("sline: missing --s")?
+        .parse()
+        .map_err(|_| "sline: --s must be a positive integer")?;
+    if s == 0 {
+        return Err("sline: --s must be >= 1".into());
+    }
+    let algo = match args.flag("algo").unwrap_or("hashmap") {
+        "naive" => Algorithm::Naive,
+        "intersection" => Algorithm::Intersection,
+        "hashmap" => Algorithm::Hashmap,
+        "queue1" => Algorithm::QueueHashmap,
+        "queue2" => Algorithm::QueueIntersection,
+        "pairsort" => Algorithm::PairSort,
+        other => return Err(format!("sline: unknown --algo {other}")),
+    };
+    let h = load(path)?;
+    let t = std::time::Instant::now();
+    let pairs = slinegraph_edges(&h, s, algo, &BuildOptions::default());
+    let secs = t.elapsed().as_secs_f64();
+    println!(
+        "{}: {}-line graph has {} edges over {} hyperedges ({secs:.4}s)",
+        algo.name(),
+        s,
+        pairs.len(),
+        h.num_hyperedges()
+    );
+    if let Some(out) = args.flag("out") {
+        let file = File::create(out).map_err(|e| format!("{out}: {e}"))?;
+        let mut w = BufWriter::new(file);
+        for (a, b) in &pairs {
+            writeln!(w, "{a}\t{b}").map_err(|e| format!("{out}: {e}"))?;
+        }
+        println!("wrote edge list to {out}");
+    }
+    Ok(())
+}
+
+fn cmd_toplex(args: &Args) -> Result<(), String> {
+    let path = args.positional.first().ok_or("toplex: missing <file>")?;
+    let h = load(path)?;
+    let t = toplexes(&h);
+    println!(
+        "{} of {} hyperedges are toplexes",
+        t.len(),
+        h.num_hyperedges()
+    );
+    let preview: Vec<u32> = t.iter().copied().take(20).collect();
+    println!("first toplexes: {preview:?}");
+    Ok(())
+}
+
+fn cmd_scomp(args: &Args) -> Result<(), String> {
+    let path = args.positional.first().ok_or("scomp: missing <file>")?;
+    let s: usize = args
+        .flag("s")
+        .ok_or("scomp: missing --s")?
+        .parse()
+        .map_err(|_| "scomp: --s must be a positive integer")?;
+    if s == 0 {
+        return Err("scomp: --s must be >= 1".into());
+    }
+    let h = load(path)?;
+    let labels =
+        nwhy::core::algorithms::s_components::s_connected_components_online(&h, s);
+    let mut distinct = labels.clone();
+    distinct.sort_unstable();
+    distinct.dedup();
+    let mut sizes = std::collections::HashMap::new();
+    for &l in &labels {
+        *sizes.entry(l).or_insert(0usize) += 1;
+    }
+    let largest = sizes.values().copied().max().unwrap_or(0);
+    println!(
+        "{} s-connected components at s={s} over {} hyperedges (largest: {largest})",
+        distinct.len(),
+        h.num_hyperedges()
+    );
+    Ok(())
+}
+
+fn cmd_kcore(args: &Args) -> Result<(), String> {
+    let path = args.positional.first().ok_or("kcore: missing <file>")?;
+    let k: usize = args
+        .flag("k")
+        .ok_or("kcore: missing --k")?
+        .parse()
+        .map_err(|_| "kcore: --k must be an integer")?;
+    let l: usize = args
+        .flag("l")
+        .ok_or("kcore: missing --l")?
+        .parse()
+        .map_err(|_| "kcore: --l must be an integer")?;
+    let h = load(path)?;
+    let core = nwhy::core::algorithms::kcore::kl_core(&h, k, l);
+    println!(
+        "({k},{l})-core: {} of {} hypernodes, {} of {} hyperedges survive",
+        core.num_nodes(),
+        h.num_hypernodes(),
+        core.num_edges(),
+        h.num_hyperedges()
+    );
+    Ok(())
+}
+
+fn cmd_pagerank(args: &Args) -> Result<(), String> {
+    let path = args.positional.first().ok_or("pagerank: missing <file>")?;
+    let damping: f64 = args.flag("damping").unwrap_or("0.85").parse().unwrap_or(0.85);
+    let top: usize = args.flag("top").unwrap_or("10").parse().unwrap_or(10);
+    let h = load(path)?;
+    let (pr, iters) = nwhy::hygra::pagerank::hygra_pagerank(
+        &h,
+        nwhy::hygra::pagerank::PageRankOptions {
+            damping,
+            ..Default::default()
+        },
+    );
+    let mut ranked: Vec<(usize, f64)> = pr.iter().copied().enumerate().collect();
+    ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+    println!("hypergraph PageRank converged in {iters} iterations (damping {damping})");
+    println!("top {} hypernodes:", top.min(ranked.len()));
+    for &(v, score) in ranked.iter().take(top) {
+        println!("  node {v:>8}: {score:.6} (in {} hyperedges)", h.node_degree(v as u32));
+    }
+    Ok(())
+}
+
+fn cmd_gen(args: &Args) -> Result<(), String> {
+    let name = args.positional.first().ok_or("gen: missing <profile>")?;
+    let profile = nwhy::gen::profiles::profile_by_name(name)
+        .ok_or_else(|| format!("gen: unknown profile {name} (see `table1` for the list)"))?;
+    let scale: usize = args.flag("scale").unwrap_or("2000").parse().unwrap_or(2000);
+    let seed: u64 = args.flag("seed").unwrap_or("42").parse().unwrap_or(42);
+    let out = args.flag("out").ok_or("gen: missing --out")?;
+    let h = profile.generate(scale, seed);
+    save(out, &h)?;
+    let s = h.stats();
+    println!(
+        "generated {} twin at 1/{scale}: |V|={} |E|={} incidences={} → {out}",
+        profile.name, s.num_hypernodes, s.num_hyperedges, s.num_incidences
+    );
+    Ok(())
+}
+
+fn cmd_convert(args: &Args) -> Result<(), String> {
+    let [input, output] = args.positional.as_slice() else {
+        return Err("convert: need <in> <out>".into());
+    };
+    let h = load(input)?;
+    save(output, &h)?;
+    println!(
+        "converted {input} → {output} ({} hyperedges, {} incidences)",
+        h.num_hyperedges(),
+        h.num_incidences()
+    );
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn to_vec(raw: &[&str]) -> Vec<String> {
+        raw.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_positionals_and_flags() {
+        let args = Args::parse(&to_vec(&["file.mtx", "--s", "3", "--algo", "queue1"]));
+        assert_eq!(args.positional, vec!["file.mtx"]);
+        assert_eq!(args.flag("s"), Some("3"));
+        assert_eq!(args.flag("algo"), Some("queue1"));
+        assert_eq!(args.flag("missing"), None);
+    }
+
+    #[test]
+    fn flag_without_value_is_empty() {
+        let args = Args::parse(&to_vec(&["--verbose"]));
+        assert_eq!(args.flag("verbose"), Some(""));
+    }
+
+    #[test]
+    fn interleaved_order() {
+        let args = Args::parse(&to_vec(&["--k", "2", "in.bin", "--l", "5"]));
+        assert_eq!(args.positional, vec!["in.bin"]);
+        assert_eq!(args.flag("k"), Some("2"));
+        assert_eq!(args.flag("l"), Some("5"));
+    }
+
+    #[test]
+    fn helpers_count_and_max_levels() {
+        assert_eq!(count_finite(&[0, u32::MAX, 3]), 2);
+        assert_eq!(max_finite(&[0, u32::MAX, 3]), 3);
+        assert_eq!(max_finite(&[u32::MAX]), 0);
+    }
+
+    #[test]
+    fn load_rejects_missing_file() {
+        assert!(load("/nonexistent/nwhy-test.mtx").is_err());
+    }
+
+    #[test]
+    fn save_load_roundtrip_all_extensions() {
+        let h = nwhy::core::fixtures::paper_hypergraph();
+        let dir = std::env::temp_dir();
+        for ext in ["mtx", "tsv", "bin", "hgr"] {
+            let path = dir.join(format!("nwhy_cli_test.{ext}"));
+            let path = path.to_str().unwrap();
+            save(path, &h).unwrap();
+            let h2 = load(path).unwrap();
+            assert_eq!(h, h2, "{ext}");
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    if raw.is_empty() || raw[0] == "--help" || raw[0] == "-h" {
+        usage();
+    }
+    let cmd = raw[0].as_str();
+    let args = Args::parse(&raw[1..]);
+    let result = match cmd {
+        "stats" => cmd_stats(&args),
+        "cc" => cmd_cc(&args),
+        "bfs" => cmd_bfs(&args),
+        "sline" => cmd_sline(&args),
+        "toplex" => cmd_toplex(&args),
+        "scomp" => cmd_scomp(&args),
+        "kcore" => cmd_kcore(&args),
+        "pagerank" => cmd_pagerank(&args),
+        "gen" => cmd_gen(&args),
+        "convert" => cmd_convert(&args),
+        _ => {
+            usage();
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,214 @@
+//! Compare-and-swap helpers used by the parallel graph kernels.
+//!
+//! Label-propagation connected components, Afforest, and BFS all rely on
+//! "write the smaller value, tell me whether I won" primitives. These are
+//! expressed here as CAS loops over the standard atomic integer types, plus
+//! an [`AtomicF64`] for accumulating floating-point centrality scores.
+
+use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
+
+/// Atomically set `a = min(a, val)`.
+///
+/// Returns `true` if the stored value was lowered (i.e. this call "won"),
+/// which the CC kernels use to decide whether to re-enqueue a vertex.
+#[inline]
+pub fn atomic_min_u32(a: &AtomicU32, val: u32) -> bool {
+    let mut cur = a.load(Ordering::Relaxed);
+    while val < cur {
+        match a.compare_exchange_weak(cur, val, Ordering::AcqRel, Ordering::Relaxed) {
+            Ok(_) => return true,
+            Err(observed) => cur = observed,
+        }
+    }
+    false
+}
+
+/// Atomically set `a = max(a, val)`. Returns `true` if the value was raised.
+#[inline]
+pub fn atomic_max_u32(a: &AtomicU32, val: u32) -> bool {
+    let mut cur = a.load(Ordering::Relaxed);
+    while val > cur {
+        match a.compare_exchange_weak(cur, val, Ordering::AcqRel, Ordering::Relaxed) {
+            Ok(_) => return true,
+            Err(observed) => cur = observed,
+        }
+    }
+    false
+}
+
+/// Atomically set `a = min(a, val)` for `usize` values.
+#[inline]
+pub fn atomic_min_usize(a: &AtomicUsize, val: usize) -> bool {
+    let mut cur = a.load(Ordering::Relaxed);
+    while val < cur {
+        match a.compare_exchange_weak(cur, val, Ordering::AcqRel, Ordering::Relaxed) {
+            Ok(_) => return true,
+            Err(observed) => cur = observed,
+        }
+    }
+    false
+}
+
+/// A single CAS attempt replacing `expected` with `desired`.
+///
+/// This mirrors the `compare_and_swap` idiom used in BFS parent claiming:
+/// exactly one thread may move a parent slot from "unvisited" to a real
+/// parent ID.
+#[inline]
+pub fn cas_u32(a: &AtomicU32, expected: u32, desired: u32) -> bool {
+    a.compare_exchange(expected, desired, Ordering::AcqRel, Ordering::Relaxed)
+        .is_ok()
+}
+
+/// An `f64` with atomic fetch-add, built on `AtomicU64` bit transmutes.
+///
+/// Used by the parallel Brandes betweenness-centrality accumulation phase,
+/// where multiple DAG predecessors add dependency contributions to the same
+/// vertex concurrently.
+#[derive(Debug, Default)]
+pub struct AtomicF64 {
+    bits: AtomicU64,
+}
+
+impl AtomicF64 {
+    /// Creates a new atomic holding `value`.
+    #[inline]
+    pub fn new(value: f64) -> Self {
+        Self {
+            bits: AtomicU64::new(value.to_bits()),
+        }
+    }
+
+    /// Loads the current value.
+    #[inline]
+    pub fn load(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+
+    /// Stores `value`, unconditionally.
+    #[inline]
+    pub fn store(&self, value: f64) {
+        self.bits.store(value.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Atomically adds `delta` and returns the previous value.
+    #[inline]
+    pub fn fetch_add(&self, delta: f64) -> f64 {
+        let mut cur = self.bits.load(Ordering::Relaxed);
+        loop {
+            let new = (f64::from_bits(cur) + delta).to_bits();
+            match self
+                .bits
+                .compare_exchange_weak(cur, new, Ordering::AcqRel, Ordering::Relaxed)
+            {
+                Ok(prev) => return f64::from_bits(prev),
+                Err(observed) => cur = observed,
+            }
+        }
+    }
+}
+
+impl Clone for AtomicF64 {
+    fn clone(&self) -> Self {
+        Self::new(self.load())
+    }
+}
+
+impl From<f64> for AtomicF64 {
+    fn from(v: f64) -> Self {
+        Self::new(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU32;
+
+    #[test]
+    fn min_lowers_value() {
+        let a = AtomicU32::new(10);
+        assert!(atomic_min_u32(&a, 3));
+        assert_eq!(a.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn min_keeps_smaller_existing_value() {
+        let a = AtomicU32::new(2);
+        assert!(!atomic_min_u32(&a, 5));
+        assert_eq!(a.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn min_is_noop_on_equal() {
+        let a = AtomicU32::new(7);
+        assert!(!atomic_min_u32(&a, 7));
+        assert_eq!(a.load(Ordering::Relaxed), 7);
+    }
+
+    #[test]
+    fn max_raises_value() {
+        let a = AtomicU32::new(1);
+        assert!(atomic_max_u32(&a, 9));
+        assert_eq!(a.load(Ordering::Relaxed), 9);
+        assert!(!atomic_max_u32(&a, 4));
+    }
+
+    #[test]
+    fn min_usize_behaves_like_u32_variant() {
+        let a = AtomicUsize::new(100);
+        assert!(atomic_min_usize(&a, 1));
+        assert!(!atomic_min_usize(&a, 50));
+        assert_eq!(a.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn cas_claims_exactly_once() {
+        let a = AtomicU32::new(u32::MAX);
+        assert!(cas_u32(&a, u32::MAX, 5));
+        assert!(!cas_u32(&a, u32::MAX, 6));
+        assert_eq!(a.load(Ordering::Relaxed), 5);
+    }
+
+    #[test]
+    fn atomic_min_under_contention() {
+        let a = AtomicU32::new(u32::MAX);
+        std::thread::scope(|s| {
+            for t in 0..8u32 {
+                let a = &a;
+                s.spawn(move || {
+                    for i in 0..1000 {
+                        atomic_min_u32(a, t * 1000 + i);
+                    }
+                });
+            }
+        });
+        assert_eq!(a.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn atomic_f64_fetch_add_accumulates() {
+        let a = AtomicF64::new(0.0);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let a = &a;
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        a.fetch_add(0.5);
+                    }
+                });
+            }
+        });
+        assert!((a.load() - 2000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn atomic_f64_store_load_roundtrip() {
+        let a = AtomicF64::new(1.25);
+        assert_eq!(a.load(), 1.25);
+        a.store(-3.5);
+        assert_eq!(a.load(), -3.5);
+        let b = a.clone();
+        assert_eq!(b.load(), -3.5);
+    }
+}

@@ -1,0 +1,205 @@
+//! A concurrent bitmap.
+//!
+//! Direction-optimizing BFS (Beamer et al.) represents the *dense* frontier
+//! as a bitmap so the bottom-up sweep can test membership in O(1) without
+//! locking. Multiple threads set bits concurrently during the top-down →
+//! bottom-up conversion.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+const BITS: usize = 64;
+
+/// A fixed-size bitmap whose bits can be set/tested concurrently.
+#[derive(Debug)]
+pub struct AtomicBitmap {
+    words: Vec<AtomicU64>,
+    len: usize,
+}
+
+impl AtomicBitmap {
+    /// Creates a bitmap with `len` bits, all clear.
+    pub fn new(len: usize) -> Self {
+        let n_words = len.div_ceil(BITS);
+        let mut words = Vec::with_capacity(n_words);
+        words.resize_with(n_words, || AtomicU64::new(0));
+        Self { words, len }
+    }
+
+    /// Number of addressable bits.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` if the bitmap has zero bits.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Sets bit `i`. Returns `true` if this call changed it from 0 to 1.
+    #[inline]
+    pub fn set(&self, i: usize) -> bool {
+        debug_assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        let mask = 1u64 << (i % BITS);
+        let prev = self.words[i / BITS].fetch_or(mask, Ordering::AcqRel);
+        prev & mask == 0
+    }
+
+    /// Tests bit `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        debug_assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        let mask = 1u64 << (i % BITS);
+        self.words[i / BITS].load(Ordering::Acquire) & mask != 0
+    }
+
+    /// Clears all bits. Requires exclusive access, so it is not racy.
+    pub fn clear(&mut self) {
+        for w in &mut self.words {
+            *w = AtomicU64::new(0);
+        }
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.words
+            .iter()
+            .map(|w| w.load(Ordering::Acquire).count_ones() as usize)
+            .sum()
+    }
+
+    /// Iterates over the indices of set bits in increasing order.
+    pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, w)| {
+            let mut bits = w.load(Ordering::Acquire);
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    None
+                } else {
+                    let tz = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    Some(wi * BITS + tz)
+                }
+            })
+        })
+    }
+
+    /// Swaps contents with another bitmap of the same length.
+    ///
+    /// BFS ping-pongs between the current and next dense frontier; a swap
+    /// avoids reallocating each level.
+    pub fn swap(&mut self, other: &mut Self) {
+        assert_eq!(self.len, other.len, "bitmap length mismatch");
+        std::mem::swap(&mut self.words, &mut other.words);
+    }
+}
+
+impl Clone for AtomicBitmap {
+    fn clone(&self) -> Self {
+        let words = self
+            .words
+            .iter()
+            .map(|w| AtomicU64::new(w.load(Ordering::Acquire)))
+            .collect();
+        Self {
+            words,
+            len: self.len,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_and_get() {
+        let bm = AtomicBitmap::new(100);
+        assert!(!bm.get(42));
+        assert!(bm.set(42));
+        assert!(bm.get(42));
+        // second set reports no change
+        assert!(!bm.set(42));
+    }
+
+    #[test]
+    fn boundary_bits() {
+        let bm = AtomicBitmap::new(129);
+        for i in [0, 63, 64, 127, 128] {
+            assert!(bm.set(i));
+            assert!(bm.get(i));
+        }
+        assert_eq!(bm.count_ones(), 5);
+    }
+
+    #[test]
+    fn empty_bitmap() {
+        let bm = AtomicBitmap::new(0);
+        assert!(bm.is_empty());
+        assert_eq!(bm.count_ones(), 0);
+        assert_eq!(bm.iter_ones().count(), 0);
+    }
+
+    #[test]
+    fn iter_ones_in_order() {
+        let bm = AtomicBitmap::new(200);
+        for i in [3, 64, 65, 130, 199] {
+            bm.set(i);
+        }
+        let ones: Vec<usize> = bm.iter_ones().collect();
+        assert_eq!(ones, vec![3, 64, 65, 130, 199]);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut bm = AtomicBitmap::new(70);
+        bm.set(1);
+        bm.set(69);
+        bm.clear();
+        assert_eq!(bm.count_ones(), 0);
+    }
+
+    #[test]
+    fn swap_exchanges_contents() {
+        let mut a = AtomicBitmap::new(64);
+        let mut b = AtomicBitmap::new(64);
+        a.set(1);
+        b.set(2);
+        a.swap(&mut b);
+        assert!(a.get(2) && !a.get(1));
+        assert!(b.get(1) && !b.get(2));
+    }
+
+    #[test]
+    fn concurrent_sets_count_exactly_once() {
+        let bm = AtomicBitmap::new(1 << 12);
+        let winners = std::sync::atomic::AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let bm = &bm;
+                let winners = &winners;
+                s.spawn(move || {
+                    for i in 0..bm.len() {
+                        if bm.set(i) {
+                            winners.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                });
+            }
+        });
+        // every bit must have exactly one winning setter
+        assert_eq!(winners.load(Ordering::Relaxed), 1 << 12);
+        assert_eq!(bm.count_ones(), 1 << 12);
+    }
+
+    #[test]
+    fn clone_preserves_bits() {
+        let bm = AtomicBitmap::new(65);
+        bm.set(0);
+        bm.set(64);
+        let c = bm.clone();
+        assert!(c.get(0) && c.get(64));
+        assert_eq!(c.count_ones(), 2);
+    }
+}

@@ -1,0 +1,38 @@
+//! Shared low-level utilities for the `nwhy-rs` workspace.
+//!
+//! This crate is the parallel substrate underneath `nwgraph` and
+//! `nwhy-core`. It plays the role that oneTBB plus a handful of in-house
+//! helpers play in the original C++ NWHy framework:
+//!
+//! - [`atomics`] — compare-and-swap min/max helpers and an atomic `f64`,
+//!   used by label-propagation and Afforest connected components.
+//! - [`bitmap`] — a concurrent bitmap used as the dense frontier in
+//!   direction-optimizing BFS.
+//! - [`fxhash`] — a fast, non-cryptographic hasher (FxHash-style) used for
+//!   the hashmap-based s-line-graph counting algorithms.
+//! - [`prefix`] — parallel exclusive prefix sums, the backbone of CSR
+//!   construction.
+//! - [`partition`] — the paper's work-partitioning strategies (§III-D):
+//!   *blocked range*, *cyclic range*, and *cyclic neighbor range*.
+//! - [`pool`] — helpers for running a closure on a Rayon pool with an exact
+//!   thread count (used by the strong-scaling harnesses).
+//! - [`timer`] — wall-clock timing and simple summary statistics for the
+//!   benchmark harnesses.
+
+pub mod atomics;
+pub mod bitmap;
+pub mod fxhash;
+pub mod partition;
+pub mod pool;
+pub mod prefix;
+pub mod timer;
+pub mod workq;
+
+pub use atomics::{atomic_max_u32, atomic_min_u32, atomic_min_usize, AtomicF64};
+pub use bitmap::AtomicBitmap;
+pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
+pub use partition::{blocked_ranges, cyclic_indices, CyclicRange};
+pub use pool::with_threads;
+pub use prefix::{exclusive_prefix_sum, exclusive_prefix_sum_in_place};
+pub use timer::{median, Stats, Timer};
+pub use workq::ChunkedQueue;

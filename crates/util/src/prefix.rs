@@ -1,0 +1,136 @@
+//! Parallel exclusive prefix sums.
+//!
+//! CSR construction — the central data-structure build in both NWGraph and
+//! NWHy — is "histogram, scan, scatter". The scan here is a classic
+//! two-pass blocked parallel exclusive prefix sum: per-block sums are
+//! computed in parallel, scanned sequentially (the block count is tiny),
+//! and then each block is rescanned in parallel with its offset.
+
+use rayon::prelude::*;
+
+/// Minimum input size before the parallel path is worth its overhead.
+const PAR_THRESHOLD: usize = 1 << 15;
+
+/// Returns the exclusive prefix sum of `values` with a trailing total,
+/// i.e. an array of length `values.len() + 1` where `out[0] == 0` and
+/// `out[i] == values[..i].sum()`. This is exactly the CSR `indices_` array
+/// when `values` are vertex degrees.
+pub fn exclusive_prefix_sum(values: &[usize]) -> Vec<usize> {
+    let n = values.len();
+    let mut out = vec![0usize; n + 1];
+    if n < PAR_THRESHOLD {
+        let mut acc = 0usize;
+        for (i, &v) in values.iter().enumerate() {
+            out[i] = acc;
+            acc += v;
+        }
+        out[n] = acc;
+        return out;
+    }
+
+    let n_blocks = rayon::current_num_threads().max(1) * 4;
+    let block = n.div_ceil(n_blocks);
+    let mut block_sums: Vec<usize> = values
+        .par_chunks(block)
+        .map(|c| c.iter().sum::<usize>())
+        .collect();
+    // Sequential scan over ~4*threads entries.
+    let mut acc = 0usize;
+    for s in &mut block_sums {
+        let v = *s;
+        *s = acc;
+        acc += v;
+    }
+    let total = acc;
+
+    // Rescan each block with its offset, writing into `out[i..i+len]`.
+    out[..n]
+        .par_chunks_mut(block)
+        .zip(values.par_chunks(block))
+        .zip(block_sums.par_iter())
+        .for_each(|((out_chunk, val_chunk), &offset)| {
+            let mut acc = offset;
+            for (o, &v) in out_chunk.iter_mut().zip(val_chunk) {
+                *o = acc;
+                acc += v;
+            }
+        });
+    out[n] = total;
+    out
+}
+
+/// In-place exclusive prefix sum over `values`; returns the total.
+///
+/// After the call, `values[i]` holds the sum of the original
+/// `values[..i]`. Used when the degree array can be reused as the CSR
+/// offset array.
+pub fn exclusive_prefix_sum_in_place(values: &mut [usize]) -> usize {
+    let mut acc = 0usize;
+    for v in values.iter_mut() {
+        let cur = *v;
+        *v = acc;
+        acc += cur;
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_input() {
+        assert_eq!(exclusive_prefix_sum(&[]), vec![0]);
+    }
+
+    #[test]
+    fn small_known_case() {
+        assert_eq!(exclusive_prefix_sum(&[3, 1, 4, 1, 5]), vec![0, 3, 4, 8, 9, 14]);
+    }
+
+    #[test]
+    fn in_place_matches_allocating_version() {
+        let vals = vec![2usize, 0, 7, 1];
+        let expect = exclusive_prefix_sum(&vals);
+        let mut v = vals.clone();
+        let total = exclusive_prefix_sum_in_place(&mut v);
+        assert_eq!(total, 10);
+        assert_eq!(&expect[..4], &v[..]);
+    }
+
+    #[test]
+    fn large_input_uses_parallel_path_and_is_correct() {
+        let n = PAR_THRESHOLD * 3 + 17;
+        let vals: Vec<usize> = (0..n).map(|i| i % 7).collect();
+        let got = exclusive_prefix_sum(&vals);
+        let mut acc = 0usize;
+        for i in 0..n {
+            assert_eq!(got[i], acc, "mismatch at {i}");
+            acc += vals[i];
+        }
+        assert_eq!(got[n], acc);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_matches_sequential(vals in proptest::collection::vec(0usize..100, 0..2000)) {
+            let got = exclusive_prefix_sum(&vals);
+            prop_assert_eq!(got.len(), vals.len() + 1);
+            let mut acc = 0usize;
+            for (i, v) in vals.iter().enumerate() {
+                prop_assert_eq!(got[i], acc);
+                acc += v;
+            }
+            prop_assert_eq!(got[vals.len()], acc);
+        }
+
+        #[test]
+        fn prop_monotone_nondecreasing(vals in proptest::collection::vec(0usize..1000, 0..500)) {
+            let got = exclusive_prefix_sum(&vals);
+            for w in got.windows(2) {
+                prop_assert!(w[0] <= w[1]);
+            }
+        }
+    }
+}

@@ -1,0 +1,71 @@
+//! Quickstart — the paper's Listing 5 session, in Rust.
+//!
+//! Builds a small author–paper hypergraph from incidence arrays, asks for
+//! its 2-line graph, and runs every s-metric query the paper's Python API
+//! exposes.
+//!
+//! Run with: `cargo run --release -p nwhy --example quickstart`
+
+use nwhy::session::NWHypergraph;
+
+fn main() {
+    // Five papers (hyperedges) over eight authors (hypernodes).
+    // Incidence arrays exactly as the Python API takes them:
+    //   row[i] = author of incidence i, col[i] = paper of incidence i.
+    #[rustfmt::skip]
+    let row: Vec<u32> = vec![0, 1, 2,  1, 2, 3,  3, 4, 5,  4, 5, 6, 7,  0, 2];
+    #[rustfmt::skip]
+    let col: Vec<u32> = vec![0, 0, 0,  1, 1, 1,  2, 2, 2,  3, 3, 3, 3,  4, 4];
+
+    // create a hypergraph hg            (Listing 5: nwhy.NWHypergraph)
+    let hg = NWHypergraph::new(&row, &col);
+    let stats = hg.stats();
+    println!("hypergraph: {} papers, {} authors, {} incidences",
+        stats.num_hyperedges, stats.num_hypernodes, stats.num_incidences);
+    println!("average paper size {:.2}, largest paper {}",
+        stats.avg_edge_degree, stats.max_edge_degree);
+
+    // compute the s-line graph of hg with s=2
+    let s2lg = hg.s_linegraph(2, true);
+    println!("\n2-line graph (papers sharing >= 2 authors):");
+    for e in 0..stats.num_hyperedges as u32 {
+        println!("  paper {e}: s-degree {}, s-neighbors {:?}",
+            s2lg.s_degree(e), s2lg.s_neighbors(e));
+    }
+
+    // query whether the 2-line graph is connected
+    println!("\nis_s_connected: {}", s2lg.is_s_connected());
+
+    // compute s-connected components
+    let scc = s2lg.s_connected_components();
+    println!("s_connected_components: {scc:?}");
+
+    // s-distance and s-path between papers 0 and 2
+    match s2lg.s_distance(0, 2) {
+        Some(d) => println!("s_distance(0, 2) = {d}, s_path = {:?}",
+            s2lg.s_path(0, 2).unwrap()),
+        None => println!("papers 0 and 2 are not 2-connected"),
+    }
+
+    // centralities
+    let sbc = s2lg.s_betweenness_centrality(true);
+    let sc = s2lg.s_closeness_centrality(None);
+    let shc = s2lg.s_harmonic_closeness_centrality(None);
+    let se = s2lg.s_eccentricity(None);
+    println!("\nper-paper centralities on the 2-line graph:");
+    println!("  {:>5} {:>12} {:>12} {:>12} {:>6}", "paper", "betweenness", "closeness", "harmonic", "ecc");
+    for e in 0..stats.num_hyperedges {
+        println!("  {:>5} {:>12.4} {:>12.4} {:>12.4} {:>6}",
+            e, sbc[e], sc[e], shc[e], se[e]);
+    }
+
+    // toplexes: maximal papers (author sets not contained in another's)
+    println!("\ntoplexes: {:?}", hg.toplexes());
+
+    // the 1-clique side: author collaboration graph (clique expansion)
+    let collab = hg.s_linegraph(1, false);
+    println!("\nauthor collaboration graph (clique expansion):");
+    for v in 0..stats.num_hypernodes as u32 {
+        println!("  author {v} collaborated with {:?}", collab.s_neighbors(v));
+    }
+}

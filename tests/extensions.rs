@@ -1,0 +1,155 @@
+//! Integration tests for the extension surface: weighted s-line graphs,
+//! (k, ℓ)-cores, hypergraph transformations, rectangular matrix ops,
+//! DOT export, and the dynamic work queue — all running together on
+//! generated data.
+
+use nwhy::core::algorithms::kcore::{kl_core, validate_kl_core};
+use nwhy::core::ops::{diffusion_step, dominant_singular, incidence_checksum};
+use nwhy::core::slinegraph::queue_single::{queue_hashmap, queue_hashmap_dynamic};
+use nwhy::core::slinegraph::weighted::slinegraph_weighted_edges;
+use nwhy::core::transform::{
+    collapse_duplicate_edges, induced_subhypergraph, restrict_to_toplexes,
+};
+use nwhy::core::{slinegraph_edges, Algorithm, BuildOptions};
+use nwhy::gen::profiles::profile_by_name;
+use nwhy::session::NWHypergraph;
+use nwhy::util::partition::Strategy;
+
+#[test]
+fn weighted_linegraph_agrees_with_unweighted_on_twins() {
+    let h = profile_by_name("com-Orkut").unwrap().generate(50_000, 5);
+    for s in [1usize, 2, 3] {
+        let unweighted = slinegraph_edges(&h, s, Algorithm::Hashmap, &BuildOptions::default());
+        let weighted = slinegraph_weighted_edges(&h, s, Strategy::AUTO);
+        assert_eq!(weighted.len(), unweighted.len(), "s={s}");
+        for (&(a, b), &(wa, wb, o)) in unweighted.iter().zip(&weighted) {
+            assert_eq!((a, b), (wa, wb));
+            assert!(o as usize >= s);
+        }
+    }
+}
+
+#[test]
+fn dynamic_queue_matches_static_on_twins() {
+    for name in ["Orkut-group", "Rand1"] {
+        let h = profile_by_name(name).unwrap().generate(100_000, 5);
+        let queue: Vec<u32> = (0..h.num_hyperedges() as u32).collect();
+        for s in [1usize, 2] {
+            assert_eq!(
+                queue_hashmap_dynamic(&h, &queue, s),
+                queue_hashmap(&h, &queue, s, Strategy::AUTO),
+                "{name} s={s}"
+            );
+        }
+    }
+}
+
+#[test]
+fn kl_cores_validate_on_twins() {
+    let h = profile_by_name("LiveJournal").unwrap().generate(50_000, 5);
+    for (k, l) in [(1, 1), (2, 2), (3, 5), (5, 2)] {
+        let core = kl_core(&h, k, l);
+        validate_kl_core(&h, k, l, &core).unwrap();
+    }
+}
+
+#[test]
+fn transformations_preserve_slinegraph_semantics() {
+    let h = profile_by_name("Friendster").unwrap().generate(50_000, 5);
+    // collapsing duplicates must not create or destroy s-overlaps among
+    // surviving representatives
+    let (c, classes) = collapse_duplicate_edges(&h);
+    let collapsed = slinegraph_edges(&c, 2, Algorithm::Hashmap, &BuildOptions::default());
+    let original = slinegraph_edges(&h, 2, Algorithm::Hashmap, &BuildOptions::default());
+    // map collapsed pairs back through representatives; they must exist
+    for &(a, b) in &collapsed {
+        let ra = classes[a as usize][0];
+        let rb = classes[b as usize][0];
+        let key = if ra < rb { (ra, rb) } else { (rb, ra) };
+        assert!(original.contains(&key), "collapsed pair {key:?} missing");
+    }
+}
+
+#[test]
+fn induced_subhypergraph_respects_membership() {
+    let h = profile_by_name("Rand1").unwrap().generate(200_000, 5);
+    let keep: Vec<u32> = (0..h.num_hypernodes() as u32).step_by(2).collect();
+    let (sub, node_map) = induced_subhypergraph(&h, &keep);
+    assert_eq!(sub.num_hypernodes(), keep.len());
+    for e in 0..sub.num_hyperedges() as u32 {
+        for &nv in sub.edge_members(e) {
+            let old = node_map[nv as usize];
+            assert!(h.edge_members(e).contains(&old));
+        }
+    }
+}
+
+#[test]
+fn rectangular_ops_on_twins() {
+    let h = profile_by_name("Web").unwrap().generate(100_000, 5);
+    let (a, b, c) = incidence_checksum(&h);
+    assert_eq!(a, c as f64);
+    assert_eq!(b, c as f64);
+    // one diffusion step conserves probability mass
+    let n = h.num_hypernodes();
+    let x = vec![1.0 / n as f64; n];
+    let y = diffusion_step(&h, &x);
+    assert!((y.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    // dominant singular value is bounded below by sqrt(max edge size)
+    let (sigma, _) = dominant_singular(&h, 1e-9, 100);
+    let max_e = h.stats().max_edge_degree as f64;
+    assert!(sigma + 1e-6 >= max_e.sqrt(), "sigma {sigma} vs √{max_e}");
+}
+
+#[test]
+fn online_session_components_match_materialized() {
+    let h = profile_by_name("LiveJournal").unwrap().generate(100_000, 9);
+    let hg = NWHypergraph::from_hypergraph(h);
+    for s in [1usize, 2, 3] {
+        let online = hg.s_connected_components_online(s);
+        let materialized = hg.s_linegraph(s, true).s_connected_components();
+        assert_eq!(online, materialized, "s={s}");
+        assert_eq!(
+            hg.is_s_connected_online(s),
+            online.windows(2).all(|w| w[0] == w[1])
+        );
+    }
+}
+
+#[test]
+fn toplex_restriction_then_full_analysis() {
+    let h = profile_by_name("com-Orkut").unwrap().generate(100_000, 5);
+    let hg = NWHypergraph::from_hypergraph(h);
+    let (simplified, kept) = hg.restrict_to_toplexes();
+    assert!(!kept.is_empty());
+    assert!(simplified.num_hyperedges() <= hg.num_hyperedges());
+    // the simplified hypergraph still answers every session query
+    let lg = simplified.s_linegraph(2, true);
+    assert_eq!(lg.num_vertices(), simplified.num_hyperedges());
+    let _ = lg.s_connected_components();
+    let core = simplified.kl_core(2, 2);
+    validate_kl_core(simplified.hypergraph(), 2, 2, &core).unwrap();
+}
+
+#[test]
+fn dot_export_renders_generated_hypergraphs() {
+    let h = profile_by_name("Rand1").unwrap().generate(2_000_000, 5); // tiny
+    let mut buf = Vec::new();
+    nwhy::io::dot::write_dot_bipartite(&mut buf, &h).unwrap();
+    let dot = String::from_utf8(buf).unwrap();
+    assert!(dot.contains("graph hypergraph"));
+    let triples = slinegraph_weighted_edges(&h, 1, Strategy::AUTO);
+    let mut buf = Vec::new();
+    nwhy::io::dot::write_dot_linegraph(&mut buf, h.num_hyperedges(), 1, &triples).unwrap();
+    assert!(String::from_utf8(buf).unwrap().contains("slinegraph_s1"));
+}
+
+#[test]
+fn restriction_then_toplexes_is_idempotent() {
+    let h = profile_by_name("Orkut-group").unwrap().generate(100_000, 7);
+    let (t1, _) = restrict_to_toplexes(&h);
+    let (t2, map2) = restrict_to_toplexes(&t1);
+    // all edges of a toplex restriction are already maximal
+    assert_eq!(t2.num_hyperedges(), t1.num_hyperedges());
+    assert_eq!(map2, (0..t1.num_hyperedges() as u32).collect::<Vec<_>>());
+}

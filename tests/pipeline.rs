@@ -1,0 +1,145 @@
+//! Session-API pipeline tests: the Listing 5 workflow on generated data,
+//! plus failure-injection around malformed inputs and degenerate
+//! hypergraphs.
+
+use nwhy::core::clique::validate_clique_expansion;
+use nwhy::core::algorithms::toplex::validate_toplexes;
+use nwhy::gen::communities::{planted_communities, CommunityParams};
+use nwhy::gen::uniform_random;
+use nwhy::io::{read_hyperedge_list, read_matrix_market};
+use nwhy::session::NWHypergraph;
+use std::io::Cursor;
+
+#[test]
+fn full_session_on_planted_communities() {
+    let h = planted_communities(CommunityParams {
+        num_nodes: 300,
+        num_communities: 80,
+        min_size: 3,
+        max_size: 10,
+        rewire: 0.2,
+        seed: 5,
+    });
+    let hg = NWHypergraph::from_hypergraph(h.clone());
+
+    // every Listing 5 query runs and returns consistently-sized results
+    let lg = hg.s_linegraph(2, true);
+    let n = hg.num_hyperedges();
+    assert_eq!(lg.s_connected_components().len(), n);
+    assert_eq!(lg.s_betweenness_centrality(true).len(), n);
+    assert_eq!(lg.s_closeness_centrality(None).len(), n);
+    assert_eq!(lg.s_harmonic_closeness_centrality(None).len(), n);
+    assert_eq!(lg.s_eccentricity(None).len(), n);
+
+    // distances are symmetric and triangle-consistent on a sample
+    for (a, b) in [(0u32, 5u32), (3, 40), (10, 70)] {
+        assert_eq!(lg.s_distance(a, b), lg.s_distance(b, a));
+        if let Some(p) = lg.s_path(a, b) {
+            assert_eq!(p.len() as u32 - 1, lg.s_distance(a, b).unwrap());
+            assert_eq!(p.first(), Some(&a));
+            assert_eq!(p.last(), Some(&b));
+        }
+    }
+
+    // structural validators
+    validate_clique_expansion(&h, &hg.clique_expansion()).unwrap();
+    validate_toplexes(&h, &hg.toplexes()).unwrap();
+}
+
+#[test]
+fn ensemble_is_consistent_with_singles_on_random_data() {
+    let h = uniform_random(500, 400, 8, 13);
+    let hg = NWHypergraph::from_hypergraph(h);
+    let svals = [1usize, 2, 3];
+    let many = hg.s_linegraphs(&svals, true);
+    for (lg, &s) in many.iter().zip(&svals) {
+        let single = hg.s_linegraph(s, true);
+        assert_eq!(lg.graph(), single.graph(), "s={s}");
+    }
+}
+
+#[test]
+fn s_sweep_monotonicity_on_session() {
+    let h = uniform_random(200, 300, 6, 21);
+    let hg = NWHypergraph::from_hypergraph(h);
+    let mut prev_edges = usize::MAX;
+    for s in 1..=5 {
+        let lg = hg.s_linegraph(s, true);
+        let m = lg.graph().num_edges();
+        assert!(m <= prev_edges, "edge count must shrink with s");
+        prev_edges = m;
+    }
+}
+
+#[test]
+fn clique_side_equals_dual_line_side() {
+    let h = uniform_random(120, 150, 5, 31);
+    let hg = NWHypergraph::from_hypergraph(h);
+    let via_flag = hg.s_linegraph(1, false);
+    let via_dual = hg.dual().s_linegraph(1, true);
+    assert_eq!(via_flag.graph(), via_dual.graph());
+}
+
+// ---------- failure injection ------------------------------------------
+
+#[test]
+fn malformed_matrix_market_inputs_error_cleanly() {
+    let cases = [
+        "",                                                       // empty
+        "garbage\n1 1 1\n",                                       // no header
+        "%%MatrixMarket matrix coordinate pattern general\n",     // no dims
+        "%%MatrixMarket matrix coordinate pattern general\nx y z\n", // bad dims
+        "%%MatrixMarket matrix coordinate pattern general\n2 2 1\n5 1\n", // OOB
+        "%%MatrixMarket matrix coordinate pattern general\n2 2 3\n1 1\n", // count short
+        "%%MatrixMarket matrix array pattern general\n2 2\n",     // dense
+        "%%MatrixMarket matrix coordinate complex general\n1 1 1\n1 1 1 1\n", // complex
+    ];
+    for (i, case) in cases.iter().enumerate() {
+        assert!(
+            read_matrix_market(Cursor::new(*case)).is_err(),
+            "case {i} should fail: {case:?}"
+        );
+    }
+}
+
+#[test]
+fn malformed_hyperedge_lists_error_cleanly() {
+    for case in ["0 1 banana\n", "0 -3\n", "1.5\n"] {
+        assert!(read_hyperedge_list(Cursor::new(case)).is_err(), "{case:?}");
+    }
+}
+
+#[test]
+fn degenerate_hypergraphs_do_not_break_queries() {
+    // empty hyperedges, isolated nodes, singleton edges, duplicates
+    let h = nwhy::core::Hypergraph::from_biedgelist(
+        &nwhy::core::BiEdgeList::from_incidences(
+            5,
+            6,
+            vec![(0, 0), (0, 1), (2, 0), (2, 1), (3, 5)],
+        ),
+    );
+    let hg = NWHypergraph::from_hypergraph(h);
+    // e1 and e4 are empty; node 2,3,4 isolated
+    for s in 1..=3 {
+        let lg = hg.s_linegraph(s, true);
+        assert_eq!(lg.num_vertices(), 5);
+        let _ = lg.s_connected_components();
+        let _ = lg.s_eccentricity(None);
+    }
+    let tops = hg.toplexes();
+    validate_toplexes(hg.hypergraph(), &tops).unwrap();
+}
+
+#[test]
+fn s_larger_than_max_overlap_yields_isolated_line_graph() {
+    let h = uniform_random(50, 30, 4, 17);
+    let hg = NWHypergraph::from_hypergraph(h);
+    let lg = hg.s_linegraph(100, true);
+    assert_eq!(lg.graph().num_edges(), 0);
+    assert_eq!(
+        lg.s_connected_components(),
+        (0..30u32).collect::<Vec<_>>()
+    );
+    assert_eq!(lg.s_distance(0, 1), None);
+}
