@@ -17,7 +17,7 @@ use hygra::engine::Mode;
 use nwgraph::algorithms::bfs::{bfs_bottom_up, bfs_direction_optimizing, bfs_top_down};
 use nwhy_core::slinegraph::queue_single::{queue_hashmap, queue_hashmap_dynamic};
 use nwhy_core::slinegraph::queue_two_phase::{candidate_pairs, queue_intersection};
-use nwhy_core::{slinegraph_edges, AdjoinGraph, Algorithm, BuildOptions, Relabel};
+use nwhy_core::{AdjoinGraph, Algorithm, BuildOptions, Relabel, SLineBuilder};
 use nwhy_gen::profiles::profile_by_name;
 use nwhy_util::partition::Strategy;
 use std::hint::black_box;
@@ -29,14 +29,52 @@ fn bench_relabel_ablation(c: &mut Criterion) {
     group.sample_size(10);
     let h = profile_by_name("com-Orkut").unwrap().generate(SCALE, 42);
     for (name, opts) in [
-        ("blocked/none", BuildOptions { strategy: Strategy::Blocked { num_bins: 0 }, relabel: Relabel::None }),
-        ("blocked/desc", BuildOptions { strategy: Strategy::Blocked { num_bins: 0 }, relabel: Relabel::Descending }),
-        ("cyclic/none", BuildOptions { strategy: Strategy::Cyclic { num_bins: 0 }, relabel: Relabel::None }),
-        ("cyclic/asc", BuildOptions { strategy: Strategy::Cyclic { num_bins: 0 }, relabel: Relabel::Ascending }),
-        ("cyclic/desc", BuildOptions { strategy: Strategy::Cyclic { num_bins: 0 }, relabel: Relabel::Descending }),
+        (
+            "blocked/none",
+            BuildOptions {
+                strategy: Strategy::Blocked { num_bins: 0 },
+                relabel: Relabel::None,
+            },
+        ),
+        (
+            "blocked/desc",
+            BuildOptions {
+                strategy: Strategy::Blocked { num_bins: 0 },
+                relabel: Relabel::Descending,
+            },
+        ),
+        (
+            "cyclic/none",
+            BuildOptions {
+                strategy: Strategy::Cyclic { num_bins: 0 },
+                relabel: Relabel::None,
+            },
+        ),
+        (
+            "cyclic/asc",
+            BuildOptions {
+                strategy: Strategy::Cyclic { num_bins: 0 },
+                relabel: Relabel::Ascending,
+            },
+        ),
+        (
+            "cyclic/desc",
+            BuildOptions {
+                strategy: Strategy::Cyclic { num_bins: 0 },
+                relabel: Relabel::Descending,
+            },
+        ),
     ] {
         group.bench_function(name, |b| {
-            b.iter(|| black_box(slinegraph_edges(&h, 2, Algorithm::Hashmap, &opts)))
+            b.iter(|| {
+                black_box(
+                    SLineBuilder::new(&h)
+                        .s(2)
+                        .algorithm(Algorithm::Hashmap)
+                        .options(&opts)
+                        .edges(),
+                )
+            })
         });
     }
     group.finish();
@@ -60,13 +98,13 @@ fn bench_queue_on_permuted_ids(c: &mut Criterion) {
     group.bench_function("hashmap-via-rebuild", |b| {
         b.iter(|| {
             let rebuilt = a.to_hypergraph();
-            black_box(slinegraph_edges(
-                &rebuilt,
-                2,
-                Algorithm::Hashmap,
-                &BuildOptions::default(),
-            ))
+            black_box(SLineBuilder::new(&rebuilt).s(2).edges())
         })
+    });
+    // ...but with the generic refactor the non-queue algorithm can also
+    // run straight on the adjoin representation — measure that too
+    group.bench_function("hashmap-on-adjoin-direct", |b| {
+        b.iter(|| black_box(SLineBuilder::new(&a).s(2).edges()))
     });
     group.finish();
 }
@@ -85,9 +123,11 @@ fn bench_direction_optimizing(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new(name, "bottom-up"), &(), |b, _| {
             b.iter(|| black_box(bfs_bottom_up(g, src)))
         });
-        group.bench_with_input(BenchmarkId::new(name, "direction-optimizing"), &(), |b, _| {
-            b.iter(|| black_box(bfs_direction_optimizing(g, src)))
-        });
+        group.bench_with_input(
+            BenchmarkId::new(name, "direction-optimizing"),
+            &(),
+            |b, _| b.iter(|| black_box(bfs_direction_optimizing(g, src))),
+        );
     }
     group.finish();
 }
@@ -116,10 +156,24 @@ fn bench_scheduling(c: &mut Criterion) {
     let h = profile_by_name("Orkut-group").unwrap().generate(SCALE, 42);
     let queue: Vec<u32> = (0..h.num_hyperedges() as u32).collect();
     group.bench_function("static-blocked", |b| {
-        b.iter(|| black_box(queue_hashmap(&h, &queue, 2, Strategy::Blocked { num_bins: 0 })))
+        b.iter(|| {
+            black_box(queue_hashmap(
+                &h,
+                &queue,
+                2,
+                Strategy::Blocked { num_bins: 0 },
+            ))
+        })
     });
     group.bench_function("static-cyclic", |b| {
-        b.iter(|| black_box(queue_hashmap(&h, &queue, 2, Strategy::Cyclic { num_bins: 0 })))
+        b.iter(|| {
+            black_box(queue_hashmap(
+                &h,
+                &queue,
+                2,
+                Strategy::Cyclic { num_bins: 0 },
+            ))
+        })
     });
     group.bench_function("dynamic-chunks", |b| {
         b.iter(|| black_box(queue_hashmap_dynamic(&h, &queue, 2)))

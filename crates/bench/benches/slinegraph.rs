@@ -1,12 +1,10 @@
-//! Criterion micro-benchmarks for the six s-line-graph construction
+//! Criterion micro-benchmarks for the s-line-graph construction
 //! algorithms (backing Fig. 9 with statistically sound per-kernel
 //! numbers at a fixed small scale).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use nwhy_core::slinegraph::ensemble::ensemble;
-use nwhy_core::{slinegraph_edges, Algorithm, BuildOptions, Hypergraph};
+use nwhy_core::{Algorithm, Hypergraph, SLineBuilder};
 use nwhy_gen::profiles::profile_by_name;
-use nwhy_util::partition::Strategy;
 use std::hint::black_box;
 
 const SCALE: usize = 20_000;
@@ -34,14 +32,7 @@ fn bench_algorithms(c: &mut Criterion) {
                     BenchmarkId::new(format!("{name}/s{s}"), algo.name()),
                     &(&h, s, algo),
                     |b, (h, s, algo)| {
-                        b.iter(|| {
-                            black_box(slinegraph_edges(
-                                h,
-                                *s,
-                                *algo,
-                                &BuildOptions::default(),
-                            ))
-                        })
+                        b.iter(|| black_box(SLineBuilder::new(*h).s(*s).algorithm(*algo).edges()))
                     },
                 );
             }
@@ -56,17 +47,12 @@ fn bench_ensemble_vs_singles(c: &mut Criterion) {
     let h = profile_by_name("com-Orkut").unwrap().generate(SCALE, 42);
     let svals = [1usize, 2, 4, 8];
     group.bench_function("one-pass-ensemble", |b| {
-        b.iter(|| black_box(ensemble(&h, &svals, Strategy::AUTO)))
+        b.iter(|| black_box(SLineBuilder::new(&h).ensemble_edges(&svals)))
     });
     group.bench_function("repeated-singles", |b| {
         b.iter(|| {
             for &s in &svals {
-                black_box(slinegraph_edges(
-                    &h,
-                    s,
-                    Algorithm::Hashmap,
-                    &BuildOptions::default(),
-                ));
+                black_box(SLineBuilder::new(&h).s(s).edges());
             }
         })
     });
@@ -75,14 +61,13 @@ fn bench_ensemble_vs_singles(c: &mut Criterion) {
 
 fn bench_weighted_and_online(c: &mut Criterion) {
     use nwhy_core::algorithms::s_components::s_connected_components_online;
-    use nwhy_core::slinegraph::weighted::slinegraph_weighted_edges;
     use nwhy_core::smetrics::SLineGraph;
 
     let mut group = c.benchmark_group("slinegraph_extensions");
     group.sample_size(10);
     let h = profile_by_name("com-Orkut").unwrap().generate(SCALE, 42);
     group.bench_function("weighted-build-s2", |b| {
-        b.iter(|| black_box(slinegraph_weighted_edges(&h, 2, Strategy::AUTO)))
+        b.iter(|| black_box(SLineBuilder::new(&h).s(2).weighted_edges()))
     });
     group.bench_function("s2-components-online", |b| {
         b.iter(|| black_box(s_connected_components_online(&h, 2)))

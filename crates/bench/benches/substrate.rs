@@ -21,7 +21,9 @@ fn bench_csr_build(c: &mut Criterion) {
         b.iter(|| black_box(Csr::from_edge_list(&el)))
     });
     let g = Csr::from_edge_list(&el);
-    group.bench_function("transpose-50k-400k", |b| b.iter(|| black_box(g.transpose())));
+    group.bench_function("transpose-50k-400k", |b| {
+        b.iter(|| black_box(g.transpose()))
+    });
     group.finish();
 }
 

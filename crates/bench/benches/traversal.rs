@@ -54,11 +54,9 @@ fn bench_cc(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new(name, "AdjoinCC-afforest"), &(), |b, _| {
             b.iter(|| black_box(adjoin_cc_afforest(&a)))
         });
-        group.bench_with_input(
-            BenchmarkId::new(name, "AdjoinCC-labelprop"),
-            &(),
-            |b, _| b.iter(|| black_box(adjoin_cc_label_propagation(&a))),
-        );
+        group.bench_with_input(BenchmarkId::new(name, "AdjoinCC-labelprop"), &(), |b, _| {
+            b.iter(|| black_box(adjoin_cc_label_propagation(&a)))
+        });
         group.bench_with_input(BenchmarkId::new(name, "HygraCC"), &(), |b, _| {
             b.iter(|| black_box(hygra::hygra_cc(&h)))
         });

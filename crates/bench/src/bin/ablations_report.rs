@@ -11,13 +11,13 @@
 //! Run: `cargo run --release -p nwhy-bench --bin ablations_report`
 //! Knobs: `NWHY_SCALE` (default 2000), `NWHY_TRIALS`, `NWHY_SEED`.
 
+use nwgraph::algorithms::bfs::{bfs_bottom_up, bfs_top_down};
 use nwhy_bench::{best_of, HarnessConfig};
 use nwhy_core::algorithms::adjoin_bfs;
 use nwhy_core::slinegraph::queue_single::{queue_hashmap, queue_hashmap_dynamic};
-use nwhy_core::{slinegraph_edges, AdjoinGraph, Algorithm, BuildOptions, Relabel};
+use nwhy_core::{AdjoinGraph, Algorithm, BuildOptions, Relabel, SLineBuilder};
 use nwhy_gen::profiles::profile_by_name;
 use nwhy_util::partition::{imbalance_report, Strategy};
-use nwgraph::algorithms::bfs::{bfs_bottom_up, bfs_top_down};
 
 fn main() {
     let cfg = HarnessConfig::from_env();
@@ -48,7 +48,11 @@ fn main() {
         ] {
             let opts = BuildOptions { strategy, relabel };
             let secs = best_of(cfg.trials, || {
-                slinegraph_edges(&h, 2, Algorithm::Hashmap, &opts)
+                SLineBuilder::new(&h)
+                    .s(2)
+                    .algorithm(Algorithm::Hashmap)
+                    .options(&opts)
+                    .edges()
             });
             println!("   {sname:>8}/{rname:<5} {secs:>10.4}s");
         }
@@ -63,9 +67,12 @@ fn main() {
     println!("   Alg 1 directly on adjoin:      {t_q1:>10.4}s");
     let t_rebuild = best_of(cfg.trials, || {
         let rebuilt = adjoin.to_hypergraph();
-        slinegraph_edges(&rebuilt, 2, Algorithm::Hashmap, &BuildOptions::default())
+        SLineBuilder::new(&rebuilt).s(2).edges()
     });
-    println!("   non-queue (rebuild + hashmap): {t_rebuild:>10.4}s  ({:.2}x)", t_rebuild / t_q1);
+    println!(
+        "   non-queue (rebuild + hashmap): {t_rebuild:>10.4}s  ({:.2}x)",
+        t_rebuild / t_q1
+    );
 
     // ---- C. scheduling --------------------------------------------------
     println!("\nC. Algorithm 1 work-queue scheduling (s=2):");
@@ -97,7 +104,9 @@ fn main() {
         ("force-dense", hygra::engine::Mode::ForceDense),
         ("auto", hygra::engine::Mode::Auto),
     ] {
-        let secs = best_of(cfg.trials, || hygra::bfs::hygra_bfs_with_mode(&h, src, mode));
+        let secs = best_of(cfg.trials, || {
+            hygra::bfs::hygra_bfs_with_mode(&h, src, mode)
+        });
         println!("   {name:<13} {secs:>10.5}s");
     }
 

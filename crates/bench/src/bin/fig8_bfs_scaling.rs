@@ -61,7 +61,11 @@ fn main() {
         let a = adjoin_bfs(&adjoin, source);
         let b = hyper_bfs_top_down(&h, source);
         let c = hygra::hygra_bfs(&h, source);
-        assert_eq!(a.edge_levels, b.edge_levels, "{}: adjoin vs bipartite", p.name);
+        assert_eq!(
+            a.edge_levels, b.edge_levels,
+            "{}: adjoin vs bipartite",
+            p.name
+        );
         assert_eq!(b.edge_levels, c.edge_levels, "{}: NWHy vs Hygra", p.name);
         println!(
             "{:>8} reached {} hyperedges, max level {} (all algorithms agree)",

@@ -14,7 +14,7 @@
 //! Output: a table per dataset + `fig9_results.json`.
 
 use nwhy_bench::{all_twins, best_of, write_json, HarnessConfig, SLineCell};
-use nwhy_core::{slinegraph_edges, Algorithm, BuildOptions, Relabel};
+use nwhy_core::{Algorithm, BuildOptions, Relabel, SLineBuilder};
 use nwhy_util::partition::Strategy;
 
 fn s_values() -> Vec<usize> {
@@ -81,18 +81,30 @@ fn main() {
         );
         for &s in &svals {
             // correctness first: all four must produce the same edge set
-            let reference = slinegraph_edges(&h, s, Algorithm::Hashmap, &BuildOptions::default());
+            let reference = SLineBuilder::new(&h).s(s).edges();
             let mut best: Vec<(f64, &'static str)> = Vec::new();
             for algo in ALGORITHMS {
                 let mut fastest = (f64::INFINITY, "");
                 for (cname, opts) in &configs {
-                    let secs = best_of(cfg.trials, || slinegraph_edges(&h, s, algo, opts));
+                    let secs = best_of(cfg.trials, || {
+                        SLineBuilder::new(&h)
+                            .s(s)
+                            .algorithm(algo)
+                            .options(opts)
+                            .edges()
+                    });
                     if secs < fastest.0 {
                         fastest = (secs, cname);
                     }
                 }
-                let got = slinegraph_edges(&h, s, algo, &BuildOptions::default());
-                assert_eq!(got, reference, "{}: {} disagrees at s={s}", p.name, algo.name());
+                let got = SLineBuilder::new(&h).s(s).algorithm(algo).edges();
+                assert_eq!(
+                    got,
+                    reference,
+                    "{}: {} disagrees at s={s}",
+                    p.name,
+                    algo.name()
+                );
                 best.push(fastest);
             }
             let hashmap_time = best[0].0;
@@ -110,7 +122,10 @@ fn main() {
                     relative_to_hashmap: rel,
                 });
             }
-            println!("   [hashmap: {hashmap_time:.4}s, {} line edges]", reference.len());
+            println!(
+                "   [hashmap: {hashmap_time:.4}s, {} line edges]",
+                reference.len()
+            );
         }
     }
 

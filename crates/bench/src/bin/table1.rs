@@ -19,7 +19,10 @@ fn fmt_count(x: usize) -> String {
 
 fn main() {
     let cfg = HarnessConfig::from_env();
-    println!("Table I twin datasets (scale 1/{}, seed {})\n", cfg.scale, cfg.seed);
+    println!(
+        "Table I twin datasets (scale 1/{}, seed {})\n",
+        cfg.scale, cfg.seed
+    );
     println!(
         "{:<12} {:<10} | {:>8} {:>8} {:>6} {:>6} {:>8} {:>8} | {:>30}",
         "dataset", "type", "|V|", "|E|", "d̄_v", "d̄_e", "Δ_v", "Δ_e", "paper (real dataset)"

@@ -23,7 +23,6 @@
 
 use nwhy_core::Hypergraph;
 use nwhy_gen::profiles::{DatasetProfile, TABLE1};
-use serde::Serialize;
 
 /// Reads a `usize` knob from the environment.
 pub fn env_usize(name: &str, default: usize) -> usize {
@@ -91,9 +90,42 @@ pub fn best_of<R>(trials: usize, mut f: impl FnMut() -> R) -> f64 {
         .fold(f64::INFINITY, f64::min)
 }
 
+/// A value that knows how to render itself as a JSON object — the minimal
+/// serialization contract the sidecar writer needs.
+pub trait ToJson {
+    fn to_json(&self) -> String;
+}
+
+/// Escapes a string for embedding in a JSON document.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats an `f64` so it round-trips as a JSON number (JSON has no
+/// Infinity/NaN; those degrade to null).
+pub fn json_f64(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        "null".to_string()
+    }
+}
+
 /// One timed cell of a scaling figure, serialized into the JSON sidecar
 /// so EXPERIMENTS.md can cite exact numbers.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct ScalingCell {
     /// Dataset name.
     pub dataset: String,
@@ -105,8 +137,20 @@ pub struct ScalingCell {
     pub seconds: f64,
 }
 
+impl ToJson for ScalingCell {
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"dataset\": \"{}\", \"algorithm\": \"{}\", \"threads\": {}, \"seconds\": {}}}",
+            json_escape(&self.dataset),
+            json_escape(&self.algorithm),
+            self.threads,
+            json_f64(self.seconds)
+        )
+    }
+}
+
 /// One timed cell of the Fig. 9 comparison.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct SLineCell {
     /// Dataset name.
     pub dataset: String,
@@ -122,17 +166,36 @@ pub struct SLineCell {
     pub relative_to_hashmap: f64,
 }
 
+impl ToJson for SLineCell {
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"dataset\": \"{}\", \"algorithm\": \"{}\", \"s\": {}, \"best_config\": \"{}\", \"seconds\": {}, \"relative_to_hashmap\": {}}}",
+            json_escape(&self.dataset),
+            json_escape(&self.algorithm),
+            self.s,
+            json_escape(&self.best_config),
+            json_f64(self.seconds),
+            json_f64(self.relative_to_hashmap)
+        )
+    }
+}
+
 /// Writes a JSON sidecar next to the printed table.
-pub fn write_json<T: Serialize>(path: &str, rows: &[T]) {
-    match serde_json::to_string_pretty(rows) {
-        Ok(s) => {
-            if let Err(e) = std::fs::write(path, s) {
-                eprintln!("warning: could not write {path}: {e}");
-            } else {
-                eprintln!("(wrote {path})");
-            }
+pub fn write_json<T: ToJson>(path: &str, rows: &[T]) {
+    let mut s = String::from("[\n");
+    for (i, row) in rows.iter().enumerate() {
+        s.push_str("  ");
+        s.push_str(&row.to_json());
+        if i + 1 < rows.len() {
+            s.push(',');
         }
-        Err(e) => eprintln!("warning: could not serialize {path}: {e}"),
+        s.push('\n');
+    }
+    s.push(']');
+    if let Err(e) = std::fs::write(path, s) {
+        eprintln!("warning: could not write {path}: {e}");
+    } else {
+        eprintln!("(wrote {path})");
     }
 }
 

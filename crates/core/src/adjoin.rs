@@ -79,7 +79,11 @@ impl AdjoinGraph {
     ///
     /// # Panics
     /// Panics if the sizes disagree or an edge stays within one partition.
-    pub fn from_adjoin_edge_list(el: &EdgeList, num_hyperedges: usize, num_hypernodes: usize) -> Self {
+    pub fn from_adjoin_edge_list(
+        el: &EdgeList,
+        num_hyperedges: usize,
+        num_hypernodes: usize,
+    ) -> Self {
         assert_eq!(
             el.num_vertices(),
             num_hyperedges + num_hypernodes,
@@ -198,7 +202,11 @@ mod tests {
         // no edge within a partition
         for (u, nbrs) in a.graph().iter() {
             for &v in nbrs {
-                assert_ne!(a.is_hyperedge(u), a.is_hyperedge(v), "edge ({u},{v}) intra-part");
+                assert_ne!(
+                    a.is_hyperedge(u),
+                    a.is_hyperedge(v),
+                    "edge ({u},{v}) intra-part"
+                );
             }
         }
     }

@@ -101,11 +101,8 @@ mod tests {
     }
 
     fn arb_memberships() -> impl proptest::strategy::Strategy<Value = Vec<Vec<Id>>> {
-        proptest::collection::vec(
-            proptest::collection::btree_set(0u32..12, 0..6),
-            1..10,
-        )
-        .prop_map(|sets| sets.into_iter().map(|s| s.into_iter().collect()).collect())
+        proptest::collection::vec(proptest::collection::btree_set(0u32..12, 0..6), 1..10)
+            .prop_map(|sets| sets.into_iter().map(|s| s.into_iter().collect()).collect())
     }
 
     proptest! {

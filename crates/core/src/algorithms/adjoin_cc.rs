@@ -63,12 +63,7 @@ mod tests {
     use crate::hypergraph::Hypergraph;
     use proptest::prelude::*;
 
-    fn same_partition(
-        a_edges: &[Id],
-        a_nodes: &[Id],
-        b_edges: &[Id],
-        b_nodes: &[Id],
-    ) -> bool {
+    fn same_partition(a_edges: &[Id], a_nodes: &[Id], b_edges: &[Id], b_nodes: &[Id]) -> bool {
         let a: Vec<Id> = a_edges.iter().chain(a_nodes).copied().collect();
         let b: Vec<Id> = b_edges.iter().chain(b_nodes).copied().collect();
         for i in 0..a.len() {
@@ -117,11 +112,8 @@ mod tests {
     }
 
     fn arb_memberships() -> impl proptest::strategy::Strategy<Value = Vec<Vec<Id>>> {
-        proptest::collection::vec(
-            proptest::collection::btree_set(0u32..12, 0..5),
-            0..10,
-        )
-        .prop_map(|sets| sets.into_iter().map(|s| s.into_iter().collect()).collect())
+        proptest::collection::vec(proptest::collection::btree_set(0u32..12, 0..5), 0..10)
+            .prop_map(|sets| sets.into_iter().map(|s| s.into_iter().collect()).collect())
     }
 
     proptest! {

@@ -50,10 +50,18 @@ impl HyperBfsResult {
 fn init(
     h: &Hypergraph,
     source: Id,
-) -> (Vec<AtomicU32>, Vec<AtomicU32>, Vec<AtomicU32>, Vec<AtomicU32>) {
+) -> (
+    Vec<AtomicU32>,
+    Vec<AtomicU32>,
+    Vec<AtomicU32>,
+    Vec<AtomicU32>,
+) {
     let ne = h.num_hyperedges();
     let nv = h.num_hypernodes();
-    assert!((source as usize) < ne, "source hyperedge {source} out of range {ne}");
+    assert!(
+        (source as usize) < ne,
+        "source hyperedge {source} out of range {ne}"
+    );
     let edge_levels: Vec<AtomicU32> = (0..ne).map(|_| AtomicU32::new(INVALID_VERTEX)).collect();
     let node_levels: Vec<AtomicU32> = (0..nv).map(|_| AtomicU32::new(INVALID_VERTEX)).collect();
     let edge_parents: Vec<AtomicU32> = (0..ne).map(|_| AtomicU32::new(INVALID_VERTEX)).collect();
@@ -72,8 +80,14 @@ fn finish(
     HyperBfsResult {
         edge_levels: edge_levels.into_iter().map(AtomicU32::into_inner).collect(),
         node_levels: node_levels.into_iter().map(AtomicU32::into_inner).collect(),
-        edge_parents: edge_parents.into_iter().map(AtomicU32::into_inner).collect(),
-        node_parents: node_parents.into_iter().map(AtomicU32::into_inner).collect(),
+        edge_parents: edge_parents
+            .into_iter()
+            .map(AtomicU32::into_inner)
+            .collect(),
+        node_parents: node_parents
+            .into_iter()
+            .map(AtomicU32::into_inner)
+            .collect(),
     }
 }
 
@@ -115,13 +129,25 @@ pub fn hyper_bfs_top_down(h: &Hypergraph, source: Id) -> HyperBfsResult {
     while !edge_frontier.is_empty() {
         // hyperedges → hypernodes
         depth += 1;
-        let node_frontier = expand(h.edges(), &edge_frontier, &node_parents, &node_levels, depth);
+        let node_frontier = expand(
+            h.edges(),
+            &edge_frontier,
+            &node_parents,
+            &node_levels,
+            depth,
+        );
         if node_frontier.is_empty() {
             break;
         }
         // hypernodes → hyperedges
         depth += 1;
-        edge_frontier = expand(h.nodes(), &node_frontier, &edge_parents, &edge_levels, depth);
+        edge_frontier = expand(
+            h.nodes(),
+            &node_frontier,
+            &edge_parents,
+            &edge_levels,
+            depth,
+        );
     }
     finish(edge_levels, node_levels, edge_parents, node_parents)
 }
@@ -180,8 +206,7 @@ pub fn hyper_bfs_bottom_up(h: &Hypergraph, source: Id) -> HyperBfsResult {
             node_in[v as usize] = true;
         }
         depth += 1;
-        edge_frontier =
-            expand_bottom_up(h.edges(), &node_in, &edge_parents, &edge_levels, depth);
+        edge_frontier = expand_bottom_up(h.edges(), &node_in, &edge_parents, &edge_levels, depth);
     }
     finish(edge_levels, node_levels, edge_parents, node_parents)
 }
@@ -287,11 +312,8 @@ mod tests {
     }
 
     fn arb_memberships() -> impl proptest::strategy::Strategy<Value = Vec<Vec<Id>>> {
-        proptest::collection::vec(
-            proptest::collection::btree_set(0u32..15, 0..6),
-            1..10,
-        )
-        .prop_map(|sets| sets.into_iter().map(|s| s.into_iter().collect()).collect())
+        proptest::collection::vec(proptest::collection::btree_set(0u32..15, 0..6), 1..10)
+            .prop_map(|sets| sets.into_iter().map(|s| s.into_iter().collect()).collect())
     }
 
     proptest! {

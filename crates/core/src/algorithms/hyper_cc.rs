@@ -47,7 +47,9 @@ pub fn hyper_cc(h: &Hypergraph) -> HyperCcResult {
     let ne = h.num_hyperedges();
     let nv = h.num_hypernodes();
     let edge_labels: Vec<AtomicU32> = (0..ne as u32).map(AtomicU32::new).collect();
-    let node_labels: Vec<AtomicU32> = (0..nv as u32).map(|v| AtomicU32::new(ne as u32 + v)).collect();
+    let node_labels: Vec<AtomicU32> = (0..nv as u32)
+        .map(|v| AtomicU32::new(ne as u32 + v))
+        .collect();
 
     let changed = AtomicBool::new(true);
     while changed.swap(false, Ordering::Relaxed) {
@@ -129,11 +131,8 @@ mod tests {
     }
 
     fn arb_memberships() -> impl proptest::strategy::Strategy<Value = Vec<Vec<Id>>> {
-        proptest::collection::vec(
-            proptest::collection::btree_set(0u32..15, 0..5),
-            0..10,
-        )
-        .prop_map(|sets| sets.into_iter().map(|s| s.into_iter().collect()).collect())
+        proptest::collection::vec(proptest::collection::btree_set(0u32..15, 0..5), 0..10)
+            .prop_map(|sets| sets.into_iter().map(|s| s.into_iter().collect()).collect())
     }
 
     /// Oracle: sequential DFS over the bipartite structure.

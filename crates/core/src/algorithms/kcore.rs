@@ -58,9 +58,7 @@ pub fn kl_core(h: &Hypergraph, k: usize, l: usize) -> KLCore {
         // peel hypernodes below k
         let dead_nodes: Vec<Id> = (0..nv as Id)
             .into_par_iter()
-            .filter(|&v| {
-                node_alive[v as usize] && node_deg[v as usize].load(Ordering::Relaxed) < k
-            })
+            .filter(|&v| node_alive[v as usize] && node_deg[v as usize].load(Ordering::Relaxed) < k)
             .collect();
         for &v in &dead_nodes {
             node_alive[v as usize] = false;
@@ -76,9 +74,7 @@ pub fn kl_core(h: &Hypergraph, k: usize, l: usize) -> KLCore {
         // peel hyperedges below ℓ
         let dead_edges: Vec<Id> = (0..ne as Id)
             .into_par_iter()
-            .filter(|&e| {
-                edge_alive[e as usize] && edge_deg[e as usize].load(Ordering::Relaxed) < l
-            })
+            .filter(|&e| edge_alive[e as usize] && edge_deg[e as usize].load(Ordering::Relaxed) < l)
             .collect();
         for &e in &dead_edges {
             edge_alive[e as usize] = false;
@@ -177,7 +173,7 @@ mod tests {
         assert!(!core.nodes[1]);
         assert!(!core.nodes[7]);
         assert!(core.nodes[3]); // degree 3
-        // all four edges keep ≥ 2 members after peeling 1 and 7
+                                // all four edges keep ≥ 2 members after peeling 1 and 7
         assert_eq!(core.num_edges(), 4);
     }
 
@@ -226,11 +222,8 @@ mod tests {
     }
 
     fn arb_memberships() -> impl proptest::strategy::Strategy<Value = Vec<Vec<Id>>> {
-        proptest::collection::vec(
-            proptest::collection::btree_set(0u32..12, 0..6),
-            0..10,
-        )
-        .prop_map(|sets| sets.into_iter().map(|s| s.into_iter().collect()).collect())
+        proptest::collection::vec(proptest::collection::btree_set(0u32..12, 0..6), 0..10)
+            .prop_map(|sets| sets.into_iter().map(|s| s.into_iter().collect()).collect())
     }
 
     proptest! {

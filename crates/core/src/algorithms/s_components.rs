@@ -10,7 +10,7 @@
 //! `s = 1` can be quadratic (the Fig. 9 runs materialize millions of
 //! edges) — is never stored.
 
-use super::super::slinegraph::HyperAdjacency;
+use crate::repr::HyperAdjacency;
 use crate::Id;
 use nwhy_util::fxhash::FxHashMap;
 use rayon::prelude::*;
@@ -41,7 +41,8 @@ pub fn s_connected_components_online<H: HyperAdjacency + ?Sized>(h: &H, s: usize
                         }
                         counts.clear();
                         for &v in nbrs_i {
-                            for &j in h.node_neighbors(v) {
+                            for &raw in h.node_neighbors(v) {
+                                let j = h.edge_id(raw);
                                 if j != i {
                                     *counts.entry(j).or_insert(0) += 1;
                                 }
@@ -136,11 +137,8 @@ mod tests {
     }
 
     fn arb_memberships() -> impl proptest::strategy::Strategy<Value = Vec<Vec<Id>>> {
-        proptest::collection::vec(
-            proptest::collection::btree_set(0u32..15, 0..7),
-            0..12,
-        )
-        .prop_map(|sets| sets.into_iter().map(|s| s.into_iter().collect()).collect())
+        proptest::collection::vec(proptest::collection::btree_set(0u32..15, 0..7), 0..12)
+            .prop_map(|sets| sets.into_iter().map(|s| s.into_iter().collect()).collect())
     }
 
     proptest! {

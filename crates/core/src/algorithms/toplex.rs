@@ -53,8 +53,7 @@ pub fn toplexes(h: &Hypergraph) -> Vec<Id> {
             if members.is_empty() {
                 // ∅ is dominated by any non-empty hyperedge; among
                 // all-empty hypergraphs keep the smallest ID.
-                return !any_nonempty
-                    && (0..e).all(|f| h.edge_degree(f) > 0);
+                return !any_nonempty && (0..e).all(|f| h.edge_degree(f) > 0);
             }
             let de = members.len();
             // Count overlap with every hyperedge sharing a member.
@@ -128,10 +127,7 @@ pub fn validate_toplexes(h: &Hypergraph, toplexes: &[Id]) -> Result<(), String> 
     }
     for e in 0..h.num_hyperedges() as Id {
         let me = h.edge_members(e);
-        if !toplexes
-            .iter()
-            .any(|&t| contains(h.edge_members(t), me))
-        {
+        if !toplexes.iter().any(|&t| contains(h.edge_members(t), me)) {
             return Err(format!("hyperedge {e} not covered by any toplex"));
         }
     }
@@ -184,12 +180,8 @@ mod tests {
 
     #[test]
     fn chain_of_inclusions() {
-        let h = Hypergraph::from_memberships(&[
-            vec![0],
-            vec![0, 1],
-            vec![0, 1, 2],
-            vec![0, 1, 2, 3],
-        ]);
+        let h =
+            Hypergraph::from_memberships(&[vec![0], vec![0, 1], vec![0, 1, 2], vec![0, 1, 2, 3]]);
         assert_eq!(toplexes(&h), vec![3]);
     }
 
@@ -201,11 +193,8 @@ mod tests {
     }
 
     fn arb_memberships() -> impl proptest::strategy::Strategy<Value = Vec<Vec<Id>>> {
-        proptest::collection::vec(
-            proptest::collection::btree_set(0u32..10, 0..6),
-            0..12,
-        )
-        .prop_map(|sets| sets.into_iter().map(|s| s.into_iter().collect()).collect())
+        proptest::collection::vec(proptest::collection::btree_set(0u32..10, 0..6), 0..12)
+            .prop_map(|sets| sets.into_iter().map(|s| s.into_iter().collect()).collect())
     }
 
     proptest! {

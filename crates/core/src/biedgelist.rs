@@ -231,12 +231,7 @@ mod tests {
 
     #[test]
     fn weighted_incidences_roundtrip() {
-        let bel = BiEdgeList::from_weighted_incidences(
-            2,
-            3,
-            vec![(0, 1), (1, 2)],
-            vec![0.5, 2.0],
-        );
+        let bel = BiEdgeList::from_weighted_incidences(2, 3, vec![(0, 1), (1, 2)], vec![0.5, 2.0]);
         assert_eq!(bel.weights(), Some(&[0.5, 2.0][..]));
     }
 

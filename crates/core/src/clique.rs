@@ -46,15 +46,11 @@ pub fn clique_expansion(h: &Hypergraph) -> Csr {
 
 /// The same graph, computed as the 1-line graph of the dual hypergraph —
 /// the identity the paper states in §III-B.4 ("the 1-line graph of the
-/// dual hypergraph is the clique-expansion graph").
+/// dual hypergraph is the clique-expansion graph"). The dual is a
+/// zero-copy [`crate::repr::DualView`]; nothing is materialized.
 pub fn clique_expansion_via_dual(h: &Hypergraph) -> Csr {
-    let dual = h.dual();
-    let pairs = crate::slinegraph::slinegraph_edges(
-        &dual,
-        1,
-        crate::slinegraph::Algorithm::Hashmap,
-        &crate::slinegraph::BuildOptions::default(),
-    );
+    let dual = crate::repr::DualView::new(h);
+    let pairs = crate::slinegraph::SLineBuilder::new(&dual).s(1).edges();
     let mut el = EdgeList::from_edges(h.num_hypernodes(), pairs);
     el.symmetrize();
     el.sort_dedup();
@@ -95,10 +91,7 @@ pub fn validate_clique_expansion(h: &Hypergraph, g: &Csr) -> Result<(), String> 
     for (u, nbrs) in g.iter() {
         let edges_of_u: FxHashSet<Id> = h.node_memberships(u).iter().copied().collect();
         for &w in nbrs {
-            let shares = h
-                .node_memberships(w)
-                .iter()
-                .any(|e| edges_of_u.contains(e));
+            let shares = h.node_memberships(w).iter().any(|e| edges_of_u.contains(e));
             if !shares {
                 return Err(format!("edge ({u},{w}) has no witnessing hyperedge"));
             }

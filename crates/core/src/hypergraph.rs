@@ -215,7 +215,10 @@ mod tests {
         // every (e, v) incidence appears in both directions
         for e in 0..h.num_hyperedges() as Id {
             for &v in h.edge_members(e) {
-                assert!(h.node_memberships(v).contains(&e), "({e},{v}) missing in nodes");
+                assert!(
+                    h.node_memberships(v).contains(&e),
+                    "({e},{v}) missing in nodes"
+                );
             }
         }
         for v in 0..h.num_hypernodes() as Id {

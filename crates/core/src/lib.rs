@@ -18,9 +18,11 @@
 //! 3. **Clique expansion** ([`clique::clique_expansion`]) — each hyperedge
 //!    becomes a clique over its hypernodes.
 //! 4. **s-line graphs** ([`slinegraph`]) — hyperedges become vertices;
-//!    `{e, f}` is an edge iff `|e ∩ f| ≥ s`. Six construction algorithms
+//!    `{e, f}` is an edge iff `|e ∩ f| ≥ s`. Seven construction algorithms
 //!    are provided, including the paper's two new queue-based ones
-//!    (Algorithms 1 and 2).
+//!    (Algorithms 1 and 2). All of them are generic over the
+//!    [`repr::HyperAdjacency`] trait and are driven through the fluent
+//!    [`SLineBuilder`] pipeline.
 //!
 //! # Algorithms (§III-C)
 //!
@@ -40,6 +42,7 @@ pub mod fixtures;
 pub mod hypergraph;
 pub mod matrix;
 pub mod ops;
+pub mod repr;
 pub mod slinegraph;
 pub mod smetrics;
 pub mod transform;
@@ -47,7 +50,10 @@ pub mod transform;
 pub use adjoin::AdjoinGraph;
 pub use biedgelist::BiEdgeList;
 pub use hypergraph::{Hypergraph, HypergraphStats};
-pub use slinegraph::{slinegraph_edges, Algorithm, BuildOptions, Relabel};
+pub use repr::{DualView, HyperAdjacency, RelabeledView};
+#[allow(deprecated)]
+pub use slinegraph::slinegraph_edges;
+pub use slinegraph::{Algorithm, BuildOptions, Relabel, SLineBuilder};
 pub use smetrics::SLineGraph;
 
 /// Hyperedge/hypernode identifier type (dense `u32`, matching `nwgraph`).

@@ -46,7 +46,10 @@ impl DenseMatrix {
 
     /// Entry at `(r, c)`.
     pub fn get(&self, r: usize, c: usize) -> u8 {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
         self.data[r * self.cols + c]
     }
 

@@ -28,7 +28,11 @@ use rayon::prelude::*;
 /// # Panics
 /// Panics if `x.len() != h.num_hypernodes()`.
 pub fn edge_gather(h: &Hypergraph, x: &[f64]) -> Vec<f64> {
-    assert_eq!(x.len(), h.num_hypernodes(), "x must have one entry per hypernode");
+    assert_eq!(
+        x.len(),
+        h.num_hypernodes(),
+        "x must have one entry per hypernode"
+    );
     (0..h.num_hyperedges() as Id)
         .into_par_iter()
         .map(|e| {
@@ -46,7 +50,11 @@ pub fn edge_gather(h: &Hypergraph, x: &[f64]) -> Vec<f64> {
 /// # Panics
 /// Panics if `x.len() != h.num_hyperedges()`.
 pub fn node_gather(h: &Hypergraph, x: &[f64]) -> Vec<f64> {
-    assert_eq!(x.len(), h.num_hyperedges(), "x must have one entry per hyperedge");
+    assert_eq!(
+        x.len(),
+        h.num_hyperedges(),
+        "x must have one entry per hyperedge"
+    );
     (0..h.num_hypernodes() as Id)
         .into_par_iter()
         .map(|v| {
@@ -63,7 +71,11 @@ pub fn node_gather(h: &Hypergraph, x: &[f64]) -> Vec<f64> {
 /// hyperedges, then uniformly to their members. Rows with zero degree
 /// keep their mass.
 pub fn diffusion_step(h: &Hypergraph, x: &[f64]) -> Vec<f64> {
-    assert_eq!(x.len(), h.num_hypernodes(), "x must have one entry per hypernode");
+    assert_eq!(
+        x.len(),
+        h.num_hypernodes(),
+        "x must have one entry per hypernode"
+    );
     // node → edge, normalized by node degree
     let edge_mass: Vec<f64> = (0..h.num_hyperedges() as Id)
         .into_par_iter()

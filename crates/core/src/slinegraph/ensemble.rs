@@ -8,7 +8,6 @@
 //! benchmarks and HyperNetX workflows do).
 
 use super::{canonicalize, HyperAdjacency};
-use crate::hypergraph::Hypergraph;
 use crate::Id;
 use nwhy_util::fxhash::FxHashMap;
 use nwhy_util::partition::{par_for_each_index_with, Strategy};
@@ -19,7 +18,11 @@ use nwhy_util::partition::{par_for_each_index_with, Strategy};
 ///
 /// # Panics
 /// Panics if any `s` is 0.
-pub fn ensemble(h: &Hypergraph, s_values: &[usize], strategy: Strategy) -> Vec<Vec<(Id, Id)>> {
+pub fn ensemble<A: HyperAdjacency + ?Sized>(
+    h: &A,
+    s_values: &[usize],
+    strategy: Strategy,
+) -> Vec<Vec<(Id, Id)>> {
     assert!(s_values.iter().all(|&s| s >= 1), "s must be at least 1");
     if s_values.is_empty() {
         return Vec::new();
@@ -47,7 +50,8 @@ pub fn ensemble(h: &Hypergraph, s_values: &[usize], strategy: Strategy) -> Vec<V
             }
             local.counts.clear();
             for &v in nbrs_i {
-                for &j in h.node_neighbors(v) {
+                for &raw in h.node_neighbors(v) {
+                    let j = h.edge_id(raw);
                     if j > i {
                         *local.counts.entry(j).or_insert(0) += 1;
                     }
@@ -76,6 +80,7 @@ pub fn ensemble(h: &Hypergraph, s_values: &[usize], strategy: Strategy) -> Vec<V
 mod tests {
     use super::*;
     use crate::fixtures::{paper_hypergraph, paper_slinegraph_edges};
+    use crate::hypergraph::Hypergraph;
     use crate::slinegraph::hashmap::hashmap;
 
     #[test]
@@ -99,12 +104,8 @@ mod tests {
 
     #[test]
     fn single_s_equals_hashmap() {
-        let h = Hypergraph::from_memberships(&[
-            vec![0, 1, 2],
-            vec![1, 2, 3],
-            vec![3, 4],
-            vec![0, 4],
-        ]);
+        let h =
+            Hypergraph::from_memberships(&[vec![0, 1, 2], vec![1, 2, 3], vec![3, 4], vec![0, 4]]);
         for s in 1..=3 {
             let got = ensemble(&h, &[s], Strategy::AUTO);
             assert_eq!(got[0], hashmap(&h, s, Strategy::AUTO), "s={s}");

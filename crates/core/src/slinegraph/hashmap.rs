@@ -8,7 +8,6 @@
 //! no sorted neighbor access — but pays hashing costs.
 
 use super::{canonicalize, HyperAdjacency};
-use crate::hypergraph::Hypergraph;
 use crate::Id;
 use nwhy_util::fxhash::FxHashMap;
 use nwhy_util::partition::{par_for_each_index_with, Strategy};
@@ -20,7 +19,7 @@ struct Local {
 }
 
 /// Hashmap-counting construction; returns canonical pairs.
-pub fn hashmap(h: &Hypergraph, s: usize, strategy: Strategy) -> Vec<(Id, Id)> {
+pub fn hashmap<A: HyperAdjacency + ?Sized>(h: &A, s: usize, strategy: Strategy) -> Vec<(Id, Id)> {
     let ne = h.num_hyperedges();
     let locals = par_for_each_index_with(
         ne,
@@ -37,7 +36,8 @@ pub fn hashmap(h: &Hypergraph, s: usize, strategy: Strategy) -> Vec<(Id, Id)> {
             }
             local.counts.clear();
             for &v in nbrs_i {
-                for &j in h.node_neighbors(v) {
+                for &raw in h.node_neighbors(v) {
+                    let j = h.edge_id(raw);
                     if j > i {
                         *local.counts.entry(j).or_insert(0) += 1;
                     }
@@ -57,6 +57,7 @@ pub fn hashmap(h: &Hypergraph, s: usize, strategy: Strategy) -> Vec<(Id, Id)> {
 mod tests {
     use super::*;
     use crate::fixtures::{paper_hypergraph, paper_slinegraph_edges};
+    use crate::hypergraph::Hypergraph;
     use crate::slinegraph::naive::naive;
 
     #[test]
@@ -73,11 +74,8 @@ mod tests {
 
     #[test]
     fn counts_equal_exact_overlaps() {
-        let h = Hypergraph::from_memberships(&[
-            vec![0, 1, 2, 3, 4],
-            vec![2, 3, 4, 5],
-            vec![4, 5, 6],
-        ]);
+        let h =
+            Hypergraph::from_memberships(&[vec![0, 1, 2, 3, 4], vec![2, 3, 4, 5], vec![4, 5, 6]]);
         // |e0∩e1| = 3, |e0∩e2| = 1, |e1∩e2| = 2
         assert_eq!(hashmap(&h, 1, Strategy::AUTO), vec![(0, 1), (0, 2), (1, 2)]);
         assert_eq!(hashmap(&h, 2, Strategy::AUTO), vec![(0, 1), (1, 2)]);

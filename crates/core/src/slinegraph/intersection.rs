@@ -12,7 +12,6 @@
 //! 3. short-circuit the intersection at `s`.
 
 use super::{canonicalize, HyperAdjacency};
-use crate::hypergraph::Hypergraph;
 use crate::Id;
 use nwgraph::algorithms::triangles::sorted_intersection_at_least;
 use nwhy_util::partition::{par_for_each_index_with, Strategy};
@@ -26,7 +25,11 @@ struct Local {
 }
 
 /// Heuristic intersection construction; returns canonical pairs.
-pub fn intersection(h: &Hypergraph, s: usize, strategy: Strategy) -> Vec<(Id, Id)> {
+pub fn intersection<A: HyperAdjacency + ?Sized>(
+    h: &A,
+    s: usize,
+    strategy: Strategy,
+) -> Vec<(Id, Id)> {
     let ne = h.num_hyperedges();
     let locals = par_for_each_index_with(
         ne,
@@ -43,7 +46,8 @@ pub fn intersection(h: &Hypergraph, s: usize, strategy: Strategy) -> Vec<(Id, Id
             }
             let mark = i + 1;
             for &v in nbrs_i {
-                for &j in h.node_neighbors(v) {
+                for &raw in h.node_neighbors(v) {
+                    let j = h.edge_id(raw);
                     if j <= i || local.stamp[j as usize] == mark {
                         continue;
                     }
@@ -66,6 +70,7 @@ pub fn intersection(h: &Hypergraph, s: usize, strategy: Strategy) -> Vec<(Id, Id
 mod tests {
     use super::*;
     use crate::fixtures::{paper_hypergraph, paper_slinegraph_edges};
+    use crate::hypergraph::Hypergraph;
     use crate::slinegraph::naive::naive;
 
     #[test]
@@ -83,12 +88,8 @@ mod tests {
     #[test]
     fn matches_naive_on_shared_node_hub() {
         // hypernode 0 belongs to every hyperedge — max candidate fan-out
-        let h = Hypergraph::from_memberships(&[
-            vec![0, 1],
-            vec![0, 2],
-            vec![0, 3],
-            vec![0, 1, 2, 3],
-        ]);
+        let h =
+            Hypergraph::from_memberships(&[vec![0, 1], vec![0, 2], vec![0, 3], vec![0, 1, 2, 3]]);
         for s in 1..=3 {
             assert_eq!(
                 intersection(&h, s, Strategy::AUTO),

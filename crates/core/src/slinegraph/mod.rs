@@ -1,8 +1,9 @@
 //! s-line graph construction (§III-B.4, §III-C.3).
 //!
 //! The s-line graph `L_s(H)` has the hyperedges of `H` as vertices and an
-//! edge `{e, f}` whenever `|e ∩ f| ≥ s`. Six construction algorithms are
-//! implemented, all producing identical canonical edge sets:
+//! edge `{e, f}` whenever `|e ∩ f| ≥ s`. Seven construction algorithms are
+//! implemented, all producing identical canonical edge sets, plus a
+//! weighted variant that keeps the exact overlap sizes:
 //!
 //! | module | algorithm | paper source |
 //! |---|---|---|
@@ -13,14 +14,20 @@
 //! | [`queue_single`] | **Algorithm 1**: work-queue + hashmap counting | this paper |
 //! | [`queue_two_phase`] | **Algorithm 2**: pair queue + set intersection | this paper |
 //! | [`pair_sort`] | pair enumeration + parallel sort | completeness (memory-heavy alternative) |
+//! | [`weighted`] | hashmap counting, keeping `\|e ∩ f\|` as edge weight | Fig. 5 / s-walk framework |
 //!
-//! The non-queue algorithms iterate hyperedge IDs `0..n_e` and therefore
-//! assume the two-index-set bi-adjacency; the queue-based ones take an
-//! explicit work queue of hyperedge IDs and run unchanged on *any*
-//! representation exposing the bipartite indirection — including the
-//! adjoin graph and relabeled ID spaces. That representation-independence
-//! is captured by the [`HyperAdjacency`] trait.
+//! Every algorithm is generic over [`HyperAdjacency`] — the bipartite
+//! indirection trait defined in [`crate::repr`] — so the same code runs
+//! on the bi-adjacency [`Hypergraph`], the [`AdjoinGraph`]
+//! (single shared index set), the zero-copy dual view, and degree-relabeled
+//! ID spaces. The fluent [`SLineBuilder`] is the single entry point that
+//! wires representation, algorithm, partitioning strategy, and relabeling
+//! together.
+//!
+//! [`Hypergraph`]: crate::hypergraph::Hypergraph
+//! [`AdjoinGraph`]: crate::adjoin::AdjoinGraph
 
+pub mod builder;
 pub mod ensemble;
 pub mod hashmap;
 pub mod intersection;
@@ -30,64 +37,15 @@ pub mod queue_single;
 pub mod queue_two_phase;
 pub mod weighted;
 
-use crate::adjoin::AdjoinGraph;
 use crate::hypergraph::Hypergraph;
 use crate::Id;
-use nwgraph::{Csr, EdgeList};
+use nwgraph::Csr;
 use nwhy_util::partition::Strategy;
 
-/// The bipartite indirection every s-line construction needs: hyperedge →
-/// incident hypernodes → incident hyperedges. Implemented by both the
-/// bi-adjacency [`Hypergraph`] (two index sets) and the [`AdjoinGraph`]
-/// (one shared index set), which is exactly the versatility the paper's
-/// queue-based algorithms are designed for.
-pub trait HyperAdjacency: Sync {
-    /// Number of hyperedges.
-    fn num_hyperedges(&self) -> usize;
-    /// Hypernodes incident to hyperedge `e`, sorted. The hypernode ID
-    /// space is representation-defined (shifted for adjoin graphs) but
-    /// consistent between the two methods.
-    fn edge_neighbors(&self, e: Id) -> &[Id];
-    /// Hyperedges incident to hypernode `v` (in the same hypernode ID
-    /// space as [`HyperAdjacency::edge_neighbors`]), sorted.
-    fn node_neighbors(&self, v: Id) -> &[Id];
-
-    /// Size of hyperedge `e`.
-    #[inline]
-    fn edge_degree(&self, e: Id) -> usize {
-        self.edge_neighbors(e).len()
-    }
-}
-
-impl HyperAdjacency for Hypergraph {
-    #[inline]
-    fn num_hyperedges(&self) -> usize {
-        Hypergraph::num_hyperedges(self)
-    }
-    #[inline]
-    fn edge_neighbors(&self, e: Id) -> &[Id] {
-        self.edge_members(e)
-    }
-    #[inline]
-    fn node_neighbors(&self, v: Id) -> &[Id] {
-        self.node_memberships(v)
-    }
-}
-
-impl HyperAdjacency for AdjoinGraph {
-    #[inline]
-    fn num_hyperedges(&self) -> usize {
-        AdjoinGraph::num_hyperedges(self)
-    }
-    #[inline]
-    fn edge_neighbors(&self, e: Id) -> &[Id] {
-        self.graph().neighbors(e)
-    }
-    #[inline]
-    fn node_neighbors(&self, v: Id) -> &[Id] {
-        self.graph().neighbors(v)
-    }
-}
+pub use builder::SLineBuilder;
+// The trait lives in `crate::repr` since the representation-generic
+// refactor; re-exported here for source compatibility.
+pub use crate::repr::HyperAdjacency;
 
 /// Which construction algorithm to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -176,112 +134,46 @@ pub fn canonicalize(mut pairs: Vec<(Id, Id)>) -> Vec<(Id, Id)> {
 }
 
 /// Computes the canonical s-line edge set of `h` with the chosen
-/// algorithm. Results are in *original* hyperedge IDs even when
-/// `opts.relabel` permutes the working IDs internally.
-///
-/// # Examples
-///
-/// ```
-/// use nwhy_core::{slinegraph_edges, Algorithm, BuildOptions, Hypergraph};
-///
-/// let h = Hypergraph::from_memberships(&[
-///     vec![0, 1, 2],
-///     vec![1, 2, 3],  // shares {1,2} with e0
-///     vec![3, 4],     // shares {3} with e1
-/// ]);
-/// let opts = BuildOptions::default();
-/// assert_eq!(
-///     slinegraph_edges(&h, 1, Algorithm::Hashmap, &opts),
-///     vec![(0, 1), (1, 2)]
-/// );
-/// // s = 2 keeps only the strong overlap
-/// assert_eq!(
-///     slinegraph_edges(&h, 2, Algorithm::QueueHashmap, &opts),
-///     vec![(0, 1)]
-/// );
-/// ```
+/// algorithm. Thin shim over [`SLineBuilder`].
 ///
 /// # Panics
 /// Panics if `s == 0`.
+#[deprecated(note = "use SLineBuilder::new(h).s(s).algorithm(algo).options(opts).edges()")]
 pub fn slinegraph_edges(
     h: &Hypergraph,
     s: usize,
     algo: Algorithm,
     opts: &BuildOptions,
 ) -> Vec<(Id, Id)> {
-    assert!(s >= 1, "s must be at least 1");
-    match opts.relabel {
-        Relabel::None => dispatch(h, s, algo, opts.strategy),
-        dir => {
-            // Relabel hyperedges by degree, construct on permuted IDs,
-            // then map the result pairs back to original IDs.
-            let degrees: Vec<usize> =
-                (0..h.num_hyperedges() as Id).map(|e| h.edge_degree(e)).collect();
-            let nw_dir = match dir {
-                Relabel::Ascending => nwgraph::Direction::Ascending,
-                Relabel::Descending => nwgraph::Direction::Descending,
-                Relabel::None => unreachable!(),
-            };
-            let perm = nwgraph::degree_permutation(&degrees, nw_dir);
-            let memberships: Vec<Vec<Id>> = perm
-                .iter()
-                .map(|&old| h.edge_members(old).to_vec())
-                .collect();
-            let bel = crate::biedgelist::BiEdgeList::from_incidences(
-                h.num_hyperedges(),
-                h.num_hypernodes(),
-                memberships
-                    .iter()
-                    .enumerate()
-                    .flat_map(|(e, vs)| vs.iter().map(move |&v| (e as Id, v)))
-                    .collect(),
-            );
-            let hp = Hypergraph::from_biedgelist(&bel);
-            let pairs = dispatch(&hp, s, algo, opts.strategy);
-            canonicalize(
-                pairs
-                    .into_iter()
-                    .map(|(a, b)| (perm[a as usize], perm[b as usize]))
-                    .collect(),
-            )
-        }
-    }
+    SLineBuilder::new(h)
+        .s(s)
+        .algorithm(algo)
+        .options(opts)
+        .edges()
 }
 
-fn dispatch(h: &Hypergraph, s: usize, algo: Algorithm, strategy: Strategy) -> Vec<(Id, Id)> {
-    match algo {
-        Algorithm::Naive => naive::naive(h, s, strategy),
-        Algorithm::Intersection => intersection::intersection(h, s, strategy),
-        Algorithm::Hashmap => hashmap::hashmap(h, s, strategy),
-        Algorithm::QueueHashmap => {
-            let queue: Vec<Id> = (0..h.num_hyperedges() as Id).collect();
-            queue_single::queue_hashmap(h, &queue, s, strategy)
-        }
-        Algorithm::QueueIntersection => {
-            let queue: Vec<Id> = (0..h.num_hyperedges() as Id).collect();
-            queue_two_phase::queue_intersection(h, &queue, s, strategy)
-        }
-        Algorithm::PairSort => pair_sort::pair_sort(h, s),
-    }
-}
-
-/// Builds the s-line graph as a symmetric [`Csr`] over hyperedge IDs —
-/// ready for the plain-graph algorithms (`Listing 2`'s
-/// `adjacency<0> slinegraph(slinegraph_els)`).
+/// Builds the s-line graph as a symmetric [`Csr`] over hyperedge IDs.
+/// Thin shim over [`SLineBuilder`].
+#[deprecated(note = "use SLineBuilder::new(h).s(s).algorithm(algo).options(opts).csr()")]
 pub fn slinegraph_csr(h: &Hypergraph, s: usize, algo: Algorithm, opts: &BuildOptions) -> Csr {
-    let pairs = slinegraph_edges(h, s, algo, opts);
-    let mut el = EdgeList::from_edges(h.num_hyperedges(), pairs);
-    el.symmetrize();
-    Csr::from_edge_list(&el)
+    SLineBuilder::new(h)
+        .s(s)
+        .algorithm(algo)
+        .options(opts)
+        .csr()
 }
 
 #[cfg(test)]
 mod tests {
-    use super::*;
     use super::Strategy; // disambiguate from proptest's Strategy trait
+    use super::*;
     use crate::fixtures::{paper_hypergraph, paper_slinegraph_edges};
     use proptest::prelude::*;
     use proptest::strategy::Strategy as _;
+
+    fn build(h: &Hypergraph, s: usize, algo: Algorithm) -> Vec<(Id, Id)> {
+        SLineBuilder::new(h).s(s).algorithm(algo).edges()
+    }
 
     #[test]
     fn canonicalize_orders_and_dedups() {
@@ -295,8 +187,7 @@ mod tests {
         for s in 1..=4 {
             let want = paper_slinegraph_edges(s);
             for algo in Algorithm::ALL {
-                let got = slinegraph_edges(&h, s, algo, &BuildOptions::default());
-                assert_eq!(got, want, "{} at s={s}", algo.name());
+                assert_eq!(build(&h, s, algo), want, "{} at s={s}", algo.name());
             }
         }
     }
@@ -308,11 +199,11 @@ mod tests {
             let want = paper_slinegraph_edges(s);
             for relabel in [Relabel::Ascending, Relabel::Descending] {
                 for algo in Algorithm::ALL {
-                    let opts = BuildOptions {
-                        relabel,
-                        ..Default::default()
-                    };
-                    let got = slinegraph_edges(&h, s, algo, &opts);
+                    let got = SLineBuilder::new(&h)
+                        .s(s)
+                        .algorithm(algo)
+                        .relabel(relabel)
+                        .edges();
                     assert_eq!(got, want, "{} s={s} {relabel:?}", algo.name());
                 }
             }
@@ -328,12 +219,12 @@ mod tests {
             Strategy::Cyclic { num_bins: 3 },
         ] {
             for algo in Algorithm::ALL {
-                let opts = BuildOptions {
-                    strategy,
-                    ..Default::default()
-                };
                 assert_eq!(
-                    slinegraph_edges(&h, 2, algo, &opts),
+                    SLineBuilder::new(&h)
+                        .s(2)
+                        .algorithm(algo)
+                        .strategy(strategy)
+                        .edges(),
                     paper_slinegraph_edges(2),
                     "{} {strategy:?}",
                     algo.name()
@@ -346,13 +237,13 @@ mod tests {
     #[should_panic(expected = "at least 1")]
     fn s_zero_rejected() {
         let h = paper_hypergraph();
-        slinegraph_edges(&h, 0, Algorithm::Hashmap, &BuildOptions::default());
+        build(&h, 0, Algorithm::Hashmap);
     }
 
     #[test]
     fn slinegraph_csr_is_symmetric() {
         let h = paper_hypergraph();
-        let g = slinegraph_csr(&h, 2, Algorithm::Hashmap, &BuildOptions::default());
+        let g = SLineBuilder::new(&h).s(2).csr();
         assert!(g.is_symmetric());
         assert_eq!(g.num_vertices(), 4);
         assert_eq!(g.num_edges(), 2 * paper_slinegraph_edges(2).len());
@@ -362,7 +253,7 @@ mod tests {
     fn s_larger_than_any_overlap_gives_empty() {
         let h = paper_hypergraph();
         for algo in Algorithm::ALL {
-            assert!(slinegraph_edges(&h, 10, algo, &BuildOptions::default()).is_empty());
+            assert!(build(&h, 10, algo).is_empty());
         }
     }
 
@@ -370,17 +261,34 @@ mod tests {
     fn empty_hypergraph_all_algorithms() {
         let h = Hypergraph::from_memberships(&[]);
         for algo in Algorithm::ALL {
-            assert!(slinegraph_edges(&h, 1, algo, &BuildOptions::default()).is_empty());
+            assert!(build(&h, 1, algo).is_empty());
         }
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_delegate_to_builder() {
+        let h = paper_hypergraph();
+        let opts = BuildOptions {
+            relabel: Relabel::Descending,
+            ..Default::default()
+        };
+        assert_eq!(
+            slinegraph_edges(&h, 2, Algorithm::QueueHashmap, &opts),
+            SLineBuilder::new(&h)
+                .s(2)
+                .algorithm(Algorithm::QueueHashmap)
+                .options(&opts)
+                .edges()
+        );
+        let g = slinegraph_csr(&h, 2, Algorithm::Hashmap, &BuildOptions::default());
+        assert_eq!(g, SLineBuilder::new(&h).s(2).csr());
     }
 
     /// Random hypergraph strategy for cross-validation properties.
     fn arb_memberships() -> impl proptest::strategy::Strategy<Value = Vec<Vec<Id>>> {
-        proptest::collection::vec(
-            proptest::collection::btree_set(0u32..20, 0..8),
-            0..12,
-        )
-        .prop_map(|sets| sets.into_iter().map(|s| s.into_iter().collect()).collect())
+        proptest::collection::vec(proptest::collection::btree_set(0u32..20, 0..8), 0..12)
+            .prop_map(|sets| sets.into_iter().map(|s| s.into_iter().collect()).collect())
     }
 
     proptest! {
@@ -388,10 +296,11 @@ mod tests {
         #[test]
         fn prop_all_algorithms_agree(ms in arb_memberships(), s in 1usize..5) {
             let h = Hypergraph::from_memberships(&ms);
-            let reference = slinegraph_edges(&h, s, Algorithm::Naive, &BuildOptions::default());
+            let reference = build(&h, s, Algorithm::Naive);
             for algo in [Algorithm::Intersection, Algorithm::Hashmap,
-                         Algorithm::QueueHashmap, Algorithm::QueueIntersection] {
-                let got = slinegraph_edges(&h, s, algo, &BuildOptions::default());
+                         Algorithm::QueueHashmap, Algorithm::QueueIntersection,
+                         Algorithm::PairSort] {
+                let got = build(&h, s, algo);
                 prop_assert_eq!(&got, &reference, "{}", algo.name());
             }
         }
@@ -399,9 +308,9 @@ mod tests {
         #[test]
         fn prop_monotone_in_s(ms in arb_memberships()) {
             let h = Hypergraph::from_memberships(&ms);
-            let mut prev = slinegraph_edges(&h, 1, Algorithm::Hashmap, &BuildOptions::default());
+            let mut prev = build(&h, 1, Algorithm::Hashmap);
             for s in 2..6 {
-                let cur = slinegraph_edges(&h, s, Algorithm::Hashmap, &BuildOptions::default());
+                let cur = build(&h, s, Algorithm::Hashmap);
                 for e in &cur {
                     prop_assert!(prev.contains(e), "E_{} ⊄ E_{}", s, s - 1);
                 }
@@ -413,7 +322,7 @@ mod tests {
         fn prop_slinegraph_definition(ms in arb_memberships(), s in 1usize..4) {
             // got edge {i,j} iff |members(i) ∩ members(j)| >= s
             let h = Hypergraph::from_memberships(&ms);
-            let got = slinegraph_edges(&h, s, Algorithm::Hashmap, &BuildOptions::default());
+            let got = build(&h, s, Algorithm::Hashmap);
             let ne = h.num_hyperedges() as u32;
             for i in 0..ne {
                 for j in (i + 1)..ne {
@@ -422,6 +331,20 @@ mod tests {
                     prop_assert_eq!(got.contains(&(i, j)), overlap >= s,
                         "pair ({},{}) overlap {}", i, j, overlap);
                 }
+            }
+        }
+
+        #[test]
+        fn prop_ensemble_matches_per_s_hashmap(ms in arb_memberships()) {
+            // the ensemble's single shared counting pass must be
+            // indistinguishable from independent per-s hashmap builds
+            let h = Hypergraph::from_memberships(&ms);
+            let svals = [3usize, 1, 4, 2, 3]; // unsorted, with a duplicate
+            let got = SLineBuilder::new(&h).ensemble_edges(&svals);
+            prop_assert_eq!(got.len(), svals.len());
+            for (out, &s) in got.iter().zip(&svals) {
+                let single = hashmap::hashmap(&h, s, Strategy::AUTO);
+                prop_assert_eq!(out, &single, "s={}", s);
             }
         }
     }

@@ -2,40 +2,34 @@
 //!
 //! Considers every hyperedge pair `(i, j)`, `i < j`, and tests
 //! `|e_i ∩ e_j| ≥ s` by sorted-slice intersection. Quadratic in the number
-//! of hyperedges; it exists as the obviously-correct oracle the other five
+//! of hyperedges; it exists as the obviously-correct oracle the other
 //! algorithms are validated against, and as the baseline the paper's §III-C.3
 //! lists first.
 
 use super::{canonicalize, HyperAdjacency};
-use crate::hypergraph::Hypergraph;
 use crate::Id;
 use nwgraph::algorithms::triangles::sorted_intersection_at_least;
 use nwhy_util::partition::{par_for_each_index_with, Strategy};
 
 /// All-pairs construction; returns canonical pairs.
-pub fn naive(h: &Hypergraph, s: usize, strategy: Strategy) -> Vec<(Id, Id)> {
+pub fn naive<A: HyperAdjacency + ?Sized>(h: &A, s: usize, strategy: Strategy) -> Vec<(Id, Id)> {
     let ne = h.num_hyperedges();
-    let locals = par_for_each_index_with(
-        ne,
-        strategy,
-        Vec::new,
-        |acc: &mut Vec<(Id, Id)>, i| {
-            let i = i as Id;
-            let nbrs_i = h.edge_neighbors(i);
-            if nbrs_i.len() < s {
-                return;
+    let locals = par_for_each_index_with(ne, strategy, Vec::new, |acc: &mut Vec<(Id, Id)>, i| {
+        let i = i as Id;
+        let nbrs_i = h.edge_neighbors(i);
+        if nbrs_i.len() < s {
+            return;
+        }
+        for j in (i + 1)..ne as Id {
+            let nbrs_j = h.edge_neighbors(j);
+            if nbrs_j.len() < s {
+                continue;
             }
-            for j in (i + 1)..ne as Id {
-                let nbrs_j = h.edge_neighbors(j);
-                if nbrs_j.len() < s {
-                    continue;
-                }
-                if sorted_intersection_at_least(nbrs_i, nbrs_j, s) {
-                    acc.push((i, j));
-                }
+            if sorted_intersection_at_least(nbrs_i, nbrs_j, s) {
+                acc.push((i, j));
             }
-        },
-    );
+        }
+    });
     canonicalize(locals.into_iter().flatten().collect())
 }
 
@@ -43,6 +37,7 @@ pub fn naive(h: &Hypergraph, s: usize, strategy: Strategy) -> Vec<(Id, Id)> {
 mod tests {
     use super::*;
     use crate::fixtures::{paper_hypergraph, paper_slinegraph_edges};
+    use crate::hypergraph::Hypergraph;
 
     #[test]
     fn matches_fixture() {

@@ -14,23 +14,25 @@
 //! warns about — the tests and bench make that trade-off observable.
 
 use super::{canonicalize, HyperAdjacency};
-use crate::hypergraph::Hypergraph;
 use crate::Id;
 use rayon::prelude::*;
 
 /// Pair-sort construction; returns canonical pairs.
-pub fn pair_sort(h: &Hypergraph, s: usize) -> Vec<(Id, Id)> {
+pub fn pair_sort<A: HyperAdjacency + ?Sized>(h: &A, s: usize) -> Vec<(Id, Id)> {
     assert!(s >= 1, "s must be at least 1");
     let nv = h.num_hypernodes();
     // 1. Enumerate co-incident hyperedge pairs per hypernode.
-    let mut pairs: Vec<(Id, Id)> = (0..nv as Id)
+    let mut pairs: Vec<(Id, Id)> = (0..nv)
         .into_par_iter()
-        .fold(Vec::new, |mut acc, v| {
-            let edges = h.node_neighbors(v);
-            for (i, &a) in edges.iter().enumerate() {
-                for &b in &edges[i + 1..] {
-                    // node lists are sorted, so a < b
-                    acc.push((a, b));
+        .fold(Vec::new, |mut acc, idx| {
+            let edges = h.node_neighbors(h.node_id(idx));
+            for (i, &raw_a) in edges.iter().enumerate() {
+                let a = h.edge_id(raw_a);
+                for &raw_b in &edges[i + 1..] {
+                    // raw node lists are sorted, but ID translation (e.g.
+                    // a relabeled view) can reorder — normalize to (min, max)
+                    let b = h.edge_id(raw_b);
+                    acc.push(if a < b { (a, b) } else { (b, a) });
                 }
             }
             acc
@@ -60,11 +62,11 @@ pub fn pair_sort(h: &Hypergraph, s: usize) -> Vec<(Id, Id)> {
 /// The number of pairs the enumeration phase materializes:
 /// `Σ_v C(d(v), 2)`. This is the memory cost that distinguishes this
 /// algorithm from the streaming hashmap approach.
-pub fn pair_sort_work(h: &Hypergraph) -> usize {
-    (0..h.num_hypernodes() as Id)
+pub fn pair_sort_work<A: HyperAdjacency + ?Sized>(h: &A) -> usize {
+    (0..h.num_hypernodes())
         .into_par_iter()
-        .map(|v| {
-            let d = h.node_degree(v);
+        .map(|idx| {
+            let d = h.node_degree(h.node_id(idx));
             d * d.saturating_sub(1) / 2
         })
         .sum()
@@ -74,6 +76,7 @@ pub fn pair_sort_work(h: &Hypergraph) -> usize {
 mod tests {
     use super::*;
     use crate::fixtures::{paper_hypergraph, paper_slinegraph_edges};
+    use crate::hypergraph::Hypergraph;
     use crate::slinegraph::naive::naive;
     use nwhy_util::partition::Strategy;
 
@@ -87,18 +90,9 @@ mod tests {
 
     #[test]
     fn matches_naive_on_hub_structure() {
-        let h = Hypergraph::from_memberships(&[
-            vec![0, 1],
-            vec![0, 2],
-            vec![0, 1, 2],
-            vec![1, 2],
-        ]);
+        let h = Hypergraph::from_memberships(&[vec![0, 1], vec![0, 2], vec![0, 1, 2], vec![1, 2]]);
         for s in 1..=3 {
-            assert_eq!(
-                pair_sort(&h, s),
-                naive(&h, s, Strategy::AUTO),
-                "s={s}"
-            );
+            assert_eq!(pair_sort(&h, s), naive(&h, s, Strategy::AUTO), "s={s}");
         }
     }
 

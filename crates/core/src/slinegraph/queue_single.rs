@@ -48,7 +48,8 @@ pub fn queue_hashmap<H: HyperAdjacency + ?Sized>(
             local.counts.clear();
             for &v in nbrs_i {
                 // Alg. 1 lines 9–11
-                for &j in h.node_neighbors(v) {
+                for &raw in h.node_neighbors(v) {
+                    let j = h.edge_id(raw);
                     if j > i {
                         *local.counts.entry(j).or_insert(0) += 1;
                     }
@@ -95,7 +96,8 @@ pub fn queue_hashmap_dynamic<H: HyperAdjacency + ?Sized>(
             }
             local.counts.clear();
             for &v in nbrs_i {
-                for &j in h.node_neighbors(v) {
+                for &raw in h.node_neighbors(v) {
+                    let j = h.edge_id(raw);
                     if j > i {
                         *local.counts.entry(j).or_insert(0) += 1;
                     }
@@ -194,12 +196,7 @@ mod tests {
 
     #[test]
     fn cyclic_strategy_on_queue() {
-        let h = Hypergraph::from_memberships(&[
-            vec![0, 1, 2],
-            vec![1, 2],
-            vec![2, 3],
-            vec![0, 3],
-        ]);
+        let h = Hypergraph::from_memberships(&[vec![0, 1, 2], vec![1, 2], vec![2, 3], vec![0, 3]]);
         let queue: Vec<Id> = (0..4).collect();
         assert_eq!(
             queue_hashmap(&h, &queue, 1, Strategy::Cyclic { num_bins: 3 }),

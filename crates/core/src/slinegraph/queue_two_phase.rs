@@ -20,8 +20,8 @@
 
 use super::{canonicalize, HyperAdjacency};
 use crate::Id;
-use nwhy_util::partition::{par_for_each_index_with, Strategy};
 use nwgraph::algorithms::triangles::sorted_intersection_at_least;
+use nwhy_util::partition::{par_for_each_index_with, Strategy};
 use rayon::prelude::*;
 
 /// Algorithm 2. `queue` holds the hyperedge IDs to process; returns
@@ -54,7 +54,8 @@ pub fn queue_intersection<H: HyperAdjacency + ?Sized>(
             }
             let mark = i + 1;
             for &v in nbrs_i {
-                for &j in h.node_neighbors(v) {
+                for &raw in h.node_neighbors(v) {
+                    let j = h.edge_id(raw);
                     if j <= i || local.stamp[j as usize] == mark {
                         continue;
                     }
@@ -108,7 +109,8 @@ pub fn candidate_pairs<H: HyperAdjacency + ?Sized>(
             }
             let mark = i + 1;
             for &v in nbrs_i {
-                for &j in h.node_neighbors(v) {
+                for &raw in h.node_neighbors(v) {
+                    let j = h.edge_id(raw);
                     if j <= i || local.stamp[j as usize] == mark {
                         continue;
                     }

@@ -7,16 +7,15 @@
 //! instead of discarding them after thresholding, so the cost matches the
 //! unweighted build.
 
-use super::{HyperAdjacency};
-use crate::hypergraph::Hypergraph;
+use super::HyperAdjacency;
 use crate::Id;
 use nwhy_util::fxhash::FxHashMap;
 use nwhy_util::partition::{par_for_each_index_with, Strategy};
 
 /// Canonical weighted pair list: `(e, f, |e ∩ f|)` with `e < f`, sorted,
 /// overlap ≥ s.
-pub fn slinegraph_weighted_edges(
-    h: &Hypergraph,
+pub fn slinegraph_weighted_edges<A: HyperAdjacency + ?Sized>(
+    h: &A,
     s: usize,
     strategy: Strategy,
 ) -> Vec<(Id, Id, u32)> {
@@ -41,7 +40,8 @@ pub fn slinegraph_weighted_edges(
             }
             local.counts.clear();
             for &v in nbrs_i {
-                for &j in h.node_neighbors(v) {
+                for &raw in h.node_neighbors(v) {
+                    let j = h.edge_id(raw);
                     if j > i {
                         *local.counts.entry(j).or_insert(0) += 1;
                     }
@@ -60,29 +60,42 @@ pub fn slinegraph_weighted_edges(
     triples
 }
 
-/// Builds the symmetric weighted CSR over hyperedge IDs, with edge weight
-/// `1 / |e ∩ f|` — stronger overlaps are "shorter", so weighted s-walk
-/// distances prefer strong connections.
-pub fn slinegraph_weighted_csr(h: &Hypergraph, s: usize, strategy: Strategy) -> nwgraph::Csr {
-    let triples = slinegraph_weighted_edges(h, s, strategy);
+/// Assembles the symmetric weighted CSR (edge weight `1 / overlap`) from
+/// already-built canonical triples.
+pub(crate) fn weighted_csr_from_triples(
+    num_hyperedges: usize,
+    triples: &[(Id, Id, u32)],
+) -> nwgraph::Csr {
     let mut edges = Vec::with_capacity(triples.len() * 2);
     let mut weights = Vec::with_capacity(triples.len() * 2);
-    for &(e, f, o) in &triples {
+    for &(e, f, o) in triples {
         let w = 1.0 / o as f64;
         edges.push((e, f));
         weights.push(w);
         edges.push((f, e));
         weights.push(w);
     }
-    let el = nwgraph::EdgeList::from_weighted_edges(h.num_hyperedges(), edges, weights);
+    let el = nwgraph::EdgeList::from_weighted_edges(num_hyperedges, edges, weights);
     nwgraph::Csr::from_edge_list(&el)
+}
+
+/// Builds the symmetric weighted CSR over hyperedge IDs, with edge weight
+/// `1 / |e ∩ f|` — stronger overlaps are "shorter", so weighted s-walk
+/// distances prefer strong connections.
+pub fn slinegraph_weighted_csr<A: HyperAdjacency + ?Sized>(
+    h: &A,
+    s: usize,
+    strategy: Strategy,
+) -> nwgraph::Csr {
+    let triples = slinegraph_weighted_edges(h, s, strategy);
+    weighted_csr_from_triples(h.num_hyperedges(), &triples)
 }
 
 /// Canonical Jaccard-weighted pairs: `(e, f, |e∩f| / |e∪f|)` for pairs
 /// with overlap ≥ s. The normalized similarity HyperNetX-style workflows
 /// use when raw overlap sizes are biased by hyperedge size.
-pub fn slinegraph_jaccard_edges(
-    h: &Hypergraph,
+pub fn slinegraph_jaccard_edges<A: HyperAdjacency + ?Sized>(
+    h: &A,
     s: usize,
     strategy: Strategy,
 ) -> Vec<(Id, Id, f64)> {
@@ -90,7 +103,11 @@ pub fn slinegraph_jaccard_edges(
         .into_iter()
         .map(|(a, b, o)| {
             let union = h.edge_degree(a) + h.edge_degree(b) - o as usize;
-            let j = if union == 0 { 0.0 } else { o as f64 / union as f64 };
+            let j = if union == 0 {
+                0.0
+            } else {
+                o as f64 / union as f64
+            };
             (a, b, j)
         })
         .collect()
@@ -100,6 +117,7 @@ pub fn slinegraph_jaccard_edges(
 mod tests {
     use super::*;
     use crate::fixtures::{paper_hypergraph, paper_slinegraph_edges};
+    use crate::hypergraph::Hypergraph;
 
     #[test]
     fn weights_are_exact_overlaps() {

@@ -7,16 +7,16 @@
 //! to `nwgraph`. Metric names and semantics follow Aksoy et al.'s s-walk
 //! framework as exposed by HyperNetX/NWHy.
 
-use crate::hypergraph::Hypergraph;
-use crate::slinegraph::{slinegraph_csr, Algorithm, BuildOptions};
+use crate::repr::HyperAdjacency;
+use crate::slinegraph::{Algorithm, BuildOptions, SLineBuilder};
 use crate::Id;
+use nwgraph::algorithms::betweenness::betweenness_centrality;
 use nwgraph::algorithms::bfs::bfs_direction_optimizing;
 use nwgraph::algorithms::cc::{afforest, normalize_labels};
 use nwgraph::algorithms::closeness::{
     closeness_centrality, eccentricity, harmonic_closeness_centrality,
 };
 use nwgraph::algorithms::sssp::path_from_parents;
-use nwgraph::algorithms::betweenness::betweenness_centrality;
 use nwgraph::Csr;
 use nwgraph::INVALID_VERTEX;
 
@@ -46,21 +46,26 @@ pub struct SLineGraph {
 
 impl SLineGraph {
     /// Constructs the s-line graph of `h` (hashmap algorithm, default
-    /// options). Equivalent to Listing 5's `hg.s_linegraph(s=s)`.
-    pub fn new(h: &Hypergraph, s: usize) -> Self {
+    /// options) from any representation implementing [`HyperAdjacency`].
+    /// Equivalent to Listing 5's `hg.s_linegraph(s=s)`.
+    pub fn new<A: HyperAdjacency + ?Sized>(h: &A, s: usize) -> Self {
         Self::with_algorithm(h, s, Algorithm::Hashmap, &BuildOptions::default())
     }
 
     /// Constructs with an explicit algorithm and options.
-    pub fn with_algorithm(
-        h: &Hypergraph,
+    pub fn with_algorithm<A: HyperAdjacency + ?Sized>(
+        h: &A,
         s: usize,
         algo: Algorithm,
         opts: &BuildOptions,
     ) -> Self {
         Self {
             s,
-            graph: slinegraph_csr(h, s, algo, opts),
+            graph: SLineBuilder::new(h)
+                .s(s)
+                .algorithm(algo)
+                .options(opts)
+                .csr(),
         }
     }
 
@@ -259,14 +264,14 @@ pub struct WeightedSLineGraph {
 }
 
 impl WeightedSLineGraph {
-    /// Builds the weighted s-line graph of `h`.
-    pub fn new(h: &Hypergraph, s: usize) -> Self {
-        use crate::slinegraph::weighted::{slinegraph_weighted_csr, slinegraph_weighted_edges};
-        use nwhy_util::partition::Strategy;
+    /// Builds the weighted s-line graph of `h` from any representation
+    /// implementing [`HyperAdjacency`].
+    pub fn new<A: HyperAdjacency + ?Sized>(h: &A, s: usize) -> Self {
+        let builder = SLineBuilder::new(h).s(s);
         Self {
             s,
-            graph: slinegraph_weighted_csr(h, s, Strategy::AUTO),
-            triples: slinegraph_weighted_edges(h, s, Strategy::AUTO),
+            graph: builder.weighted_csr(),
+            triples: builder.weighted_edges(),
         }
     }
 
@@ -317,6 +322,7 @@ impl WeightedSLineGraph {
 mod tests {
     use super::*;
     use crate::fixtures::paper_hypergraph;
+    use crate::hypergraph::Hypergraph;
 
     // Fixture line graphs (see fixtures.rs):
     //   s=1: {01, 03, 12, 13, 23}   s=2: {03, 12, 13, 23}   s=3: {03, 12}

@@ -60,11 +60,7 @@ pub fn filter_edges_by_size(
     let incidences: Vec<(Id, Id)> = edge_map
         .par_iter()
         .enumerate()
-        .flat_map_iter(|(new, &old)| {
-            h.edge_members(old)
-                .iter()
-                .map(move |&v| (new as Id, v))
-        })
+        .flat_map_iter(|(new, &old)| h.edge_members(old).iter().map(move |&v| (new as Id, v)))
         .collect();
     let bel = BiEdgeList::from_incidences(edge_map.len(), h.num_hypernodes(), incidences);
     (Hypergraph::from_biedgelist(&bel), edge_map)
@@ -111,11 +107,7 @@ pub fn restrict_to_toplexes(h: &Hypergraph) -> (Hypergraph, Vec<Id>) {
     let incidences: Vec<(Id, Id)> = tops
         .par_iter()
         .enumerate()
-        .flat_map_iter(|(new, &old)| {
-            h.edge_members(old)
-                .iter()
-                .map(move |&v| (new as Id, v))
-        })
+        .flat_map_iter(|(new, &old)| h.edge_members(old).iter().map(move |&v| (new as Id, v)))
         .collect();
     let bel = BiEdgeList::from_incidences(tops.len(), h.num_hypernodes(), incidences);
     (Hypergraph::from_biedgelist(&bel), tops)
@@ -137,11 +129,8 @@ pub fn disjoint_union(a: &Hypergraph, b: &Hypergraph) -> Hypergraph {
             incidences.push((e + ne as Id, v + nv as Id));
         }
     }
-    let bel = BiEdgeList::from_incidences(
-        ne + b.num_hyperedges(),
-        nv + b.num_hypernodes(),
-        incidences,
-    );
+    let bel =
+        BiEdgeList::from_incidences(ne + b.num_hyperedges(), nv + b.num_hypernodes(), incidences);
     Hypergraph::from_biedgelist(&bel)
 }
 

@@ -7,11 +7,8 @@ use nwhy_core::{Hypergraph, Id};
 use proptest::prelude::*;
 
 fn arb_memberships() -> impl Strategy<Value = Vec<Vec<Id>>> {
-    proptest::collection::vec(
-        proptest::collection::btree_set(0u32..16, 0..7),
-        1..12,
-    )
-    .prop_map(|sets| sets.into_iter().map(|s| s.into_iter().collect()).collect())
+    proptest::collection::vec(proptest::collection::btree_set(0u32..16, 0..7), 1..12)
+        .prop_map(|sets| sets.into_iter().map(|s| s.into_iter().collect()).collect())
 }
 
 proptest! {

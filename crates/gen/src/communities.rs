@@ -46,7 +46,8 @@ pub fn planted_communities(p: CommunityParams) -> Hypergraph {
     for _ in 0..p.num_communities {
         // Pareto-tailed size in [min_size, max_size].
         let span = (p.max_size - p.min_size) as f64;
-        let raw = p.min_size as f64 + span * (rng.pareto(2.5) - 1.0).min(span.max(1.0)) / span.max(1.0);
+        let raw =
+            p.min_size as f64 + span * (rng.pareto(2.5) - 1.0).min(span.max(1.0)) / span.max(1.0);
         let size = (raw.round() as usize).clamp(p.min_size, p.max_size);
         if size == 0 || n == 0 {
             memberships.push(Vec::new());
@@ -133,10 +134,7 @@ mod tests {
         // members form a run modulo n (sorted, gaps only at the wrap)
         for e in 0..300u32 {
             let m = h.edge_members(e);
-            let gaps = m
-                .windows(2)
-                .filter(|w| w[1] - w[0] != 1)
-                .count();
+            let gaps = m.windows(2).filter(|w| w[1] - w[0] != 1).count();
             assert!(gaps <= 1, "community {e} not a ring window: {m:?}");
         }
     }

@@ -80,7 +80,10 @@ fn one_pass(p: &PowerlawParams, total: usize, rng: &mut Rng) -> BiEdgeList {
 /// inflated total until the realized count is within 10% of target (at
 /// most three attempts, deterministic for a given seed).
 pub fn powerlaw_hypergraph(p: PowerlawParams) -> Hypergraph {
-    assert!(p.node_exponent > 1.0 && p.edge_exponent > 1.0, "exponents must be > 1");
+    assert!(
+        p.node_exponent > 1.0 && p.edge_exponent > 1.0,
+        "exponents must be > 1"
+    );
     let mut rng = Rng::new(p.seed);
     let target = (p.num_nodes as f64 * p.avg_node_degree).round() as usize;
 

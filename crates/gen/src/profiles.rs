@@ -186,9 +186,7 @@ pub const TABLE1: [DatasetProfile; 6] = [
 
 /// Looks up a profile by (case-insensitive) name.
 pub fn profile_by_name(name: &str) -> Option<&'static DatasetProfile> {
-    TABLE1
-        .iter()
-        .find(|p| p.name.eq_ignore_ascii_case(name))
+    TABLE1.iter().find(|p| p.name.eq_ignore_ascii_case(name))
 }
 
 #[cfg(test)]
@@ -200,7 +198,14 @@ mod tests {
         let names: Vec<&str> = TABLE1.iter().map(|p| p.name).collect();
         assert_eq!(
             names,
-            vec!["com-Orkut", "Friendster", "Orkut-group", "LiveJournal", "Web", "Rand1"]
+            vec![
+                "com-Orkut",
+                "Friendster",
+                "Orkut-group",
+                "LiveJournal",
+                "Web",
+                "Rand1"
+            ]
         );
     }
 
@@ -223,8 +228,18 @@ mod tests {
     fn generated_twins_have_right_shape() {
         for p in &TABLE1 {
             let h = p.generate(10_000, 1);
-            assert_eq!(h.num_hypernodes(), (p.row.num_nodes / 10_000).max(16), "{}", p.name);
-            assert_eq!(h.num_hyperedges(), (p.row.num_edges / 10_000).max(16), "{}", p.name);
+            assert_eq!(
+                h.num_hypernodes(),
+                (p.row.num_nodes / 10_000).max(16),
+                "{}",
+                p.name
+            );
+            assert_eq!(
+                h.num_hyperedges(),
+                (p.row.num_edges / 10_000).max(16),
+                "{}",
+                p.name
+            );
             assert!(h.num_incidences() > 0, "{}", p.name);
         }
     }

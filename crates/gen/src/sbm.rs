@@ -74,7 +74,7 @@ pub fn sbm_bipartite(p: SbmParams) -> Hypergraph {
     let mut incidences: Vec<(Id, Id)> = Vec::new();
 
     for e in 0..ne {
-        let eb = if p.edges_per_block == 0 { 0 } else { e / p.edges_per_block };
+        let eb = e.checked_div(p.edges_per_block).unwrap_or(0);
         for vb in 0..p.blocks {
             let prob = if vb == eb { p.p_in } else { p.p_out };
             let base = vb * p.nodes_per_block;
@@ -142,7 +142,10 @@ mod tests {
     #[test]
     fn deterministic_per_seed() {
         assert_eq!(sbm_bipartite(params()), sbm_bipartite(params()));
-        let other = sbm_bipartite(SbmParams { seed: 18, ..params() });
+        let other = sbm_bipartite(SbmParams {
+            seed: 18,
+            ..params()
+        });
         assert_ne!(sbm_bipartite(params()), other);
     }
 
@@ -185,8 +188,7 @@ mod tests {
                     // same component ⇒ could be same block (or isolated
                     // labels, which are unique anyway)
                     let same_block = e / 40 == f / 40;
-                    let both_nonempty =
-                        h.edge_degree(e as u32) > 0 && h.edge_degree(f as u32) > 0;
+                    let both_nonempty = h.edge_degree(e as u32) > 0 && h.edge_degree(f as u32) > 0;
                     if both_nonempty && e != f {
                         assert!(same_block, "edges {e},{f} fused across blocks");
                     }
@@ -198,6 +200,9 @@ mod tests {
     #[test]
     #[should_panic(expected = "p_in out of")]
     fn bad_probability_rejected() {
-        sbm_bipartite(SbmParams { p_in: 1.5, ..params() });
+        sbm_bipartite(SbmParams {
+            p_in: 1.5,
+            ..params()
+        });
     }
 }

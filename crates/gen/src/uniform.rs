@@ -15,7 +15,12 @@ use nwhy_core::{Hypergraph, Id};
 /// # Panics
 /// Panics if `edge_size > num_nodes` (cannot draw that many distinct
 /// hypernodes) unless both are 0.
-pub fn uniform_random(num_nodes: usize, num_edges: usize, edge_size: usize, seed: u64) -> Hypergraph {
+pub fn uniform_random(
+    num_nodes: usize,
+    num_edges: usize,
+    edge_size: usize,
+    seed: u64,
+) -> Hypergraph {
     assert!(
         edge_size <= num_nodes,
         "edge_size {edge_size} exceeds hypernode count {num_nodes}"

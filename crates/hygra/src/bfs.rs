@@ -54,7 +54,10 @@ pub fn hygra_bfs(h: &Hypergraph, source: Id) -> HygraBfsResult {
 pub fn hygra_bfs_with_mode(h: &Hypergraph, source: Id, mode: Mode) -> HygraBfsResult {
     let ne = h.num_hyperedges();
     let nv = h.num_hypernodes();
-    assert!((source as usize) < ne, "source hyperedge {source} out of range {ne}");
+    assert!(
+        (source as usize) < ne,
+        "source hyperedge {source} out of range {ne}"
+    );
 
     let edge_parents: Vec<AtomicU32> = (0..ne).map(|_| AtomicU32::new(u32::MAX)).collect();
     let node_parents: Vec<AtomicU32> = (0..nv).map(|_| AtomicU32::new(u32::MAX)).collect();
@@ -105,8 +108,14 @@ pub fn hygra_bfs_with_mode(h: &Hypergraph, source: Id, mode: Mode) -> HygraBfsRe
     HygraBfsResult {
         edge_levels,
         node_levels,
-        edge_parents: edge_parents.into_iter().map(AtomicU32::into_inner).collect(),
-        node_parents: node_parents.into_iter().map(AtomicU32::into_inner).collect(),
+        edge_parents: edge_parents
+            .into_iter()
+            .map(AtomicU32::into_inner)
+            .collect(),
+        node_parents: node_parents
+            .into_iter()
+            .map(AtomicU32::into_inner)
+            .collect(),
     }
 }
 

@@ -60,8 +60,9 @@ pub fn hygra_cc(h: &Hypergraph) -> HygraCcResult {
     let ne = h.num_hyperedges();
     let nv = h.num_hypernodes();
     let edge_labels: Vec<AtomicU32> = (0..ne as u32).map(AtomicU32::new).collect();
-    let node_labels: Vec<AtomicU32> =
-        (0..nv as u32).map(|v| AtomicU32::new(ne as u32 + v)).collect();
+    let node_labels: Vec<AtomicU32> = (0..nv as u32)
+        .map(|v| AtomicU32::new(ne as u32 + v))
+        .collect();
 
     // Everything starts active.
     let mut edge_frontier = VertexSubset::full(ne);
@@ -166,8 +167,7 @@ mod tests {
 
     #[test]
     fn isolated_nodes_keep_own_labels() {
-        let bel =
-            nwhy_core::BiEdgeList::from_incidences(1, 3, vec![(0, 1)]);
+        let bel = nwhy_core::BiEdgeList::from_incidences(1, 3, vec![(0, 1)]);
         let h = Hypergraph::from_biedgelist(&bel);
         let r = hygra_cc(&h);
         assert_eq!(r.node_labels[0], 1); // ne + 0

@@ -61,7 +61,11 @@ pub fn edge_map(
     fns: &impl EdgeMapFns,
     mode: Mode,
 ) -> VertexSubset {
-    assert_eq!(frontier.space(), adj.num_vertices(), "frontier space mismatch");
+    assert_eq!(
+        frontier.space(),
+        adj.num_vertices(),
+        "frontier space mismatch"
+    );
     let m = adj.num_edges();
     let dense = match mode {
         Mode::ForceSparse => false,
@@ -79,11 +83,7 @@ pub fn edge_map(
     }
 }
 
-fn edge_map_sparse(
-    adj: &Csr,
-    frontier: &mut VertexSubset,
-    fns: &impl EdgeMapFns,
-) -> VertexSubset {
+fn edge_map_sparse(adj: &Csr, frontier: &mut VertexSubset, fns: &impl EdgeMapFns) -> VertexSubset {
     let ids = frontier.as_sparse();
     let next: Vec<Id> = ids
         .par_iter()
@@ -102,11 +102,7 @@ fn edge_map_sparse(
     VertexSubset::from_sparse(adj.num_targets(), next)
 }
 
-fn edge_map_dense(
-    radj: &Csr,
-    frontier: &mut VertexSubset,
-    fns: &impl EdgeMapFns,
-) -> VertexSubset {
+fn edge_map_dense(radj: &Csr, frontier: &mut VertexSubset, fns: &impl EdgeMapFns) -> VertexSubset {
     let flags = frontier.as_dense();
     let nt = radj.num_vertices();
     let next: Vec<bool> = (0..nt)
@@ -137,7 +133,10 @@ pub fn vertex_map(frontier: &mut VertexSubset, f: impl Fn(Id) + Sync + Send) {
 }
 
 /// Filters the frontier, keeping members where `keep` returns true.
-pub fn vertex_filter(frontier: &mut VertexSubset, keep: impl Fn(Id) -> bool + Sync + Send) -> VertexSubset {
+pub fn vertex_filter(
+    frontier: &mut VertexSubset,
+    keep: impl Fn(Id) -> bool + Sync + Send,
+) -> VertexSubset {
     let n = frontier.space();
     let kept: Vec<Id> = frontier
         .as_sparse()
@@ -151,7 +150,7 @@ pub fn vertex_filter(frontier: &mut VertexSubset, keep: impl Fn(Id) -> bool + Sy
 #[cfg(test)]
 mod tests {
     use super::*;
-    
+
     use std::sync::atomic::{AtomicU32, Ordering};
 
     /// Bipartite test structure: 2 sources over 3 targets.
@@ -188,7 +187,13 @@ mod tests {
         let (adj, radj) = bipartite();
         let parents: Vec<AtomicU32> = (0..3).map(|_| AtomicU32::new(u32::MAX)).collect();
         let mut frontier = VertexSubset::single(2, 0);
-        let next = edge_map(&adj, &radj, &mut frontier, &Claim { parents: &parents }, mode);
+        let next = edge_map(
+            &adj,
+            &radj,
+            &mut frontier,
+            &Claim { parents: &parents },
+            mode,
+        );
         assert_eq!(next.to_vec(), vec![0, 1]);
         parents.iter().map(|p| p.load(Ordering::Relaxed)).collect()
     }
@@ -251,7 +256,13 @@ mod tests {
         let parents: Vec<AtomicU32> = (0..3).map(|_| AtomicU32::new(u32::MAX)).collect();
         let mut frontier = VertexSubset::empty(2);
         for mode in [Mode::ForceSparse, Mode::ForceDense, Mode::Auto] {
-            let next = edge_map(&adj, &radj, &mut frontier, &Claim { parents: &parents }, mode);
+            let next = edge_map(
+                &adj,
+                &radj,
+                &mut frontier,
+                &Claim { parents: &parents },
+                mode,
+            );
             assert!(next.is_empty(), "{mode:?}");
         }
     }
@@ -272,8 +283,7 @@ mod tests {
         ) -> (Vec<bool>, Vec<Id>) {
             let nt = adj.num_targets();
             let parents: Vec<AtomicU32> = (0..nt).map(|_| AtomicU32::new(u32::MAX)).collect();
-            let mut frontier =
-                VertexSubset::from_sparse(adj.num_vertices(), frontier_ids.to_vec());
+            let mut frontier = VertexSubset::from_sparse(adj.num_vertices(), frontier_ids.to_vec());
             let next = edge_map(adj, radj, &mut frontier, &Claim { parents: &parents }, mode);
             let visited = parents
                 .iter()

@@ -82,11 +82,7 @@ pub fn validate_hygra_kcore(h: &Hypergraph, core: &[u32]) -> Result<(), String> 
             let live = h
                 .node_memberships(v)
                 .iter()
-                .filter(|&&e| {
-                    h.edge_members(e)
-                        .iter()
-                        .all(|&w| inside[w as usize])
-                })
+                .filter(|&&e| h.edge_members(e).iter().all(|&w| inside[w as usize]))
                 .count();
             if live < k as usize {
                 return Err(format!(

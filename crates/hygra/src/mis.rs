@@ -82,7 +82,10 @@ pub fn hygra_mis(h: &Hypergraph, seed: u64) -> Vec<bool> {
         undecided.retain(|&v| state[v as usize].load(Ordering::Relaxed) == UNDECIDED);
         round_seed = round_seed.wrapping_add(0xA076_1D64_78BD_642F);
     }
-    state.into_iter().map(|s| s.into_inner() == IN_SET).collect()
+    state
+        .into_iter()
+        .map(|s| s.into_inner() == IN_SET)
+        .collect()
 }
 
 /// Validates hypergraph-MIS invariants: no hyperedge contains two chosen
@@ -105,11 +108,10 @@ pub fn validate_hygra_mis(h: &Hypergraph, mis: &[bool]) -> Result<(), String> {
         if mis[v as usize] {
             continue;
         }
-        let covered = h.node_memberships(v).iter().any(|&e| {
-            h.edge_members(e)
-                .iter()
-                .any(|&w| w != v && mis[w as usize])
-        });
+        let covered = h
+            .node_memberships(v)
+            .iter()
+            .any(|&e| h.edge_members(e).iter().any(|&w| w != v && mis[w as usize]));
         if !covered {
             return Err(format!("unchosen hypernode {v} has no chosen co-member"));
         }
@@ -140,11 +142,7 @@ mod tests {
 
     #[test]
     fn chain_of_overlapping_edges() {
-        let h = Hypergraph::from_memberships(&[
-            vec![0, 1, 2],
-            vec![2, 3, 4],
-            vec![4, 5, 6],
-        ]);
+        let h = Hypergraph::from_memberships(&[vec![0, 1, 2], vec![2, 3, 4], vec![4, 5, 6]]);
         for seed in 0..5 {
             let mis = hygra_mis(&h, seed);
             validate_hygra_mis(&h, &mis).unwrap();

@@ -16,7 +16,10 @@ use std::io::Write;
 /// Writes the bipartite representation of `h` as an undirected DOT graph.
 pub fn write_dot_bipartite<W: Write>(mut w: W, h: &Hypergraph) -> Result<(), IoError> {
     writeln!(w, "graph hypergraph {{")?;
-    writeln!(w, "  // bipartite view: boxes = hyperedges, circles = hypernodes")?;
+    writeln!(
+        w,
+        "  // bipartite view: boxes = hyperedges, circles = hypernodes"
+    )?;
     for e in 0..h.num_hyperedges() as Id {
         writeln!(w, "  e{e} [shape=box, label=\"e{e}\"];")?;
     }

@@ -46,7 +46,10 @@ pub fn read_biedgelist<R: BufRead>(reader: R) -> Result<BiEdgeList, IoError> {
         ));
     }
     if header_lc.contains("complex") || header_lc.contains("hermitian") {
-        return Err(IoError::parse(line_no, "complex matrices are not supported"));
+        return Err(IoError::parse(
+            line_no,
+            "complex matrices are not supported",
+        ));
     }
     let symmetric = header_lc.contains("symmetric");
     let has_values = !header_lc.contains("pattern");
@@ -132,7 +135,10 @@ pub fn read_biedgelist<R: BufRead>(reader: R) -> Result<BiEdgeList, IoError> {
 /// [`read_matrix_market`].
 pub fn write_matrix_market<W: Write>(mut w: W, h: &Hypergraph) -> Result<(), IoError> {
     writeln!(w, "%%MatrixMarket matrix coordinate pattern general")?;
-    writeln!(w, "% hypergraph incidence matrix: rows=hypernodes cols=hyperedges")?;
+    writeln!(
+        w,
+        "% hypergraph incidence matrix: rows=hypernodes cols=hyperedges"
+    )?;
     writeln!(
         w,
         "{} {} {}",

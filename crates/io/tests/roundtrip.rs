@@ -3,8 +3,8 @@
 //! each format's documented ID-space caveats, which the generator
 //! avoids by always using trailing IDs).
 
-use nwhy_io::tsv::Orientation;
 use nwhy_core::{BiEdgeList, Hypergraph};
+use nwhy_io::tsv::Orientation;
 use proptest::prelude::*;
 use std::io::Cursor;
 
@@ -14,10 +14,7 @@ use std::io::Cursor;
 fn arb_hypergraph() -> impl Strategy<Value = Hypergraph> {
     (1usize..10, 1usize..14)
         .prop_flat_map(|(ne, nv)| {
-            let pairs = proptest::collection::btree_set(
-                (0u32..ne as u32, 0u32..nv as u32),
-                0..40,
-            );
+            let pairs = proptest::collection::btree_set((0u32..ne as u32, 0u32..nv as u32), 0..40);
             (Just(ne), Just(nv), pairs)
         })
         .prop_map(|(ne, nv, pairs)| {

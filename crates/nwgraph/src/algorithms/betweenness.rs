@@ -122,18 +122,15 @@ pub fn betweenness_sampled(g: &Csr, samples: usize, seed: u64, normalized: bool)
     }
     ids.truncate(samples.max(1));
 
-    let mut scores = ids
-        .par_iter()
-        .map(|&s| brandes_from(g, s))
-        .reduce(
-            || vec![0f64; n],
-            |mut a, b| {
-                for (x, y) in a.iter_mut().zip(&b) {
-                    *x += y;
-                }
-                a
-            },
-        );
+    let mut scores = ids.par_iter().map(|&s| brandes_from(g, s)).reduce(
+        || vec![0f64; n],
+        |mut a, b| {
+            for (x, y) in a.iter_mut().zip(&b) {
+                *x += y;
+            }
+            a
+        },
+    );
     let extrapolate = n as f64 / ids.len() as f64;
     for s in scores.iter_mut() {
         *s = *s * extrapolate / 2.0;

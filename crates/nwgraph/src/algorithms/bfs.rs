@@ -99,12 +99,7 @@ fn top_down_step(
             for &v in g.neighbors(u) {
                 if parents[v as usize].load(Ordering::Relaxed) == INVALID_VERTEX
                     && parents[v as usize]
-                        .compare_exchange(
-                            INVALID_VERTEX,
-                            u,
-                            Ordering::AcqRel,
-                            Ordering::Relaxed,
-                        )
+                        .compare_exchange(INVALID_VERTEX, u, Ordering::AcqRel, Ordering::Relaxed)
                         .is_ok()
                 {
                     levels[v as usize].store(depth, Ordering::Relaxed);

@@ -58,22 +58,22 @@ pub fn shiloach_vishkin(g: &Csr) -> Vec<Vertex> {
                     if atomic_min_u32(&parent[pv as usize], pu) {
                         changed.store(true, Ordering::Relaxed);
                     }
-                } else if pv < pu && pu == parent[pu as usize].load(Ordering::Relaxed)
-                    && atomic_min_u32(&parent[pu as usize], pv) {
-                        changed.store(true, Ordering::Relaxed);
-                    }
+                } else if pv < pu
+                    && pu == parent[pu as usize].load(Ordering::Relaxed)
+                    && atomic_min_u32(&parent[pu as usize], pv)
+                {
+                    changed.store(true, Ordering::Relaxed);
+                }
             }
         });
         // Compress: pointer jumping.
-        (0..n).into_par_iter().for_each(|u| {
-            loop {
-                let p = parent[u].load(Ordering::Relaxed);
-                let gp = parent[p as usize].load(Ordering::Relaxed);
-                if p == gp {
-                    break;
-                }
-                parent[u].store(gp, Ordering::Relaxed);
+        (0..n).into_par_iter().for_each(|u| loop {
+            let p = parent[u].load(Ordering::Relaxed);
+            let gp = parent[p as usize].load(Ordering::Relaxed);
+            if p == gp {
+                break;
             }
+            parent[u].store(gp, Ordering::Relaxed);
         });
     }
     parent.into_iter().map(AtomicU32::into_inner).collect()
@@ -100,15 +100,13 @@ fn link(u: Vertex, v: Vertex, comp: &[AtomicU32]) {
 
 /// Full pointer-jump compression of the component forest.
 fn compress(comp: &[AtomicU32]) {
-    (0..comp.len()).into_par_iter().for_each(|u| {
-        loop {
-            let p = comp[u].load(Ordering::Relaxed);
-            let gp = comp[p as usize].load(Ordering::Relaxed);
-            if p == gp {
-                break;
-            }
-            comp[u].store(gp, Ordering::Relaxed);
+    (0..comp.len()).into_par_iter().for_each(|u| loop {
+        let p = comp[u].load(Ordering::Relaxed);
+        let gp = comp[p as usize].load(Ordering::Relaxed);
+        if p == gp {
+            break;
         }
+        comp[u].store(gp, Ordering::Relaxed);
     });
 }
 
@@ -301,8 +299,16 @@ mod tests {
         for seed in 0..6 {
             let g = gnm_undirected(200, 150, seed); // sparse → many components
             let truth = normalize_labels(&dfs_labels(&g));
-            assert_eq!(normalize_labels(&cc_label_propagation(&g)), truth, "lp seed {seed}");
-            assert_eq!(normalize_labels(&shiloach_vishkin(&g)), truth, "sv seed {seed}");
+            assert_eq!(
+                normalize_labels(&cc_label_propagation(&g)),
+                truth,
+                "lp seed {seed}"
+            );
+            assert_eq!(
+                normalize_labels(&shiloach_vishkin(&g)),
+                truth,
+                "sv seed {seed}"
+            );
             assert_eq!(normalize_labels(&afforest(&g)), truth, "aff seed {seed}");
         }
     }

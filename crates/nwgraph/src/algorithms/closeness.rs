@@ -168,7 +168,11 @@ mod tests {
         let g = undirected(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)]);
         // starting anywhere, the double sweep finds the true diameter 5
         for start in 0..6u32 {
-            assert_eq!(diameter_estimate_double_sweep(&g, start), 5, "start {start}");
+            assert_eq!(
+                diameter_estimate_double_sweep(&g, start),
+                5,
+                "start {start}"
+            );
         }
     }
 

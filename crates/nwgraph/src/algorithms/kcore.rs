@@ -85,11 +85,21 @@ mod tests {
 
     #[test]
     fn clique_core_number() {
-        let g = undirected(5, &[
-            (0, 1), (0, 2), (0, 3), (0, 4),
-            (1, 2), (1, 3), (1, 4),
-            (2, 3), (2, 4), (3, 4),
-        ]);
+        let g = undirected(
+            5,
+            &[
+                (0, 1),
+                (0, 2),
+                (0, 3),
+                (0, 4),
+                (1, 2),
+                (1, 3),
+                (1, 4),
+                (2, 3),
+                (2, 4),
+                (3, 4),
+            ],
+        );
         assert_eq!(kcore_decomposition(&g), vec![4; 5]);
     }
 

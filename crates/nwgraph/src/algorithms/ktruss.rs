@@ -32,8 +32,7 @@ pub fn truss_numbers(g: &Csr) -> FxHashMap<(Vertex, Vertex), u32> {
         .collect();
 
     let mut truss: FxHashMap<(Vertex, Vertex), u32> = FxHashMap::default();
-    let mut alive: FxHashMap<(Vertex, Vertex), bool> =
-        edges.iter().map(|&e| (e, true)).collect();
+    let mut alive: FxHashMap<(Vertex, Vertex), bool> = edges.iter().map(|&e| (e, true)).collect();
     let mut remaining = edges.len();
     let mut k = 2u32;
 

@@ -16,7 +16,9 @@ const OUT: u8 = 2;
 /// Mixes a vertex ID with a seed into a 64-bit priority.
 #[inline]
 fn priority(v: Vertex, seed: u64) -> u64 {
-    let mut z = (v as u64).wrapping_add(seed).wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = (v as u64)
+        .wrapping_add(seed)
+        .wrapping_add(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^ (z >> 31)

@@ -17,11 +17,11 @@ pub mod sssp;
 pub mod triangles;
 
 pub use betweenness::{betweenness_centrality, betweenness_sampled};
-pub use ktruss::{ktruss_edges, max_truss, truss_numbers};
 pub use bfs::{bfs_bottom_up, bfs_direction_optimizing, bfs_top_down, BfsResult};
-pub use cc::{afforest, cc_label_propagation, shiloach_vishkin, component_sizes, num_components};
+pub use cc::{afforest, cc_label_propagation, component_sizes, num_components, shiloach_vishkin};
 pub use closeness::{closeness_centrality, eccentricity, harmonic_closeness_centrality};
 pub use kcore::kcore_decomposition;
+pub use ktruss::{ktruss_edges, max_truss, truss_numbers};
 pub use mis::maximal_independent_set;
 pub use pagerank::pagerank;
 pub use sssp::{delta_stepping, unweighted_distances};

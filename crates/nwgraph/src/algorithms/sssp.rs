@@ -8,9 +8,9 @@
 use crate::algorithms::bfs::bfs_direction_optimizing;
 use crate::csr::Csr;
 use crate::{Vertex, INVALID_VERTEX};
-use parking_lot::Mutex;
 use rayon::prelude::*;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
 /// Hop distances from `source` (`u32::MAX` ⇒ unreachable). A thin wrapper
 /// over direction-optimizing BFS.
@@ -94,7 +94,7 @@ pub fn delta_stepping(g: &Csr, source: Vertex, delta: Option<f64>) -> Vec<f64> {
     loop {
         // Find next non-empty bucket.
         let frontier = {
-            let mut b = buckets.lock();
+            let mut b = buckets.lock().unwrap();
             while current < b.len() && b[current].is_empty() {
                 current += 1;
             }
@@ -130,7 +130,7 @@ pub fn delta_stepping(g: &Csr, source: Vertex, delta: Option<f64>) -> Vec<f64> {
             });
 
         {
-            let mut b = buckets.lock();
+            let mut b = buckets.lock().unwrap();
             for v in reinserted {
                 let dv = f64::from_bits(dist[v as usize].load(Ordering::Relaxed));
                 let idx = bucket_of(dv);
@@ -247,7 +247,10 @@ mod tests {
             for delta in [None, Some(0.5), Some(2.0), Some(100.0)] {
                 let got = delta_stepping(&g, 0, delta);
                 for (a, b) in got.iter().zip(&want) {
-                    assert!((a - b).abs() < 1e-9, "seed {seed} delta {delta:?}: {a} vs {b}");
+                    assert!(
+                        (a - b).abs() < 1e-9,
+                        "seed {seed} delta {delta:?}: {a} vs {b}"
+                    );
                 }
             }
         }

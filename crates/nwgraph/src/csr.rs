@@ -53,7 +53,12 @@ impl Csr {
     /// Builds a CSR from an edge list, treating edges as directed
     /// `source → target` with a square ID space. Neighbor lists are sorted.
     pub fn from_edge_list(el: &EdgeList) -> Self {
-        Self::build(el.num_vertices(), el.num_vertices(), el.edges(), el.weights())
+        Self::build(
+            el.num_vertices(),
+            el.num_vertices(),
+            el.edges(),
+            el.weights(),
+        )
     }
 
     /// Builds a rectangular CSR: sources in `0..num_sources`, targets in

@@ -98,7 +98,10 @@ impl EdgeList {
             "edge ({u}, {v}) out of range for {} vertices",
             self.num_vertices
         );
-        assert!(self.weights.is_none(), "weighted list requires push_weighted");
+        assert!(
+            self.weights.is_none(),
+            "weighted list requires push_weighted"
+        );
         self.edges.push((u, v));
     }
 

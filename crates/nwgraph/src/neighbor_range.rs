@@ -129,7 +129,10 @@ mod tests {
                 visits[u as usize].fetch_add(1, Ordering::Relaxed);
                 degree_sum.fetch_add(nbrs.len(), Ordering::Relaxed);
             });
-            assert!(visits.iter().all(|v| v.load(Ordering::Relaxed) == 1), "{strategy:?}");
+            assert!(
+                visits.iter().all(|v| v.load(Ordering::Relaxed) == 1),
+                "{strategy:?}"
+            );
             assert_eq!(degree_sum.load(Ordering::Relaxed), 4, "{strategy:?}");
         }
     }
@@ -145,7 +148,10 @@ mod tests {
     #[test]
     fn accumulators_cover_all_vertices() {
         let g = toy();
-        for strategy in [Strategy::Blocked { num_bins: 2 }, Strategy::Cyclic { num_bins: 2 }] {
+        for strategy in [
+            Strategy::Blocked { num_bins: 2 },
+            Strategy::Cyclic { num_bins: 2 },
+        ] {
             let accs = par_neighborhoods_with(&g, strategy, Vec::new, |acc, u, _| acc.push(u));
             let mut all: Vec<u32> = accs.into_iter().flatten().collect();
             all.sort_unstable();

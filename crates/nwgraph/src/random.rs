@@ -114,12 +114,13 @@ pub fn weighted_connected(n: usize, extra: usize, seed: u64) -> Csr {
     let mut rng = SplitMix64::new(seed);
     let mut edges: Vec<(Vertex, Vertex)> = Vec::new();
     let mut weights: Vec<f64> = Vec::new();
-    let push = |edges: &mut Vec<(Vertex, Vertex)>, ws: &mut Vec<f64>, u: Vertex, v: Vertex, w: f64| {
-        edges.push((u, v));
-        ws.push(w);
-        edges.push((v, u));
-        ws.push(w);
-    };
+    let push =
+        |edges: &mut Vec<(Vertex, Vertex)>, ws: &mut Vec<f64>, u: Vertex, v: Vertex, w: f64| {
+            edges.push((u, v));
+            ws.push(w);
+            edges.push((v, u));
+            ws.push(w);
+        };
     for v in 1..n {
         let u = rng.below(v as u64) as Vertex;
         let w = 1.0 + 9.0 * rng.unit_f64();

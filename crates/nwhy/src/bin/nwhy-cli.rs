@@ -6,8 +6,9 @@
 //!                  A ∈ hyper | adjoin | adjoin-lp | hygra   (default hyper)
 //! nwhy-cli bfs     <file> --source E [--algo A]
 //!                  A ∈ hyper | hyper-bu | adjoin | hygra    (default adjoin)
-//! nwhy-cli sline   <file> --s S [--algo A] [--out FILE]
+//! nwhy-cli sline   <file> --s S [--algo A] [--relabel R] [--out FILE]
 //!                  A ∈ naive | intersection | hashmap | queue1 | queue2
+//!                  R ∈ none | asc | desc    (degree relabeling)
 //! nwhy-cli toplex  <file>
 //! nwhy-cli scomp   <file> --s S           online s-connected components
 //! nwhy-cli kcore   <file> --k K --l L     (k,l)-core sizes
@@ -27,7 +28,7 @@ use nwhy::core::algorithms::{
     adjoin_bfs, adjoin_cc_afforest, adjoin_cc_label_propagation, hyper_bfs_bottom_up,
     hyper_bfs_top_down, hyper_cc, toplexes,
 };
-use nwhy::core::{slinegraph_edges, AdjoinGraph, Algorithm, BuildOptions, Hypergraph};
+use nwhy::core::{AdjoinGraph, Algorithm, Hypergraph, Relabel, SLineBuilder};
 use std::fs::File;
 use std::io::{BufReader, BufWriter, Write};
 use std::process::ExitCode;
@@ -153,11 +154,19 @@ fn cmd_bfs(args: &Args) -> Result<(), String> {
     let (edges_reached, nodes_reached, max_level) = match algo {
         "hyper" => {
             let r = hyper_bfs_top_down(&h, source);
-            (r.edges_reached(), r.nodes_reached(), max_finite(&r.edge_levels))
+            (
+                r.edges_reached(),
+                r.nodes_reached(),
+                max_finite(&r.edge_levels),
+            )
         }
         "hyper-bu" => {
             let r = hyper_bfs_bottom_up(&h, source);
-            (r.edges_reached(), r.nodes_reached(), max_finite(&r.edge_levels))
+            (
+                r.edges_reached(),
+                r.nodes_reached(),
+                max_finite(&r.edge_levels),
+            )
         }
         "adjoin" => {
             let r = adjoin_bfs(&AdjoinGraph::from_hypergraph(&h), source);
@@ -216,9 +225,19 @@ fn cmd_sline(args: &Args) -> Result<(), String> {
         "pairsort" => Algorithm::PairSort,
         other => return Err(format!("sline: unknown --algo {other}")),
     };
+    let relabel = match args.flag("relabel").unwrap_or("none") {
+        "none" => Relabel::None,
+        "asc" => Relabel::Ascending,
+        "desc" => Relabel::Descending,
+        other => return Err(format!("sline: unknown --relabel {other}")),
+    };
     let h = load(path)?;
     let t = std::time::Instant::now();
-    let pairs = slinegraph_edges(&h, s, algo, &BuildOptions::default());
+    let pairs = SLineBuilder::new(&h)
+        .s(s)
+        .algorithm(algo)
+        .relabel(relabel)
+        .edges();
     let secs = t.elapsed().as_secs_f64();
     println!(
         "{}: {}-line graph has {} edges over {} hyperedges ({secs:.4}s)",
@@ -263,8 +282,7 @@ fn cmd_scomp(args: &Args) -> Result<(), String> {
         return Err("scomp: --s must be >= 1".into());
     }
     let h = load(path)?;
-    let labels =
-        nwhy::core::algorithms::s_components::s_connected_components_online(&h, s);
+    let labels = nwhy::core::algorithms::s_components::s_connected_components_online(&h, s);
     let mut distinct = labels.clone();
     distinct.sort_unstable();
     distinct.dedup();
@@ -307,7 +325,11 @@ fn cmd_kcore(args: &Args) -> Result<(), String> {
 
 fn cmd_pagerank(args: &Args) -> Result<(), String> {
     let path = args.positional.first().ok_or("pagerank: missing <file>")?;
-    let damping: f64 = args.flag("damping").unwrap_or("0.85").parse().unwrap_or(0.85);
+    let damping: f64 = args
+        .flag("damping")
+        .unwrap_or("0.85")
+        .parse()
+        .unwrap_or(0.85);
     let top: usize = args.flag("top").unwrap_or("10").parse().unwrap_or(10);
     let h = load(path)?;
     let (pr, iters) = nwhy::hygra::pagerank::hygra_pagerank(
@@ -322,7 +344,10 @@ fn cmd_pagerank(args: &Args) -> Result<(), String> {
     println!("hypergraph PageRank converged in {iters} iterations (damping {damping})");
     println!("top {} hypernodes:", top.min(ranked.len()));
     for &(v, score) in ranked.iter().take(top) {
-        println!("  node {v:>8}: {score:.6} (in {} hyperedges)", h.node_degree(v as u32));
+        println!(
+            "  node {v:>8}: {score:.6} (in {} hyperedges)",
+            h.node_degree(v as u32)
+        );
     }
     Ok(())
 }

@@ -27,10 +27,10 @@ pub use nwhy_gen as gen;
 pub use nwhy_io as io;
 pub use nwhy_util as util;
 
+pub use nwhy_core::algorithms::kcore::KLCore;
+pub use nwhy_core::smetrics::WeightedSLineGraph;
 pub use nwhy_core::{
     AdjoinGraph, Algorithm, BiEdgeList, BuildOptions, Hypergraph, HypergraphStats, Id, Relabel,
     SLineGraph,
 };
-pub use nwhy_core::algorithms::kcore::KLCore;
-pub use nwhy_core::smetrics::WeightedSLineGraph;
 pub use session::NWHypergraph;

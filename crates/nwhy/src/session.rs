@@ -10,12 +10,11 @@
 
 use nwhy_core::algorithms::kcore::{kl_core, KLCore};
 use nwhy_core::algorithms::toplex::toplexes;
-use nwhy_core::slinegraph::ensemble::ensemble;
 use nwhy_core::smetrics::WeightedSLineGraph;
 use nwhy_core::{
-    AdjoinGraph, Algorithm, BiEdgeList, BuildOptions, Hypergraph, HypergraphStats, Id, SLineGraph,
+    AdjoinGraph, Algorithm, BiEdgeList, BuildOptions, DualView, HyperAdjacency, Hypergraph,
+    HypergraphStats, Id, SLineBuilder, SLineGraph,
 };
-use nwhy_util::partition::Strategy;
 
 /// A hypergraph session object mirroring the paper's Python
 /// `nwhy.NWHypergraph`.
@@ -57,12 +56,8 @@ impl NWHypergraph {
         let num_nodes = row.iter().map(|&v| v as usize + 1).max().unwrap_or(0);
         let num_edges = col.iter().map(|&e| e as usize + 1).max().unwrap_or(0);
         let incidences: Vec<(Id, Id)> = col.iter().zip(row).map(|(&e, &v)| (e, v)).collect();
-        let mut bel = BiEdgeList::from_weighted_incidences(
-            num_edges,
-            num_nodes,
-            incidences,
-            weight.to_vec(),
-        );
+        let mut bel =
+            BiEdgeList::from_weighted_incidences(num_edges, num_nodes, incidences, weight.to_vec());
         bel.sort_dedup();
         Self {
             hypergraph: Hypergraph::from_biedgelist(&bel),
@@ -97,12 +92,13 @@ impl NWHypergraph {
     /// `hg.s_linegraph(s=s, edges=…)`: the s-line graph over hyperedges
     /// (`edges = true`) or the s-clique graph over hypernodes — the line
     /// graph of the dual (`edges = false`). `s = 1, edges = false` is the
-    /// clique expansion.
+    /// clique expansion. The dual side is a zero-copy [`DualView`]; no
+    /// dual hypergraph is materialized.
     pub fn s_linegraph(&self, s: usize, edges: bool) -> SLineGraph {
         if edges {
             SLineGraph::new(&self.hypergraph, s)
         } else {
-            SLineGraph::new(&self.hypergraph.dual(), s)
+            SLineGraph::new(&DualView::new(&self.hypergraph), s)
         }
     }
 
@@ -118,28 +114,31 @@ impl NWHypergraph {
         if edges {
             SLineGraph::with_algorithm(&self.hypergraph, s, algo, opts)
         } else {
-            SLineGraph::with_algorithm(&self.hypergraph.dual(), s, algo, opts)
+            SLineGraph::with_algorithm(&DualView::new(&self.hypergraph), s, algo, opts)
         }
     }
 
     /// `hg.s_linegraphs([s…], edges=…)`: an ensemble of line graphs for
     /// several `s` values, sharing one counting pass.
     pub fn s_linegraphs(&self, s_values: &[usize], edges: bool) -> Vec<SLineGraph> {
-        let base = if edges {
-            self.hypergraph.clone()
+        fn build<A: HyperAdjacency + ?Sized>(repr: &A, s_values: &[usize]) -> Vec<SLineGraph> {
+            let nv = repr.num_hyperedges();
+            SLineBuilder::new(repr)
+                .ensemble_edges(s_values)
+                .into_iter()
+                .zip(s_values)
+                .map(|(pairs, &s)| {
+                    let mut el = nwgraph::EdgeList::from_edges(nv, pairs);
+                    el.symmetrize();
+                    SLineGraph::from_csr(s, nwgraph::Csr::from_edge_list(&el))
+                })
+                .collect()
+        }
+        if edges {
+            build(&self.hypergraph, s_values)
         } else {
-            self.hypergraph.dual()
-        };
-        let edge_sets = ensemble(&base, s_values, Strategy::AUTO);
-        edge_sets
-            .into_iter()
-            .zip(s_values)
-            .map(|(pairs, &s)| {
-                let mut el = nwgraph::EdgeList::from_edges(base.num_hyperedges(), pairs);
-                el.symmetrize();
-                SLineGraph::from_csr(s, nwgraph::Csr::from_edge_list(&el))
-            })
-            .collect()
+            build(&DualView::new(&self.hypergraph), s_values)
+        }
     }
 
     /// `hg.toplexes()`: IDs of the maximal hyperedges.

@@ -321,7 +321,10 @@ mod tests {
     #[test]
     fn imbalance_uniform_costs_balanced() {
         let costs = vec![5usize; 64];
-        for s in [Strategy::Blocked { num_bins: 4 }, Strategy::Cyclic { num_bins: 4 }] {
+        for s in [
+            Strategy::Blocked { num_bins: 4 },
+            Strategy::Cyclic { num_bins: 4 },
+        ] {
             let (_, _, imb) = imbalance_report(&costs, s);
             assert!((imb - 1.0).abs() < 1e-9, "{s:?}");
         }

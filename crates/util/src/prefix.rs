@@ -86,7 +86,10 @@ mod tests {
 
     #[test]
     fn small_known_case() {
-        assert_eq!(exclusive_prefix_sum(&[3, 1, 4, 1, 5]), vec![0, 3, 4, 8, 9, 14]);
+        assert_eq!(
+            exclusive_prefix_sum(&[3, 1, 4, 1, 5]),
+            vec![0, 3, 4, 8, 9, 14]
+        );
     }
 
     #[test]

@@ -33,8 +33,10 @@ fn main() {
     });
     let hg = NWHypergraph::from_hypergraph(h.clone());
     let stats = hg.stats();
-    println!("collaboration hypergraph: {} papers, {} authors, avg {:.1} authors/paper",
-        stats.num_hyperedges, stats.num_hypernodes, stats.avg_edge_degree);
+    println!(
+        "collaboration hypergraph: {} papers, {} authors, avg {:.1} authors/paper",
+        stats.num_hyperedges, stats.num_hypernodes, stats.avg_edge_degree
+    );
 
     // --- 1. exact components, three ways --------------------------------
     let exact = hyper_cc(&h);
@@ -42,15 +44,27 @@ fn main() {
     let via_adjoin = adjoin_cc_afforest(&adjoin);
     let via_hygra = hygra_cc(&h);
     println!("\nexact hypergraph components:");
-    println!("  HyperCC  (bi-adjacency, label prop): {}", exact.num_components());
-    println!("  AdjoinCC (adjoin graph, Afforest):   {}", via_adjoin.num_components());
-    println!("  HygraCC  (baseline, Ligra engine):   {}", via_hygra.num_components());
+    println!(
+        "  HyperCC  (bi-adjacency, label prop): {}",
+        exact.num_components()
+    );
+    println!(
+        "  AdjoinCC (adjoin graph, Afforest):   {}",
+        via_adjoin.num_components()
+    );
+    println!(
+        "  HygraCC  (baseline, Ligra engine):   {}",
+        via_hygra.num_components()
+    );
     assert_eq!(exact.num_components(), via_adjoin.num_components());
     assert_eq!(exact.num_components(), via_hygra.num_components());
 
     // --- 2. collaboration strength via the s-sweep ----------------------
     println!("\ns-line graph sweep (papers as vertices):");
-    println!("  {:>2} {:>10} {:>12} {:>16}", "s", "edges", "components", "largest comp");
+    println!(
+        "  {:>2} {:>10} {:>12} {:>16}",
+        "s", "edges", "components", "largest comp"
+    );
     for lg in hg.s_linegraphs(&[1, 2, 3, 4], true) {
         let labels = lg.s_connected_components();
         let mut sizes = std::collections::HashMap::new();
@@ -61,8 +75,13 @@ fn main() {
         let mut distinct: Vec<u32> = labels.clone();
         distinct.sort_unstable();
         distinct.dedup();
-        println!("  {:>2} {:>10} {:>12} {:>16}",
-            lg.s(), lg.graph().num_edges() / 2, distinct.len(), largest);
+        println!(
+            "  {:>2} {:>10} {:>12} {:>16}",
+            lg.s(),
+            lg.graph().num_edges() / 2,
+            distinct.len(),
+            largest
+        );
     }
 
     // --- 3. bridge papers ------------------------------------------------
@@ -72,12 +91,17 @@ fn main() {
     ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
     println!("\ntop 5 bridge papers by 2-betweenness:");
     for &(paper, score) in ranked.iter().take(5) {
-        println!("  paper {paper:>4}: betweenness {score:.4}, {} authors",
-            h.edge_degree(paper as u32));
+        println!(
+            "  paper {paper:>4}: betweenness {score:.4}, {} authors",
+            h.edge_degree(paper as u32)
+        );
     }
 
     // --- 4. maximal author sets ------------------------------------------
     let tops = toplexes(&h);
-    println!("\n{} of {} papers are toplexes (maximal author sets)",
-        tops.len(), stats.num_hyperedges);
+    println!(
+        "\n{} of {} papers are toplexes (maximal author sets)",
+        tops.len(),
+        stats.num_hyperedges
+    );
 }

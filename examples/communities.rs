@@ -25,10 +25,14 @@ fn main() {
     let profile = profile_by_name("com-Orkut").expect("profile exists");
     let h = profile.generate(4000, 7); // 1/4000 scale twin
     let stats = h.stats();
-    println!("com-Orkut twin: {} communities, {} members, {} incidences",
-        stats.num_hyperedges, stats.num_hypernodes, stats.num_incidences);
-    println!("degree skew: avg community size {:.1}, largest {}",
-        stats.avg_edge_degree, stats.max_edge_degree);
+    println!(
+        "com-Orkut twin: {} communities, {} members, {} incidences",
+        stats.num_hyperedges, stats.num_hypernodes, stats.num_incidences
+    );
+    println!(
+        "degree skew: avg community size {:.1}, largest {}",
+        stats.avg_edge_degree, stats.max_edge_degree
+    );
 
     // --- 1. one traversal, three representations -------------------------
     let source = (0..stats.num_hyperedges as u32)
@@ -37,19 +41,26 @@ fn main() {
     println!("\nBFS from the largest community (hyperedge {source}):");
 
     let hyper = hyper_bfs_top_down(&h, source);
-    println!("  HyperBFS  (bi-adjacency):  reached {} communities, {} members",
-        hyper.edges_reached(), hyper.nodes_reached());
+    println!(
+        "  HyperBFS  (bi-adjacency):  reached {} communities, {} members",
+        hyper.edges_reached(),
+        hyper.nodes_reached()
+    );
 
     let adjoin = AdjoinGraph::from_hypergraph(&h);
     let adj = adjoin_bfs(&adjoin, source);
     let adj_edges = adj.edge_levels.iter().filter(|&&l| l != u32::MAX).count();
-    println!("  AdjoinBFS (adjoin graph):  reached {} communities (direction-optimizing)",
-        adj_edges);
+    println!(
+        "  AdjoinBFS (adjoin graph):  reached {} communities (direction-optimizing)",
+        adj_edges
+    );
 
     let hyg = hygra_bfs(&h, source);
     let hyg_edges = hyg.edge_levels.iter().filter(|&&l| l != u32::MAX).count();
-    println!("  HygraBFS  (baseline):      reached {} communities (top-down edge_map)",
-        hyg_edges);
+    println!(
+        "  HygraBFS  (baseline):      reached {} communities (top-down edge_map)",
+        hyg_edges
+    );
 
     assert_eq!(hyper.edge_levels, adj.edge_levels);
     assert_eq!(hyper.edge_levels, hyg.edge_levels);
@@ -59,11 +70,18 @@ fn main() {
     println!("\nlower-order projection sizes (undirected edges):");
     let ce_work = clique_expansion_work(&h);
     let ce = clique_expansion(&h);
-    println!("  clique expansion: {} edges ({} pre-dedup pairs — the §III-B.3 blow-up)",
-        ce.num_edges() / 2, ce_work);
+    println!(
+        "  clique expansion: {} edges ({} pre-dedup pairs — the §III-B.3 blow-up)",
+        ce.num_edges() / 2,
+        ce_work
+    );
     let hg = NWHypergraph::from_hypergraph(h.clone());
     for lg in hg.s_linegraphs(&[1, 2, 4, 8], true) {
-        println!("  {}-line graph:     {} edges", lg.s(), lg.graph().num_edges() / 2);
+        println!(
+            "  {}-line graph:     {} edges",
+            lg.s(),
+            lg.graph().num_edges() / 2
+        );
     }
 
     // --- 3. strongly-overlapping community clusters -----------------------
@@ -76,7 +94,10 @@ fn main() {
     let mut sizes: Vec<usize> = cluster_sizes.values().copied().collect();
     sizes.sort_unstable_by(|a, b| b.cmp(a));
     let nontrivial = sizes.iter().filter(|&&s| s > 1).count();
-    println!("\n4-overlap clusters: {} clusters of communities sharing >= 4 members \
+    println!(
+        "\n4-overlap clusters: {} clusters of communities sharing >= 4 members \
               (largest: {:?})",
-        nontrivial, &sizes[..sizes.len().min(5)]);
+        nontrivial,
+        &sizes[..sizes.len().min(5)]
+    );
 }

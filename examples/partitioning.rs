@@ -16,7 +16,7 @@
 //! Run with: `cargo run --release -p nwhy --example partitioning`
 
 use nwhy::core::slinegraph::queue_single::{queue_hashmap, queue_hashmap_dynamic};
-use nwhy::core::{slinegraph_edges, Algorithm, BuildOptions, Relabel};
+use nwhy::core::{BuildOptions, Relabel, SLineBuilder};
 use nwhy::gen::profiles::profile_by_name;
 use nwhy::util::partition::{imbalance_report, Strategy};
 use nwhy::util::timer::time;
@@ -66,8 +66,13 @@ fn main() {
             ("descending", Relabel::Descending),
         ] {
             let opts = BuildOptions { strategy, relabel };
-            let (edges, secs) = time(|| slinegraph_edges(&h, 2, Algorithm::Hashmap, &opts));
-            println!("  {:<22} {:>9.4}s   ({} line edges)", format!("{name}/{rname}"), secs, edges.len());
+            let (edges, secs) = time(|| SLineBuilder::new(&h).s(2).options(&opts).edges());
+            println!(
+                "  {:<22} {:>9.4}s   ({} line edges)",
+                format!("{name}/{rname}"),
+                secs,
+                edges.len()
+            );
         }
     }
 

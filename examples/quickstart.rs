@@ -20,17 +20,24 @@ fn main() {
     // create a hypergraph hg            (Listing 5: nwhy.NWHypergraph)
     let hg = NWHypergraph::new(&row, &col);
     let stats = hg.stats();
-    println!("hypergraph: {} papers, {} authors, {} incidences",
-        stats.num_hyperedges, stats.num_hypernodes, stats.num_incidences);
-    println!("average paper size {:.2}, largest paper {}",
-        stats.avg_edge_degree, stats.max_edge_degree);
+    println!(
+        "hypergraph: {} papers, {} authors, {} incidences",
+        stats.num_hyperedges, stats.num_hypernodes, stats.num_incidences
+    );
+    println!(
+        "average paper size {:.2}, largest paper {}",
+        stats.avg_edge_degree, stats.max_edge_degree
+    );
 
     // compute the s-line graph of hg with s=2
     let s2lg = hg.s_linegraph(2, true);
     println!("\n2-line graph (papers sharing >= 2 authors):");
     for e in 0..stats.num_hyperedges as u32 {
-        println!("  paper {e}: s-degree {}, s-neighbors {:?}",
-            s2lg.s_degree(e), s2lg.s_neighbors(e));
+        println!(
+            "  paper {e}: s-degree {}, s-neighbors {:?}",
+            s2lg.s_degree(e),
+            s2lg.s_neighbors(e)
+        );
     }
 
     // query whether the 2-line graph is connected
@@ -42,8 +49,10 @@ fn main() {
 
     // s-distance and s-path between papers 0 and 2
     match s2lg.s_distance(0, 2) {
-        Some(d) => println!("s_distance(0, 2) = {d}, s_path = {:?}",
-            s2lg.s_path(0, 2).unwrap()),
+        Some(d) => println!(
+            "s_distance(0, 2) = {d}, s_path = {:?}",
+            s2lg.s_path(0, 2).unwrap()
+        ),
         None => println!("papers 0 and 2 are not 2-connected"),
     }
 
@@ -53,10 +62,15 @@ fn main() {
     let shc = s2lg.s_harmonic_closeness_centrality(None);
     let se = s2lg.s_eccentricity(None);
     println!("\nper-paper centralities on the 2-line graph:");
-    println!("  {:>5} {:>12} {:>12} {:>12} {:>6}", "paper", "betweenness", "closeness", "harmonic", "ecc");
+    println!(
+        "  {:>5} {:>12} {:>12} {:>12} {:>6}",
+        "paper", "betweenness", "closeness", "harmonic", "ecc"
+    );
     for e in 0..stats.num_hyperedges {
-        println!("  {:>5} {:>12.4} {:>12.4} {:>12.4} {:>6}",
-            e, sbc[e], sc[e], shc[e], se[e]);
+        println!(
+            "  {:>5} {:>12.4} {:>12.4} {:>12.4} {:>6}",
+            e, sbc[e], sc[e], shc[e], se[e]
+        );
     }
 
     // toplexes: maximal papers (author sets not contained in another's)

@@ -9,23 +9,27 @@
 //!
 //! Run with: `cargo run --release -p nwhy --example scaling`
 
-use nwhy::core::algorithms::{adjoin_cc_afforest, adjoin_bfs, hyper_bfs_top_down, hyper_cc};
+use nwhy::core::algorithms::{adjoin_bfs, adjoin_cc_afforest, hyper_bfs_top_down, hyper_cc};
 use nwhy::core::AdjoinGraph;
 use nwhy::gen::profiles::profile_by_name;
 use nwhy::hygra::{hygra_bfs, hygra_cc};
-use nwhy::util::pool::{thread_sweep, max_threads, with_threads};
+use nwhy::util::pool::{max_threads, thread_sweep, with_threads};
 use nwhy::util::timer::time;
 
 fn main() {
     let h = profile_by_name("Rand1").expect("profile").generate(2000, 1);
     let stats = h.stats();
-    println!("Rand1 twin: {} hyperedges, {} hypernodes, {} incidences",
-        stats.num_hyperedges, stats.num_hypernodes, stats.num_incidences);
+    println!(
+        "Rand1 twin: {} hyperedges, {} hypernodes, {} incidences",
+        stats.num_hyperedges, stats.num_hypernodes, stats.num_incidences
+    );
     let adjoin = AdjoinGraph::from_hypergraph(&h);
     let source = 0u32;
 
-    println!("\n{:>8} {:>11} {:>11} {:>11} {:>11} {:>11} {:>11}",
-        "threads", "HyperCC", "AdjoinCC", "HygraCC", "HyperBFS", "AdjoinBFS", "HygraBFS");
+    println!(
+        "\n{:>8} {:>11} {:>11} {:>11} {:>11} {:>11} {:>11}",
+        "threads", "HyperCC", "AdjoinCC", "HygraCC", "HyperBFS", "AdjoinBFS", "HygraBFS"
+    );
     for t in thread_sweep(max_threads()) {
         let (cc_h, s1) = with_threads(t, || time(|| hyper_cc(&h)));
         let (cc_a, s2) = with_threads(t, || time(|| adjoin_cc_afforest(&adjoin)));
@@ -40,8 +44,10 @@ fn main() {
         assert_eq!(bfs_h.edge_levels, bfs_a.edge_levels);
         assert_eq!(bfs_h.edge_levels, bfs_g.edge_levels);
 
-        println!("{:>8} {:>10.4}s {:>10.4}s {:>10.4}s {:>10.4}s {:>10.4}s {:>10.4}s",
-            t, s1, s2, s3, s4, s5, s6);
+        println!(
+            "{:>8} {:>10.4}s {:>10.4}s {:>10.4}s {:>10.4}s {:>10.4}s {:>10.4}s",
+            t, s1, s2, s3, s4, s5, s6
+        );
     }
     println!("\nall frameworks agree on components and BFS levels at every thread count ✓");
 }

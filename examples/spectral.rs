@@ -31,7 +31,9 @@ fn main() {
     println!("{}", adjoin_adjacency_matrix(&h));
 
     // --- 2. diffusion vs PageRank on a bigger twin -----------------------
-    let big = profile_by_name("com-Orkut").expect("profile").generate(4000, 3);
+    let big = profile_by_name("com-Orkut")
+        .expect("profile")
+        .generate(4000, 3);
     let n = big.num_hypernodes();
     println!(
         "com-Orkut twin: {} hypernodes, {} hyperedges",
@@ -50,8 +52,10 @@ fn main() {
             break;
         }
     }
-    println!("\ntwo-phase diffusion converged in {steps} steps (mass {:.6})",
-        x.iter().sum::<f64>());
+    println!(
+        "\ntwo-phase diffusion converged in {steps} steps (mass {:.6})",
+        x.iter().sum::<f64>()
+    );
 
     let (pr, iters) = hygra_pagerank(
         &big,

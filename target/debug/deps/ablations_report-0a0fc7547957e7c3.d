@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablations_report-0a0fc7547957e7c3.d: crates/bench/src/bin/ablations_report.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablations_report-0a0fc7547957e7c3.rmeta: crates/bench/src/bin/ablations_report.rs Cargo.toml
+
+crates/bench/src/bin/ablations_report.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

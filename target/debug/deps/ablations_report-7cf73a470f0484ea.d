@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations_report-7cf73a470f0484ea.d: crates/bench/src/bin/ablations_report.rs
+
+/root/repo/target/debug/deps/ablations_report-7cf73a470f0484ea: crates/bench/src/bin/ablations_report.rs
+
+crates/bench/src/bin/ablations_report.rs:

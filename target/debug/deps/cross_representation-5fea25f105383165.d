@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cross_representation-5fea25f105383165.d: crates/nwhy/../../tests/cross_representation.rs
+
+/root/repo/target/debug/deps/cross_representation-5fea25f105383165: crates/nwhy/../../tests/cross_representation.rs
+
+crates/nwhy/../../tests/cross_representation.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cross_representation-90df99cfb751773d.d: crates/nwhy/../../tests/cross_representation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcross_representation-90df99cfb751773d.rmeta: crates/nwhy/../../tests/cross_representation.rs Cargo.toml
+
+crates/nwhy/../../tests/cross_representation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

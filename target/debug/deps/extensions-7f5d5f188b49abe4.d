@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/extensions-7f5d5f188b49abe4.d: crates/nwhy/../../tests/extensions.rs Cargo.toml
+
+/root/repo/target/debug/deps/libextensions-7f5d5f188b49abe4.rmeta: crates/nwhy/../../tests/extensions.rs Cargo.toml
+
+crates/nwhy/../../tests/extensions.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extensions-f8e6a427b5264c89.d: crates/nwhy/../../tests/extensions.rs
+
+/root/repo/target/debug/deps/extensions-f8e6a427b5264c89: crates/nwhy/../../tests/extensions.rs
+
+crates/nwhy/../../tests/extensions.rs:

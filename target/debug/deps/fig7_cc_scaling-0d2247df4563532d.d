@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig7_cc_scaling-0d2247df4563532d.d: crates/bench/src/bin/fig7_cc_scaling.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig7_cc_scaling-0d2247df4563532d.rmeta: crates/bench/src/bin/fig7_cc_scaling.rs Cargo.toml
+
+crates/bench/src/bin/fig7_cc_scaling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7_cc_scaling-1573628208a24c24.d: crates/bench/src/bin/fig7_cc_scaling.rs
+
+/root/repo/target/debug/deps/fig7_cc_scaling-1573628208a24c24: crates/bench/src/bin/fig7_cc_scaling.rs
+
+crates/bench/src/bin/fig7_cc_scaling.rs:

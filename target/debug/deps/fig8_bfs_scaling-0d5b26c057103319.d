@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig8_bfs_scaling-0d5b26c057103319.d: crates/bench/src/bin/fig8_bfs_scaling.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig8_bfs_scaling-0d5b26c057103319.rmeta: crates/bench/src/bin/fig8_bfs_scaling.rs Cargo.toml
+
+crates/bench/src/bin/fig8_bfs_scaling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8_bfs_scaling-2baa96843bc10662.d: crates/bench/src/bin/fig8_bfs_scaling.rs
+
+/root/repo/target/debug/deps/fig8_bfs_scaling-2baa96843bc10662: crates/bench/src/bin/fig8_bfs_scaling.rs
+
+crates/bench/src/bin/fig8_bfs_scaling.rs:

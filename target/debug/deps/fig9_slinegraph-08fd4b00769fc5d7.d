@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9_slinegraph-08fd4b00769fc5d7.d: crates/bench/src/bin/fig9_slinegraph.rs
+
+/root/repo/target/debug/deps/fig9_slinegraph-08fd4b00769fc5d7: crates/bench/src/bin/fig9_slinegraph.rs
+
+crates/bench/src/bin/fig9_slinegraph.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig9_slinegraph-20559d2ea0355a9b.d: crates/bench/src/bin/fig9_slinegraph.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig9_slinegraph-20559d2ea0355a9b.rmeta: crates/bench/src/bin/fig9_slinegraph.rs Cargo.toml
+
+crates/bench/src/bin/fig9_slinegraph.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig9_slinegraph-3e6aa735c9d4a256.d: crates/bench/src/bin/fig9_slinegraph.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig9_slinegraph-3e6aa735c9d4a256.rmeta: crates/bench/src/bin/fig9_slinegraph.rs Cargo.toml
+
+crates/bench/src/bin/fig9_slinegraph.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/hygra-9243f289ef1aca26.d: crates/hygra/src/lib.rs crates/hygra/src/bfs.rs crates/hygra/src/cc.rs crates/hygra/src/engine.rs crates/hygra/src/kcore.rs crates/hygra/src/mis.rs crates/hygra/src/pagerank.rs crates/hygra/src/subset.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhygra-9243f289ef1aca26.rmeta: crates/hygra/src/lib.rs crates/hygra/src/bfs.rs crates/hygra/src/cc.rs crates/hygra/src/engine.rs crates/hygra/src/kcore.rs crates/hygra/src/mis.rs crates/hygra/src/pagerank.rs crates/hygra/src/subset.rs Cargo.toml
+
+crates/hygra/src/lib.rs:
+crates/hygra/src/bfs.rs:
+crates/hygra/src/cc.rs:
+crates/hygra/src/engine.rs:
+crates/hygra/src/kcore.rs:
+crates/hygra/src/mis.rs:
+crates/hygra/src/pagerank.rs:
+crates/hygra/src/subset.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

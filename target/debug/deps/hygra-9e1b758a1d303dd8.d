@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/hygra-9e1b758a1d303dd8.d: crates/hygra/src/lib.rs crates/hygra/src/bfs.rs crates/hygra/src/cc.rs crates/hygra/src/engine.rs crates/hygra/src/kcore.rs crates/hygra/src/mis.rs crates/hygra/src/pagerank.rs crates/hygra/src/subset.rs
+
+/root/repo/target/debug/deps/hygra-9e1b758a1d303dd8: crates/hygra/src/lib.rs crates/hygra/src/bfs.rs crates/hygra/src/cc.rs crates/hygra/src/engine.rs crates/hygra/src/kcore.rs crates/hygra/src/mis.rs crates/hygra/src/pagerank.rs crates/hygra/src/subset.rs
+
+crates/hygra/src/lib.rs:
+crates/hygra/src/bfs.rs:
+crates/hygra/src/cc.rs:
+crates/hygra/src/engine.rs:
+crates/hygra/src/kcore.rs:
+crates/hygra/src/mis.rs:
+crates/hygra/src/pagerank.rs:
+crates/hygra/src/subset.rs:

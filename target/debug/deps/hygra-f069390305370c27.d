@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/hygra-f069390305370c27.d: crates/hygra/src/lib.rs crates/hygra/src/bfs.rs crates/hygra/src/cc.rs crates/hygra/src/engine.rs crates/hygra/src/kcore.rs crates/hygra/src/mis.rs crates/hygra/src/pagerank.rs crates/hygra/src/subset.rs
+
+/root/repo/target/debug/deps/libhygra-f069390305370c27.rlib: crates/hygra/src/lib.rs crates/hygra/src/bfs.rs crates/hygra/src/cc.rs crates/hygra/src/engine.rs crates/hygra/src/kcore.rs crates/hygra/src/mis.rs crates/hygra/src/pagerank.rs crates/hygra/src/subset.rs
+
+/root/repo/target/debug/deps/libhygra-f069390305370c27.rmeta: crates/hygra/src/lib.rs crates/hygra/src/bfs.rs crates/hygra/src/cc.rs crates/hygra/src/engine.rs crates/hygra/src/kcore.rs crates/hygra/src/mis.rs crates/hygra/src/pagerank.rs crates/hygra/src/subset.rs
+
+crates/hygra/src/lib.rs:
+crates/hygra/src/bfs.rs:
+crates/hygra/src/cc.rs:
+crates/hygra/src/engine.rs:
+crates/hygra/src/kcore.rs:
+crates/hygra/src/mis.rs:
+crates/hygra/src/pagerank.rs:
+crates/hygra/src/subset.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration-67d0e9b155eb7c5e.d: crates/nwhy/../../tests/integration.rs
+
+/root/repo/target/debug/deps/integration-67d0e9b155eb7c5e: crates/nwhy/../../tests/integration.rs
+
+crates/nwhy/../../tests/integration.rs:

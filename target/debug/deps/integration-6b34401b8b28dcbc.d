@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/integration-6b34401b8b28dcbc.d: crates/nwhy/../../tests/integration.rs Cargo.toml
+
+/root/repo/target/debug/deps/libintegration-6b34401b8b28dcbc.rmeta: crates/nwhy/../../tests/integration.rs Cargo.toml
+
+crates/nwhy/../../tests/integration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,25 @@
+/root/repo/target/debug/deps/nwgraph-48e50b7ba11ad589.d: crates/nwgraph/src/lib.rs crates/nwgraph/src/algorithms/mod.rs crates/nwgraph/src/algorithms/betweenness.rs crates/nwgraph/src/algorithms/bfs.rs crates/nwgraph/src/algorithms/cc.rs crates/nwgraph/src/algorithms/closeness.rs crates/nwgraph/src/algorithms/kcore.rs crates/nwgraph/src/algorithms/ktruss.rs crates/nwgraph/src/algorithms/mis.rs crates/nwgraph/src/algorithms/pagerank.rs crates/nwgraph/src/algorithms/sssp.rs crates/nwgraph/src/algorithms/triangles.rs crates/nwgraph/src/csr.rs crates/nwgraph/src/edge_list.rs crates/nwgraph/src/neighbor_range.rs crates/nwgraph/src/random.rs crates/nwgraph/src/relabel.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnwgraph-48e50b7ba11ad589.rmeta: crates/nwgraph/src/lib.rs crates/nwgraph/src/algorithms/mod.rs crates/nwgraph/src/algorithms/betweenness.rs crates/nwgraph/src/algorithms/bfs.rs crates/nwgraph/src/algorithms/cc.rs crates/nwgraph/src/algorithms/closeness.rs crates/nwgraph/src/algorithms/kcore.rs crates/nwgraph/src/algorithms/ktruss.rs crates/nwgraph/src/algorithms/mis.rs crates/nwgraph/src/algorithms/pagerank.rs crates/nwgraph/src/algorithms/sssp.rs crates/nwgraph/src/algorithms/triangles.rs crates/nwgraph/src/csr.rs crates/nwgraph/src/edge_list.rs crates/nwgraph/src/neighbor_range.rs crates/nwgraph/src/random.rs crates/nwgraph/src/relabel.rs Cargo.toml
+
+crates/nwgraph/src/lib.rs:
+crates/nwgraph/src/algorithms/mod.rs:
+crates/nwgraph/src/algorithms/betweenness.rs:
+crates/nwgraph/src/algorithms/bfs.rs:
+crates/nwgraph/src/algorithms/cc.rs:
+crates/nwgraph/src/algorithms/closeness.rs:
+crates/nwgraph/src/algorithms/kcore.rs:
+crates/nwgraph/src/algorithms/ktruss.rs:
+crates/nwgraph/src/algorithms/mis.rs:
+crates/nwgraph/src/algorithms/pagerank.rs:
+crates/nwgraph/src/algorithms/sssp.rs:
+crates/nwgraph/src/algorithms/triangles.rs:
+crates/nwgraph/src/csr.rs:
+crates/nwgraph/src/edge_list.rs:
+crates/nwgraph/src/neighbor_range.rs:
+crates/nwgraph/src/random.rs:
+crates/nwgraph/src/relabel.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/nwhy-162af97da33cbc4d.d: crates/nwhy/src/lib.rs crates/nwhy/src/session.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnwhy-162af97da33cbc4d.rmeta: crates/nwhy/src/lib.rs crates/nwhy/src/session.rs Cargo.toml
+
+crates/nwhy/src/lib.rs:
+crates/nwhy/src/session.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

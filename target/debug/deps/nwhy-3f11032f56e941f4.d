@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/nwhy-3f11032f56e941f4.d: crates/nwhy/src/lib.rs crates/nwhy/src/session.rs
+
+/root/repo/target/debug/deps/nwhy-3f11032f56e941f4: crates/nwhy/src/lib.rs crates/nwhy/src/session.rs
+
+crates/nwhy/src/lib.rs:
+crates/nwhy/src/session.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/nwhy-65935f4a4e8f0e68.d: crates/nwhy/src/lib.rs crates/nwhy/src/session.rs
+
+/root/repo/target/debug/deps/libnwhy-65935f4a4e8f0e68.rlib: crates/nwhy/src/lib.rs crates/nwhy/src/session.rs
+
+/root/repo/target/debug/deps/libnwhy-65935f4a4e8f0e68.rmeta: crates/nwhy/src/lib.rs crates/nwhy/src/session.rs
+
+crates/nwhy/src/lib.rs:
+crates/nwhy/src/session.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/nwhy-e1e508713948a49e.d: crates/nwhy/src/lib.rs crates/nwhy/src/session.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnwhy-e1e508713948a49e.rmeta: crates/nwhy/src/lib.rs crates/nwhy/src/session.rs Cargo.toml
+
+crates/nwhy/src/lib.rs:
+crates/nwhy/src/session.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/nwhy_bench-0a1948e1b7d4a528.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/nwhy_bench-0a1948e1b7d4a528: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

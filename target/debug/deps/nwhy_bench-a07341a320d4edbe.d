@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/nwhy_bench-a07341a320d4edbe.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnwhy_bench-a07341a320d4edbe.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

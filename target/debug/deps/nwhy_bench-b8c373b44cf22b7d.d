@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/nwhy_bench-b8c373b44cf22b7d.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libnwhy_bench-b8c373b44cf22b7d.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libnwhy_bench-b8c373b44cf22b7d.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

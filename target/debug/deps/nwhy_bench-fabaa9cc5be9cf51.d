@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/nwhy_bench-fabaa9cc5be9cf51.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnwhy_bench-fabaa9cc5be9cf51.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

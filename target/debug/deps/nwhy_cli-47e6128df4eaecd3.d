@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/nwhy_cli-47e6128df4eaecd3.d: crates/nwhy/src/bin/nwhy-cli.rs
+
+/root/repo/target/debug/deps/nwhy_cli-47e6128df4eaecd3: crates/nwhy/src/bin/nwhy-cli.rs
+
+crates/nwhy/src/bin/nwhy-cli.rs:

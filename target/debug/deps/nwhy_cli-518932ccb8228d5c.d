@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/nwhy_cli-518932ccb8228d5c.d: crates/nwhy/src/bin/nwhy-cli.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnwhy_cli-518932ccb8228d5c.rmeta: crates/nwhy/src/bin/nwhy-cli.rs Cargo.toml
+
+crates/nwhy/src/bin/nwhy-cli.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/nwhy_cli-d74128157d1a6e39.d: crates/nwhy/src/bin/nwhy-cli.rs
+
+/root/repo/target/debug/deps/nwhy_cli-d74128157d1a6e39: crates/nwhy/src/bin/nwhy-cli.rs
+
+crates/nwhy/src/bin/nwhy-cli.rs:

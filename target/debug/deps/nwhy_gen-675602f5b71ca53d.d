@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/nwhy_gen-675602f5b71ca53d.d: crates/gen/src/lib.rs crates/gen/src/communities.rs crates/gen/src/powerlaw.rs crates/gen/src/profiles.rs crates/gen/src/rng.rs crates/gen/src/sbm.rs crates/gen/src/uniform.rs
+
+/root/repo/target/debug/deps/libnwhy_gen-675602f5b71ca53d.rlib: crates/gen/src/lib.rs crates/gen/src/communities.rs crates/gen/src/powerlaw.rs crates/gen/src/profiles.rs crates/gen/src/rng.rs crates/gen/src/sbm.rs crates/gen/src/uniform.rs
+
+/root/repo/target/debug/deps/libnwhy_gen-675602f5b71ca53d.rmeta: crates/gen/src/lib.rs crates/gen/src/communities.rs crates/gen/src/powerlaw.rs crates/gen/src/profiles.rs crates/gen/src/rng.rs crates/gen/src/sbm.rs crates/gen/src/uniform.rs
+
+crates/gen/src/lib.rs:
+crates/gen/src/communities.rs:
+crates/gen/src/powerlaw.rs:
+crates/gen/src/profiles.rs:
+crates/gen/src/rng.rs:
+crates/gen/src/sbm.rs:
+crates/gen/src/uniform.rs:

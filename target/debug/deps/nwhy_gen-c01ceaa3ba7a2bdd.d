@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/nwhy_gen-c01ceaa3ba7a2bdd.d: crates/gen/src/lib.rs crates/gen/src/communities.rs crates/gen/src/powerlaw.rs crates/gen/src/profiles.rs crates/gen/src/rng.rs crates/gen/src/sbm.rs crates/gen/src/uniform.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnwhy_gen-c01ceaa3ba7a2bdd.rmeta: crates/gen/src/lib.rs crates/gen/src/communities.rs crates/gen/src/powerlaw.rs crates/gen/src/profiles.rs crates/gen/src/rng.rs crates/gen/src/sbm.rs crates/gen/src/uniform.rs Cargo.toml
+
+crates/gen/src/lib.rs:
+crates/gen/src/communities.rs:
+crates/gen/src/powerlaw.rs:
+crates/gen/src/profiles.rs:
+crates/gen/src/rng.rs:
+crates/gen/src/sbm.rs:
+crates/gen/src/uniform.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/nwhy_gen-e46daf89687ead46.d: crates/gen/src/lib.rs crates/gen/src/communities.rs crates/gen/src/powerlaw.rs crates/gen/src/profiles.rs crates/gen/src/rng.rs crates/gen/src/sbm.rs crates/gen/src/uniform.rs
+
+/root/repo/target/debug/deps/nwhy_gen-e46daf89687ead46: crates/gen/src/lib.rs crates/gen/src/communities.rs crates/gen/src/powerlaw.rs crates/gen/src/profiles.rs crates/gen/src/rng.rs crates/gen/src/sbm.rs crates/gen/src/uniform.rs
+
+crates/gen/src/lib.rs:
+crates/gen/src/communities.rs:
+crates/gen/src/powerlaw.rs:
+crates/gen/src/profiles.rs:
+crates/gen/src/rng.rs:
+crates/gen/src/sbm.rs:
+crates/gen/src/uniform.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/nwhy_io-0a89a2f2bd2d1563.d: crates/io/src/lib.rs crates/io/src/adjoin_reader.rs crates/io/src/binary.rs crates/io/src/dot.rs crates/io/src/error.rs crates/io/src/hyperedge_list.rs crates/io/src/matrix_market.rs crates/io/src/tsv.rs
+
+/root/repo/target/debug/deps/libnwhy_io-0a89a2f2bd2d1563.rlib: crates/io/src/lib.rs crates/io/src/adjoin_reader.rs crates/io/src/binary.rs crates/io/src/dot.rs crates/io/src/error.rs crates/io/src/hyperedge_list.rs crates/io/src/matrix_market.rs crates/io/src/tsv.rs
+
+/root/repo/target/debug/deps/libnwhy_io-0a89a2f2bd2d1563.rmeta: crates/io/src/lib.rs crates/io/src/adjoin_reader.rs crates/io/src/binary.rs crates/io/src/dot.rs crates/io/src/error.rs crates/io/src/hyperedge_list.rs crates/io/src/matrix_market.rs crates/io/src/tsv.rs
+
+crates/io/src/lib.rs:
+crates/io/src/adjoin_reader.rs:
+crates/io/src/binary.rs:
+crates/io/src/dot.rs:
+crates/io/src/error.rs:
+crates/io/src/hyperedge_list.rs:
+crates/io/src/matrix_market.rs:
+crates/io/src/tsv.rs:

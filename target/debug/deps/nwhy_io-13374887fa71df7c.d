@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/nwhy_io-13374887fa71df7c.d: crates/io/src/lib.rs crates/io/src/adjoin_reader.rs crates/io/src/binary.rs crates/io/src/dot.rs crates/io/src/error.rs crates/io/src/hyperedge_list.rs crates/io/src/matrix_market.rs crates/io/src/tsv.rs
+
+/root/repo/target/debug/deps/nwhy_io-13374887fa71df7c: crates/io/src/lib.rs crates/io/src/adjoin_reader.rs crates/io/src/binary.rs crates/io/src/dot.rs crates/io/src/error.rs crates/io/src/hyperedge_list.rs crates/io/src/matrix_market.rs crates/io/src/tsv.rs
+
+crates/io/src/lib.rs:
+crates/io/src/adjoin_reader.rs:
+crates/io/src/binary.rs:
+crates/io/src/dot.rs:
+crates/io/src/error.rs:
+crates/io/src/hyperedge_list.rs:
+crates/io/src/matrix_market.rs:
+crates/io/src/tsv.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/nwhy_io-68b64088a4c2a507.d: crates/io/src/lib.rs crates/io/src/adjoin_reader.rs crates/io/src/binary.rs crates/io/src/dot.rs crates/io/src/error.rs crates/io/src/hyperedge_list.rs crates/io/src/matrix_market.rs crates/io/src/tsv.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnwhy_io-68b64088a4c2a507.rmeta: crates/io/src/lib.rs crates/io/src/adjoin_reader.rs crates/io/src/binary.rs crates/io/src/dot.rs crates/io/src/error.rs crates/io/src/hyperedge_list.rs crates/io/src/matrix_market.rs crates/io/src/tsv.rs Cargo.toml
+
+crates/io/src/lib.rs:
+crates/io/src/adjoin_reader.rs:
+crates/io/src/binary.rs:
+crates/io/src/dot.rs:
+crates/io/src/error.rs:
+crates/io/src/hyperedge_list.rs:
+crates/io/src/matrix_market.rs:
+crates/io/src/tsv.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

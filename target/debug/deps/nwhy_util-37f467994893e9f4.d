@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/nwhy_util-37f467994893e9f4.d: crates/util/src/lib.rs crates/util/src/atomics.rs crates/util/src/bitmap.rs crates/util/src/fxhash.rs crates/util/src/partition.rs crates/util/src/pool.rs crates/util/src/prefix.rs crates/util/src/timer.rs crates/util/src/workq.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnwhy_util-37f467994893e9f4.rmeta: crates/util/src/lib.rs crates/util/src/atomics.rs crates/util/src/bitmap.rs crates/util/src/fxhash.rs crates/util/src/partition.rs crates/util/src/pool.rs crates/util/src/prefix.rs crates/util/src/timer.rs crates/util/src/workq.rs Cargo.toml
+
+crates/util/src/lib.rs:
+crates/util/src/atomics.rs:
+crates/util/src/bitmap.rs:
+crates/util/src/fxhash.rs:
+crates/util/src/partition.rs:
+crates/util/src/pool.rs:
+crates/util/src/prefix.rs:
+crates/util/src/timer.rs:
+crates/util/src/workq.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

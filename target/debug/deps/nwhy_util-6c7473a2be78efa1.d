@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/nwhy_util-6c7473a2be78efa1.d: crates/util/src/lib.rs crates/util/src/atomics.rs crates/util/src/bitmap.rs crates/util/src/fxhash.rs crates/util/src/partition.rs crates/util/src/pool.rs crates/util/src/prefix.rs crates/util/src/timer.rs crates/util/src/workq.rs
+
+/root/repo/target/debug/deps/nwhy_util-6c7473a2be78efa1: crates/util/src/lib.rs crates/util/src/atomics.rs crates/util/src/bitmap.rs crates/util/src/fxhash.rs crates/util/src/partition.rs crates/util/src/pool.rs crates/util/src/prefix.rs crates/util/src/timer.rs crates/util/src/workq.rs
+
+crates/util/src/lib.rs:
+crates/util/src/atomics.rs:
+crates/util/src/bitmap.rs:
+crates/util/src/fxhash.rs:
+crates/util/src/partition.rs:
+crates/util/src/pool.rs:
+crates/util/src/prefix.rs:
+crates/util/src/timer.rs:
+crates/util/src/workq.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline-09c195c88d1ce9d2.d: crates/nwhy/../../tests/pipeline.rs
+
+/root/repo/target/debug/deps/pipeline-09c195c88d1ce9d2: crates/nwhy/../../tests/pipeline.rs
+
+crates/nwhy/../../tests/pipeline.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pipeline-fcc22c273f73fdcd.d: crates/nwhy/../../tests/pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpipeline-fcc22c273f73fdcd.rmeta: crates/nwhy/../../tests/pipeline.rs Cargo.toml
+
+crates/nwhy/../../tests/pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

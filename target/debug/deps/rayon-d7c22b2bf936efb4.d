@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/rayon-d7c22b2bf936efb4.d: vendor/rayon/src/lib.rs vendor/rayon/src/iter.rs vendor/rayon/src/pool.rs vendor/rayon/src/slice.rs
+
+/root/repo/target/debug/deps/rayon-d7c22b2bf936efb4: vendor/rayon/src/lib.rs vendor/rayon/src/iter.rs vendor/rayon/src/pool.rs vendor/rayon/src/slice.rs
+
+vendor/rayon/src/lib.rs:
+vendor/rayon/src/iter.rs:
+vendor/rayon/src/pool.rs:
+vendor/rayon/src/slice.rs:

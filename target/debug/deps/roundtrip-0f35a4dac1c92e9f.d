@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/roundtrip-0f35a4dac1c92e9f.d: crates/io/tests/roundtrip.rs
+
+/root/repo/target/debug/deps/roundtrip-0f35a4dac1c92e9f: crates/io/tests/roundtrip.rs
+
+crates/io/tests/roundtrip.rs:

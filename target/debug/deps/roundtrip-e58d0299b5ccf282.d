@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/roundtrip-e58d0299b5ccf282.d: crates/io/tests/roundtrip.rs Cargo.toml
+
+/root/repo/target/debug/deps/libroundtrip-e58d0299b5ccf282.rmeta: crates/io/tests/roundtrip.rs Cargo.toml
+
+crates/io/tests/roundtrip.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

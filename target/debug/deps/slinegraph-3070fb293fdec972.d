@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/slinegraph-3070fb293fdec972.d: crates/bench/benches/slinegraph.rs Cargo.toml
+
+/root/repo/target/debug/deps/libslinegraph-3070fb293fdec972.rmeta: crates/bench/benches/slinegraph.rs Cargo.toml
+
+crates/bench/benches/slinegraph.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/smetrics_props-0e6819e834103d94.d: crates/core/tests/smetrics_props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsmetrics_props-0e6819e834103d94.rmeta: crates/core/tests/smetrics_props.rs Cargo.toml
+
+crates/core/tests/smetrics_props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/smetrics_props-58bcd062fd284763.d: crates/core/tests/smetrics_props.rs
+
+/root/repo/target/debug/deps/smetrics_props-58bcd062fd284763: crates/core/tests/smetrics_props.rs
+
+crates/core/tests/smetrics_props.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/traversal-6d42b3f5fd3c1790.d: crates/bench/benches/traversal.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtraversal-6d42b3f5fd3c1790.rmeta: crates/bench/benches/traversal.rs Cargo.toml
+
+crates/bench/benches/traversal.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/authorship-9333739cdc557c4c.d: crates/nwhy/../../examples/authorship.rs Cargo.toml
+
+/root/repo/target/debug/examples/libauthorship-9333739cdc557c4c.rmeta: crates/nwhy/../../examples/authorship.rs Cargo.toml
+
+crates/nwhy/../../examples/authorship.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

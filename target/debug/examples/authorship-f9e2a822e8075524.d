@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/authorship-f9e2a822e8075524.d: crates/nwhy/../../examples/authorship.rs
+
+/root/repo/target/debug/examples/authorship-f9e2a822e8075524: crates/nwhy/../../examples/authorship.rs
+
+crates/nwhy/../../examples/authorship.rs:

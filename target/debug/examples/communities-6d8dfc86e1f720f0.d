@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/communities-6d8dfc86e1f720f0.d: crates/nwhy/../../examples/communities.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcommunities-6d8dfc86e1f720f0.rmeta: crates/nwhy/../../examples/communities.rs Cargo.toml
+
+crates/nwhy/../../examples/communities.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/communities-7508d0690827e094.d: crates/nwhy/../../examples/communities.rs
+
+/root/repo/target/debug/examples/communities-7508d0690827e094: crates/nwhy/../../examples/communities.rs
+
+crates/nwhy/../../examples/communities.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/partitioning-17cb7992c2d12845.d: crates/nwhy/../../examples/partitioning.rs Cargo.toml
+
+/root/repo/target/debug/examples/libpartitioning-17cb7992c2d12845.rmeta: crates/nwhy/../../examples/partitioning.rs Cargo.toml
+
+crates/nwhy/../../examples/partitioning.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/partitioning-5606da91db869aa0.d: crates/nwhy/../../examples/partitioning.rs
+
+/root/repo/target/debug/examples/partitioning-5606da91db869aa0: crates/nwhy/../../examples/partitioning.rs
+
+crates/nwhy/../../examples/partitioning.rs:

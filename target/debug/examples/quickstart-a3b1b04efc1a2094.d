@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-a3b1b04efc1a2094.d: crates/nwhy/../../examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-a3b1b04efc1a2094: crates/nwhy/../../examples/quickstart.rs
+
+crates/nwhy/../../examples/quickstart.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/quickstart-e66ddc127b13521b.d: crates/nwhy/../../examples/quickstart.rs Cargo.toml
+
+/root/repo/target/debug/examples/libquickstart-e66ddc127b13521b.rmeta: crates/nwhy/../../examples/quickstart.rs Cargo.toml
+
+crates/nwhy/../../examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

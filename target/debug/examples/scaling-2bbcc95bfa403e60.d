@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/scaling-2bbcc95bfa403e60.d: crates/nwhy/../../examples/scaling.rs
+
+/root/repo/target/debug/examples/scaling-2bbcc95bfa403e60: crates/nwhy/../../examples/scaling.rs
+
+crates/nwhy/../../examples/scaling.rs:

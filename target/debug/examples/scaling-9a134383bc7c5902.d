@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/scaling-9a134383bc7c5902.d: crates/nwhy/../../examples/scaling.rs Cargo.toml
+
+/root/repo/target/debug/examples/libscaling-9a134383bc7c5902.rmeta: crates/nwhy/../../examples/scaling.rs Cargo.toml
+
+crates/nwhy/../../examples/scaling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/spectral-a009073fcc39d5c7.d: crates/nwhy/../../examples/spectral.rs Cargo.toml
+
+/root/repo/target/debug/examples/libspectral-a009073fcc39d5c7.rmeta: crates/nwhy/../../examples/spectral.rs Cargo.toml
+
+crates/nwhy/../../examples/spectral.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/spectral-a63d18a51560e3e1.d: crates/nwhy/../../examples/spectral.rs
+
+/root/repo/target/debug/examples/spectral-a63d18a51560e3e1: crates/nwhy/../../examples/spectral.rs
+
+crates/nwhy/../../examples/spectral.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablations-7add928e68d239a7.d: crates/bench/benches/ablations.rs
+
+/root/repo/target/release/deps/ablations-7add928e68d239a7: crates/bench/benches/ablations.rs
+
+crates/bench/benches/ablations.rs:

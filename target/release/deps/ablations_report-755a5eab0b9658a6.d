@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablations_report-755a5eab0b9658a6.d: crates/bench/src/bin/ablations_report.rs
+
+/root/repo/target/release/deps/ablations_report-755a5eab0b9658a6: crates/bench/src/bin/ablations_report.rs
+
+crates/bench/src/bin/ablations_report.rs:

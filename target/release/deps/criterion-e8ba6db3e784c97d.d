@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/criterion-e8ba6db3e784c97d.d: vendor/criterion/src/lib.rs
+
+/root/repo/target/release/deps/criterion-e8ba6db3e784c97d: vendor/criterion/src/lib.rs
+
+vendor/criterion/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/criterion-f0774923d3fbd31b.d: vendor/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-f0774923d3fbd31b.rlib: vendor/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-f0774923d3fbd31b.rmeta: vendor/criterion/src/lib.rs
+
+vendor/criterion/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/cross_representation-788d52cb8a9bcbea.d: crates/nwhy/../../tests/cross_representation.rs
+
+/root/repo/target/release/deps/cross_representation-788d52cb8a9bcbea: crates/nwhy/../../tests/cross_representation.rs
+
+crates/nwhy/../../tests/cross_representation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/extensions-7a4512744906eefd.d: crates/nwhy/../../tests/extensions.rs
+
+/root/repo/target/release/deps/extensions-7a4512744906eefd: crates/nwhy/../../tests/extensions.rs
+
+crates/nwhy/../../tests/extensions.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7_cc_scaling-14eb27c86b4ece89.d: crates/bench/src/bin/fig7_cc_scaling.rs
+
+/root/repo/target/release/deps/fig7_cc_scaling-14eb27c86b4ece89: crates/bench/src/bin/fig7_cc_scaling.rs
+
+crates/bench/src/bin/fig7_cc_scaling.rs:

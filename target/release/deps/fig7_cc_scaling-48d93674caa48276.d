@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7_cc_scaling-48d93674caa48276.d: crates/bench/src/bin/fig7_cc_scaling.rs
+
+/root/repo/target/release/deps/fig7_cc_scaling-48d93674caa48276: crates/bench/src/bin/fig7_cc_scaling.rs
+
+crates/bench/src/bin/fig7_cc_scaling.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig8_bfs_scaling-89d6f8c6cdca57a6.d: crates/bench/src/bin/fig8_bfs_scaling.rs
+
+/root/repo/target/release/deps/fig8_bfs_scaling-89d6f8c6cdca57a6: crates/bench/src/bin/fig8_bfs_scaling.rs
+
+crates/bench/src/bin/fig8_bfs_scaling.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig8_bfs_scaling-eea6b6e944a4b7d1.d: crates/bench/src/bin/fig8_bfs_scaling.rs
+
+/root/repo/target/release/deps/fig8_bfs_scaling-eea6b6e944a4b7d1: crates/bench/src/bin/fig8_bfs_scaling.rs
+
+crates/bench/src/bin/fig8_bfs_scaling.rs:

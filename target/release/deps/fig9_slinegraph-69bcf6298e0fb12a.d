@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig9_slinegraph-69bcf6298e0fb12a.d: crates/bench/src/bin/fig9_slinegraph.rs
+
+/root/repo/target/release/deps/fig9_slinegraph-69bcf6298e0fb12a: crates/bench/src/bin/fig9_slinegraph.rs
+
+crates/bench/src/bin/fig9_slinegraph.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig9_slinegraph-864b6caabcf25190.d: crates/bench/src/bin/fig9_slinegraph.rs
+
+/root/repo/target/release/deps/fig9_slinegraph-864b6caabcf25190: crates/bench/src/bin/fig9_slinegraph.rs
+
+crates/bench/src/bin/fig9_slinegraph.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/hygra-2780ec1c9a4073e2.d: crates/hygra/src/lib.rs crates/hygra/src/bfs.rs crates/hygra/src/cc.rs crates/hygra/src/engine.rs crates/hygra/src/kcore.rs crates/hygra/src/mis.rs crates/hygra/src/pagerank.rs crates/hygra/src/subset.rs
+
+/root/repo/target/release/deps/hygra-2780ec1c9a4073e2: crates/hygra/src/lib.rs crates/hygra/src/bfs.rs crates/hygra/src/cc.rs crates/hygra/src/engine.rs crates/hygra/src/kcore.rs crates/hygra/src/mis.rs crates/hygra/src/pagerank.rs crates/hygra/src/subset.rs
+
+crates/hygra/src/lib.rs:
+crates/hygra/src/bfs.rs:
+crates/hygra/src/cc.rs:
+crates/hygra/src/engine.rs:
+crates/hygra/src/kcore.rs:
+crates/hygra/src/mis.rs:
+crates/hygra/src/pagerank.rs:
+crates/hygra/src/subset.rs:

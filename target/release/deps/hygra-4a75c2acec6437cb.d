@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/hygra-4a75c2acec6437cb.d: crates/hygra/src/lib.rs crates/hygra/src/bfs.rs crates/hygra/src/cc.rs crates/hygra/src/engine.rs crates/hygra/src/kcore.rs crates/hygra/src/mis.rs crates/hygra/src/pagerank.rs crates/hygra/src/subset.rs
+
+/root/repo/target/release/deps/libhygra-4a75c2acec6437cb.rlib: crates/hygra/src/lib.rs crates/hygra/src/bfs.rs crates/hygra/src/cc.rs crates/hygra/src/engine.rs crates/hygra/src/kcore.rs crates/hygra/src/mis.rs crates/hygra/src/pagerank.rs crates/hygra/src/subset.rs
+
+/root/repo/target/release/deps/libhygra-4a75c2acec6437cb.rmeta: crates/hygra/src/lib.rs crates/hygra/src/bfs.rs crates/hygra/src/cc.rs crates/hygra/src/engine.rs crates/hygra/src/kcore.rs crates/hygra/src/mis.rs crates/hygra/src/pagerank.rs crates/hygra/src/subset.rs
+
+crates/hygra/src/lib.rs:
+crates/hygra/src/bfs.rs:
+crates/hygra/src/cc.rs:
+crates/hygra/src/engine.rs:
+crates/hygra/src/kcore.rs:
+crates/hygra/src/mis.rs:
+crates/hygra/src/pagerank.rs:
+crates/hygra/src/subset.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/integration-fe603dbd3458c2b5.d: crates/nwhy/../../tests/integration.rs
+
+/root/repo/target/release/deps/integration-fe603dbd3458c2b5: crates/nwhy/../../tests/integration.rs
+
+crates/nwhy/../../tests/integration.rs:

@@ -1,0 +1,21 @@
+/root/repo/target/release/deps/nwgraph-b13cadc0398457f3.d: crates/nwgraph/src/lib.rs crates/nwgraph/src/algorithms/mod.rs crates/nwgraph/src/algorithms/betweenness.rs crates/nwgraph/src/algorithms/bfs.rs crates/nwgraph/src/algorithms/cc.rs crates/nwgraph/src/algorithms/closeness.rs crates/nwgraph/src/algorithms/kcore.rs crates/nwgraph/src/algorithms/ktruss.rs crates/nwgraph/src/algorithms/mis.rs crates/nwgraph/src/algorithms/pagerank.rs crates/nwgraph/src/algorithms/sssp.rs crates/nwgraph/src/algorithms/triangles.rs crates/nwgraph/src/csr.rs crates/nwgraph/src/edge_list.rs crates/nwgraph/src/neighbor_range.rs crates/nwgraph/src/random.rs crates/nwgraph/src/relabel.rs
+
+/root/repo/target/release/deps/nwgraph-b13cadc0398457f3: crates/nwgraph/src/lib.rs crates/nwgraph/src/algorithms/mod.rs crates/nwgraph/src/algorithms/betweenness.rs crates/nwgraph/src/algorithms/bfs.rs crates/nwgraph/src/algorithms/cc.rs crates/nwgraph/src/algorithms/closeness.rs crates/nwgraph/src/algorithms/kcore.rs crates/nwgraph/src/algorithms/ktruss.rs crates/nwgraph/src/algorithms/mis.rs crates/nwgraph/src/algorithms/pagerank.rs crates/nwgraph/src/algorithms/sssp.rs crates/nwgraph/src/algorithms/triangles.rs crates/nwgraph/src/csr.rs crates/nwgraph/src/edge_list.rs crates/nwgraph/src/neighbor_range.rs crates/nwgraph/src/random.rs crates/nwgraph/src/relabel.rs
+
+crates/nwgraph/src/lib.rs:
+crates/nwgraph/src/algorithms/mod.rs:
+crates/nwgraph/src/algorithms/betweenness.rs:
+crates/nwgraph/src/algorithms/bfs.rs:
+crates/nwgraph/src/algorithms/cc.rs:
+crates/nwgraph/src/algorithms/closeness.rs:
+crates/nwgraph/src/algorithms/kcore.rs:
+crates/nwgraph/src/algorithms/ktruss.rs:
+crates/nwgraph/src/algorithms/mis.rs:
+crates/nwgraph/src/algorithms/pagerank.rs:
+crates/nwgraph/src/algorithms/sssp.rs:
+crates/nwgraph/src/algorithms/triangles.rs:
+crates/nwgraph/src/csr.rs:
+crates/nwgraph/src/edge_list.rs:
+crates/nwgraph/src/neighbor_range.rs:
+crates/nwgraph/src/random.rs:
+crates/nwgraph/src/relabel.rs:

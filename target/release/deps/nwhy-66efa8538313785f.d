@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/nwhy-66efa8538313785f.d: crates/nwhy/src/lib.rs crates/nwhy/src/session.rs
+
+/root/repo/target/release/deps/libnwhy-66efa8538313785f.rlib: crates/nwhy/src/lib.rs crates/nwhy/src/session.rs
+
+/root/repo/target/release/deps/libnwhy-66efa8538313785f.rmeta: crates/nwhy/src/lib.rs crates/nwhy/src/session.rs
+
+crates/nwhy/src/lib.rs:
+crates/nwhy/src/session.rs:

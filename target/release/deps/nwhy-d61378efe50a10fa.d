@@ -1,0 +1,6 @@
+/root/repo/target/release/deps/nwhy-d61378efe50a10fa.d: crates/nwhy/src/lib.rs crates/nwhy/src/session.rs
+
+/root/repo/target/release/deps/nwhy-d61378efe50a10fa: crates/nwhy/src/lib.rs crates/nwhy/src/session.rs
+
+crates/nwhy/src/lib.rs:
+crates/nwhy/src/session.rs:

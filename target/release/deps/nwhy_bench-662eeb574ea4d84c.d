@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/nwhy_bench-662eeb574ea4d84c.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libnwhy_bench-662eeb574ea4d84c.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libnwhy_bench-662eeb574ea4d84c.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

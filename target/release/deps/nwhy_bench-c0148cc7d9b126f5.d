@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/nwhy_bench-c0148cc7d9b126f5.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/nwhy_bench-c0148cc7d9b126f5: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/nwhy_cli-38eeb3fd19221655.d: crates/nwhy/src/bin/nwhy-cli.rs
+
+/root/repo/target/release/deps/nwhy_cli-38eeb3fd19221655: crates/nwhy/src/bin/nwhy-cli.rs
+
+crates/nwhy/src/bin/nwhy-cli.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/nwhy_cli-90549ca14801cc1e.d: crates/nwhy/src/bin/nwhy-cli.rs
+
+/root/repo/target/release/deps/nwhy_cli-90549ca14801cc1e: crates/nwhy/src/bin/nwhy-cli.rs
+
+crates/nwhy/src/bin/nwhy-cli.rs:

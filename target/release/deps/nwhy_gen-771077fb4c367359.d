@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/nwhy_gen-771077fb4c367359.d: crates/gen/src/lib.rs crates/gen/src/communities.rs crates/gen/src/powerlaw.rs crates/gen/src/profiles.rs crates/gen/src/rng.rs crates/gen/src/sbm.rs crates/gen/src/uniform.rs
+
+/root/repo/target/release/deps/libnwhy_gen-771077fb4c367359.rlib: crates/gen/src/lib.rs crates/gen/src/communities.rs crates/gen/src/powerlaw.rs crates/gen/src/profiles.rs crates/gen/src/rng.rs crates/gen/src/sbm.rs crates/gen/src/uniform.rs
+
+/root/repo/target/release/deps/libnwhy_gen-771077fb4c367359.rmeta: crates/gen/src/lib.rs crates/gen/src/communities.rs crates/gen/src/powerlaw.rs crates/gen/src/profiles.rs crates/gen/src/rng.rs crates/gen/src/sbm.rs crates/gen/src/uniform.rs
+
+crates/gen/src/lib.rs:
+crates/gen/src/communities.rs:
+crates/gen/src/powerlaw.rs:
+crates/gen/src/profiles.rs:
+crates/gen/src/rng.rs:
+crates/gen/src/sbm.rs:
+crates/gen/src/uniform.rs:

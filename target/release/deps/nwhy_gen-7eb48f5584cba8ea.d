@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/nwhy_gen-7eb48f5584cba8ea.d: crates/gen/src/lib.rs crates/gen/src/communities.rs crates/gen/src/powerlaw.rs crates/gen/src/profiles.rs crates/gen/src/rng.rs crates/gen/src/sbm.rs crates/gen/src/uniform.rs
+
+/root/repo/target/release/deps/nwhy_gen-7eb48f5584cba8ea: crates/gen/src/lib.rs crates/gen/src/communities.rs crates/gen/src/powerlaw.rs crates/gen/src/profiles.rs crates/gen/src/rng.rs crates/gen/src/sbm.rs crates/gen/src/uniform.rs
+
+crates/gen/src/lib.rs:
+crates/gen/src/communities.rs:
+crates/gen/src/powerlaw.rs:
+crates/gen/src/profiles.rs:
+crates/gen/src/rng.rs:
+crates/gen/src/sbm.rs:
+crates/gen/src/uniform.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/nwhy_io-e969c510ad55fa93.d: crates/io/src/lib.rs crates/io/src/adjoin_reader.rs crates/io/src/binary.rs crates/io/src/dot.rs crates/io/src/error.rs crates/io/src/hyperedge_list.rs crates/io/src/matrix_market.rs crates/io/src/tsv.rs
+
+/root/repo/target/release/deps/libnwhy_io-e969c510ad55fa93.rlib: crates/io/src/lib.rs crates/io/src/adjoin_reader.rs crates/io/src/binary.rs crates/io/src/dot.rs crates/io/src/error.rs crates/io/src/hyperedge_list.rs crates/io/src/matrix_market.rs crates/io/src/tsv.rs
+
+/root/repo/target/release/deps/libnwhy_io-e969c510ad55fa93.rmeta: crates/io/src/lib.rs crates/io/src/adjoin_reader.rs crates/io/src/binary.rs crates/io/src/dot.rs crates/io/src/error.rs crates/io/src/hyperedge_list.rs crates/io/src/matrix_market.rs crates/io/src/tsv.rs
+
+crates/io/src/lib.rs:
+crates/io/src/adjoin_reader.rs:
+crates/io/src/binary.rs:
+crates/io/src/dot.rs:
+crates/io/src/error.rs:
+crates/io/src/hyperedge_list.rs:
+crates/io/src/matrix_market.rs:
+crates/io/src/tsv.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/nwhy_util-30099c3e4b1bab3f.d: crates/util/src/lib.rs crates/util/src/atomics.rs crates/util/src/bitmap.rs crates/util/src/fxhash.rs crates/util/src/partition.rs crates/util/src/pool.rs crates/util/src/prefix.rs crates/util/src/timer.rs crates/util/src/workq.rs
+
+/root/repo/target/release/deps/nwhy_util-30099c3e4b1bab3f: crates/util/src/lib.rs crates/util/src/atomics.rs crates/util/src/bitmap.rs crates/util/src/fxhash.rs crates/util/src/partition.rs crates/util/src/pool.rs crates/util/src/prefix.rs crates/util/src/timer.rs crates/util/src/workq.rs
+
+crates/util/src/lib.rs:
+crates/util/src/atomics.rs:
+crates/util/src/bitmap.rs:
+crates/util/src/fxhash.rs:
+crates/util/src/partition.rs:
+crates/util/src/pool.rs:
+crates/util/src/prefix.rs:
+crates/util/src/timer.rs:
+crates/util/src/workq.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/pipeline-753ef23d1ee1c90b.d: crates/nwhy/../../tests/pipeline.rs
+
+/root/repo/target/release/deps/pipeline-753ef23d1ee1c90b: crates/nwhy/../../tests/pipeline.rs
+
+crates/nwhy/../../tests/pipeline.rs:

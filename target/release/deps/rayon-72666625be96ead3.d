@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/rayon-72666625be96ead3.d: vendor/rayon/src/lib.rs vendor/rayon/src/iter.rs vendor/rayon/src/pool.rs vendor/rayon/src/slice.rs
+
+/root/repo/target/release/deps/rayon-72666625be96ead3: vendor/rayon/src/lib.rs vendor/rayon/src/iter.rs vendor/rayon/src/pool.rs vendor/rayon/src/slice.rs
+
+vendor/rayon/src/lib.rs:
+vendor/rayon/src/iter.rs:
+vendor/rayon/src/pool.rs:
+vendor/rayon/src/slice.rs:

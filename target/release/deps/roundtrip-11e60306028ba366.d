@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/roundtrip-11e60306028ba366.d: crates/io/tests/roundtrip.rs
+
+/root/repo/target/release/deps/roundtrip-11e60306028ba366: crates/io/tests/roundtrip.rs
+
+crates/io/tests/roundtrip.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/slinegraph-f62744ba44cb4c69.d: crates/bench/benches/slinegraph.rs
+
+/root/repo/target/release/deps/slinegraph-f62744ba44cb4c69: crates/bench/benches/slinegraph.rs
+
+crates/bench/benches/slinegraph.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/smetrics_props-4356da74bad9a693.d: crates/core/tests/smetrics_props.rs
+
+/root/repo/target/release/deps/smetrics_props-4356da74bad9a693: crates/core/tests/smetrics_props.rs
+
+crates/core/tests/smetrics_props.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/substrate-04512506c9f4db57.d: crates/bench/benches/substrate.rs
+
+/root/repo/target/release/deps/substrate-04512506c9f4db57: crates/bench/benches/substrate.rs
+
+crates/bench/benches/substrate.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-113a6ca94a0d4330.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-113a6ca94a0d4330: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-98adc8ce4eeeae74.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-98adc8ce4eeeae74: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/traversal-7ed06f55106c3383.d: crates/bench/benches/traversal.rs
+
+/root/repo/target/release/deps/traversal-7ed06f55106c3383: crates/bench/benches/traversal.rs
+
+crates/bench/benches/traversal.rs:

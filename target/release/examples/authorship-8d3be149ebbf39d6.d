@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/authorship-8d3be149ebbf39d6.d: crates/nwhy/../../examples/authorship.rs
+
+/root/repo/target/release/examples/authorship-8d3be149ebbf39d6: crates/nwhy/../../examples/authorship.rs
+
+crates/nwhy/../../examples/authorship.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/communities-735de48578f6c81a.d: crates/nwhy/../../examples/communities.rs
+
+/root/repo/target/release/examples/communities-735de48578f6c81a: crates/nwhy/../../examples/communities.rs
+
+crates/nwhy/../../examples/communities.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/partitioning-e0584653664e7e51.d: crates/nwhy/../../examples/partitioning.rs
+
+/root/repo/target/release/examples/partitioning-e0584653664e7e51: crates/nwhy/../../examples/partitioning.rs
+
+crates/nwhy/../../examples/partitioning.rs:

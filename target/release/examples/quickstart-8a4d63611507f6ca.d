@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-8a4d63611507f6ca.d: crates/nwhy/../../examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-8a4d63611507f6ca: crates/nwhy/../../examples/quickstart.rs
+
+crates/nwhy/../../examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/scaling-66ce29b7c943988f.d: crates/nwhy/../../examples/scaling.rs
+
+/root/repo/target/release/examples/scaling-66ce29b7c943988f: crates/nwhy/../../examples/scaling.rs
+
+crates/nwhy/../../examples/scaling.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/spectral-052448a791f4d4b7.d: crates/nwhy/../../examples/spectral.rs
+
+/root/repo/target/release/examples/spectral-052448a791f4d4b7: crates/nwhy/../../examples/spectral.rs
+
+crates/nwhy/../../examples/spectral.rs:

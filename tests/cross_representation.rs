@@ -12,7 +12,7 @@ use nwhy::core::algorithms::{
 };
 use nwhy::core::slinegraph::queue_single::queue_hashmap;
 use nwhy::core::slinegraph::queue_two_phase::queue_intersection;
-use nwhy::core::{slinegraph_edges, AdjoinGraph, Algorithm, BuildOptions, Hypergraph, Relabel};
+use nwhy::core::{AdjoinGraph, Algorithm, BuildOptions, Hypergraph, Relabel, SLineBuilder};
 use nwhy::gen::profiles::TABLE1;
 use nwhy::util::partition::Strategy;
 
@@ -36,8 +36,14 @@ fn bfs_agrees_across_representations_and_frameworks() {
         let bu = hyper_bfs_bottom_up(&h, src);
         let ad = adjoin_bfs(&a, src);
         let hy = hygra::hygra_bfs(&h, src);
-        assert_eq!(td.edge_levels, bu.edge_levels, "{name}: top-down vs bottom-up");
-        assert_eq!(td.edge_levels, ad.edge_levels, "{name}: bipartite vs adjoin");
+        assert_eq!(
+            td.edge_levels, bu.edge_levels,
+            "{name}: top-down vs bottom-up"
+        );
+        assert_eq!(
+            td.edge_levels, ad.edge_levels,
+            "{name}: bipartite vs adjoin"
+        );
         assert_eq!(td.edge_levels, hy.edge_levels, "{name}: NWHy vs Hygra");
         assert_eq!(td.node_levels, ad.node_levels, "{name}: node levels");
         assert_eq!(td.node_levels, hy.node_levels, "{name}: node levels hygra");
@@ -52,8 +58,16 @@ fn cc_agrees_across_representations_and_frameworks() {
         let aff = adjoin_cc_afforest(&a);
         let lp = adjoin_cc_label_propagation(&a);
         let hy = hygra::hygra_cc(&h);
-        assert_eq!(exact.num_components(), aff.num_components(), "{name}: afforest");
-        assert_eq!(exact.num_components(), lp.num_components(), "{name}: adjoin lp");
+        assert_eq!(
+            exact.num_components(),
+            aff.num_components(),
+            "{name}: afforest"
+        );
+        assert_eq!(
+            exact.num_components(),
+            lp.num_components(),
+            "{name}: adjoin lp"
+        );
         assert_eq!(exact.num_components(), hy.num_components(), "{name}: hygra");
     }
 }
@@ -62,14 +76,13 @@ fn cc_agrees_across_representations_and_frameworks() {
 fn slinegraph_algorithms_agree_on_twins() {
     for (name, h) in twins() {
         for s in [1usize, 2, 4] {
-            let reference =
-                slinegraph_edges(&h, s, Algorithm::Hashmap, &BuildOptions::default());
+            let reference = SLineBuilder::new(&h).s(s).edges();
             for algo in [
                 Algorithm::Intersection,
                 Algorithm::QueueHashmap,
                 Algorithm::QueueIntersection,
             ] {
-                let got = slinegraph_edges(&h, s, algo, &BuildOptions::default());
+                let got = SLineBuilder::new(&h).s(s).algorithm(algo).edges();
                 assert_eq!(got, reference, "{name} s={s} {}", algo.name());
             }
         }
@@ -82,7 +95,7 @@ fn queue_algorithms_run_on_adjoin_without_remapping() {
         let a = AdjoinGraph::from_hypergraph(&h);
         let queue: Vec<u32> = (0..a.num_hyperedges() as u32).collect();
         for s in [1usize, 2] {
-            let bi = slinegraph_edges(&h, s, Algorithm::Hashmap, &BuildOptions::default());
+            let bi = SLineBuilder::new(&h).s(s).edges();
             let via_adjoin_1 = queue_hashmap(&a, &queue, s, Strategy::AUTO);
             let via_adjoin_2 = queue_intersection(&a, &queue, s, Strategy::AUTO);
             assert_eq!(via_adjoin_1, bi, "{name} s={s} alg1 on adjoin");
@@ -94,7 +107,7 @@ fn queue_algorithms_run_on_adjoin_without_remapping() {
 #[test]
 fn relabel_and_strategy_do_not_change_results() {
     for (name, h) in twins().into_iter().take(3) {
-        let reference = slinegraph_edges(&h, 2, Algorithm::Hashmap, &BuildOptions::default());
+        let reference = SLineBuilder::new(&h).s(2).edges();
         for relabel in [Relabel::Ascending, Relabel::Descending] {
             for strategy in [
                 Strategy::Blocked { num_bins: 8 },
@@ -102,13 +115,54 @@ fn relabel_and_strategy_do_not_change_results() {
             ] {
                 let opts = BuildOptions { strategy, relabel };
                 for algo in [Algorithm::Hashmap, Algorithm::QueueHashmap] {
-                    let got = slinegraph_edges(&h, 2, algo, &opts);
+                    let got = SLineBuilder::new(&h)
+                        .s(2)
+                        .algorithm(algo)
+                        .options(&opts)
+                        .edges();
                     assert_eq!(
-                        got, reference,
+                        got,
+                        reference,
                         "{name} {relabel:?} {strategy:?} {}",
                         algo.name()
                     );
                 }
+            }
+        }
+    }
+}
+
+#[test]
+fn builder_agrees_across_representations_for_every_algorithm() {
+    // the tentpole guarantee: one generic pipeline, any representation.
+    // For every construction algorithm and s ∈ {1..4}, building from the
+    // bi-adjacency and from the adjoin graph must give identical
+    // canonical edge sets — with and without degree relabeling.
+    for (name, h) in twins().into_iter().take(4) {
+        let a = AdjoinGraph::from_hypergraph(&h);
+        for s in 1..=4usize {
+            let reference = SLineBuilder::new(&h).s(s).edges();
+            for algo in Algorithm::ALL {
+                let from_bi = SLineBuilder::new(&h).s(s).algorithm(algo).edges();
+                let from_adjoin = SLineBuilder::new(&a).s(s).algorithm(algo).edges();
+                assert_eq!(from_bi, reference, "{name} s={s} {} on bi", algo.name());
+                assert_eq!(
+                    from_adjoin,
+                    reference,
+                    "{name} s={s} {} on adjoin",
+                    algo.name()
+                );
+                let relabeled = SLineBuilder::new(&a)
+                    .s(s)
+                    .algorithm(algo)
+                    .relabel(Relabel::Descending)
+                    .edges();
+                assert_eq!(
+                    relabeled,
+                    reference,
+                    "{name} s={s} {} relabeled on adjoin",
+                    algo.name()
+                );
             }
         }
     }

@@ -10,7 +10,7 @@ use nwhy::core::slinegraph::weighted::slinegraph_weighted_edges;
 use nwhy::core::transform::{
     collapse_duplicate_edges, induced_subhypergraph, restrict_to_toplexes,
 };
-use nwhy::core::{slinegraph_edges, Algorithm, BuildOptions};
+use nwhy::core::SLineBuilder;
 use nwhy::gen::profiles::profile_by_name;
 use nwhy::session::NWHypergraph;
 use nwhy::util::partition::Strategy;
@@ -19,7 +19,7 @@ use nwhy::util::partition::Strategy;
 fn weighted_linegraph_agrees_with_unweighted_on_twins() {
     let h = profile_by_name("com-Orkut").unwrap().generate(50_000, 5);
     for s in [1usize, 2, 3] {
-        let unweighted = slinegraph_edges(&h, s, Algorithm::Hashmap, &BuildOptions::default());
+        let unweighted = SLineBuilder::new(&h).s(s).edges();
         let weighted = slinegraph_weighted_edges(&h, s, Strategy::AUTO);
         assert_eq!(weighted.len(), unweighted.len(), "s={s}");
         for (&(a, b), &(wa, wb, o)) in unweighted.iter().zip(&weighted) {
@@ -59,8 +59,8 @@ fn transformations_preserve_slinegraph_semantics() {
     // collapsing duplicates must not create or destroy s-overlaps among
     // surviving representatives
     let (c, classes) = collapse_duplicate_edges(&h);
-    let collapsed = slinegraph_edges(&c, 2, Algorithm::Hashmap, &BuildOptions::default());
-    let original = slinegraph_edges(&h, 2, Algorithm::Hashmap, &BuildOptions::default());
+    let collapsed = SLineBuilder::new(&c).s(2).edges();
+    let original = SLineBuilder::new(&h).s(2).edges();
     // map collapsed pairs back through representatives; they must exist
     for &(a, b) in &collapsed {
         let ra = classes[a as usize][0];

@@ -2,8 +2,8 @@
 //! plus failure-injection around malformed inputs and degenerate
 //! hypergraphs.
 
-use nwhy::core::clique::validate_clique_expansion;
 use nwhy::core::algorithms::toplex::validate_toplexes;
+use nwhy::core::clique::validate_clique_expansion;
 use nwhy::gen::communities::{planted_communities, CommunityParams};
 use nwhy::gen::uniform_random;
 use nwhy::io::{read_hyperedge_list, read_matrix_market};
@@ -85,13 +85,13 @@ fn clique_side_equals_dual_line_side() {
 #[test]
 fn malformed_matrix_market_inputs_error_cleanly() {
     let cases = [
-        "",                                                       // empty
-        "garbage\n1 1 1\n",                                       // no header
-        "%%MatrixMarket matrix coordinate pattern general\n",     // no dims
-        "%%MatrixMarket matrix coordinate pattern general\nx y z\n", // bad dims
-        "%%MatrixMarket matrix coordinate pattern general\n2 2 1\n5 1\n", // OOB
-        "%%MatrixMarket matrix coordinate pattern general\n2 2 3\n1 1\n", // count short
-        "%%MatrixMarket matrix array pattern general\n2 2\n",     // dense
+        "",                                                                   // empty
+        "garbage\n1 1 1\n",                                                   // no header
+        "%%MatrixMarket matrix coordinate pattern general\n",                 // no dims
+        "%%MatrixMarket matrix coordinate pattern general\nx y z\n",          // bad dims
+        "%%MatrixMarket matrix coordinate pattern general\n2 2 1\n5 1\n",     // OOB
+        "%%MatrixMarket matrix coordinate pattern general\n2 2 3\n1 1\n",     // count short
+        "%%MatrixMarket matrix array pattern general\n2 2\n",                 // dense
         "%%MatrixMarket matrix coordinate complex general\n1 1 1\n1 1 1 1\n", // complex
     ];
     for (i, case) in cases.iter().enumerate() {
@@ -112,13 +112,11 @@ fn malformed_hyperedge_lists_error_cleanly() {
 #[test]
 fn degenerate_hypergraphs_do_not_break_queries() {
     // empty hyperedges, isolated nodes, singleton edges, duplicates
-    let h = nwhy::core::Hypergraph::from_biedgelist(
-        &nwhy::core::BiEdgeList::from_incidences(
-            5,
-            6,
-            vec![(0, 0), (0, 1), (2, 0), (2, 1), (3, 5)],
-        ),
-    );
+    let h = nwhy::core::Hypergraph::from_biedgelist(&nwhy::core::BiEdgeList::from_incidences(
+        5,
+        6,
+        vec![(0, 0), (0, 1), (2, 0), (2, 1), (3, 5)],
+    ));
     let hg = NWHypergraph::from_hypergraph(h);
     // e1 and e4 are empty; node 2,3,4 isolated
     for s in 1..=3 {
@@ -137,9 +135,6 @@ fn s_larger_than_max_overlap_yields_isolated_line_graph() {
     let hg = NWHypergraph::from_hypergraph(h);
     let lg = hg.s_linegraph(100, true);
     assert_eq!(lg.graph().num_edges(), 0);
-    assert_eq!(
-        lg.s_connected_components(),
-        (0..30u32).collect::<Vec<_>>()
-    );
+    assert_eq!(lg.s_connected_components(), (0..30u32).collect::<Vec<_>>());
     assert_eq!(lg.s_distance(0, 1), None);
 }

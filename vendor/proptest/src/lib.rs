@@ -1,0 +1,102 @@
+//! Offline stand-in for [proptest](https://docs.rs/proptest): deterministic
+//! random-input testing with the strategy combinators this workspace uses.
+//!
+//! Differences from real proptest, by design:
+//! - no shrinking — a failing case prints its inputs verbatim;
+//! - the RNG is seeded from the test name, so every run generates the same
+//!   case sequence (reproducible without a failure-persistence file);
+//! - `prop_assert*` are plain `assert*` wrappers (they panic rather than
+//!   return `Err`, which the harness treats identically).
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tokens:tt)*) => { assert!($($tokens)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tokens:tt)*) => { assert_eq!($($tokens)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tokens:tt)*) => { assert_ne!($($tokens)*) };
+}
+
+/// Expands each `fn name(arg in strategy, ...) { body }` into a `#[test]`
+/// that runs `body` over `config.cases` generated inputs, reporting the
+/// failing inputs (via `Debug`) before re-raising the panic.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($config:expr)) => {};
+    (($config:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+     $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let config = $config;
+            let mut rng = $crate::test_runner::TestRng::for_test(stringify!($name));
+            for case in 0..config.cases {
+                $(let $arg = $crate::strategy::Strategy::generate(&$strat, &mut rng);)*
+                let case_desc = {
+                    let mut s = String::new();
+                    $(s.push_str(&format!("  {} = {:?}\n", stringify!($arg), &$arg));)*
+                    s
+                };
+                let result = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(
+                    || -> $crate::test_runner::TestCaseResult {
+                        $body
+                        #[allow(unreachable_code)]
+                        Ok(())
+                    },
+                ));
+                match result {
+                    Ok(Ok(())) => {}
+                    Ok(Err(e)) => {
+                        eprintln!(
+                            "proptest: {} failed at case {}/{} with inputs:\n{}",
+                            stringify!($name),
+                            case + 1,
+                            config.cases,
+                            case_desc
+                        );
+                        panic!("test case failed: {e}");
+                    }
+                    Err(payload) => {
+                        eprintln!(
+                            "proptest: {} failed at case {}/{} with inputs:\n{}",
+                            stringify!($name),
+                            case + 1,
+                            config.cases,
+                            case_desc
+                        );
+                        ::std::panic::resume_unwind(payload);
+                    }
+                }
+            }
+        }
+        $crate::__proptest_impl! { ($config) $($rest)* }
+    };
+}

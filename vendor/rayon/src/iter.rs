@@ -1,0 +1,334 @@
+//! The parallel-iterator surface: an eagerly materialized item vector whose
+//! combinators fan work out over the shared pool in ordered chunks.
+
+use crate::pool::{current_num_threads, run_indexed};
+use std::cell::UnsafeCell;
+
+/// A slot written by exactly one claimed chunk index; the claim protocol in
+/// `run_indexed` is what makes sharing these across threads sound.
+struct Slot<T>(UnsafeCell<Option<T>>);
+
+unsafe impl<T: Send> Sync for Slot<T> {}
+
+/// How many chunks to split `len` items into: enough for load balance
+/// (4 per thread, like rayon's depth-based splitting), never more than the
+/// item count.
+fn chunk_count(len: usize) -> usize {
+    let threads = current_num_threads();
+    if threads <= 1 || len < 2 {
+        1
+    } else {
+        len.min(threads * 4)
+    }
+}
+
+/// Splits `items` into `chunks` contiguous runs, applies `f` to each run on
+/// the pool, and returns the per-run outputs in order.
+fn map_chunks<T, R, F>(items: Vec<T>, chunks: usize, f: F) -> Vec<Vec<R>>
+where
+    T: Send,
+    R: Send,
+    F: Fn(Vec<T>) -> Vec<R> + Sync,
+{
+    if chunks <= 1 {
+        return vec![f(items)];
+    }
+    let len = items.len();
+    let chunk_len = len.div_ceil(chunks);
+    let mut inputs = Vec::with_capacity(chunks);
+    let mut rest = items;
+    while !rest.is_empty() {
+        let tail = rest.split_off(chunk_len.min(rest.len()));
+        inputs.push(Slot(UnsafeCell::new(Some(std::mem::replace(
+            &mut rest, tail,
+        )))));
+    }
+    let outputs: Vec<Slot<Vec<R>>> = (0..inputs.len())
+        .map(|_| Slot(UnsafeCell::new(None)))
+        .collect();
+    run_indexed(inputs.len(), |i| {
+        // Sole accessor of slot `i`: indices are claimed exactly once.
+        let chunk = unsafe { (*inputs[i].0.get()).take().unwrap() };
+        let out = f(chunk);
+        unsafe { *outputs[i].0.get() = Some(out) };
+    });
+    outputs
+        .into_iter()
+        .map(|s| s.0.into_inner().expect("chunk completed"))
+        .collect()
+}
+
+/// The one concrete parallel iterator: items are materialized up front and
+/// each combinator is a parallel barrier over them, preserving order.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    pub(crate) fn from_vec(items: Vec<T>) -> Self {
+        ParIter { items }
+    }
+}
+
+/// Types convertible into a [`ParIter`]. The `Iter` indirection of real
+/// rayon is collapsed: everything converts to the same concrete type.
+pub trait IntoParallelIterator {
+    type Item: Send;
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for ParIter<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        self
+    }
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter::from_vec(self)
+    }
+}
+
+impl<'a, T: Sync> IntoParallelIterator for &'a [T] {
+    type Item = &'a T;
+    fn into_par_iter(self) -> ParIter<&'a T> {
+        ParIter::from_vec(self.iter().collect())
+    }
+}
+
+impl<'a, T: Sync> IntoParallelIterator for &'a Vec<T> {
+    type Item = &'a T;
+    fn into_par_iter(self) -> ParIter<&'a T> {
+        ParIter::from_vec(self.iter().collect())
+    }
+}
+
+impl<'a, T: Send> IntoParallelIterator for &'a mut [T] {
+    type Item = &'a mut T;
+    fn into_par_iter(self) -> ParIter<&'a mut T> {
+        ParIter::from_vec(self.iter_mut().collect())
+    }
+}
+
+impl<I: Send> IntoParallelIterator for std::ops::Range<I>
+where
+    std::ops::Range<I>: Iterator<Item = I>,
+{
+    type Item = I;
+    fn into_par_iter(self) -> ParIter<I> {
+        ParIter::from_vec(self.collect())
+    }
+}
+
+/// rayon's `ParallelIterator`, reduced to the combinators this workspace
+/// uses. Provided methods are defined in terms of [`into_vec`], so `impl
+/// ParallelIterator` return types keep working.
+///
+/// [`into_vec`]: ParallelIterator::into_vec
+pub trait ParallelIterator: Sized + Send {
+    type Item: Send;
+
+    /// Materializes the items in order.
+    fn into_vec(self) -> Vec<Self::Item>;
+
+    fn map<R, F>(self, f: F) -> ParIter<R>
+    where
+        R: Send,
+        F: Fn(Self::Item) -> R + Sync + Send,
+    {
+        let items = self.into_vec();
+        let chunks = chunk_count(items.len());
+        let out = map_chunks(items, chunks, |c| c.into_iter().map(&f).collect());
+        ParIter::from_vec(out.into_iter().flatten().collect())
+    }
+
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Sync + Send,
+    {
+        let items = self.into_vec();
+        let chunks = chunk_count(items.len());
+        map_chunks(items, chunks, |c| {
+            c.into_iter().for_each(&f);
+            Vec::<()>::new()
+        });
+    }
+
+    fn filter<P>(self, predicate: P) -> ParIter<Self::Item>
+    where
+        P: Fn(&Self::Item) -> bool + Sync + Send,
+    {
+        let items = self.into_vec();
+        let chunks = chunk_count(items.len());
+        let out = map_chunks(items, chunks, |c| {
+            c.into_iter().filter(&predicate).collect()
+        });
+        ParIter::from_vec(out.into_iter().flatten().collect())
+    }
+
+    fn filter_map<R, F>(self, f: F) -> ParIter<R>
+    where
+        R: Send,
+        F: Fn(Self::Item) -> Option<R> + Sync + Send,
+    {
+        let items = self.into_vec();
+        let chunks = chunk_count(items.len());
+        let out = map_chunks(items, chunks, |c| c.into_iter().filter_map(&f).collect());
+        ParIter::from_vec(out.into_iter().flatten().collect())
+    }
+
+    /// `flat_map` whose closure yields a *serial* iterator per item.
+    fn flat_map_iter<I, F>(self, f: F) -> ParIter<I::Item>
+    where
+        I: IntoIterator,
+        I::Item: Send,
+        F: Fn(Self::Item) -> I + Sync + Send,
+    {
+        let items = self.into_vec();
+        let chunks = chunk_count(items.len());
+        let out = map_chunks(items, chunks, |c| c.into_iter().flat_map(&f).collect());
+        ParIter::from_vec(out.into_iter().flatten().collect())
+    }
+
+    fn flat_map<B, F>(self, f: F) -> ParIter<B::Item>
+    where
+        B: IntoParallelIterator,
+        F: Fn(Self::Item) -> B + Sync + Send,
+    {
+        let items = self.into_vec();
+        let chunks = chunk_count(items.len());
+        let out = map_chunks(items, chunks, |c| {
+            c.into_iter()
+                .flat_map(|t| f(t).into_par_iter().into_vec())
+                .collect()
+        });
+        ParIter::from_vec(out.into_iter().flatten().collect())
+    }
+
+    /// rayon fold semantics: each chunk folds into its own accumulator and
+    /// the accumulators come back as a new parallel iterator.
+    fn fold<T2, ID, F>(self, identity: ID, fold_op: F) -> ParIter<T2>
+    where
+        T2: Send,
+        ID: Fn() -> T2 + Sync + Send,
+        F: Fn(T2, Self::Item) -> T2 + Sync + Send,
+    {
+        let items = self.into_vec();
+        let chunks = chunk_count(items.len());
+        let out = map_chunks(items, chunks, |c| {
+            vec![c.into_iter().fold(identity(), &fold_op)]
+        });
+        ParIter::from_vec(out.into_iter().flatten().collect())
+    }
+
+    fn reduce<ID, OP>(self, identity: ID, op: OP) -> Self::Item
+    where
+        ID: Fn() -> Self::Item + Sync + Send,
+        OP: Fn(Self::Item, Self::Item) -> Self::Item + Sync + Send,
+    {
+        self.into_vec().into_iter().fold(identity(), op)
+    }
+
+    fn sum<S>(self) -> S
+    where
+        S: Send + std::iter::Sum<Self::Item>,
+    {
+        self.into_vec().into_iter().sum()
+    }
+
+    fn count(self) -> usize {
+        self.into_vec().len()
+    }
+
+    fn min(self) -> Option<Self::Item>
+    where
+        Self::Item: Ord,
+    {
+        self.into_vec().into_iter().min()
+    }
+
+    fn max(self) -> Option<Self::Item>
+    where
+        Self::Item: Ord,
+    {
+        self.into_vec().into_iter().max()
+    }
+
+    fn all<P>(self, predicate: P) -> bool
+    where
+        P: Fn(Self::Item) -> bool + Sync + Send,
+    {
+        self.into_vec().into_iter().all(predicate)
+    }
+
+    fn any<P>(self, predicate: P) -> bool
+    where
+        P: Fn(Self::Item) -> bool + Sync + Send,
+    {
+        self.into_vec().into_iter().any(predicate)
+    }
+
+    fn collect<C>(self) -> C
+    where
+        C: FromIterator<Self::Item>,
+    {
+        self.into_vec().into_iter().collect()
+    }
+
+    fn copied<'a, T>(self) -> ParIter<T>
+    where
+        T: 'a + Copy + Send,
+        Self: ParallelIterator<Item = &'a T>,
+    {
+        ParIter::from_vec(self.into_vec().into_iter().copied().collect())
+    }
+
+    fn cloned<'a, T>(self) -> ParIter<T>
+    where
+        T: 'a + Clone + Send,
+        Self: ParallelIterator<Item = &'a T>,
+    {
+        ParIter::from_vec(self.into_vec().into_iter().cloned().collect())
+    }
+}
+
+impl<T: Send> ParallelIterator for ParIter<T> {
+    type Item = T;
+    fn into_vec(self) -> Vec<T> {
+        self.items
+    }
+}
+
+/// Combinators that need a known length / stable indexing.
+pub trait IndexedParallelIterator: ParallelIterator {
+    fn enumerate(self) -> ParIter<(usize, Self::Item)> {
+        ParIter::from_vec(self.into_vec().into_iter().enumerate().collect())
+    }
+
+    fn zip<Z>(self, other: Z) -> ParIter<(Self::Item, Z::Item)>
+    where
+        Z: IntoParallelIterator,
+    {
+        let a = self.into_vec();
+        let b = other.into_par_iter().into_vec();
+        ParIter::from_vec(a.into_iter().zip(b).collect())
+    }
+
+    fn with_min_len(self, _min: usize) -> Self {
+        self
+    }
+
+    fn len(&self) -> usize;
+
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T: Send> IndexedParallelIterator for ParIter<T> {
+    fn len(&self) -> usize {
+        self.items.len()
+    }
+}

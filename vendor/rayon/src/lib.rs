@@ -1,0 +1,80 @@
+//! Offline stand-in for [rayon](https://docs.rs/rayon) providing the subset
+//! of the API this workspace uses, with the same observable semantics:
+//!
+//! - ordered parallel iterators over ranges, vectors, and slices, with
+//!   rayon-style `fold` (per-chunk accumulators) and `reduce`;
+//! - slice extensions (`par_iter`, `par_chunks[_mut]`, `par_sort*`);
+//! - `ThreadPoolBuilder` / `ThreadPool::install`, which pins
+//!   [`current_num_threads`] for the installed closure.
+//!
+//! Work runs on a lazily spawned shared worker pool (claim-based batch
+//! scheduling, submitter participates), so parallel speedups are real —
+//! just without rayon's work-stealing depth splitting.
+
+pub mod iter;
+mod pool;
+pub mod slice;
+
+pub use pool::{current_num_threads, ThreadPool, ThreadPoolBuildError, ThreadPoolBuilder};
+
+pub mod prelude {
+    pub use crate::iter::{IndexedParallelIterator, IntoParallelIterator, ParallelIterator};
+    pub use crate::slice::{ParallelSlice, ParallelSliceMut};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<u64> = (0..10_000u64).into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(v, (0..10_000u64).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn fold_then_reduce_matches_sequential() {
+        let total: u64 = (0..100_000u64)
+            .into_par_iter()
+            .fold(|| 0u64, |acc, x| acc + x)
+            .sum();
+        assert_eq!(total, (0..100_000u64).sum::<u64>());
+    }
+
+    #[test]
+    fn for_each_runs_every_item() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let hits = AtomicU64::new(0);
+        (0..5000u32).into_par_iter().for_each(|_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 5000);
+    }
+
+    #[test]
+    fn install_overrides_thread_count() {
+        let pool = crate::ThreadPoolBuilder::new()
+            .num_threads(3)
+            .build()
+            .unwrap();
+        assert_eq!(pool.install(crate::current_num_threads), 3);
+    }
+
+    #[test]
+    fn panics_propagate_from_workers() {
+        let caught = std::panic::catch_unwind(|| {
+            (0..1000u32).into_par_iter().for_each(|i| {
+                assert!(i != 777, "boom at {i}");
+            });
+        });
+        assert!(caught.is_err());
+    }
+
+    #[test]
+    fn zip_and_enumerate_line_up() {
+        let a = vec![10, 20, 30];
+        let b = vec![1, 2, 3];
+        let pairs: Vec<(usize, (i32, i32))> = a.into_par_iter().zip(b).enumerate().collect();
+        assert_eq!(pairs, vec![(0, (10, 1)), (1, (20, 2)), (2, (30, 3))]);
+    }
+}

@@ -1,0 +1,227 @@
+//! A minimal shared worker pool with claim-based batch scheduling.
+//!
+//! Parallel work is expressed as `f(0..count)` over chunk indices. The
+//! submitting thread publishes a [`Batch`] to the global queue, then claims
+//! and runs indices itself alongside the pool workers, and finally waits
+//! until every claimed index has finished before returning — which is what
+//! makes the lifetime transmute below sound: no job can run after
+//! `run_indexed` returns, so borrows captured by `f` stay valid for every
+//! invocation.
+
+use std::any::Any;
+use std::cell::Cell;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+thread_local! {
+    /// Per-thread override installed by [`ThreadPool::install`]; 0 = unset.
+    static POOL_THREADS: Cell<usize> = const { Cell::new(0) };
+}
+
+/// The number of threads parallel operations should target, honouring any
+/// enclosing [`ThreadPool::install`] override.
+pub fn current_num_threads() -> usize {
+    let tls = POOL_THREADS.with(|c| c.get());
+    if tls > 0 {
+        tls
+    } else {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    }
+}
+
+/// One parallel batch: `run(i)` for every `i < total`, each index claimed by
+/// exactly one thread via `next.fetch_add(1)`.
+struct Batch {
+    /// Transmuted to `'static`; only ever invoked for a freshly claimed
+    /// index, which can only happen before the submitter observes
+    /// `done == total` and returns.
+    run: &'static (dyn Fn(usize) + Sync),
+    next: AtomicUsize,
+    done: AtomicUsize,
+    total: usize,
+    panic: Mutex<Option<Box<dyn Any + Send>>>,
+    lock: Mutex<()>,
+    cond: Condvar,
+}
+
+impl Batch {
+    /// Claims and runs indices until none remain. Returns once this thread
+    /// can claim no further work (other threads may still be running).
+    fn drain(&self) {
+        loop {
+            let i = self.next.fetch_add(1, Ordering::Relaxed);
+            if i >= self.total {
+                return;
+            }
+            let result = catch_unwind(AssertUnwindSafe(|| (self.run)(i)));
+            if let Err(payload) = result {
+                let mut slot = self.panic.lock().unwrap();
+                slot.get_or_insert(payload);
+            }
+            if self.done.fetch_add(1, Ordering::AcqRel) + 1 == self.total {
+                // Acquire/release the wait mutex so the submitter is either
+                // before its check (and sees the final count) or parked in
+                // `wait` (and receives the notification).
+                drop(self.lock.lock().unwrap());
+                self.cond.notify_all();
+            }
+        }
+    }
+}
+
+struct Queue {
+    pending: Mutex<VecDeque<Arc<Batch>>>,
+    available: Condvar,
+}
+
+static QUEUE: OnceLock<Arc<Queue>> = OnceLock::new();
+
+fn queue() -> &'static Arc<Queue> {
+    QUEUE.get_or_init(|| {
+        let q = Arc::new(Queue {
+            pending: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+        });
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .saturating_sub(1);
+        for i in 0..workers {
+            let q = Arc::clone(&q);
+            std::thread::Builder::new()
+                .name(format!("rayon-worker-{i}"))
+                .spawn(move || worker_loop(&q))
+                .expect("failed to spawn pool worker");
+        }
+        q
+    })
+}
+
+fn worker_loop(q: &Queue) {
+    loop {
+        let batch = {
+            let mut pending = q.pending.lock().unwrap();
+            loop {
+                if let Some(b) = pending.pop_front() {
+                    break b;
+                }
+                pending = q.available.wait(pending).unwrap();
+            }
+        };
+        batch.drain();
+    }
+}
+
+/// Runs `f(i)` for every `i < count`, using the pool when profitable. On
+/// return every invocation has completed; if any panicked, the first payload
+/// is re-raised on the calling thread.
+pub(crate) fn run_indexed<F: Fn(usize) + Sync>(count: usize, f: F) {
+    if count == 0 {
+        return;
+    }
+    if count == 1 || current_num_threads() <= 1 {
+        for i in 0..count {
+            f(i);
+        }
+        return;
+    }
+
+    let batch = Arc::new(Batch {
+        // Sound: `drain` only invokes `run` for indices claimed before
+        // `done == total`, and we wait for that below before returning.
+        run: unsafe {
+            std::mem::transmute::<&(dyn Fn(usize) + Sync), &'static (dyn Fn(usize) + Sync)>(&f)
+        },
+        next: AtomicUsize::new(0),
+        done: AtomicUsize::new(0),
+        total: count,
+        panic: Mutex::new(None),
+        lock: Mutex::new(()),
+        cond: Condvar::new(),
+    });
+
+    let q = queue();
+    q.pending.lock().unwrap().push_back(Arc::clone(&batch));
+    q.available.notify_all();
+
+    // Help with our own batch, then wait for in-flight claims to settle.
+    batch.drain();
+    let mut guard = batch.lock.lock().unwrap();
+    while batch.done.load(Ordering::Acquire) < batch.total {
+        guard = batch.cond.wait(guard).unwrap();
+    }
+    drop(guard);
+
+    let payload = batch.panic.lock().unwrap().take();
+    if let Some(payload) = payload {
+        resume_unwind(payload);
+    }
+}
+
+/// A handle that pins [`current_num_threads`] to a fixed value for the
+/// duration of [`ThreadPool::install`]. Work still runs on the shared pool;
+/// the value bounds how many chunks parallel operations split into.
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        struct Restore(usize);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                POOL_THREADS.with(|c| c.set(self.0));
+            }
+        }
+        let _restore = Restore(POOL_THREADS.with(|c| c.get()));
+        POOL_THREADS.with(|c| c.set(self.num_threads));
+        f()
+    }
+}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder` for the API subset we use.
+#[derive(Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("failed to build thread pool")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+impl ThreadPoolBuilder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let n = if self.num_threads == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            self.num_threads
+        };
+        Ok(ThreadPool { num_threads: n })
+    }
+}
