@@ -21,6 +21,8 @@
 //!   this to e.g. 8 to exercise the harness with oversubscribed pools.
 //! - `NWHY_SEED` — generator seed (default 42).
 
+#![forbid(unsafe_code)]
+
 use nwhy_core::Hypergraph;
 use nwhy_gen::profiles::{DatasetProfile, TABLE1};
 

@@ -65,11 +65,13 @@ impl AdjoinGraph {
             })
             .collect();
         let el = EdgeList::from_edges(n, pairs);
-        Self {
+        let a = Self {
             graph: Csr::from_edge_list(&el),
             num_hyperedges: ne,
             num_hypernodes: nv,
-        }
+        };
+        crate::validate::debug_validate(&a, "AdjoinGraph::from_hypergraph");
+        a
     }
 
     /// Builds directly from a pre-adjoined edge list (as read by
@@ -97,8 +99,27 @@ impl AdjoinGraph {
         let mut el = el.clone();
         el.symmetrize();
         el.sort_dedup();
-        Self {
+        let a = Self {
             graph: Csr::from_edge_list(&el),
+            num_hyperedges,
+            num_hypernodes,
+        };
+        crate::validate::debug_validate(&a, "AdjoinGraph::from_adjoin_edge_list");
+        a
+    }
+
+    /// Assembles an adjoin graph from a pre-built CSR and partition
+    /// sizes without checking bipartiteness, symmetry, or the vertex
+    /// count.
+    ///
+    /// The [`Validate`](crate::validate::Validate) tests use this to
+    /// build deliberately corrupted adjoin graphs; run
+    /// [`validate`](crate::validate::Validate::validate) before handing
+    /// the result to any algorithm. Prefer the checked constructors
+    /// above.
+    pub fn from_raw_parts(graph: Csr, num_hyperedges: usize, num_hypernodes: usize) -> Self {
+        Self {
+            graph,
             num_hyperedges,
             num_hypernodes,
         }

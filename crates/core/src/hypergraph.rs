@@ -50,6 +50,22 @@ impl Hypergraph {
             bel.weights(),
         );
         let nodes = edges.transpose();
+        let h = Self { edges, nodes };
+        crate::validate::debug_validate(&h, "Hypergraph::from_biedgelist");
+        h
+    }
+
+    /// Assembles a hypergraph from two pre-built bi-adjacencies without
+    /// checking that they are mutual transposes.
+    ///
+    /// This is the deserialization/testing back door: the
+    /// [`Validate`](crate::validate::Validate) tests use it to build
+    /// deliberately corrupted hypergraphs. Run
+    /// [`validate`](crate::validate::Validate::validate) before handing
+    /// the result to any algorithm; prefer
+    /// [`Hypergraph::from_biedgelist`], which establishes the mutual
+    /// indexing by construction.
+    pub fn from_raw_parts(edges: Csr, nodes: Csr) -> Self {
         Self { edges, nodes }
     }
 

@@ -34,6 +34,16 @@
 //! - Approximate, via s-line graphs: [`smetrics::SLineGraph`] exposes the
 //!   s-metric queries of the paper's Python API (Listing 5).
 
+//!
+//! # Invariant validation
+//!
+//! Every representation implements [`validate::Validate`]; the checked
+//! builders run it automatically under `debug_assertions` or the
+//! `validate` cargo feature, and the `nwhy check` CLI subcommand runs
+//! it on demand. See the [`validate`] module docs.
+
+#![forbid(unsafe_code)]
+
 pub mod adjoin;
 pub mod algorithms;
 pub mod biedgelist;
@@ -46,6 +56,7 @@ pub mod repr;
 pub mod slinegraph;
 pub mod smetrics;
 pub mod transform;
+pub mod validate;
 
 pub use adjoin::AdjoinGraph;
 pub use biedgelist::BiEdgeList;
@@ -55,6 +66,7 @@ pub use repr::{DualView, HyperAdjacency, RelabeledView};
 pub use slinegraph::slinegraph_edges;
 pub use slinegraph::{Algorithm, BuildOptions, Relabel, SLineBuilder};
 pub use smetrics::SLineGraph;
+pub use validate::{InvariantViolation, SLineOutput, Validate};
 
 /// Hyperedge/hypernode identifier type (dense `u32`, matching `nwgraph`).
 pub type Id = u32;

@@ -254,6 +254,11 @@ impl<'a, A: HyperAdjacency + ?Sized> RelabeledView<'a, A> {
     pub fn perm(&self) -> &'a [Id] {
         self.perm
     }
+
+    /// The inverse permutation `inv[old] = new`.
+    pub fn inv(&self) -> &'a [Id] {
+        self.inv
+    }
 }
 
 impl<A: HyperAdjacency + ?Sized> HyperAdjacency for RelabeledView<'_, A> {

@@ -144,7 +144,16 @@ impl<'a, A: HyperAdjacency + ?Sized> SLineBuilder<'a, A> {
     pub fn csr(&self) -> Csr {
         let mut el = EdgeList::from_edges(self.repr.num_hyperedges(), self.edges());
         el.symmetrize();
-        Csr::from_edge_list(&el)
+        let g = Csr::from_edge_list(&el);
+        crate::validate::debug_validate(
+            &crate::validate::SLineOutput {
+                csr: &g,
+                repr: self.repr,
+                s: self.s,
+            },
+            "SLineBuilder::csr",
+        );
+        g
     }
 
     /// Canonical weighted triples `(e, f, |e ∩ f|)` with `e < f`, sorted,
@@ -179,7 +188,16 @@ impl<'a, A: HyperAdjacency + ?Sized> SLineBuilder<'a, A> {
     /// stronger overlaps are "shorter" for weighted s-walk distances.
     pub fn weighted_csr(&self) -> Csr {
         let triples = self.weighted_edges();
-        weighted::weighted_csr_from_triples(self.repr.num_hyperedges(), &triples)
+        let g = weighted::weighted_csr_from_triples(self.repr.num_hyperedges(), &triples);
+        crate::validate::debug_validate(
+            &crate::validate::SLineOutput {
+                csr: &g,
+                repr: self.repr,
+                s: self.s,
+            },
+            "SLineBuilder::weighted_csr",
+        );
+        g
     }
 
     /// Canonical Jaccard-weighted pairs `(e, f, |e∩f| / |e∪f|)` for

@@ -34,6 +34,8 @@
 //! assert!(twin.num_hyperedges() >= 16);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod communities;
 pub mod powerlaw;
 pub mod profiles;

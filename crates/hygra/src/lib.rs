@@ -31,6 +31,8 @@
 //! assert_eq!(cc.num_components(), 2);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod bfs;
 pub mod cc;
 pub mod engine;

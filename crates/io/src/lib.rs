@@ -33,6 +33,8 @@
 //! assert_eq!(h, again);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod adjoin_reader;
 pub mod binary;
 pub mod dot;

@@ -171,6 +171,55 @@ impl Csr {
         }
     }
 
+    /// Assembles a CSR directly from its raw arrays, without checking the
+    /// CSR invariants (monotone offsets, in-bounds targets, sorted
+    /// neighbor slices, matching weight length).
+    ///
+    /// This exists for deserialization fast paths and for the validation
+    /// tests in `nwhy-core`, which deliberately construct *corrupted*
+    /// structures to assert that `Validate` reports the right
+    /// [`InvariantViolation`](https://docs.rs/nwhy-core). Prefer
+    /// [`Csr::from_edge_list`] / [`Csr::from_pairs`], which establish the
+    /// invariants by construction; callers of this function should run
+    /// validation themselves before handing the CSR to any kernel.
+    ///
+    /// # Panics
+    /// Panics only on the structurally unrepresentable: an empty
+    /// `offsets` (even an empty CSR has `offsets == [0]`).
+    pub fn from_raw_parts(
+        num_targets: usize,
+        offsets: Vec<usize>,
+        targets: Vec<Vertex>,
+        weights: Option<Vec<f64>>,
+    ) -> Self {
+        assert!(!offsets.is_empty(), "offsets must have at least one entry");
+        Self {
+            num_targets,
+            offsets,
+            targets,
+            weights,
+        }
+    }
+
+    /// The raw offset array (`num_vertices() + 1` entries, first 0, last
+    /// `num_edges()` when well-formed).
+    #[inline]
+    pub fn offsets(&self) -> &[usize] {
+        &self.offsets
+    }
+
+    /// The raw concatenated target array.
+    #[inline]
+    pub fn targets(&self) -> &[Vertex] {
+        &self.targets
+    }
+
+    /// The raw weight array, if this CSR is weighted.
+    #[inline]
+    pub fn weights(&self) -> Option<&[f64]> {
+        self.weights.as_deref()
+    }
+
     /// Number of source vertices (rows).
     #[inline]
     pub fn num_vertices(&self) -> usize {

@@ -21,6 +21,8 @@
 //! Vertices are dense `u32` IDs; [`INVALID_VERTEX`] (`u32::MAX`) marks
 //! "no vertex" (unvisited parents, infinite distances).
 
+#![forbid(unsafe_code)]
+
 pub mod algorithms;
 pub mod csr;
 pub mod edge_list;

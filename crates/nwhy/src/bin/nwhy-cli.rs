@@ -9,6 +9,7 @@
 //! nwhy-cli sline   <file> --s S [--algo A] [--relabel R] [--out FILE]
 //!                  A ∈ naive | intersection | hashmap | queue1 | queue2
 //!                  R ∈ none | asc | desc    (degree relabeling)
+//! nwhy-cli check   <file> [--s S]         validate structural invariants
 //! nwhy-cli toplex  <file>
 //! nwhy-cli scomp   <file> --s S           online s-connected components
 //! nwhy-cli kcore   <file> --k K --l L     (k,l)-core sizes
@@ -35,7 +36,7 @@ use std::process::ExitCode;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: nwhy-cli <stats|cc|bfs|sline|toplex|gen|convert> ... \
+        "usage: nwhy-cli <stats|cc|bfs|sline|check|toplex|scomp|kcore|pagerank|gen|convert> ... \
          (see --help / crate docs)"
     );
     std::process::exit(2);
@@ -257,6 +258,61 @@ fn cmd_sline(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// `check`: run the `Validate` invariant suite on every representation
+/// built from the input — the bi-adjacency, its dual view, the adjoin
+/// graph, and (when `--s` is given) the weighted s-line CSR checked
+/// against its source hypergraph. Reports each structure on its own
+/// line; any violation fails the command.
+fn cmd_check(args: &Args) -> Result<(), String> {
+    use nwhy::core::{DualView, SLineOutput, Validate};
+
+    let path = args.positional.first().ok_or("check: missing <file>")?;
+    let h = load(path)?;
+    let mut failures = 0usize;
+    let mut report = |name: &str, result: Result<(), nwhy::InvariantViolation>| match result {
+        Ok(()) => println!("  ok   {name}"),
+        Err(e) => {
+            failures += 1;
+            println!("  FAIL {name}: {e}");
+        }
+    };
+
+    println!("checking {path}");
+    report(
+        "bi-adjacency (mutual indexing, CSR invariants)",
+        h.validate(),
+    );
+    report("dual view", DualView::new(&h).validate());
+    let a = nwhy::AdjoinGraph::from_hypergraph(&h);
+    report("adjoin graph (bipartite, symmetric)", a.validate());
+    if let Some(raw) = args.flag("s") {
+        let s: usize = raw
+            .parse()
+            .map_err(|_| "check: --s must be a positive integer")?;
+        if s == 0 {
+            return Err("check: --s must be >= 1".into());
+        }
+        let g = SLineBuilder::new(&h).s(s).weighted_csr();
+        report(
+            &format!("{s}-line CSR (symmetry, loops, weights)"),
+            SLineOutput {
+                csr: &g,
+                repr: &h,
+                s,
+            }
+            .validate(),
+        );
+    }
+    if failures == 0 {
+        println!("all invariants hold");
+        Ok(())
+    } else {
+        Err(format!(
+            "check: {failures} structure(s) violated invariants"
+        ))
+    }
+}
+
 fn cmd_toplex(args: &Args) -> Result<(), String> {
     let path = args.positional.first().ok_or("toplex: missing <file>")?;
     let h = load(path)?;
@@ -453,6 +509,7 @@ fn main() -> ExitCode {
         "cc" => cmd_cc(&args),
         "bfs" => cmd_bfs(&args),
         "sline" => cmd_sline(&args),
+        "check" => cmd_check(&args),
         "toplex" => cmd_toplex(&args),
         "scomp" => cmd_scomp(&args),
         "kcore" => cmd_kcore(&args),

@@ -18,6 +18,8 @@
 //! assert_eq!(s2lg.s_distance(0, 1), Some(1));
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod session;
 
 pub use hygra;
@@ -30,7 +32,7 @@ pub use nwhy_util as util;
 pub use nwhy_core::algorithms::kcore::KLCore;
 pub use nwhy_core::smetrics::WeightedSLineGraph;
 pub use nwhy_core::{
-    AdjoinGraph, Algorithm, BiEdgeList, BuildOptions, Hypergraph, HypergraphStats, Id, Relabel,
-    SLineGraph,
+    AdjoinGraph, Algorithm, BiEdgeList, BuildOptions, Hypergraph, HypergraphStats, Id,
+    InvariantViolation, Relabel, SLineGraph, SLineOutput, Validate,
 };
 pub use session::NWHypergraph;

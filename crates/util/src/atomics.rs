@@ -4,13 +4,48 @@
 //! "write the smaller value, tell me whether I won" primitives. These are
 //! expressed here as CAS loops over the standard atomic integer types, plus
 //! an [`AtomicF64`] for accumulating floating-point centrality scores.
+//!
+//! # Ordering policy
+//!
+//! Every CAS loop in this module uses the same ordering triple, and the
+//! rest of the crate ([`crate::bitmap`], [`crate::workq`]) aligns with
+//! it:
+//!
+//! - **`Relaxed` initial load.** The first read only seeds the CAS
+//!   loop; a stale value costs at most one extra CAS iteration and can
+//!   never produce a wrong result, because the CAS itself revalidates
+//!   against the current value. No synchronization is needed to *look*.
+//! - **`AcqRel` on CAS success.** A successful update is the moment a
+//!   thread *wins* a slot (a smaller component label, a BFS parent, a
+//!   frontier bit). The `Release` half publishes everything the winner
+//!   wrote before claiming (e.g. the level/parent arrays filled in
+//!   before the frontier bit is set); the `Acquire` half means the
+//!   winner also observes whatever the previous holder published. The
+//!   kernels use the returned `bool` to decide whether to enqueue or
+//!   process a vertex, so the claim must be a synchronization point.
+//! - **`Relaxed` on CAS failure.** A failed CAS only tells the loop
+//!   "someone else moved the value, reread it"; the reread is revalidated
+//!   by the next CAS attempt exactly like the initial load, so the
+//!   failure ordering needs no barrier.
+//!
+//! This is deliberately *not* `SeqCst` anywhere: none of the kernels
+//! need a single total order over unrelated atomics, only the
+//! happens-before edge from a winning writer to the readers of its
+//! claim. The loom models in `tests/loom.rs` exhaustively check the
+//! interleaving behavior, and the nightly ThreadSanitizer CI job checks
+//! the ordering choices on real hardware.
+//!
+//! Under `RUSTFLAGS="--cfg loom"` the atomic types switch to the loom
+//! model checker's instrumented versions (see [`crate::sync`]).
 
-use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use crate::sync::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
 
 /// Atomically set `a = min(a, val)`.
 ///
 /// Returns `true` if the stored value was lowered (i.e. this call "won"),
 /// which the CC kernels use to decide whether to re-enqueue a vertex.
+/// Orderings follow the [module policy](self): `Relaxed` seed load,
+/// `AcqRel` success, `Relaxed` failure.
 #[inline]
 pub fn atomic_min_u32(a: &AtomicU32, val: u32) -> bool {
     let mut cur = a.load(Ordering::Relaxed);
@@ -53,7 +88,10 @@ pub fn atomic_min_usize(a: &AtomicUsize, val: usize) -> bool {
 ///
 /// This mirrors the `compare_and_swap` idiom used in BFS parent claiming:
 /// exactly one thread may move a parent slot from "unvisited" to a real
-/// parent ID.
+/// parent ID. `AcqRel` on success is what makes the claim a
+/// synchronization point (the winner's earlier writes become visible to
+/// whoever later reads the slot); failure is `Relaxed` per the
+/// [module policy](self).
 #[inline]
 pub fn cas_u32(a: &AtomicU32, expected: u32, desired: u32) -> bool {
     a.compare_exchange(expected, desired, Ordering::AcqRel, Ordering::Relaxed)

@@ -4,8 +4,14 @@
 //! as a bitmap so the bottom-up sweep can test membership in O(1) without
 //! locking. Multiple threads set bits concurrently during the top-down →
 //! bottom-up conversion.
+//!
+//! Orderings follow the policy documented in [`crate::atomics`]: setting
+//! a bit is a *claim* (`Relaxed` fast-path peek, `AcqRel` on the winning
+//! RMW), and a reader that observes the bit acquires the setter's prior
+//! writes (`Acquire` load) — in BFS, seeing a frontier bit must imply
+//! seeing the level/parent data written before it was set.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use crate::sync::{AtomicU64, Ordering};
 
 const BITS: usize = 64;
 
@@ -38,15 +44,29 @@ impl AtomicBitmap {
     }
 
     /// Sets bit `i`. Returns `true` if this call changed it from 0 to 1.
+    ///
+    /// Mirrors the CAS-loop ordering policy of [`crate::atomics`]: a
+    /// `Relaxed` fast-path load skips the RMW when the bit is already
+    /// set (the common case in bottom-up BFS sweeps, where no ordering
+    /// is needed just to *look*), and the winning `fetch_or` is
+    /// `AcqRel` so claiming a bit publishes the setter's prior writes.
     #[inline]
     pub fn set(&self, i: usize) -> bool {
         debug_assert!(i < self.len, "bit index {i} out of range {}", self.len);
         let mask = 1u64 << (i % BITS);
-        let prev = self.words[i / BITS].fetch_or(mask, Ordering::AcqRel);
+        let word = &self.words[i / BITS];
+        if word.load(Ordering::Relaxed) & mask != 0 {
+            return false;
+        }
+        let prev = word.fetch_or(mask, Ordering::AcqRel);
         prev & mask == 0
     }
 
     /// Tests bit `i`.
+    ///
+    /// `Acquire`: observing a set bit happens-after the `AcqRel`
+    /// `fetch_or` that set it, so the setter's earlier writes (levels,
+    /// parents) are visible to this reader.
     #[inline]
     pub fn get(&self, i: usize) -> bool {
         debug_assert!(i < self.len, "bit index {i} out of range {}", self.len);
@@ -201,5 +221,74 @@ mod tests {
         let c = bm.clone();
         assert!(c.get(0) && c.get(64));
         assert_eq!(c.count_ones(), 2);
+    }
+
+    #[test]
+    fn exactly_one_word() {
+        // len == 64 is the off-by-one magnet: exactly one word, no spill.
+        let bm = AtomicBitmap::new(64);
+        assert!(bm.set(0));
+        assert!(bm.set(63));
+        assert_eq!(bm.count_ones(), 2);
+        assert_eq!(bm.iter_ones().collect::<Vec<_>>(), vec![0, 63]);
+    }
+
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+        use rayon::prelude::*;
+
+        proptest! {
+            // Lengths straddling word boundaries: 0, 1..64, exactly 64,
+            // 65..128, and non-multiples beyond. Every in-range index
+            // must set exactly once and read back set.
+            #[test]
+            fn prop_set_get_roundtrip_any_len(len in 0usize..200) {
+                let bm = AtomicBitmap::new(len);
+                prop_assert_eq!(bm.len(), len);
+                prop_assert_eq!(bm.is_empty(), len == 0);
+                for i in 0..len {
+                    prop_assert!(!bm.get(i));
+                    prop_assert!(bm.set(i));
+                    prop_assert!(!bm.set(i));
+                    prop_assert!(bm.get(i));
+                }
+                prop_assert_eq!(bm.count_ones(), len);
+                prop_assert_eq!(bm.iter_ones().count(), len);
+            }
+
+            // iter_ones must report exactly the set indices, in order,
+            // regardless of where len falls relative to the word size.
+            #[test]
+            fn prop_iter_ones_matches_sets(
+                len in 1usize..300,
+                stride in 1usize..17,
+            ) {
+                let bm = AtomicBitmap::new(len);
+                let expect: Vec<usize> = (0..len).step_by(stride).collect();
+                for &i in &expect {
+                    bm.set(i);
+                }
+                prop_assert_eq!(bm.iter_ones().collect::<Vec<_>>(), expect);
+            }
+
+            // Concurrent set/test through rayon: every bit gains exactly
+            // one winning setter even under contention, and a concurrent
+            // reader never observes a bit that was not set.
+            #[test]
+            fn prop_concurrent_set_test_exactly_once(
+                len in 1usize..=256,
+                threads in 2usize..=8,
+            ) {
+                let bm = AtomicBitmap::new(len);
+                let wins: usize = (0..threads)
+                    .into_par_iter()
+                    .map(|_| (0..len).filter(|&i| bm.set(i)).count())
+                    .sum();
+                prop_assert_eq!(wins, len);
+                prop_assert!((0..len).into_par_iter().all(|i| bm.get(i)));
+                prop_assert_eq!(bm.count_ones(), len);
+            }
+        }
     }
 }

@@ -18,6 +18,18 @@
 //!   thread count (used by the strong-scaling harnesses).
 //! - [`timer`] — wall-clock timing and simple summary statistics for the
 //!   benchmark harnesses.
+//! - [`sync`] — the `cfg(loom)` switch point: the concurrency primitives
+//!   import their atomic types from here so the loom model checker can
+//!   replace them under `RUSTFLAGS="--cfg loom"` (see `tests/loom.rs`).
+//! - [`workq`] — a chunked self-scheduling work queue (guided-dynamic
+//!   style) for the queue-based s-line-graph algorithms.
+//!
+//! The whole workspace forbids `unsafe`; the lock-free pieces here are
+//! checked by loom models (`tests/loom.rs`), Miri, and a nightly
+//! ThreadSanitizer CI job instead (see DESIGN.md, "Concurrency model &
+//! invariants").
+
+#![forbid(unsafe_code)]
 
 pub mod atomics;
 pub mod bitmap;
@@ -25,6 +37,7 @@ pub mod fxhash;
 pub mod partition;
 pub mod pool;
 pub mod prefix;
+pub mod sync;
 pub mod timer;
 pub mod workq;
 

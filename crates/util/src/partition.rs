@@ -350,4 +350,67 @@ mod tests {
             assert_eq!(all, (0..100).collect::<Vec<_>>());
         }
     }
+
+    mod props {
+        use super::*;
+        // not the prelude: proptest's `Strategy` trait would shadow ours
+        use proptest::{prop_assert, prop_assert_eq, proptest};
+
+        proptest! {
+            // Both partitioners must form an exact partition of 0..n for
+            // any (n, bins), including n == 0, n < bins, and n == bins.
+            #[test]
+            fn prop_blocked_ranges_partition(n in 0usize..500, bins in 1usize..20) {
+                let ranges = blocked_ranges(n, bins);
+                prop_assert!(ranges.len() <= bins);
+                let all: Vec<usize> = ranges.iter().cloned().flatten().collect();
+                prop_assert_eq!(all, (0..n).collect::<Vec<_>>());
+            }
+
+            #[test]
+            fn prop_cyclic_bins_partition(n in 0usize..500, bins in 1usize..20) {
+                let mut seen = vec![0u32; n];
+                for r in cyclic_indices(n, bins) {
+                    for i in r {
+                        seen[i] += 1;
+                    }
+                }
+                prop_assert!(seen.iter().all(|&c| c == 1));
+            }
+
+            // Visit-exactly-once must hold under real parallel execution
+            // for every strategy and edge-shaped n (0, 1, == bins, etc.).
+            #[test]
+            fn prop_par_for_each_visits_once(n in 0usize..300, bins in 0usize..9) {
+                for strategy in [
+                    Strategy::Blocked { num_bins: bins },
+                    Strategy::Cyclic { num_bins: bins },
+                ] {
+                    let counts: Vec<AtomicUsize> =
+                        (0..n).map(|_| AtomicUsize::new(0)).collect();
+                    par_for_each_index(n, strategy, |i| {
+                        counts[i].fetch_add(1, Ordering::Relaxed);
+                    });
+                    prop_assert!(
+                        counts.iter().all(|c| c.load(Ordering::Relaxed) == 1),
+                        "strategy {strategy:?} n {n}"
+                    );
+                }
+            }
+
+            #[test]
+            fn prop_accumulators_lose_nothing(n in 0usize..300, bins in 1usize..9) {
+                for strategy in [
+                    Strategy::Blocked { num_bins: bins },
+                    Strategy::Cyclic { num_bins: bins },
+                ] {
+                    let accs =
+                        par_for_each_index_with(n, strategy, Vec::new, |acc, i| acc.push(i));
+                    let mut all: Vec<usize> = accs.into_iter().flatten().collect();
+                    all.sort_unstable();
+                    prop_assert_eq!(all, (0..n).collect::<Vec<_>>());
+                }
+            }
+        }
+    }
 }

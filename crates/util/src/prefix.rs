@@ -135,5 +135,35 @@ mod tests {
                 prop_assert!(w[0] <= w[1]);
             }
         }
+
+        // Boundary lengths around the sequential/parallel switch: the two
+        // code paths must agree exactly at n = PAR_THRESHOLD ± small.
+        #[test]
+        fn prop_threshold_boundary_agrees(delta in 0usize..4, seed in 0usize..100) {
+            for n in [
+                PAR_THRESHOLD.saturating_sub(delta + 1),
+                PAR_THRESHOLD + delta,
+            ] {
+                let vals: Vec<usize> = (0..n).map(|i| (i + seed) % 11).collect();
+                let par = exclusive_prefix_sum(&vals);
+                let mut seq = vals.clone();
+                let total = exclusive_prefix_sum_in_place(&mut seq);
+                prop_assert_eq!(&par[..n], &seq[..]);
+                prop_assert_eq!(par[n], total);
+            }
+        }
+
+        #[test]
+        fn prop_in_place_total_matches_sum(
+            vals in proptest::collection::vec(0usize..50, 0..300),
+        ) {
+            let expect_total: usize = vals.iter().sum();
+            let mut v = vals.clone();
+            let total = exclusive_prefix_sum_in_place(&mut v);
+            prop_assert_eq!(total, expect_total);
+            if !vals.is_empty() {
+                prop_assert_eq!(v[0], 0);
+            }
+        }
     }
 }

@@ -1,0 +1,19 @@
+//! `cfg(loom)`-switched atomic types for the concurrency primitives.
+//!
+//! The lock-free kernels ([`crate::atomics`], [`crate::bitmap`],
+//! [`crate::workq`]) import their atomic types from here instead of
+//! `std::sync::atomic`. Under a normal build these are exactly the std
+//! types (zero cost); under `RUSTFLAGS="--cfg loom"` they swap to the
+//! loom model checker's instrumented atomics, whose every operation is
+//! a schedule point, so the loom tests in `tests/loom.rs` can
+//! exhaustively explore the primitives' interleavings:
+//!
+//! ```text
+//! RUSTFLAGS="--cfg loom" cargo test -p nwhy-util --test loom --release
+//! ```
+
+#[cfg(loom)]
+pub use loom::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
+
+#[cfg(not(loom))]
+pub use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};

@@ -9,7 +9,7 @@
 //! guided/chunked-dynamic style, and the finest-grained answer to the
 //! skewed-degree imbalance §III-D discusses.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use crate::sync::{AtomicUsize, Ordering};
 
 /// A slice-backed queue handing out contiguous chunks atomically.
 #[derive(Debug)]
@@ -47,18 +47,59 @@ impl<'a, T> ChunkedQueue<'a, T> {
     }
 
     /// Atomically takes the next chunk; `None` once drained.
+    ///
+    /// The cursor stays bounded after the queue drains. A bare
+    /// `fetch_add` would keep growing by `chunk` on every post-drain
+    /// call — harmless for one drain, but a queue polled in a loop
+    /// (BFS levels retry steal until `None`) would march the cursor
+    /// toward `usize::MAX` and eventually wrap, handing out chunks
+    /// again. Two guards prevent that: a `Relaxed` fast-path load skips
+    /// the RMW entirely once the cursor is past the end (the common
+    /// post-drain case), and the thread that overshoots tries once to
+    /// CAS the cursor back down to `len`. All orderings are `Relaxed`
+    /// per the [`crate::atomics`] policy: the cursor only partitions
+    /// index space, it never publishes data — the `&[T]` items were
+    /// written before the queue was built and are frozen for its
+    /// lifetime, so the borrow itself is the synchronization.
     pub fn steal(&self) -> Option<&'a [T]> {
-        let start = self.cursor.fetch_add(self.chunk, Ordering::Relaxed);
-        if start >= self.items.len() {
+        let len = self.items.len();
+        if self.cursor.load(Ordering::Relaxed) >= len {
             return None;
         }
-        let end = (start + self.chunk).min(self.items.len());
-        Some(&self.items[start..end])
+        let start = self.cursor.fetch_add(self.chunk, Ordering::Relaxed);
+        if start >= len {
+            // We overshot: undo our own increment if nobody else has
+            // moved the cursor since. If the CAS fails another thread
+            // either overshot too (its own cap attempt follows) or a
+            // racing fast-path already saw a bounded value; one
+            // winning cap per drain is enough to keep it bounded.
+            let _ = self.cursor.compare_exchange(
+                start + self.chunk,
+                len,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            );
+            return None;
+        }
+        Some(&self.items[start..(start + self.chunk).min(len)])
+    }
+
+    /// Current cursor position (diagnostic; racy by nature).
+    ///
+    /// After a full drain this is at most `len() + chunk` — bounded —
+    /// which the regression tests assert.
+    pub fn cursor(&self) -> usize {
+        self.cursor.load(Ordering::Relaxed)
     }
 
     /// Drains the queue with `workers` rayon tasks, each repeatedly
     /// stealing chunks and folding items into a worker-local accumulator;
     /// returns all accumulators.
+    ///
+    /// Not available under `cfg(loom)`: the loom models drive [`steal`]
+    /// (self::ChunkedQueue::steal) directly with model-checked threads
+    /// rather than through rayon's scheduler.
+    #[cfg(not(loom))]
     pub fn drain_with<A, I, F>(&self, workers: usize, init: I, f: F) -> Vec<A>
     where
         T: Sync,
@@ -158,5 +199,44 @@ mod tests {
         assert!(q.steal().is_none());
         let accs = q.drain_with(3, || 0u32, |acc, &x| *acc += x);
         assert_eq!(accs.iter().sum::<u32>(), 0);
+    }
+
+    #[test]
+    fn cursor_stays_bounded_after_drain() {
+        // Regression: steal() used to fetch_add unconditionally, so a
+        // drained queue polled N more times grew its cursor by N*chunk.
+        let items: Vec<u32> = (0..10).collect();
+        let q = ChunkedQueue::new(&items, 3);
+        while q.steal().is_some() {}
+        let after_drain = q.cursor();
+        for _ in 0..10_000 {
+            assert!(q.steal().is_none());
+        }
+        assert_eq!(q.cursor(), after_drain, "cursor grew on post-drain polls");
+        assert!(after_drain <= items.len() + 3);
+    }
+
+    #[test]
+    fn cursor_bounded_under_concurrent_post_drain_polls() {
+        let items: Vec<u32> = (0..100).collect();
+        let q = ChunkedQueue::new(&items, 7);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let q = &q;
+                s.spawn(move || {
+                    // drain plus many extra polls racing with other threads
+                    for _ in 0..5_000 {
+                        let _ = q.steal();
+                    }
+                });
+            }
+        });
+        // Worst case: every thread overshoots once before any cap lands,
+        // but no poll after the first observed-drained load adds anything.
+        assert!(
+            q.cursor() <= items.len() + 8 * 7,
+            "cursor {} escaped bound",
+            q.cursor()
+        );
     }
 }

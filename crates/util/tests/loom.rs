@@ -1,0 +1,192 @@
+//! Loom model tests for the lock-free primitives.
+//!
+//! Only built under the loom cfg:
+//!
+//! ```text
+//! RUSTFLAGS="--cfg loom" cargo test -p nwhy-util --test loom --release
+//! ```
+//!
+//! Each `loom::model` closure is re-run once per distinct schedule; the
+//! vendored loom (see `vendor/loom`) exhaustively enumerates thread
+//! interleavings at atomic-operation granularity under sequentially
+//! consistent semantics. Models are kept deliberately tiny (2–3 threads,
+//! a few atomic ops each) so the schedule space stays in the thousands.
+//!
+//! `Box::leak` gives the spawned threads `'static` access to the shared
+//! structure; the loom run owns the whole process, so the leak is
+//! bounded by the number of explored schedules and irrelevant in
+//! practice (test-only binary).
+#![cfg(loom)]
+
+use nwhy_util::atomics::{atomic_min_u32, cas_u32};
+use nwhy_util::bitmap::AtomicBitmap;
+use nwhy_util::sync::{AtomicU32, AtomicUsize, Ordering};
+use nwhy_util::workq::ChunkedQueue;
+
+/// Two threads race `atomic_min_u32` with different values: the final
+/// value must be the minimum of both, and at least the thread carrying
+/// the global minimum must report a win (both may win transiently if
+/// the larger value lands first).
+#[test]
+fn loom_atomic_min_two_threads() {
+    loom::model(|| {
+        let a: &'static AtomicU32 = Box::leak(Box::new(AtomicU32::new(100)));
+        let wins: &'static AtomicUsize = Box::leak(Box::new(AtomicUsize::new(0)));
+
+        let t1 = loom::thread::spawn(move || {
+            if atomic_min_u32(a, 7) {
+                wins.fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        let t2 = loom::thread::spawn(move || {
+            if atomic_min_u32(a, 3) {
+                wins.fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        t1.join().unwrap();
+        t2.join().unwrap();
+
+        assert_eq!(a.load(Ordering::Relaxed), 3, "min must survive the race");
+        let w = wins.load(Ordering::Relaxed);
+        assert!((1..=2).contains(&w), "between one and two winners, got {w}");
+    });
+}
+
+/// The CC kernels rely on "exactly one thread claims the slot": two
+/// threads CAS the same unvisited slot; exactly one must succeed.
+#[test]
+fn loom_cas_claims_exactly_once() {
+    loom::model(|| {
+        let a: &'static AtomicU32 = Box::leak(Box::new(AtomicU32::new(u32::MAX)));
+        let wins: &'static AtomicUsize = Box::leak(Box::new(AtomicUsize::new(0)));
+
+        let handles: Vec<_> = (0..2u32)
+            .map(|t| {
+                loom::thread::spawn(move || {
+                    if cas_u32(a, u32::MAX, t) {
+                        wins.fetch_add(1, Ordering::Relaxed);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+
+        assert_eq!(wins.load(Ordering::Relaxed), 1, "exactly one claimant");
+        assert!(a.load(Ordering::Relaxed) < 2, "winner's value stored");
+    });
+}
+
+/// Two threads set the same bit: exactly one may observe the 0→1
+/// transition, and the bit must be set afterwards. This is the frontier
+/// dedup property direction-optimizing BFS depends on.
+#[test]
+fn loom_bitmap_set_single_transition() {
+    loom::model(|| {
+        let bm: &'static AtomicBitmap = Box::leak(Box::new(AtomicBitmap::new(64)));
+        let wins: &'static AtomicUsize = Box::leak(Box::new(AtomicUsize::new(0)));
+
+        let t1 = loom::thread::spawn(move || {
+            if bm.set(5) {
+                wins.fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        let t2 = loom::thread::spawn(move || {
+            if bm.set(5) {
+                wins.fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        t1.join().unwrap();
+        t2.join().unwrap();
+
+        assert!(bm.get(5));
+        assert_eq!(wins.load(Ordering::Relaxed), 1, "one 0→1 transition");
+    });
+}
+
+/// Two threads set different bits of the same word: both transitions
+/// must be observed (the Relaxed fast-path peek must not eat a win).
+#[test]
+fn loom_bitmap_set_distinct_bits_same_word() {
+    loom::model(|| {
+        let bm: &'static AtomicBitmap = Box::leak(Box::new(AtomicBitmap::new(64)));
+
+        let t1 = loom::thread::spawn(move || bm.set(3));
+        let t2 = loom::thread::spawn(move || bm.set(40));
+        let w1 = t1.join().unwrap();
+        let w2 = t2.join().unwrap();
+
+        assert!(w1 && w2, "distinct bits: both setters must win");
+        assert!(bm.get(3) && bm.get(40));
+    });
+}
+
+/// A set bit publishes the setter's prior write: if the reader sees the
+/// bit, it must also see the data written before `set` (AcqRel/Acquire
+/// pairing — the BFS "frontier bit implies parent visible" contract).
+#[test]
+fn loom_bitmap_set_publishes_prior_write() {
+    loom::model(|| {
+        let bm: &'static AtomicBitmap = Box::leak(Box::new(AtomicBitmap::new(64)));
+        let data: &'static AtomicU32 = Box::leak(Box::new(AtomicU32::new(0)));
+
+        let writer = loom::thread::spawn(move || {
+            data.store(42, Ordering::Relaxed);
+            bm.set(0);
+        });
+        let reader = loom::thread::spawn(move || {
+            if bm.get(0) {
+                assert_eq!(
+                    data.load(Ordering::Relaxed),
+                    42,
+                    "bit visible but prior write missing"
+                );
+            }
+        });
+        writer.join().unwrap();
+        reader.join().unwrap();
+    });
+}
+
+/// Two threads race two steal attempts each on a two-item queue with
+/// chunk 1: four attempts are enough to drain it under any schedule, so
+/// every item must be handed out exactly once, and the cursor must stay
+/// bounded afterwards (the regression the fast-path/CAS-cap fix
+/// addresses). Stolen values come back through `join` rather than a
+/// shared atomic to keep the schedule space small.
+#[test]
+fn loom_chunked_queue_steal_exactly_once() {
+    loom::model(|| {
+        static ITEMS: [u32; 2] = [10, 20];
+        let q: &'static ChunkedQueue<'static, u32> =
+            Box::leak(Box::new(ChunkedQueue::new(&ITEMS, 1)));
+
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                loom::thread::spawn(move || {
+                    let mut got = Vec::new();
+                    for _ in 0..2 {
+                        if let Some(chunk) = q.steal() {
+                            got.extend_from_slice(chunk);
+                        }
+                    }
+                    got
+                })
+            })
+            .collect();
+        let mut all: Vec<u32> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
+        all.sort_unstable();
+
+        assert_eq!(all, vec![10, 20], "each item handed out exactly once");
+        assert!(q.steal().is_none(), "drained queue must stay drained");
+        // With the fast-path + CAS-cap fix the cursor always lands on
+        // exactly `len` (at most one overshoot per drain, and its cap
+        // CAS cannot lose here). The old unconditional fetch_add ends
+        // at ≥ len + 1 in every schedule, so this catches the bug.
+        assert_eq!(q.cursor(), ITEMS.len(), "cursor escaped bound");
+    });
+}

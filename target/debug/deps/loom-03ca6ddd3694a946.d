@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/loom-03ca6ddd3694a946.d: vendor/loom/src/lib.rs vendor/loom/src/rt.rs vendor/loom/src/sync.rs vendor/loom/src/thread.rs Cargo.toml
+
+/root/repo/target/debug/deps/libloom-03ca6ddd3694a946.rmeta: vendor/loom/src/lib.rs vendor/loom/src/rt.rs vendor/loom/src/sync.rs vendor/loom/src/thread.rs Cargo.toml
+
+vendor/loom/src/lib.rs:
+vendor/loom/src/rt.rs:
+vendor/loom/src/sync.rs:
+vendor/loom/src/thread.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/loom-2e85c0f18f2ad848.d: vendor/loom/src/lib.rs vendor/loom/src/rt.rs vendor/loom/src/sync.rs vendor/loom/src/thread.rs
+
+/root/repo/target/debug/deps/loom-2e85c0f18f2ad848: vendor/loom/src/lib.rs vendor/loom/src/rt.rs vendor/loom/src/sync.rs vendor/loom/src/thread.rs
+
+vendor/loom/src/lib.rs:
+vendor/loom/src/rt.rs:
+vendor/loom/src/sync.rs:
+vendor/loom/src/thread.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/loom-381dae39e412dcc2.d: crates/util/tests/loom.rs Cargo.toml
+
+/root/repo/target/debug/deps/libloom-381dae39e412dcc2.rmeta: crates/util/tests/loom.rs Cargo.toml
+
+crates/util/tests/loom.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

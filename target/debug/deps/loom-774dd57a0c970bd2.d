@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/loom-774dd57a0c970bd2.d: vendor/loom/src/lib.rs vendor/loom/src/rt.rs vendor/loom/src/sync.rs vendor/loom/src/thread.rs
+
+/root/repo/target/debug/deps/libloom-774dd57a0c970bd2.rlib: vendor/loom/src/lib.rs vendor/loom/src/rt.rs vendor/loom/src/sync.rs vendor/loom/src/thread.rs
+
+/root/repo/target/debug/deps/libloom-774dd57a0c970bd2.rmeta: vendor/loom/src/lib.rs vendor/loom/src/rt.rs vendor/loom/src/sync.rs vendor/loom/src/thread.rs
+
+vendor/loom/src/lib.rs:
+vendor/loom/src/rt.rs:
+vendor/loom/src/sync.rs:
+vendor/loom/src/thread.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/loom-f1b690d26341de28.d: crates/util/tests/loom.rs
+
+/root/repo/target/debug/deps/loom-f1b690d26341de28: crates/util/tests/loom.rs
+
+crates/util/tests/loom.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/loom-fb16b63de40c826a.d: vendor/loom/src/lib.rs vendor/loom/src/rt.rs vendor/loom/src/sync.rs vendor/loom/src/thread.rs Cargo.toml
+
+/root/repo/target/debug/deps/libloom-fb16b63de40c826a.rmeta: vendor/loom/src/lib.rs vendor/loom/src/rt.rs vendor/loom/src/sync.rs vendor/loom/src/thread.rs Cargo.toml
+
+vendor/loom/src/lib.rs:
+vendor/loom/src/rt.rs:
+vendor/loom/src/sync.rs:
+vendor/loom/src/thread.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,8 +1,8 @@
-/root/repo/target/debug/deps/nwhy_core-9309d34becad9e96.d: crates/core/src/lib.rs crates/core/src/adjoin.rs crates/core/src/algorithms/mod.rs crates/core/src/algorithms/adjoin_bfs.rs crates/core/src/algorithms/adjoin_cc.rs crates/core/src/algorithms/hyper_bfs.rs crates/core/src/algorithms/hyper_cc.rs crates/core/src/algorithms/kcore.rs crates/core/src/algorithms/s_components.rs crates/core/src/algorithms/toplex.rs crates/core/src/biedgelist.rs crates/core/src/clique.rs crates/core/src/fixtures.rs crates/core/src/hypergraph.rs crates/core/src/matrix.rs crates/core/src/ops.rs crates/core/src/repr.rs crates/core/src/slinegraph/mod.rs crates/core/src/slinegraph/builder.rs crates/core/src/slinegraph/ensemble.rs crates/core/src/slinegraph/hashmap.rs crates/core/src/slinegraph/intersection.rs crates/core/src/slinegraph/naive.rs crates/core/src/slinegraph/pair_sort.rs crates/core/src/slinegraph/queue_single.rs crates/core/src/slinegraph/queue_two_phase.rs crates/core/src/slinegraph/weighted.rs crates/core/src/smetrics.rs crates/core/src/transform.rs
+/root/repo/target/debug/deps/nwhy_core-9309d34becad9e96.d: crates/core/src/lib.rs crates/core/src/adjoin.rs crates/core/src/algorithms/mod.rs crates/core/src/algorithms/adjoin_bfs.rs crates/core/src/algorithms/adjoin_cc.rs crates/core/src/algorithms/hyper_bfs.rs crates/core/src/algorithms/hyper_cc.rs crates/core/src/algorithms/kcore.rs crates/core/src/algorithms/s_components.rs crates/core/src/algorithms/toplex.rs crates/core/src/biedgelist.rs crates/core/src/clique.rs crates/core/src/fixtures.rs crates/core/src/hypergraph.rs crates/core/src/matrix.rs crates/core/src/ops.rs crates/core/src/repr.rs crates/core/src/slinegraph/mod.rs crates/core/src/slinegraph/builder.rs crates/core/src/slinegraph/ensemble.rs crates/core/src/slinegraph/hashmap.rs crates/core/src/slinegraph/intersection.rs crates/core/src/slinegraph/naive.rs crates/core/src/slinegraph/pair_sort.rs crates/core/src/slinegraph/queue_single.rs crates/core/src/slinegraph/queue_two_phase.rs crates/core/src/slinegraph/weighted.rs crates/core/src/smetrics.rs crates/core/src/transform.rs crates/core/src/validate.rs
 
-/root/repo/target/debug/deps/libnwhy_core-9309d34becad9e96.rlib: crates/core/src/lib.rs crates/core/src/adjoin.rs crates/core/src/algorithms/mod.rs crates/core/src/algorithms/adjoin_bfs.rs crates/core/src/algorithms/adjoin_cc.rs crates/core/src/algorithms/hyper_bfs.rs crates/core/src/algorithms/hyper_cc.rs crates/core/src/algorithms/kcore.rs crates/core/src/algorithms/s_components.rs crates/core/src/algorithms/toplex.rs crates/core/src/biedgelist.rs crates/core/src/clique.rs crates/core/src/fixtures.rs crates/core/src/hypergraph.rs crates/core/src/matrix.rs crates/core/src/ops.rs crates/core/src/repr.rs crates/core/src/slinegraph/mod.rs crates/core/src/slinegraph/builder.rs crates/core/src/slinegraph/ensemble.rs crates/core/src/slinegraph/hashmap.rs crates/core/src/slinegraph/intersection.rs crates/core/src/slinegraph/naive.rs crates/core/src/slinegraph/pair_sort.rs crates/core/src/slinegraph/queue_single.rs crates/core/src/slinegraph/queue_two_phase.rs crates/core/src/slinegraph/weighted.rs crates/core/src/smetrics.rs crates/core/src/transform.rs
+/root/repo/target/debug/deps/libnwhy_core-9309d34becad9e96.rlib: crates/core/src/lib.rs crates/core/src/adjoin.rs crates/core/src/algorithms/mod.rs crates/core/src/algorithms/adjoin_bfs.rs crates/core/src/algorithms/adjoin_cc.rs crates/core/src/algorithms/hyper_bfs.rs crates/core/src/algorithms/hyper_cc.rs crates/core/src/algorithms/kcore.rs crates/core/src/algorithms/s_components.rs crates/core/src/algorithms/toplex.rs crates/core/src/biedgelist.rs crates/core/src/clique.rs crates/core/src/fixtures.rs crates/core/src/hypergraph.rs crates/core/src/matrix.rs crates/core/src/ops.rs crates/core/src/repr.rs crates/core/src/slinegraph/mod.rs crates/core/src/slinegraph/builder.rs crates/core/src/slinegraph/ensemble.rs crates/core/src/slinegraph/hashmap.rs crates/core/src/slinegraph/intersection.rs crates/core/src/slinegraph/naive.rs crates/core/src/slinegraph/pair_sort.rs crates/core/src/slinegraph/queue_single.rs crates/core/src/slinegraph/queue_two_phase.rs crates/core/src/slinegraph/weighted.rs crates/core/src/smetrics.rs crates/core/src/transform.rs crates/core/src/validate.rs
 
-/root/repo/target/debug/deps/libnwhy_core-9309d34becad9e96.rmeta: crates/core/src/lib.rs crates/core/src/adjoin.rs crates/core/src/algorithms/mod.rs crates/core/src/algorithms/adjoin_bfs.rs crates/core/src/algorithms/adjoin_cc.rs crates/core/src/algorithms/hyper_bfs.rs crates/core/src/algorithms/hyper_cc.rs crates/core/src/algorithms/kcore.rs crates/core/src/algorithms/s_components.rs crates/core/src/algorithms/toplex.rs crates/core/src/biedgelist.rs crates/core/src/clique.rs crates/core/src/fixtures.rs crates/core/src/hypergraph.rs crates/core/src/matrix.rs crates/core/src/ops.rs crates/core/src/repr.rs crates/core/src/slinegraph/mod.rs crates/core/src/slinegraph/builder.rs crates/core/src/slinegraph/ensemble.rs crates/core/src/slinegraph/hashmap.rs crates/core/src/slinegraph/intersection.rs crates/core/src/slinegraph/naive.rs crates/core/src/slinegraph/pair_sort.rs crates/core/src/slinegraph/queue_single.rs crates/core/src/slinegraph/queue_two_phase.rs crates/core/src/slinegraph/weighted.rs crates/core/src/smetrics.rs crates/core/src/transform.rs
+/root/repo/target/debug/deps/libnwhy_core-9309d34becad9e96.rmeta: crates/core/src/lib.rs crates/core/src/adjoin.rs crates/core/src/algorithms/mod.rs crates/core/src/algorithms/adjoin_bfs.rs crates/core/src/algorithms/adjoin_cc.rs crates/core/src/algorithms/hyper_bfs.rs crates/core/src/algorithms/hyper_cc.rs crates/core/src/algorithms/kcore.rs crates/core/src/algorithms/s_components.rs crates/core/src/algorithms/toplex.rs crates/core/src/biedgelist.rs crates/core/src/clique.rs crates/core/src/fixtures.rs crates/core/src/hypergraph.rs crates/core/src/matrix.rs crates/core/src/ops.rs crates/core/src/repr.rs crates/core/src/slinegraph/mod.rs crates/core/src/slinegraph/builder.rs crates/core/src/slinegraph/ensemble.rs crates/core/src/slinegraph/hashmap.rs crates/core/src/slinegraph/intersection.rs crates/core/src/slinegraph/naive.rs crates/core/src/slinegraph/pair_sort.rs crates/core/src/slinegraph/queue_single.rs crates/core/src/slinegraph/queue_two_phase.rs crates/core/src/slinegraph/weighted.rs crates/core/src/smetrics.rs crates/core/src/transform.rs crates/core/src/validate.rs
 
 crates/core/src/lib.rs:
 crates/core/src/adjoin.rs:
@@ -33,3 +33,4 @@ crates/core/src/slinegraph/queue_two_phase.rs:
 crates/core/src/slinegraph/weighted.rs:
 crates/core/src/smetrics.rs:
 crates/core/src/transform.rs:
+crates/core/src/validate.rs:

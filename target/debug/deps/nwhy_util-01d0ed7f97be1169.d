@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/nwhy_util-01d0ed7f97be1169.d: crates/util/src/lib.rs crates/util/src/atomics.rs crates/util/src/bitmap.rs crates/util/src/fxhash.rs crates/util/src/partition.rs crates/util/src/pool.rs crates/util/src/prefix.rs crates/util/src/sync.rs crates/util/src/timer.rs crates/util/src/workq.rs
+
+/root/repo/target/debug/deps/nwhy_util-01d0ed7f97be1169: crates/util/src/lib.rs crates/util/src/atomics.rs crates/util/src/bitmap.rs crates/util/src/fxhash.rs crates/util/src/partition.rs crates/util/src/pool.rs crates/util/src/prefix.rs crates/util/src/sync.rs crates/util/src/timer.rs crates/util/src/workq.rs
+
+crates/util/src/lib.rs:
+crates/util/src/atomics.rs:
+crates/util/src/bitmap.rs:
+crates/util/src/fxhash.rs:
+crates/util/src/partition.rs:
+crates/util/src/pool.rs:
+crates/util/src/prefix.rs:
+crates/util/src/sync.rs:
+crates/util/src/timer.rs:
+crates/util/src/workq.rs:

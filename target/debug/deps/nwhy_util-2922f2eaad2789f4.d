@@ -1,8 +1,8 @@
-/root/repo/target/debug/deps/nwhy_util-2922f2eaad2789f4.d: crates/util/src/lib.rs crates/util/src/atomics.rs crates/util/src/bitmap.rs crates/util/src/fxhash.rs crates/util/src/partition.rs crates/util/src/pool.rs crates/util/src/prefix.rs crates/util/src/timer.rs crates/util/src/workq.rs
+/root/repo/target/debug/deps/nwhy_util-2922f2eaad2789f4.d: crates/util/src/lib.rs crates/util/src/atomics.rs crates/util/src/bitmap.rs crates/util/src/fxhash.rs crates/util/src/partition.rs crates/util/src/pool.rs crates/util/src/prefix.rs crates/util/src/sync.rs crates/util/src/timer.rs crates/util/src/workq.rs
 
-/root/repo/target/debug/deps/libnwhy_util-2922f2eaad2789f4.rlib: crates/util/src/lib.rs crates/util/src/atomics.rs crates/util/src/bitmap.rs crates/util/src/fxhash.rs crates/util/src/partition.rs crates/util/src/pool.rs crates/util/src/prefix.rs crates/util/src/timer.rs crates/util/src/workq.rs
+/root/repo/target/debug/deps/libnwhy_util-2922f2eaad2789f4.rlib: crates/util/src/lib.rs crates/util/src/atomics.rs crates/util/src/bitmap.rs crates/util/src/fxhash.rs crates/util/src/partition.rs crates/util/src/pool.rs crates/util/src/prefix.rs crates/util/src/sync.rs crates/util/src/timer.rs crates/util/src/workq.rs
 
-/root/repo/target/debug/deps/libnwhy_util-2922f2eaad2789f4.rmeta: crates/util/src/lib.rs crates/util/src/atomics.rs crates/util/src/bitmap.rs crates/util/src/fxhash.rs crates/util/src/partition.rs crates/util/src/pool.rs crates/util/src/prefix.rs crates/util/src/timer.rs crates/util/src/workq.rs
+/root/repo/target/debug/deps/libnwhy_util-2922f2eaad2789f4.rmeta: crates/util/src/lib.rs crates/util/src/atomics.rs crates/util/src/bitmap.rs crates/util/src/fxhash.rs crates/util/src/partition.rs crates/util/src/pool.rs crates/util/src/prefix.rs crates/util/src/sync.rs crates/util/src/timer.rs crates/util/src/workq.rs
 
 crates/util/src/lib.rs:
 crates/util/src/atomics.rs:
@@ -11,5 +11,6 @@ crates/util/src/fxhash.rs:
 crates/util/src/partition.rs:
 crates/util/src/pool.rs:
 crates/util/src/prefix.rs:
+crates/util/src/sync.rs:
 crates/util/src/timer.rs:
 crates/util/src/workq.rs:

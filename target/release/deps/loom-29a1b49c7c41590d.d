@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/loom-29a1b49c7c41590d.d: crates/util/tests/loom.rs
+
+/root/repo/target/release/deps/loom-29a1b49c7c41590d: crates/util/tests/loom.rs
+
+crates/util/tests/loom.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/loom-a07f62df5e16f573.d: vendor/loom/src/lib.rs vendor/loom/src/rt.rs vendor/loom/src/sync.rs vendor/loom/src/thread.rs
+
+/root/repo/target/release/deps/libloom-a07f62df5e16f573.rlib: vendor/loom/src/lib.rs vendor/loom/src/rt.rs vendor/loom/src/sync.rs vendor/loom/src/thread.rs
+
+/root/repo/target/release/deps/libloom-a07f62df5e16f573.rmeta: vendor/loom/src/lib.rs vendor/loom/src/rt.rs vendor/loom/src/sync.rs vendor/loom/src/thread.rs
+
+vendor/loom/src/lib.rs:
+vendor/loom/src/rt.rs:
+vendor/loom/src/sync.rs:
+vendor/loom/src/thread.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/loom-d19f7fa2aafb0d4d.d: vendor/loom/src/lib.rs vendor/loom/src/rt.rs vendor/loom/src/sync.rs vendor/loom/src/thread.rs
+
+/root/repo/target/release/deps/libloom-d19f7fa2aafb0d4d.rlib: vendor/loom/src/lib.rs vendor/loom/src/rt.rs vendor/loom/src/sync.rs vendor/loom/src/thread.rs
+
+/root/repo/target/release/deps/libloom-d19f7fa2aafb0d4d.rmeta: vendor/loom/src/lib.rs vendor/loom/src/rt.rs vendor/loom/src/sync.rs vendor/loom/src/thread.rs
+
+vendor/loom/src/lib.rs:
+vendor/loom/src/rt.rs:
+vendor/loom/src/sync.rs:
+vendor/loom/src/thread.rs:

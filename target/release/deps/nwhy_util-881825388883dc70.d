@@ -1,8 +1,8 @@
-/root/repo/target/release/deps/nwhy_util-881825388883dc70.d: crates/util/src/lib.rs crates/util/src/atomics.rs crates/util/src/bitmap.rs crates/util/src/fxhash.rs crates/util/src/partition.rs crates/util/src/pool.rs crates/util/src/prefix.rs crates/util/src/timer.rs crates/util/src/workq.rs
+/root/repo/target/release/deps/nwhy_util-881825388883dc70.d: crates/util/src/lib.rs crates/util/src/atomics.rs crates/util/src/bitmap.rs crates/util/src/fxhash.rs crates/util/src/partition.rs crates/util/src/pool.rs crates/util/src/prefix.rs crates/util/src/sync.rs crates/util/src/timer.rs crates/util/src/workq.rs
 
-/root/repo/target/release/deps/libnwhy_util-881825388883dc70.rlib: crates/util/src/lib.rs crates/util/src/atomics.rs crates/util/src/bitmap.rs crates/util/src/fxhash.rs crates/util/src/partition.rs crates/util/src/pool.rs crates/util/src/prefix.rs crates/util/src/timer.rs crates/util/src/workq.rs
+/root/repo/target/release/deps/libnwhy_util-881825388883dc70.rlib: crates/util/src/lib.rs crates/util/src/atomics.rs crates/util/src/bitmap.rs crates/util/src/fxhash.rs crates/util/src/partition.rs crates/util/src/pool.rs crates/util/src/prefix.rs crates/util/src/sync.rs crates/util/src/timer.rs crates/util/src/workq.rs
 
-/root/repo/target/release/deps/libnwhy_util-881825388883dc70.rmeta: crates/util/src/lib.rs crates/util/src/atomics.rs crates/util/src/bitmap.rs crates/util/src/fxhash.rs crates/util/src/partition.rs crates/util/src/pool.rs crates/util/src/prefix.rs crates/util/src/timer.rs crates/util/src/workq.rs
+/root/repo/target/release/deps/libnwhy_util-881825388883dc70.rmeta: crates/util/src/lib.rs crates/util/src/atomics.rs crates/util/src/bitmap.rs crates/util/src/fxhash.rs crates/util/src/partition.rs crates/util/src/pool.rs crates/util/src/prefix.rs crates/util/src/sync.rs crates/util/src/timer.rs crates/util/src/workq.rs
 
 crates/util/src/lib.rs:
 crates/util/src/atomics.rs:
@@ -11,5 +11,6 @@ crates/util/src/fxhash.rs:
 crates/util/src/partition.rs:
 crates/util/src/pool.rs:
 crates/util/src/prefix.rs:
+crates/util/src/sync.rs:
 crates/util/src/timer.rs:
 crates/util/src/workq.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/rayon-497101186783ec39.d: vendor/rayon/src/lib.rs vendor/rayon/src/iter.rs vendor/rayon/src/pool.rs vendor/rayon/src/slice.rs
+
+/root/repo/target/release/deps/librayon-497101186783ec39.rlib: vendor/rayon/src/lib.rs vendor/rayon/src/iter.rs vendor/rayon/src/pool.rs vendor/rayon/src/slice.rs
+
+/root/repo/target/release/deps/librayon-497101186783ec39.rmeta: vendor/rayon/src/lib.rs vendor/rayon/src/iter.rs vendor/rayon/src/pool.rs vendor/rayon/src/slice.rs
+
+vendor/rayon/src/lib.rs:
+vendor/rayon/src/iter.rs:
+vendor/rayon/src/pool.rs:
+vendor/rayon/src/slice.rs:

@@ -1,0 +1,1 @@
+/root/repo/target/release/libloom.rlib: /root/repo/vendor/loom/src/lib.rs /root/repo/vendor/loom/src/rt.rs /root/repo/vendor/loom/src/sync.rs /root/repo/vendor/loom/src/thread.rs

@@ -1,0 +1,46 @@
+//! Offline stand-in for the [`loom`](https://docs.rs/loom) concurrency
+//! model checker (see `vendor/README.md`).
+//!
+//! [`model`] runs a closure repeatedly, exploring **every** schedule of
+//! the logical threads it spawns: each atomic operation is a yield
+//! point, and a depth-first search over the scheduling decisions at
+//! those points enumerates all interleavings. Assertions inside the
+//! closure therefore hold for every possible execution order, not just
+//! the ones the OS scheduler happened to produce.
+//!
+//! # Scope and deviations from crates-io loom
+//!
+//! - **Sequentially consistent semantics.** Real loom additionally
+//!   models the C11 weak-memory effects of `Relaxed`/`Acquire`/
+//!   `Release` orderings; this stand-in serializes threads, so every
+//!   execution it explores is sequentially consistent. It exhaustively
+//!   catches *interleaving* bugs (lost updates, double claims, missed
+//!   wakeups) but not *reordering* bugs; the nightly ThreadSanitizer CI
+//!   job covers those on real hardware.
+//! - `compare_exchange_weak` never fails spuriously (same as loom).
+//! - The API subset is what this workspace uses: [`model`],
+//!   [`thread::spawn`]/[`thread::JoinHandle`]/[`thread::yield_now`],
+//!   the integer atomics in [`sync::atomic`], and [`sync::Arc`].
+//!
+//! # Example
+//!
+//! ```
+//! use loom::sync::atomic::{AtomicUsize, Ordering};
+//!
+//! loom::model(|| {
+//!     let n: &'static AtomicUsize = Box::leak(Box::new(AtomicUsize::new(0)));
+//!     let t1 = loom::thread::spawn(move || n.fetch_add(1, Ordering::Relaxed));
+//!     let t2 = loom::thread::spawn(move || n.fetch_add(1, Ordering::Relaxed));
+//!     t1.join().unwrap();
+//!     t2.join().unwrap();
+//!     assert_eq!(n.load(Ordering::Relaxed), 2); // holds in every schedule
+//! });
+//! ```
+
+#![forbid(unsafe_code)]
+
+mod rt;
+pub mod sync;
+pub mod thread;
+
+pub use rt::model;

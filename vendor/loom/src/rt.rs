@@ -1,0 +1,333 @@
+//! The cooperative scheduler and DFS driver behind [`model`].
+//!
+//! Every logical model thread is backed by an OS thread, but a
+//! mutex/condvar baton guarantees exactly one runs at any moment. Each
+//! atomic operation calls [`yield_point`] before executing, which hands
+//! control to the scheduler; the scheduler either replays a recorded
+//! decision (the DFS prefix) or defaults to the lowest-numbered
+//! runnable thread and records the branch. After an execution finishes,
+//! the driver bumps the deepest decision that still has an untried
+//! alternative and reruns — depth-first search over the whole schedule
+//! tree, terminating when every decision at every depth is exhausted.
+
+use std::cell::RefCell;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+
+/// Runaway protection: no model in this workspace needs more than a few
+/// thousand executions; hitting this bound means the model is too big
+/// to check exhaustively and should be shrunk.
+const MAX_EXECUTIONS: usize = 100_000;
+
+const PANIC_MSG: &str = "loom (vendored): another model thread panicked";
+
+/// `active` value meaning "execution complete, nobody runs".
+const DONE: usize = usize::MAX;
+
+thread_local! {
+    static CONTEXT: RefCell<Option<(Arc<Rt>, usize)>> = const { RefCell::new(None) };
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Status {
+    Runnable,
+    /// Waiting for the thread with the given ID to finish.
+    Blocked(usize),
+    Finished,
+}
+
+/// One recorded scheduling decision: `picked` indexes into the
+/// ascending-ID list of threads that were runnable at the decision
+/// point. Only points with more than one runnable thread are recorded —
+/// forced moves have no alternative to explore.
+struct Branch {
+    enabled: usize,
+    picked: usize,
+}
+
+struct Inner {
+    status: Vec<Status>,
+    /// ID of the one thread allowed to run, or [`DONE`].
+    active: usize,
+    /// Threads not yet [`Status::Finished`].
+    live: usize,
+    /// Decision prefix to replay this execution (DFS path).
+    replay: Vec<usize>,
+    /// Decisions actually taken this execution.
+    branches: Vec<Branch>,
+    /// Set when any model thread panics; poisons every wait loop.
+    panicked: bool,
+    os_handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+pub(crate) struct Rt {
+    inner: Mutex<Inner>,
+    cv: Condvar,
+}
+
+impl Rt {
+    fn new(replay: Vec<usize>) -> Arc<Rt> {
+        Arc::new(Rt {
+            inner: Mutex::new(Inner {
+                // Thread 0 is the model closure itself, active from the start.
+                status: vec![Status::Runnable],
+                active: 0,
+                live: 1,
+                replay,
+                branches: Vec::new(),
+                panicked: false,
+                os_handles: Vec::new(),
+            }),
+            cv: Condvar::new(),
+        })
+    }
+
+    /// Poison-tolerant lock: a panicking model thread must not cascade
+    /// into panics-while-panicking in the other threads' teardown.
+    fn lock(&self) -> MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Chooses the next active thread among the runnable ones,
+    /// consuming the replay prefix while it lasts and recording the
+    /// decision when there was a real choice. Call with the lock held,
+    /// after updating the calling thread's own status.
+    fn pick_next(&self, inner: &mut Inner) {
+        let enabled: Vec<usize> = inner
+            .status
+            .iter()
+            .enumerate()
+            .filter(|&(_, s)| *s == Status::Runnable)
+            .map(|(i, _)| i)
+            .collect();
+        if enabled.is_empty() {
+            if inner.live == 0 {
+                inner.active = DONE;
+                return;
+            }
+            inner.panicked = true;
+            self.cv.notify_all();
+            panic!("loom (vendored): deadlock — every live thread is blocked on join");
+        }
+        if enabled.len() == 1 {
+            // Forced move: not recorded, no replay slot consumed.
+            inner.active = enabled[0];
+            return;
+        }
+        let picked = if inner.branches.len() < inner.replay.len() {
+            inner.replay[inner.branches.len()]
+        } else {
+            0
+        };
+        debug_assert!(picked < enabled.len(), "replay prefix diverged");
+        inner.active = enabled[picked];
+        inner.branches.push(Branch {
+            enabled: enabled.len(),
+            picked,
+        });
+    }
+
+    /// A schedule point: thread `me` offers to hand over control, then
+    /// blocks until it is scheduled again.
+    fn switch(&self, me: usize) {
+        let mut inner = self.lock();
+        if inner.panicked {
+            drop(inner);
+            panic!("{PANIC_MSG}");
+        }
+        self.pick_next(&mut inner);
+        if inner.active == me {
+            return;
+        }
+        self.cv.notify_all();
+        while inner.active != me {
+            if inner.panicked {
+                drop(inner);
+                panic!("{PANIC_MSG}");
+            }
+            inner = self.cv.wait(inner).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Marks `me` finished, wakes its joiners, and schedules a successor.
+    fn finish(&self, me: usize) {
+        let mut inner = self.lock();
+        inner.status[me] = Status::Finished;
+        inner.live -= 1;
+        for s in inner.status.iter_mut() {
+            if *s == Status::Blocked(me) {
+                *s = Status::Runnable;
+            }
+        }
+        self.pick_next(&mut inner);
+        self.cv.notify_all();
+    }
+
+    /// Records a panic in a model thread and wakes everyone so the
+    /// execution can tear down instead of deadlocking.
+    fn abort(&self, me: usize) {
+        let mut inner = self.lock();
+        inner.panicked = true;
+        inner.status[me] = Status::Finished;
+        self.cv.notify_all();
+    }
+
+    fn wait_all_done(&self) {
+        let mut inner = self.lock();
+        while inner.active != DONE && !inner.panicked {
+            inner = self.cv.wait(inner).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+}
+
+/// Flags the runtime if the guarded scope unwinds.
+struct PanicGuard {
+    rt: Arc<Rt>,
+    id: usize,
+}
+
+impl Drop for PanicGuard {
+    fn drop(&mut self) {
+        self.rt.abort(self.id);
+    }
+}
+
+fn current() -> (Arc<Rt>, usize) {
+    CONTEXT
+        .with(|c| c.borrow().clone())
+        .expect("loom primitive used outside loom::model")
+}
+
+/// Yield point invoked by every atomic operation (and
+/// [`crate::thread::yield_now`]).
+pub(crate) fn yield_point() {
+    let (rt, me) = current();
+    rt.switch(me);
+}
+
+/// Registers a new logical thread running `f` and yields so the child
+/// is immediately schedulable. Returns the new thread's ID.
+pub(crate) fn spawn(f: Box<dyn FnOnce() + Send>) -> usize {
+    let (rt, me) = current();
+    let id;
+    {
+        let mut inner = rt.lock();
+        inner.status.push(Status::Runnable);
+        inner.live += 1;
+        id = inner.status.len() - 1;
+        let rt2 = Arc::clone(&rt);
+        let handle = std::thread::Builder::new()
+            .name(format!("loom-{id}"))
+            .spawn(move || {
+                CONTEXT.with(|c| *c.borrow_mut() = Some((Arc::clone(&rt2), id)));
+                // Park until first scheduled; exit silently if the
+                // execution was already torn down by a panic elsewhere.
+                {
+                    let mut inner = rt2.lock();
+                    while inner.active != id {
+                        if inner.panicked {
+                            return;
+                        }
+                        inner = rt2.cv.wait(inner).unwrap_or_else(PoisonError::into_inner);
+                    }
+                }
+                let guard = PanicGuard {
+                    rt: Arc::clone(&rt2),
+                    id,
+                };
+                f();
+                std::mem::forget(guard);
+                rt2.finish(id);
+            })
+            .expect("failed to spawn loom model thread");
+        inner.os_handles.push(handle);
+    }
+    rt.switch(me);
+    id
+}
+
+/// Blocks the calling logical thread until `target` finishes.
+pub(crate) fn join(target: usize) {
+    let (rt, me) = current();
+    let mut inner = rt.lock();
+    if inner.panicked {
+        drop(inner);
+        panic!("{PANIC_MSG}");
+    }
+    if inner.status[target] == Status::Finished {
+        return;
+    }
+    inner.status[me] = Status::Blocked(target);
+    rt.pick_next(&mut inner);
+    rt.cv.notify_all();
+    while inner.active != me {
+        if inner.panicked {
+            drop(inner);
+            panic!("{PANIC_MSG}");
+        }
+        inner = rt.cv.wait(inner).unwrap_or_else(PoisonError::into_inner);
+    }
+}
+
+/// The next DFS path: bump the deepest decision with an untried
+/// alternative and drop everything after it; `None` when the tree is
+/// exhausted.
+fn next_replay(branches: &[Branch]) -> Option<Vec<usize>> {
+    for i in (0..branches.len()).rev() {
+        if branches[i].picked + 1 < branches[i].enabled {
+            let mut path: Vec<usize> = branches[..i].iter().map(|b| b.picked).collect();
+            path.push(branches[i].picked + 1);
+            return Some(path);
+        }
+    }
+    None
+}
+
+/// Checks a concurrent model by running `f` under every possible
+/// schedule of the threads it spawns (sequentially consistent
+/// semantics; see the crate docs for the deviation from crates-io
+/// loom). Panics — i.e. fails the enclosing test — if `f` panics under
+/// any schedule.
+pub fn model<F>(f: F)
+where
+    F: Fn() + Sync + Send + 'static,
+{
+    let mut replay: Vec<usize> = Vec::new();
+    let mut executions = 0usize;
+    loop {
+        executions += 1;
+        assert!(
+            executions <= MAX_EXECUTIONS,
+            "loom (vendored): exceeded {MAX_EXECUTIONS} executions; shrink the model"
+        );
+        let rt = Rt::new(replay.clone());
+        CONTEXT.with(|c| *c.borrow_mut() = Some((Arc::clone(&rt), 0)));
+        let guard = PanicGuard {
+            rt: Arc::clone(&rt),
+            id: 0,
+        };
+        f();
+        std::mem::forget(guard);
+        rt.finish(0);
+        rt.wait_all_done();
+        CONTEXT.with(|c| *c.borrow_mut() = None);
+        let (branches, panicked, handles) = {
+            let mut inner = rt.lock();
+            (
+                std::mem::take(&mut inner.branches),
+                inner.panicked,
+                std::mem::take(&mut inner.os_handles),
+            )
+        };
+        for h in handles {
+            let _ = h.join();
+        }
+        assert!(
+            !panicked,
+            "loom (vendored): a model thread panicked (execution {executions})"
+        );
+        match next_replay(&branches) {
+            Some(next) => replay = next,
+            None => return,
+        }
+    }
+}

@@ -1,0 +1,130 @@
+//! Loom-instrumented synchronization primitives.
+//!
+//! The atomic types wrap their `std::sync::atomic` counterparts and
+//! call the scheduler's yield point before every operation, making each
+//! atomic access a branch point in the interleaving search. Because the
+//! scheduler serializes threads, the memory `Ordering` arguments do not
+//! change observable behavior here (everything is sequentially
+//! consistent); they are accepted and forwarded so code under test
+//! compiles unchanged.
+
+pub use std::sync::Arc;
+
+pub mod atomic {
+    use crate::rt;
+    pub use std::sync::atomic::Ordering;
+
+    macro_rules! atomic_int {
+        ($name:ident, $std:ident, $int:ty) => {
+            /// Loom-instrumented atomic integer: every operation is an
+            /// interleaving branch point.
+            #[derive(Debug, Default)]
+            pub struct $name {
+                inner: std::sync::atomic::$std,
+            }
+
+            impl $name {
+                pub fn new(v: $int) -> Self {
+                    Self {
+                        inner: std::sync::atomic::$std::new(v),
+                    }
+                }
+
+                pub fn load(&self, order: Ordering) -> $int {
+                    rt::yield_point();
+                    self.inner.load(order)
+                }
+
+                pub fn store(&self, v: $int, order: Ordering) {
+                    rt::yield_point();
+                    self.inner.store(v, order)
+                }
+
+                pub fn compare_exchange(
+                    &self,
+                    current: $int,
+                    new: $int,
+                    success: Ordering,
+                    failure: Ordering,
+                ) -> Result<$int, $int> {
+                    rt::yield_point();
+                    self.inner.compare_exchange(current, new, success, failure)
+                }
+
+                /// Never fails spuriously (matching crates-io loom).
+                pub fn compare_exchange_weak(
+                    &self,
+                    current: $int,
+                    new: $int,
+                    success: Ordering,
+                    failure: Ordering,
+                ) -> Result<$int, $int> {
+                    self.compare_exchange(current, new, success, failure)
+                }
+
+                pub fn fetch_add(&self, v: $int, order: Ordering) -> $int {
+                    rt::yield_point();
+                    self.inner.fetch_add(v, order)
+                }
+
+                pub fn fetch_sub(&self, v: $int, order: Ordering) -> $int {
+                    rt::yield_point();
+                    self.inner.fetch_sub(v, order)
+                }
+
+                pub fn fetch_or(&self, v: $int, order: Ordering) -> $int {
+                    rt::yield_point();
+                    self.inner.fetch_or(v, order)
+                }
+
+                pub fn fetch_and(&self, v: $int, order: Ordering) -> $int {
+                    rt::yield_point();
+                    self.inner.fetch_and(v, order)
+                }
+
+                /// Consumes the atomic; no yield (requires exclusive
+                /// ownership, so it cannot race).
+                pub fn into_inner(self) -> $int {
+                    self.inner.into_inner()
+                }
+            }
+        };
+    }
+
+    atomic_int!(AtomicU32, AtomicU32, u32);
+    atomic_int!(AtomicU64, AtomicU64, u64);
+    atomic_int!(AtomicUsize, AtomicUsize, usize);
+
+    /// Loom-instrumented atomic boolean.
+    #[derive(Debug, Default)]
+    pub struct AtomicBool {
+        inner: std::sync::atomic::AtomicBool,
+    }
+
+    impl AtomicBool {
+        pub fn new(v: bool) -> Self {
+            Self {
+                inner: std::sync::atomic::AtomicBool::new(v),
+            }
+        }
+
+        pub fn load(&self, order: Ordering) -> bool {
+            rt::yield_point();
+            self.inner.load(order)
+        }
+
+        pub fn store(&self, v: bool, order: Ordering) {
+            rt::yield_point();
+            self.inner.store(v, order)
+        }
+
+        pub fn swap(&self, v: bool, order: Ordering) -> bool {
+            rt::yield_point();
+            self.inner.swap(v, order)
+        }
+
+        pub fn into_inner(self) -> bool {
+            self.inner.into_inner()
+        }
+    }
+}

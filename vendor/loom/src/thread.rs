@@ -1,0 +1,51 @@
+//! Logical model threads.
+//!
+//! [`spawn`] registers a new logical thread with the scheduler (backed
+//! by a real OS thread, but serialized with all others). Spawning and
+//! joining are schedule points, so "the child runs to completion before
+//! the parent continues" and every other ordering are all explored.
+
+use crate::rt;
+use std::sync::{Arc, Mutex};
+
+/// Handle to a spawned model thread; mirrors `std::thread::JoinHandle`.
+pub struct JoinHandle<T> {
+    result: Arc<Mutex<Option<T>>>,
+    id: usize,
+}
+
+impl<T> JoinHandle<T> {
+    /// Blocks the calling logical thread until the child finishes and
+    /// returns its result. Panics in the child abort the whole model
+    /// execution (the enclosing [`crate::model`] call fails), so this
+    /// only ever observes successful completion.
+    pub fn join(self) -> std::thread::Result<T> {
+        rt::join(self.id);
+        Ok(self
+            .result
+            .lock()
+            .unwrap()
+            .take()
+            .expect("loom thread finished without storing a result"))
+    }
+}
+
+/// Spawns a new logical thread in the current model execution.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    let result = Arc::new(Mutex::new(None));
+    let slot = Arc::clone(&result);
+    let id = rt::spawn(Box::new(move || {
+        let out = f();
+        *slot.lock().unwrap() = Some(out);
+    }));
+    JoinHandle { result, id }
+}
+
+/// An explicit schedule point with no memory effect.
+pub fn yield_now() {
+    rt::yield_point();
+}
