@@ -1,90 +1,63 @@
-//! Criterion micro-benchmarks for the s-line-graph construction
-//! algorithms (backing Fig. 9 with statistically sound per-kernel
-//! numbers at a fixed small scale).
+//! s-line-graph construction bench — emits `BENCH_slinegraph.json`, one
+//! record per algorithm × dataset × s with the median runtime and the
+//! kernel counters one run produced (backing Fig. 9 plus the
+//! machine-readable perf trajectory CI tracks).
+//!
+//! Knobs: `NWHY_BENCH_SCALE` (twin down-scale factor, default 20 000 —
+//! larger is smaller/faster), `NWHY_TRIALS` (default 5), `NWHY_BENCH_OUT`
+//! (output directory, default `.`).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nwhy_bench::{bench_cell, env_usize, write_json, BenchRecord};
 use nwhy_core::{Algorithm, Hypergraph, SLineBuilder};
 use nwhy_gen::profiles::profile_by_name;
-use std::hint::black_box;
 
-const SCALE: usize = 20_000;
-
-fn datasets() -> Vec<(&'static str, Hypergraph)> {
+fn datasets(scale: usize) -> Vec<(&'static str, Hypergraph)> {
     ["com-Orkut", "Rand1"]
         .iter()
-        .map(|n| (*n, profile_by_name(n).unwrap().generate(SCALE, 42)))
+        .map(|n| (*n, profile_by_name(n).unwrap().generate(scale, 42)))
         .collect()
 }
 
-fn bench_algorithms(c: &mut Criterion) {
-    let mut group = c.benchmark_group("slinegraph");
-    group.sample_size(10);
-    for (name, h) in datasets() {
+fn main() {
+    let scale = env_usize("NWHY_BENCH_SCALE", 20_000);
+    let trials = env_usize("NWHY_TRIALS", 5);
+    let out_dir = std::env::var("NWHY_BENCH_OUT").unwrap_or_else(|_| ".".into());
+    let mut records: Vec<BenchRecord> = Vec::new();
+
+    for (name, h) in datasets(scale) {
         for s in [1usize, 2, 4] {
             for algo in [
+                Algorithm::Naive,
                 Algorithm::Hashmap,
                 Algorithm::Intersection,
                 Algorithm::QueueHashmap,
                 Algorithm::QueueIntersection,
                 Algorithm::PairSort,
             ] {
-                group.bench_with_input(
-                    BenchmarkId::new(format!("{name}/s{s}"), algo.name()),
-                    &(&h, s, algo),
-                    |b, (h, s, algo)| {
-                        b.iter(|| black_box(SLineBuilder::new(*h).s(*s).algorithm(*algo).edges()))
-                    },
+                // Naive is quadratic in |E| — only run it on inputs small
+                // enough that the sweep stays interactive.
+                if algo == Algorithm::Naive && h.num_hyperedges() > 2_000 {
+                    continue;
+                }
+                let rec = bench_cell("slinegraph", name, algo.name(), Some(s), trials, || {
+                    SLineBuilder::new(&h).s(s).algorithm(algo).edges()
+                });
+                println!(
+                    "{name:>10} s={s} {:<18} {:.4}s",
+                    rec.algorithm, rec.median_seconds
                 );
+                records.push(rec);
             }
         }
+        let rec = bench_cell("slinegraph", name, "Ensemble", None, trials, || {
+            SLineBuilder::new(&h).ensemble_edges(&[1, 2, 4])
+        });
+        println!(
+            "{name:>10} s=[1,2,4] {:<15} {:.4}s",
+            rec.algorithm, rec.median_seconds
+        );
+        records.push(rec);
     }
-    group.finish();
+
+    write_json(&format!("{out_dir}/BENCH_slinegraph.json"), &records);
 }
-
-fn bench_ensemble_vs_singles(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ensemble");
-    group.sample_size(10);
-    let h = profile_by_name("com-Orkut").unwrap().generate(SCALE, 42);
-    let svals = [1usize, 2, 4, 8];
-    group.bench_function("one-pass-ensemble", |b| {
-        b.iter(|| black_box(SLineBuilder::new(&h).ensemble_edges(&svals)))
-    });
-    group.bench_function("repeated-singles", |b| {
-        b.iter(|| {
-            for &s in &svals {
-                black_box(SLineBuilder::new(&h).s(s).edges());
-            }
-        })
-    });
-    group.finish();
-}
-
-fn bench_weighted_and_online(c: &mut Criterion) {
-    use nwhy_core::algorithms::s_components::s_connected_components_online;
-    use nwhy_core::smetrics::SLineGraph;
-
-    let mut group = c.benchmark_group("slinegraph_extensions");
-    group.sample_size(10);
-    let h = profile_by_name("com-Orkut").unwrap().generate(SCALE, 42);
-    group.bench_function("weighted-build-s2", |b| {
-        b.iter(|| black_box(SLineBuilder::new(&h).s(2).weighted_edges()))
-    });
-    group.bench_function("s2-components-online", |b| {
-        b.iter(|| black_box(s_connected_components_online(&h, 2)))
-    });
-    group.bench_function("s2-components-materialized", |b| {
-        b.iter(|| {
-            let lg = SLineGraph::new(&h, 2);
-            black_box(lg.s_connected_components())
-        })
-    });
-    group.finish();
-}
-
-criterion_group!(
-    benches,
-    bench_algorithms,
-    bench_ensemble_vs_singles,
-    bench_weighted_and_online
-);
-criterion_main!(benches);

@@ -1,20 +1,23 @@
-//! Criterion micro-benchmarks for the exact hypergraph traversals —
-//! BFS and CC on every representation plus the Hygra baseline (backing
-//! Figs. 7–8).
+//! Hypergraph traversal bench (BFS and CC on every representation plus
+//! the Hygra baseline) — emits `BENCH_traversal.json`, one record per
+//! algorithm × dataset with the median runtime and the kernel counters
+//! one run produced (backing Figs. 7–8 plus the machine-readable perf
+//! trajectory CI tracks).
+//!
+//! Knobs: `NWHY_BENCH_SCALE` (twin down-scale factor, default 20 000 —
+//! larger is smaller/faster), `NWHY_TRIALS` (default 5), `NWHY_BENCH_OUT`
+//! (output directory, default `.`).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nwhy_bench::{bench_cell, env_usize, write_json, BenchRecord};
 use nwhy_core::algorithms::{
     adjoin_bfs, adjoin_cc_afforest, adjoin_cc_label_propagation, hyper_bfs_bottom_up,
     hyper_bfs_top_down, hyper_cc,
 };
 use nwhy_core::{AdjoinGraph, Hypergraph};
 use nwhy_gen::profiles::profile_by_name;
-use std::hint::black_box;
 
-const SCALE: usize = 20_000;
-
-fn setup(name: &str) -> (Hypergraph, AdjoinGraph, u32) {
-    let h = profile_by_name(name).unwrap().generate(SCALE, 42);
+fn setup(name: &str, scale: usize) -> (Hypergraph, AdjoinGraph, u32) {
+    let h = profile_by_name(name).unwrap().generate(scale, 42);
     let a = AdjoinGraph::from_hypergraph(&h);
     let src = (0..h.num_hyperedges() as u32)
         .max_by_key(|&e| h.edge_degree(e))
@@ -22,47 +25,51 @@ fn setup(name: &str) -> (Hypergraph, AdjoinGraph, u32) {
     (h, a, src)
 }
 
-fn bench_bfs(c: &mut Criterion) {
-    let mut group = c.benchmark_group("bfs");
-    group.sample_size(10);
+fn main() {
+    let scale = env_usize("NWHY_BENCH_SCALE", 20_000);
+    let trials = env_usize("NWHY_TRIALS", 5);
+    let out_dir = std::env::var("NWHY_BENCH_OUT").unwrap_or_else(|_| ".".into());
+    let mut records: Vec<BenchRecord> = Vec::new();
+    let run = |records: &mut Vec<BenchRecord>, name, algo, f: &mut dyn FnMut()| {
+        let rec = bench_cell("traversal", name, algo, None, trials, &mut *f);
+        println!("{name:>10} {algo:<20} {:.4}s", rec.median_seconds);
+        records.push(rec);
+    };
+
     for name in ["com-Orkut", "Rand1"] {
-        let (h, a, src) = setup(name);
-        group.bench_with_input(BenchmarkId::new(name, "HyperBFS-topdown"), &(), |b, _| {
-            b.iter(|| black_box(hyper_bfs_top_down(&h, src)))
+        let (h, a, src) = setup(name, scale);
+        run(&mut records, name, "HyperBFS-topdown", &mut || {
+            std::hint::black_box(hyper_bfs_top_down(&h, src));
         });
-        group.bench_with_input(BenchmarkId::new(name, "HyperBFS-bottomup"), &(), |b, _| {
-            b.iter(|| black_box(hyper_bfs_bottom_up(&h, src)))
+        run(&mut records, name, "HyperBFS-bottomup", &mut || {
+            std::hint::black_box(hyper_bfs_bottom_up(&h, src));
         });
-        group.bench_with_input(BenchmarkId::new(name, "AdjoinBFS"), &(), |b, _| {
-            b.iter(|| black_box(adjoin_bfs(&a, src)))
+        run(&mut records, name, "AdjoinBFS", &mut || {
+            std::hint::black_box(adjoin_bfs(&a, src));
         });
-        group.bench_with_input(BenchmarkId::new(name, "HygraBFS"), &(), |b, _| {
-            b.iter(|| black_box(hygra::hygra_bfs(&h, src)))
+        run(&mut records, name, "HygraBFS", &mut || {
+            std::hint::black_box(hygra::hygra_bfs(&h, src));
+        });
+        run(&mut records, name, "HygraBFS-auto", &mut || {
+            std::hint::black_box(hygra::bfs::hygra_bfs_with_mode(
+                &h,
+                src,
+                hygra::engine::Mode::Auto,
+            ));
+        });
+        run(&mut records, name, "HyperCC", &mut || {
+            std::hint::black_box(hyper_cc(&h));
+        });
+        run(&mut records, name, "AdjoinCC-afforest", &mut || {
+            std::hint::black_box(adjoin_cc_afforest(&a));
+        });
+        run(&mut records, name, "AdjoinCC-labelprop", &mut || {
+            std::hint::black_box(adjoin_cc_label_propagation(&a));
+        });
+        run(&mut records, name, "HygraCC", &mut || {
+            std::hint::black_box(hygra::hygra_cc(&h));
         });
     }
-    group.finish();
-}
 
-fn bench_cc(c: &mut Criterion) {
-    let mut group = c.benchmark_group("cc");
-    group.sample_size(10);
-    for name in ["com-Orkut", "Rand1"] {
-        let (h, a, _) = setup(name);
-        group.bench_with_input(BenchmarkId::new(name, "HyperCC"), &(), |b, _| {
-            b.iter(|| black_box(hyper_cc(&h)))
-        });
-        group.bench_with_input(BenchmarkId::new(name, "AdjoinCC-afforest"), &(), |b, _| {
-            b.iter(|| black_box(adjoin_cc_afforest(&a)))
-        });
-        group.bench_with_input(BenchmarkId::new(name, "AdjoinCC-labelprop"), &(), |b, _| {
-            b.iter(|| black_box(adjoin_cc_label_propagation(&a)))
-        });
-        group.bench_with_input(BenchmarkId::new(name, "HygraCC"), &(), |b, _| {
-            b.iter(|| black_box(hygra::hygra_cc(&h)))
-        });
-    }
-    group.finish();
+    write_json(&format!("{out_dir}/BENCH_traversal.json"), &records);
 }
-
-criterion_group!(benches, bench_bfs, bench_cc);
-criterion_main!(benches);

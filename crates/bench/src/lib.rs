@@ -92,6 +92,143 @@ pub fn best_of<R>(trials: usize, mut f: impl FnMut() -> R) -> f64 {
         .fold(f64::INFINITY, f64::min)
 }
 
+/// Times `f` `trials` times and returns the median seconds (upper median
+/// for even counts) — the statistic the `BENCH_*.json` emitters report.
+pub fn median_of<R>(trials: usize, mut f: impl FnMut() -> R) -> f64 {
+    let mut times: Vec<f64> = (0..trials.max(1))
+        .map(|_| {
+            let t = std::time::Instant::now();
+            std::hint::black_box(f());
+            t.elapsed().as_secs_f64()
+        })
+        .collect();
+    times.sort_by(f64::total_cmp);
+    times[times.len() / 2]
+}
+
+/// One cell of a `BENCH_*.json` perf-trajectory file: median runtime plus
+/// the kernel counters one run of the cell produced.
+#[derive(Debug, Clone)]
+pub struct BenchRecord {
+    /// Which bench emitted this (`"slinegraph"`, `"traversal"`, …).
+    pub bench: String,
+    /// Dataset name.
+    pub dataset: String,
+    /// Algorithm name.
+    pub algorithm: String,
+    /// Overlap threshold, when the cell has one.
+    pub s: Option<usize>,
+    /// Timed repetitions behind the median.
+    pub trials: usize,
+    /// Median runtime in seconds.
+    pub median_seconds: f64,
+    /// `(counter name, value)` from one instrumented run; empty when the
+    /// `obs` feature is off.
+    pub counters: Vec<(String, u64)>,
+}
+
+impl ToJson for BenchRecord {
+    fn to_json(&self) -> String {
+        let s = match self.s {
+            Some(s) => s.to_string(),
+            None => "null".to_string(),
+        };
+        let counters: Vec<String> = self
+            .counters
+            .iter()
+            .map(|(k, v)| format!("\"{}\": {v}", json_escape(k)))
+            .collect();
+        format!(
+            "{{\"bench\": \"{}\", \"dataset\": \"{}\", \"algorithm\": \"{}\", \"s\": {s}, \
+             \"trials\": {}, \"median_seconds\": {}, \"counters\": {{{}}}}}",
+            json_escape(&self.bench),
+            json_escape(&self.dataset),
+            json_escape(&self.algorithm),
+            self.trials,
+            json_f64(self.median_seconds),
+            counters.join(", ")
+        )
+    }
+}
+
+/// Runs one bench cell: a warm-up run with reset counters captures the
+/// per-run kernel counter values, then `trials` timed runs produce the
+/// median. Counter capture is outside the timed region, so the snapshot
+/// cost never leaks into `median_seconds`.
+pub fn bench_cell<R>(
+    bench: &str,
+    dataset: &str,
+    algorithm: &str,
+    s: Option<usize>,
+    trials: usize,
+    mut f: impl FnMut() -> R,
+) -> BenchRecord {
+    nwhy_obs::reset();
+    std::hint::black_box(f());
+    let counters: Vec<(String, u64)> = nwhy_obs::snapshot()
+        .counters
+        .into_iter()
+        .map(|c| (c.name.to_string(), c.value))
+        .collect();
+    let median_seconds = median_of(trials, &mut f);
+    BenchRecord {
+        bench: bench.to_string(),
+        dataset: dataset.to_string(),
+        algorithm: algorithm.to_string(),
+        s,
+        trials,
+        median_seconds,
+        counters,
+    }
+}
+
+/// Validates a `BENCH_*.json` document against the schema the emitters
+/// produce (and CI's bench-smoke job checks): a non-empty array of
+/// objects with string `bench`/`dataset`/`algorithm`, integer `trials`,
+/// number `median_seconds` ≥ 0, `s` integer or null, and a `counters`
+/// object with non-negative integer values.
+pub fn validate_bench_json(text: &str) -> Result<(), String> {
+    use nwhy_obs::json::{parse, Value};
+    let doc = parse(text)?;
+    let rows = doc.as_array().ok_or("top level must be an array")?;
+    if rows.is_empty() {
+        return Err("bench JSON must contain at least one record".into());
+    }
+    for (i, row) in rows.iter().enumerate() {
+        for key in ["bench", "dataset", "algorithm"] {
+            row.get(key)
+                .and_then(Value::as_str)
+                .ok_or_else(|| format!("row {i}: missing string field {key:?}"))?;
+        }
+        row.get("trials")
+            .and_then(Value::as_u64)
+            .ok_or_else(|| format!("row {i}: missing integer field \"trials\""))?;
+        let secs = row
+            .get("median_seconds")
+            .and_then(Value::as_f64)
+            .ok_or_else(|| format!("row {i}: missing number field \"median_seconds\""))?;
+        if secs < 0.0 {
+            return Err(format!("row {i}: median_seconds {secs} must be >= 0"));
+        }
+        match row.get("s") {
+            Some(Value::Null) => {}
+            Some(v) if v.as_u64().is_some() => {}
+            _ => return Err(format!("row {i}: \"s\" must be an integer or null")),
+        }
+        match row.get("counters") {
+            Some(Value::Object(m)) => {
+                for (k, v) in m {
+                    v.as_u64().ok_or_else(|| {
+                        format!("row {i}: counter {k:?} must be a non-negative integer")
+                    })?;
+                }
+            }
+            _ => return Err(format!("row {i}: missing object field \"counters\"")),
+        }
+    }
+    Ok(())
+}
+
 /// A value that knows how to render itself as a JSON object — the minimal
 /// serialization contract the sidecar writer needs.
 pub trait ToJson {
@@ -226,6 +363,71 @@ mod tests {
     fn best_of_returns_finite_time() {
         let t = best_of(3, || (0..1000u64).sum::<u64>());
         assert!(t.is_finite() && t >= 0.0);
+    }
+
+    #[test]
+    fn median_of_returns_finite_time() {
+        let t = median_of(4, || (0..1000u64).sum::<u64>());
+        assert!(t.is_finite() && t >= 0.0);
+    }
+
+    fn sample_record(s: Option<usize>) -> BenchRecord {
+        BenchRecord {
+            bench: "slinegraph".into(),
+            dataset: "com-Orkut".into(),
+            algorithm: "Hashmap".into(),
+            s,
+            trials: 5,
+            median_seconds: 0.125,
+            counters: vec![("sline.pairs_examined".into(), 42)],
+        }
+    }
+
+    #[test]
+    fn bench_record_json_validates() {
+        let mut doc = String::from("[\n  ");
+        doc.push_str(&sample_record(Some(2)).to_json());
+        doc.push_str(",\n  ");
+        doc.push_str(&sample_record(None).to_json());
+        doc.push_str("\n]");
+        validate_bench_json(&doc).unwrap();
+    }
+
+    #[test]
+    fn bench_schema_rejects_malformed() {
+        assert!(validate_bench_json("{}").is_err());
+        assert!(validate_bench_json("[]").is_err());
+        // missing counters object
+        let bad = r#"[{"bench": "b", "dataset": "d", "algorithm": "a",
+                       "s": null, "trials": 3, "median_seconds": 0.5}]"#;
+        assert!(validate_bench_json(bad).is_err());
+        // negative time
+        let bad = r#"[{"bench": "b", "dataset": "d", "algorithm": "a",
+                       "s": 1, "trials": 3, "median_seconds": -1.0, "counters": {}}]"#;
+        assert!(validate_bench_json(bad).is_err());
+        // non-integer counter value
+        let bad = r#"[{"bench": "b", "dataset": "d", "algorithm": "a",
+                       "s": 1, "trials": 3, "median_seconds": 1.0, "counters": {"x": 0.5}}]"#;
+        assert!(validate_bench_json(bad).is_err());
+    }
+
+    #[test]
+    fn bench_cell_captures_counters_and_time() {
+        let rec = bench_cell("t", "d", "a", Some(1), 2, || {
+            nwhy_obs::incr(nwhy_obs::Counter::SlinePairsExamined);
+        });
+        assert_eq!(rec.trials, 2);
+        assert!(rec.median_seconds >= 0.0);
+        if nwhy_obs::enabled() {
+            assert!(rec
+                .counters
+                .iter()
+                .any(|(k, v)| k == "sline.pairs_examined" && *v == 1));
+        } else {
+            assert!(rec.counters.is_empty());
+        }
+        let doc = format!("[{}]", rec.to_json());
+        validate_bench_json(&doc).unwrap();
     }
 
     #[test]

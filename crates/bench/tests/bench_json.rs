@@ -1,0 +1,26 @@
+//! Schema check for the emitted `BENCH_*.json` perf-trajectory files.
+//!
+//! CI's bench-smoke job runs the `slinegraph`/`traversal` benches on
+//! tiny inputs first, so the files exist in the package root (the bench
+//! binaries' working directory); locally, the test skips files that
+//! have not been generated yet.
+
+use nwhy_bench::validate_bench_json;
+
+#[test]
+fn emitted_bench_json_files_validate() {
+    let mut found = 0;
+    for name in ["BENCH_slinegraph.json", "BENCH_traversal.json"] {
+        match std::fs::read_to_string(name) {
+            Ok(text) => {
+                validate_bench_json(&text).unwrap_or_else(|e| panic!("{name}: {e}"));
+                found += 1;
+            }
+            Err(_) => eprintln!("(skipping {name}: run `cargo bench -p nwhy-bench` first)"),
+        }
+    }
+    // Only enforce presence when the smoke job asked for it.
+    if std::env::var_os("NWHY_REQUIRE_BENCH_JSON").is_some() {
+        assert_eq!(found, 2, "bench-smoke requires both BENCH_*.json files");
+    }
+}

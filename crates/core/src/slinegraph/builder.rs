@@ -123,6 +123,7 @@ impl<'a, A: HyperAdjacency + ?Sized> SLineBuilder<'a, A> {
     /// Panics if `s == 0`.
     pub fn edges(&self) -> Vec<(Id, Id)> {
         assert!(self.s >= 1, "s must be at least 1");
+        let _span = nwhy_obs::span(self.algorithm.span_name());
         match self.permutation() {
             None => dispatch(self.repr, self.s, self.algorithm, self.strategy),
             Some((perm, inv)) => {
@@ -162,6 +163,7 @@ impl<'a, A: HyperAdjacency + ?Sized> SLineBuilder<'a, A> {
     /// # Panics
     /// Panics if `s == 0`.
     pub fn weighted_edges(&self) -> Vec<(Id, Id, u32)> {
+        let _span = nwhy_obs::span("sline.weighted");
         match self.permutation() {
             None => weighted::slinegraph_weighted_edges(self.repr, self.s, self.strategy),
             Some((perm, inv)) => {
@@ -224,6 +226,7 @@ impl<'a, A: HyperAdjacency + ?Sized> SLineBuilder<'a, A> {
     /// # Panics
     /// Panics if any `s` is 0.
     pub fn ensemble_edges(&self, s_values: &[usize]) -> Vec<Vec<(Id, Id)>> {
+        let _span = nwhy_obs::span("sline.ensemble");
         match self.permutation() {
             None => ensemble::ensemble(self.repr, s_values, self.strategy),
             Some((perm, inv)) => {

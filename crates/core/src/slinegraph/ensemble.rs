@@ -7,6 +7,7 @@
 //! indirection cost when a user wants an s-sweep (as the paper's Fig. 9
 //! benchmarks and HyperNetX workflows do).
 
+use super::stats::KernelStats;
 use super::{canonicalize, HyperAdjacency};
 use crate::Id;
 use nwhy_util::fxhash::FxHashMap;
@@ -33,6 +34,7 @@ pub fn ensemble<A: HyperAdjacency + ?Sized>(
     struct Local {
         buckets: Vec<Vec<(Id, Id)>>,
         counts: FxHashMap<Id, u32>,
+        stats: KernelStats,
     }
     let k = s_values.len();
     let locals = par_for_each_index_with(
@@ -41,11 +43,13 @@ pub fn ensemble<A: HyperAdjacency + ?Sized>(
         || Local {
             buckets: vec![Vec::new(); k],
             counts: FxHashMap::default(),
+            stats: KernelStats::default(),
         },
         |local, i| {
             let i = i as Id;
             let nbrs_i = h.edge_neighbors(i);
             if nbrs_i.len() < min_s {
+                local.stats.pairs_skipped(ne as u64 - 1 - i as u64);
                 return;
             }
             local.counts.clear();
@@ -53,10 +57,12 @@ pub fn ensemble<A: HyperAdjacency + ?Sized>(
                 for &raw in h.node_neighbors(v) {
                     let j = h.edge_id(raw);
                     if j > i {
+                        local.stats.hashmap_insertion();
                         *local.counts.entry(j).or_insert(0) += 1;
                     }
                 }
             }
+            local.stats.pairs_examined_n(local.counts.len() as u64);
             for (&j, &n) in &local.counts {
                 for (bucket, &s) in local.buckets.iter_mut().zip(s_values) {
                     if n as usize >= s {
@@ -67,12 +73,17 @@ pub fn ensemble<A: HyperAdjacency + ?Sized>(
         },
     );
 
+    let mut stats = KernelStats::default();
+    let mut emitted = 0usize;
     let mut out: Vec<Vec<(Id, Id)>> = vec![Vec::new(); k];
     for local in locals {
+        stats.merge(&local.stats);
         for (dst, src) in out.iter_mut().zip(local.buckets) {
+            emitted += src.len();
             dst.extend(src);
         }
     }
+    stats.flush(emitted);
     out.into_iter().map(canonicalize).collect()
 }
 

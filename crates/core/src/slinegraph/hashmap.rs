@@ -7,15 +7,17 @@
 //! this touches each incidence exactly once per outer hyperedge and needs
 //! no sorted neighbor access — but pays hashing costs.
 
+use super::stats::KernelStats;
 use super::{canonicalize, HyperAdjacency};
 use crate::Id;
 use nwhy_util::fxhash::FxHashMap;
 use nwhy_util::partition::{par_for_each_index_with, Strategy};
 
-/// Worker-local state: output pairs and a reusable counting map.
+/// Worker-local state: output pairs, a reusable counting map, tallies.
 struct Local {
     pairs: Vec<(Id, Id)>,
     counts: FxHashMap<Id, u32>,
+    stats: KernelStats,
 }
 
 /// Hashmap-counting construction; returns canonical pairs.
@@ -27,11 +29,13 @@ pub fn hashmap<A: HyperAdjacency + ?Sized>(h: &A, s: usize, strategy: Strategy) 
         || Local {
             pairs: Vec::new(),
             counts: FxHashMap::default(),
+            stats: KernelStats::default(),
         },
         |local, i| {
             let i = i as Id;
             let nbrs_i = h.edge_neighbors(i);
             if nbrs_i.len() < s {
+                local.stats.pairs_skipped(ne as u64 - 1 - i as u64);
                 return;
             }
             local.counts.clear();
@@ -39,10 +43,13 @@ pub fn hashmap<A: HyperAdjacency + ?Sized>(h: &A, s: usize, strategy: Strategy) 
                 for &raw in h.node_neighbors(v) {
                     let j = h.edge_id(raw);
                     if j > i {
+                        local.stats.hashmap_insertion();
                         *local.counts.entry(j).or_insert(0) += 1;
                     }
                 }
             }
+            // Each distinct counted candidate is one examined pair.
+            local.stats.pairs_examined_n(local.counts.len() as u64);
             for (&j, &n) in &local.counts {
                 if n as usize >= s {
                     local.pairs.push((i, j));
@@ -50,7 +57,12 @@ pub fn hashmap<A: HyperAdjacency + ?Sized>(h: &A, s: usize, strategy: Strategy) 
             }
         },
     );
-    canonicalize(locals.into_iter().flat_map(|l| l.pairs).collect())
+    let pairs: Vec<(Id, Id)> = locals
+        .iter()
+        .flat_map(|l| l.pairs.iter().copied())
+        .collect();
+    KernelStats::flush_all(locals.iter().map(|l| &l.stats), pairs.len());
+    canonicalize(pairs)
 }
 
 #[cfg(test)]

@@ -11,17 +11,19 @@
 //!    stamp array, so a pair sharing many hypernodes is intersected once);
 //! 3. short-circuit the intersection at `s`.
 
+use super::stats::KernelStats;
 use super::{canonicalize, HyperAdjacency};
 use crate::Id;
-use nwgraph::algorithms::triangles::sorted_intersection_at_least;
 use nwhy_util::partition::{par_for_each_index_with, Strategy};
 
-/// Worker-local state: the output pairs and the candidate-dedup stamps.
+/// Worker-local state: the output pairs, the candidate-dedup stamps,
+/// and kernel tallies.
 struct Local {
     pairs: Vec<(Id, Id)>,
     /// `stamp[j] == current_i + 1` ⇒ candidate `j` already intersected
     /// for the hyperedge currently being expanded.
     stamp: Vec<Id>,
+    stats: KernelStats,
 }
 
 /// Heuristic intersection construction; returns canonical pairs.
@@ -37,6 +39,7 @@ pub fn intersection<A: HyperAdjacency + ?Sized>(
         || Local {
             pairs: Vec::new(),
             stamp: vec![0; ne],
+            stats: KernelStats::default(),
         },
         |local, i| {
             let i = i as Id;
@@ -52,18 +55,25 @@ pub fn intersection<A: HyperAdjacency + ?Sized>(
                         continue;
                     }
                     local.stamp[j as usize] = mark;
+                    local.stats.pair_examined();
                     let nbrs_j = h.edge_neighbors(j);
                     if nbrs_j.len() < s {
+                        local.stats.pairs_skipped(1);
                         continue;
                     }
-                    if sorted_intersection_at_least(nbrs_i, nbrs_j, s) {
+                    if local.stats.intersect_at_least(nbrs_i, nbrs_j, s) {
                         local.pairs.push((i, j));
                     }
                 }
             }
         },
     );
-    canonicalize(locals.into_iter().flat_map(|l| l.pairs).collect())
+    let pairs: Vec<(Id, Id)> = locals
+        .iter()
+        .flat_map(|l| l.pairs.iter().copied())
+        .collect();
+    KernelStats::flush_all(locals.iter().map(|l| &l.stats), pairs.len());
+    canonicalize(pairs)
 }
 
 #[cfg(test)]

@@ -35,6 +35,7 @@ pub mod naive;
 pub mod pair_sort;
 pub mod queue_single;
 pub mod queue_two_phase;
+pub(crate) mod stats;
 pub mod weighted;
 
 use crate::hypergraph::Hypergraph;
@@ -86,6 +87,20 @@ impl Algorithm {
             Algorithm::PairSort => "pair-sort",
         }
     }
+
+    /// Stable span label used by the observability layer (`nwhy-obs`):
+    /// dotted, with no parenthetical suffixes, so trace viewers group
+    /// cleanly.
+    pub fn span_name(&self) -> &'static str {
+        match self {
+            Algorithm::Naive => "sline.naive",
+            Algorithm::Intersection => "sline.intersection",
+            Algorithm::Hashmap => "sline.hashmap",
+            Algorithm::QueueHashmap => "sline.queue_hashmap",
+            Algorithm::QueueIntersection => "sline.queue_intersection",
+            Algorithm::PairSort => "sline.pair_sort",
+        }
+    }
 }
 
 /// Degree-based ID relabeling applied before construction (§III-D / Fig. 9
@@ -133,12 +148,21 @@ pub fn canonicalize(mut pairs: Vec<(Id, Id)>) -> Vec<(Id, Id)> {
     pairs
 }
 
+// Pre-builder compatibility shims. Both are one-line delegations to
+// [`SLineBuilder`] — same pipeline, same instrumentation and spans,
+// same relabel semantics — and exist only so pre-builder call sites
+// keep compiling. They share one deprecation story and will be removed
+// together.
+
 /// Computes the canonical s-line edge set of `h` with the chosen
-/// algorithm. Thin shim over [`SLineBuilder`].
+/// algorithm. Thin shim over [`SLineBuilder`] (same pipeline,
+/// instrumentation, and relabel semantics).
 ///
 /// # Panics
 /// Panics if `s == 0`.
-#[deprecated(note = "use SLineBuilder::new(h).s(s).algorithm(algo).options(opts).edges()")]
+#[deprecated(
+    note = "thin shim over SLineBuilder — use SLineBuilder::new(h).s(s).algorithm(algo).options(opts).edges()"
+)]
 pub fn slinegraph_edges(
     h: &Hypergraph,
     s: usize,
@@ -153,8 +177,11 @@ pub fn slinegraph_edges(
 }
 
 /// Builds the s-line graph as a symmetric [`Csr`] over hyperedge IDs.
-/// Thin shim over [`SLineBuilder`].
-#[deprecated(note = "use SLineBuilder::new(h).s(s).algorithm(algo).options(opts).csr()")]
+/// Thin shim over [`SLineBuilder`] (same pipeline, instrumentation, and
+/// relabel semantics).
+#[deprecated(
+    note = "thin shim over SLineBuilder — use SLineBuilder::new(h).s(s).algorithm(algo).options(opts).csr()"
+)]
 pub fn slinegraph_csr(h: &Hypergraph, s: usize, algo: Algorithm, opts: &BuildOptions) -> Csr {
     SLineBuilder::new(h)
         .s(s)

@@ -6,31 +6,47 @@
 //! algorithms are validated against, and as the baseline the paper's §III-C.3
 //! lists first.
 
+use super::stats::KernelStats;
 use super::{canonicalize, HyperAdjacency};
 use crate::Id;
-use nwgraph::algorithms::triangles::sorted_intersection_at_least;
 use nwhy_util::partition::{par_for_each_index_with, Strategy};
+
+/// Worker-local state: output pairs and kernel tallies.
+#[derive(Default)]
+struct Local {
+    pairs: Vec<(Id, Id)>,
+    stats: KernelStats,
+}
 
 /// All-pairs construction; returns canonical pairs.
 pub fn naive<A: HyperAdjacency + ?Sized>(h: &A, s: usize, strategy: Strategy) -> Vec<(Id, Id)> {
     let ne = h.num_hyperedges();
-    let locals = par_for_each_index_with(ne, strategy, Vec::new, |acc: &mut Vec<(Id, Id)>, i| {
+    let locals = par_for_each_index_with(ne, strategy, Local::default, |local: &mut Local, i| {
         let i = i as Id;
         let nbrs_i = h.edge_neighbors(i);
         if nbrs_i.len() < s {
+            // Skipping the whole row discards all of its i < j pairs.
+            local.stats.pairs_skipped(ne as u64 - 1 - i as u64);
             return;
         }
         for j in (i + 1)..ne as Id {
+            local.stats.pair_examined();
             let nbrs_j = h.edge_neighbors(j);
             if nbrs_j.len() < s {
+                local.stats.pairs_skipped(1);
                 continue;
             }
-            if sorted_intersection_at_least(nbrs_i, nbrs_j, s) {
-                acc.push((i, j));
+            if local.stats.intersect_at_least(nbrs_i, nbrs_j, s) {
+                local.pairs.push((i, j));
             }
         }
     });
-    canonicalize(locals.into_iter().flatten().collect())
+    let pairs: Vec<(Id, Id)> = locals
+        .iter()
+        .flat_map(|l| l.pairs.iter().copied())
+        .collect();
+    KernelStats::flush_all(locals.iter().map(|l| &l.stats), pairs.len());
+    canonicalize(pairs)
 }
 
 #[cfg(test)]

@@ -13,6 +13,7 @@
 //! which is exactly the quantity the paper's §III-B.3 blow-up discussion
 //! warns about — the tests and bench make that trade-off observable.
 
+use super::stats::KernelStats;
 use super::{canonicalize, HyperAdjacency};
 use crate::Id;
 use rayon::prelude::*;
@@ -45,17 +46,26 @@ pub fn pair_sort<A: HyperAdjacency + ?Sized>(h: &A, s: usize) -> Vec<(Id, Id)> {
     // 2. Sort and scan runs: run length = overlap size.
     pairs.par_sort_unstable();
     let mut out: Vec<(Id, Id)> = Vec::new();
+    let mut runs = 0u64;
     let mut i = 0;
     while i < pairs.len() {
         let mut j = i + 1;
         while j < pairs.len() && pairs[j] == pairs[i] {
             j += 1;
         }
+        if nwhy_obs::enabled() {
+            runs += 1;
+        }
         if j - i >= s {
             out.push(pairs[i]);
         }
         i = j;
     }
+    // Each distinct run is one examined candidate pair; the enumeration
+    // is the memory cost, the runs are the decision points.
+    let mut stats = KernelStats::default();
+    stats.pairs_examined_n(runs);
+    stats.flush(out.len());
     canonicalize(out)
 }
 

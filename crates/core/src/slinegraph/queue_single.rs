@@ -13,8 +13,10 @@
 //! Enqueuing is linear in the number of hyperedges, so the asymptotic
 //! complexity matches the non-queue hashmap algorithm.
 
+use super::stats::KernelStats;
 use super::{canonicalize, HyperAdjacency};
 use crate::Id;
+use nwhy_obs::Counter;
 use nwhy_util::fxhash::FxHashMap;
 use nwhy_util::partition::{par_for_each_index_with, Strategy};
 
@@ -29,6 +31,7 @@ pub fn queue_hashmap<H: HyperAdjacency + ?Sized>(
     struct Local {
         pairs: Vec<(Id, Id)>,
         counts: FxHashMap<Id, u32>,
+        stats: KernelStats,
     }
     // Drain the queue in parallel; queue slots (not raw IDs) are the
     // iteration space, so permuted/relabeled IDs cost nothing extra.
@@ -38,6 +41,7 @@ pub fn queue_hashmap<H: HyperAdjacency + ?Sized>(
         || Local {
             pairs: Vec::new(),
             counts: FxHashMap::default(),
+            stats: KernelStats::default(),
         },
         |local, slot| {
             let i = queue[slot];
@@ -51,10 +55,12 @@ pub fn queue_hashmap<H: HyperAdjacency + ?Sized>(
                 for &raw in h.node_neighbors(v) {
                     let j = h.edge_id(raw);
                     if j > i {
+                        local.stats.hashmap_insertion();
                         *local.counts.entry(j).or_insert(0) += 1;
                     }
                 }
             }
+            local.stats.pairs_examined_n(local.counts.len() as u64);
             // Alg. 1 lines 12–14
             for (&j, &n) in &local.counts {
                 if n as usize >= s {
@@ -63,7 +69,13 @@ pub fn queue_hashmap<H: HyperAdjacency + ?Sized>(
             }
         },
     );
-    canonicalize(locals.into_iter().flat_map(|l| l.pairs).collect())
+    let pairs: Vec<(Id, Id)> = locals
+        .iter()
+        .flat_map(|l| l.pairs.iter().copied())
+        .collect();
+    nwhy_obs::add(Counter::SlineQueuePushes, queue.len() as u64);
+    KernelStats::flush_all(locals.iter().map(|l| &l.stats), pairs.len());
+    canonicalize(pairs)
 }
 
 /// Algorithm 1 with *dynamic* self-scheduling: instead of a static
@@ -80,6 +92,7 @@ pub fn queue_hashmap_dynamic<H: HyperAdjacency + ?Sized>(
     struct Local {
         pairs: Vec<(Id, Id)>,
         counts: FxHashMap<Id, u32>,
+        stats: KernelStats,
     }
     let workers = rayon::current_num_threads().max(1);
     let q = ChunkedQueue::with_auto_chunk(queue, workers);
@@ -88,6 +101,7 @@ pub fn queue_hashmap_dynamic<H: HyperAdjacency + ?Sized>(
         || Local {
             pairs: Vec::new(),
             counts: FxHashMap::default(),
+            stats: KernelStats::default(),
         },
         |local, &i| {
             let nbrs_i = h.edge_neighbors(i);
@@ -99,10 +113,12 @@ pub fn queue_hashmap_dynamic<H: HyperAdjacency + ?Sized>(
                 for &raw in h.node_neighbors(v) {
                     let j = h.edge_id(raw);
                     if j > i {
+                        local.stats.hashmap_insertion();
                         *local.counts.entry(j).or_insert(0) += 1;
                     }
                 }
             }
+            local.stats.pairs_examined_n(local.counts.len() as u64);
             for (&j, &n) in &local.counts {
                 if n as usize >= s {
                     local.pairs.push((i, j));
@@ -110,7 +126,18 @@ pub fn queue_hashmap_dynamic<H: HyperAdjacency + ?Sized>(
             }
         },
     );
-    canonicalize(locals.into_iter().flat_map(|l| l.pairs).collect())
+    let pairs: Vec<(Id, Id)> = locals
+        .iter()
+        .flat_map(|l| l.pairs.iter().copied())
+        .collect();
+    nwhy_obs::add(Counter::SlineQueuePushes, queue.len() as u64);
+    // A full drain claims exactly ceil(len / chunk) chunks.
+    nwhy_obs::add(
+        Counter::SlineQueueSteals,
+        queue.len().div_ceil(q.chunk_size()) as u64,
+    );
+    KernelStats::flush_all(locals.iter().map(|l| &l.stats), pairs.len());
+    canonicalize(pairs)
 }
 
 #[cfg(test)]

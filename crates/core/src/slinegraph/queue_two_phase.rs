@@ -18,9 +18,9 @@
 //! intersected exactly once (a pair enqueued `k` times would otherwise be
 //! intersected `k` times and emitted as a duplicate edge).
 
+use super::stats::KernelStats;
 use super::{canonicalize, HyperAdjacency};
 use crate::Id;
-use nwgraph::algorithms::triangles::sorted_intersection_at_least;
 use nwhy_util::partition::{par_for_each_index_with, Strategy};
 use rayon::prelude::*;
 
@@ -38,6 +38,7 @@ pub fn queue_intersection<H: HyperAdjacency + ?Sized>(
     struct Local {
         pairs: Vec<(Id, Id)>,
         stamp: Vec<Id>,
+        stats: KernelStats,
     }
     let locals = par_for_each_index_with(
         queue.len(),
@@ -45,6 +46,7 @@ pub fn queue_intersection<H: HyperAdjacency + ?Sized>(
         || Local {
             pairs: Vec::new(),
             stamp: vec![0; ne],
+            stats: KernelStats::default(),
         },
         |local, slot| {
             let i = queue[slot];
@@ -62,21 +64,45 @@ pub fn queue_intersection<H: HyperAdjacency + ?Sized>(
                     local.stamp[j as usize] = mark;
                     if h.edge_degree(j) >= s {
                         local.pairs.push((i, j));
+                    } else {
+                        local.stats.pairs_skipped(1);
                     }
                 }
             }
         },
     );
+    let mut phase1 = KernelStats::default();
+    for l in &locals {
+        phase1.merge(&l.stats);
+    }
     let pair_queue: Vec<(Id, Id)> = locals.into_iter().flat_map(|l| l.pairs).collect();
+    // Hyperedge IDs enqueued up front plus candidate pairs enqueued by
+    // phase 1.
+    phase1.queue_pushed(queue.len() as u64 + pair_queue.len() as u64);
 
     // ---- Phase 2: flat intersection pass (Alg. 2 lines 7–13). ----
-    let survivors: Vec<(Id, Id)> = pair_queue
+    let (survivors, phase2) = pair_queue
         .par_iter()
-        .filter(|&&(i, j)| {
-            sorted_intersection_at_least(h.edge_neighbors(i), h.edge_neighbors(j), s)
-        })
-        .copied()
-        .collect();
+        .fold(
+            || (Vec::new(), KernelStats::default()),
+            |(mut acc, mut stats): (Vec<(Id, Id)>, KernelStats), &(i, j)| {
+                stats.pair_examined();
+                if stats.intersect_at_least(h.edge_neighbors(i), h.edge_neighbors(j), s) {
+                    acc.push((i, j));
+                }
+                (acc, stats)
+            },
+        )
+        .reduce(
+            || (Vec::new(), KernelStats::default()),
+            |(mut a, mut sa), (mut b, sb)| {
+                a.append(&mut b);
+                sa.merge(&sb);
+                (a, sa)
+            },
+        );
+    phase1.merge(&phase2);
+    phase1.flush(survivors.len());
     canonicalize(survivors)
 }
 

@@ -7,6 +7,7 @@
 //! instead of discarding them after thresholding, so the cost matches the
 //! unweighted build.
 
+use super::stats::KernelStats;
 use super::HyperAdjacency;
 use crate::Id;
 use nwhy_util::fxhash::FxHashMap;
@@ -24,6 +25,7 @@ pub fn slinegraph_weighted_edges<A: HyperAdjacency + ?Sized>(
     struct Local {
         triples: Vec<(Id, Id, u32)>,
         counts: FxHashMap<Id, u32>,
+        stats: KernelStats,
     }
     let locals = par_for_each_index_with(
         ne,
@@ -31,11 +33,13 @@ pub fn slinegraph_weighted_edges<A: HyperAdjacency + ?Sized>(
         || Local {
             triples: Vec::new(),
             counts: FxHashMap::default(),
+            stats: KernelStats::default(),
         },
         |local, i| {
             let i = i as Id;
             let nbrs_i = h.edge_neighbors(i);
             if nbrs_i.len() < s {
+                local.stats.pairs_skipped(ne as u64 - 1 - i as u64);
                 return;
             }
             local.counts.clear();
@@ -43,10 +47,12 @@ pub fn slinegraph_weighted_edges<A: HyperAdjacency + ?Sized>(
                 for &raw in h.node_neighbors(v) {
                     let j = h.edge_id(raw);
                     if j > i {
+                        local.stats.hashmap_insertion();
                         *local.counts.entry(j).or_insert(0) += 1;
                     }
                 }
             }
+            local.stats.pairs_examined_n(local.counts.len() as u64);
             for (&j, &n) in &local.counts {
                 if n as usize >= s {
                     local.triples.push((i, j, n));
@@ -54,7 +60,11 @@ pub fn slinegraph_weighted_edges<A: HyperAdjacency + ?Sized>(
             }
         },
     );
-    let mut triples: Vec<(Id, Id, u32)> = locals.into_iter().flat_map(|l| l.triples).collect();
+    let mut triples: Vec<(Id, Id, u32)> = locals
+        .iter()
+        .flat_map(|l| l.triples.iter().copied())
+        .collect();
+    KernelStats::flush_all(locals.iter().map(|l| &l.stats), triples.len());
     triples.sort_unstable();
     triples.dedup();
     triples

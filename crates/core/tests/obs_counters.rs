@@ -1,0 +1,119 @@
+//! Counter fixture tests: the s-line kernels must report *exact* work
+//! counts on the paper's Fig. 1 fixture, pinning the counter semantics
+//! (`pairs_examined` = pairs reaching per-pair work, `pairs_skipped` =
+//! pairs eliminated by the degree filter) against hand-counted values.
+#![cfg(feature = "obs")]
+
+use nwhy_core::fixtures::paper_hypergraph;
+use nwhy_core::{Algorithm, SLineBuilder};
+use nwhy_obs::Counter;
+use std::sync::Mutex;
+
+/// The obs registry is process-global; serialize tests that reset it.
+static GATE: Mutex<()> = Mutex::new(());
+
+fn isolated<R>(f: impl FnOnce() -> R) -> R {
+    let _g = GATE.lock().unwrap_or_else(|e| e.into_inner());
+    nwhy_obs::reset();
+    f()
+}
+
+/// Naive compares every hyperedge pair: on the Fig. 1 fixture (4
+/// hyperedges, all with degree ≥ 1) it must examine exactly
+/// C(4, 2) = 6 pairs at s = 1 and skip none.
+#[test]
+fn naive_examines_exactly_all_pairs_at_s1() {
+    isolated(|| {
+        let h = paper_hypergraph();
+        let ne = h.num_hyperedges() as u64;
+        let edges = SLineBuilder::new(&h)
+            .s(1)
+            .algorithm(Algorithm::Naive)
+            .edges();
+        assert_eq!(
+            nwhy_obs::counter_value(Counter::SlinePairsExamined),
+            ne * (ne - 1) / 2
+        );
+        assert_eq!(nwhy_obs::counter_value(Counter::SlinePairsSkippedDegree), 0);
+        assert_eq!(
+            nwhy_obs::counter_value(Counter::SlineEdgesEmitted),
+            edges.len() as u64
+        );
+    });
+}
+
+/// For naive, every unordered pair lands in exactly one of
+/// examined/skipped, at every s: their sum is always C(n_e, 2).
+#[test]
+fn naive_examined_plus_skipped_is_all_pairs_at_every_s() {
+    let h = paper_hypergraph();
+    let ne = h.num_hyperedges() as u64;
+    for s in 1..=5 {
+        isolated(|| {
+            let _ = SLineBuilder::new(&h)
+                .s(s)
+                .algorithm(Algorithm::Naive)
+                .edges();
+            let examined = nwhy_obs::counter_value(Counter::SlinePairsExamined);
+            let skipped = nwhy_obs::counter_value(Counter::SlinePairsSkippedDegree);
+            assert_eq!(examined + skipped, ne * (ne - 1) / 2, "s={s}");
+        });
+    }
+}
+
+/// Hashmap only examines pairs that actually share a hypernode: the
+/// Fig. 1 fixture has exactly 5 overlapping pairs (its 1-line graph),
+/// and one hashmap insertion per (shared node, pair) incidence.
+#[test]
+fn hashmap_examines_only_overlapping_pairs() {
+    isolated(|| {
+        let h = paper_hypergraph();
+        let edges = SLineBuilder::new(&h)
+            .s(1)
+            .algorithm(Algorithm::Hashmap)
+            .edges();
+        assert_eq!(edges.len(), 5);
+        assert_eq!(nwhy_obs::counter_value(Counter::SlinePairsExamined), 5);
+        // Σ over pairs of |e ∩ f| — the fixture's overlaps are
+        // 1+3+3+2+2 = 11 (see weighted.rs's overlap table).
+        assert_eq!(nwhy_obs::counter_value(Counter::SlineHashmapInsertions), 11);
+    });
+}
+
+/// The intersection kernel reports comparison work; on the fixture it
+/// must examine the same 5 overlapping pairs as hashmap and burn at
+/// least one comparison per examined pair.
+#[test]
+fn intersection_reports_comparisons() {
+    isolated(|| {
+        let h = paper_hypergraph();
+        let _ = SLineBuilder::new(&h)
+            .s(1)
+            .algorithm(Algorithm::Intersection)
+            .edges();
+        assert_eq!(nwhy_obs::counter_value(Counter::SlinePairsExamined), 5);
+        assert!(nwhy_obs::counter_value(Counter::SlineIntersectionComparisons) >= 5);
+    });
+}
+
+/// The two-phase queue kernels push work items; their queue counters
+/// must be live and their emitted-edge counts exact.
+#[test]
+fn queue_kernels_report_pushes() {
+    let h = paper_hypergraph();
+    for algo in [Algorithm::QueueHashmap, Algorithm::QueueIntersection] {
+        isolated(|| {
+            let edges = SLineBuilder::new(&h).s(1).algorithm(algo).edges();
+            assert_eq!(edges.len(), 5, "{algo:?}");
+            assert!(
+                nwhy_obs::counter_value(Counter::SlineQueuePushes) > 0,
+                "{algo:?}"
+            );
+            assert_eq!(
+                nwhy_obs::counter_value(Counter::SlineEdgesEmitted),
+                5,
+                "{algo:?}"
+            );
+        });
+    }
+}

@@ -2,9 +2,10 @@
 //! push) traversal expressed as alternating `edge_map`s over the bipartite
 //! structure, exactly as Hygra expresses its BFS application.
 
-use crate::engine::{edge_map, EdgeMapFns, Mode};
+use crate::engine::{edge_map, resolve_mode, EdgeMapFns, Mode};
 use crate::subset::VertexSubset;
 use nwhy_core::{Hypergraph, Id};
+use nwhy_obs::{Counter, Hist};
 use std::sync::atomic::{AtomicU32, Ordering};
 
 /// Output of HygraBFS (levels/parents for both index sets, as in
@@ -66,11 +67,28 @@ pub fn hygra_bfs_with_mode(h: &Hypergraph, source: Id, mode: Mode) -> HygraBfsRe
     edge_parents[source as usize].store(source, Ordering::Relaxed);
     edge_levels[source as usize] = 0;
 
+    let _span = nwhy_obs::span("hygra.bfs");
     let mut edge_frontier = VertexSubset::single(ne, source);
     let mut depth = 0u32;
+    // One "round" per edge_map half-step (each advances the depth by 1).
+    // The direction decision is resolved up front via `resolve_mode` so it
+    // can be counted; the forced mode handed to `edge_map` reproduces
+    // exactly what `edge_map(.., mode)` would have chosen.
+    let mut prev_dense: Option<bool> = None;
     loop {
         // hyperedges → hypernodes
         depth += 1;
+        nwhy_obs::incr(Counter::BfsRounds);
+        nwhy_obs::observe(Hist::BfsFrontierEdges, edge_frontier.len() as u64);
+        let step_mode = resolve_mode(
+            h.edges(),
+            &mut edge_frontier,
+            mode,
+            &mut prev_dense,
+            Counter::BfsSparseSteps,
+            Counter::BfsDenseSteps,
+            Counter::BfsDirectionSwitches,
+        );
         let mut node_frontier = edge_map(
             h.edges(),
             h.nodes(),
@@ -78,7 +96,7 @@ pub fn hygra_bfs_with_mode(h: &Hypergraph, source: Id, mode: Mode) -> HygraBfsRe
             &Claim {
                 parents: &node_parents,
             },
-            mode,
+            step_mode,
         );
         if node_frontier.is_empty() {
             break;
@@ -88,6 +106,17 @@ pub fn hygra_bfs_with_mode(h: &Hypergraph, source: Id, mode: Mode) -> HygraBfsRe
         }
         // hypernodes → hyperedges
         depth += 1;
+        nwhy_obs::incr(Counter::BfsRounds);
+        nwhy_obs::observe(Hist::BfsFrontierNodes, node_frontier.len() as u64);
+        let step_mode = resolve_mode(
+            h.nodes(),
+            &mut node_frontier,
+            mode,
+            &mut prev_dense,
+            Counter::BfsSparseSteps,
+            Counter::BfsDenseSteps,
+            Counter::BfsDirectionSwitches,
+        );
         edge_frontier = edge_map(
             h.nodes(),
             h.edges(),
@@ -95,7 +124,7 @@ pub fn hygra_bfs_with_mode(h: &Hypergraph, source: Id, mode: Mode) -> HygraBfsRe
             &Claim {
                 parents: &edge_parents,
             },
-            mode,
+            step_mode,
         );
         if edge_frontier.is_empty() {
             break;

@@ -6,9 +6,10 @@
 //! half-round (the frontier-driven asynchrony that distinguishes Hygra's
 //! formulation from a bulk-synchronous sweep over all incidences).
 
-use crate::engine::{edge_map, EdgeMapFns, Mode};
+use crate::engine::{edge_map, resolve_mode, EdgeMapFns, Mode};
 use crate::subset::VertexSubset;
 use nwhy_core::{Hypergraph, Id};
+use nwhy_obs::{Counter, Hist};
 use nwhy_util::atomics::atomic_min_u32;
 use std::sync::atomic::{AtomicU32, Ordering};
 
@@ -64,12 +65,32 @@ pub fn hygra_cc(h: &Hypergraph) -> HygraCcResult {
         .map(|v| AtomicU32::new(ne as u32 + v))
         .collect();
 
+    let _span = nwhy_obs::span("hygra.cc");
     // Everything starts active.
     let mut edge_frontier = VertexSubset::full(ne);
     let mut node_frontier = VertexSubset::full(nv);
 
+    // One "round" per while-iteration (a full edge→node→edge alternation).
+    // Direction decisions are resolved up front via `resolve_mode` so they
+    // can be counted; the forced modes reproduce exactly what
+    // `edge_map(.., Mode::Auto)` would have chosen.
+    let mut prev_dense: Option<bool> = None;
     while !edge_frontier.is_empty() || !node_frontier.is_empty() {
+        nwhy_obs::incr(Counter::CcRounds);
+        nwhy_obs::observe(
+            Hist::CcFrontier,
+            (edge_frontier.len() + node_frontier.len()) as u64,
+        );
         // active hyperedges push labels to their hypernodes
+        let step_mode = resolve_mode(
+            h.edges(),
+            &mut edge_frontier,
+            Mode::Auto,
+            &mut prev_dense,
+            Counter::CcSparseSteps,
+            Counter::CcDenseSteps,
+            Counter::CcDirectionSwitches,
+        );
         let woken_nodes = edge_map(
             h.edges(),
             h.nodes(),
@@ -78,10 +99,19 @@ pub fn hygra_cc(h: &Hypergraph) -> HygraCcResult {
                 src_labels: &edge_labels,
                 dst_labels: &node_labels,
             },
-            Mode::Auto,
+            step_mode,
         );
         // nodes woken now OR still pending from last round push back
         let mut active_nodes = merge(node_frontier, woken_nodes, nv);
+        let step_mode = resolve_mode(
+            h.nodes(),
+            &mut active_nodes,
+            Mode::Auto,
+            &mut prev_dense,
+            Counter::CcSparseSteps,
+            Counter::CcDenseSteps,
+            Counter::CcDirectionSwitches,
+        );
         let woken_edges = edge_map(
             h.nodes(),
             h.edges(),
@@ -90,7 +120,7 @@ pub fn hygra_cc(h: &Hypergraph) -> HygraCcResult {
                 src_labels: &node_labels,
                 dst_labels: &edge_labels,
             },
-            Mode::Auto,
+            step_mode,
         );
         edge_frontier = woken_edges;
         node_frontier = VertexSubset::empty(nv);

@@ -50,6 +50,54 @@ pub trait EdgeMapFns: Sync {
     fn cond(&self, dst: Id) -> bool;
 }
 
+/// Resolves a [`Mode`] to the concrete direction `edge_map` will take
+/// for this frontier: `true` = dense (pull), `false` = sparse (push).
+///
+/// Exposed so instrumented traversal loops can observe the Ligra
+/// heuristic's decision (and count direction switches) before calling
+/// [`edge_map`] with the matching force mode — `edge_map(.., Mode::Auto)`
+/// and `edge_map(.., if choose_dense(..) { Mode::ForceDense } else {
+/// Mode::ForceSparse })` are semantically identical.
+pub fn choose_dense(adj: &Csr, frontier: &mut VertexSubset, mode: Mode) -> bool {
+    match mode {
+        Mode::ForceSparse => false,
+        Mode::ForceDense => true,
+        Mode::Auto => {
+            let m = adj.num_edges();
+            let ids = frontier.as_sparse();
+            let out_edges: usize = ids.par_iter().map(|&u| adj.degree(u)).sum();
+            ids.len() + out_edges > m / THRESHOLD_DENOM
+        }
+    }
+}
+
+/// Instrumented [`choose_dense`]: resolves the direction for one
+/// traversal half-step, records it in the given step counters, counts a
+/// direction switch when the decision flips relative to `prev_dense`, and
+/// returns the force mode matching the decision. Observability only —
+/// traversal semantics are unchanged (see [`choose_dense`]).
+pub(crate) fn resolve_mode(
+    adj: &Csr,
+    frontier: &mut VertexSubset,
+    mode: Mode,
+    prev_dense: &mut Option<bool>,
+    sparse_steps: nwhy_obs::Counter,
+    dense_steps: nwhy_obs::Counter,
+    switches: nwhy_obs::Counter,
+) -> Mode {
+    let dense = choose_dense(adj, frontier, mode);
+    nwhy_obs::incr(if dense { dense_steps } else { sparse_steps });
+    if prev_dense.is_some_and(|p| p != dense) {
+        nwhy_obs::incr(switches);
+    }
+    *prev_dense = Some(dense);
+    if dense {
+        Mode::ForceDense
+    } else {
+        Mode::ForceSparse
+    }
+}
+
 /// Applies `fns` over the edges from `frontier` (a subset of `adj`'s
 /// source space) to `adj`'s target space. `radj` must be the transpose of
 /// `adj` (used by the dense mode). Returns the new frontier over the
@@ -66,17 +114,7 @@ pub fn edge_map(
         adj.num_vertices(),
         "frontier space mismatch"
     );
-    let m = adj.num_edges();
-    let dense = match mode {
-        Mode::ForceSparse => false,
-        Mode::ForceDense => true,
-        Mode::Auto => {
-            let ids = frontier.as_sparse();
-            let out_edges: usize = ids.par_iter().map(|&u| adj.degree(u)).sum();
-            ids.len() + out_edges > m / THRESHOLD_DENOM
-        }
-    };
-    if dense {
+    if choose_dense(adj, frontier, mode) {
         edge_map_dense(radj, frontier, fns)
     } else {
         edge_map_sparse(adj, frontier, fns)

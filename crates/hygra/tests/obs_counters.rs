@@ -1,0 +1,101 @@
+//! Traversal counter fixture tests: the Ligra direction heuristic
+//! (`|frontier| + out_edges > m / THRESHOLD_DENOM`) must be observable
+//! through the BFS/CC step counters, with the switch point pinned on a
+//! hand-traceable hub-and-spokes hypergraph.
+#![cfg(feature = "obs")]
+
+use hygra::bfs::hygra_bfs_with_mode;
+use hygra::engine::{choose_dense, Mode, THRESHOLD_DENOM};
+use hygra::subset::VertexSubset;
+use nwhy_core::Hypergraph;
+use nwhy_obs::Counter;
+use std::sync::Mutex;
+
+/// The obs registry is process-global; serialize tests that reset it.
+static GATE: Mutex<()> = Mutex::new(());
+
+fn isolated<R>(f: impl FnOnce() -> R) -> R {
+    let _g = GATE.lock().unwrap_or_else(|e| e.into_inner());
+    nwhy_obs::reset();
+    f()
+}
+
+/// Hub-and-spokes: hyperedge 0 = {0..=k}, hyperedge i = {i} for
+/// i in 1..=k. Incidences m = 2k + 1.
+fn hub_and_spokes(k: u32) -> Hypergraph {
+    let mut ms: Vec<Vec<u32>> = vec![(0..=k).collect()];
+    for i in 1..=k {
+        ms.push(vec![i]);
+    }
+    Hypergraph::from_memberships(&ms)
+}
+
+/// `choose_dense` must flip exactly when `|frontier| + out_edges`
+/// crosses `m / 20`: with k = 100 singleton spokes (m = 201, threshold
+/// 10), a frontier of 5 spokes scores 10 (sparse) and 6 spokes score 12
+/// (dense).
+#[test]
+fn choose_dense_flips_at_documented_threshold() {
+    assert_eq!(THRESHOLD_DENOM, 20);
+    let h = hub_and_spokes(100);
+    let adj = h.edges();
+    assert_eq!(adj.num_edges(), 201);
+    let mut at = VertexSubset::from_sparse(h.num_hyperedges(), (1..=5).collect());
+    assert!(!choose_dense(adj, &mut at, Mode::Auto), "score 10 <= 10");
+    let mut above = VertexSubset::from_sparse(h.num_hyperedges(), (1..=6).collect());
+    assert!(choose_dense(adj, &mut above, Mode::Auto), "score 12 > 10");
+    // Forced modes ignore the heuristic entirely.
+    assert!(!choose_dense(adj, &mut above, Mode::ForceSparse));
+    assert!(choose_dense(adj, &mut at, Mode::ForceDense));
+}
+
+/// Auto BFS from a spoke: two cheap sparse half-steps (spoke → its node
+/// → the hub), then the hub's frontier score (1 + 101 = 102 > 10) flips
+/// the traversal dense for the remaining three half-steps. Exactly one
+/// direction switch, five rounds.
+#[test]
+fn auto_bfs_switches_direction_once_on_hub_fixture() {
+    isolated(|| {
+        let h = hub_and_spokes(100);
+        let r = hygra_bfs_with_mode(&h, 1, Mode::Auto);
+        // sanity: everything is reachable from spoke 1 through the hub
+        assert!(r.edge_levels.iter().all(|&l| l != u32::MAX));
+        assert_eq!(nwhy_obs::counter_value(Counter::BfsRounds), 5);
+        assert_eq!(nwhy_obs::counter_value(Counter::BfsSparseSteps), 2);
+        assert_eq!(nwhy_obs::counter_value(Counter::BfsDenseSteps), 3);
+        assert_eq!(nwhy_obs::counter_value(Counter::BfsDirectionSwitches), 1);
+    });
+}
+
+/// Forced-sparse BFS on the same fixture takes every half-step sparse
+/// and never switches.
+#[test]
+fn forced_sparse_bfs_never_switches() {
+    isolated(|| {
+        let h = hub_and_spokes(100);
+        let _ = hygra_bfs_with_mode(&h, 1, Mode::ForceSparse);
+        assert_eq!(nwhy_obs::counter_value(Counter::BfsRounds), 5);
+        assert_eq!(nwhy_obs::counter_value(Counter::BfsSparseSteps), 5);
+        assert_eq!(nwhy_obs::counter_value(Counter::BfsDenseSteps), 0);
+        assert_eq!(nwhy_obs::counter_value(Counter::BfsDirectionSwitches), 0);
+    });
+}
+
+/// CC's label-propagation loop reports one round per full alternation
+/// and its frontier histogram observes every round.
+#[test]
+fn cc_counts_label_propagation_rounds() {
+    isolated(|| {
+        let h = hub_and_spokes(8);
+        let r = hygra::hygra_cc(&h);
+        assert_eq!(r.num_components(), 1);
+        let rounds = nwhy_obs::counter_value(Counter::CcRounds);
+        assert!(rounds >= 2, "hub fixture needs ≥ 2 rounds, got {rounds}");
+        let steps = nwhy_obs::counter_value(Counter::CcSparseSteps)
+            + nwhy_obs::counter_value(Counter::CcDenseSteps);
+        assert_eq!(steps, 2 * rounds, "two half-steps per round");
+        let snap = nwhy_obs::snapshot();
+        let hist = snap.hists.iter().find(|h| h.name == "cc.frontier").unwrap();
+        assert_eq!(hist.count, rounds);
+    });
+}

@@ -17,6 +17,7 @@
 
 use crate::error::IoError;
 use nwhy_core::{BiEdgeList, Hypergraph, Id};
+use nwhy_obs::Counter;
 use std::io::{Read, Write};
 
 const MAGIC: &[u8; 8] = b"NWHYBIN1";
@@ -36,6 +37,7 @@ fn read_u32<R: Read>(r: &mut R) -> Result<u32, IoError> {
 
 /// Reads the binary format into a hypergraph.
 pub fn read_binary<R: Read>(mut r: R) -> Result<Hypergraph, IoError> {
+    let _span = nwhy_obs::span("io.read_binary");
     let mut magic = [0u8; 8];
     r.read_exact(&mut magic)?;
     if &magic != MAGIC {
@@ -65,7 +67,8 @@ pub fn read_binary<R: Read>(mut r: R) -> Result<Hypergraph, IoError> {
         }
         incidences.push((e as Id, v as Id));
     }
-    let bel = if flags & FLAG_WEIGHTS != 0 {
+    let weighted = flags & FLAG_WEIGHTS != 0;
+    let bel = if weighted {
         let mut weights = Vec::with_capacity(nnz);
         for _ in 0..nnz {
             let mut buf = [0u8; 8];
@@ -76,6 +79,10 @@ pub fn read_binary<R: Read>(mut r: R) -> Result<Hypergraph, IoError> {
     } else {
         BiEdgeList::from_incidences(ne, nv, incidences)
     };
+    // header (magic + flags + 3 dims) + pairs + optional weights
+    let bytes = 40 + nnz as u64 * if weighted { 16 } else { 8 };
+    nwhy_obs::add(Counter::IoBytesRead, bytes);
+    nwhy_obs::add(Counter::IoIncidencesRead, nnz as u64);
     Ok(Hypergraph::from_biedgelist(&bel))
 }
 

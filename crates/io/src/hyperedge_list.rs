@@ -8,14 +8,22 @@
 
 use crate::error::IoError;
 use nwhy_core::{Hypergraph, Id};
+use nwhy_obs::Counter;
 use std::io::{BufRead, Write};
 
 /// Reads a hyperedge-list file. The hypernode ID space is the smallest
 /// `0..n` covering all IDs seen.
 pub fn read_hyperedge_list<R: BufRead>(reader: R) -> Result<Hypergraph, IoError> {
+    let _span = nwhy_obs::span("io.read_hyperedge_list");
     let mut memberships: Vec<Vec<Id>> = Vec::new();
+    let mut bytes = 0u64;
+    let mut parsed = 0u64;
     for (i, line) in reader.lines().enumerate() {
         let line = line?;
+        if nwhy_obs::enabled() {
+            bytes += line.len() as u64 + 1;
+            parsed += 1;
+        }
         let t = line.trim();
         if t.starts_with('#') {
             continue;
@@ -34,6 +42,12 @@ pub fn read_hyperedge_list<R: BufRead>(reader: R) -> Result<Hypergraph, IoError>
     // Trailing blank lines are formatting, not hyperedges: trim them.
     while memberships.last().is_some_and(Vec::is_empty) {
         memberships.pop();
+    }
+    nwhy_obs::add(Counter::IoBytesRead, bytes);
+    nwhy_obs::add(Counter::IoLinesParsed, parsed);
+    if nwhy_obs::enabled() {
+        let inc: u64 = memberships.iter().map(|m| m.len() as u64).sum();
+        nwhy_obs::add(Counter::IoIncidencesRead, inc);
     }
     Ok(Hypergraph::from_memberships(&memberships))
 }

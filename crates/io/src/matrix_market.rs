@@ -10,6 +10,7 @@
 
 use crate::error::IoError;
 use nwhy_core::{BiEdgeList, Hypergraph, Id};
+use nwhy_obs::Counter;
 use std::io::{BufRead, Write};
 
 /// Reads a Matrix Market coordinate file as a hypergraph incidence
@@ -21,6 +22,7 @@ pub fn read_matrix_market<R: BufRead>(reader: R) -> Result<Hypergraph, IoError> 
 
 /// Reads the raw [`BiEdgeList`] (the paper's `graph_reader(mm_file)`).
 pub fn read_biedgelist<R: BufRead>(reader: R) -> Result<BiEdgeList, IoError> {
+    let _span = nwhy_obs::span("io.read_mm");
     let mut lines = reader.lines().enumerate();
 
     // Header line.
@@ -86,8 +88,14 @@ pub fn read_biedgelist<R: BufRead>(reader: R) -> Result<BiEdgeList, IoError> {
 
     let mut incidences: Vec<(Id, Id)> = Vec::with_capacity(nnz);
     let mut seen = 0usize;
+    let mut bytes = 0u64;
+    let mut parsed = 0u64;
     for (i, l) in lines {
         let l = l?;
+        if nwhy_obs::enabled() {
+            bytes += l.len() as u64 + 1;
+            parsed += 1;
+        }
         let t = l.trim();
         if t.is_empty() || t.starts_with('%') {
             continue;
@@ -125,6 +133,9 @@ pub fn read_biedgelist<R: BufRead>(reader: R) -> Result<BiEdgeList, IoError> {
             format!("expected {nnz} entries, found {seen}"),
         ));
     }
+    nwhy_obs::add(Counter::IoBytesRead, bytes);
+    nwhy_obs::add(Counter::IoLinesParsed, parsed);
+    nwhy_obs::add(Counter::IoIncidencesRead, incidences.len() as u64);
     let mut bel = BiEdgeList::from_incidences(n_cols, n_rows, incidences);
     bel.sort_dedup();
     Ok(bel)

@@ -8,6 +8,7 @@
 
 use crate::error::IoError;
 use nwhy_core::{BiEdgeList, Hypergraph, Id};
+use nwhy_obs::Counter;
 use std::io::{BufRead, Write};
 
 /// Which TSV column holds the hyperedge IDs.
@@ -26,11 +27,18 @@ pub fn read_bipartite_tsv<R: BufRead>(
     reader: R,
     orientation: Orientation,
 ) -> Result<Hypergraph, IoError> {
+    let _span = nwhy_obs::span("io.read_tsv");
     let mut incidences: Vec<(Id, Id)> = Vec::new();
     let mut max_edge = 0usize;
     let mut max_node = 0usize;
+    let mut bytes = 0u64;
+    let mut parsed = 0u64;
     for (i, line) in reader.lines().enumerate() {
         let line = line?;
+        if nwhy_obs::enabled() {
+            bytes += line.len() as u64 + 1;
+            parsed += 1;
+        }
         let t = line.trim();
         if t.is_empty() || t.starts_with('%') || t.starts_with('#') {
             continue;
@@ -57,6 +65,9 @@ pub fn read_bipartite_tsv<R: BufRead>(
         max_node = max_node.max(node);
         incidences.push(((edge - 1) as Id, (node - 1) as Id));
     }
+    nwhy_obs::add(Counter::IoBytesRead, bytes);
+    nwhy_obs::add(Counter::IoLinesParsed, parsed);
+    nwhy_obs::add(Counter::IoIncidencesRead, incidences.len() as u64);
     let mut bel = BiEdgeList::from_incidences(max_edge, max_node, incidences);
     bel.sort_dedup();
     Ok(Hypergraph::from_biedgelist(&bel))

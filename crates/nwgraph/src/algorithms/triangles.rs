@@ -58,6 +58,41 @@ pub fn sorted_intersection_at_least(a: &[Vertex], b: &[Vertex], threshold: usize
     false
 }
 
+/// [`sorted_intersection_at_least`] that also adds the number of element
+/// comparisons performed (merge-loop iterations) to `comparisons`. The
+/// instrumented s-line kernels use this variant when observability is on;
+/// the tally is a plain `&mut u64` so this crate stays metrics-agnostic.
+#[inline]
+pub fn sorted_intersection_at_least_counting(
+    a: &[Vertex],
+    b: &[Vertex],
+    threshold: usize,
+    comparisons: &mut u64,
+) -> bool {
+    if threshold == 0 {
+        return true;
+    }
+    let mut i = 0;
+    let mut j = 0;
+    let mut count = 0;
+    while i < a.len() && j < b.len() {
+        *comparisons += 1;
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                count += 1;
+                if count >= threshold {
+                    return true;
+                }
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    false
+}
+
 /// Exact triangle count of an undirected graph (each triangle counted
 /// once).
 pub fn triangle_count(g: &Csr) -> u64 {

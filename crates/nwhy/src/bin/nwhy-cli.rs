@@ -1,7 +1,10 @@
 //! `nwhy-cli` — a command-line front end for the framework.
 //!
 //! ```text
-//! nwhy-cli stats   <file>                      Table I-style statistics
+//! nwhy-cli stats   <file> [--run bfs|cc|sline [--s S]]
+//!                                              Table I-style statistics,
+//!                                              optionally followed by one
+//!                                              traversal/build + counters
 //! nwhy-cli cc      <file> [--algo A]           hypergraph components
 //!                  A ∈ hyper | adjoin | adjoin-lp | hygra   (default hyper)
 //! nwhy-cli bfs     <file> --source E [--algo A]
@@ -16,6 +19,14 @@
 //! nwhy-cli pagerank <file> [--damping D] [--top N]
 //! nwhy-cli gen     <profile> [--scale N] [--seed S] --out FILE
 //! nwhy-cli convert <in> <out>
+//! ```
+//!
+//! Every subcommand additionally accepts the observability flags
+//! (no-ops unless built with the default `obs` feature):
+//!
+//! ```text
+//! --metrics[=text|json]   print the counter/span/histogram snapshot on exit
+//! --trace-out FILE        write a Chrome trace_event JSON (chrome://tracing)
 //! ```
 //!
 //! Formats are inferred from extensions: `.mtx`/`.mm` Matrix Market,
@@ -42,7 +53,10 @@ fn usage() -> ! {
     std::process::exit(2);
 }
 
-/// Minimal flag parser: positionals + `--key value` pairs.
+/// Minimal flag parser: positionals + `--key value` / `--key=value`
+/// pairs. A `--`-prefixed token is never consumed as the value of the
+/// preceding flag, so boolean-ish flags (`--metrics`) compose with
+/// whatever follows.
 struct Args {
     positional: Vec<String>,
     flags: Vec<(String, String)>,
@@ -52,11 +66,20 @@ impl Args {
     fn parse(raw: &[String]) -> Args {
         let mut positional = Vec::new();
         let mut flags = Vec::new();
-        let mut it = raw.iter();
+        let mut it = raw.iter().peekable();
         while let Some(a) = it.next() {
             if let Some(key) = a.strip_prefix("--") {
-                let val = it.next().cloned().unwrap_or_default();
-                flags.push((key.to_string(), val));
+                if let Some((k, v)) = key.split_once('=') {
+                    flags.push((k.to_string(), v.to_string()));
+                } else {
+                    let val = match it.peek() {
+                        Some(next) if !next.starts_with("--") => {
+                            it.next().cloned().unwrap_or_default()
+                        }
+                        _ => String::new(),
+                    };
+                    flags.push((key.to_string(), val));
+                }
             } else {
                 positional.push(a.clone());
             }
@@ -117,6 +140,37 @@ fn cmd_stats(args: &Args) -> Result<(), String> {
     println!("avg edge size:   {:.3}", s.avg_edge_degree);
     println!("max node degree: {}", s.max_node_degree);
     println!("max edge size:   {}", s.max_edge_degree);
+    if let Some(run) = args.flag("run") {
+        if h.num_hyperedges() == 0 {
+            return Err("stats: --run needs a non-empty hypergraph".into());
+        }
+        match run {
+            "bfs" => {
+                let r =
+                    nwhy::hygra::bfs::hygra_bfs_with_mode(&h, 0, nwhy::hygra::engine::Mode::Auto);
+                println!(
+                    "ran bfs from hyperedge 0: reached {} hyperedges",
+                    count_finite(&r.edge_levels)
+                );
+            }
+            "cc" => {
+                let r = nwhy::hygra::hygra_cc(&h);
+                println!("ran cc: {} components", r.num_components());
+            }
+            "sline" => {
+                let s: usize = args.flag("s").unwrap_or("2").parse().unwrap_or(2);
+                let pairs = SLineBuilder::new(&h).s(s).edges();
+                println!("ran sline (s={s}): {} line-graph edges", pairs.len());
+            }
+            other => return Err(format!("stats: unknown --run {other} (bfs|cc|sline)")),
+        }
+        let snap = nwhy::obs::snapshot();
+        if snap.is_empty() {
+            println!("(no counters recorded — build with the default `obs` feature)");
+        } else {
+            print!("{}", snap.to_text());
+        }
+    }
     Ok(())
 }
 
@@ -463,6 +517,20 @@ mod tests {
     }
 
     #[test]
+    fn equals_syntax_splits_key_and_value() {
+        let args = Args::parse(&to_vec(&["--metrics=json", "--s=3"]));
+        assert_eq!(args.flag("metrics"), Some("json"));
+        assert_eq!(args.flag("s"), Some("3"));
+    }
+
+    #[test]
+    fn bare_flag_does_not_consume_following_flag() {
+        let args = Args::parse(&to_vec(&["--metrics", "--trace-out", "t.json"]));
+        assert_eq!(args.flag("metrics"), Some(""));
+        assert_eq!(args.flag("trace-out"), Some("t.json"));
+    }
+
+    #[test]
     fn interleaved_order() {
         let args = Args::parse(&to_vec(&["--k", "2", "in.bin", "--l", "5"]));
         assert_eq!(args.positional, vec!["in.bin"]);
@@ -497,6 +565,46 @@ mod tests {
     }
 }
 
+/// The root span label for a subcommand (`&'static str` because span
+/// names are interned for the lifetime of the process).
+fn span_name(cmd: &str) -> &'static str {
+    match cmd {
+        "stats" => "cli.stats",
+        "cc" => "cli.cc",
+        "bfs" => "cli.bfs",
+        "sline" => "cli.sline",
+        "check" => "cli.check",
+        "toplex" => "cli.toplex",
+        "scomp" => "cli.scomp",
+        "kcore" => "cli.kcore",
+        "pagerank" => "cli.pagerank",
+        "gen" => "cli.gen",
+        "convert" => "cli.convert",
+        _ => "cli",
+    }
+}
+
+/// Handles the global `--metrics[=text|json]` and `--trace-out FILE`
+/// flags after the subcommand finished (so its root span is closed and
+/// included in the snapshot).
+fn emit_observability(args: &Args) -> Result<(), String> {
+    if let Some(mode) = args.flag("metrics") {
+        let snap = nwhy::obs::snapshot();
+        match mode {
+            "" | "text" => print!("{}", snap.to_text()),
+            "json" => println!("{}", snap.to_json()),
+            other => return Err(format!("unknown --metrics mode {other} (text|json)")),
+        }
+    }
+    if let Some(path) = args.flag("trace-out") {
+        if path.is_empty() {
+            return Err("--trace-out needs a file path".into());
+        }
+        std::fs::write(path, nwhy::obs::chrome_trace()).map_err(|e| format!("{path}: {e}"))?;
+    }
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     if raw.is_empty() || raw[0] == "--help" || raw[0] == "-h" {
@@ -504,22 +612,26 @@ fn main() -> ExitCode {
     }
     let cmd = raw[0].as_str();
     let args = Args::parse(&raw[1..]);
-    let result = match cmd {
-        "stats" => cmd_stats(&args),
-        "cc" => cmd_cc(&args),
-        "bfs" => cmd_bfs(&args),
-        "sline" => cmd_sline(&args),
-        "check" => cmd_check(&args),
-        "toplex" => cmd_toplex(&args),
-        "scomp" => cmd_scomp(&args),
-        "kcore" => cmd_kcore(&args),
-        "pagerank" => cmd_pagerank(&args),
-        "gen" => cmd_gen(&args),
-        "convert" => cmd_convert(&args),
-        _ => {
-            usage();
+    let result = {
+        let _span = nwhy::obs::span(span_name(cmd));
+        match cmd {
+            "stats" => cmd_stats(&args),
+            "cc" => cmd_cc(&args),
+            "bfs" => cmd_bfs(&args),
+            "sline" => cmd_sline(&args),
+            "check" => cmd_check(&args),
+            "toplex" => cmd_toplex(&args),
+            "scomp" => cmd_scomp(&args),
+            "kcore" => cmd_kcore(&args),
+            "pagerank" => cmd_pagerank(&args),
+            "gen" => cmd_gen(&args),
+            "convert" => cmd_convert(&args),
+            _ => {
+                usage();
+            }
         }
     };
+    let result = result.and_then(|()| emit_observability(&args));
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {

@@ -1,0 +1,111 @@
+//! The sharded relaxed-atomic accumulator underneath every counter.
+//!
+//! A single global `AtomicU64` bumped from every rayon worker would
+//! serialize the workers on one cache line. [`ShardedU64`] spreads the
+//! bumps over [`SHARDS`] cache-line-padded slots; readers sum the slots.
+//! All operations are `Relaxed`: counters only ever feed *reports*, never
+//! synchronize data, so per the workspace ordering policy (DESIGN.md §5b)
+//! no acquire/release edges are needed.
+//!
+//! The atomic type comes from [`nwhy_util::sync`], the workspace's
+//! `cfg(loom)` switch point, so `tests/loom.rs` can exhaustively
+//! interleave concurrent bumps against a reader.
+
+use nwhy_util::sync::{AtomicU64, Ordering};
+
+/// Number of shards per counter. A power of two so shard selection is a
+/// mask; 16 covers typical worker counts without bloating snapshots.
+pub const SHARDS: usize = 16;
+
+/// One cache line worth of padding around a shard slot.
+#[repr(align(64))]
+#[derive(Debug, Default)]
+struct Padded(AtomicU64);
+
+/// A monotonically increasing counter sharded over [`SHARDS`]
+/// cache-line-padded atomic slots.
+#[derive(Debug)]
+pub struct ShardedU64 {
+    shards: [Padded; SHARDS],
+}
+
+impl Default for ShardedU64 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ShardedU64 {
+    /// A zeroed counter. (Not `const`: the loom-instrumented atomics
+    /// have non-const constructors.)
+    pub fn new() -> Self {
+        Self {
+            shards: Default::default(),
+        }
+    }
+
+    /// Adds `n` to the given shard (callers pick the shard by worker
+    /// identity; any index is valid — it is masked).
+    #[inline]
+    pub fn add_to_shard(&self, shard: usize, n: u64) {
+        self.shards[shard % SHARDS]
+            .0
+            .fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Sum over all shards. Racy by nature: concurrent bumps may or may
+    /// not be included, but every bump that happened-before the call is.
+    pub fn sum(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.0.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Zeroes every shard (between measurement windows; not intended to
+    /// race with writers).
+    pub fn reset(&self) {
+        for s in &self.shards {
+            s.0.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(all(test, not(loom)))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sums_across_shards() {
+        let c = ShardedU64::new();
+        for i in 0..100 {
+            c.add_to_shard(i, 2);
+        }
+        assert_eq!(c.sum(), 200);
+        c.reset();
+        assert_eq!(c.sum(), 0);
+    }
+
+    #[test]
+    fn shard_index_is_masked() {
+        let c = ShardedU64::new();
+        c.add_to_shard(usize::MAX, 5);
+        assert_eq!(c.sum(), 5);
+    }
+
+    #[test]
+    fn concurrent_bumps_all_land() {
+        let c = ShardedU64::new();
+        std::thread::scope(|s| {
+            for t in 0..8 {
+                let c = &c;
+                s.spawn(move || {
+                    for _ in 0..10_000 {
+                        c.add_to_shard(t, 1);
+                    }
+                });
+            }
+        });
+        assert_eq!(c.sum(), 80_000);
+    }
+}

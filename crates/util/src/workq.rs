@@ -46,6 +46,13 @@ impl<'a, T> ChunkedQueue<'a, T> {
         self.items.is_empty()
     }
 
+    /// The configured chunk size. `len().div_ceil(chunk_size())` is the
+    /// number of successful steals a full drain performs — the quantity
+    /// the instrumented queue kernels report.
+    pub fn chunk_size(&self) -> usize {
+        self.chunk
+    }
+
     /// Atomically takes the next chunk; `None` once drained.
     ///
     /// The cursor stays bounded after the queue drains. A bare
