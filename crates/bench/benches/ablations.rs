@@ -86,7 +86,7 @@ fn bench_queue_on_permuted_ids(c: &mut Criterion) {
     let h = profile_by_name("com-Orkut").unwrap().generate(SCALE, 42);
     // The adjoin graph is the "permuted" ID space: hypernode IDs shifted.
     let a = AdjoinGraph::from_hypergraph(&h);
-    let queue: Vec<u32> = (0..a.num_hyperedges() as u32).collect();
+    let queue: Vec<u32> = (0..nwhy_core::ids::from_usize(a.num_hyperedges())).collect();
     group.bench_function("alg1-on-adjoin-direct", |b| {
         b.iter(|| black_box(queue_hashmap(&a, &queue, 2, Strategy::AUTO)))
     });
@@ -154,7 +154,7 @@ fn bench_scheduling(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_scheduling");
     group.sample_size(10);
     let h = profile_by_name("Orkut-group").unwrap().generate(SCALE, 42);
-    let queue: Vec<u32> = (0..h.num_hyperedges() as u32).collect();
+    let queue: Vec<u32> = (0..nwhy_core::ids::from_usize(h.num_hyperedges())).collect();
     group.bench_function("static-blocked", |b| {
         b.iter(|| {
             black_box(queue_hashmap(
@@ -185,7 +185,7 @@ fn bench_alg2_phases(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_alg2_phases");
     group.sample_size(10);
     let h = profile_by_name("com-Orkut").unwrap().generate(SCALE, 42);
-    let queue: Vec<u32> = (0..h.num_hyperedges() as u32).collect();
+    let queue: Vec<u32> = (0..nwhy_core::ids::from_usize(h.num_hyperedges())).collect();
     group.bench_function("phase1-candidates-only", |b| {
         b.iter(|| black_box(candidate_pairs(&h, &queue, 2, Strategy::AUTO)))
     });

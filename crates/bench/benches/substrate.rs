@@ -10,8 +10,8 @@ use nwhy_core::clique::clique_expansion;
 use nwhy_gen::profiles::profile_by_name;
 use nwhy_util::partition::{par_for_each_index, Strategy};
 use nwhy_util::prefix::exclusive_prefix_sum;
+use nwhy_util::sync::{AtomicU64, Ordering};
 use std::hint::black_box;
-use std::sync::atomic::{AtomicU64, Ordering};
 
 fn bench_csr_build(c: &mut Criterion) {
     let mut group = c.benchmark_group("csr");

@@ -13,13 +13,13 @@ use nwhy_core::algorithms::{
     adjoin_bfs, adjoin_cc_afforest, adjoin_cc_label_propagation, hyper_bfs_bottom_up,
     hyper_bfs_top_down, hyper_cc,
 };
-use nwhy_core::{AdjoinGraph, Hypergraph};
+use nwhy_core::{AdjoinGraph, HyperedgeId, Hypergraph};
 use nwhy_gen::profiles::profile_by_name;
 
 fn setup(name: &str, scale: usize) -> (Hypergraph, AdjoinGraph, u32) {
     let h = profile_by_name(name).unwrap().generate(scale, 42);
     let a = AdjoinGraph::from_hypergraph(&h);
-    let src = (0..h.num_hyperedges() as u32)
+    let src = (0..nwhy_core::ids::from_usize(h.num_hyperedges()))
         .max_by_key(|&e| h.edge_degree(e))
         .unwrap();
     (h, a, src)
@@ -45,7 +45,7 @@ fn main() {
             std::hint::black_box(hyper_bfs_bottom_up(&h, src));
         });
         run(&mut records, name, "AdjoinBFS", &mut || {
-            std::hint::black_box(adjoin_bfs(&a, src));
+            std::hint::black_box(adjoin_bfs(&a, HyperedgeId::new(src)));
         });
         run(&mut records, name, "HygraBFS", &mut || {
             std::hint::black_box(hygra::hygra_bfs(&h, src));

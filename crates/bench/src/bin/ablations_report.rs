@@ -15,7 +15,7 @@ use nwgraph::algorithms::bfs::{bfs_bottom_up, bfs_top_down};
 use nwhy_bench::{best_of, HarnessConfig};
 use nwhy_core::algorithms::adjoin_bfs;
 use nwhy_core::slinegraph::queue_single::{queue_hashmap, queue_hashmap_dynamic};
-use nwhy_core::{AdjoinGraph, Algorithm, BuildOptions, Relabel, SLineBuilder};
+use nwhy_core::{AdjoinGraph, Algorithm, BuildOptions, HyperedgeId, Relabel, SLineBuilder};
 use nwhy_gen::profiles::profile_by_name;
 use nwhy_util::partition::{imbalance_report, Strategy};
 
@@ -60,7 +60,7 @@ fn main() {
 
     // ---- B. queue vs rebuild on the adjoin ID space --------------------
     println!("\nB. s-line (s=2) from the adjoin representation:");
-    let queue: Vec<u32> = (0..adjoin.num_hyperedges() as u32).collect();
+    let queue: Vec<u32> = (0..nwhy_core::ids::from_usize(adjoin.num_hyperedges())).collect();
     let t_q1 = best_of(cfg.trials, || {
         queue_hashmap(&adjoin, &queue, 2, Strategy::AUTO)
     });
@@ -92,7 +92,7 @@ fn main() {
     let src = 0u32;
     let t_td = best_of(cfg.trials, || bfs_top_down(adjoin.graph(), src));
     let t_bu = best_of(cfg.trials, || bfs_bottom_up(adjoin.graph(), src));
-    let t_do = best_of(cfg.trials, || adjoin_bfs(&adjoin, src));
+    let t_do = best_of(cfg.trials, || adjoin_bfs(&adjoin, HyperedgeId::new(src)));
     println!("   top-down:             {t_td:>10.5}s");
     println!("   bottom-up:            {t_bu:>10.5}s");
     println!("   direction-optimizing: {t_do:>10.5}s");
@@ -112,7 +112,7 @@ fn main() {
 
     // ---- F. imbalance ----------------------------------------------------
     println!("\nF. per-bin work imbalance (16 bins, max/mean; 1.0 = perfect):");
-    let mut costs: Vec<usize> = (0..h.num_hyperedges() as u32)
+    let mut costs: Vec<usize> = (0..nwhy_core::ids::from_usize(h.num_hyperedges()))
         .map(|e| h.edge_degree(e))
         .collect();
     println!(

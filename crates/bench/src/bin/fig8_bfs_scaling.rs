@@ -12,7 +12,7 @@
 
 use nwhy_bench::{all_twins, best_of, write_json, HarnessConfig, ScalingCell};
 use nwhy_core::algorithms::{adjoin_bfs, hyper_bfs_top_down};
-use nwhy_core::AdjoinGraph;
+use nwhy_core::{AdjoinGraph, HyperedgeId};
 use nwhy_util::pool::with_threads;
 
 fn main() {
@@ -26,7 +26,7 @@ fn main() {
 
     for (p, h) in all_twins(&cfg) {
         let adjoin = AdjoinGraph::from_hypergraph(&h);
-        let source = (0..h.num_hyperedges() as u32)
+        let source = (0..nwhy_core::ids::from_usize(h.num_hyperedges()))
             .max_by_key(|&e| h.edge_degree(e))
             .expect("twin has hyperedges");
         println!(
@@ -39,7 +39,9 @@ fn main() {
             "threads", "AdjoinBFS [s]", "HyperBFS [s]", "HygraBFS [s]"
         );
         for &t in &threads {
-            let t_adjoin = with_threads(t, || best_of(cfg.trials, || adjoin_bfs(&adjoin, source)));
+            let t_adjoin = with_threads(t, || {
+                best_of(cfg.trials, || adjoin_bfs(&adjoin, HyperedgeId::new(source)))
+            });
             let t_hyper =
                 with_threads(t, || best_of(cfg.trials, || hyper_bfs_top_down(&h, source)));
             let t_hygra = with_threads(t, || best_of(cfg.trials, || hygra::hygra_bfs(&h, source)));
@@ -58,7 +60,7 @@ fn main() {
             }
         }
         // correctness cross-check once per dataset
-        let a = adjoin_bfs(&adjoin, source);
+        let a = adjoin_bfs(&adjoin, HyperedgeId::new(source));
         let b = hyper_bfs_top_down(&h, source);
         let c = hygra::hygra_bfs(&h, source);
         assert_eq!(

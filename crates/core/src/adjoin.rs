@@ -17,6 +17,7 @@
 //! ([`AdjoinGraph::split_result`]).
 
 use crate::hypergraph::Hypergraph;
+use crate::ids::{adjoin_to_node, AdjoinId, HyperedgeId, HypernodeId};
 use crate::Id;
 use nwgraph::{Csr, EdgeList};
 use rayon::prelude::*;
@@ -29,12 +30,14 @@ use rayon::prelude::*;
 /// ```
 /// use nwhy_core::{AdjoinGraph, Hypergraph};
 ///
+/// use nwhy_core::ids::{AdjoinId, HypernodeId};
+///
 /// let h = Hypergraph::from_memberships(&[vec![0, 1], vec![1, 2]]);
 /// let a = AdjoinGraph::from_hypergraph(&h);
 /// // hyperedges keep IDs 0..2; hypernodes shift to 2..5
 /// assert_eq!(a.num_vertices(), 5);
-/// assert!(a.is_hyperedge(1));
-/// assert_eq!(a.hypernode_id(0), 2);
+/// assert!(a.is_hyperedge(AdjoinId::new(1)));
+/// assert_eq!(a.hypernode_id(HypernodeId::new(0)), AdjoinId::new(2));
 /// // any graph algorithm runs on a.graph(); split results afterwards
 /// let labels = nwgraph::algorithms::cc::afforest(a.graph());
 /// let (edge_labels, node_labels) = a.split_result(&labels);
@@ -54,14 +57,16 @@ impl AdjoinGraph {
         let ne = h.num_hyperedges();
         let nv = h.num_hypernodes();
         let n = ne + nv;
-        // Both directions of every incidence: (e, v+ne) and (v+ne, e).
+        // Both directions of every incidence; the hypernode → shared-set
+        // shift is owned by `AdjoinId::from_node`, never inlined here.
         let pairs: Vec<(Id, Id)> = h
             .edges()
             .par_iter()
             .flat_map_iter(|(e, members)| {
-                members
-                    .iter()
-                    .flat_map(move |&v| [(e, v + ne as Id), (v + ne as Id, e)])
+                members.iter().flat_map(move |&v| {
+                    let av = AdjoinId::from_node(HypernodeId::new(v), ne).raw();
+                    [(e, av), (av, e)]
+                })
             })
             .collect();
         let el = EdgeList::from_edges(n, pairs);
@@ -91,9 +96,9 @@ impl AdjoinGraph {
             num_hyperedges + num_hypernodes,
             "vertex space must be n_e + n_v"
         );
-        let boundary = num_hyperedges as Id;
         for &(u, v) in el.edges() {
-            let cross = (u < boundary) != (v < boundary);
+            let cross = AdjoinId::new(u).is_edge(num_hyperedges)
+                != AdjoinId::new(v).is_edge(num_hyperedges);
             assert!(cross, "edge ({u},{v}) does not cross the adjoin partition");
         }
         let mut el = el.clone();
@@ -149,24 +154,38 @@ impl AdjoinGraph {
         self.num_hyperedges + self.num_hypernodes
     }
 
-    /// `true` if adjoin ID `id` denotes a hyperedge.
+    /// `true` if the adjoin ID denotes a hyperedge.
     #[inline]
-    pub fn is_hyperedge(&self, id: Id) -> bool {
-        (id as usize) < self.num_hyperedges
+    #[must_use]
+    pub fn is_hyperedge(&self, id: AdjoinId) -> bool {
+        id.is_edge(self.num_hyperedges)
     }
 
-    /// Maps a hyperedge ID into the shared index set (identity).
+    /// Maps a hyperedge into the shared index set (identity embedding).
     #[inline]
-    pub fn hyperedge_id(&self, e: Id) -> Id {
-        debug_assert!((e as usize) < self.num_hyperedges);
-        e
+    #[must_use]
+    pub fn hyperedge_id(&self, e: HyperedgeId) -> AdjoinId {
+        debug_assert!(e.idx() < self.num_hyperedges);
+        AdjoinId::from_edge(e)
     }
 
-    /// Maps a hypernode ID into the shared index set (shift by `n_e`).
+    /// Maps a hypernode into the shared index set (shift by `n_e`,
+    /// owned by [`AdjoinId::from_node`]).
     #[inline]
-    pub fn hypernode_id(&self, v: Id) -> Id {
-        debug_assert!((v as usize) < self.num_hypernodes);
-        v + self.num_hyperedges as Id
+    #[must_use]
+    pub fn hypernode_id(&self, v: HypernodeId) -> AdjoinId {
+        debug_assert!(v.idx() < self.num_hypernodes);
+        AdjoinId::from_node(v, self.num_hyperedges)
+    }
+
+    /// Recovers the hypernode from an adjoin ID in the node partition.
+    ///
+    /// # Panics
+    /// Panics (in debug builds) if `id` denotes a hyperedge.
+    #[inline]
+    #[must_use]
+    pub fn to_hypernode(&self, id: AdjoinId) -> HypernodeId {
+        adjoin_to_node(id, self.num_hyperedges)
     }
 
     /// Splits a per-vertex result computed on the adjoin graph back into
@@ -184,12 +203,12 @@ impl AdjoinGraph {
     /// [`AdjoinGraph::from_hypergraph`]).
     pub fn to_hypergraph(&self) -> Hypergraph {
         let ne = self.num_hyperedges;
-        let pairs: Vec<(Id, Id)> = (0..ne as Id)
+        let pairs: Vec<(Id, Id)> = (0..crate::ids::from_usize(ne))
             .flat_map(|e| {
                 self.graph
                     .neighbors(e)
                     .iter()
-                    .map(move |&v| (e, v - ne as Id))
+                    .map(move |&v| (e, adjoin_to_node(AdjoinId::new(v), ne).raw()))
             })
             .collect();
         let bel = crate::biedgelist::BiEdgeList::from_incidences(ne, self.num_hypernodes, pairs);
@@ -209,10 +228,38 @@ mod tests {
         let a = AdjoinGraph::from_hypergraph(&h);
         // Figure 3: hyperedges 0–3, hypernodes 4–12.
         assert_eq!(a.num_vertices(), 13);
-        assert!(a.is_hyperedge(3));
-        assert!(!a.is_hyperedge(4));
-        assert_eq!(a.hypernode_id(0), 4);
-        assert_eq!(a.hyperedge_id(2), 2);
+        assert!(a.is_hyperedge(AdjoinId::new(3)));
+        assert!(!a.is_hyperedge(AdjoinId::new(4)));
+        assert_eq!(a.hypernode_id(HypernodeId::new(0)), AdjoinId::new(4));
+        assert_eq!(a.hyperedge_id(HyperedgeId::new(2)), AdjoinId::new(2));
+        assert_eq!(a.to_hypernode(AdjoinId::new(4)), HypernodeId::new(0));
+    }
+
+    #[test]
+    fn corrupted_offset_is_caught_by_validate() {
+        // Regression for the once-inlined `v + ne` incidence shift: build
+        // the adjoin CSR with an off-by-one offset (as a buggy duplicate
+        // of `AdjoinId::from_node` would) and check `Validate` flags it.
+        use crate::validate::Validate;
+        let h = paper_hypergraph();
+        let ne = h.num_hyperedges();
+        let bad_shift = ne - 1; // buggy: one short of the real boundary
+        let pairs: Vec<(Id, Id)> = h
+            .edges()
+            .iter()
+            .flat_map(|(e, members)| {
+                members.iter().flat_map(move |&v| {
+                    let av = AdjoinId::from_node(HypernodeId::new(v), bad_shift).raw();
+                    [(e, av), (av, e)]
+                })
+            })
+            .collect();
+        let el = EdgeList::from_edges(ne + h.num_hypernodes(), pairs);
+        let a = AdjoinGraph::from_raw_parts(Csr::from_edge_list(&el), ne, h.num_hypernodes());
+        assert!(
+            a.validate().is_err(),
+            "corrupted adjoin offset must not validate cleanly"
+        );
     }
 
     #[test]
@@ -224,8 +271,8 @@ mod tests {
         for (u, nbrs) in a.graph().iter() {
             for &v in nbrs {
                 assert_ne!(
-                    a.is_hyperedge(u),
-                    a.is_hyperedge(v),
+                    a.is_hyperedge(AdjoinId::new(u)),
+                    a.is_hyperedge(AdjoinId::new(v)),
                     "edge ({u},{v}) intra-part"
                 );
             }

@@ -6,6 +6,7 @@
 //! traversal code is needed — the point of the representation.
 
 use crate::adjoin::AdjoinGraph;
+use crate::ids::HyperedgeId;
 use crate::Id;
 use nwgraph::algorithms::bfs::{bfs_direction_optimizing, BfsResult};
 
@@ -27,13 +28,13 @@ pub struct AdjoinBfsResult {
 
 /// Runs direction-optimizing BFS on the adjoin graph from hyperedge
 /// `source` and splits the result arrays.
-pub fn adjoin_bfs(a: &AdjoinGraph, source: Id) -> AdjoinBfsResult {
+pub fn adjoin_bfs(a: &AdjoinGraph, source: HyperedgeId) -> AdjoinBfsResult {
     assert!(
-        (source as usize) < a.num_hyperedges(),
+        source.idx() < a.num_hyperedges(),
         "source hyperedge {source} out of range {}",
         a.num_hyperedges()
     );
-    let raw = bfs_direction_optimizing(a.graph(), a.hyperedge_id(source));
+    let raw = bfs_direction_optimizing(a.graph(), a.hyperedge_id(source).raw());
     let (edge_levels, node_levels) = a.split_result(&raw.levels);
     let (edge_parents, node_parents) = a.split_result(&raw.parents);
     AdjoinBfsResult {
@@ -58,7 +59,7 @@ mod tests {
         let h = paper_hypergraph();
         let a = AdjoinGraph::from_hypergraph(&h);
         for src in 0..4 {
-            let ar = adjoin_bfs(&a, src);
+            let ar = adjoin_bfs(&a, HyperedgeId::new(src));
             let hr = hyper_bfs_top_down(&h, src);
             assert_eq!(ar.edge_levels, hr.edge_levels, "src {src}");
             assert_eq!(ar.node_levels, hr.node_levels, "src {src}");
@@ -69,16 +70,19 @@ mod tests {
     fn parents_cross_the_partition() {
         let h = paper_hypergraph();
         let a = AdjoinGraph::from_hypergraph(&h);
-        let r = adjoin_bfs(&a, 0);
+        let r = adjoin_bfs(&a, HyperedgeId::new(0));
         for (e, &p) in r.edge_parents.iter().enumerate() {
             if p == u32::MAX || e == 0 {
                 continue;
             }
-            assert!(!a.is_hyperedge(p), "hyperedge {e} parent {p} same side");
+            assert!(
+                !a.is_hyperedge(crate::ids::AdjoinId::new(p)),
+                "hyperedge {e} parent {p} same side"
+            );
         }
         for &p in &r.node_parents {
             if p != u32::MAX {
-                assert!(a.is_hyperedge(p));
+                assert!(a.is_hyperedge(crate::ids::AdjoinId::new(p)));
             }
         }
     }
@@ -87,7 +91,7 @@ mod tests {
     fn unreached_split_correctly() {
         let h = Hypergraph::from_memberships(&[vec![0], vec![1, 2]]);
         let a = AdjoinGraph::from_hypergraph(&h);
-        let r = adjoin_bfs(&a, 0);
+        let r = adjoin_bfs(&a, HyperedgeId::new(0));
         assert_eq!(r.edge_levels, vec![0, u32::MAX]);
         assert_eq!(r.node_levels, vec![1, u32::MAX, u32::MAX]);
     }
@@ -97,7 +101,7 @@ mod tests {
     fn node_id_as_source_rejected() {
         let h = paper_hypergraph();
         let a = AdjoinGraph::from_hypergraph(&h);
-        adjoin_bfs(&a, 5); // 5 is a hypernode's adjoin ID
+        adjoin_bfs(&a, HyperedgeId::new(5)); // 5 is a hypernode's adjoin ID
     }
 
     fn arb_memberships() -> impl proptest::strategy::Strategy<Value = Vec<Vec<Id>>> {
@@ -111,8 +115,8 @@ mod tests {
         fn prop_adjoin_equals_bipartite_bfs(ms in arb_memberships(), seed in 0u32..100) {
             let h = Hypergraph::from_memberships(&ms);
             let a = AdjoinGraph::from_hypergraph(&h);
-            let src = seed % h.num_hyperedges() as u32;
-            let ar = adjoin_bfs(&a, src);
+            let src = seed % crate::ids::from_usize(h.num_hyperedges());
+            let ar = adjoin_bfs(&a, HyperedgeId::new(src));
             let hr = hyper_bfs_top_down(&h, src);
             prop_assert_eq!(ar.edge_levels, hr.edge_levels);
             prop_assert_eq!(ar.node_levels, hr.node_levels);

@@ -9,10 +9,11 @@
 //! frontiers, parent arrays, and level arrays — one per index set.
 
 use crate::hypergraph::Hypergraph;
+use crate::ids;
 use crate::Id;
 use nwgraph::INVALID_VERTEX;
+use nwhy_util::sync::{AtomicU32, Ordering};
 use rayon::prelude::*;
-use std::sync::atomic::{AtomicU32, Ordering};
 
 /// Output of a hypergraph BFS from a source hyperedge.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -167,11 +168,11 @@ fn expand_bottom_up(
             if target_parents[t].load(Ordering::Relaxed) != INVALID_VERTEX {
                 return None;
             }
-            for &u in reverse_adjacency.neighbors(t as Id) {
+            for &u in reverse_adjacency.neighbors(ids::from_usize(t)) {
                 if in_frontier[u as usize] {
                     target_parents[t].store(u, Ordering::Relaxed);
                     target_levels[t].store(depth, Ordering::Relaxed);
-                    return Some(t as Id);
+                    return Some(ids::from_usize(t));
                 }
             }
             None
@@ -321,7 +322,7 @@ mod tests {
         #[test]
         fn prop_variants_agree(ms in arb_memberships(), src_seed in 0u32..100) {
             let h = Hypergraph::from_memberships(&ms);
-            let src = src_seed % h.num_hyperedges() as u32;
+            let src = src_seed % ids::from_usize(h.num_hyperedges());
             let td = hyper_bfs_top_down(&h, src);
             let bu = hyper_bfs_bottom_up(&h, src);
             prop_assert_eq!(td.edge_levels, bu.edge_levels);

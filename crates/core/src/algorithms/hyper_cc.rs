@@ -11,10 +11,11 @@
 //! hypernodes).
 
 use crate::hypergraph::Hypergraph;
+use crate::ids::{self, AdjoinId, HypernodeId};
 use crate::Id;
 use nwhy_util::atomics::atomic_min_u32;
+use nwhy_util::sync::{AtomicBool, AtomicU32, Ordering};
 use rayon::prelude::*;
-use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 
 /// Component labels for both index sets. Two entities (of either kind)
 /// are in the same hypergraph component iff their labels are equal.
@@ -46,9 +47,9 @@ impl HyperCcResult {
 pub fn hyper_cc(h: &Hypergraph) -> HyperCcResult {
     let ne = h.num_hyperedges();
     let nv = h.num_hypernodes();
-    let edge_labels: Vec<AtomicU32> = (0..ne as u32).map(AtomicU32::new).collect();
-    let node_labels: Vec<AtomicU32> = (0..nv as u32)
-        .map(|v| AtomicU32::new(ne as u32 + v))
+    let edge_labels: Vec<AtomicU32> = (0..ids::from_usize(ne)).map(AtomicU32::new).collect();
+    let node_labels: Vec<AtomicU32> = (0..ids::from_usize(nv))
+        .map(|v| AtomicU32::new(AdjoinId::from_node(HypernodeId::new(v), ne).raw()))
         .collect();
 
     let changed = AtomicBool::new(true);
@@ -58,7 +59,7 @@ pub fn hyper_cc(h: &Hypergraph) -> HyperCcResult {
         // bookkeeping the paper describes.
         (0..ne).into_par_iter().for_each(|e| {
             let le = edge_labels[e].load(Ordering::Relaxed);
-            for &v in h.edge_members(e as Id) {
+            for &v in h.edge_members(ids::from_usize(e)) {
                 if atomic_min_u32(&node_labels[v as usize], le) {
                     changed.store(true, Ordering::Relaxed);
                 }
@@ -148,7 +149,7 @@ mod tests {
             }
             let label = next_label;
             next_label += 1;
-            let mut stack = vec![(true, start as Id)];
+            let mut stack = vec![(true, ids::from_usize(start))];
             el[start] = label;
             while let Some((is_edge, x)) = stack.pop() {
                 if is_edge {
@@ -194,7 +195,7 @@ mod tests {
                         "edges {} {}", a, b
                     );
                 }
-                #[allow(clippy::needless_range_loop)] // parallel indexing of two arrays
+                #[allow(clippy::needless_range_loop)] // lint: parallel indexing of two arrays
                 for v in 0..h.num_hypernodes() {
                     prop_assert_eq!(
                         r.edge_labels[a] == r.node_labels[v],

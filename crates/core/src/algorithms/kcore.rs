@@ -10,9 +10,10 @@
 //! bi-adjacency, the same two-index-set bookkeeping HyperBFS needs.
 
 use crate::hypergraph::Hypergraph;
+use crate::ids;
 use crate::Id;
+use nwhy_util::sync::{AtomicUsize, Ordering};
 use rayon::prelude::*;
-use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// The surviving entities of the (k, ℓ)-core.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -46,17 +47,17 @@ pub fn kl_core(h: &Hypergraph, k: usize, l: usize) -> KLCore {
     let ne = h.num_hyperedges();
     // live degrees, updated as the other side peels
     let node_deg: Vec<AtomicUsize> = (0..nv)
-        .map(|v| AtomicUsize::new(h.node_degree(v as Id)))
+        .map(|v| AtomicUsize::new(h.node_degree(ids::from_usize(v))))
         .collect();
     let edge_deg: Vec<AtomicUsize> = (0..ne)
-        .map(|e| AtomicUsize::new(h.edge_degree(e as Id)))
+        .map(|e| AtomicUsize::new(h.edge_degree(ids::from_usize(e))))
         .collect();
     let mut node_alive = vec![true; nv];
     let mut edge_alive = vec![true; ne];
 
     loop {
         // peel hypernodes below k
-        let dead_nodes: Vec<Id> = (0..nv as Id)
+        let dead_nodes: Vec<Id> = (0..ids::from_usize(nv))
             .into_par_iter()
             .filter(|&v| node_alive[v as usize] && node_deg[v as usize].load(Ordering::Relaxed) < k)
             .collect();
@@ -72,7 +73,7 @@ pub fn kl_core(h: &Hypergraph, k: usize, l: usize) -> KLCore {
         });
 
         // peel hyperedges below ℓ
-        let dead_edges: Vec<Id> = (0..ne as Id)
+        let dead_edges: Vec<Id> = (0..ids::from_usize(ne))
             .into_par_iter()
             .filter(|&e| edge_alive[e as usize] && edge_deg[e as usize].load(Ordering::Relaxed) < l)
             .collect();
@@ -109,7 +110,7 @@ pub fn node_core_numbers(h: &Hypergraph) -> Vec<u32> {
         let mut any = false;
         for (c, &alive) in core.iter_mut().zip(&kl.nodes) {
             if alive {
-                *c = k as u32;
+                *c = ids::from_usize(k);
                 any = true;
             }
         }
@@ -126,7 +127,7 @@ pub fn node_core_numbers(h: &Hypergraph) -> Vec<u32> {
 /// core is maximal (the all-dead complement cannot be resurrected —
 /// guaranteed by fixpoint peeling, checked here by one more sweep).
 pub fn validate_kl_core(h: &Hypergraph, k: usize, l: usize, core: &KLCore) -> Result<(), String> {
-    for v in 0..h.num_hypernodes() as Id {
+    for v in 0..ids::from_usize(h.num_hypernodes()) {
         let live = h
             .node_memberships(v)
             .iter()
@@ -136,7 +137,7 @@ pub fn validate_kl_core(h: &Hypergraph, k: usize, l: usize, core: &KLCore) -> Re
             return Err(format!("core node {v} has only {live} live edges < {k}"));
         }
     }
-    for e in 0..h.num_hyperedges() as Id {
+    for e in 0..ids::from_usize(h.num_hyperedges()) {
         let live = h
             .edge_members(e)
             .iter()

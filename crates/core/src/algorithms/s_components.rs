@@ -10,11 +10,12 @@
 //! `s = 1` can be quadratic (the Fig. 9 runs materialize millions of
 //! edges) — is never stored.
 
+use crate::ids;
 use crate::repr::HyperAdjacency;
 use crate::Id;
 use nwhy_util::fxhash::FxHashMap;
+use nwhy_util::sync::{AtomicU32, Ordering};
 use rayon::prelude::*;
-use std::sync::atomic::{AtomicU32, Ordering};
 
 /// Labels hyperedges by s-connected component (smallest member hyperedge
 /// ID per component, like `SLineGraph::s_connected_components`).
@@ -23,7 +24,7 @@ pub fn s_connected_components_online<H: HyperAdjacency + ?Sized>(h: &H, s: usize
     let ne = h.num_hyperedges();
     let labels: Vec<AtomicU32> = (0..ne).map(|_| AtomicU32::new(u32::MAX)).collect();
 
-    for root in 0..ne as Id {
+    for root in 0..ids::from_usize(ne) {
         if labels[root as usize].load(Ordering::Relaxed) != u32::MAX {
             continue;
         }

@@ -17,6 +17,7 @@
 //! subset probes.
 
 use crate::hypergraph::Hypergraph;
+use crate::ids;
 use crate::Id;
 use nwhy_util::fxhash::FxHashMap;
 use rayon::prelude::*;
@@ -44,9 +45,9 @@ pub fn toplexes(h: &Hypergraph) -> Vec<Id> {
     if ne == 0 {
         return Vec::new();
     }
-    let any_nonempty = (0..ne as Id).any(|e| h.edge_degree(e) > 0);
+    let any_nonempty = (0..ids::from_usize(ne)).any(|e| h.edge_degree(e) > 0);
 
-    (0..ne as Id)
+    (0..ids::from_usize(ne))
         .into_par_iter()
         .filter(|&e| {
             let members = h.edge_members(e);
@@ -92,7 +93,7 @@ pub fn toplexes_sequential(h: &Hypergraph) -> Vec<Id> {
         true
     };
     let mut maximal: Vec<Id> = Vec::new();
-    for e in 0..h.num_hyperedges() as Id {
+    for e in 0..ids::from_usize(h.num_hyperedges()) {
         let me = h.edge_members(e);
         let mut flag = true;
         maximal.retain(|&f| {
@@ -125,7 +126,7 @@ pub fn validate_toplexes(h: &Hypergraph, toplexes: &[Id]) -> Result<(), String> 
             }
         }
     }
-    for e in 0..h.num_hyperedges() as Id {
+    for e in 0..ids::from_usize(h.num_hyperedges()) {
         let me = h.edge_members(e);
         if !toplexes.iter().any(|&t| contains(h.edge_members(t), me)) {
             return Err(format!("hyperedge {e} not covered by any toplex"));

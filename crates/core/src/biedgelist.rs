@@ -7,6 +7,7 @@
 //! No. of vertices and the maximum No. of hyperedges information may be
 //! required").
 
+use crate::ids;
 use crate::Id;
 
 /// A list of hyperedge–hypernode incidences over two separate ID spaces,
@@ -91,7 +92,7 @@ impl BiEdgeList {
         let incidences = memberships
             .iter()
             .enumerate()
-            .flat_map(|(e, vs)| vs.iter().map(move |&v| (e as Id, v)))
+            .flat_map(|(e, vs)| vs.iter().map(move |&v| (ids::from_usize(e), v)))
             .collect();
         Self {
             num_hyperedges,

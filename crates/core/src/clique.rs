@@ -11,6 +11,7 @@
 //! computes it that way and the tests cross-validate the two paths.
 
 use crate::hypergraph::Hypergraph;
+use crate::ids;
 use crate::Id;
 use nwgraph::{Csr, EdgeList};
 use nwhy_util::fxhash::FxHashSet;
@@ -61,7 +62,7 @@ pub fn clique_expansion_via_dual(h: &Hypergraph) -> Csr {
 /// have *before* deduplication — the Σ C(|e|, 2) memory-blow-up figure
 /// that motivates s-line graphs.
 pub fn clique_expansion_work(h: &Hypergraph) -> usize {
-    (0..h.num_hyperedges() as Id)
+    (0..ids::from_usize(h.num_hyperedges()))
         .into_par_iter()
         .map(|e| {
             let d = h.edge_degree(e);
@@ -77,7 +78,7 @@ pub fn validate_clique_expansion(h: &Hypergraph, g: &Csr) -> Result<(), String> 
         return Err("vertex count mismatch".into());
     }
     // forward: every co-occurring pair is an edge
-    for e in 0..h.num_hyperedges() as Id {
+    for e in 0..ids::from_usize(h.num_hyperedges()) {
         let members = h.edge_members(e);
         for (i, &u) in members.iter().enumerate() {
             for &w in &members[i + 1..] {

@@ -8,6 +8,7 @@
 //! rectangular — [`nwgraph::Csr`] supports that natively.
 
 use crate::biedgelist::BiEdgeList;
+use crate::ids;
 use crate::Id;
 use nwgraph::Csr;
 
@@ -149,13 +150,13 @@ impl Hypergraph {
     /// empty and singleton… see [`log2_histogram`]). Used by the bench
     /// harness to verify twin skew against the Table I rows.
     pub fn edge_size_histogram(&self) -> Vec<usize> {
-        log2_histogram((0..self.num_hyperedges() as Id).map(|e| self.edge_degree(e)))
+        log2_histogram((0..ids::from_usize(self.num_hyperedges())).map(|e| self.edge_degree(e)))
     }
 
     /// Log2-binned histogram of hypernode degrees (see
     /// [`log2_histogram`]).
     pub fn node_degree_histogram(&self) -> Vec<usize> {
-        log2_histogram((0..self.num_hypernodes() as Id).map(|v| self.node_degree(v)))
+        log2_histogram((0..ids::from_usize(self.num_hypernodes())).map(|v| self.node_degree(v)))
     }
 
     /// Summary statistics in the shape of the paper's Table I.
@@ -229,7 +230,7 @@ mod tests {
         assert_eq!(h.num_hyperedges(), 4);
         assert_eq!(h.num_hypernodes(), 9);
         // every (e, v) incidence appears in both directions
-        for e in 0..h.num_hyperedges() as Id {
+        for e in 0..ids::from_usize(h.num_hyperedges()) {
             for &v in h.edge_members(e) {
                 assert!(
                     h.node_memberships(v).contains(&e),
@@ -237,7 +238,7 @@ mod tests {
                 );
             }
         }
-        for v in 0..h.num_hypernodes() as Id {
+        for v in 0..ids::from_usize(h.num_hypernodes()) {
             for &e in h.node_memberships(v) {
                 assert!(h.edge_members(e).contains(&v), "({e},{v}) missing in edges");
             }

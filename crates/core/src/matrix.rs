@@ -9,7 +9,7 @@
 //! construction).
 
 use crate::hypergraph::Hypergraph;
-use crate::Id;
+use crate::ids;
 use std::fmt;
 
 /// A dense 0/1 matrix with row/column labels for Display. Equality
@@ -111,7 +111,7 @@ impl fmt::Display for DenseMatrix {
 /// `B[v][e] = 1` iff `v ∈ e` — Eq. 4 of the paper.
 pub fn incidence_matrix(h: &Hypergraph) -> DenseMatrix {
     let mut b = DenseMatrix::zeros(h.num_hypernodes(), h.num_hyperedges(), "v", "e");
-    for e in 0..h.num_hyperedges() as Id {
+    for e in 0..ids::from_usize(h.num_hyperedges()) {
         for &v in h.edge_members(e) {
             b.set(v as usize, e as usize);
         }
@@ -131,7 +131,7 @@ pub fn adjoin_adjacency_matrix(h: &Hypergraph) -> DenseMatrix {
     let m = h.num_hyperedges();
     let n = h.num_hypernodes();
     let mut a = DenseMatrix::zeros(m + n, m + n, "", "");
-    for e in 0..m as Id {
+    for e in 0..ids::from_usize(m) {
         for &v in h.edge_members(e) {
             a.set(e as usize, m + v as usize);
             a.set(m + v as usize, e as usize);
@@ -144,7 +144,7 @@ pub fn adjoin_adjacency_matrix(h: &Hypergraph) -> DenseMatrix {
 pub fn clique_adjacency_matrix(h: &Hypergraph) -> DenseMatrix {
     let n = h.num_hypernodes();
     let mut a = DenseMatrix::zeros(n, n, "v", "v");
-    for e in 0..h.num_hyperedges() as Id {
+    for e in 0..ids::from_usize(h.num_hyperedges()) {
         let members = h.edge_members(e);
         for (i, &u) in members.iter().enumerate() {
             for &w in &members[i + 1..] {

@@ -18,7 +18,7 @@
 //! `x ← B·(Bᵀ·x)` used by spectral methods and hypergraph random walks.
 
 use crate::hypergraph::Hypergraph;
-use crate::Id;
+use crate::ids;
 use rayon::prelude::*;
 
 /// `y[e] = Σ_{v ∈ e} x[v]` — one rectangular SpMV with the incidence
@@ -33,7 +33,7 @@ pub fn edge_gather(h: &Hypergraph, x: &[f64]) -> Vec<f64> {
         h.num_hypernodes(),
         "x must have one entry per hypernode"
     );
-    (0..h.num_hyperedges() as Id)
+    (0..ids::from_usize(h.num_hyperedges()))
         .into_par_iter()
         .map(|e| {
             h.edges()
@@ -55,7 +55,7 @@ pub fn node_gather(h: &Hypergraph, x: &[f64]) -> Vec<f64> {
         h.num_hyperedges(),
         "x must have one entry per hyperedge"
     );
-    (0..h.num_hypernodes() as Id)
+    (0..ids::from_usize(h.num_hypernodes()))
         .into_par_iter()
         .map(|v| {
             h.nodes()
@@ -77,7 +77,7 @@ pub fn diffusion_step(h: &Hypergraph, x: &[f64]) -> Vec<f64> {
         "x must have one entry per hypernode"
     );
     // node → edge, normalized by node degree
-    let edge_mass: Vec<f64> = (0..h.num_hyperedges() as Id)
+    let edge_mass: Vec<f64> = (0..ids::from_usize(h.num_hyperedges()))
         .into_par_iter()
         .map(|e| {
             h.edge_members(e)
@@ -94,7 +94,7 @@ pub fn diffusion_step(h: &Hypergraph, x: &[f64]) -> Vec<f64> {
         })
         .collect();
     // edge → node, normalized by edge size; stuck mass stays put
-    (0..h.num_hypernodes() as Id)
+    (0..ids::from_usize(h.num_hypernodes()))
         .into_par_iter()
         .map(|v| {
             if h.node_degree(v) == 0 {

@@ -30,6 +30,7 @@
 
 use crate::adjoin::AdjoinGraph;
 use crate::hypergraph::Hypergraph;
+use crate::ids::{self, AdjoinId, HyperedgeId, HypernodeId};
 use crate::Id;
 
 /// The bipartite indirection every s-line construction needs: hyperedge →
@@ -86,7 +87,55 @@ pub trait HyperAdjacency: Sync {
     /// `n_e`.
     #[inline]
     fn node_id(&self, idx: usize) -> Id {
-        idx as Id
+        ids::from_usize(idx)
+    }
+
+    // ---- domain-typed methods -------------------------------------
+    //
+    // The methods above are the *raw storage layer*: they speak the
+    // representation's working ID space in bare `Id` words, which is
+    // what the kernels iterate. The methods below speak the typed
+    // global domains of `crate::ids` and do any working↔global
+    // translation internally, so callers above the kernel layer never
+    // touch a raw word. (For `DualView` the "hyperedge" domain is the
+    // view's own — i.e. the primal's hypernodes.)
+
+    /// Lifts a raw stored hyperedge word (from a
+    /// [`HyperAdjacency::node_neighbors`] slice) into the global
+    /// hyperedge domain.
+    #[inline]
+    fn global_edge(&self, raw: Id) -> HyperedgeId {
+        HyperedgeId::new(self.edge_id(raw))
+    }
+
+    /// Lowers a global hyperedge into this representation's working ID
+    /// space (what [`HyperAdjacency::edge_neighbors`] expects).
+    #[inline]
+    fn working_edge(&self, e: HyperedgeId) -> Id {
+        e.raw()
+    }
+
+    /// Degree of a global-domain hyperedge.
+    #[inline]
+    fn degree_of(&self, e: HyperedgeId) -> usize {
+        let w = self.working_edge(e);
+        self.edge_degree(w)
+    }
+
+    /// The representation-defined handle of a global-domain hypernode
+    /// (what [`HyperAdjacency::node_neighbors`] expects); adjoin graphs
+    /// embed into the shared index set here.
+    #[inline]
+    fn node_handle(&self, v: HypernodeId) -> Id {
+        v.raw()
+    }
+
+    /// Degree (number of incident hyperedges) of a global-domain
+    /// hypernode.
+    #[inline]
+    fn node_degree_of(&self, v: HypernodeId) -> usize {
+        let h = self.node_handle(v);
+        self.node_degree(h)
     }
 }
 
@@ -134,11 +183,20 @@ impl HyperAdjacency for AdjoinGraph {
     fn node_neighbors(&self, v: Id) -> &[Id] {
         self.graph().neighbors(v)
     }
-    /// Hypernodes share the index set with hyperedges: index `idx` lives
-    /// at adjoin ID `idx + n_e`.
+    /// Hypernodes share the index set with hyperedges: the embedding is
+    /// owned by [`AdjoinId::from_node`].
     #[inline]
     fn node_id(&self, idx: usize) -> Id {
-        (idx + AdjoinGraph::num_hyperedges(self)) as Id
+        AdjoinId::from_node(
+            HypernodeId::from_index(idx),
+            AdjoinGraph::num_hyperedges(self),
+        )
+        .raw()
+    }
+
+    #[inline]
+    fn node_handle(&self, v: HypernodeId) -> Id {
+        self.hypernode_id(v).raw()
     }
 }
 
@@ -250,6 +308,16 @@ impl<'a, A: HyperAdjacency + ?Sized> RelabeledView<'a, A> {
         Self { inner, perm, inv }
     }
 
+    /// Wraps `inner` with an owned, pre-validated [`Relabeling`]
+    /// (zero-copy: the view borrows the relabeling's slices).
+    ///
+    /// # Panics
+    /// Panics if the relabeling's length differs from
+    /// `inner.num_hyperedges()`.
+    pub fn from_relabeling(inner: &'a A, relabeling: &'a crate::ids::Relabeling) -> Self {
+        Self::new(inner, relabeling.perm(), relabeling.inv())
+    }
+
     /// The permutation `perm[new] = old`.
     pub fn perm(&self) -> &'a [Id] {
         self.perm
@@ -272,7 +340,7 @@ impl<A: HyperAdjacency + ?Sized> HyperAdjacency for RelabeledView<'_, A> {
     }
     #[inline]
     fn edge_neighbors(&self, e: Id) -> &[Id] {
-        self.inner.edge_neighbors(self.perm[e as usize])
+        self.inner.edge_neighbors(self.perm[ids::to_usize(e)])
     }
     #[inline]
     fn node_neighbors(&self, v: Id) -> &[Id] {
@@ -280,7 +348,7 @@ impl<A: HyperAdjacency + ?Sized> HyperAdjacency for RelabeledView<'_, A> {
     }
     #[inline]
     fn edge_degree(&self, e: Id) -> usize {
-        self.inner.edge_degree(self.perm[e as usize])
+        self.inner.edge_degree(self.perm[ids::to_usize(e)])
     }
     #[inline]
     fn node_degree(&self, v: Id) -> usize {
@@ -288,11 +356,26 @@ impl<A: HyperAdjacency + ?Sized> HyperAdjacency for RelabeledView<'_, A> {
     }
     #[inline]
     fn edge_id(&self, raw: Id) -> Id {
-        self.inv[self.inner.edge_id(raw) as usize]
+        self.inv[ids::to_usize(self.inner.edge_id(raw))]
     }
     #[inline]
     fn node_id(&self, idx: usize) -> Id {
         self.inner.node_id(idx)
+    }
+    /// Raw words name *inner* hyperedges; the global domain is the
+    /// inner representation's, unaffected by this view's permutation.
+    #[inline]
+    fn global_edge(&self, raw: Id) -> HyperedgeId {
+        self.inner.global_edge(raw)
+    }
+    /// Global → inner working → this view's permuted working space.
+    #[inline]
+    fn working_edge(&self, e: HyperedgeId) -> Id {
+        self.inv[ids::to_usize(self.inner.working_edge(e))]
+    }
+    #[inline]
+    fn node_handle(&self, v: HypernodeId) -> Id {
+        self.inner.node_handle(v)
     }
 }
 
@@ -305,7 +388,7 @@ mod tests {
     /// structure; compare through the trait only.
     fn incidence_set<A: HyperAdjacency + ?Sized>(a: &A) -> Vec<(Id, Id)> {
         let mut out = Vec::new();
-        for e in 0..a.num_hyperedges() as Id {
+        for e in 0..ids::from_usize(a.num_hyperedges()) {
             for &v in a.edge_neighbors(e) {
                 out.push((e, v));
             }
@@ -363,10 +446,10 @@ mod tests {
         );
         assert_eq!(v.num_hyperedges(), d.num_hyperedges());
         assert_eq!(v.num_hypernodes(), d.num_hypernodes());
-        for e in 0..v.num_hyperedges() as Id {
+        for e in 0..ids::from_usize(v.num_hyperedges()) {
             assert_eq!(v.edge_degree(e), HyperAdjacency::edge_degree(&d, e));
         }
-        for n in 0..v.num_hypernodes() as Id {
+        for n in 0..ids::from_usize(v.num_hypernodes()) {
             assert_eq!(v.node_degree(n), HyperAdjacency::node_degree(&d, n));
         }
     }

@@ -38,6 +38,7 @@
 //! ```
 
 use super::{canonicalize, ensemble, weighted, Algorithm, BuildOptions, Relabel};
+use crate::ids::{self, LocalId, Overlap, Relabeling};
 use crate::repr::{HyperAdjacency, RelabeledView};
 use crate::Id;
 use nwgraph::{Csr, EdgeList};
@@ -57,6 +58,7 @@ pub struct SLineBuilder<'a, A: HyperAdjacency + ?Sized> {
 
 impl<'a, A: HyperAdjacency + ?Sized> SLineBuilder<'a, A> {
     /// Starts a build over `repr` with default settings.
+    #[must_use]
     pub fn new(repr: &'a A) -> Self {
         Self {
             repr,
@@ -68,6 +70,7 @@ impl<'a, A: HyperAdjacency + ?Sized> SLineBuilder<'a, A> {
     }
 
     /// The overlap threshold `s ≥ 1` (validated at build time).
+    #[must_use]
     pub fn s(mut self, s: usize) -> Self {
         self.s = s;
         self
@@ -75,12 +78,14 @@ impl<'a, A: HyperAdjacency + ?Sized> SLineBuilder<'a, A> {
 
     /// Which construction algorithm to run (ignored by the weighted and
     /// ensemble terminals, which are hashmap-counting by construction).
+    #[must_use]
     pub fn algorithm(mut self, algorithm: Algorithm) -> Self {
         self.algorithm = algorithm;
         self
     }
 
     /// Work-partitioning strategy for the parallel loops.
+    #[must_use]
     pub fn strategy(mut self, strategy: Strategy) -> Self {
         self.strategy = strategy;
         self
@@ -89,6 +94,7 @@ impl<'a, A: HyperAdjacency + ?Sized> SLineBuilder<'a, A> {
     /// Degree relabeling of the working hyperedge IDs. Applied as a
     /// zero-copy [`RelabeledView`]; results are always reported in
     /// *original* IDs.
+    #[must_use]
     pub fn relabel(mut self, relabel: Relabel) -> Self {
         self.relabel = relabel;
         self
@@ -96,43 +102,44 @@ impl<'a, A: HyperAdjacency + ?Sized> SLineBuilder<'a, A> {
 
     /// Applies both knobs of a [`BuildOptions`] at once (compatibility
     /// with the pre-builder option struct).
+    #[must_use]
     pub fn options(self, opts: &BuildOptions) -> Self {
         self.strategy(opts.strategy).relabel(opts.relabel)
     }
 
-    /// The degree permutation for the configured relabeling, as
-    /// `(perm, inv)` with `perm[new] = old`; `None` when no relabeling is
-    /// requested.
-    fn permutation(&self) -> Option<(Vec<Id>, Vec<Id>)> {
+    /// The degree [`Relabeling`] for the configured direction; `None`
+    /// when no relabeling is requested.
+    fn permutation(&self) -> Option<Relabeling> {
         let dir = match self.relabel {
             Relabel::None => return None,
             Relabel::Ascending => nwgraph::Direction::Ascending,
             Relabel::Descending => nwgraph::Direction::Descending,
         };
-        let degrees: Vec<usize> = (0..self.repr.num_hyperedges() as Id)
-            .map(|e| self.repr.edge_degree(e))
+        let degrees: Vec<usize> = (0..self.repr.num_hyperedges())
+            .map(|e| self.repr.edge_degree(ids::from_usize(e)))
             .collect();
-        let perm = nwgraph::degree_permutation(&degrees, dir);
-        let inv = nwgraph::invert_permutation(&perm);
-        Some((perm, inv))
+        Some(Relabeling::from_permutation(nwgraph::degree_permutation(
+            &degrees, dir,
+        )))
     }
 
     /// The canonical s-line edge set, in original hyperedge IDs.
     ///
     /// # Panics
     /// Panics if `s == 0`.
+    #[must_use]
     pub fn edges(&self) -> Vec<(Id, Id)> {
         assert!(self.s >= 1, "s must be at least 1");
         let _span = nwhy_obs::span(self.algorithm.span_name());
         match self.permutation() {
             None => dispatch(self.repr, self.s, self.algorithm, self.strategy),
-            Some((perm, inv)) => {
-                let view = RelabeledView::new(self.repr, &perm, &inv);
+            Some(r) => {
+                let view = RelabeledView::from_relabeling(self.repr, &r);
                 let pairs = dispatch(&view, self.s, self.algorithm, self.strategy);
                 canonicalize(
                     pairs
                         .into_iter()
-                        .map(|(a, b)| (perm[a as usize], perm[b as usize]))
+                        .map(|(a, b)| back_pair(&r, a, b))
                         .collect(),
                 )
             }
@@ -142,6 +149,7 @@ impl<'a, A: HyperAdjacency + ?Sized> SLineBuilder<'a, A> {
     /// The s-line graph as a symmetric [`Csr`] over hyperedge IDs —
     /// ready for the plain-graph algorithms (`Listing 2`'s
     /// `adjacency<0> slinegraph(slinegraph_els)`).
+    #[must_use]
     pub fn csr(&self) -> Csr {
         let mut el = EdgeList::from_edges(self.repr.num_hyperedges(), self.edges());
         el.symmetrize();
@@ -162,17 +170,18 @@ impl<'a, A: HyperAdjacency + ?Sized> SLineBuilder<'a, A> {
     ///
     /// # Panics
     /// Panics if `s == 0`.
-    pub fn weighted_edges(&self) -> Vec<(Id, Id, u32)> {
+    #[must_use]
+    pub fn weighted_edges(&self) -> Vec<(Id, Id, Overlap)> {
         let _span = nwhy_obs::span("sline.weighted");
         match self.permutation() {
             None => weighted::slinegraph_weighted_edges(self.repr, self.s, self.strategy),
-            Some((perm, inv)) => {
-                let view = RelabeledView::new(self.repr, &perm, &inv);
-                let mut triples: Vec<(Id, Id, u32)> =
+            Some(r) => {
+                let view = RelabeledView::from_relabeling(self.repr, &r);
+                let mut triples: Vec<(Id, Id, Overlap)> =
                     weighted::slinegraph_weighted_edges(&view, self.s, self.strategy)
                         .into_iter()
                         .map(|(a, b, o)| {
-                            let (a, b) = (perm[a as usize], perm[b as usize]);
+                            let (a, b) = back_pair(&r, a, b);
                             if a < b {
                                 (a, b, o)
                             } else {
@@ -188,6 +197,7 @@ impl<'a, A: HyperAdjacency + ?Sized> SLineBuilder<'a, A> {
 
     /// The symmetric weighted CSR with edge weight `1 / |e ∩ f|` —
     /// stronger overlaps are "shorter" for weighted s-walk distances.
+    #[must_use]
     pub fn weighted_csr(&self) -> Csr {
         let triples = self.weighted_edges();
         let g = weighted::weighted_csr_from_triples(self.repr.num_hyperedges(), &triples);
@@ -204,10 +214,12 @@ impl<'a, A: HyperAdjacency + ?Sized> SLineBuilder<'a, A> {
 
     /// Canonical Jaccard-weighted pairs `(e, f, |e∩f| / |e∪f|)` for
     /// pairs with overlap ≥ s.
+    #[must_use]
     pub fn jaccard_edges(&self) -> Vec<(Id, Id, f64)> {
         self.weighted_edges()
             .into_iter()
             .map(|(a, b, o)| {
+                // lint: Overlap is a count, not an ID — widen it for the union size
                 let union = self.repr.edge_degree(a) + self.repr.edge_degree(b) - o as usize;
                 let j = if union == 0 {
                     0.0
@@ -225,19 +237,20 @@ impl<'a, A: HyperAdjacency + ?Sized> SLineBuilder<'a, A> {
     ///
     /// # Panics
     /// Panics if any `s` is 0.
+    #[must_use]
     pub fn ensemble_edges(&self, s_values: &[usize]) -> Vec<Vec<(Id, Id)>> {
         let _span = nwhy_obs::span("sline.ensemble");
         match self.permutation() {
             None => ensemble::ensemble(self.repr, s_values, self.strategy),
-            Some((perm, inv)) => {
-                let view = RelabeledView::new(self.repr, &perm, &inv);
+            Some(r) => {
+                let view = RelabeledView::from_relabeling(self.repr, &r);
                 ensemble::ensemble(&view, s_values, self.strategy)
                     .into_iter()
                     .map(|pairs| {
                         canonicalize(
                             pairs
                                 .into_iter()
-                                .map(|(a, b)| (perm[a as usize], perm[b as usize]))
+                                .map(|(a, b)| back_pair(&r, a, b))
                                 .collect(),
                         )
                     })
@@ -245,6 +258,16 @@ impl<'a, A: HyperAdjacency + ?Sized> SLineBuilder<'a, A> {
             }
         }
     }
+}
+
+/// Maps a working-space pair back to original (global) hyperedge IDs via
+/// the typed [`Relabeling`] conversions.
+#[inline]
+fn back_pair(r: &Relabeling, a: Id, b: Id) -> (Id, Id) {
+    (
+        r.to_global(LocalId::new(a)).raw(),
+        r.to_global(LocalId::new(b)).raw(),
+    )
 }
 
 /// Runs one algorithm over a representation, in that representation's
@@ -263,11 +286,11 @@ pub(crate) fn dispatch<A: HyperAdjacency + ?Sized>(
         Algorithm::Intersection => intersection::intersection(h, s, strategy),
         Algorithm::Hashmap => hashmap::hashmap(h, s, strategy),
         Algorithm::QueueHashmap => {
-            let queue: Vec<Id> = (0..h.num_hyperedges() as Id).collect();
+            let queue: Vec<Id> = (0..ids::from_usize(h.num_hyperedges())).collect();
             queue_single::queue_hashmap(h, &queue, s, strategy)
         }
         Algorithm::QueueIntersection => {
-            let queue: Vec<Id> = (0..h.num_hyperedges() as Id).collect();
+            let queue: Vec<Id> = (0..ids::from_usize(h.num_hyperedges())).collect();
             queue_two_phase::queue_intersection(h, &queue, s, strategy)
         }
         Algorithm::PairSort => pair_sort::pair_sort(h, s),
@@ -401,6 +424,6 @@ mod tests {
     #[should_panic(expected = "at least 1")]
     fn s_zero_rejected_by_builder() {
         let h = paper_hypergraph();
-        SLineBuilder::new(&h).s(0).edges();
+        let _ = SLineBuilder::new(&h).s(0).edges();
     }
 }

@@ -8,8 +8,8 @@
 //! benchmarks and HyperNetX workflows do).
 
 use super::stats::KernelStats;
-use super::{canonicalize, HyperAdjacency};
-use crate::Id;
+use super::{canonicalize, meets, HyperAdjacency};
+use crate::{ids, Id};
 use nwhy_util::fxhash::FxHashMap;
 use nwhy_util::partition::{par_for_each_index_with, Strategy};
 
@@ -46,7 +46,7 @@ pub fn ensemble<A: HyperAdjacency + ?Sized>(
             stats: KernelStats::default(),
         },
         |local, i| {
-            let i = i as Id;
+            let i = ids::from_usize(i);
             let nbrs_i = h.edge_neighbors(i);
             if nbrs_i.len() < min_s {
                 local.stats.pairs_skipped(ne as u64 - 1 - i as u64);
@@ -65,7 +65,7 @@ pub fn ensemble<A: HyperAdjacency + ?Sized>(
             local.stats.pairs_examined_n(local.counts.len() as u64);
             for (&j, &n) in &local.counts {
                 for (bucket, &s) in local.buckets.iter_mut().zip(s_values) {
-                    if n as usize >= s {
+                    if meets(n, s) {
                         bucket.push((i, j));
                     }
                 }

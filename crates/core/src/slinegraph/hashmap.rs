@@ -8,8 +8,8 @@
 //! no sorted neighbor access — but pays hashing costs.
 
 use super::stats::KernelStats;
-use super::{canonicalize, HyperAdjacency};
-use crate::Id;
+use super::{canonicalize, meets, HyperAdjacency};
+use crate::{ids, Id};
 use nwhy_util::fxhash::FxHashMap;
 use nwhy_util::partition::{par_for_each_index_with, Strategy};
 
@@ -32,7 +32,7 @@ pub fn hashmap<A: HyperAdjacency + ?Sized>(h: &A, s: usize, strategy: Strategy) 
             stats: KernelStats::default(),
         },
         |local, i| {
-            let i = i as Id;
+            let i = ids::from_usize(i);
             let nbrs_i = h.edge_neighbors(i);
             if nbrs_i.len() < s {
                 local.stats.pairs_skipped(ne as u64 - 1 - i as u64);
@@ -51,7 +51,7 @@ pub fn hashmap<A: HyperAdjacency + ?Sized>(h: &A, s: usize, strategy: Strategy) 
             // Each distinct counted candidate is one examined pair.
             local.stats.pairs_examined_n(local.counts.len() as u64);
             for (&j, &n) in &local.counts {
-                if n as usize >= s {
+                if meets(n, s) {
                     local.pairs.push((i, j));
                 }
             }

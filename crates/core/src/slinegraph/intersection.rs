@@ -13,7 +13,7 @@
 
 use super::stats::KernelStats;
 use super::{canonicalize, HyperAdjacency};
-use crate::Id;
+use crate::{ids, Id};
 use nwhy_util::partition::{par_for_each_index_with, Strategy};
 
 /// Worker-local state: the output pairs, the candidate-dedup stamps,
@@ -42,7 +42,7 @@ pub fn intersection<A: HyperAdjacency + ?Sized>(
             stats: KernelStats::default(),
         },
         |local, i| {
-            let i = i as Id;
+            let i = ids::from_usize(i);
             let nbrs_i = h.edge_neighbors(i);
             if nbrs_i.len() < s {
                 return;
@@ -51,10 +51,10 @@ pub fn intersection<A: HyperAdjacency + ?Sized>(
             for &v in nbrs_i {
                 for &raw in h.node_neighbors(v) {
                     let j = h.edge_id(raw);
-                    if j <= i || local.stamp[j as usize] == mark {
+                    if j <= i || local.stamp[ids::to_usize(j)] == mark {
                         continue;
                     }
-                    local.stamp[j as usize] = mark;
+                    local.stamp[ids::to_usize(j)] = mark;
                     local.stats.pair_examined();
                     let nbrs_j = h.edge_neighbors(j);
                     if nbrs_j.len() < s {

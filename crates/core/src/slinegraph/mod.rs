@@ -27,6 +27,9 @@
 //! [`Hypergraph`]: crate::hypergraph::Hypergraph
 //! [`AdjoinGraph`]: crate::adjoin::AdjoinGraph
 
+// The fluent builder is held to the pedantic `must_use_candidate` bar:
+// every value-returning stage and terminal is annotated.
+#[deny(clippy::must_use_candidate)]
 pub mod builder;
 pub mod ensemble;
 pub mod hashmap;
@@ -38,9 +41,7 @@ pub mod queue_two_phase;
 pub(crate) mod stats;
 pub mod weighted;
 
-use crate::hypergraph::Hypergraph;
 use crate::Id;
-use nwgraph::Csr;
 use nwhy_util::partition::Strategy;
 
 pub use builder::SLineBuilder;
@@ -148,46 +149,12 @@ pub fn canonicalize(mut pairs: Vec<(Id, Id)>) -> Vec<(Id, Id)> {
     pairs
 }
 
-// Pre-builder compatibility shims. Both are one-line delegations to
-// [`SLineBuilder`] — same pipeline, same instrumentation and spans,
-// same relabel semantics — and exist only so pre-builder call sites
-// keep compiling. They share one deprecation story and will be removed
-// together.
-
-/// Computes the canonical s-line edge set of `h` with the chosen
-/// algorithm. Thin shim over [`SLineBuilder`] (same pipeline,
-/// instrumentation, and relabel semantics).
-///
-/// # Panics
-/// Panics if `s == 0`.
-#[deprecated(
-    note = "thin shim over SLineBuilder — use SLineBuilder::new(h).s(s).algorithm(algo).options(opts).edges()"
-)]
-pub fn slinegraph_edges(
-    h: &Hypergraph,
-    s: usize,
-    algo: Algorithm,
-    opts: &BuildOptions,
-) -> Vec<(Id, Id)> {
-    SLineBuilder::new(h)
-        .s(s)
-        .algorithm(algo)
-        .options(opts)
-        .edges()
-}
-
-/// Builds the s-line graph as a symmetric [`Csr`] over hyperedge IDs.
-/// Thin shim over [`SLineBuilder`] (same pipeline, instrumentation, and
-/// relabel semantics).
-#[deprecated(
-    note = "thin shim over SLineBuilder — use SLineBuilder::new(h).s(s).algorithm(algo).options(opts).csr()"
-)]
-pub fn slinegraph_csr(h: &Hypergraph, s: usize, algo: Algorithm, opts: &BuildOptions) -> Csr {
-    SLineBuilder::new(h)
-        .s(s)
-        .algorithm(algo)
-        .options(opts)
-        .csr()
+/// `true` when an overlap count `n` meets the threshold `s` — the one
+/// audited widening of an [`Overlap`](crate::ids::Overlap) count, shared
+/// by every counting kernel.
+#[inline]
+pub(crate) fn meets(n: crate::ids::Overlap, s: usize) -> bool {
+    n as usize >= s // lint: Overlap is a count, not an ID
 }
 
 #[cfg(test)]
@@ -195,6 +162,7 @@ mod tests {
     use super::Strategy; // disambiguate from proptest's Strategy trait
     use super::*;
     use crate::fixtures::{paper_hypergraph, paper_slinegraph_edges};
+    use crate::hypergraph::Hypergraph;
     use proptest::prelude::*;
     use proptest::strategy::Strategy as _;
 
@@ -292,26 +260,6 @@ mod tests {
         }
     }
 
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_delegate_to_builder() {
-        let h = paper_hypergraph();
-        let opts = BuildOptions {
-            relabel: Relabel::Descending,
-            ..Default::default()
-        };
-        assert_eq!(
-            slinegraph_edges(&h, 2, Algorithm::QueueHashmap, &opts),
-            SLineBuilder::new(&h)
-                .s(2)
-                .algorithm(Algorithm::QueueHashmap)
-                .options(&opts)
-                .edges()
-        );
-        let g = slinegraph_csr(&h, 2, Algorithm::Hashmap, &BuildOptions::default());
-        assert_eq!(g, SLineBuilder::new(&h).s(2).csr());
-    }
-
     /// Random hypergraph strategy for cross-validation properties.
     fn arb_memberships() -> impl proptest::strategy::Strategy<Value = Vec<Vec<Id>>> {
         proptest::collection::vec(proptest::collection::btree_set(0u32..20, 0..8), 0..12)
@@ -350,7 +298,7 @@ mod tests {
             // got edge {i,j} iff |members(i) ∩ members(j)| >= s
             let h = Hypergraph::from_memberships(&ms);
             let got = build(&h, s, Algorithm::Hashmap);
-            let ne = h.num_hyperedges() as u32;
+            let ne = crate::ids::from_usize(h.num_hyperedges());
             for i in 0..ne {
                 for j in (i + 1)..ne {
                     let mi = h.edge_members(i);

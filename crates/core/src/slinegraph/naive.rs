@@ -8,7 +8,7 @@
 
 use super::stats::KernelStats;
 use super::{canonicalize, HyperAdjacency};
-use crate::Id;
+use crate::{ids, Id};
 use nwhy_util::partition::{par_for_each_index_with, Strategy};
 
 /// Worker-local state: output pairs and kernel tallies.
@@ -22,14 +22,14 @@ struct Local {
 pub fn naive<A: HyperAdjacency + ?Sized>(h: &A, s: usize, strategy: Strategy) -> Vec<(Id, Id)> {
     let ne = h.num_hyperedges();
     let locals = par_for_each_index_with(ne, strategy, Local::default, |local: &mut Local, i| {
-        let i = i as Id;
+        let i = ids::from_usize(i);
         let nbrs_i = h.edge_neighbors(i);
         if nbrs_i.len() < s {
             // Skipping the whole row discards all of its i < j pairs.
             local.stats.pairs_skipped(ne as u64 - 1 - i as u64);
             return;
         }
-        for j in (i + 1)..ne as Id {
+        for j in (i + 1)..ids::from_usize(ne) {
             local.stats.pair_examined();
             let nbrs_j = h.edge_neighbors(j);
             if nbrs_j.len() < s {

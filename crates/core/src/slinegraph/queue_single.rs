@@ -14,7 +14,7 @@
 //! complexity matches the non-queue hashmap algorithm.
 
 use super::stats::KernelStats;
-use super::{canonicalize, HyperAdjacency};
+use super::{canonicalize, meets, HyperAdjacency};
 use crate::Id;
 use nwhy_obs::Counter;
 use nwhy_util::fxhash::FxHashMap;
@@ -63,7 +63,7 @@ pub fn queue_hashmap<H: HyperAdjacency + ?Sized>(
             local.stats.pairs_examined_n(local.counts.len() as u64);
             // Alg. 1 lines 12–14
             for (&j, &n) in &local.counts {
-                if n as usize >= s {
+                if meets(n, s) {
                     local.pairs.push((i, j));
                 }
             }
@@ -120,7 +120,7 @@ pub fn queue_hashmap_dynamic<H: HyperAdjacency + ?Sized>(
             }
             local.stats.pairs_examined_n(local.counts.len() as u64);
             for (&j, &n) in &local.counts {
-                if n as usize >= s {
+                if meets(n, s) {
                     local.pairs.push((i, j));
                 }
             }
@@ -176,7 +176,7 @@ mod tests {
         // shared index set, no remapping
         let h = paper_hypergraph();
         let a = AdjoinGraph::from_hypergraph(&h);
-        let queue: Vec<Id> = (0..a.num_hyperedges() as Id).collect();
+        let queue: Vec<Id> = (0..crate::ids::from_usize(a.num_hyperedges())).collect();
         for s in 1..=4 {
             assert_eq!(
                 queue_hashmap(&a, &queue, s, Strategy::AUTO),

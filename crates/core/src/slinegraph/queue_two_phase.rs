@@ -20,7 +20,7 @@
 
 use super::stats::KernelStats;
 use super::{canonicalize, HyperAdjacency};
-use crate::Id;
+use crate::{ids, Id};
 use nwhy_util::partition::{par_for_each_index_with, Strategy};
 use rayon::prelude::*;
 
@@ -58,10 +58,10 @@ pub fn queue_intersection<H: HyperAdjacency + ?Sized>(
             for &v in nbrs_i {
                 for &raw in h.node_neighbors(v) {
                     let j = h.edge_id(raw);
-                    if j <= i || local.stamp[j as usize] == mark {
+                    if j <= i || local.stamp[ids::to_usize(j)] == mark {
                         continue;
                     }
-                    local.stamp[j as usize] = mark;
+                    local.stamp[ids::to_usize(j)] = mark;
                     if h.edge_degree(j) >= s {
                         local.pairs.push((i, j));
                     } else {
@@ -137,10 +137,10 @@ pub fn candidate_pairs<H: HyperAdjacency + ?Sized>(
             for &v in nbrs_i {
                 for &raw in h.node_neighbors(v) {
                     let j = h.edge_id(raw);
-                    if j <= i || local.stamp[j as usize] == mark {
+                    if j <= i || local.stamp[ids::to_usize(j)] == mark {
                         continue;
                     }
-                    local.stamp[j as usize] = mark;
+                    local.stamp[ids::to_usize(j)] = mark;
                     if h.edge_degree(j) >= s {
                         local.pairs.push((i, j));
                     }
@@ -175,7 +175,7 @@ mod tests {
     fn runs_directly_on_adjoin_graph() {
         let h = paper_hypergraph();
         let a = AdjoinGraph::from_hypergraph(&h);
-        let queue: Vec<Id> = (0..a.num_hyperedges() as Id).collect();
+        let queue: Vec<Id> = (0..ids::from_usize(a.num_hyperedges())).collect();
         for s in 1..=4 {
             assert_eq!(
                 queue_intersection(&a, &queue, s, Strategy::AUTO),

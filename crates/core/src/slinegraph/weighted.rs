@@ -8,8 +8,9 @@
 //! unweighted build.
 
 use super::stats::KernelStats;
-use super::HyperAdjacency;
-use crate::Id;
+use super::{meets, HyperAdjacency};
+use crate::ids::Overlap;
+use crate::{ids, Id};
 use nwhy_util::fxhash::FxHashMap;
 use nwhy_util::partition::{par_for_each_index_with, Strategy};
 
@@ -19,12 +20,12 @@ pub fn slinegraph_weighted_edges<A: HyperAdjacency + ?Sized>(
     h: &A,
     s: usize,
     strategy: Strategy,
-) -> Vec<(Id, Id, u32)> {
+) -> Vec<(Id, Id, Overlap)> {
     assert!(s >= 1, "s must be at least 1");
     let ne = h.num_hyperedges();
     struct Local {
-        triples: Vec<(Id, Id, u32)>,
-        counts: FxHashMap<Id, u32>,
+        triples: Vec<(Id, Id, Overlap)>,
+        counts: FxHashMap<Id, Overlap>,
         stats: KernelStats,
     }
     let locals = par_for_each_index_with(
@@ -36,7 +37,7 @@ pub fn slinegraph_weighted_edges<A: HyperAdjacency + ?Sized>(
             stats: KernelStats::default(),
         },
         |local, i| {
-            let i = i as Id;
+            let i = ids::from_usize(i);
             let nbrs_i = h.edge_neighbors(i);
             if nbrs_i.len() < s {
                 local.stats.pairs_skipped(ne as u64 - 1 - i as u64);
@@ -54,13 +55,13 @@ pub fn slinegraph_weighted_edges<A: HyperAdjacency + ?Sized>(
             }
             local.stats.pairs_examined_n(local.counts.len() as u64);
             for (&j, &n) in &local.counts {
-                if n as usize >= s {
+                if meets(n, s) {
                     local.triples.push((i, j, n));
                 }
             }
         },
     );
-    let mut triples: Vec<(Id, Id, u32)> = locals
+    let mut triples: Vec<(Id, Id, Overlap)> = locals
         .iter()
         .flat_map(|l| l.triples.iter().copied())
         .collect();
@@ -74,7 +75,7 @@ pub fn slinegraph_weighted_edges<A: HyperAdjacency + ?Sized>(
 /// already-built canonical triples.
 pub(crate) fn weighted_csr_from_triples(
     num_hyperedges: usize,
-    triples: &[(Id, Id, u32)],
+    triples: &[(Id, Id, Overlap)],
 ) -> nwgraph::Csr {
     let mut edges = Vec::with_capacity(triples.len() * 2);
     let mut weights = Vec::with_capacity(triples.len() * 2);
@@ -112,6 +113,7 @@ pub fn slinegraph_jaccard_edges<A: HyperAdjacency + ?Sized>(
     slinegraph_weighted_edges(h, s, strategy)
         .into_iter()
         .map(|(a, b, o)| {
+            // lint: Overlap is a count, not an ID — widen it for the union size
             let union = h.edge_degree(a) + h.edge_degree(b) - o as usize;
             let j = if union == 0 {
                 0.0

@@ -243,6 +243,8 @@ impl SLineGraph {
             if nbrs.is_empty() {
                 break;
             }
+            // lint: the 128-bit product >> 64 is bounded by nbrs.len()
+            #[allow(clippy::cast_possible_truncation)]
             let pick = ((next_u64() as u128 * nbrs.len() as u128) >> 64) as usize;
             cur = nbrs[pick];
             walk.push(cur);

@@ -10,6 +10,7 @@
 use crate::algorithms::toplex::toplexes;
 use crate::biedgelist::BiEdgeList;
 use crate::hypergraph::Hypergraph;
+use crate::ids;
 use crate::Id;
 use nwhy_util::fxhash::{FxHashMap, FxHashSet};
 use rayon::prelude::*;
@@ -26,7 +27,7 @@ pub fn induced_subhypergraph(h: &Hypergraph, keep: &[Id]) -> (Hypergraph, Vec<Id
     let inverse: FxHashMap<Id, Id> = node_map
         .iter()
         .enumerate()
-        .map(|(new, &old)| (old, new as Id))
+        .map(|(new, &old)| (old, ids::from_usize(new)))
         .collect();
 
     let incidences: Vec<(Id, Id)> = h
@@ -51,7 +52,7 @@ pub fn filter_edges_by_size(
     min_size: usize,
     max_size: usize,
 ) -> (Hypergraph, Vec<Id>) {
-    let edge_map: Vec<Id> = (0..h.num_hyperedges() as Id)
+    let edge_map: Vec<Id> = (0..ids::from_usize(h.num_hyperedges()))
         .filter(|&e| {
             let d = h.edge_degree(e);
             d >= min_size && d <= max_size
@@ -60,7 +61,11 @@ pub fn filter_edges_by_size(
     let incidences: Vec<(Id, Id)> = edge_map
         .par_iter()
         .enumerate()
-        .flat_map_iter(|(new, &old)| h.edge_members(old).iter().map(move |&v| (new as Id, v)))
+        .flat_map_iter(|(new, &old)| {
+            h.edge_members(old)
+                .iter()
+                .map(move |&v| (ids::from_usize(new), v))
+        })
         .collect();
     let bel = BiEdgeList::from_incidences(edge_map.len(), h.num_hypernodes(), incidences);
     (Hypergraph::from_biedgelist(&bel), edge_map)
@@ -72,7 +77,7 @@ pub fn filter_edges_by_size(
 /// class) — HyperNetX's `collapse_edges` bookkeeping.
 pub fn collapse_duplicate_edges(h: &Hypergraph) -> (Hypergraph, Vec<Vec<Id>>) {
     let mut classes: FxHashMap<&[Id], Vec<Id>> = FxHashMap::default();
-    for e in 0..h.num_hyperedges() as Id {
+    for e in 0..ids::from_usize(h.num_hyperedges()) {
         classes.entry(h.edge_members(e)).or_default().push(e);
     }
     let mut reps: Vec<Vec<Id>> = classes.into_values().collect();
@@ -85,7 +90,7 @@ pub fn collapse_duplicate_edges(h: &Hypergraph) -> (Hypergraph, Vec<Vec<Id>>) {
         .flat_map(|(new, class)| {
             h.edge_members(class[0])
                 .iter()
-                .map(move |&v| (new as Id, v))
+                .map(move |&v| (ids::from_usize(new), v))
         })
         .collect();
     let bel = BiEdgeList::from_incidences(reps.len(), h.num_hypernodes(), incidences);
@@ -107,7 +112,11 @@ pub fn restrict_to_toplexes(h: &Hypergraph) -> (Hypergraph, Vec<Id>) {
     let incidences: Vec<(Id, Id)> = tops
         .par_iter()
         .enumerate()
-        .flat_map_iter(|(new, &old)| h.edge_members(old).iter().map(move |&v| (new as Id, v)))
+        .flat_map_iter(|(new, &old)| {
+            h.edge_members(old)
+                .iter()
+                .map(move |&v| (ids::from_usize(new), v))
+        })
         .collect();
     let bel = BiEdgeList::from_incidences(tops.len(), h.num_hypernodes(), incidences);
     (Hypergraph::from_biedgelist(&bel), tops)
@@ -119,14 +128,16 @@ pub fn disjoint_union(a: &Hypergraph, b: &Hypergraph) -> Hypergraph {
     let ne = a.num_hyperedges();
     let nv = a.num_hypernodes();
     let mut incidences: Vec<(Id, Id)> = Vec::with_capacity(a.num_incidences() + b.num_incidences());
-    for e in 0..ne as Id {
+    for e in 0..ids::from_usize(ne) {
         for &v in a.edge_members(e) {
             incidences.push((e, v));
         }
     }
-    for e in 0..b.num_hyperedges() as Id {
+    // shift b's storage words past a's spaces through the audited funnel
+    let (e_shift, v_shift) = (ids::from_usize(ne), ids::from_usize(nv));
+    for e in 0..ids::from_usize(b.num_hyperedges()) {
         for &v in b.edge_members(e) {
-            incidences.push((e + ne as Id, v + nv as Id));
+            incidences.push((e + e_shift, v + v_shift));
         }
     }
     let bel =
@@ -182,7 +193,10 @@ mod tests {
         assert_eq!(dup_class, &vec![1, 4]);
         // every class representative keeps its member set
         for (new, class) in classes.iter().enumerate() {
-            assert_eq!(c.edge_members(new as Id), h.edge_members(class[0]));
+            assert_eq!(
+                c.edge_members(ids::from_usize(new)),
+                h.edge_members(class[0])
+            );
         }
     }
 
@@ -204,7 +218,7 @@ mod tests {
         assert_eq!(t.edge_members(0), h.edge_members(0));
         assert_eq!(t.edge_members(1), h.edge_members(3));
         // node coverage preserved: every incident node stays incident
-        for v in 0..h.num_hypernodes() as Id {
+        for v in 0..ids::from_usize(h.num_hypernodes()) {
             if h.node_degree(v) > 0 {
                 assert!(t.node_degree(v) > 0, "node {v} lost coverage");
             }

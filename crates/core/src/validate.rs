@@ -23,6 +23,7 @@
 
 use crate::adjoin::AdjoinGraph;
 use crate::hypergraph::Hypergraph;
+use crate::ids;
 use crate::repr::{DualView, HyperAdjacency, RelabeledView};
 use crate::Id;
 use nwgraph::Csr;
@@ -323,7 +324,7 @@ impl Validate for Csr {
             for (p, &t) in slice.iter().enumerate() {
                 if (t as usize) >= num_targets {
                     return Err(InvariantViolation::TargetOutOfBounds {
-                        source: u as Id,
+                        source: ids::from_usize(u),
                         position: p,
                         target: t,
                         num_targets,
@@ -331,7 +332,7 @@ impl Validate for Csr {
                 }
                 if p > 0 && slice[p - 1] > t {
                     return Err(InvariantViolation::NeighborsUnsorted {
-                        source: u as Id,
+                        source: ids::from_usize(u),
                         position: p - 1,
                     });
                 }
@@ -372,7 +373,7 @@ impl Validate for Hypergraph {
                 right: self.nodes().num_edges(),
             });
         }
-        for e in 0..self.num_hyperedges() as Id {
+        for e in 0..ids::from_usize(self.num_hyperedges()) {
             for &v in self.edge_members(e) {
                 if self.node_memberships(v).binary_search(&e).is_err() {
                     return Err(InvariantViolation::MutualIndexMissing {
@@ -383,7 +384,7 @@ impl Validate for Hypergraph {
                 }
             }
         }
-        for v in 0..self.num_hypernodes() as Id {
+        for v in 0..ids::from_usize(self.num_hypernodes()) {
             for &e in self.node_memberships(v) {
                 if self.edge_members(e).binary_search(&v).is_err() {
                     return Err(InvariantViolation::MutualIndexMissing {
@@ -484,7 +485,7 @@ impl<A: HyperAdjacency + ?Sized> Validate for RelabeledView<'_, A> {
             let round_trip = inv[old as usize];
             if round_trip as usize != i {
                 return Err(InvariantViolation::PermutationNotInverse {
-                    new_id: i as Id,
+                    new_id: ids::from_usize(i),
                     old_id: old,
                     round_trip,
                 });
@@ -742,7 +743,7 @@ mod tests {
         // Same incidence count, wrong membership: rebuild the node CSR
         // from perturbed pairs (hypernode 1 claims e1 instead of e0).
         let mut pairs: Vec<(Id, Id)> = Vec::new();
-        for v in 0..h.num_hypernodes() as Id {
+        for v in 0..ids::from_usize(h.num_hypernodes()) {
             for &e in h.node_memberships(v) {
                 pairs.push((v, if v == 1 { 1 } else { e }));
             }

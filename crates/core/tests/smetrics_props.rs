@@ -2,6 +2,7 @@
 //! the mathematical laws the s-walk framework (Aksoy et al.) guarantees,
 //! checked against this implementation.
 
+use nwhy_core::ids;
 use nwhy_core::smetrics::SLineGraph;
 use nwhy_core::{Hypergraph, Id};
 use proptest::prelude::*;
@@ -18,7 +19,7 @@ proptest! {
     fn s_distance_is_a_metric(ms in arb_memberships(), s in 1usize..4) {
         let h = Hypergraph::from_memberships(&ms);
         let lg = SLineGraph::new(&h, s);
-        let n = lg.num_vertices() as Id;
+        let n = ids::from_usize(lg.num_vertices());
         // identity and symmetry
         for a in 0..n {
             prop_assert_eq!(lg.s_distance(a, a), Some(0));
@@ -44,12 +45,12 @@ proptest! {
     fn s_path_realizes_s_distance(ms in arb_memberships(), s in 1usize..4) {
         let h = Hypergraph::from_memberships(&ms);
         let lg = SLineGraph::new(&h, s);
-        let n = lg.num_vertices() as Id;
+        let n = ids::from_usize(lg.num_vertices());
         for a in 0..n {
             for b in 0..n {
                 match (lg.s_path(a, b), lg.s_distance(a, b)) {
                     (Some(p), Some(d)) => {
-                        prop_assert_eq!(p.len() as u32, d + 1);
+                        prop_assert_eq!(ids::from_usize(p.len()), d + 1);
                         prop_assert_eq!(p.first(), Some(&a));
                         prop_assert_eq!(p.last(), Some(&b));
                         // consecutive path hyperedges s-overlap
@@ -69,7 +70,7 @@ proptest! {
         let h = Hypergraph::from_memberships(&ms);
         let lg = SLineGraph::new(&h, s);
         let ecc = lg.s_eccentricity(None);
-        let n = lg.num_vertices() as Id;
+        let n = ids::from_usize(lg.num_vertices());
         for a in 0..n {
             for b in 0..n {
                 if let Some(d) = lg.s_distance(a, b) {
@@ -85,7 +86,7 @@ proptest! {
     fn distances_monotone_in_s(ms in arb_memberships()) {
         // raising s can only break connections: distances non-decreasing
         let h = Hypergraph::from_memberships(&ms);
-        let n = h.num_hyperedges() as Id;
+        let n = ids::from_usize(h.num_hyperedges());
         for s in 1usize..3 {
             let lo = SLineGraph::new(&h, s);
             let hi = SLineGraph::new(&h, s + 1);
@@ -106,7 +107,7 @@ proptest! {
         let h = Hypergraph::from_memberships(&ms);
         let lg = SLineGraph::new(&h, s);
         let labels = lg.s_connected_components();
-        let n = lg.num_vertices() as Id;
+        let n = ids::from_usize(lg.num_vertices());
         for a in 0..n {
             for b in 0..n {
                 prop_assert_eq!(

@@ -6,7 +6,7 @@ use crate::engine::{edge_map, resolve_mode, EdgeMapFns, Mode};
 use crate::subset::VertexSubset;
 use nwhy_core::{Hypergraph, Id};
 use nwhy_obs::{Counter, Hist};
-use std::sync::atomic::{AtomicU32, Ordering};
+use nwhy_util::sync::{AtomicU32, Ordering};
 
 /// Output of HygraBFS (levels/parents for both index sets, as in
 /// `nwhy-core`'s HyperBFS so results are directly comparable).

@@ -8,10 +8,11 @@
 
 use crate::engine::{edge_map, resolve_mode, EdgeMapFns, Mode};
 use crate::subset::VertexSubset;
+use nwhy_core::ids::{self, AdjoinId, HypernodeId};
 use nwhy_core::{Hypergraph, Id};
 use nwhy_obs::{Counter, Hist};
 use nwhy_util::atomics::atomic_min_u32;
-use std::sync::atomic::{AtomicU32, Ordering};
+use nwhy_util::sync::{AtomicU32, Ordering};
 
 /// HygraCC output — labels per index set, comparable (as a partition)
 /// with `nwhy-core`'s HyperCC/AdjoinCC results.
@@ -60,9 +61,9 @@ impl EdgeMapFns for MinLabel<'_> {
 pub fn hygra_cc(h: &Hypergraph) -> HygraCcResult {
     let ne = h.num_hyperedges();
     let nv = h.num_hypernodes();
-    let edge_labels: Vec<AtomicU32> = (0..ne as u32).map(AtomicU32::new).collect();
-    let node_labels: Vec<AtomicU32> = (0..nv as u32)
-        .map(|v| AtomicU32::new(ne as u32 + v))
+    let edge_labels: Vec<AtomicU32> = (0..ids::from_usize(ne)).map(AtomicU32::new).collect();
+    let node_labels: Vec<AtomicU32> = (0..ids::from_usize(nv))
+        .map(|v| AtomicU32::new(AdjoinId::from_node(HypernodeId::new(v), ne).raw()))
         .collect();
 
     let _span = nwhy_obs::span("hygra.cc");

@@ -16,6 +16,7 @@
 
 use crate::subset::VertexSubset;
 use nwgraph::Csr;
+use nwhy_core::ids;
 use nwhy_core::Id;
 use rayon::prelude::*;
 
@@ -146,7 +147,7 @@ fn edge_map_dense(radj: &Csr, frontier: &mut VertexSubset, fns: &impl EdgeMapFns
     let next: Vec<bool> = (0..nt)
         .into_par_iter()
         .map(|v| {
-            let v = v as Id;
+            let v = ids::from_usize(v);
             if !fns.cond(v) {
                 return false;
             }
@@ -189,6 +190,8 @@ pub fn vertex_filter(
 mod tests {
     use super::*;
 
+    // lint: test-only counters; plain std atomics keep the test
+    // independent of the loom-switched re-export
     use std::sync::atomic::{AtomicU32, Ordering};
 
     /// Bipartite test structure: 2 sources over 3 targets.

@@ -9,9 +9,10 @@
 //! model — the strictest of the (k, ℓ)-core family (`ℓ = |e|` per edge),
 //! complementing `nwhy-core`'s general [(k, ℓ)-core](nwhy_core::algorithms::kcore).
 
+use nwhy_core::ids;
 use nwhy_core::{Hypergraph, Id};
+use nwhy_util::sync::{AtomicUsize, Ordering};
 use rayon::prelude::*;
-use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Computes hypernode core numbers under the dies-with-any-member model.
 pub fn hygra_kcore(h: &Hypergraph) -> Vec<u32> {
@@ -19,13 +20,13 @@ pub fn hygra_kcore(h: &Hypergraph) -> Vec<u32> {
     let ne = h.num_hyperedges();
     let mut core = vec![0u32; nv];
     let mut node_alive = vec![true; nv];
-    let mut edge_alive: Vec<bool> = (0..ne as Id)
+    let mut edge_alive: Vec<bool> = (0..ids::from_usize(ne))
         // empty hyperedges are vacuously alive but contribute no degree
         .map(|_| true)
         .collect();
     // live degree = # alive hyperedges containing the node
     let degree: Vec<AtomicUsize> = (0..nv)
-        .map(|v| AtomicUsize::new(h.node_degree(v as Id)))
+        .map(|v| AtomicUsize::new(h.node_degree(ids::from_usize(v))))
         .collect();
     let mut remaining: usize = nv;
     let mut k = 0u32;
@@ -33,7 +34,7 @@ pub fn hygra_kcore(h: &Hypergraph) -> Vec<u32> {
     while remaining > 0 {
         k += 1;
         loop {
-            let peeled: Vec<Id> = (0..nv as Id)
+            let peeled: Vec<Id> = (0..ids::from_usize(nv))
                 .into_par_iter()
                 .filter(|&v| {
                     node_alive[v as usize]
@@ -75,7 +76,7 @@ pub fn validate_hygra_kcore(h: &Hypergraph, core: &[u32]) -> Result<(), String> 
     let kmax = core.iter().copied().max().unwrap_or(0);
     for k in 1..=kmax {
         let inside: Vec<bool> = core.iter().map(|&c| c >= k).collect();
-        for v in 0..h.num_hypernodes() as Id {
+        for v in 0..ids::from_usize(h.num_hypernodes()) {
             if !inside[v as usize] {
                 continue;
             }

@@ -8,9 +8,10 @@
 //! the minimum `(priority, id)` among the undecided members of **every**
 //! hyperedge it belongs to; winners knock out all co-members.
 
+use nwhy_core::ids;
 use nwhy_core::{Hypergraph, Id};
+use nwhy_util::sync::{AtomicU8, Ordering};
 use rayon::prelude::*;
-use std::sync::atomic::{AtomicU8, Ordering};
 
 const UNDECIDED: u8 = 0;
 const IN_SET: u8 = 1;
@@ -31,13 +32,13 @@ pub fn hygra_mis(h: &Hypergraph, seed: u64) -> Vec<bool> {
     let nv = h.num_hypernodes();
     let ne = h.num_hyperedges();
     let state: Vec<AtomicU8> = (0..nv).map(|_| AtomicU8::new(UNDECIDED)).collect();
-    let mut undecided: Vec<Id> = (0..nv as Id).collect();
+    let mut undecided: Vec<Id> = (0..ids::from_usize(nv)).collect();
     let mut round_seed = seed;
 
     while !undecided.is_empty() {
         // 1. per-hyperedge minimum (priority, id) over undecided members
         let snapshot: Vec<u8> = state.iter().map(|s| s.load(Ordering::Relaxed)).collect();
-        let edge_min: Vec<(u64, Id)> = (0..ne as Id)
+        let edge_min: Vec<(u64, Id)> = (0..ids::from_usize(ne))
             .into_par_iter()
             .map(|e| {
                 h.edge_members(e)
@@ -93,7 +94,7 @@ pub fn hygra_mis(h: &Hypergraph, seed: u64) -> Vec<bool> {
 /// anyone* shares one with a chosen hypernode. Hypernodes only in
 /// singleton hyperedges (or none) must be chosen.
 pub fn validate_hygra_mis(h: &Hypergraph, mis: &[bool]) -> Result<(), String> {
-    for e in 0..h.num_hyperedges() as Id {
+    for e in 0..ids::from_usize(h.num_hyperedges()) {
         let chosen: Vec<Id> = h
             .edge_members(e)
             .iter()
@@ -104,7 +105,7 @@ pub fn validate_hygra_mis(h: &Hypergraph, mis: &[bool]) -> Result<(), String> {
             return Err(format!("hyperedge {e} contains {chosen:?}"));
         }
     }
-    for v in 0..h.num_hypernodes() as Id {
+    for v in 0..ids::from_usize(h.num_hypernodes()) {
         if mis[v as usize] {
             continue;
         }

@@ -9,6 +9,7 @@
 
 use crate::engine::{edge_map, EdgeMapFns, Mode};
 use crate::subset::VertexSubset;
+use nwhy_core::ids;
 use nwhy_core::{Hypergraph, Id};
 use nwhy_util::atomics::AtomicF64;
 
@@ -64,7 +65,7 @@ pub fn hygra_pagerank(h: &Hypergraph, opts: PageRankOptions) -> (Vec<f64>, usize
         // phase 1: nodes → hyperedges
         let node_contrib: Vec<f64> = (0..nv)
             .map(|v| {
-                let d = h.node_degree(v as Id);
+                let d = h.node_degree(ids::from_usize(v));
                 if d == 0 {
                     0.0
                 } else {
@@ -89,7 +90,7 @@ pub fn hygra_pagerank(h: &Hypergraph, opts: PageRankOptions) -> (Vec<f64>, usize
         let edge_rank: Vec<f64> = edge_acc.iter().map(AtomicF64::load).collect();
         let edge_contrib: Vec<f64> = (0..ne)
             .map(|e| {
-                let d = h.edge_degree(e as Id);
+                let d = h.edge_degree(ids::from_usize(e));
                 if d == 0 {
                     0.0
                 } else {

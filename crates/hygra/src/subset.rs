@@ -4,6 +4,7 @@
 //! (a boolean array over the whole index space). The engine converts
 //! between the two when the direction heuristic switches traversal modes.
 
+use nwhy_core::ids;
 use nwhy_core::Id;
 
 /// A subset of a `0..n` ID space in sparse or dense form.
@@ -104,7 +105,7 @@ impl VertexSubset {
             Repr::Dense(flags) => flags
                 .iter()
                 .enumerate()
-                .filter_map(|(i, &b)| b.then_some(i as Id))
+                .filter_map(|(i, &b)| b.then_some(ids::from_usize(i)))
                 .collect(),
         };
         ids.sort_unstable();
@@ -128,7 +129,7 @@ impl VertexSubset {
             let ids = flags
                 .iter()
                 .enumerate()
-                .filter_map(|(i, &b)| b.then_some(i as Id))
+                .filter_map(|(i, &b)| b.then_some(ids::from_usize(i)))
                 .collect();
             self.repr = Repr::Sparse(ids);
         }

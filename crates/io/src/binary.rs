@@ -16,7 +16,7 @@
 //! ```
 
 use crate::error::IoError;
-use nwhy_core::{BiEdgeList, Hypergraph, Id};
+use nwhy_core::{ids, BiEdgeList, Hypergraph};
 use nwhy_obs::Counter;
 use std::io::{Read, Write};
 
@@ -47,9 +47,12 @@ pub fn read_binary<R: Read>(mut r: R) -> Result<Hypergraph, IoError> {
     if flags & !FLAG_WEIGHTS != 0 {
         return Err(IoError::parse(1, format!("unknown flags {flags:#x}")));
     }
-    let ne = read_u64(&mut r)? as usize;
-    let nv = read_u64(&mut r)? as usize;
-    let nnz = read_u64(&mut r)? as usize;
+    let dim = |raw: u64, what: &'static str| -> Result<usize, IoError> {
+        usize::try_from(raw).map_err(|_| IoError::parse(1, format!("{what} {raw} overflows usize")))
+    };
+    let ne = dim(read_u64(&mut r)?, "hyperedge-space size")?;
+    let nv = dim(read_u64(&mut r)?, "hypernode-space size")?;
+    let nnz = dim(read_u64(&mut r)?, "incidence count")?;
     // Defensive cap: refuse nnz that cannot possibly be honest (> u32
     // pair space) to avoid absurd allocations on corrupt headers.
     if nnz > (1usize << 40) {
@@ -59,13 +62,14 @@ pub fn read_binary<R: Read>(mut r: R) -> Result<Hypergraph, IoError> {
     for _ in 0..nnz {
         let e = read_u32(&mut r)?;
         let v = read_u32(&mut r)?;
-        if e as usize >= ne || v as usize >= nv {
+        if ids::to_usize(e) >= ne || ids::to_usize(v) >= nv {
             return Err(IoError::parse(
                 1,
                 format!("incidence ({e},{v}) out of bounds {ne}x{nv}"),
             ));
         }
-        incidences.push((e as Id, v as Id));
+        // the pair words are read as u32 and are already `Id`-sized
+        incidences.push((e, v));
     }
     let weighted = flags & FLAG_WEIGHTS != 0;
     let bel = if weighted {
@@ -95,14 +99,14 @@ pub fn write_binary<W: Write>(mut w: W, h: &Hypergraph) -> Result<(), IoError> {
     w.write_all(&(h.num_hyperedges() as u64).to_le_bytes())?;
     w.write_all(&(h.num_hypernodes() as u64).to_le_bytes())?;
     w.write_all(&(h.num_incidences() as u64).to_le_bytes())?;
-    for e in 0..h.num_hyperedges() as Id {
+    for e in 0..ids::from_usize(h.num_hyperedges()) {
         for &v in h.edge_members(e) {
             w.write_all(&e.to_le_bytes())?;
             w.write_all(&v.to_le_bytes())?;
         }
     }
     if weighted {
-        for e in 0..h.num_hyperedges() as Id {
+        for e in 0..ids::from_usize(h.num_hyperedges()) {
             for (_, wgt) in h.edges().weighted_neighbors(e) {
                 w.write_all(&wgt.to_le_bytes())?;
             }

@@ -10,6 +10,7 @@
 //!   exactly how the paper renders connection strength.
 
 use crate::error::IoError;
+use nwhy_core::ids;
 use nwhy_core::{Hypergraph, Id};
 use std::io::Write;
 
@@ -20,13 +21,13 @@ pub fn write_dot_bipartite<W: Write>(mut w: W, h: &Hypergraph) -> Result<(), IoE
         w,
         "  // bipartite view: boxes = hyperedges, circles = hypernodes"
     )?;
-    for e in 0..h.num_hyperedges() as Id {
+    for e in 0..ids::from_usize(h.num_hyperedges()) {
         writeln!(w, "  e{e} [shape=box, label=\"e{e}\"];")?;
     }
-    for v in 0..h.num_hypernodes() as Id {
+    for v in 0..ids::from_usize(h.num_hypernodes()) {
         writeln!(w, "  v{v} [shape=circle, label=\"{v}\"];")?;
     }
-    for e in 0..h.num_hyperedges() as Id {
+    for e in 0..ids::from_usize(h.num_hyperedges()) {
         for &v in h.edge_members(e) {
             writeln!(w, "  e{e} -- v{v};")?;
         }

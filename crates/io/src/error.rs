@@ -14,6 +14,19 @@ pub enum IoError {
         /// What went wrong.
         message: String,
     },
+    /// An entity label in the input does not fit the 32-bit [`Id`]
+    /// space — the input is well-formed but unrepresentable, which is a
+    /// different failure than a malformed token.
+    ///
+    /// [`Id`]: nwhy_core::Id
+    IdOverflow {
+        /// 1-based line number (1 for binary headers).
+        line: usize,
+        /// The oversized label, as parsed.
+        value: u64,
+        /// Which kind of entity the label names.
+        what: &'static str,
+    },
 }
 
 impl IoError {
@@ -24,6 +37,21 @@ impl IoError {
             message: message.into(),
         }
     }
+
+    /// Convenience constructor for ID-overflow errors.
+    pub fn id_overflow(line: usize, value: u64, what: &'static str) -> Self {
+        IoError::IdOverflow { line, value, what }
+    }
+}
+
+/// Converts a parsed label into the 32-bit `Id` space, failing with
+/// [`IoError::IdOverflow`] instead of silently truncating.
+pub(crate) fn checked_id(
+    raw: u64,
+    line: usize,
+    what: &'static str,
+) -> Result<nwhy_core::Id, IoError> {
+    nwhy_core::Id::try_from(raw).map_err(|_| IoError::id_overflow(line, raw, what))
 }
 
 impl fmt::Display for IoError {
@@ -31,6 +59,10 @@ impl fmt::Display for IoError {
         match self {
             IoError::Io(e) => write!(f, "I/O error: {e}"),
             IoError::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
+            IoError::IdOverflow { line, value, what } => write!(
+                f,
+                "ID overflow at line {line}: {what} {value} does not fit the 32-bit Id space"
+            ),
         }
     }
 }
@@ -39,7 +71,7 @@ impl std::error::Error for IoError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             IoError::Io(e) => Some(e),
-            IoError::Parse { .. } => None,
+            IoError::Parse { .. } | IoError::IdOverflow { .. } => None,
         }
     }
 }
@@ -60,6 +92,15 @@ mod tests {
         assert_eq!(e.to_string(), "parse error at line 3: bad token");
         let e: IoError = std::io::Error::new(std::io::ErrorKind::NotFound, "gone").into();
         assert!(e.to_string().contains("gone"));
+    }
+
+    #[test]
+    fn id_overflow_formats() {
+        let e = IoError::id_overflow(7, u64::from(u32::MAX) + 1, "hypernode ID");
+        assert_eq!(
+            e.to_string(),
+            "ID overflow at line 7: hypernode ID 4294967296 does not fit the 32-bit Id space"
+        );
     }
 
     #[test]

@@ -6,7 +6,8 @@
 //! datasets (e.g. SNAP's `com-*.all.cmty.txt` files, the source of the
 //! paper's Orkut/Friendster hypergraphs) use, modulo their 1-based IDs.
 
-use crate::error::IoError;
+use crate::error::{checked_id, IoError};
+use nwhy_core::ids;
 use nwhy_core::{Hypergraph, Id};
 use nwhy_obs::Counter;
 use std::io::{BufRead, Write};
@@ -30,10 +31,10 @@ pub fn read_hyperedge_list<R: BufRead>(reader: R) -> Result<Hypergraph, IoError>
         }
         let mut members = Vec::new();
         for tok in t.split_whitespace() {
-            let v: Id = tok
+            let raw: u64 = tok
                 .parse()
                 .map_err(|_| IoError::parse(i + 1, format!("invalid hypernode ID {tok:?}")))?;
-            members.push(v);
+            members.push(checked_id(raw, i + 1, "hypernode ID")?);
         }
         members.sort_unstable();
         members.dedup();
@@ -57,7 +58,7 @@ pub fn read_hyperedge_list<R: BufRead>(reader: R) -> Result<Hypergraph, IoError>
 /// hypernode ID space has no trailing isolated IDs.
 pub fn write_hyperedge_list<W: Write>(mut w: W, h: &Hypergraph) -> Result<(), IoError> {
     writeln!(w, "# nwhy hyperedge list: one hyperedge per line")?;
-    for e in 0..h.num_hyperedges() as Id {
+    for e in 0..ids::from_usize(h.num_hyperedges()) {
         let members: Vec<String> = h.edge_members(e).iter().map(|v| v.to_string()).collect();
         writeln!(w, "{}", members.join(" "))?;
     }
@@ -106,6 +107,23 @@ mod tests {
         let e = read_str("0 x 2\n").unwrap_err();
         assert!(e.to_string().contains("invalid hypernode ID"));
         assert!(read_str("-1\n").is_err());
+    }
+
+    #[test]
+    fn rejects_id_overflow() {
+        // One past u32::MAX does not fit the Id space. (u32::MAX itself is
+        // a legal label, but materializing its 2^32-node ID space would
+        // allocate gigabytes — the boundary is covered by checked_id.)
+        let e = read_str("0 4294967296\n").unwrap_err();
+        assert!(matches!(
+            e,
+            IoError::IdOverflow {
+                line: 1,
+                value: 4_294_967_296,
+                ..
+            }
+        ));
+        assert!(e.to_string().contains("32-bit Id space"));
     }
 
     #[test]

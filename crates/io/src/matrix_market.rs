@@ -8,7 +8,8 @@
 //! presence of an entry is the incidence), with rows interpreted as
 //! hypernodes and columns as hyperedges.
 
-use crate::error::IoError;
+use crate::error::{checked_id, IoError};
+use nwhy_core::ids;
 use nwhy_core::{BiEdgeList, Hypergraph, Id};
 use nwhy_obs::Counter;
 use std::io::{BufRead, Write};
@@ -121,9 +122,11 @@ pub fn read_biedgelist<R: BufRead>(reader: R) -> Result<BiEdgeList, IoError> {
             ));
         }
         // rows = hypernodes, cols = hyperedges; store (hyperedge, hypernode)
-        incidences.push(((col - 1) as Id, (row - 1) as Id));
+        let col_id = checked_id((col - 1) as u64, i + 1, "column (hyperedge) index")?;
+        let row_id = checked_id((row - 1) as u64, i + 1, "row (hypernode) index")?;
+        incidences.push((col_id, row_id));
         if symmetric && row != col {
-            incidences.push(((row - 1) as Id, (col - 1) as Id));
+            incidences.push((row_id, col_id));
         }
         seen += 1;
     }
@@ -157,7 +160,7 @@ pub fn write_matrix_market<W: Write>(mut w: W, h: &Hypergraph) -> Result<(), IoE
         h.num_hyperedges(),
         h.num_incidences()
     )?;
-    for e in 0..h.num_hyperedges() as Id {
+    for e in 0..ids::from_usize(h.num_hyperedges()) {
         for &v in h.edge_members(e) {
             writeln!(w, "{} {}", v + 1, e + 1)?;
         }
@@ -240,6 +243,15 @@ mod tests {
     fn rejects_zero_index() {
         let mm = "%%MatrixMarket matrix coordinate pattern general\n2 2 1\n0 1\n";
         assert!(read_str(mm).is_err());
+    }
+
+    #[test]
+    fn rejects_id_overflow() {
+        let mm = "%%MatrixMarket matrix coordinate pattern general\n\
+                  4294967297 1 1\n\
+                  4294967297 1\n";
+        let e = read_str(mm).unwrap_err();
+        assert!(matches!(e, IoError::IdOverflow { line: 3, .. }));
     }
 
     #[test]

@@ -6,7 +6,8 @@
 //! 1-based IDs, `%` comment/header lines. [`Orientation`] says which
 //! column holds the hyperedges.
 
-use crate::error::IoError;
+use crate::error::{checked_id, IoError};
+use nwhy_core::ids;
 use nwhy_core::{BiEdgeList, Hypergraph, Id};
 use nwhy_obs::Counter;
 use std::io::{BufRead, Write};
@@ -63,7 +64,10 @@ pub fn read_bipartite_tsv<R: BufRead>(
         };
         max_edge = max_edge.max(edge);
         max_node = max_node.max(node);
-        incidences.push(((edge - 1) as Id, (node - 1) as Id));
+        incidences.push((
+            checked_id((edge - 1) as u64, i + 1, "hyperedge ID")?,
+            checked_id((node - 1) as u64, i + 1, "hypernode ID")?,
+        ));
     }
     nwhy_obs::add(Counter::IoBytesRead, bytes);
     nwhy_obs::add(Counter::IoLinesParsed, parsed);
@@ -79,7 +83,7 @@ pub fn read_bipartite_tsv<R: BufRead>(
 /// of both spaces are in use.
 pub fn write_bipartite_tsv<W: Write>(mut w: W, h: &Hypergraph) -> Result<(), IoError> {
     writeln!(w, "% bip unweighted (node edge), 1-based")?;
-    for e in 0..h.num_hyperedges() as Id {
+    for e in 0..ids::from_usize(h.num_hyperedges()) {
         for &v in h.edge_members(e) {
             writeln!(w, "{}\t{}", v + 1, e + 1)?;
         }
@@ -129,6 +133,14 @@ mod tests {
     fn rejects_garbage() {
         assert!(read_bipartite_tsv(Cursor::new("a b\n"), Orientation::NodeEdge).is_err());
         assert!(read_bipartite_tsv(Cursor::new("1\n"), Orientation::NodeEdge).is_err());
+    }
+
+    #[test]
+    fn rejects_id_overflow() {
+        // 1-based 4294967297 maps to 0-based 4294967296 = u32::MAX + 1
+        let e =
+            read_bipartite_tsv(Cursor::new("1 4294967297\n"), Orientation::NodeEdge).unwrap_err();
+        assert!(matches!(e, IoError::IdOverflow { line: 1, .. }));
     }
 
     #[test]

@@ -3,6 +3,7 @@
 //! each format's documented ID-space caveats, which the generator
 //! avoids by always using trailing IDs).
 
+use nwhy_core::ids;
 use nwhy_core::{BiEdgeList, Hypergraph};
 use nwhy_io::tsv::Orientation;
 use proptest::prelude::*;
@@ -14,13 +15,16 @@ use std::io::Cursor;
 fn arb_hypergraph() -> impl Strategy<Value = Hypergraph> {
     (1usize..10, 1usize..14)
         .prop_flat_map(|(ne, nv)| {
-            let pairs = proptest::collection::btree_set((0u32..ne as u32, 0u32..nv as u32), 0..40);
+            let pairs = proptest::collection::btree_set(
+                (0..ids::from_usize(ne), 0..ids::from_usize(nv)),
+                0..40,
+            );
             (Just(ne), Just(nv), pairs)
         })
         .prop_map(|(ne, nv, pairs)| {
             let mut incidences: Vec<(u32, u32)> = pairs.into_iter().collect();
             // anchor the top corner so inferring readers see full dims
-            incidences.push((ne as u32 - 1, nv as u32 - 1));
+            incidences.push((ids::from_usize(ne) - 1, ids::from_usize(nv) - 1));
             incidences.sort_unstable();
             incidences.dedup();
             let bel = BiEdgeList::from_incidences(ne, nv, incidences);
@@ -65,7 +69,7 @@ proptest! {
         let h2 = nwhy_io::read_hyperedge_list(Cursor::new(buf)).unwrap();
         // all edges up to the last non-empty one survive exactly
         prop_assert!(h2.num_hyperedges() <= h.num_hyperedges());
-        for e in 0..h2.num_hyperedges() as u32 {
+        for e in 0..ids::from_usize(h2.num_hyperedges()) {
             prop_assert_eq!(h2.edge_members(e), h.edge_members(e));
         }
         prop_assert_eq!(h2.num_incidences(), h.num_incidences());

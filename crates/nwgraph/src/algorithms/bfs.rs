@@ -9,8 +9,8 @@
 use crate::csr::Csr;
 use crate::{Vertex, INVALID_VERTEX};
 use nwhy_util::bitmap::AtomicBitmap;
+use nwhy_util::sync::{AtomicU32, AtomicUsize, Ordering};
 use rayon::prelude::*;
-use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
 
 /// The output of a BFS traversal.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -12,8 +12,8 @@ use crate::csr::Csr;
 use crate::Vertex;
 use nwhy_util::atomics::atomic_min_u32;
 use nwhy_util::fxhash::FxHashMap;
+use nwhy_util::sync::{AtomicBool, AtomicU32, Ordering};
 use rayon::prelude::*;
-use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 
 /// Minimum-label propagation. Every vertex starts with its own ID as
 /// label; rounds of parallel edge relaxations push the minimum label

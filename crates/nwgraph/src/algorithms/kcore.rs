@@ -7,8 +7,8 @@
 
 use crate::csr::Csr;
 use crate::Vertex;
+use nwhy_util::sync::{AtomicUsize, Ordering};
 use rayon::prelude::*;
-use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Computes the core number of every vertex of an undirected graph.
 pub fn kcore_decomposition(g: &Csr) -> Vec<u32> {

@@ -6,8 +6,8 @@
 
 use crate::csr::Csr;
 use crate::Vertex;
+use nwhy_util::sync::{AtomicU8, Ordering};
 use rayon::prelude::*;
-use std::sync::atomic::{AtomicU8, Ordering};
 
 const UNDECIDED: u8 = 0;
 const IN_SET: u8 = 1;

@@ -8,8 +8,8 @@
 use crate::algorithms::bfs::bfs_direction_optimizing;
 use crate::csr::Csr;
 use crate::{Vertex, INVALID_VERTEX};
+use nwhy_util::sync::{AtomicU64, Ordering};
 use rayon::prelude::*;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 /// Hop distances from `source` (`u32::MAX` ⇒ unreachable). A thin wrapper

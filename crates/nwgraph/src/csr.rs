@@ -18,8 +18,8 @@
 use crate::edge_list::EdgeList;
 use crate::Vertex;
 use nwhy_util::prefix::exclusive_prefix_sum;
+use nwhy_util::sync::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use rayon::prelude::*;
-use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
 
 /// Rectangular CSR adjacency; see the module docs.
 ///

@@ -22,6 +22,11 @@
 //! "no vertex" (unvisited parents, infinite distances).
 
 #![forbid(unsafe_code)]
+// lint: this crate is a single flat vertex space — every `i as u32` is an
+// index below `num_vertices() ≤ u32::MAX` (IDs come in as u32 and counts
+// derive from them), unlike nwhy-core's aliased multi-domain ID spaces
+// where the xtask lint pass bans raw casts outright.
+#![allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
 
 pub mod algorithms;
 pub mod csr;

@@ -107,6 +107,8 @@ pub fn cyclic_neighbor_range(
 mod tests {
     use super::*;
     use crate::edge_list::EdgeList;
+    // lint: test-only counters; plain std atomics keep the test
+    // independent of the loom-switched re-export
     use std::sync::atomic::{AtomicUsize, Ordering};
 
     fn toy() -> Csr {

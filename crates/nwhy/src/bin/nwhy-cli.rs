@@ -33,14 +33,14 @@
 //! `.tsv` KONECT bipartite (node edge), `.hgr`/`.txt` hyperedge list,
 //! `.bin` binary.
 
-// unit tests sit above `main` for proximity to the helpers they cover
+// lint: unit tests sit above `main` for proximity to the helpers they cover
 #![allow(clippy::items_after_test_module)]
 
 use nwhy::core::algorithms::{
     adjoin_bfs, adjoin_cc_afforest, adjoin_cc_label_propagation, hyper_bfs_bottom_up,
     hyper_bfs_top_down, hyper_cc, toplexes,
 };
-use nwhy::core::{AdjoinGraph, Algorithm, Hypergraph, Relabel, SLineBuilder};
+use nwhy::core::{AdjoinGraph, Algorithm, HyperedgeId, Hypergraph, Relabel, SLineBuilder};
 use std::fs::File;
 use std::io::{BufReader, BufWriter, Write};
 use std::process::ExitCode;
@@ -224,7 +224,7 @@ fn cmd_bfs(args: &Args) -> Result<(), String> {
             )
         }
         "adjoin" => {
-            let r = adjoin_bfs(&AdjoinGraph::from_hypergraph(&h), source);
+            let r = adjoin_bfs(&AdjoinGraph::from_hypergraph(&h), HyperedgeId::new(source));
             (
                 count_finite(&r.edge_levels),
                 count_finite(&r.node_levels),
@@ -456,7 +456,7 @@ fn cmd_pagerank(args: &Args) -> Result<(), String> {
     for &(v, score) in ranked.iter().take(top) {
         println!(
             "  node {v:>8}: {score:.6} (in {} hyperedges)",
-            h.node_degree(v as u32)
+            h.node_degree(nwhy::core::ids::from_usize(v))
         );
     }
     Ok(())

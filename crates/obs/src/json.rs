@@ -91,6 +91,8 @@ impl Value {
     }
 
     /// The number as `u64` when it is a non-negative integer.
+    // lint: the match guard pins the value to a non-negative integer ≤ u64::MAX
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
     pub fn as_u64(&self) -> Option<u64> {
         match self {
             Value::Num(x) if *x >= 0.0 && x.fract() == 0.0 && *x <= u64::MAX as f64 => {

@@ -16,6 +16,9 @@
 //! - a bounded buffer of completed-span [`TraceEvent`]s.
 
 use std::cell::{Cell, RefCell};
+// lint: deliberately std, not nwhy_util::sync — the global counter
+// registry must stay usable outside loom models even in `--cfg loom`
+// builds (the loom tests themselves assert on it between models)
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Mutex, OnceLock};
 use std::time::{Duration, Instant};
@@ -199,11 +202,16 @@ pub(crate) fn span_exit(inner: &SpanInner) {
     {
         let mut trace = reg.trace.lock().expect("trace buffer poisoned");
         if trace.len() < MAX_TRACE_EVENTS {
+            // lint: u128 microsecond counts fit u64 for the next ~584k years
+            #[allow(clippy::cast_possible_truncation)]
             let start_us = inner.start.saturating_duration_since(reg.epoch).as_micros() as u64;
+            // lint: u128 microsecond counts fit u64 for the next ~584k years
+            #[allow(clippy::cast_possible_truncation)]
+            let dur_us = elapsed.as_micros() as u64;
             trace.push(TraceEvent {
                 name: inner.name,
                 start_us,
-                dur_us: elapsed.as_micros() as u64,
+                dur_us,
                 tid: shard_index() as u64,
             });
         }

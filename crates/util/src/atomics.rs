@@ -161,6 +161,8 @@ impl From<f64> for AtomicF64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    // lint: deliberately std, not crate::sync — these model-free tests
+    // also run under the `--cfg loom` CI job, outside loom::model
     use std::sync::atomic::AtomicU32;
 
     #[test]

@@ -194,6 +194,8 @@ mod tests {
     #[test]
     fn concurrent_sets_count_exactly_once() {
         let bm = AtomicBitmap::new(1 << 12);
+        // lint: deliberately std — this model-free test also runs
+        // under the `--cfg loom` CI job, outside loom::model
         let winners = std::sync::atomic::AtomicUsize::new(0);
         std::thread::scope(|s| {
             for _ in 0..8 {

@@ -220,6 +220,8 @@ pub fn imbalance_report(costs: &[usize], strategy: Strategy) -> (usize, f64, f64
 #[cfg(test)]
 mod tests {
     use super::*;
+    // lint: deliberately std, not crate::sync — these model-free tests
+    // also run under the `--cfg loom` CI job, outside loom::model
     use std::sync::atomic::{AtomicUsize, Ordering};
 
     #[test]

@@ -13,7 +13,9 @@
 //! ```
 
 #[cfg(loom)]
-pub use loom::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
+pub use loom::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicU8, AtomicUsize, Ordering};
 
 #[cfg(not(loom))]
-pub use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
+// lint: the one sanctioned std::sync::atomic import — every other module
+// routes through this re-export (enforced by `cargo xtask lint`).
+pub use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicU8, AtomicUsize, Ordering};

@@ -93,7 +93,7 @@ fn main() {
     for &(paper, score) in ranked.iter().take(5) {
         println!(
             "  paper {paper:>4}: betweenness {score:.4}, {} authors",
-            h.edge_degree(paper as u32)
+            h.edge_degree(nwhy::core::ids::from_usize(paper))
         );
     }
 

@@ -16,7 +16,7 @@
 
 use nwhy::core::algorithms::{adjoin_bfs, hyper_bfs_top_down};
 use nwhy::core::clique::{clique_expansion, clique_expansion_work};
-use nwhy::core::AdjoinGraph;
+use nwhy::core::{AdjoinGraph, HyperedgeId};
 use nwhy::gen::profiles::profile_by_name;
 use nwhy::hygra::hygra_bfs;
 use nwhy::session::NWHypergraph;
@@ -35,7 +35,7 @@ fn main() {
     );
 
     // --- 1. one traversal, three representations -------------------------
-    let source = (0..stats.num_hyperedges as u32)
+    let source = (0..nwhy::core::ids::from_usize(stats.num_hyperedges))
         .max_by_key(|&e| h.edge_degree(e))
         .expect("non-empty");
     println!("\nBFS from the largest community (hyperedge {source}):");
@@ -48,7 +48,7 @@ fn main() {
     );
 
     let adjoin = AdjoinGraph::from_hypergraph(&h);
-    let adj = adjoin_bfs(&adjoin, source);
+    let adj = adjoin_bfs(&adjoin, HyperedgeId::new(source));
     let adj_edges = adj.edge_levels.iter().filter(|&&l| l != u32::MAX).count();
     println!(
         "  AdjoinBFS (adjoin graph):  reached {} communities (direction-optimizing)",

@@ -37,7 +37,7 @@ fn main() {
     // --- 1. static imbalance of the hyperedge workload -------------------
     // cost model: the s-line indirection work per hyperedge is roughly
     // the sum of its members' node degrees; edge size is a cheap proxy
-    let mut costs: Vec<usize> = (0..stats.num_hyperedges as u32)
+    let mut costs: Vec<usize> = (0..nwhy::core::ids::from_usize(stats.num_hyperedges))
         .map(|e| h.edge_degree(e))
         .collect();
     println!("\nper-bin work imbalance (max/mean over 16 bins; 1.0 = perfect):");
@@ -77,7 +77,7 @@ fn main() {
     }
 
     // --- 3. dynamic self-scheduling ---------------------------------------
-    let queue: Vec<u32> = (0..stats.num_hyperedges as u32).collect();
+    let queue: Vec<u32> = (0..nwhy::core::ids::from_usize(stats.num_hyperedges)).collect();
     let (a, t_static) = time(|| queue_hashmap(&h, &queue, 2, Strategy::Blocked { num_bins: 0 }));
     let (b, t_dynamic) = time(|| queue_hashmap_dynamic(&h, &queue, 2));
     assert_eq!(a, b);

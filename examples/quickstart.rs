@@ -32,7 +32,7 @@ fn main() {
     // compute the s-line graph of hg with s=2
     let s2lg = hg.s_linegraph(2, true);
     println!("\n2-line graph (papers sharing >= 2 authors):");
-    for e in 0..stats.num_hyperedges as u32 {
+    for e in 0..nwhy::core::ids::from_usize(stats.num_hyperedges) {
         println!(
             "  paper {e}: s-degree {}, s-neighbors {:?}",
             s2lg.s_degree(e),
@@ -79,7 +79,7 @@ fn main() {
     // the 1-clique side: author collaboration graph (clique expansion)
     let collab = hg.s_linegraph(1, false);
     println!("\nauthor collaboration graph (clique expansion):");
-    for v in 0..stats.num_hypernodes as u32 {
+    for v in 0..nwhy::core::ids::from_usize(stats.num_hypernodes) {
         println!("  author {v} collaborated with {:?}", collab.s_neighbors(v));
     }
 }

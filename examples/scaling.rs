@@ -10,7 +10,7 @@
 //! Run with: `cargo run --release -p nwhy --example scaling`
 
 use nwhy::core::algorithms::{adjoin_bfs, adjoin_cc_afforest, hyper_bfs_top_down, hyper_cc};
-use nwhy::core::AdjoinGraph;
+use nwhy::core::{AdjoinGraph, HyperedgeId};
 use nwhy::gen::profiles::profile_by_name;
 use nwhy::hygra::{hygra_bfs, hygra_cc};
 use nwhy::util::pool::{max_threads, thread_sweep, with_threads};
@@ -35,7 +35,8 @@ fn main() {
         let (cc_a, s2) = with_threads(t, || time(|| adjoin_cc_afforest(&adjoin)));
         let (cc_g, s3) = with_threads(t, || time(|| hygra_cc(&h)));
         let (bfs_h, s4) = with_threads(t, || time(|| hyper_bfs_top_down(&h, source)));
-        let (bfs_a, s5) = with_threads(t, || time(|| adjoin_bfs(&adjoin, source)));
+        let (bfs_a, s5) =
+            with_threads(t, || time(|| adjoin_bfs(&adjoin, HyperedgeId::new(source))));
         let (bfs_g, s6) = with_threads(t, || time(|| hygra_bfs(&h, source)));
 
         // cross-check while we're here

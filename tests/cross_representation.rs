@@ -12,7 +12,9 @@ use nwhy::core::algorithms::{
 };
 use nwhy::core::slinegraph::queue_single::queue_hashmap;
 use nwhy::core::slinegraph::queue_two_phase::queue_intersection;
-use nwhy::core::{AdjoinGraph, Algorithm, BuildOptions, Hypergraph, Relabel, SLineBuilder};
+use nwhy::core::{
+    AdjoinGraph, Algorithm, BuildOptions, HyperedgeId, Hypergraph, Relabel, SLineBuilder,
+};
 use nwhy::gen::profiles::TABLE1;
 use nwhy::util::partition::Strategy;
 
@@ -29,12 +31,12 @@ fn twins() -> Vec<(&'static str, Hypergraph)> {
 fn bfs_agrees_across_representations_and_frameworks() {
     for (name, h) in twins() {
         let a = AdjoinGraph::from_hypergraph(&h);
-        let src = (0..h.num_hyperedges() as u32)
+        let src = (0..nwhy::core::ids::from_usize(h.num_hyperedges()))
             .max_by_key(|&e| h.edge_degree(e))
             .unwrap();
         let td = hyper_bfs_top_down(&h, src);
         let bu = hyper_bfs_bottom_up(&h, src);
-        let ad = adjoin_bfs(&a, src);
+        let ad = adjoin_bfs(&a, HyperedgeId::new(src));
         let hy = hygra::hygra_bfs(&h, src);
         assert_eq!(
             td.edge_levels, bu.edge_levels,
@@ -93,7 +95,7 @@ fn slinegraph_algorithms_agree_on_twins() {
 fn queue_algorithms_run_on_adjoin_without_remapping() {
     for (name, h) in twins() {
         let a = AdjoinGraph::from_hypergraph(&h);
-        let queue: Vec<u32> = (0..a.num_hyperedges() as u32).collect();
+        let queue: Vec<u32> = (0..nwhy::core::ids::from_usize(a.num_hyperedges())).collect();
         for s in [1usize, 2] {
             let bi = SLineBuilder::new(&h).s(s).edges();
             let via_adjoin_1 = queue_hashmap(&a, &queue, s, Strategy::AUTO);

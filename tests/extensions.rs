@@ -33,7 +33,7 @@ fn weighted_linegraph_agrees_with_unweighted_on_twins() {
 fn dynamic_queue_matches_static_on_twins() {
     for name in ["Orkut-group", "Rand1"] {
         let h = profile_by_name(name).unwrap().generate(100_000, 5);
-        let queue: Vec<u32> = (0..h.num_hyperedges() as u32).collect();
+        let queue: Vec<u32> = (0..nwhy::core::ids::from_usize(h.num_hyperedges())).collect();
         for s in [1usize, 2] {
             assert_eq!(
                 queue_hashmap_dynamic(&h, &queue, s),
@@ -73,10 +73,12 @@ fn transformations_preserve_slinegraph_semantics() {
 #[test]
 fn induced_subhypergraph_respects_membership() {
     let h = profile_by_name("Rand1").unwrap().generate(200_000, 5);
-    let keep: Vec<u32> = (0..h.num_hypernodes() as u32).step_by(2).collect();
+    let keep: Vec<u32> = (0..nwhy::core::ids::from_usize(h.num_hypernodes()))
+        .step_by(2)
+        .collect();
     let (sub, node_map) = induced_subhypergraph(&h, &keep);
     assert_eq!(sub.num_hypernodes(), keep.len());
-    for e in 0..sub.num_hyperedges() as u32 {
+    for e in 0..nwhy::core::ids::from_usize(sub.num_hyperedges()) {
         for &nv in sub.edge_members(e) {
             let old = node_map[nv as usize];
             assert!(h.edge_members(e).contains(&old));
@@ -151,5 +153,8 @@ fn restriction_then_toplexes_is_idempotent() {
     let (t2, map2) = restrict_to_toplexes(&t1);
     // all edges of a toplex restriction are already maximal
     assert_eq!(t2.num_hyperedges(), t1.num_hyperedges());
-    assert_eq!(map2, (0..t1.num_hyperedges() as u32).collect::<Vec<_>>());
+    assert_eq!(
+        map2,
+        (0..nwhy::core::ids::from_usize(t1.num_hyperedges())).collect::<Vec<_>>()
+    );
 }

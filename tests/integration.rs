@@ -6,7 +6,7 @@
 
 use nwhy::core::algorithms::{adjoin_bfs, adjoin_cc_afforest, hyper_bfs_top_down, hyper_cc};
 use nwhy::core::fixtures::{paper_hypergraph, paper_slinegraph_edges};
-use nwhy::core::AdjoinGraph;
+use nwhy::core::{AdjoinGraph, HyperedgeId};
 use nwhy::io::{read_adjoin, read_hyperedge_list, read_matrix_market, write_matrix_market};
 use nwhy::session::NWHypergraph;
 use std::io::Cursor;
@@ -41,7 +41,7 @@ fn adjoin_reader_matches_biadjacency_reader() {
 
     // exact algorithms agree between the two paths
     let hr = hyper_bfs_top_down(&h_read, 0);
-    let ar = adjoin_bfs(&a_read, 0);
+    let ar = adjoin_bfs(&a_read, HyperedgeId::new(0));
     assert_eq!(hr.edge_levels, ar.edge_levels);
     assert_eq!(hr.node_levels, ar.node_levels);
 }

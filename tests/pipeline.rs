@@ -35,7 +35,10 @@ fn full_session_on_planted_communities() {
     for (a, b) in [(0u32, 5u32), (3, 40), (10, 70)] {
         assert_eq!(lg.s_distance(a, b), lg.s_distance(b, a));
         if let Some(p) = lg.s_path(a, b) {
-            assert_eq!(p.len() as u32 - 1, lg.s_distance(a, b).unwrap());
+            assert_eq!(
+                nwhy::core::ids::from_usize(p.len()) - 1,
+                lg.s_distance(a, b).unwrap()
+            );
             assert_eq!(p.first(), Some(&a));
             assert_eq!(p.last(), Some(&b));
         }

@@ -1,0 +1,6 @@
+//! Repo automation tasks (`cargo xtask <task>`), following the
+//! dependency-free xtask pattern: a plain workspace member invoked
+//! through the `.cargo/config.toml` alias, so CI and contributors need
+//! nothing beyond the Rust toolchain.
+
+pub mod lint;

@@ -1,0 +1,423 @@
+//! The repo lint engine behind `cargo xtask lint`.
+//!
+//! A dependency-free, lexical pass over every `.rs` file under `crates/`
+//! that enforces the typed-ID-domain discipline introduced in
+//! `nwhy-core::ids` (see DESIGN.md §7). It is deliberately *not* a full
+//! parser: each rule is a line-level pattern with a small amount of
+//! context (multi-line signatures, preceding-comment whitelists), which
+//! keeps the pass instant, auditable, and free of external crates.
+//!
+//! # Rules
+//!
+//! | rule | scope | denies |
+//! |---|---|---|
+//! | `raw-pub-signature` | repr.rs, adjoin.rs, slinegraph/ (minus stats.rs) | `u32`/`u64` tokens and ID-named `usize` params in `pub fn` signatures |
+//! | `unaudited-id-cast` | repr.rs, adjoin.rs, slinegraph/ | ` as Id`, ` as u32`, ` as usize` outside `ids.rs` |
+//! | `untyped-id-arithmetic` | all of crates/ except ids.rs | inlined `± n_e` offset arithmetic and `±` on `.raw()`/`.idx()` |
+//! | `stray-atomic-import` | all of crates/ except util/src/sync.rs | direct `std::sync::atomic` use (incl. tests) |
+//! | `unjustified-allow` | all of crates/ | `#[allow(...)]` without a `// lint:` justification |
+//!
+//! Any line (or its immediately preceding comment block) containing
+//! `// lint: <why>` is whitelisted — that comment *is* the audit trail.
+//! Rules `raw-pub-signature`, `unaudited-id-cast`, and
+//! `untyped-id-arithmetic` skip test code (everything from the first
+//! `#[cfg(test)]` line to the end of the file); the atomic and allow
+//! rules apply to tests too.
+
+use std::fmt;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Rule identifier for raw storage types in public signatures.
+pub const RAW_PUB_SIGNATURE: &str = "raw-pub-signature";
+/// Rule identifier for unaudited `as` casts between ID types.
+pub const UNAUDITED_ID_CAST: &str = "unaudited-id-cast";
+/// Rule identifier for inlined ID-space offset arithmetic.
+pub const UNTYPED_ID_ARITHMETIC: &str = "untyped-id-arithmetic";
+/// Rule identifier for atomics imported outside `nwhy_util::sync`.
+pub const STRAY_ATOMIC_IMPORT: &str = "stray-atomic-import";
+/// Rule identifier for `#[allow]` attributes without a justification.
+pub const UNJUSTIFIED_ALLOW: &str = "unjustified-allow";
+
+/// One lint violation, pointing at a repo-relative `file:line`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Which rule fired (one of the `pub const` rule names).
+    pub rule: &'static str,
+    /// Repo-relative path, `/`-separated.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Human-readable description of the violation.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// The ID-sensitive modules: the cast and signature rules apply here.
+fn in_id_module(file: &str) -> bool {
+    file == "crates/core/src/repr.rs"
+        || file == "crates/core/src/adjoin.rs"
+        || file.starts_with("crates/core/src/slinegraph/")
+}
+
+/// Signature rule scope: the ID modules minus the kernel-stats counters
+/// (whose payloads are legitimately `u64` event counts, not IDs).
+fn in_signature_scope(file: &str) -> bool {
+    in_id_module(file) && !file.ends_with("/stats.rs")
+}
+
+/// `true` when the line itself, or the comment block immediately above
+/// it, carries a `// lint: <why>` justification.
+fn justified(lines: &[&str], i: usize) -> bool {
+    if lines[i].contains("// lint:") {
+        return true;
+    }
+    let mut j = i;
+    while j > 0 {
+        j -= 1;
+        let t = lines[j].trim_start();
+        if !t.starts_with("//") {
+            return false;
+        }
+        if t.contains("// lint:") {
+            return true;
+        }
+    }
+    false
+}
+
+fn is_ident_byte(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_'
+}
+
+/// Word-boundary substring search (so `u32` does not match `AtomicU32`).
+fn has_word(s: &str, word: &str) -> bool {
+    let bytes = s.as_bytes();
+    let mut start = 0;
+    while let Some(pos) = s[start..].find(word) {
+        let at = start + pos;
+        let end = at + word.len();
+        let before_ok = at == 0 || !is_ident_byte(bytes[at - 1]);
+        let after_ok = end >= bytes.len() || !is_ident_byte(bytes[end]);
+        if before_ok && after_ok {
+            return true;
+        }
+        start = end;
+    }
+    false
+}
+
+/// Parameter names that denote an ID when typed `usize`.
+fn id_like_name(name: &str) -> bool {
+    matches!(name, "e" | "v" | "id" | "node" | "edge" | "vertex" | "raw") || name.ends_with("_id")
+}
+
+/// Extracts the names of `usize`-typed parameters from a signature
+/// string that look like they carry IDs.
+fn suspicious_usize_params(sig: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let bytes = sig.as_bytes();
+    let mut start = 0;
+    while let Some(pos) = sig[start..].find(": usize") {
+        let at = start + pos;
+        // back-scan the identifier before the colon
+        let mut b = at;
+        while b > 0 && is_ident_byte(bytes[b - 1]) {
+            b -= 1;
+        }
+        let name = &sig[b..at];
+        if id_like_name(name) {
+            out.push(name.to_string());
+        }
+        start = at + ": usize".len();
+    }
+    out
+}
+
+/// Lints a single file's content under its repo-relative path. The path
+/// decides which rules apply; it does not need to exist on disk (the
+/// fixture tests feed fake in-scope paths).
+pub fn lint_file(path: &Path, content: &str) -> Vec<Finding> {
+    let file = path.to_string_lossy().replace('\\', "/");
+    let lines: Vec<&str> = content.lines().collect();
+    let test_start = lines
+        .iter()
+        .position(|l| l.trim_start().starts_with("#[cfg(test)]"))
+        .unwrap_or(lines.len());
+    let mut out = Vec::new();
+
+    let finding = |rule: &'static str, line: usize, message: String| Finding {
+        rule,
+        file: file.clone(),
+        line: line + 1,
+        message,
+    };
+
+    // Rule A: raw storage types in public signatures.
+    if in_signature_scope(&file) {
+        let mut i = 0;
+        while i < test_start {
+            let t = lines[i].trim_start();
+            let is_pub_fn = t.starts_with("pub fn ")
+                || t.starts_with("pub const fn ")
+                || t.starts_with("pub(crate) fn ");
+            if !is_pub_fn {
+                i += 1;
+                continue;
+            }
+            // accumulate the signature until the body opens (or `;`)
+            let mut sig = String::new();
+            let mut j = i;
+            while j < test_start && j < i + 12 {
+                sig.push_str(lines[j]);
+                sig.push(' ');
+                if lines[j].contains('{') || lines[j].trim_end().ends_with(';') {
+                    break;
+                }
+                j += 1;
+            }
+            let sig = sig.split('{').next().unwrap_or("").to_string();
+            if !justified(&lines, i) {
+                for bad in ["u32", "u64"] {
+                    if has_word(&sig, bad) {
+                        out.push(finding(
+                            RAW_PUB_SIGNATURE,
+                            i,
+                            format!(
+                                "raw `{bad}` in public signature — use a typed ID domain \
+                                 (HyperedgeId/HypernodeId/AdjoinId/LocalId), the `Id` \
+                                 storage alias, or `Overlap`"
+                            ),
+                        ));
+                    }
+                }
+                for name in suspicious_usize_params(&sig) {
+                    out.push(finding(
+                        RAW_PUB_SIGNATURE,
+                        i,
+                        format!(
+                            "`{name}: usize` in public signature — ID-like parameters \
+                             must use a typed ID domain"
+                        ),
+                    ));
+                }
+            }
+            i = j + 1;
+        }
+    }
+
+    // Rule B: unaudited `as` casts in the ID modules.
+    if in_id_module(&file) {
+        for (i, l) in lines.iter().enumerate().take(test_start) {
+            if l.trim_start().starts_with("//") {
+                continue;
+            }
+            for pat in [" as Id", " as u32", " as usize"] {
+                if l.contains(pat) && !justified(&lines, i) {
+                    out.push(finding(
+                        UNAUDITED_ID_CAST,
+                        i,
+                        format!(
+                            "`{}` outside the audited ids.rs funnel — use \
+                             ids::from_usize/ids::to_usize, `.raw()`/`.idx()`, or \
+                             justify with `// lint: <why>`",
+                            pat.trim_start()
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+
+    // Rule C: inlined ID-space offset arithmetic anywhere in crates/.
+    const ARITH_PATTERNS: [&str; 8] = [
+        "+ ne as",
+        "- ne as",
+        "+ self.num_hyperedges as",
+        "- self.num_hyperedges as",
+        ".raw() +",
+        ".raw() -",
+        ".idx() +",
+        ".idx() -",
+    ];
+    if file.starts_with("crates/") && file != "crates/core/src/ids.rs" {
+        for (i, l) in lines.iter().enumerate().take(test_start) {
+            if l.trim_start().starts_with("//") {
+                continue;
+            }
+            for pat in ARITH_PATTERNS {
+                if l.contains(pat) && !justified(&lines, i) {
+                    out.push(finding(
+                        UNTYPED_ID_ARITHMETIC,
+                        i,
+                        format!(
+                            "`{pat}` — ID-space offsets must go through the typed \
+                             conversions in nwhy-core::ids (AdjoinId::from_node, \
+                             adjoin_to_node, Relabeling)"
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+
+    // Rule D: atomics outside the loom-switched re-export (tests too).
+    if file.starts_with("crates/") && file != "crates/util/src/sync.rs" {
+        for (i, l) in lines.iter().enumerate() {
+            if l.trim_start().starts_with("//") {
+                continue;
+            }
+            if l.contains("std::sync::atomic") && !justified(&lines, i) {
+                out.push(finding(
+                    STRAY_ATOMIC_IMPORT,
+                    i,
+                    "import atomics via nwhy_util::sync (the loom-switched \
+                     re-export); std::sync::atomic is sanctioned only in \
+                     crates/util/src/sync.rs"
+                        .to_string(),
+                ));
+            }
+        }
+    }
+
+    // Rule E: every `#[allow]` carries its why (tests too).
+    if file.starts_with("crates/") {
+        for (i, l) in lines.iter().enumerate() {
+            let t = l.trim_start();
+            if t.starts_with("//") {
+                continue;
+            }
+            if (l.contains("#[allow(") || l.contains("#![allow(")) && !justified(&lines, i) {
+                out.push(finding(
+                    UNJUSTIFIED_ALLOW,
+                    i,
+                    "`#[allow(...)]` without a `// lint: <why>` justification on the \
+                     same or preceding comment line"
+                        .to_string(),
+                ));
+            }
+        }
+    }
+
+    out
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let p = entry.path();
+        if p.is_dir() {
+            collect_rs(&p, out);
+        } else if p.extension().is_some_and(|e| e == "rs") {
+            out.push(p);
+        }
+    }
+}
+
+/// Lints every `.rs` file under `<root>/crates`, returning findings
+/// sorted by file then line.
+pub fn lint_tree(root: &Path) -> Vec<Finding> {
+    let mut files = Vec::new();
+    collect_rs(&root.join("crates"), &mut files);
+    files.sort();
+    let mut out = Vec::new();
+    for f in &files {
+        let Ok(content) = fs::read_to_string(f) else {
+            continue;
+        };
+        let rel = f.strip_prefix(root).unwrap_or(f);
+        out.extend(lint_file(rel, &content));
+    }
+    out.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    out
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Serializes findings as a JSON array (hand-rolled: the workspace adds
+/// no external dependencies for tooling).
+pub fn to_json(findings: &[Finding]) -> String {
+    let items: Vec<String> = findings
+        .iter()
+        .map(|f| {
+            format!(
+                "  {{\"rule\": \"{}\", \"file\": \"{}\", \"line\": {}, \"message\": \"{}\"}}",
+                json_escape(f.rule),
+                json_escape(&f.file),
+                f.line,
+                json_escape(&f.message)
+            )
+        })
+        .collect();
+    if items.is_empty() {
+        "[]".to_string()
+    } else {
+        format!("[\n{}\n]", items.join(",\n"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn word_boundaries_protect_atomic_names() {
+        assert!(has_word("fn f(x: u32)", "u32"));
+        assert!(!has_word("fn f(x: &AtomicU32)", "u32"));
+        assert!(!has_word("fn f(x: u32x4)", "u32"));
+    }
+
+    #[test]
+    fn suspicious_params_found_by_name() {
+        assert_eq!(
+            suspicious_usize_params("pub fn f(e: usize, s: usize, source_id: usize)"),
+            vec!["e".to_string(), "source_id".to_string()]
+        );
+    }
+
+    #[test]
+    fn justification_reaches_over_comment_block() {
+        let lines = vec!["// lint: audited", "// more words", "let x = i as u32;"];
+        assert!(justified(&lines, 2));
+        let lines = vec!["// plain comment", "let x = i as u32;"];
+        assert!(!justified(&lines, 1));
+    }
+
+    #[test]
+    fn json_is_escaped() {
+        let f = Finding {
+            rule: UNAUDITED_ID_CAST,
+            file: "a\"b.rs".into(),
+            line: 3,
+            message: "x\ny".into(),
+        };
+        let j = to_json(&[f]);
+        assert!(j.contains("a\\\"b.rs"));
+        assert!(j.contains("x\\ny"));
+        assert_eq!(to_json(&[]), "[]");
+    }
+}

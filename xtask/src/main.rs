@@ -1,0 +1,58 @@
+//! `cargo xtask` entry point. Currently one task:
+//!
+//! ```text
+//! cargo xtask lint [--json] [ROOT]
+//! ```
+//!
+//! which runs the repo lint pass (see [`xtask::lint`]) over `ROOT`
+//! (default: the workspace root) and exits non-zero on any finding.
+
+use std::collections::BTreeSet;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    match args.next().as_deref() {
+        Some("lint") => {
+            let mut json = false;
+            let mut root: Option<PathBuf> = None;
+            for a in args {
+                if a == "--json" {
+                    json = true;
+                } else {
+                    root = Some(PathBuf::from(a));
+                }
+            }
+            let root = root.unwrap_or_else(|| {
+                PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+                    .parent()
+                    .expect("xtask sits one level under the workspace root")
+                    .to_path_buf()
+            });
+            let findings = xtask::lint::lint_tree(&root);
+            if json {
+                println!("{}", xtask::lint::to_json(&findings));
+            } else {
+                for f in &findings {
+                    println!("{f}");
+                }
+                let rules: BTreeSet<&str> = findings.iter().map(|f| f.rule).collect();
+                eprintln!(
+                    "xtask lint: {} finding(s) across {} rule(s)",
+                    findings.len(),
+                    rules.len()
+                );
+            }
+            if findings.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        _ => {
+            eprintln!("usage: cargo xtask lint [--json] [ROOT]");
+            ExitCode::from(2)
+        }
+    }
+}

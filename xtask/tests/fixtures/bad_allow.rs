@@ -1,0 +1,10 @@
+// xtask fixture: trips `unjustified-allow` when linted under any
+// crates/ fake path. Never compiled — consumed via include_str!.
+#[allow(clippy::needless_range_loop)]
+fn sum(xs: &[u64]) -> u64 {
+    let mut s = 0;
+    for i in 0..xs.len() {
+        s += xs[i];
+    }
+    s
+}

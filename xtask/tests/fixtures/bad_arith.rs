@@ -1,0 +1,9 @@
+// xtask fixture: trips `untyped-id-arithmetic` when linted under any
+// crates/ fake path. Never compiled — consumed via include_str!.
+fn adjoin_ids(vs: &[u32], ne: usize) -> Vec<u32> {
+    vs.iter().map(|&v| v + ne as u32).collect()
+}
+
+fn local_offset(id: AdjoinId, ne: usize) -> usize {
+    id.idx() + ne
+}

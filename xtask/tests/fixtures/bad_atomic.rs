@@ -1,0 +1,7 @@
+// xtask fixture: trips `stray-atomic-import` when linted under any
+// crates/ fake path. Never compiled — consumed via include_str!.
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+fn bump(c: &AtomicUsize) {
+    c.fetch_add(1, Ordering::Relaxed);
+}

@@ -1,0 +1,9 @@
+// xtask fixture: trips `unaudited-id-cast` when linted under an
+// in-scope fake path. Never compiled — consumed via include_str!.
+type Id = u32;
+
+fn demo(i: usize, ne: usize) -> usize {
+    let a = i as Id;
+    let b = ne as u32;
+    (a + b) as usize
+}

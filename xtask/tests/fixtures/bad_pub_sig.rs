@@ -1,0 +1,18 @@
+// xtask fixture: trips `raw-pub-signature` when linted under an
+// in-scope fake path. Never compiled — consumed via include_str!.
+pub struct Wrapper;
+
+impl Wrapper {
+    pub fn lookup(&self, edge: usize) -> u32 {
+        let _ = edge;
+        0
+    }
+}
+
+pub fn neighbors_of(
+    v: usize,
+    count: u64,
+) -> Vec<usize> {
+    let _ = (v, count);
+    Vec::new()
+}

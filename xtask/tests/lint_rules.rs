@@ -1,0 +1,141 @@
+//! Per-rule fixture tests for the `cargo xtask lint` pass, plus the
+//! meta-test that the workspace itself lints clean.
+//!
+//! Fixtures live in `tests/fixtures/` (never compiled) and are fed to
+//! [`lint_file`] under *fake in-scope paths*: the path decides which
+//! rules apply, so the same fixture can be shown to trip a rule inside
+//! the ID modules and stay silent outside them.
+
+use std::path::Path;
+use xtask::lint::{
+    lint_file, lint_tree, to_json, RAW_PUB_SIGNATURE, STRAY_ATOMIC_IMPORT, UNAUDITED_ID_CAST,
+    UNJUSTIFIED_ALLOW, UNTYPED_ID_ARITHMETIC,
+};
+
+/// Distinct rules hit when linting `src` as if it lived at `fake_path`.
+fn rules_hit(fake_path: &str, src: &str) -> Vec<&'static str> {
+    let mut rules: Vec<&'static str> = lint_file(Path::new(fake_path), src)
+        .into_iter()
+        .map(|f| f.rule)
+        .collect();
+    rules.sort_unstable();
+    rules.dedup();
+    rules
+}
+
+#[test]
+fn bad_pub_sig_fixture_trips_raw_pub_signature() {
+    let src = include_str!("fixtures/bad_pub_sig.rs");
+    let findings = lint_file(Path::new("crates/core/src/repr.rs"), src);
+    let hits: Vec<_> = findings
+        .iter()
+        .filter(|f| f.rule == RAW_PUB_SIGNATURE)
+        .collect();
+    // lookup(): `edge: usize` + `-> u32`; neighbors_of(): `v: usize` + `u64`.
+    assert_eq!(hits.len(), 4, "{findings:?}");
+    assert!(hits.iter().any(|f| f.line == 6), "{hits:?}");
+    assert!(hits.iter().any(|f| f.line == 12), "{hits:?}");
+}
+
+#[test]
+fn bad_cast_fixture_trips_unaudited_id_cast() {
+    let src = include_str!("fixtures/bad_cast.rs");
+    let findings = lint_file(Path::new("crates/core/src/slinegraph/naive.rs"), src);
+    let hits: Vec<_> = findings
+        .iter()
+        .filter(|f| f.rule == UNAUDITED_ID_CAST)
+        .collect();
+    // ` as Id`, ` as u32`, ` as usize` — one line each.
+    assert_eq!(hits.len(), 3, "{findings:?}");
+}
+
+#[test]
+fn bad_arith_fixture_trips_untyped_id_arithmetic() {
+    let src = include_str!("fixtures/bad_arith.rs");
+    let hits = rules_hit("crates/core/src/adjoin.rs", src);
+    assert!(hits.contains(&UNTYPED_ID_ARITHMETIC), "{hits:?}");
+}
+
+#[test]
+fn bad_atomic_fixture_trips_stray_atomic_import() {
+    let src = include_str!("fixtures/bad_atomic.rs");
+    let hits = rules_hit("crates/hygra/src/bfs.rs", src);
+    assert_eq!(hits, vec![STRAY_ATOMIC_IMPORT]);
+}
+
+#[test]
+fn bad_allow_fixture_trips_unjustified_allow() {
+    let src = include_str!("fixtures/bad_allow.rs");
+    let hits = rules_hit("crates/util/src/hash.rs", src);
+    assert_eq!(hits, vec![UNJUSTIFIED_ALLOW]);
+}
+
+#[test]
+fn id_rules_do_not_apply_outside_the_id_modules() {
+    // The cast fixture is fine in, say, the bench crate: rules A and B
+    // are scoped to repr/adjoin/slinegraph.
+    let src = include_str!("fixtures/bad_cast.rs");
+    let findings = lint_file(Path::new("crates/bench/src/lib.rs"), src);
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn lint_comment_whitelists_a_finding() {
+    let src = "fn f(i: usize) -> u32 {\n    i as u32 // lint: audited in a fixture\n}\n";
+    let findings = lint_file(Path::new("crates/core/src/adjoin.rs"), src);
+    assert!(findings.is_empty(), "{findings:?}");
+
+    // ... and the justification may sit on the comment block immediately
+    // above the offending line.
+    let src =
+        "fn f(i: usize) -> u32 {\n    // lint: audited in a fixture\n    // (a second comment line)\n    i as u32\n}\n";
+    let findings = lint_file(Path::new("crates/core/src/adjoin.rs"), src);
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn test_code_is_exempt_from_cast_rules_but_not_atomics() {
+    let src = "#[cfg(test)]\nmod tests {\n    use std::sync::atomic::AtomicU32;\n    fn f(i: usize) -> u32 { i as u32 }\n}\n";
+    let hits = rules_hit("crates/core/src/adjoin.rs", src);
+    assert!(hits.contains(&STRAY_ATOMIC_IMPORT), "{hits:?}");
+    assert!(!hits.contains(&UNAUDITED_ID_CAST), "{hits:?}");
+}
+
+#[test]
+fn findings_point_at_file_and_line() {
+    let src = include_str!("fixtures/bad_atomic.rs");
+    let findings = lint_file(Path::new("crates/hygra/src/bfs.rs"), src);
+    assert_eq!(findings.len(), 1);
+    assert_eq!(findings[0].file, "crates/hygra/src/bfs.rs");
+    assert_eq!(findings[0].line, 3);
+    assert!(findings[0]
+        .to_string()
+        .starts_with("crates/hygra/src/bfs.rs:3: [stray-atomic-import]"));
+}
+
+#[test]
+fn json_output_is_wellformed() {
+    let src = include_str!("fixtures/bad_allow.rs");
+    let findings = lint_file(Path::new("crates/util/src/hash.rs"), src);
+    let json = to_json(&findings);
+    assert!(json.starts_with('[') && json.ends_with(']'));
+    assert!(json.contains("\"rule\": \"unjustified-allow\""));
+    assert!(json.contains("\"line\": 3"));
+}
+
+#[test]
+fn workspace_lints_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .expect("xtask sits one level under the workspace root");
+    let findings = lint_tree(root);
+    assert!(
+        findings.is_empty(),
+        "workspace must lint clean:\n{}",
+        findings
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
