@@ -1,16 +1,22 @@
 //! Schema check for the emitted `BENCH_*.json` perf-trajectory files.
 //!
-//! CI's bench-smoke job runs the `slinegraph`/`traversal` benches on
-//! tiny inputs first, so the files exist in the package root (the bench
-//! binaries' working directory); locally, the test skips files that
-//! have not been generated yet.
+//! CI's bench-smoke job runs the `slinegraph`/`traversal`/`storage`
+//! benches on tiny inputs first, so the files exist in the package root
+//! (the bench binaries' working directory); locally, the test skips
+//! files that have not been generated yet.
 
 use nwhy_bench::validate_bench_json;
+
+const FILES: [&str; 3] = [
+    "BENCH_slinegraph.json",
+    "BENCH_traversal.json",
+    "BENCH_storage.json",
+];
 
 #[test]
 fn emitted_bench_json_files_validate() {
     let mut found = 0;
-    for name in ["BENCH_slinegraph.json", "BENCH_traversal.json"] {
+    for name in FILES {
         match std::fs::read_to_string(name) {
             Ok(text) => {
                 validate_bench_json(&text).unwrap_or_else(|e| panic!("{name}: {e}"));
@@ -21,6 +27,57 @@ fn emitted_bench_json_files_validate() {
     }
     // Only enforce presence when the smoke job asked for it.
     if std::env::var_os("NWHY_REQUIRE_BENCH_JSON").is_some() {
-        assert_eq!(found, 2, "bench-smoke requires both BENCH_*.json files");
+        assert_eq!(
+            found,
+            FILES.len(),
+            "bench-smoke requires every BENCH_*.json"
+        );
     }
+}
+
+/// The storage bench's acceptance claims, checked against the emitted
+/// numbers whenever the file exists: packed bytes-per-incidence must
+/// beat the 8-byte NWHYBIN1 yardstick on every dataset.
+#[test]
+fn storage_bench_beats_nwhybin1_density() {
+    let Ok(text) = std::fs::read_to_string("BENCH_storage.json") else {
+        eprintln!("(skipping: run `cargo bench -p nwhy-bench --bench storage` first)");
+        return;
+    };
+    validate_bench_json(&text).unwrap();
+    let doc = nwhy_obs::json::parse(&text).unwrap();
+    let mut pack_rows = 0;
+    for row in doc.as_array().unwrap() {
+        let algo = row.get("algorithm").and_then(|v| v.as_str()).unwrap();
+        if algo != "pack" {
+            continue;
+        }
+        pack_rows += 1;
+        let counters = row.get("counters").unwrap();
+        let packed = counters
+            .get("storage.packed_bytes")
+            .unwrap()
+            .as_u64()
+            .unwrap();
+        let yardstick = counters
+            .get("storage.nwhybin1_bytes")
+            .unwrap()
+            .as_u64()
+            .unwrap();
+        assert!(
+            packed < yardstick,
+            "packed image ({packed} B) must be smaller than NWHYBIN1 ({yardstick} B)"
+        );
+        let bpi_milli = counters
+            .get("storage.bytes_per_incidence_milli")
+            .unwrap()
+            .as_u64()
+            .unwrap();
+        assert!(
+            bpi_milli < 8000,
+            "bytes/incidence {:.3} must beat NWHYBIN1's 8.0",
+            bpi_milli as f64 / 1000.0
+        );
+    }
+    assert!(pack_rows > 0, "storage bench must emit pack records");
 }

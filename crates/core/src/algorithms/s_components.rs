@@ -41,8 +41,8 @@ pub fn s_connected_components_online<H: HyperAdjacency + ?Sized>(h: &H, s: usize
                             return (next, counts);
                         }
                         counts.clear();
-                        for &v in nbrs_i {
-                            for &raw in h.node_neighbors(v) {
+                        for &v in nbrs_i.iter() {
+                            for &raw in h.node_neighbors(v).iter() {
                                 let j = h.edge_id(raw);
                                 if j != i {
                                     *counts.entry(j).or_insert(0) += 1;

@@ -40,6 +40,20 @@ use crate::Id;
 /// queue-based algorithms are designed for — plus the zero-copy
 /// [`DualView`] and [`RelabeledView`] adapters.
 pub trait HyperAdjacency: Sync {
+    /// The neighbor-list handle: anything that derefs to a sorted
+    /// `[Id]` slice. In-memory representations use `&'a [Id]` (zero
+    /// cost — the borrow points straight into the CSR); compressed
+    /// backends (`nwhy-store`) return an owned decode buffer
+    /// (`Vec<Id>`), which is what lets a gap-coded on-disk row satisfy
+    /// the same bound without materializing the whole structure.
+    ///
+    /// Generic code treats the handle as a slice: bind it (`let nbrs =
+    /// h.edge_neighbors(e);`), then index/iterate through deref
+    /// (`nbrs.len()`, `nbrs.iter()`, `&nbrs[1..]`, `&*nbrs`).
+    type Neighbors<'a>: std::ops::Deref<Target = [Id]>
+    where
+        Self: 'a;
+
     /// Number of hyperedges. Working hyperedge IDs are `[0, n_e)`.
     fn num_hyperedges(&self) -> usize;
 
@@ -51,13 +65,13 @@ pub trait HyperAdjacency: Sync {
     /// Hypernodes incident to hyperedge `e` (working ID), sorted. The
     /// hypernode ID space is representation-defined (shifted for adjoin
     /// graphs) but consistent with [`HyperAdjacency::node_neighbors`].
-    fn edge_neighbors(&self, e: Id) -> &[Id];
+    fn edge_neighbors(&self, e: Id) -> Self::Neighbors<'_>;
 
     /// Hyperedges incident to hypernode `v` (in the same hypernode ID
     /// space as [`HyperAdjacency::edge_neighbors`]), sorted. Entries are
     /// *raw* hyperedge IDs — pass each through
     /// [`HyperAdjacency::edge_id`] before comparing with working IDs.
-    fn node_neighbors(&self, v: Id) -> &[Id];
+    fn node_neighbors(&self, v: Id) -> Self::Neighbors<'_>;
 
     /// Size of hyperedge `e` (working ID).
     #[inline]
@@ -88,6 +102,16 @@ pub trait HyperAdjacency: Sync {
     #[inline]
     fn node_id(&self, idx: usize) -> Id {
         ids::from_usize(idx)
+    }
+
+    /// Inverse of [`HyperAdjacency::node_id`]: the dense hypernode index
+    /// `[0, n_v)` of a representation-defined hypernode handle (an entry
+    /// of an [`HyperAdjacency::edge_neighbors`] slice). Identity for
+    /// bi-adjacencies; adjoin graphs subtract `n_e`. What the generic
+    /// traversal algorithms use to index per-hypernode state.
+    #[inline]
+    fn node_index(&self, handle: Id) -> usize {
+        ids::to_usize(handle)
     }
 
     // ---- domain-typed methods -------------------------------------
@@ -140,6 +164,11 @@ pub trait HyperAdjacency: Sync {
 }
 
 impl HyperAdjacency for Hypergraph {
+    type Neighbors<'a>
+        = &'a [Id]
+    where
+        Self: 'a;
+
     #[inline]
     fn num_hyperedges(&self) -> usize {
         Hypergraph::num_hyperedges(self)
@@ -167,6 +196,11 @@ impl HyperAdjacency for Hypergraph {
 }
 
 impl HyperAdjacency for AdjoinGraph {
+    type Neighbors<'a>
+        = &'a [Id]
+    where
+        Self: 'a;
+
     #[inline]
     fn num_hyperedges(&self) -> usize {
         AdjoinGraph::num_hyperedges(self)
@@ -192,6 +226,13 @@ impl HyperAdjacency for AdjoinGraph {
             AdjoinGraph::num_hyperedges(self),
         )
         .raw()
+    }
+
+    /// Un-embeds a shared-index-set handle back to a dense hypernode
+    /// index.
+    #[inline]
+    fn node_index(&self, handle: Id) -> usize {
+        ids::to_usize(handle) - AdjoinGraph::num_hyperedges(self)
     }
 
     #[inline]
@@ -233,6 +274,11 @@ impl<'a> DualView<'a> {
 }
 
 impl HyperAdjacency for DualView<'_> {
+    type Neighbors<'b>
+        = &'b [Id]
+    where
+        Self: 'b;
+
     #[inline]
     fn num_hyperedges(&self) -> usize {
         self.inner.num_hypernodes()
@@ -330,6 +376,14 @@ impl<'a, A: HyperAdjacency + ?Sized> RelabeledView<'a, A> {
 }
 
 impl<A: HyperAdjacency + ?Sized> HyperAdjacency for RelabeledView<'_, A> {
+    /// Forwards the inner representation's handle type: relabeling is a
+    /// pure ID permutation, so whatever the inner backend hands out
+    /// (borrowed slice or decode buffer) passes through untouched.
+    type Neighbors<'b>
+        = A::Neighbors<'b>
+    where
+        Self: 'b;
+
     #[inline]
     fn num_hyperedges(&self) -> usize {
         self.inner.num_hyperedges()
@@ -339,11 +393,11 @@ impl<A: HyperAdjacency + ?Sized> HyperAdjacency for RelabeledView<'_, A> {
         self.inner.num_hypernodes()
     }
     #[inline]
-    fn edge_neighbors(&self, e: Id) -> &[Id] {
+    fn edge_neighbors(&self, e: Id) -> A::Neighbors<'_> {
         self.inner.edge_neighbors(self.perm[ids::to_usize(e)])
     }
     #[inline]
-    fn node_neighbors(&self, v: Id) -> &[Id] {
+    fn node_neighbors(&self, v: Id) -> A::Neighbors<'_> {
         self.inner.node_neighbors(v)
     }
     #[inline]
@@ -361,6 +415,10 @@ impl<A: HyperAdjacency + ?Sized> HyperAdjacency for RelabeledView<'_, A> {
     #[inline]
     fn node_id(&self, idx: usize) -> Id {
         self.inner.node_id(idx)
+    }
+    #[inline]
+    fn node_index(&self, handle: Id) -> usize {
+        self.inner.node_index(handle)
     }
     /// Raw words name *inner* hyperedges; the global domain is the
     /// inner representation's, unaffected by this view's permutation.
@@ -389,7 +447,7 @@ mod tests {
     fn incidence_set<A: HyperAdjacency + ?Sized>(a: &A) -> Vec<(Id, Id)> {
         let mut out = Vec::new();
         for e in 0..ids::from_usize(a.num_hyperedges()) {
-            for &v in a.edge_neighbors(e) {
+            for &v in a.edge_neighbors(e).iter() {
                 out.push((e, v));
             }
         }

@@ -39,8 +39,8 @@ pub fn hashmap<A: HyperAdjacency + ?Sized>(h: &A, s: usize, strategy: Strategy) 
                 return;
             }
             local.counts.clear();
-            for &v in nbrs_i {
-                for &raw in h.node_neighbors(v) {
+            for &v in nbrs_i.iter() {
+                for &raw in h.node_neighbors(v).iter() {
                     let j = h.edge_id(raw);
                     if j > i {
                         local.stats.hashmap_insertion();

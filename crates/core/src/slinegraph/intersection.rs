@@ -48,8 +48,8 @@ pub fn intersection<A: HyperAdjacency + ?Sized>(
                 return;
             }
             let mark = i + 1;
-            for &v in nbrs_i {
-                for &raw in h.node_neighbors(v) {
+            for &v in nbrs_i.iter() {
+                for &raw in h.node_neighbors(v).iter() {
                     let j = h.edge_id(raw);
                     if j <= i || local.stamp[ids::to_usize(j)] == mark {
                         continue;
@@ -61,7 +61,7 @@ pub fn intersection<A: HyperAdjacency + ?Sized>(
                         local.stats.pairs_skipped(1);
                         continue;
                     }
-                    if local.stats.intersect_at_least(nbrs_i, nbrs_j, s) {
+                    if local.stats.intersect_at_least(&nbrs_i, &nbrs_j, s) {
                         local.pairs.push((i, j));
                     }
                 }

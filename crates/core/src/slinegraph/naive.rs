@@ -36,7 +36,7 @@ pub fn naive<A: HyperAdjacency + ?Sized>(h: &A, s: usize, strategy: Strategy) ->
                 local.stats.pairs_skipped(1);
                 continue;
             }
-            if local.stats.intersect_at_least(nbrs_i, nbrs_j, s) {
+            if local.stats.intersect_at_least(&nbrs_i, &nbrs_j, s) {
                 local.pairs.push((i, j));
             }
         }

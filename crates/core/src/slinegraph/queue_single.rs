@@ -50,9 +50,9 @@ pub fn queue_hashmap<H: HyperAdjacency + ?Sized>(
                 return; // Alg. 1 line 6–7
             }
             local.counts.clear();
-            for &v in nbrs_i {
+            for &v in nbrs_i.iter() {
                 // Alg. 1 lines 9–11
-                for &raw in h.node_neighbors(v) {
+                for &raw in h.node_neighbors(v).iter() {
                     let j = h.edge_id(raw);
                     if j > i {
                         local.stats.hashmap_insertion();
@@ -109,8 +109,8 @@ pub fn queue_hashmap_dynamic<H: HyperAdjacency + ?Sized>(
                 return;
             }
             local.counts.clear();
-            for &v in nbrs_i {
-                for &raw in h.node_neighbors(v) {
+            for &v in nbrs_i.iter() {
+                for &raw in h.node_neighbors(v).iter() {
                     let j = h.edge_id(raw);
                     if j > i {
                         local.stats.hashmap_insertion();

@@ -55,8 +55,8 @@ pub fn queue_intersection<H: HyperAdjacency + ?Sized>(
                 return;
             }
             let mark = i + 1;
-            for &v in nbrs_i {
-                for &raw in h.node_neighbors(v) {
+            for &v in nbrs_i.iter() {
+                for &raw in h.node_neighbors(v).iter() {
                     let j = h.edge_id(raw);
                     if j <= i || local.stamp[ids::to_usize(j)] == mark {
                         continue;
@@ -87,7 +87,7 @@ pub fn queue_intersection<H: HyperAdjacency + ?Sized>(
             || (Vec::new(), KernelStats::default()),
             |(mut acc, mut stats): (Vec<(Id, Id)>, KernelStats), &(i, j)| {
                 stats.pair_examined();
-                if stats.intersect_at_least(h.edge_neighbors(i), h.edge_neighbors(j), s) {
+                if stats.intersect_at_least(&h.edge_neighbors(i), &h.edge_neighbors(j), s) {
                     acc.push((i, j));
                 }
                 (acc, stats)
@@ -134,8 +134,8 @@ pub fn candidate_pairs<H: HyperAdjacency + ?Sized>(
                 return;
             }
             let mark = i + 1;
-            for &v in nbrs_i {
-                for &raw in h.node_neighbors(v) {
+            for &v in nbrs_i.iter() {
+                for &raw in h.node_neighbors(v).iter() {
                     let j = h.edge_id(raw);
                     if j <= i || local.stamp[ids::to_usize(j)] == mark {
                         continue;

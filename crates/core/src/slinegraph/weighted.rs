@@ -44,8 +44,8 @@ pub fn slinegraph_weighted_edges<A: HyperAdjacency + ?Sized>(
                 return;
             }
             local.counts.clear();
-            for &v in nbrs_i {
-                for &raw in h.node_neighbors(v) {
+            for &v in nbrs_i.iter() {
+                for &raw in h.node_neighbors(v).iter() {
                     let j = h.edge_id(raw);
                     if j > i {
                         local.stats.hashmap_insertion();

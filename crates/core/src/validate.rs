@@ -167,6 +167,16 @@ pub enum InvariantViolation {
         /// `1 / |e ∩ f|` recomputed from the hypergraph.
         expected: f64,
     },
+    /// A packed (`NWHYPAK1`) image whose byte payload fails to decode:
+    /// truncated or overlong varint, sampled index disagreeing with the
+    /// payload walk, gap sum out of bounds, row lengths not summing to
+    /// the header's incidence count. Raised by `nwhy-store`'s
+    /// `Validate` impl before (and instead of) the structural checks,
+    /// which presume a decodable image.
+    PackedPayloadCorrupt {
+        /// The storage-layer decode error, rendered.
+        detail: String,
+    },
 }
 
 impl fmt::Display for InvariantViolation {
@@ -254,6 +264,9 @@ impl fmt::Display for InvariantViolation {
                 f,
                 "s-line edge ({e}, {ff}) weight {weight} != 1/overlap = {expected}"
             ),
+            PackedPayloadCorrupt { detail } => {
+                write!(f, "packed payload corrupt: {detail}")
+            }
         }
     }
 }
@@ -569,8 +582,8 @@ impl<A: HyperAdjacency + ?Sized> Validate for SLineOutput<'_, A> {
             if self.csr.is_weighted() {
                 for (f, w) in self.csr.weighted_neighbors(e) {
                     let overlap = sorted_intersection_size(
-                        self.repr.edge_neighbors(e),
-                        self.repr.edge_neighbors(f),
+                        &self.repr.edge_neighbors(e),
+                        &self.repr.edge_neighbors(f),
                     );
                     if overlap < self.s {
                         return Err(InvariantViolation::OverlapBelowThreshold {
@@ -593,8 +606,8 @@ impl<A: HyperAdjacency + ?Sized> Validate for SLineOutput<'_, A> {
             } else {
                 for &f in nbrs {
                     let overlap = sorted_intersection_size(
-                        self.repr.edge_neighbors(e),
-                        self.repr.edge_neighbors(f),
+                        &self.repr.edge_neighbors(e),
+                        &self.repr.edge_neighbors(f),
                     );
                     if overlap < self.s {
                         return Err(InvariantViolation::OverlapBelowThreshold {

@@ -29,11 +29,11 @@ fn read_u64<R: Read>(r: &mut R) -> Result<u64, IoError> {
     Ok(u64::from_le_bytes(buf))
 }
 
-fn read_u32<R: Read>(r: &mut R) -> Result<u32, IoError> {
-    let mut buf = [0u8; 4];
-    r.read_exact(&mut buf)?;
-    Ok(u32::from_le_bytes(buf))
-}
+/// Incidence pairs (and weights) are read in bounded chunks of this many
+/// entries, so a corrupt header claiming a huge `nnz` fails with a
+/// truncation error after at most one chunk of over-allocation instead of
+/// reserving `nnz` entries up front.
+const READ_CHUNK: usize = 1 << 16;
 
 /// Reads the binary format into a hypergraph.
 pub fn read_binary<R: Read>(mut r: R) -> Result<Hypergraph, IoError> {
@@ -58,26 +58,44 @@ pub fn read_binary<R: Read>(mut r: R) -> Result<Hypergraph, IoError> {
     if nnz > (1usize << 40) {
         return Err(IoError::parse(1, format!("implausible nnz {nnz}")));
     }
-    let mut incidences = Vec::with_capacity(nnz);
-    for _ in 0..nnz {
-        let e = read_u32(&mut r)?;
-        let v = read_u32(&mut r)?;
-        if ids::to_usize(e) >= ne || ids::to_usize(v) >= nv {
-            return Err(IoError::parse(
-                1,
-                format!("incidence ({e},{v}) out of bounds {ne}x{nv}"),
-            ));
+    // Chunked payload read: each chunk's bytes must actually arrive
+    // before the next chunk's capacity is reserved, so memory growth is
+    // bounded by the real stream length, not by the header's claim.
+    let mut incidences = Vec::new();
+    let mut buf = vec![0u8; nnz.min(READ_CHUNK) * 8];
+    let mut remaining = nnz;
+    while remaining > 0 {
+        let take = remaining.min(READ_CHUNK);
+        let bytes = &mut buf[..take * 8];
+        r.read_exact(bytes)?;
+        incidences.reserve(take);
+        for pair in bytes.chunks_exact(8) {
+            // the pair words are read as u32 and are already `Id`-sized
+            let e = u32::from_le_bytes(pair[0..4].try_into().expect("4-byte chunk"));
+            let v = u32::from_le_bytes(pair[4..8].try_into().expect("4-byte chunk"));
+            if ids::to_usize(e) >= ne || ids::to_usize(v) >= nv {
+                return Err(IoError::parse(
+                    1,
+                    format!("incidence ({e},{v}) out of bounds {ne}x{nv}"),
+                ));
+            }
+            incidences.push((e, v));
         }
-        // the pair words are read as u32 and are already `Id`-sized
-        incidences.push((e, v));
+        remaining -= take;
     }
     let weighted = flags & FLAG_WEIGHTS != 0;
     let bel = if weighted {
-        let mut weights = Vec::with_capacity(nnz);
-        for _ in 0..nnz {
-            let mut buf = [0u8; 8];
-            r.read_exact(&mut buf)?;
-            weights.push(f64::from_le_bytes(buf));
+        let mut weights = Vec::new();
+        let mut remaining = nnz;
+        while remaining > 0 {
+            let take = remaining.min(READ_CHUNK);
+            let bytes = &mut buf[..take * 8];
+            r.read_exact(bytes)?;
+            weights.reserve(take);
+            for w in bytes.chunks_exact(8) {
+                weights.push(f64::from_le_bytes(w.try_into().expect("8-byte chunk")));
+            }
+            remaining -= take;
         }
         BiEdgeList::from_weighted_incidences(ne, nv, incidences, weights)
     } else {
@@ -173,6 +191,49 @@ mod tests {
         buf.extend_from_slice(&0u32.to_le_bytes());
         let e = read_binary(Cursor::new(buf)).unwrap_err();
         assert!(e.to_string().contains("out of bounds"));
+    }
+
+    #[test]
+    fn rejects_truncated_header() {
+        // magic + flags only: the dims are missing
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        buf.extend_from_slice(&0u64.to_le_bytes());
+        assert!(read_binary(Cursor::new(buf)).is_err());
+        // half a magic
+        assert!(read_binary(Cursor::new(b"NWHY".to_vec())).is_err());
+    }
+
+    #[test]
+    fn lying_nnz_fails_without_huge_allocation() {
+        // header claims ~1e9 incidences but the payload is 1 pair; the
+        // chunked reader must fail on the missing bytes (first chunk)
+        // rather than reserving the full claimed capacity up front.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        buf.extend_from_slice(&0u64.to_le_bytes()); // flags
+        buf.extend_from_slice(&10u64.to_le_bytes()); // ne
+        buf.extend_from_slice(&10u64.to_le_bytes()); // nv
+        buf.extend_from_slice(&1_000_000_000u64.to_le_bytes()); // nnz (lie)
+        buf.extend_from_slice(&1u32.to_le_bytes());
+        buf.extend_from_slice(&2u32.to_le_bytes());
+        let e = read_binary(Cursor::new(buf)).unwrap_err();
+        assert!(matches!(e, IoError::Io(_)), "expected truncation, got {e}");
+    }
+
+    #[test]
+    fn rejects_truncated_weights_section() {
+        let bel = BiEdgeList::from_weighted_incidences(
+            2,
+            3,
+            vec![(0, 0), (0, 2), (1, 1)],
+            vec![0.25, -1.5, 7.0],
+        );
+        let h = Hypergraph::from_biedgelist(&bel);
+        let mut buf = Vec::new();
+        write_binary(&mut buf, &h).unwrap();
+        buf.truncate(buf.len() - 10); // cuts into the weights section
+        assert!(read_binary(Cursor::new(buf)).is_err());
     }
 
     #[test]

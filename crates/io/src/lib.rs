@@ -13,7 +13,10 @@
 //!   reports the partition sizes (`nrealedges`, `nrealnodes`);
 //! - [`tsv`] — KONECT-style bipartite TSV edge lists (the format the
 //!   paper's Orkut-group/LiveJournal/Web inputs ship in);
-//! - [`binary`] — a compact binary cache format for large inputs.
+//! - [`binary`] — a compact binary cache format for large inputs;
+//! - [`pack`] — the compressed NWHYPAK1 format (`nwhy-store`): pack a
+//!   hypergraph to disk, open it zero-copy through a mmap or owned
+//!   backend.
 //!
 //! All readers work over any `io::BufRead`, so they are testable from
 //! in-memory strings and usable on files.
@@ -41,6 +44,7 @@ pub mod dot;
 pub mod error;
 pub mod hyperedge_list;
 pub mod matrix_market;
+pub mod pack;
 pub mod tsv;
 
 pub use adjoin_reader::read_adjoin;
@@ -48,4 +52,5 @@ pub use binary::{read_binary, write_binary};
 pub use error::IoError;
 pub use hyperedge_list::{read_hyperedge_list, write_hyperedge_list};
 pub use matrix_market::{read_matrix_market, write_matrix_market};
+pub use pack::{open_packed, read_packed, write_packed_file};
 pub use tsv::{read_bipartite_tsv, write_bipartite_tsv, Orientation};

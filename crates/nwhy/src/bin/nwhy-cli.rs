@@ -18,8 +18,22 @@
 //! nwhy-cli kcore   <file> --k K --l L     (k,l)-core sizes
 //! nwhy-cli pagerank <file> [--damping D] [--top N]
 //! nwhy-cli gen     <profile> [--scale N] [--seed S] --out FILE
+//! nwhy-cli pack    <in> <out>             compress into NWHYPAK1 on-disk form
+//! nwhy-cli info    <file>                 inspect a packed image (no decode)
 //! nwhy-cli convert <in> <out>
 //! ```
+//!
+//! Every analysis subcommand accepts a packed `.nwhypak` input and the
+//! backend flags:
+//!
+//! ```text
+//! --mmap      serve the packed image zero-copy via mmap (forces packed open)
+//! --no-mmap   read the packed image into an owned buffer (pure-safe path)
+//! ```
+//!
+//! Kernels that are generic over `HyperAdjacency` (s-line construction,
+//! hypergraph BFS/CC, online s-components) run straight off the packed
+//! image; the rest materialize the pointer-based form first.
 //!
 //! Every subcommand additionally accepts the observability flags
 //! (no-ops unless built with the default `obs` feature):
@@ -31,24 +45,26 @@
 //!
 //! Formats are inferred from extensions: `.mtx`/`.mm` Matrix Market,
 //! `.tsv` KONECT bipartite (node edge), `.hgr`/`.txt` hyperedge list,
-//! `.bin` binary.
+//! `.bin` binary, `.nwhypak` compressed on-disk image.
 
 // lint: unit tests sit above `main` for proximity to the helpers they cover
 #![allow(clippy::items_after_test_module)]
 
 use nwhy::core::algorithms::{
     adjoin_bfs, adjoin_cc_afforest, adjoin_cc_label_propagation, hyper_bfs_bottom_up,
-    hyper_bfs_top_down, hyper_cc, toplexes,
+    hyper_bfs_generic, hyper_bfs_top_down, hyper_cc, hyper_cc_generic, toplexes,
 };
 use nwhy::core::{AdjoinGraph, Algorithm, HyperedgeId, Hypergraph, Relabel, SLineBuilder};
+use nwhy::store::{Backend, CompressedHypergraph};
 use std::fs::File;
 use std::io::{BufReader, BufWriter, Write};
+use std::path::Path;
 use std::process::ExitCode;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: nwhy-cli <stats|cc|bfs|sline|check|toplex|scomp|kcore|pagerank|gen|convert> ... \
-         (see --help / crate docs)"
+        "usage: nwhy-cli <stats|cc|bfs|sline|check|toplex|scomp|kcore|pagerank|gen|pack|info|\
+         convert> ... (see --help / crate docs)"
     );
     std::process::exit(2);
 }
@@ -96,9 +112,12 @@ impl Args {
 }
 
 fn load(path: &str) -> Result<Hypergraph, String> {
+    let lower = path.to_ascii_lowercase();
+    if lower.ends_with(".nwhypak") {
+        return nwhy::io::read_packed(Path::new(path)).map_err(|e| format!("{path}: {e}"));
+    }
     let file = File::open(path).map_err(|e| format!("{path}: {e}"))?;
     let reader = BufReader::new(file);
-    let lower = path.to_ascii_lowercase();
     let result = if lower.ends_with(".mtx") || lower.ends_with(".mm") {
         nwhy::io::read_matrix_market(reader)
     } else if lower.ends_with(".tsv") {
@@ -112,9 +131,14 @@ fn load(path: &str) -> Result<Hypergraph, String> {
 }
 
 fn save(path: &str, h: &Hypergraph) -> Result<(), String> {
+    let lower = path.to_ascii_lowercase();
+    if lower.ends_with(".nwhypak") {
+        return nwhy::io::write_packed_file(Path::new(path), h)
+            .map(|_| ())
+            .map_err(|e| format!("{path}: {e}"));
+    }
     let file = File::create(path).map_err(|e| format!("{path}: {e}"))?;
     let mut writer = BufWriter::new(file);
-    let lower = path.to_ascii_lowercase();
     let result = if lower.ends_with(".mtx") || lower.ends_with(".mm") {
         nwhy::io::write_matrix_market(&mut writer, h)
     } else if lower.ends_with(".tsv") {
@@ -128,11 +152,109 @@ fn save(path: &str, h: &Hypergraph) -> Result<(), String> {
     writer.flush().map_err(|e| format!("{path}: {e}"))
 }
 
+/// A loaded analysis input: either the pointer-based in-memory
+/// bi-adjacency or a packed `NWHYPAK1` image served through
+/// [`CompressedHypergraph`]. Kernels generic over `HyperAdjacency` run
+/// on either variant directly; the rest call [`Input::into_memory`].
+enum Input {
+    Memory(Hypergraph),
+    Packed(CompressedHypergraph),
+}
+
+impl Input {
+    fn num_hyperedges(&self) -> usize {
+        match self {
+            Input::Memory(h) => h.num_hyperedges(),
+            Input::Packed(c) => c.num_hyperedges(),
+        }
+    }
+
+    /// Materializes the pointer-based representation (a no-op for
+    /// in-memory inputs) for subcommands whose kernels are not generic
+    /// over `HyperAdjacency`.
+    fn into_memory(self) -> Result<Hypergraph, String> {
+        match self {
+            Input::Memory(h) => Ok(h),
+            Input::Packed(c) => c.to_hypergraph().map_err(|e| format!("packed image: {e}")),
+        }
+    }
+}
+
+/// Resolves the storage backend from the `--mmap` / `--no-mmap` flags.
+fn backend_choice(args: &Args) -> Result<Backend, String> {
+    match (args.flag("mmap").is_some(), args.flag("no-mmap").is_some()) {
+        (true, true) => Err("--mmap conflicts with --no-mmap".into()),
+        (true, false) => Ok(Backend::Mmap),
+        (false, true) => Ok(Backend::Owned),
+        (false, false) => Ok(Backend::Auto),
+    }
+}
+
+/// Loads an analysis input. `.nwhypak` files — or any input when
+/// `--mmap` explicitly asks for the zero-copy path — open as packed
+/// images through the chosen backend; every other extension parses into
+/// the in-memory form.
+fn load_input(args: &Args, path: &str) -> Result<Input, String> {
+    let packed = path.to_ascii_lowercase().ends_with(".nwhypak") || args.flag("mmap").is_some();
+    if packed {
+        let c = nwhy::io::open_packed(Path::new(path), backend_choice(args)?)
+            .map_err(|e| format!("{path}: {e}"))?;
+        Ok(Input::Packed(c))
+    } else {
+        Ok(Input::Memory(load(path)?))
+    }
+}
+
+/// Table I statistics computed straight off a packed image: shape from
+/// the header, degree extrema from per-row length prefixes — no payload
+/// decode, no materialization.
+fn packed_stats(c: &CompressedHypergraph) -> Result<nwhy::HypergraphStats, String> {
+    let err = |e: nwhy::store::StoreError| format!("packed image: {e}");
+    let (ne, nv, nnz) = (c.num_hyperedges(), c.num_hypernodes(), c.num_incidences());
+    let mut max_edge_degree = 0;
+    for e in 0..ne {
+        let len = c
+            .edge_row_len(nwhy::core::ids::from_usize(e))
+            .map_err(err)?;
+        max_edge_degree = max_edge_degree.max(len);
+    }
+    let mut max_node_degree = 0;
+    for v in 0..nv {
+        let len = c
+            .node_row_len(nwhy::core::ids::from_usize(v))
+            .map_err(err)?;
+        max_node_degree = max_node_degree.max(len);
+    }
+    Ok(nwhy::HypergraphStats {
+        num_hypernodes: nv,
+        num_hyperedges: ne,
+        num_incidences: nnz,
+        avg_node_degree: if nv == 0 { 0.0 } else { nnz as f64 / nv as f64 },
+        avg_edge_degree: if ne == 0 { 0.0 } else { nnz as f64 / ne as f64 },
+        max_node_degree,
+        max_edge_degree,
+    })
+}
+
 fn cmd_stats(args: &Args) -> Result<(), String> {
     let path = args.positional.first().ok_or("stats: missing <file>")?;
-    let h = load(path)?;
-    let s = h.stats();
+    let input = load_input(args, path)?;
+    let s = match &input {
+        Input::Memory(h) => h.stats(),
+        Input::Packed(c) => packed_stats(c)?,
+    };
     println!("file:            {path}");
+    if let Input::Packed(c) = &input {
+        println!(
+            "backend:         packed NWHYPAK1 via {} ({:.3} bytes/incidence)",
+            if c.is_mapped() {
+                "mmap"
+            } else {
+                "owned buffer"
+            },
+            c.stats().bytes_per_incidence()
+        );
+    }
     println!("hypernodes |V|:  {}", s.num_hypernodes);
     println!("hyperedges |E|:  {}", s.num_hyperedges);
     println!("incidences:      {}", s.num_incidences);
@@ -141,25 +263,37 @@ fn cmd_stats(args: &Args) -> Result<(), String> {
     println!("max node degree: {}", s.max_node_degree);
     println!("max edge size:   {}", s.max_edge_degree);
     if let Some(run) = args.flag("run") {
-        if h.num_hyperedges() == 0 {
+        if input.num_hyperedges() == 0 {
             return Err("stats: --run needs a non-empty hypergraph".into());
         }
         match run {
             "bfs" => {
-                let r =
-                    nwhy::hygra::bfs::hygra_bfs_with_mode(&h, 0, nwhy::hygra::engine::Mode::Auto);
-                println!(
-                    "ran bfs from hyperedge 0: reached {} hyperedges",
-                    count_finite(&r.edge_levels)
-                );
+                let reached = match &input {
+                    Input::Memory(h) => {
+                        let r = nwhy::hygra::bfs::hygra_bfs_with_mode(
+                            h,
+                            0,
+                            nwhy::hygra::engine::Mode::Auto,
+                        );
+                        count_finite(&r.edge_levels)
+                    }
+                    Input::Packed(c) => hyper_bfs_generic(c, 0).edges_reached(),
+                };
+                println!("ran bfs from hyperedge 0: reached {reached} hyperedges");
             }
             "cc" => {
-                let r = nwhy::hygra::hygra_cc(&h);
-                println!("ran cc: {} components", r.num_components());
+                let n = match &input {
+                    Input::Memory(h) => nwhy::hygra::hygra_cc(h).num_components(),
+                    Input::Packed(c) => hyper_cc_generic(c).num_components(),
+                };
+                println!("ran cc: {n} components");
             }
             "sline" => {
                 let s: usize = args.flag("s").unwrap_or("2").parse().unwrap_or(2);
-                let pairs = SLineBuilder::new(&h).s(s).edges();
+                let pairs = match &input {
+                    Input::Memory(h) => SLineBuilder::new(h).s(s).edges(),
+                    Input::Packed(c) => SLineBuilder::new(c).s(s).edges(),
+                };
                 println!("ran sline (s={s}): {} line-graph edges", pairs.len());
             }
             other => return Err(format!("stats: unknown --run {other} (bfs|cc|sline)")),
@@ -177,15 +311,23 @@ fn cmd_stats(args: &Args) -> Result<(), String> {
 fn cmd_cc(args: &Args) -> Result<(), String> {
     let path = args.positional.first().ok_or("cc: missing <file>")?;
     let algo = args.flag("algo").unwrap_or("hyper");
-    let h = load(path)?;
-    let n = match algo {
-        "hyper" => hyper_cc(&h).num_components(),
-        "adjoin" => adjoin_cc_afforest(&AdjoinGraph::from_hypergraph(&h)).num_components(),
-        "adjoin-lp" => {
-            adjoin_cc_label_propagation(&AdjoinGraph::from_hypergraph(&h)).num_components()
+    let input = load_input(args, path)?;
+    let n = match (input, algo) {
+        // the label-propagation kernel is generic over `HyperAdjacency`,
+        // so the default algorithm never materializes a packed input
+        (Input::Packed(c), "hyper") => hyper_cc_generic(&c).num_components(),
+        (input, algo) => {
+            let h = input.into_memory()?;
+            match algo {
+                "hyper" => hyper_cc(&h).num_components(),
+                "adjoin" => adjoin_cc_afforest(&AdjoinGraph::from_hypergraph(&h)).num_components(),
+                "adjoin-lp" => {
+                    adjoin_cc_label_propagation(&AdjoinGraph::from_hypergraph(&h)).num_components()
+                }
+                "hygra" => nwhy::hygra::hygra_cc(&h).num_components(),
+                other => return Err(format!("cc: unknown --algo {other}")),
+            }
         }
-        "hygra" => nwhy::hygra::hygra_cc(&h).num_components(),
-        other => return Err(format!("cc: unknown --algo {other}")),
     };
     println!("{algo}: {n} connected components");
     Ok(())
@@ -199,47 +341,61 @@ fn cmd_bfs(args: &Args) -> Result<(), String> {
         .parse()
         .map_err(|_| "bfs: --source must be an integer")?;
     let algo = args.flag("algo").unwrap_or("adjoin");
-    let h = load(path)?;
-    if source as usize >= h.num_hyperedges() {
+    let input = load_input(args, path)?;
+    if source as usize >= input.num_hyperedges() {
         return Err(format!(
             "bfs: source {source} out of range ({} hyperedges)",
-            h.num_hyperedges()
+            input.num_hyperedges()
         ));
     }
-    let (edges_reached, nodes_reached, max_level) = match algo {
-        "hyper" => {
-            let r = hyper_bfs_top_down(&h, source);
+    let (edges_reached, nodes_reached, max_level) = match (input, algo) {
+        // the generic top-down kernel serves packed inputs zero-copy
+        (Input::Packed(c), "hyper") => {
+            let r = hyper_bfs_generic(&c, source);
             (
                 r.edges_reached(),
                 r.nodes_reached(),
                 max_finite(&r.edge_levels),
             )
         }
-        "hyper-bu" => {
-            let r = hyper_bfs_bottom_up(&h, source);
-            (
-                r.edges_reached(),
-                r.nodes_reached(),
-                max_finite(&r.edge_levels),
-            )
+        (input, algo) => {
+            let h = input.into_memory()?;
+            match algo {
+                "hyper" => {
+                    let r = hyper_bfs_top_down(&h, source);
+                    (
+                        r.edges_reached(),
+                        r.nodes_reached(),
+                        max_finite(&r.edge_levels),
+                    )
+                }
+                "hyper-bu" => {
+                    let r = hyper_bfs_bottom_up(&h, source);
+                    (
+                        r.edges_reached(),
+                        r.nodes_reached(),
+                        max_finite(&r.edge_levels),
+                    )
+                }
+                "adjoin" => {
+                    let r = adjoin_bfs(&AdjoinGraph::from_hypergraph(&h), HyperedgeId::new(source));
+                    (
+                        count_finite(&r.edge_levels),
+                        count_finite(&r.node_levels),
+                        max_finite(&r.edge_levels),
+                    )
+                }
+                "hygra" => {
+                    let r = nwhy::hygra::hygra_bfs(&h, source);
+                    (
+                        count_finite(&r.edge_levels),
+                        count_finite(&r.node_levels),
+                        max_finite(&r.edge_levels),
+                    )
+                }
+                other => return Err(format!("bfs: unknown --algo {other}")),
+            }
         }
-        "adjoin" => {
-            let r = adjoin_bfs(&AdjoinGraph::from_hypergraph(&h), HyperedgeId::new(source));
-            (
-                count_finite(&r.edge_levels),
-                count_finite(&r.node_levels),
-                max_finite(&r.edge_levels),
-            )
-        }
-        "hygra" => {
-            let r = nwhy::hygra::hygra_bfs(&h, source);
-            (
-                count_finite(&r.edge_levels),
-                count_finite(&r.node_levels),
-                max_finite(&r.edge_levels),
-            )
-        }
-        other => return Err(format!("bfs: unknown --algo {other}")),
     };
     println!(
         "{algo}: from hyperedge {source} reached {edges_reached} hyperedges and \
@@ -286,20 +442,29 @@ fn cmd_sline(args: &Args) -> Result<(), String> {
         "desc" => Relabel::Descending,
         other => return Err(format!("sline: unknown --relabel {other}")),
     };
-    let h = load(path)?;
+    let input = load_input(args, path)?;
+    let ne = input.num_hyperedges();
     let t = std::time::Instant::now();
-    let pairs = SLineBuilder::new(&h)
-        .s(s)
-        .algorithm(algo)
-        .relabel(relabel)
-        .edges();
+    // `SLineBuilder` is generic over `HyperAdjacency`: packed inputs
+    // feed the construction kernels straight off the on-disk image
+    let pairs = match &input {
+        Input::Memory(h) => SLineBuilder::new(h)
+            .s(s)
+            .algorithm(algo)
+            .relabel(relabel)
+            .edges(),
+        Input::Packed(c) => SLineBuilder::new(c)
+            .s(s)
+            .algorithm(algo)
+            .relabel(relabel)
+            .edges(),
+    };
     let secs = t.elapsed().as_secs_f64();
     println!(
-        "{}: {}-line graph has {} edges over {} hyperedges ({secs:.4}s)",
+        "{}: {}-line graph has {} edges over {ne} hyperedges ({secs:.4}s)",
         algo.name(),
         s,
         pairs.len(),
-        h.num_hyperedges()
     );
     if let Some(out) = args.flag("out") {
         let file = File::create(out).map_err(|e| format!("{out}: {e}"))?;
@@ -321,7 +486,7 @@ fn cmd_check(args: &Args) -> Result<(), String> {
     use nwhy::core::{DualView, SLineOutput, Validate};
 
     let path = args.positional.first().ok_or("check: missing <file>")?;
-    let h = load(path)?;
+    let input = load_input(args, path)?;
     let mut failures = 0usize;
     let mut report = |name: &str, result: Result<(), nwhy::InvariantViolation>| match result {
         Ok(()) => println!("  ok   {name}"),
@@ -332,6 +497,17 @@ fn cmd_check(args: &Args) -> Result<(), String> {
     };
 
     println!("checking {path}");
+    let h = match input {
+        Input::Memory(h) => h,
+        Input::Packed(c) => {
+            report(
+                "packed NWHYPAK1 image (codec, index, transpose)",
+                c.validate(),
+            );
+            c.to_hypergraph()
+                .map_err(|e| format!("packed image: {e}"))?
+        }
+    };
     report(
         "bi-adjacency (mutual indexing, CSR invariants)",
         h.validate(),
@@ -369,7 +545,7 @@ fn cmd_check(args: &Args) -> Result<(), String> {
 
 fn cmd_toplex(args: &Args) -> Result<(), String> {
     let path = args.positional.first().ok_or("toplex: missing <file>")?;
-    let h = load(path)?;
+    let h = load_input(args, path)?.into_memory()?;
     let t = toplexes(&h);
     println!(
         "{} of {} hyperedges are toplexes",
@@ -391,8 +567,17 @@ fn cmd_scomp(args: &Args) -> Result<(), String> {
     if s == 0 {
         return Err("scomp: --s must be >= 1".into());
     }
-    let h = load(path)?;
-    let labels = nwhy::core::algorithms::s_components::s_connected_components_online(&h, s);
+    let input = load_input(args, path)?;
+    let ne = input.num_hyperedges();
+    // the online kernel is generic over `HyperAdjacency`
+    let labels = match &input {
+        Input::Memory(h) => {
+            nwhy::core::algorithms::s_components::s_connected_components_online(h, s)
+        }
+        Input::Packed(c) => {
+            nwhy::core::algorithms::s_components::s_connected_components_online(c, s)
+        }
+    };
     let mut distinct = labels.clone();
     distinct.sort_unstable();
     distinct.dedup();
@@ -402,9 +587,8 @@ fn cmd_scomp(args: &Args) -> Result<(), String> {
     }
     let largest = sizes.values().copied().max().unwrap_or(0);
     println!(
-        "{} s-connected components at s={s} over {} hyperedges (largest: {largest})",
+        "{} s-connected components at s={s} over {ne} hyperedges (largest: {largest})",
         distinct.len(),
-        h.num_hyperedges()
     );
     Ok(())
 }
@@ -421,7 +605,7 @@ fn cmd_kcore(args: &Args) -> Result<(), String> {
         .ok_or("kcore: missing --l")?
         .parse()
         .map_err(|_| "kcore: --l must be an integer")?;
-    let h = load(path)?;
+    let h = load_input(args, path)?.into_memory()?;
     let core = nwhy::core::algorithms::kcore::kl_core(&h, k, l);
     println!(
         "({k},{l})-core: {} of {} hypernodes, {} of {} hyperedges survive",
@@ -441,7 +625,7 @@ fn cmd_pagerank(args: &Args) -> Result<(), String> {
         .parse()
         .unwrap_or(0.85);
     let top: usize = args.flag("top").unwrap_or("10").parse().unwrap_or(10);
-    let h = load(path)?;
+    let h = load_input(args, path)?.into_memory()?;
     let (pr, iters) = nwhy::hygra::pagerank::hygra_pagerank(
         &h,
         nwhy::hygra::pagerank::PageRankOptions {
@@ -490,6 +674,63 @@ fn cmd_convert(args: &Args) -> Result<(), String> {
         h.num_hyperedges(),
         h.num_incidences()
     );
+    Ok(())
+}
+
+/// `pack <in> <out>`: read any supported format and write the
+/// compressed NWHYPAK1 on-disk image.
+fn cmd_pack(args: &Args) -> Result<(), String> {
+    let [input, output] = args.positional.as_slice() else {
+        return Err("pack: need <in> <out>".into());
+    };
+    let h = load(input)?;
+    let bytes =
+        nwhy::io::write_packed_file(Path::new(output), &h).map_err(|e| format!("{output}: {e}"))?;
+    let nnz = h.num_incidences();
+    let bpi = if nnz == 0 {
+        0.0
+    } else {
+        bytes as f64 / nnz as f64
+    };
+    println!(
+        "packed {input} → {output}: {bytes} bytes over {nnz} incidences, \
+         {bpi:.3} bytes/incidence (NWHYBIN1 stores 8.000)"
+    );
+    Ok(())
+}
+
+/// `info <file>`: header shape, per-section byte sizes, and an integrity
+/// check of a packed image — without materializing the hypergraph.
+fn cmd_info(args: &Args) -> Result<(), String> {
+    let path = args.positional.first().ok_or("info: missing <file>")?;
+    let c = nwhy::io::open_packed(Path::new(path), backend_choice(args)?)
+        .map_err(|e| format!("{path}: {e}"))?;
+    let s = c.stats();
+    println!("file:             {path}");
+    println!("format:           NWHYPAK1 v{}", nwhy::store::VERSION);
+    println!(
+        "backend:          {}",
+        if c.is_mapped() {
+            "mmap (zero-copy)"
+        } else {
+            "owned buffer"
+        }
+    );
+    println!("hyperedges |E|:   {}", c.num_hyperedges());
+    println!("hypernodes |V|:   {}", c.num_hypernodes());
+    println!("incidences:       {}", c.num_incidences());
+    println!("weighted:         {}", c.is_weighted());
+    println!("total bytes:      {}", s.total_bytes);
+    println!("  index bytes:    {}", s.index_bytes);
+    println!("  payload bytes:  {}", s.payload_bytes);
+    println!("  weights bytes:  {}", s.weights_bytes);
+    println!(
+        "bytes/incidence:  {:.3} (NWHYBIN1: 8.000)",
+        s.bytes_per_incidence()
+    );
+    c.check_integrity()
+        .map_err(|e| format!("{path}: integrity check failed: {e}"))?;
+    println!("integrity:        ok");
     Ok(())
 }
 
@@ -554,7 +795,7 @@ mod tests {
     fn save_load_roundtrip_all_extensions() {
         let h = nwhy::core::fixtures::paper_hypergraph();
         let dir = std::env::temp_dir();
-        for ext in ["mtx", "tsv", "bin", "hgr"] {
+        for ext in ["mtx", "tsv", "bin", "hgr", "nwhypak"] {
             let path = dir.join(format!("nwhy_cli_test.{ext}"));
             let path = path.to_str().unwrap();
             save(path, &h).unwrap();
@@ -562,6 +803,67 @@ mod tests {
             assert_eq!(h, h2, "{ext}");
             let _ = std::fs::remove_file(path);
         }
+    }
+
+    #[test]
+    fn backend_flags_conflict() {
+        let args = Args::parse(&to_vec(&["--mmap", "--no-mmap"]));
+        assert!(backend_choice(&args).is_err());
+        assert!(matches!(
+            backend_choice(&Args::parse(&to_vec(&["--mmap"]))),
+            Ok(Backend::Mmap)
+        ));
+        assert!(matches!(
+            backend_choice(&Args::parse(&to_vec(&["--no-mmap"]))),
+            Ok(Backend::Owned)
+        ));
+        assert!(matches!(
+            backend_choice(&Args::parse(&to_vec(&[]))),
+            Ok(Backend::Auto)
+        ));
+    }
+
+    #[test]
+    fn load_input_dispatches_on_extension_and_flags() {
+        let h = nwhy::core::fixtures::paper_hypergraph();
+        let dir = std::env::temp_dir();
+        let pak = dir.join(format!("nwhy_cli_input_{}.nwhypak", std::process::id()));
+        let hgr = dir.join(format!("nwhy_cli_input_{}.hgr", std::process::id()));
+        save(pak.to_str().unwrap(), &h).unwrap();
+        save(hgr.to_str().unwrap(), &h).unwrap();
+
+        // extension dispatch: .nwhypak opens packed, .hgr parses in memory
+        let args = Args::parse(&[]);
+        let packed = load_input(&args, pak.to_str().unwrap()).unwrap();
+        assert!(matches!(packed, Input::Packed(_)));
+        assert_eq!(packed.num_hyperedges(), h.num_hyperedges());
+        assert_eq!(packed.into_memory().unwrap(), h);
+        let memory = load_input(&args, hgr.to_str().unwrap()).unwrap();
+        assert!(matches!(memory, Input::Memory(_)));
+
+        // --no-mmap keeps a packed input on the owned-buffer backend
+        let owned = Args::parse(&to_vec(&["--no-mmap"]));
+        if let Input::Packed(c) = load_input(&owned, pak.to_str().unwrap()).unwrap() {
+            assert!(!c.is_mapped());
+        } else {
+            panic!("expected packed input");
+        }
+
+        let _ = std::fs::remove_file(&pak);
+        let _ = std::fs::remove_file(&hgr);
+    }
+
+    #[test]
+    fn packed_stats_matches_in_memory_stats() {
+        let h = nwhy::core::fixtures::paper_hypergraph();
+        let c = CompressedHypergraph::from_bytes(nwhy::store::pack_hypergraph(&h)).unwrap();
+        let from_packed = packed_stats(&c).unwrap();
+        let from_memory = h.stats();
+        assert_eq!(from_packed.num_hyperedges, from_memory.num_hyperedges);
+        assert_eq!(from_packed.num_hypernodes, from_memory.num_hypernodes);
+        assert_eq!(from_packed.num_incidences, from_memory.num_incidences);
+        assert_eq!(from_packed.max_edge_degree, from_memory.max_edge_degree);
+        assert_eq!(from_packed.max_node_degree, from_memory.max_node_degree);
     }
 }
 
@@ -579,6 +881,8 @@ fn span_name(cmd: &str) -> &'static str {
         "kcore" => "cli.kcore",
         "pagerank" => "cli.pagerank",
         "gen" => "cli.gen",
+        "pack" => "cli.pack",
+        "info" => "cli.info",
         "convert" => "cli.convert",
         _ => "cli",
     }
@@ -625,6 +929,8 @@ fn main() -> ExitCode {
             "kcore" => cmd_kcore(&args),
             "pagerank" => cmd_pagerank(&args),
             "gen" => cmd_gen(&args),
+            "pack" => cmd_pack(&args),
+            "info" => cmd_info(&args),
             "convert" => cmd_convert(&args),
             _ => {
                 usage();

@@ -28,6 +28,7 @@ pub use nwhy_core as core;
 pub use nwhy_gen as gen;
 pub use nwhy_io as io;
 pub use nwhy_obs as obs;
+pub use nwhy_store as store;
 pub use nwhy_util as util;
 
 pub use nwhy_core::algorithms::kcore::KLCore;

@@ -1,0 +1,685 @@
+//! [`CompressedHypergraph`] — the `NWHYPAK1` image served through
+//! [`HyperAdjacency`], so every s-line kernel, BFS/CC, and s-metric in
+//! the workspace runs on the packed form unchanged.
+//!
+//! The image stays in its [`Storage`] (mmap or owned buffer); neighbor
+//! queries decode one gap-coded row into a small owned `Vec<Id>` on
+//! demand. Degree queries are cheaper still: they read only the row's
+//! length varint. Sequential scans ([`CompressedHypergraph::scan_edges`]
+//! and friends) decode the payload front to back with no index seeks,
+//! which is the access pattern the construction kernels and traversal
+//! benches actually exercise.
+
+use crate::format::{self, Header, FLAG_WEIGHTS, HEADER_LEN, SAMPLE_EVERY};
+use crate::storage::{Backend, Storage};
+use crate::varint;
+use crate::StoreError;
+use nwgraph::Csr;
+use nwhy_core::validate::{InvariantViolation, Validate};
+use nwhy_core::{ids, HyperAdjacency, Hypergraph, Id};
+use std::ops::Range;
+use std::path::Path;
+
+/// One packed CSR inside the image: section ranges (absolute byte
+/// offsets into the storage) plus its shape.
+#[derive(Debug, Clone)]
+struct PackedCsr {
+    rows: usize,
+    num_targets: usize,
+    index: Range<usize>,
+    payload: Range<usize>,
+    weights: Option<Range<usize>>,
+}
+
+impl PackedCsr {
+    /// Byte position (within the payload slice) where row `r` starts:
+    /// one sampled-index lookup plus at most `SAMPLE_EVERY - 1` row
+    /// skips.
+    fn row_pos(&self, bytes: &[u8], r: usize) -> Result<usize, StoreError> {
+        debug_assert!(r < self.rows);
+        let index = &bytes[self.index.clone()];
+        let payload = &bytes[self.payload.clone()];
+        let sample = r / SAMPLE_EVERY;
+        let off = format::read_u64_checked(index, sample * 8)?;
+        let mut pos = usize::try_from(off).map_err(|_| StoreError::CountOverflow {
+            what: "sampled row offset",
+            value: off,
+        })?;
+        if pos > payload.len() {
+            return Err(StoreError::Corrupt {
+                what: "sampled row offset beyond payload",
+                offset: sample * 8,
+            });
+        }
+        for _ in 0..(r % SAMPLE_EVERY) {
+            let len = varint::decode(payload, &mut pos)?;
+            for _ in 0..len {
+                varint::skip(payload, &mut pos)?;
+            }
+        }
+        Ok(pos)
+    }
+
+    /// Decodes row `r` into `out` (cleared first). `max_len` bounds the
+    /// claimed row length (the file's own `nnz`), so a corrupt length
+    /// varint cannot trigger an unbounded allocation.
+    fn decode_row_into(
+        &self,
+        bytes: &[u8],
+        r: usize,
+        max_len: usize,
+        out: &mut Vec<Id>,
+    ) -> Result<(), StoreError> {
+        let mut pos = self.row_pos(bytes, r)?;
+        let payload = &bytes[self.payload.clone()];
+        decode_one_row(payload, &mut pos, max_len, self.num_targets, out)
+    }
+
+    /// Length of row `r` — reads only the length varint.
+    fn row_len(&self, bytes: &[u8], r: usize) -> Result<usize, StoreError> {
+        let mut pos = self.row_pos(bytes, r)?;
+        let payload = &bytes[self.payload.clone()];
+        let len = varint::decode(payload, &mut pos)?;
+        usize::try_from(len).map_err(|_| StoreError::CountOverflow {
+            what: "row length",
+            value: len,
+        })
+    }
+}
+
+/// Decodes one `varint(len) + gaps` row at `payload[*pos..]` into `out`,
+/// checking the row length against `max_len` and every reconstructed
+/// value against `num_targets`.
+fn decode_one_row(
+    payload: &[u8],
+    pos: &mut usize,
+    max_len: usize,
+    num_targets: usize,
+    out: &mut Vec<Id>,
+) -> Result<(), StoreError> {
+    let len = varint::decode(payload, pos)?;
+    let len = usize::try_from(len)
+        .ok()
+        .filter(|&l| l <= max_len)
+        .ok_or(StoreError::Corrupt {
+            what: "row length exceeds incidence count",
+            offset: *pos,
+        })?;
+    out.clear();
+    out.reserve(len);
+    let mut prev: u64 = 0;
+    for i in 0..len {
+        let gap = varint::decode(payload, pos)?;
+        let v = if i == 0 {
+            gap
+        } else {
+            prev.checked_add(gap).ok_or(StoreError::Corrupt {
+                what: "gap sum overflow",
+                offset: *pos,
+            })?
+        };
+        if v >= num_targets as u64 {
+            return Err(StoreError::Corrupt {
+                what: "gap sum out of target bounds",
+                offset: *pos,
+            });
+        }
+        prev = v;
+        // lint: v < num_targets ≤ u32::MAX + 1 checked above
+        #[allow(clippy::cast_possible_truncation)]
+        out.push(v as Id);
+    }
+    Ok(())
+}
+
+/// Per-section byte sizes of an opened image — the raw material of the
+/// `nwhy-cli info` subcommand and the storage benches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StorageStats {
+    /// Total image size in bytes (header + all sections).
+    pub total_bytes: usize,
+    /// Bytes of the two sampled-offset index sections.
+    pub index_bytes: usize,
+    /// Bytes of the two gap-coded payload sections.
+    pub payload_bytes: usize,
+    /// Bytes of the two weights sections (0 when unweighted).
+    pub weights_bytes: usize,
+    /// Number of incidences.
+    pub nnz: usize,
+}
+
+impl StorageStats {
+    /// Compressed bytes per incidence, counting both CSR directions
+    /// (the `NWHYBIN1` yardstick stores 8 bytes per incidence once, so
+    /// compare against `8.0`).
+    pub fn bytes_per_incidence(&self) -> f64 {
+        if self.nnz == 0 {
+            return 0.0;
+        }
+        self.total_bytes as f64 / self.nnz as f64
+    }
+}
+
+/// A hypergraph served from a packed `NWHYPAK1` image without
+/// decompression: both bi-adjacency directions decode per row, on
+/// demand, straight out of the (possibly memory-mapped) byte image.
+#[derive(Debug)]
+pub struct CompressedHypergraph {
+    bytes: Storage,
+    n_e: usize,
+    n_v: usize,
+    nnz: usize,
+    edges: PackedCsr,
+    nodes: PackedCsr,
+}
+
+impl CompressedHypergraph {
+    /// Opens a `NWHYPAK1` file with the chosen [`Backend`].
+    pub fn open(path: &Path, backend: Backend) -> Result<Self, StoreError> {
+        Self::from_storage(Storage::open(path, backend)?)
+    }
+
+    /// Interprets an in-memory image (e.g. straight from
+    /// [`crate::pack_hypergraph`]) as a compressed hypergraph.
+    pub fn from_bytes(bytes: Vec<u8>) -> Result<Self, StoreError> {
+        Self::from_storage(Storage::Owned(bytes))
+    }
+
+    /// Parses and structurally checks the header against the image
+    /// size; payload bytes are validated lazily (or eagerly via
+    /// [`Validate`]).
+    pub fn from_storage(bytes: Storage) -> Result<Self, StoreError> {
+        let header = Header::parse(&bytes)?;
+        let n_e = count(header.n_e, "n_e")?;
+        let n_v = count(header.n_v, "n_v")?;
+        let nnz = count(header.nnz, "nnz")?;
+
+        let mut starts = [0usize; 7];
+        starts[0] = HEADER_LEN;
+        for i in 0..6 {
+            let len = count(header.section_lens[i], "section length")?;
+            starts[i + 1] = starts[i].checked_add(len).ok_or(StoreError::Corrupt {
+                what: "section lengths overflow",
+                offset: 40 + 8 * i,
+            })?;
+        }
+        if starts[6] != bytes.len() {
+            return Err(if starts[6] > bytes.len() {
+                StoreError::Truncated {
+                    what: "section payload",
+                    offset: bytes.len(),
+                }
+            } else {
+                StoreError::Corrupt {
+                    what: "trailing bytes after last section",
+                    offset: starts[6],
+                }
+            });
+        }
+
+        let weighted = header.flags & FLAG_WEIGHTS != 0;
+        let expect_weights = if weighted { nnz * 8 } else { 0 };
+        for i in [4usize, 5] {
+            if starts[i + 1] - starts[i] != expect_weights {
+                return Err(StoreError::Corrupt {
+                    what: if weighted {
+                        "weights section length != 8 × nnz"
+                    } else {
+                        "weights section present without flag"
+                    },
+                    offset: starts[i],
+                });
+            }
+        }
+
+        let edges = packed_csr(n_e, n_v, &starts, 0, weighted.then_some(4))?;
+        let nodes = packed_csr(n_v, n_e, &starts, 2, weighted.then_some(5))?;
+
+        Ok(CompressedHypergraph {
+            bytes,
+            n_e,
+            n_v,
+            nnz,
+            edges,
+            nodes,
+        })
+    }
+
+    /// Number of hyperedges.
+    pub fn num_hyperedges(&self) -> usize {
+        self.n_e
+    }
+
+    /// Number of hypernodes.
+    pub fn num_hypernodes(&self) -> usize {
+        self.n_v
+    }
+
+    /// Number of incidences.
+    pub fn num_incidences(&self) -> usize {
+        self.nnz
+    }
+
+    /// `true` when the image carries per-incidence weights.
+    pub fn is_weighted(&self) -> bool {
+        self.edges.weights.is_some()
+    }
+
+    /// `true` when served by the mmap backend.
+    pub fn is_mapped(&self) -> bool {
+        self.bytes.is_mapped()
+    }
+
+    /// Section-level size accounting.
+    pub fn stats(&self) -> StorageStats {
+        StorageStats {
+            total_bytes: self.bytes.len(),
+            index_bytes: self.edges.index.len() + self.nodes.index.len(),
+            payload_bytes: self.edges.payload.len() + self.nodes.payload.len(),
+            weights_bytes: self.edges.weights.as_ref().map_or(0, Range::len)
+                + self.nodes.weights.as_ref().map_or(0, Range::len),
+            nnz: self.nnz,
+        }
+    }
+
+    /// Decodes the member hypernodes of hyperedge `e`.
+    ///
+    /// # Errors
+    /// Reports payload corruption; a file that passed [`Validate`] never
+    /// errors here.
+    pub fn edge_row(&self, e: Id) -> Result<Vec<Id>, StoreError> {
+        let mut out = Vec::new();
+        self.edges
+            .decode_row_into(&self.bytes, ids::to_usize(e), self.nnz, &mut out)?;
+        Ok(out)
+    }
+
+    /// Decodes the incident hyperedges of hypernode `v`.
+    ///
+    /// # Errors
+    /// Reports payload corruption, as [`CompressedHypergraph::edge_row`].
+    pub fn node_row(&self, v: Id) -> Result<Vec<Id>, StoreError> {
+        let mut out = Vec::new();
+        self.nodes
+            .decode_row_into(&self.bytes, ids::to_usize(v), self.nnz, &mut out)?;
+        Ok(out)
+    }
+
+    /// Size of hyperedge `e` — reads only the length varint.
+    ///
+    /// # Errors
+    /// Reports payload corruption.
+    pub fn edge_row_len(&self, e: Id) -> Result<usize, StoreError> {
+        self.edges.row_len(&self.bytes, ids::to_usize(e))
+    }
+
+    /// Degree of hypernode `v` — reads only the length varint.
+    ///
+    /// # Errors
+    /// Reports payload corruption.
+    pub fn node_row_len(&self, v: Id) -> Result<usize, StoreError> {
+        self.nodes.row_len(&self.bytes, ids::to_usize(v))
+    }
+
+    /// Streams every hyperedge row front to back (no index seeks),
+    /// reusing one decode buffer. The visitor gets `(hyperedge, members)`.
+    ///
+    /// # Errors
+    /// Reports payload corruption at the first bad row.
+    pub fn scan_edges(&self, f: impl FnMut(Id, &[Id])) -> Result<(), StoreError> {
+        scan(&self.edges, &self.bytes, self.nnz, f)
+    }
+
+    /// Streams every hypernode row front to back, as
+    /// [`CompressedHypergraph::scan_edges`].
+    ///
+    /// # Errors
+    /// Reports payload corruption at the first bad row.
+    pub fn scan_nodes(&self, f: impl FnMut(Id, &[Id])) -> Result<(), StoreError> {
+        scan(&self.nodes, &self.bytes, self.nnz, f)
+    }
+
+    /// Fully decompresses back into an in-memory [`Hypergraph`]
+    /// (including weights when present) — the exact inverse of
+    /// [`crate::pack_hypergraph`].
+    ///
+    /// # Errors
+    /// Reports payload corruption.
+    pub fn to_hypergraph(&self) -> Result<Hypergraph, StoreError> {
+        let edges = self.unpack_csr(&self.edges)?;
+        let nodes = self.unpack_csr(&self.nodes)?;
+        Ok(Hypergraph::from_raw_parts(edges, nodes))
+    }
+
+    /// Decodes one packed CSR into a materialized [`Csr`].
+    fn unpack_csr(&self, packed: &PackedCsr) -> Result<Csr, StoreError> {
+        let mut offsets = Vec::with_capacity(packed.rows + 1);
+        offsets.push(0usize);
+        let mut targets: Vec<Id> = Vec::with_capacity(self.nnz);
+        let payload = &self.bytes[packed.payload.clone()];
+        let mut pos = 0usize;
+        let mut row = Vec::new();
+        for _ in 0..packed.rows {
+            decode_one_row(payload, &mut pos, self.nnz, packed.num_targets, &mut row)?;
+            targets.extend_from_slice(&row);
+            offsets.push(targets.len());
+        }
+        if pos != payload.len() {
+            return Err(StoreError::Corrupt {
+                what: "trailing bytes after last row",
+                offset: pos,
+            });
+        }
+        let weights = match &packed.weights {
+            None => None,
+            Some(range) => {
+                let ws = &self.bytes[range.clone()];
+                let mut out = Vec::with_capacity(ws.len() / 8);
+                for chunk in ws.chunks_exact(8) {
+                    let arr: [u8; 8] = chunk.try_into().expect("8-byte chunk");
+                    out.push(f64::from_le_bytes(arr));
+                }
+                Some(out)
+            }
+        };
+        Ok(Csr::from_raw_parts(
+            packed.num_targets,
+            offsets,
+            targets,
+            weights,
+        ))
+    }
+
+    /// Full integrity walk in storage-error terms: decodes every row of
+    /// both CSRs, re-derives the sampled index, and cross-checks the
+    /// incidence totals. The [`Validate`] impl builds on this and adds
+    /// the structural hypergraph invariants (mutual transposes, sorted
+    /// rows, typed-ID round trip).
+    pub fn check_integrity(&self) -> Result<(), StoreError> {
+        for packed in [&self.edges, &self.nodes] {
+            let payload = &self.bytes[packed.payload.clone()];
+            let index = &self.bytes[packed.index.clone()];
+            let mut pos = 0usize;
+            let mut total = 0usize;
+            let mut row = Vec::new();
+            for r in 0..packed.rows {
+                if r % SAMPLE_EVERY == 0 {
+                    let stored = format::read_u64_checked(index, (r / SAMPLE_EVERY) * 8)?;
+                    if stored != pos as u64 {
+                        return Err(StoreError::Corrupt {
+                            what: "sampled index disagrees with payload walk",
+                            offset: (r / SAMPLE_EVERY) * 8,
+                        });
+                    }
+                }
+                decode_one_row(payload, &mut pos, self.nnz, packed.num_targets, &mut row)?;
+                total += row.len();
+            }
+            if pos != payload.len() {
+                return Err(StoreError::Corrupt {
+                    what: "trailing bytes after last row",
+                    offset: pos,
+                });
+            }
+            if total != self.nnz {
+                return Err(StoreError::Corrupt {
+                    what: "row lengths do not sum to nnz",
+                    offset: pos,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Shared sequential-scan driver for the two packed CSRs.
+fn scan(
+    packed: &PackedCsr,
+    bytes: &[u8],
+    nnz: usize,
+    mut f: impl FnMut(Id, &[Id]),
+) -> Result<(), StoreError> {
+    let payload = &bytes[packed.payload.clone()];
+    let mut pos = 0usize;
+    let mut row = Vec::new();
+    for r in 0..packed.rows {
+        decode_one_row(payload, &mut pos, nnz, packed.num_targets, &mut row)?;
+        f(ids::from_usize(r), &row);
+    }
+    Ok(())
+}
+
+/// Converts a 64-bit header count to `usize`.
+fn count(value: u64, what: &'static str) -> Result<usize, StoreError> {
+    usize::try_from(value).map_err(|_| StoreError::CountOverflow { what, value })
+}
+
+/// Assembles one [`PackedCsr`] from the section-start table, checking
+/// the index section holds exactly `ceil(rows / SAMPLE_EVERY)` u64s.
+fn packed_csr(
+    rows: usize,
+    num_targets: usize,
+    starts: &[usize; 7],
+    first_section: usize,
+    weights_section: Option<usize>,
+) -> Result<PackedCsr, StoreError> {
+    let index = starts[first_section]..starts[first_section + 1];
+    let payload = starts[first_section + 1]..starts[first_section + 2];
+    let expected_samples = rows.div_ceil(SAMPLE_EVERY);
+    if index.len() != expected_samples * 8 {
+        return Err(StoreError::Corrupt {
+            what: "index section length != 8 × ceil(rows / 64)",
+            offset: index.start,
+        });
+    }
+    let weights = weights_section.map(|i| starts[i]..starts[i + 1]);
+    Ok(PackedCsr {
+        rows,
+        num_targets,
+        index,
+        payload,
+        weights,
+    })
+}
+
+impl HyperAdjacency for CompressedHypergraph {
+    type Neighbors<'a>
+        = Vec<Id>
+    where
+        Self: 'a;
+
+    #[inline]
+    fn num_hyperedges(&self) -> usize {
+        self.n_e
+    }
+    #[inline]
+    fn num_hypernodes(&self) -> usize {
+        self.n_v
+    }
+    /// Decodes the row on every call. Panics on payload corruption —
+    /// open-time checks plus [`Validate`] make that unreachable for
+    /// well-formed files, and the trait has no error channel by design
+    /// (in-memory representations cannot fail either).
+    fn edge_neighbors(&self, e: Id) -> Vec<Id> {
+        self.edge_row(e).expect("corrupt NWHYPAK1 edge payload")
+    }
+    /// See [`HyperAdjacency::edge_neighbors`] on this impl.
+    fn node_neighbors(&self, v: Id) -> Vec<Id> {
+        self.node_row(v).expect("corrupt NWHYPAK1 node payload")
+    }
+    /// Length-varint fast path: no row decode.
+    fn edge_degree(&self, e: Id) -> usize {
+        self.edge_row_len(e).expect("corrupt NWHYPAK1 edge payload")
+    }
+    /// Length-varint fast path: no row decode.
+    fn node_degree(&self, v: Id) -> usize {
+        self.node_row_len(v).expect("corrupt NWHYPAK1 node payload")
+    }
+}
+
+impl Validate for CompressedHypergraph {
+    /// Packed-form invariants: every varint decodes in bounds, the
+    /// sampled index agrees with a front-to-back payload walk, row
+    /// lengths sum to `nnz` in both directions, gap sums stay inside
+    /// the target ID space, and the decompressed structure satisfies
+    /// every [`Hypergraph`] invariant (monotone offsets, sorted rows,
+    /// mutual transposes — which is the typed-ID round trip: every raw
+    /// word in a node row names a decodable hyperedge row and vice
+    /// versa).
+    fn validate(&self) -> Result<(), InvariantViolation> {
+        if let Err(e) = self.check_integrity() {
+            return Err(InvariantViolation::PackedPayloadCorrupt {
+                detail: e.to_string(),
+            });
+        }
+        let h = self
+            .to_hypergraph()
+            .map_err(|e| InvariantViolation::PackedPayloadCorrupt {
+                detail: e.to_string(),
+            })?;
+        h.validate()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pack_hypergraph;
+    use nwhy_core::fixtures::paper_hypergraph;
+
+    fn packed_fixture() -> CompressedHypergraph {
+        CompressedHypergraph::from_bytes(pack_hypergraph(&paper_hypergraph())).unwrap()
+    }
+
+    #[test]
+    fn shape_matches_source() {
+        let h = paper_hypergraph();
+        let c = packed_fixture();
+        assert_eq!(c.num_hyperedges(), h.num_hyperedges());
+        assert_eq!(c.num_hypernodes(), h.num_hypernodes());
+        assert_eq!(c.num_incidences(), h.num_incidences());
+        assert!(!c.is_weighted());
+        assert!(!c.is_mapped());
+    }
+
+    #[test]
+    fn rows_match_source() {
+        let h = paper_hypergraph();
+        let c = packed_fixture();
+        for e in 0..ids::from_usize(h.num_hyperedges()) {
+            assert_eq!(c.edge_row(e).unwrap(), h.edge_members(e), "edge {e}");
+            assert_eq!(c.edge_row_len(e).unwrap(), h.edge_degree(e));
+        }
+        for v in 0..ids::from_usize(h.num_hypernodes()) {
+            assert_eq!(c.node_row(v).unwrap(), h.node_memberships(v), "node {v}");
+            assert_eq!(c.node_row_len(v).unwrap(), h.node_degree(v));
+        }
+    }
+
+    #[test]
+    fn roundtrips_to_hypergraph() {
+        let h = paper_hypergraph();
+        let c = packed_fixture();
+        assert_eq!(c.to_hypergraph().unwrap(), h);
+    }
+
+    #[test]
+    fn validates_clean_image() {
+        let c = packed_fixture();
+        assert_eq!(c.check_integrity().map_err(|e| e.to_string()), Ok(()));
+        assert_eq!(c.validate(), Ok(()));
+    }
+
+    #[test]
+    fn scan_visits_every_row_in_order() {
+        let h = paper_hypergraph();
+        let c = packed_fixture();
+        let mut seen = Vec::new();
+        c.scan_edges(|e, row| seen.push((e, row.to_vec()))).unwrap();
+        assert_eq!(seen.len(), h.num_hyperedges());
+        for (e, row) in &seen {
+            assert_eq!(row, h.edge_members(*e));
+        }
+    }
+
+    #[test]
+    fn stats_beat_binary_bytes_per_incidence() {
+        let c = packed_fixture();
+        let stats = c.stats();
+        assert_eq!(stats.nnz, 18);
+        assert_eq!(
+            stats.total_bytes,
+            pack_hypergraph(&paper_hypergraph()).len()
+        );
+        assert!(stats.payload_bytes > 0);
+    }
+
+    #[test]
+    fn corrupt_payload_is_reported() {
+        let mut img = pack_hypergraph(&paper_hypergraph());
+        // Flip a payload byte to an overlong continuation marker.
+        let last = img.len() - 1;
+        img[last] = 0x80;
+        let c = CompressedHypergraph::from_bytes(img).unwrap();
+        assert!(c.check_integrity().is_err());
+        assert!(matches!(
+            c.validate(),
+            Err(InvariantViolation::PackedPayloadCorrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn truncated_image_is_rejected_at_open() {
+        let img = pack_hypergraph(&paper_hypergraph());
+        let cut = img.len() - 3;
+        assert!(matches!(
+            CompressedHypergraph::from_bytes(img[..cut].to_vec()),
+            Err(StoreError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected_at_open() {
+        let mut img = pack_hypergraph(&paper_hypergraph());
+        img.extend_from_slice(b"junk");
+        assert!(matches!(
+            CompressedHypergraph::from_bytes(img),
+            Err(StoreError::Corrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn id_boundary_roundtrips_through_codec() {
+        // Values at the top of the 32-bit ID space: a full hypergraph
+        // with n_v ≈ u32::MAX is not materializable (the dense transpose
+        // alone would need tens of gigabytes), so exercise the codec on
+        // a raw CSR whose target *space* is u32::MAX while holding only
+        // a handful of rows.
+        let big = u32::MAX - 1;
+        let csr = nwgraph::Csr::from_raw_parts(
+            u32::MAX as usize,
+            vec![0, 2, 2, 3],
+            vec![5, big, big],
+            None,
+        );
+        let (index, payload) = crate::format::pack_csr(&csr);
+        assert_eq!(index.len(), 8); // ceil(3/64) = 1 sample
+        let mut pos = 0;
+        let mut out = Vec::new();
+        for r in 0..3u32 {
+            decode_one_row(&payload, &mut pos, 3, u32::MAX as usize, &mut out).unwrap();
+            assert_eq!(&out[..], csr.neighbors(r), "row {r}");
+        }
+        assert_eq!(pos, payload.len());
+    }
+
+    #[test]
+    fn empty_hypergraph_packs_and_opens() {
+        let h = Hypergraph::from_memberships(&[]);
+        let c = CompressedHypergraph::from_bytes(pack_hypergraph(&h)).unwrap();
+        assert_eq!(c.num_hyperedges(), 0);
+        assert_eq!(c.num_hypernodes(), 0);
+        assert_eq!(c.validate(), Ok(()));
+        assert_eq!(c.to_hypergraph().unwrap(), h);
+    }
+}

@@ -1,0 +1,107 @@
+//! Error taxonomy for the storage layer.
+
+use std::fmt;
+use std::io;
+
+/// Everything that can go wrong packing, opening, or decoding an
+/// `NWHYPAK1` file. Structural errors carry the byte offset of the
+/// first inconsistency so a corrupt file can be diagnosed with a hex
+/// dump.
+#[derive(Debug)]
+pub enum StoreError {
+    /// The underlying file could not be read or written.
+    Io(io::Error),
+    /// The file does not start with the `NWHYPAK1` magic.
+    BadMagic {
+        /// The first eight bytes actually found (zero-padded if short).
+        found: [u8; 8],
+    },
+    /// The header's format version is not one this build understands.
+    BadVersion {
+        /// The version field from the header.
+        found: u32,
+    },
+    /// The header carries flag bits this build does not know. Refusing
+    /// (rather than ignoring) keeps future format extensions safe: an
+    /// old reader never silently misinterprets new sections.
+    UnknownFlags {
+        /// The offending flags word.
+        flags: u32,
+    },
+    /// The buffer ended before a complete value could be read.
+    Truncated {
+        /// What was being decoded.
+        what: &'static str,
+        /// Byte offset (within the section being decoded) of the read.
+        offset: usize,
+    },
+    /// A structurally impossible encoding: overlong varint, row length
+    /// exceeding the file's own incidence count, sampled index entry
+    /// pointing outside the payload, and similar.
+    Corrupt {
+        /// Which invariant broke.
+        what: &'static str,
+        /// Byte offset (within the section being decoded) of the
+        /// violation.
+        offset: usize,
+    },
+    /// A 64-bit header count does not fit the host's `usize` (only
+    /// possible on 32-bit hosts, but checked everywhere).
+    CountOverflow {
+        /// Which count overflowed.
+        what: &'static str,
+        /// The value that did not fit.
+        value: u64,
+    },
+    /// The requested backend is not available in this build/platform
+    /// (e.g. `Backend::Mmap` with the `mmap` feature off or on
+    /// non-unix).
+    BackendUnavailable {
+        /// Which backend was requested.
+        backend: &'static str,
+    },
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "i/o error: {e}"),
+            StoreError::BadMagic { found } => {
+                write!(f, "not an NWHYPAK1 file (magic {:02x?})", found)
+            }
+            StoreError::BadVersion { found } => {
+                write!(f, "unsupported NWHYPAK1 version {found}")
+            }
+            StoreError::UnknownFlags { flags } => {
+                write!(f, "unknown NWHYPAK1 flag bits {flags:#x}")
+            }
+            StoreError::Truncated { what, offset } => {
+                write!(f, "truncated while reading {what} at byte {offset}")
+            }
+            StoreError::Corrupt { what, offset } => {
+                write!(f, "corrupt NWHYPAK1 payload: {what} at byte {offset}")
+            }
+            StoreError::CountOverflow { what, value } => {
+                write!(f, "{what} {value} does not fit this host's usize")
+            }
+            StoreError::BackendUnavailable { backend } => {
+                write!(f, "{backend} backend not available in this build")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for StoreError {
+    fn from(e: io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}

@@ -1,0 +1,183 @@
+//! Read-only memory mapping — **the only module in the workspace where
+//! `unsafe` is permitted**.
+//!
+//! Everything here is the thinnest possible wrapper over two syscalls,
+//! `mmap(2)` and `munmap(2)`, declared directly (std already links
+//! libc, so no new dependency is needed). The safety argument, in full
+//! (DESIGN.md §8 carries the normative version):
+//!
+//! - The mapping is `PROT_READ` + `MAP_PRIVATE`: the kernel guarantees
+//!   no write-through, and private copy-on-write semantics mean another
+//!   process truncating pages cannot inject writes into ours.
+//! - The length is taken from `fstat` at map time and never changes;
+//!   the `&[u8]` views handed out are always within `[ptr, ptr + len)`.
+//! - The pointer is owned uniquely by [`Mmap`]; `Drop` is the only
+//!   place it is unmapped, so no view can outlive the mapping (views
+//!   borrow the `Mmap`).
+//! - Residual risk, documented rather than hidden: if another process
+//!   truncates the *file* after mapping, touching a no-longer-backed
+//!   page raises `SIGBUS`. That is a process-fatal signal, not memory
+//!   unsafety (no torn or dangling reads are possible), and it is the
+//!   same contract every mmap consumer on unix accepts. Callers who
+//!   cannot accept it use `Backend::Owned`.
+//!
+//! `cargo xtask lint` (the `unsafe-confinement` rule) verifies no other
+//! file in the tree contains `unsafe`, and that every unsafe block here
+//! carries a `// SAFETY:` comment.
+#![allow(unsafe_code)] // lint: the audited mmap island — see module docs
+#![deny(unsafe_op_in_unsafe_fn)]
+
+use std::ffi::c_void;
+use std::fs::File;
+use std::io;
+use std::os::unix::io::AsRawFd;
+
+/// `PROT_READ` on every unix this workspace targets.
+const PROT_READ: i32 = 1;
+/// `MAP_PRIVATE` on every unix this workspace targets.
+const MAP_PRIVATE: i32 = 2;
+
+extern "C" {
+    /// `mmap(2)`. `offset` is `off_t`, 64-bit on every supported
+    /// target (LP64 unix).
+    fn mmap(
+        addr: *mut c_void,
+        len: usize,
+        prot: i32,
+        flags: i32,
+        fd: i32,
+        offset: i64,
+    ) -> *mut c_void;
+    /// `munmap(2)`.
+    fn munmap(addr: *mut c_void, len: usize) -> i32;
+}
+
+/// An owned, read-only, private memory mapping of an entire file.
+///
+/// Zero-length files are represented with a null pointer and no
+/// syscall: `mmap` rejects `len == 0`, and an empty slice needs no
+/// backing.
+#[derive(Debug)]
+pub struct Mmap {
+    ptr: *mut c_void,
+    len: usize,
+}
+
+// SAFETY: the mapping is immutable for its whole lifetime (PROT_READ,
+// never remapped, never written through) and unmapped exactly once in
+// Drop, so sharing or moving it across threads cannot race: concurrent
+// access is read-only access to bytes the kernel will not change under
+// MAP_PRIVATE.
+unsafe impl Send for Mmap {}
+// SAFETY: as above — &Mmap only exposes immutable byte reads.
+unsafe impl Sync for Mmap {}
+
+impl Mmap {
+    /// Maps the whole of `file` read-only.
+    pub fn map(file: &File) -> io::Result<Mmap> {
+        let len = file.metadata()?.len();
+        let len = usize::try_from(len).map_err(|_| {
+            io::Error::new(io::ErrorKind::InvalidData, "file exceeds address space")
+        })?;
+        if len == 0 {
+            return Ok(Mmap {
+                ptr: std::ptr::null_mut(),
+                len: 0,
+            });
+        }
+        // SAFETY: plain FFI call with a live fd (the File borrow
+        // outlives the call), a length that is exactly the file's
+        // current size, and no requested address. The kernel validates
+        // everything else and reports failure via MAP_FAILED, which is
+        // checked below before the pointer is ever used.
+        let ptr = unsafe {
+            mmap(
+                std::ptr::null_mut(),
+                len,
+                PROT_READ,
+                MAP_PRIVATE,
+                file.as_raw_fd(),
+                0,
+            )
+        };
+        if ptr.addr() == usize::MAX {
+            // MAP_FAILED is (void *)-1.
+            return Err(io::Error::last_os_error());
+        }
+        Ok(Mmap { ptr, len })
+    }
+
+    /// The mapped bytes.
+    #[inline]
+    pub fn as_slice(&self) -> &[u8] {
+        if self.len == 0 {
+            return &[];
+        }
+        // SAFETY: `ptr` came from a successful mmap of exactly `len`
+        // bytes, is non-null (len > 0 branch), is never unmapped before
+        // Drop, and the mapping is PROT_READ so the pointed-to bytes
+        // are valid, initialized (file-backed pages), and immutable for
+        // the lifetime of the returned borrow, which cannot outlive
+        // `self`.
+        unsafe { std::slice::from_raw_parts(self.ptr.cast::<u8>(), self.len) }
+    }
+
+    /// Mapped length in bytes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` for a zero-length mapping.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+impl Drop for Mmap {
+    fn drop(&mut self) {
+        if self.len == 0 {
+            return;
+        }
+        // SAFETY: `ptr`/`len` describe a mapping obtained from mmap and
+        // not yet unmapped (Drop runs at most once); after this call
+        // nothing dereferences the pointer again. The return value is
+        // deliberately ignored: munmap only fails for invalid inputs,
+        // which the invariant above rules out, and a failed unmap in a
+        // destructor has no recovery anyway.
+        let _ = unsafe { munmap(self.ptr, self.len) };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    #[test]
+    fn maps_and_reads_back() {
+        let mut p = std::env::temp_dir();
+        p.push(format!("nwhy-mmap-test-{}", std::process::id()));
+        let mut f = File::create(&p).unwrap();
+        f.write_all(b"The quick brown fox").unwrap();
+        drop(f);
+        let m = Mmap::map(&File::open(&p).unwrap()).unwrap();
+        assert_eq!(m.as_slice(), b"The quick brown fox");
+        assert_eq!(m.len(), 19);
+        assert!(!m.is_empty());
+        drop(m);
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn empty_file_maps_to_empty_slice() {
+        let mut p = std::env::temp_dir();
+        p.push(format!("nwhy-mmap-empty-{}", std::process::id()));
+        File::create(&p).unwrap();
+        let m = Mmap::map(&File::open(&p).unwrap()).unwrap();
+        assert!(m.is_empty());
+        assert_eq!(m.as_slice(), b"");
+        std::fs::remove_file(&p).ok();
+    }
+}

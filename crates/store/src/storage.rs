@@ -1,0 +1,148 @@
+//! The [`Storage`] abstraction: where the packed bytes live.
+//!
+//! Decoding code never knows (or cares) whether the `NWHYPAK1` image is
+//! a memory-mapped file or an owned heap buffer — both deref to
+//! `&[u8]`. The mmap arm only exists on unix with the `mmap` cargo
+//! feature; everything else (including `--no-default-features` builds,
+//! which is what proves the fallback is self-sufficient) uses the
+//! pure-safe owned path.
+
+use crate::StoreError;
+use std::fs::File;
+use std::io::Read;
+use std::ops::Deref;
+use std::path::Path;
+
+/// Backend selection for [`Storage::open`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Backend {
+    /// Memory-map when the build/platform supports it, otherwise read
+    /// into an owned buffer.
+    #[default]
+    Auto,
+    /// Require the mmap backend; error with
+    /// [`StoreError::BackendUnavailable`] when it is compiled out.
+    Mmap,
+    /// Always read into an owned buffer (the `--no-mmap` path).
+    Owned,
+}
+
+/// A read-only byte image: either a private memory mapping of the file
+/// or the file's contents read into a `Vec`.
+#[derive(Debug)]
+pub enum Storage {
+    /// Owned heap buffer (safe fallback, and the form used for
+    /// in-memory packing round trips).
+    Owned(Vec<u8>),
+    /// Read-only memory mapping (unix + `mmap` feature only).
+    #[cfg(all(unix, feature = "mmap"))]
+    Mapped(crate::mmap::Mmap),
+}
+
+impl Storage {
+    /// Opens `path` with the requested backend.
+    pub fn open(path: &Path, backend: Backend) -> Result<Storage, StoreError> {
+        match backend {
+            Backend::Owned => Self::open_owned(path),
+            #[cfg(all(unix, feature = "mmap"))]
+            Backend::Mmap | Backend::Auto => {
+                let file = File::open(path)?;
+                Ok(Storage::Mapped(crate::mmap::Mmap::map(&file)?))
+            }
+            #[cfg(not(all(unix, feature = "mmap")))]
+            Backend::Auto => Self::open_owned(path),
+            #[cfg(not(all(unix, feature = "mmap")))]
+            Backend::Mmap => Err(StoreError::BackendUnavailable { backend: "mmap" }),
+        }
+    }
+
+    /// The pure-safe path: read the whole file into a `Vec`.
+    fn open_owned(path: &Path) -> Result<Storage, StoreError> {
+        let mut file = File::open(path)?;
+        let mut buf = Vec::new();
+        file.read_to_end(&mut buf)?;
+        Ok(Storage::Owned(buf))
+    }
+
+    /// `true` when this image is served by the mmap backend.
+    pub fn is_mapped(&self) -> bool {
+        match self {
+            Storage::Owned(_) => false,
+            #[cfg(all(unix, feature = "mmap"))]
+            Storage::Mapped(_) => true,
+        }
+    }
+}
+
+impl Deref for Storage {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        match self {
+            Storage::Owned(v) => v,
+            #[cfg(all(unix, feature = "mmap"))]
+            Storage::Mapped(m) => m.as_slice(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    fn tmp(name: &str, contents: &[u8]) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("nwhy-store-test-{}-{name}", std::process::id()));
+        let mut f = File::create(&p).unwrap();
+        f.write_all(contents).unwrap();
+        p
+    }
+
+    #[test]
+    fn owned_backend_reads_file() {
+        let p = tmp("owned", b"hello bytes");
+        let s = Storage::open(&p, Backend::Owned).unwrap();
+        assert_eq!(&*s, b"hello bytes");
+        assert!(!s.is_mapped());
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn auto_backend_reads_file() {
+        let p = tmp("auto", b"0123456789");
+        let s = Storage::open(&p, Backend::Auto).unwrap();
+        assert_eq!(&*s, b"0123456789");
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[cfg(all(unix, feature = "mmap"))]
+    #[test]
+    fn mmap_backend_maps_file() {
+        let p = tmp("mapped", b"mapped contents");
+        let s = Storage::open(&p, Backend::Mmap).unwrap();
+        assert_eq!(&*s, b"mapped contents");
+        assert!(s.is_mapped());
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[cfg(all(unix, feature = "mmap"))]
+    #[test]
+    fn mmap_backend_handles_empty_file() {
+        let p = tmp("empty", b"");
+        let s = Storage::open(&p, Backend::Mmap).unwrap();
+        assert_eq!(&*s, b"");
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[cfg(not(all(unix, feature = "mmap")))]
+    #[test]
+    fn mmap_backend_reports_unavailable() {
+        let p = tmp("unavail", b"x");
+        assert!(matches!(
+            Storage::open(&p, Backend::Mmap),
+            Err(StoreError::BackendUnavailable { .. })
+        ));
+        std::fs::remove_file(&p).ok();
+    }
+}

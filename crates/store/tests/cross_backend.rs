@@ -1,0 +1,103 @@
+//! Cross-backend agreement: every s-line construction algorithm, BFS,
+//! and CC must produce identical results on the compressed on-disk
+//! representation and on the pointer-based in-memory bi-adjacency.
+//!
+//! This is the acceptance gate for the zero-copy storage subsystem: the
+//! kernels are generic over `HyperAdjacency`, so the only way results can
+//! diverge is a codec bug — which is exactly what this test exists to
+//! catch.
+
+use nwhy_core::algorithms::{hyper_bfs_generic, hyper_cc_generic};
+use nwhy_core::{Algorithm, Hypergraph, SLineBuilder};
+use nwhy_gen::powerlaw::PowerlawParams;
+use nwhy_gen::{powerlaw_hypergraph, uniform_random};
+use nwhy_store::{pack_hypergraph, CompressedHypergraph};
+
+fn fixtures() -> Vec<(&'static str, Hypergraph)> {
+    vec![
+        (
+            "uniform",
+            uniform_random(
+                /* nodes */ 60, /* edges */ 40, /* size */ 4, 0xC0FFEE,
+            ),
+        ),
+        (
+            "powerlaw",
+            powerlaw_hypergraph(PowerlawParams {
+                num_nodes: 80,
+                num_edges: 50,
+                avg_node_degree: 3.0,
+                node_exponent: 2.5,
+                edge_exponent: 2.5,
+                seed: 42,
+            }),
+        ),
+        (
+            "degenerate",
+            Hypergraph::from_memberships(&[vec![], vec![7], vec![0, 1, 2], vec![1, 2], vec![7]]),
+        ),
+    ]
+}
+
+fn compress(h: &Hypergraph) -> CompressedHypergraph {
+    CompressedHypergraph::from_bytes(pack_hypergraph(h)).expect("pack image must open")
+}
+
+#[test]
+fn all_algorithms_agree_across_backends() {
+    for (name, h) in fixtures() {
+        let c = compress(&h);
+        for algorithm in Algorithm::ALL {
+            for s in 1..=3 {
+                let on_memory = SLineBuilder::new(&h).algorithm(algorithm).s(s).edges();
+                let on_packed = SLineBuilder::new(&c).algorithm(algorithm).s(s).edges();
+                assert_eq!(
+                    on_memory,
+                    on_packed,
+                    "{name}: {} disagrees at s={s}",
+                    algorithm.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn weighted_and_ensemble_agree_across_backends() {
+    for (name, h) in fixtures() {
+        let c = compress(&h);
+        for s in 1..=3 {
+            assert_eq!(
+                SLineBuilder::new(&h).s(s).weighted_edges(),
+                SLineBuilder::new(&c).s(s).weighted_edges(),
+                "{name}: weighted s={s}"
+            );
+        }
+        assert_eq!(
+            SLineBuilder::new(&h).ensemble_edges(&[1, 2, 3]),
+            SLineBuilder::new(&c).ensemble_edges(&[1, 2, 3]),
+            "{name}: ensemble"
+        );
+    }
+}
+
+#[test]
+fn traversals_agree_across_backends() {
+    for (name, h) in fixtures() {
+        if h.num_hyperedges() == 0 {
+            continue;
+        }
+        let c = compress(&h);
+        let bfs_mem = hyper_bfs_generic(&h, 0);
+        let bfs_pak = hyper_bfs_generic(&c, 0);
+        assert_eq!(
+            bfs_mem.edge_levels, bfs_pak.edge_levels,
+            "{name}: BFS edge levels"
+        );
+        assert_eq!(
+            bfs_mem.node_levels, bfs_pak.node_levels,
+            "{name}: BFS node levels"
+        );
+        assert_eq!(hyper_cc_generic(&h), hyper_cc_generic(&c), "{name}: CC");
+    }
+}

@@ -16,13 +16,18 @@
 //! | `untyped-id-arithmetic` | all of crates/ except ids.rs | inlined `± n_e` offset arithmetic and `±` on `.raw()`/`.idx()` |
 //! | `stray-atomic-import` | all of crates/ except util/src/sync.rs | direct `std::sync::atomic` use (incl. tests) |
 //! | `unjustified-allow` | all of crates/ | `#[allow(...)]` without a `// lint:` justification |
+//! | `unsafe-confinement` | all of crates/ | `unsafe` outside `crates/store/src/mmap.rs`; inside it, `unsafe` without a `// SAFETY:` argument |
 //!
 //! Any line (or its immediately preceding comment block) containing
 //! `// lint: <why>` is whitelisted — that comment *is* the audit trail.
 //! Rules `raw-pub-signature`, `unaudited-id-cast`, and
 //! `untyped-id-arithmetic` skip test code (everything from the first
-//! `#[cfg(test)]` line to the end of the file); the atomic and allow
-//! rules apply to tests too.
+//! `#[cfg(test)]` line to the end of the file); the atomic, allow, and
+//! unsafe rules apply to tests too. `unsafe-confinement` is the one rule
+//! with **no `// lint:` escape** outside the island: the confinement is
+//! absolute, so new unsafe code can only ever appear in the audited mmap
+//! module (inside it, the required marker is `// SAFETY:`, which doubles
+//! as the per-block proof obligation).
 
 use std::fmt;
 use std::fs;
@@ -38,6 +43,13 @@ pub const UNTYPED_ID_ARITHMETIC: &str = "untyped-id-arithmetic";
 pub const STRAY_ATOMIC_IMPORT: &str = "stray-atomic-import";
 /// Rule identifier for `#[allow]` attributes without a justification.
 pub const UNJUSTIFIED_ALLOW: &str = "unjustified-allow";
+/// Rule identifier for `unsafe` outside the audited mmap island (or
+/// inside it without a `// SAFETY:` argument).
+pub const UNSAFE_CONFINEMENT: &str = "unsafe-confinement";
+
+/// The single file where `unsafe` is permitted: the mmap syscall
+/// wrapper behind the zero-copy storage backend (DESIGN.md §8).
+const UNSAFE_ISLAND: &str = "crates/store/src/mmap.rs";
 
 /// One lint violation, pointing at a repo-relative `file:line`.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -76,9 +88,9 @@ fn in_signature_scope(file: &str) -> bool {
 }
 
 /// `true` when the line itself, or the comment block immediately above
-/// it, carries a `// lint: <why>` justification.
-fn justified(lines: &[&str], i: usize) -> bool {
-    if lines[i].contains("// lint:") {
+/// it, contains `marker`.
+fn marked(lines: &[&str], i: usize, marker: &str) -> bool {
+    if lines[i].contains(marker) {
         return true;
     }
     let mut j = i;
@@ -88,11 +100,24 @@ fn justified(lines: &[&str], i: usize) -> bool {
         if !t.starts_with("//") {
             return false;
         }
-        if t.contains("// lint:") {
+        if t.contains(marker) {
             return true;
         }
     }
     false
+}
+
+/// `true` when the line itself, or the comment block immediately above
+/// it, carries a `// lint: <why>` justification.
+fn justified(lines: &[&str], i: usize) -> bool {
+    marked(lines, i, "// lint:")
+}
+
+/// `true` when the line itself, or the comment block immediately above
+/// it, carries a `// SAFETY:` argument (the mmap island's per-block
+/// proof obligation).
+fn safety_documented(lines: &[&str], i: usize) -> bool {
+    marked(lines, i, "// SAFETY:")
 }
 
 fn is_ident_byte(c: u8) -> bool {
@@ -284,6 +309,42 @@ pub fn lint_file(path: &Path, content: &str) -> Vec<Finding> {
                      re-export); std::sync::atomic is sanctioned only in \
                      crates/util/src/sync.rs"
                         .to_string(),
+                ));
+            }
+        }
+    }
+
+    // Rule F: unsafe confinement (tests too). Outside the mmap island
+    // there is deliberately no `// lint:` escape — `unsafe` anywhere
+    // else in crates/ is a finding, full stop. Inside the island every
+    // `unsafe` token must carry a `// SAFETY:` argument on the same
+    // line or the comment block immediately above. Word-boundary
+    // matching keeps `forbid(unsafe_code)` / `unsafe_op_in_unsafe_fn`
+    // attribute lines out of scope.
+    if file.starts_with("crates/") {
+        for (i, l) in lines.iter().enumerate() {
+            if l.trim_start().starts_with("//") || !has_word(l, "unsafe") {
+                continue;
+            }
+            if file == UNSAFE_ISLAND {
+                if !safety_documented(&lines, i) {
+                    out.push(finding(
+                        UNSAFE_CONFINEMENT,
+                        i,
+                        "`unsafe` in the mmap island without a `// SAFETY:` argument \
+                         on the same line or the comment block immediately above"
+                            .to_string(),
+                    ));
+                }
+            } else {
+                out.push(finding(
+                    UNSAFE_CONFINEMENT,
+                    i,
+                    format!(
+                        "`unsafe` outside {UNSAFE_ISLAND} — the mmap syscall wrapper \
+                         is the only audited unsafe island in the workspace \
+                         (DESIGN.md §8); this rule has no `// lint:` escape"
+                    ),
                 ));
             }
         }

@@ -1,0 +1,10 @@
+//! Fixture: `unsafe` outside the mmap island. Never compiled.
+
+pub fn read_first(bytes: &[u8]) -> u8 {
+    // lint: even a justification comment must not whitelist this rule
+    unsafe { *bytes.get_unchecked(0) }
+}
+
+pub unsafe fn transmute_len(v: &[u32]) -> usize {
+    v.len()
+}

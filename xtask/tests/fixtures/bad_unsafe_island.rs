@@ -1,0 +1,12 @@
+//! Fixture: unsafe blocks inside the mmap island, one documented and
+//! one not. Never compiled.
+
+pub fn documented(bytes: &[u8]) -> u8 {
+    // SAFETY: fixture-level argument — the caller guarantees non-empty.
+    unsafe { *bytes.get_unchecked(0) }
+}
+
+pub fn undocumented(bytes: &[u8]) -> u8 {
+    // an ordinary comment is not a safety argument
+    unsafe { *bytes.get_unchecked(0) }
+}

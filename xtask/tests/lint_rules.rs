@@ -9,7 +9,7 @@
 use std::path::Path;
 use xtask::lint::{
     lint_file, lint_tree, to_json, RAW_PUB_SIGNATURE, STRAY_ATOMIC_IMPORT, UNAUDITED_ID_CAST,
-    UNJUSTIFIED_ALLOW, UNTYPED_ID_ARITHMETIC,
+    UNJUSTIFIED_ALLOW, UNSAFE_CONFINEMENT, UNTYPED_ID_ARITHMETIC,
 };
 
 /// Distinct rules hit when linting `src` as if it lived at `fake_path`.
@@ -68,6 +68,49 @@ fn bad_allow_fixture_trips_unjustified_allow() {
     let src = include_str!("fixtures/bad_allow.rs");
     let hits = rules_hit("crates/util/src/hash.rs", src);
     assert_eq!(hits, vec![UNJUSTIFIED_ALLOW]);
+}
+
+#[test]
+fn bad_unsafe_fixture_trips_confinement_everywhere_but_the_island() {
+    let src = include_str!("fixtures/bad_unsafe.rs");
+    // anywhere in crates/ — including test-heavy crates — unsafe is a
+    // finding, and the `// lint:` comment in the fixture does NOT
+    // whitelist it (this rule has no escape outside the island)
+    for fake in [
+        "crates/core/src/repr.rs",
+        "crates/bench/src/lib.rs",
+        "crates/store/src/storage.rs",
+    ] {
+        let findings = lint_file(Path::new(fake), src);
+        let hits: Vec<_> = findings
+            .iter()
+            .filter(|f| f.rule == UNSAFE_CONFINEMENT)
+            .collect();
+        assert_eq!(hits.len(), 2, "{fake}: {findings:?}");
+    }
+}
+
+#[test]
+fn island_unsafe_requires_safety_comment() {
+    let src = include_str!("fixtures/bad_unsafe_island.rs");
+    let findings = lint_file(Path::new("crates/store/src/mmap.rs"), src);
+    let hits: Vec<_> = findings
+        .iter()
+        .filter(|f| f.rule == UNSAFE_CONFINEMENT)
+        .collect();
+    // only the undocumented block fires; the `// SAFETY:`-annotated one
+    // is the sanctioned shape
+    assert_eq!(hits.len(), 1, "{findings:?}");
+    assert_eq!(hits[0].line, 11, "{hits:?}");
+}
+
+#[test]
+fn unsafe_attribute_tokens_do_not_trip_confinement() {
+    // `forbid(unsafe_code)` and `deny(unsafe_op_in_unsafe_fn)` carry no
+    // standalone `unsafe` word — the rule must leave them alone
+    let src = "#![forbid(unsafe_code)]\n#![deny(unsafe_op_in_unsafe_fn)]\nfn f() {}\n";
+    let findings = lint_file(Path::new("crates/core/src/lib.rs"), src);
+    assert!(findings.is_empty(), "{findings:?}");
 }
 
 #[test]
