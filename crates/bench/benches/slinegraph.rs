@@ -3,19 +3,50 @@
 //! kernel counters one run produced (backing Fig. 9 plus the
 //! machine-readable perf trajectory CI tracks).
 //!
+//! Beyond the Table I twins, two synthetic shapes exercise the adaptive
+//! intersection engine and the kernel planner:
+//!
+//! - `PowerLawSkew` — heavy-tailed degrees; the `auto` rows here back
+//!   the planner's acceptance claim (no more pairs/comparisons than the
+//!   best fixed kernel, within 5%);
+//! - `DenseOverlap` — a small hypernode universe with large hyperedges,
+//!   where the forced-path rows (`intersection-merge` vs
+//!   `intersection-bitset`) pin the bitset path's comparison-count win.
+//!
 //! Knobs: `NWHY_BENCH_SCALE` (twin down-scale factor, default 20 000 —
 //! larger is smaller/faster), `NWHY_TRIALS` (default 5), `NWHY_BENCH_OUT`
 //! (output directory, default `.`).
 
 use nwhy_bench::{bench_cell, env_usize, write_json, BenchRecord};
-use nwhy_core::{Algorithm, Hypergraph, SLineBuilder};
+use nwhy_core::{Algorithm, Hypergraph, OverlapPath, OverlapPolicy, SLineBuilder};
+use nwhy_gen::powerlaw::PowerlawParams;
 use nwhy_gen::profiles::profile_by_name;
+use nwhy_gen::uniform_random;
 
 fn datasets(scale: usize) -> Vec<(&'static str, Hypergraph)> {
-    ["com-Orkut", "Rand1"]
+    let mut out: Vec<(&'static str, Hypergraph)> = ["com-Orkut", "Rand1"]
         .iter()
         .map(|n| (*n, profile_by_name(n).unwrap().generate(scale, 42)))
-        .collect()
+        .collect();
+    // heavy-tailed degrees: a few huge hyperedges over many tiny ones,
+    // the shape the galloping path and queue promotion are built for
+    let skew_edges = (40_000_000 / scale.max(1)).clamp(64, 8_192);
+    out.push((
+        "PowerLawSkew",
+        nwhy_gen::powerlaw_hypergraph(PowerlawParams {
+            num_nodes: skew_edges,
+            num_edges: skew_edges,
+            avg_node_degree: 3.0,
+            node_exponent: 1.7,
+            edge_exponent: 1.7,
+            seed: 42,
+        }),
+    ));
+    // large hyperedges over a tiny universe: nearly every pair overlaps
+    // heavily, the regime where the packed-word bitset path wins
+    let dense_edges = (4_000_000 / scale.max(1)).clamp(48, 512);
+    out.push(("DenseOverlap", uniform_random(96, dense_edges, 48, 42)));
+    out
 }
 
 fn main() {
@@ -43,17 +74,44 @@ fn main() {
                     SLineBuilder::new(&h).s(s).algorithm(algo).edges()
                 });
                 println!(
-                    "{name:>10} s={s} {:<18} {:.4}s",
+                    "{name:>12} s={s} {:<20} {:.4}s",
                     rec.algorithm, rec.median_seconds
                 );
                 records.push(rec);
             }
+            // forced overlap paths through the intersection kernel, so
+            // the per-path comparison counts are directly comparable
+            for path in OverlapPath::ALL {
+                let label = format!("intersection-{}", path.name());
+                let rec = bench_cell("slinegraph", name, &label, Some(s), trials, || {
+                    SLineBuilder::new(&h)
+                        .s(s)
+                        .algorithm(Algorithm::Intersection)
+                        .overlap(OverlapPolicy::Force(path))
+                        .edges()
+                });
+                println!(
+                    "{name:>12} s={s} {:<20} {:.4}s",
+                    rec.algorithm, rec.median_seconds
+                );
+                records.push(rec);
+            }
+            // the planner's pick — its counters must track the best
+            // fixed kernel (the bench_json acceptance test checks this)
+            let rec = bench_cell("slinegraph", name, "auto", Some(s), trials, || {
+                SLineBuilder::new(&h).s(s).auto().edges()
+            });
+            println!(
+                "{name:>12} s={s} {:<20} {:.4}s",
+                rec.algorithm, rec.median_seconds
+            );
+            records.push(rec);
         }
         let rec = bench_cell("slinegraph", name, "Ensemble", None, trials, || {
             SLineBuilder::new(&h).ensemble_edges(&[1, 2, 4])
         });
         println!(
-            "{name:>10} s=[1,2,4] {:<15} {:.4}s",
+            "{name:>12} s=[1,2,4] {:<17} {:.4}s",
             rec.algorithm, rec.median_seconds
         );
         records.push(rec);

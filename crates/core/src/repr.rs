@@ -50,7 +50,10 @@ pub trait HyperAdjacency: Sync {
     /// Generic code treats the handle as a slice: bind it (`let nbrs =
     /// h.edge_neighbors(e);`), then index/iterate through deref
     /// (`nbrs.len()`, `nbrs.iter()`, `&nbrs[1..]`, `&*nbrs`).
-    type Neighbors<'a>: std::ops::Deref<Target = [Id]>
+    /// `Send` so a parallel kernel can keep a decoded row cached inside
+    /// its per-worker fold state (queue-intersection phase 2 reuses the
+    /// row across consecutive pairs sharing `e_i`).
+    type Neighbors<'a>: std::ops::Deref<Target = [Id]> + Send
     where
         Self: 'a;
 

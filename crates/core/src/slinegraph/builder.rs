@@ -37,23 +37,27 @@
 //! assert_eq!(strong, vec![(0, 1)]);
 //! ```
 
-use super::{canonicalize, ensemble, weighted, Algorithm, BuildOptions, Relabel};
+use super::{canonicalize, ensemble, planner, weighted, Algorithm, BuildOptions, Relabel};
 use crate::ids::{self, LocalId, Overlap, Relabeling};
 use crate::repr::{HyperAdjacency, RelabeledView};
+use crate::slinegraph::overlap::OverlapPolicy;
 use crate::Id;
 use nwgraph::{Csr, EdgeList};
 use nwhy_util::partition::Strategy;
 
 /// Fluent builder for s-line graphs over any [`HyperAdjacency`]
 /// representation. Defaults: `s = 1`, [`Algorithm::Hashmap`],
-/// [`Strategy::AUTO`], [`Relabel::None`].
+/// [`Strategy::AUTO`], [`Relabel::None`], [`OverlapPolicy::Adaptive`].
 #[derive(Debug, Clone, Copy)]
 pub struct SLineBuilder<'a, A: HyperAdjacency + ?Sized> {
     repr: &'a A,
     s: usize,
     algorithm: Algorithm,
+    /// `true` ⇒ the planner overrides `algorithm` per input.
+    auto: bool,
     strategy: Strategy,
     relabel: Relabel,
+    overlap: OverlapPolicy,
 }
 
 impl<'a, A: HyperAdjacency + ?Sized> SLineBuilder<'a, A> {
@@ -64,8 +68,10 @@ impl<'a, A: HyperAdjacency + ?Sized> SLineBuilder<'a, A> {
             repr,
             s: 1,
             algorithm: Algorithm::Hashmap,
+            auto: false,
             strategy: Strategy::AUTO,
             relabel: Relabel::None,
+            overlap: OverlapPolicy::default(),
         }
     }
 
@@ -78,9 +84,30 @@ impl<'a, A: HyperAdjacency + ?Sized> SLineBuilder<'a, A> {
 
     /// Which construction algorithm to run (ignored by the weighted and
     /// ensemble terminals, which are hashmap-counting by construction).
+    /// Cancels a previous [`SLineBuilder::auto`].
     #[must_use]
     pub fn algorithm(mut self, algorithm: Algorithm) -> Self {
         self.algorithm = algorithm;
+        self.auto = false;
+        self
+    }
+
+    /// Lets the [`planner`] pick the construction algorithm from the
+    /// input's structural features (degree skew, candidate work, `s`) —
+    /// the programmatic face of CLI `--kernel auto`. The planner's
+    /// choice never changes the result, only the work profile.
+    #[must_use]
+    pub fn auto(mut self) -> Self {
+        self.auto = true;
+        self
+    }
+
+    /// Per-pair overlap path policy for the intersection-based kernels
+    /// (adaptive by default; `Force(..)` pins one path for ablations).
+    /// Counting kernels ignore it.
+    #[must_use]
+    pub fn overlap(mut self, policy: OverlapPolicy) -> Self {
+        self.overlap = policy;
         self
     }
 
@@ -127,15 +154,28 @@ impl<'a, A: HyperAdjacency + ?Sized> SLineBuilder<'a, A> {
     ///
     /// # Panics
     /// Panics if `s == 0`.
+    /// The algorithm this build will run: the planner's pick under
+    /// [`SLineBuilder::auto`], the configured one otherwise. Exposed so
+    /// callers (the CLI, benches) can report the decision.
+    #[must_use]
+    pub fn resolved_algorithm(&self) -> Algorithm {
+        if self.auto {
+            planner::plan(self.repr, self.s).algorithm
+        } else {
+            self.algorithm
+        }
+    }
+
     #[must_use]
     pub fn edges(&self) -> Vec<(Id, Id)> {
         assert!(self.s >= 1, "s must be at least 1");
-        let _span = nwhy_obs::span(self.algorithm.span_name());
+        let algorithm = self.resolved_algorithm();
+        let _span = nwhy_obs::span(algorithm.span_name());
         match self.permutation() {
-            None => dispatch(self.repr, self.s, self.algorithm, self.strategy),
+            None => dispatch(self.repr, self.s, algorithm, self.strategy, self.overlap),
             Some(r) => {
                 let view = RelabeledView::from_relabeling(self.repr, &r);
-                let pairs = dispatch(&view, self.s, self.algorithm, self.strategy);
+                let pairs = dispatch(&view, self.s, algorithm, self.strategy, self.overlap);
                 canonicalize(
                     pairs
                         .into_iter()
@@ -279,11 +319,12 @@ pub(crate) fn dispatch<A: HyperAdjacency + ?Sized>(
     s: usize,
     algo: Algorithm,
     strategy: Strategy,
+    overlap: OverlapPolicy,
 ) -> Vec<(Id, Id)> {
     use super::{hashmap, intersection, naive, pair_sort, queue_single, queue_two_phase};
     match algo {
         Algorithm::Naive => naive::naive(h, s, strategy),
-        Algorithm::Intersection => intersection::intersection(h, s, strategy),
+        Algorithm::Intersection => intersection::intersection_with(h, s, strategy, overlap),
         Algorithm::Hashmap => hashmap::hashmap(h, s, strategy),
         Algorithm::QueueHashmap => {
             let queue: Vec<Id> = (0..ids::from_usize(h.num_hyperedges())).collect();
@@ -291,7 +332,7 @@ pub(crate) fn dispatch<A: HyperAdjacency + ?Sized>(
         }
         Algorithm::QueueIntersection => {
             let queue: Vec<Id> = (0..ids::from_usize(h.num_hyperedges())).collect();
-            queue_two_phase::queue_intersection(h, &queue, s, strategy)
+            queue_two_phase::queue_intersection_with(h, &queue, s, strategy, overlap)
         }
         Algorithm::PairSort => pair_sort::pair_sort(h, s),
     }

@@ -1,44 +1,89 @@
-//! Heuristic set-intersection s-line construction (Liu et al., HiPC 2021).
+//! Heuristic set-intersection s-line construction (Liu et al., HiPC 2021),
+//! driven by the adaptive overlap engine.
 //!
 //! The three-nested-loop "indirection" pattern: for each hyperedge `e_i`,
 //! for each incident hypernode `v`, for each hyperedge `e_j ∋ v` with
 //! `j > i` — each *distinct* candidate `e_j` is then checked with a
-//! short-circuiting sorted intersection that stops as soon as `s` common
-//! members are found. Three heuristics cut the work:
+//! short-circuiting overlap test that stops as soon as `s` common
+//! members are found. Three heuristics cut the candidate work:
 //!
 //! 1. skip hyperedges with fewer than `s` members (can never s-overlap);
 //! 2. visit each candidate pair once (`j > i` plus a per-worker visited
 //!    stamp array, so a pair sharing many hypernodes is intersected once);
-//! 3. short-circuit the intersection at `s`.
+//! 3. short-circuit the per-pair test at `s`.
+//!
+//! The per-pair test itself goes through [`super::overlap`]: the default
+//! [`OverlapPolicy::Adaptive`] loads dense expanded rows into a packed
+//! bitset and routes skewed pairs to a galloping search, falling back to
+//! the merge scan for similar-length rows; `Force(..)` pins one path for
+//! ablation benches and agreement tests.
 
+use super::overlap::{OverlapEngine, OverlapPolicy};
 use super::stats::KernelStats;
 use super::{canonicalize, HyperAdjacency};
 use crate::{ids, Id};
 use nwhy_util::partition::{par_for_each_index_with, Strategy};
 
 /// Worker-local state: the output pairs, the candidate-dedup stamps,
-/// and kernel tallies.
+/// the overlap engine (row bitset + path rule), and kernel tallies.
 struct Local {
     pairs: Vec<(Id, Id)>,
     /// `stamp[j] == current_i + 1` ⇒ candidate `j` already intersected
     /// for the hyperedge currently being expanded.
     stamp: Vec<Id>,
+    engine: OverlapEngine,
     stats: KernelStats,
 }
 
-/// Heuristic intersection construction; returns canonical pairs.
+/// Pre-sizes each worker's output vec from a sampled degree estimate:
+/// the expected candidate fan-out per row (Σ of incident node degrees,
+/// halved for the `j > i` filter), times this worker's share of the
+/// rows, capped so the hint never dominates memory. Cuts the doubling
+/// reallocs the old `Vec::new()` start paid on every worker.
+fn pair_capacity_hint<A: HyperAdjacency + ?Sized>(h: &A, workers: usize) -> usize {
+    let ne = h.num_hyperedges();
+    if ne == 0 {
+        return 0;
+    }
+    let samples = ne.min(64);
+    let mut fanout = 0usize;
+    for k in 0..samples {
+        let e = ids::from_usize(k * ne / samples);
+        for &v in h.edge_neighbors(e).iter() {
+            fanout += h.node_degree(v);
+        }
+    }
+    let per_row = fanout / samples / 2;
+    (ne * per_row / workers.max(1)).clamp(16, 1 << 14)
+}
+
+/// Heuristic intersection construction with the default adaptive overlap
+/// policy; returns canonical pairs.
 pub fn intersection<A: HyperAdjacency + ?Sized>(
     h: &A,
     s: usize,
     strategy: Strategy,
 ) -> Vec<(Id, Id)> {
+    intersection_with(h, s, strategy, OverlapPolicy::default())
+}
+
+/// Heuristic intersection construction with an explicit overlap policy.
+pub fn intersection_with<A: HyperAdjacency + ?Sized>(
+    h: &A,
+    s: usize,
+    strategy: Strategy,
+    policy: OverlapPolicy,
+) -> Vec<(Id, Id)> {
     let ne = h.num_hyperedges();
+    let universe = ne + h.num_hypernodes();
+    let capacity = pair_capacity_hint(h, strategy.bins().max(1));
     let locals = par_for_each_index_with(
         ne,
         strategy,
         || Local {
-            pairs: Vec::new(),
+            pairs: Vec::with_capacity(capacity),
             stamp: vec![0; ne],
+            engine: OverlapEngine::new(policy, universe),
             stats: KernelStats::default(),
         },
         |local, i| {
@@ -47,8 +92,13 @@ pub fn intersection<A: HyperAdjacency + ?Sized>(
             if nbrs_i.len() < s {
                 return;
             }
+            // hoist the one Deref through the row's whole expansion: the
+            // decoded slice (a real decode for compressed backends) is
+            // borrowed once and reused by every candidate check below
+            let row_i: &[Id] = &nbrs_i;
+            local.engine.begin_row(row_i);
             let mark = i + 1;
-            for &v in nbrs_i.iter() {
+            for &v in row_i {
                 for &raw in h.node_neighbors(v).iter() {
                     let j = h.edge_id(raw);
                     if j <= i || local.stamp[ids::to_usize(j)] == mark {
@@ -61,11 +111,12 @@ pub fn intersection<A: HyperAdjacency + ?Sized>(
                         local.stats.pairs_skipped(1);
                         continue;
                     }
-                    if local.stats.intersect_at_least(&nbrs_i, &nbrs_j, s) {
+                    if local.engine.overlaps(row_i, &nbrs_j, s, &mut local.stats) {
                         local.pairs.push((i, j));
                     }
                 }
             }
+            local.engine.end_row(row_i);
         },
     );
     let pairs: Vec<(Id, Id)> = locals
@@ -78,6 +129,7 @@ pub fn intersection<A: HyperAdjacency + ?Sized>(
 
 #[cfg(test)]
 mod tests {
+    use super::super::overlap::OverlapPath;
     use super::*;
     use crate::fixtures::{paper_hypergraph, paper_slinegraph_edges};
     use crate::hypergraph::Hypergraph;
@@ -126,5 +178,47 @@ mod tests {
                 "s={s}"
             );
         }
+    }
+
+    #[test]
+    fn every_overlap_policy_matches_fixture() {
+        let h = paper_hypergraph();
+        for path in OverlapPath::ALL {
+            for s in 1..=4 {
+                assert_eq!(
+                    intersection_with(&h, s, Strategy::AUTO, OverlapPolicy::Force(path)),
+                    paper_slinegraph_edges(s),
+                    "{} s={s}",
+                    path.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn adaptive_engages_bitset_rows_and_still_agrees() {
+        // one dense row (≥ BITSET_ROW_MIN_DEGREE) plus skewed small rows:
+        // exercises all three paths inside a single construction
+        let mut memberships: Vec<Vec<Id>> = vec![(0..64).collect()];
+        memberships.push((0..8).collect());
+        memberships.push(vec![0, 64]);
+        memberships.push(vec![1, 2]);
+        let h = Hypergraph::from_memberships(&memberships);
+        for s in 1..=3 {
+            assert_eq!(
+                intersection(&h, s, Strategy::AUTO),
+                naive(&h, s, Strategy::AUTO),
+                "s={s}"
+            );
+        }
+    }
+
+    #[test]
+    fn capacity_hint_is_bounded() {
+        let h = paper_hypergraph();
+        let hint = pair_capacity_hint(&h, 1);
+        assert!((16..=1 << 14).contains(&hint));
+        let empty = Hypergraph::from_memberships(&[]);
+        assert_eq!(pair_capacity_hint(&empty, 4), 0);
     }
 }

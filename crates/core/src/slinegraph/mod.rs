@@ -35,7 +35,9 @@ pub mod ensemble;
 pub mod hashmap;
 pub mod intersection;
 pub mod naive;
+pub mod overlap;
 pub mod pair_sort;
+pub mod planner;
 pub mod queue_single;
 pub mod queue_two_phase;
 pub(crate) mod stats;
@@ -45,6 +47,7 @@ use crate::Id;
 use nwhy_util::partition::Strategy;
 
 pub use builder::SLineBuilder;
+pub use overlap::{OverlapPath, OverlapPolicy};
 // The trait lives in `crate::repr` since the representation-generic
 // refactor; re-exported here for source compatibility.
 pub use crate::repr::HyperAdjacency;
@@ -278,6 +281,34 @@ mod tests {
                 let got = build(&h, s, algo);
                 prop_assert_eq!(&got, &reference, "{}", algo.name());
             }
+        }
+
+        #[test]
+        fn prop_overlap_paths_and_planner_agree(ms in arb_memberships(), s in 1usize..5) {
+            // the forced gallop/bitset paths, the adaptive rule, and the
+            // planner's auto choice must all be invisible in the results
+            let h = Hypergraph::from_memberships(&ms);
+            let reference = build(&h, s, Algorithm::Naive);
+            for policy in [OverlapPolicy::Adaptive,
+                           OverlapPolicy::Force(OverlapPath::Merge),
+                           OverlapPolicy::Force(OverlapPath::Gallop),
+                           OverlapPolicy::Force(OverlapPath::Bitset)] {
+                let via_intersection =
+                    intersection::intersection_with(&h, s, Strategy::AUTO, policy);
+                prop_assert_eq!(&via_intersection, &reference, "intersection {}", policy.name());
+                let queue: Vec<Id> = (0..crate::ids::from_usize(h.num_hyperedges())).collect();
+                let via_queue = queue_two_phase::queue_intersection_with(
+                    &h, &queue, s, Strategy::AUTO, policy);
+                prop_assert_eq!(&via_queue, &reference, "queue {}", policy.name());
+                let via_builder = SLineBuilder::new(&h)
+                    .s(s)
+                    .algorithm(Algorithm::Intersection)
+                    .overlap(policy)
+                    .edges();
+                prop_assert_eq!(&via_builder, &reference, "builder {}", policy.name());
+            }
+            let auto = SLineBuilder::new(&h).s(s).auto().edges();
+            prop_assert_eq!(&auto, &reference, "auto");
         }
 
         #[test]

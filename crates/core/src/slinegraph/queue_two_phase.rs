@@ -18,19 +18,31 @@
 //! intersected exactly once (a pair enqueued `k` times would otherwise be
 //! intersected `k` times and emitted as a duplicate edge).
 
+use super::overlap::{OverlapEngine, OverlapPolicy};
 use super::stats::KernelStats;
 use super::{canonicalize, HyperAdjacency};
 use crate::{ids, Id};
 use nwhy_util::partition::{par_for_each_index_with, Strategy};
 use rayon::prelude::*;
 
-/// Algorithm 2. `queue` holds the hyperedge IDs to process; returns
-/// canonical pairs.
+/// Algorithm 2 with the default adaptive overlap policy. `queue` holds
+/// the hyperedge IDs to process; returns canonical pairs.
 pub fn queue_intersection<H: HyperAdjacency + ?Sized>(
     h: &H,
     queue: &[Id],
     s: usize,
     strategy: Strategy,
+) -> Vec<(Id, Id)> {
+    queue_intersection_with(h, queue, s, strategy, OverlapPolicy::default())
+}
+
+/// Algorithm 2 with an explicit overlap policy.
+pub fn queue_intersection_with<'h, H: HyperAdjacency + ?Sized>(
+    h: &'h H,
+    queue: &[Id],
+    s: usize,
+    strategy: Strategy,
+    policy: OverlapPolicy,
 ) -> Vec<(Id, Id)> {
     let ne = h.num_hyperedges();
 
@@ -81,18 +93,49 @@ pub fn queue_intersection<H: HyperAdjacency + ?Sized>(
     phase1.queue_pushed(queue.len() as u64 + pair_queue.len() as u64);
 
     // ---- Phase 2: flat intersection pass (Alg. 2 lines 7–13). ----
+    //
+    // The pair queue is grouped by `i` (phase 1 emits each row's pairs
+    // contiguously), so each fold chain caches the decoded `nbrs_i` and
+    // its loaded row bitset across consecutive pairs sharing `i` — for a
+    // compressed backend that turns O(pairs) row decodes into O(rows),
+    // and the bitset build cost is paid once per cached row. Path choice
+    // depends only on row lengths, so splitting a row across workers
+    // changes nothing about results or counter values.
+    struct Chain<'h, H: HyperAdjacency + ?Sized + 'h> {
+        acc: Vec<(Id, Id)>,
+        stats: KernelStats,
+        engine: OverlapEngine,
+        row: Option<(Id, H::Neighbors<'h>)>,
+    }
+    let universe = ne + h.num_hypernodes();
+    let new_chain = || Chain::<'h, H> {
+        acc: Vec::new(),
+        stats: KernelStats::default(),
+        engine: OverlapEngine::new(policy, universe),
+        row: None,
+    };
     let (survivors, phase2) = pair_queue
         .par_iter()
-        .fold(
-            || (Vec::new(), KernelStats::default()),
-            |(mut acc, mut stats): (Vec<(Id, Id)>, KernelStats), &(i, j)| {
-                stats.pair_examined();
-                if stats.intersect_at_least(&h.edge_neighbors(i), &h.edge_neighbors(j), s) {
-                    acc.push((i, j));
+        .fold(new_chain, |mut chain: Chain<'h, H>, &(i, j)| {
+            if chain.row.as_ref().map(|(ri, _)| *ri) != Some(i) {
+                if let Some((_, old)) = chain.row.take() {
+                    chain.engine.end_row(&old);
                 }
-                (acc, stats)
-            },
-        )
+                let nbrs = h.edge_neighbors(i);
+                chain.engine.begin_row(&nbrs);
+                chain.row = Some((i, nbrs));
+            }
+            let (_, nbrs_i) = chain.row.as_ref().expect("row cached above");
+            chain.stats.pair_examined();
+            if chain
+                .engine
+                .overlaps(nbrs_i, &h.edge_neighbors(j), s, &mut chain.stats)
+            {
+                chain.acc.push((i, j));
+            }
+            chain
+        })
+        .map(|chain| (chain.acc, chain.stats))
         .reduce(
             || (Vec::new(), KernelStats::default()),
             |(mut a, mut sa), (mut b, sb)| {

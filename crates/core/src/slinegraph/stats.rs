@@ -8,11 +8,13 @@
 //! tallies are flushed to the global registry once per construction
 //! call.
 
+use super::overlap;
 use crate::Id;
 use nwgraph::algorithms::triangles::{
     sorted_intersection_at_least, sorted_intersection_at_least_counting,
 };
 use nwhy_obs::Counter;
+use nwhy_util::bitmap::WordBitset;
 
 /// Per-worker tallies for one s-line construction pass.
 #[derive(Debug, Default, Clone, Copy)]
@@ -22,6 +24,9 @@ pub(crate) struct KernelStats {
     hashmap_insertions: u64,
     intersection_comparisons: u64,
     queue_pushes: u64,
+    overlap_merge: u64,
+    overlap_gallop: u64,
+    overlap_bitset: u64,
 }
 
 impl KernelStats {
@@ -82,6 +87,55 @@ impl KernelStats {
         }
     }
 
+    /// One pair routed to the merge-scan overlap path.
+    #[inline]
+    pub fn path_merge(&mut self) {
+        if nwhy_obs::enabled() {
+            self.overlap_merge += 1;
+        }
+    }
+
+    /// One pair routed to the galloping overlap path.
+    #[inline]
+    pub fn path_gallop(&mut self) {
+        if nwhy_obs::enabled() {
+            self.overlap_gallop += 1;
+        }
+    }
+
+    /// One pair routed to the bitset overlap path.
+    #[inline]
+    pub fn path_bitset(&mut self) {
+        if nwhy_obs::enabled() {
+            self.overlap_bitset += 1;
+        }
+    }
+
+    /// The galloping intersection, tallying its search probes into the
+    /// same comparison counter the merge scan uses. The disabled build
+    /// counts into a dead local the optimizer drops.
+    #[inline]
+    pub fn gallop_at_least(&mut self, a: &[Id], b: &[Id], s: usize) -> bool {
+        if nwhy_obs::enabled() {
+            overlap::gallop_at_least(a, b, s, &mut self.intersection_comparisons)
+        } else {
+            let mut sink = 0u64;
+            overlap::gallop_at_least(a, b, s, &mut sink)
+        }
+    }
+
+    /// The bitset word-group probe, tallying one comparison per word
+    /// group processed.
+    #[inline]
+    pub fn bitset_at_least(&mut self, bits: &WordBitset, probe: &[Id], s: usize) -> bool {
+        if nwhy_obs::enabled() {
+            overlap::bitset_overlap_at_least(bits, probe, s, &mut self.intersection_comparisons)
+        } else {
+            let mut sink = 0u64;
+            overlap::bitset_overlap_at_least(bits, probe, s, &mut sink)
+        }
+    }
+
     /// Folds another worker's tallies into this one.
     pub fn merge(&mut self, other: &KernelStats) {
         self.pairs_examined += other.pairs_examined;
@@ -89,6 +143,9 @@ impl KernelStats {
         self.hashmap_insertions += other.hashmap_insertions;
         self.intersection_comparisons += other.intersection_comparisons;
         self.queue_pushes += other.queue_pushes;
+        self.overlap_merge += other.overlap_merge;
+        self.overlap_gallop += other.overlap_gallop;
+        self.overlap_bitset += other.overlap_bitset;
     }
 
     /// Publishes the tallies to the global registry (plus the emitted
@@ -107,6 +164,9 @@ impl KernelStats {
         );
         nwhy_obs::add(Counter::SlineQueuePushes, self.queue_pushes);
         nwhy_obs::add(Counter::SlineEdgesEmitted, edges_emitted as u64);
+        nwhy_obs::add(Counter::OverlapPathMerge, self.overlap_merge);
+        nwhy_obs::add(Counter::OverlapPathGallop, self.overlap_gallop);
+        nwhy_obs::add(Counter::OverlapPathBitset, self.overlap_bitset);
     }
 
     /// Merges and flushes a collection of worker tallies in one go.

@@ -5,7 +5,7 @@
 #![cfg(feature = "obs")]
 
 use nwhy_core::fixtures::paper_hypergraph;
-use nwhy_core::{Algorithm, SLineBuilder};
+use nwhy_core::{Algorithm, Hypergraph, Id, OverlapPath, OverlapPolicy, SLineBuilder};
 use nwhy_obs::Counter;
 use std::sync::Mutex;
 
@@ -93,6 +93,101 @@ fn intersection_reports_comparisons() {
             .edges();
         assert_eq!(nwhy_obs::counter_value(Counter::SlinePairsExamined), 5);
         assert!(nwhy_obs::counter_value(Counter::SlineIntersectionComparisons) >= 5);
+    });
+}
+
+/// A constructed skewed input where every overlap path fires a known
+/// number of times under the adaptive rule (BITSET_ROW_MIN_DEGREE = 32,
+/// GALLOP_RATIO = 8), pinning the `overlap.path_*` counter semantics:
+///
+/// - `e0` = {0..64}: 64 members ⇒ its row bitset loads, so all 4 of its
+///   candidate pairs (e1..e4 each share a node) take the bitset path;
+/// - `e1` = {0..16}: 16 members, not loaded. Candidates e2 (len 2,
+///   ratio 8) and e3 (len 2, ratio 8) gallop; e4 (len 3, ratio 5)
+///   merges;
+/// - `e3` = {1,2} vs e4 = {1,2,3}: ratio 1 ⇒ merge.
+///
+/// Totals: 4 bitset + 2 gallop + 2 merge = 8 pairs examined.
+#[test]
+fn adaptive_paths_hit_exact_counts_on_skewed_fixture() {
+    isolated(|| {
+        let h = Hypergraph::from_memberships(&[
+            (0..64).collect::<Vec<Id>>(),
+            (0..16).collect(),
+            vec![0, 64],
+            vec![1, 2],
+            vec![1, 2, 3],
+        ]);
+        let edges = SLineBuilder::new(&h)
+            .s(1)
+            .algorithm(Algorithm::Intersection)
+            .edges();
+        assert_eq!(edges.len(), 8, "every examined pair overlaps at s=1");
+        assert_eq!(nwhy_obs::counter_value(Counter::SlinePairsExamined), 8);
+        assert_eq!(nwhy_obs::counter_value(Counter::OverlapPathBitset), 4);
+        assert_eq!(nwhy_obs::counter_value(Counter::OverlapPathGallop), 2);
+        assert_eq!(nwhy_obs::counter_value(Counter::OverlapPathMerge), 2);
+    });
+}
+
+/// Forcing one path routes every examined pair through it — and the
+/// other two path counters stay at zero.
+#[test]
+fn forced_paths_route_every_pair() {
+    let h = paper_hypergraph();
+    for (path, counter) in [
+        (OverlapPath::Merge, Counter::OverlapPathMerge),
+        (OverlapPath::Gallop, Counter::OverlapPathGallop),
+        (OverlapPath::Bitset, Counter::OverlapPathBitset),
+    ] {
+        isolated(|| {
+            let _ = SLineBuilder::new(&h)
+                .s(1)
+                .algorithm(Algorithm::Intersection)
+                .overlap(OverlapPolicy::Force(path))
+                .edges();
+            assert_eq!(
+                nwhy_obs::counter_value(counter),
+                5,
+                "{} must take all 5 pairs",
+                path.name()
+            );
+            let total = nwhy_obs::counter_value(Counter::OverlapPathMerge)
+                + nwhy_obs::counter_value(Counter::OverlapPathGallop)
+                + nwhy_obs::counter_value(Counter::OverlapPathBitset);
+            assert_eq!(total, 5, "{}: other paths must stay silent", path.name());
+        });
+    }
+}
+
+/// `auto()` records exactly one planner decision per build, and the
+/// planner's candidate-work feature `W = Σ_v C(d_v, 2)` equals the
+/// hashmap kernel's insertion counter at s = 1 — the calibration
+/// identity the cost model's doc claims.
+#[test]
+fn planner_counter_and_calibration_identity() {
+    isolated(|| {
+        let h = paper_hypergraph();
+        let auto_edges = SLineBuilder::new(&h).s(1).auto().edges();
+        assert_eq!(nwhy_obs::counter_value(Counter::PlannerKernelChosen), 1);
+        let fixed = SLineBuilder::new(&h)
+            .s(1)
+            .algorithm(Algorithm::Naive)
+            .edges();
+        assert_eq!(auto_edges, fixed, "planner choice must not change results");
+    });
+    isolated(|| {
+        let h = paper_hypergraph();
+        let f = nwhy_core::slinegraph::planner::measure(&h, 1);
+        let _ = SLineBuilder::new(&h)
+            .s(1)
+            .algorithm(Algorithm::Hashmap)
+            .edges();
+        assert_eq!(
+            nwhy_obs::counter_value(Counter::SlineHashmapInsertions) as f64,
+            f.candidate_work,
+            "W feature must equal measured hashmap insertions at s=1"
+        );
     });
 }
 

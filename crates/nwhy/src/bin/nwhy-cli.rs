@@ -9,8 +9,12 @@
 //!                  A ∈ hyper | adjoin | adjoin-lp | hygra   (default hyper)
 //! nwhy-cli bfs     <file> --source E [--algo A]
 //!                  A ∈ hyper | hyper-bu | adjoin | hygra    (default adjoin)
-//! nwhy-cli sline   <file> --s S [--algo A] [--relabel R] [--out FILE]
-//!                  A ∈ naive | intersection | hashmap | queue1 | queue2
+//! nwhy-cli sline   <file> --s S [--kernel K] [--overlap O] [--relabel R]
+//!                  [--out FILE]
+//!                  K ∈ auto | naive | intersection | hashmap | queue1 |
+//!                      queue2 | pairsort   (default hashmap; `auto` asks
+//!                      the planner; `--algo` is accepted as an alias)
+//!                  O ∈ adaptive | merge | gallop | bitset   (overlap path)
 //!                  R ∈ none | asc | desc    (degree relabeling)
 //! nwhy-cli check   <file> [--s S]         validate structural invariants
 //! nwhy-cli toplex  <file>
@@ -54,7 +58,9 @@ use nwhy::core::algorithms::{
     adjoin_bfs, adjoin_cc_afforest, adjoin_cc_label_propagation, hyper_bfs_bottom_up,
     hyper_bfs_generic, hyper_bfs_top_down, hyper_cc, hyper_cc_generic, toplexes,
 };
-use nwhy::core::{AdjoinGraph, Algorithm, HyperedgeId, Hypergraph, Relabel, SLineBuilder};
+use nwhy::core::{
+    AdjoinGraph, Algorithm, HyperedgeId, Hypergraph, OverlapPolicy, Relabel, SLineBuilder,
+};
 use nwhy::store::{Backend, CompressedHypergraph};
 use std::fs::File;
 use std::io::{BufReader, BufWriter, Write};
@@ -427,14 +433,27 @@ fn cmd_sline(args: &Args) -> Result<(), String> {
     if s == 0 {
         return Err("sline: --s must be >= 1".into());
     }
-    let algo = match args.flag("algo").unwrap_or("hashmap") {
-        "naive" => Algorithm::Naive,
-        "intersection" => Algorithm::Intersection,
-        "hashmap" => Algorithm::Hashmap,
-        "queue1" => Algorithm::QueueHashmap,
-        "queue2" => Algorithm::QueueIntersection,
-        "pairsort" => Algorithm::PairSort,
-        other => return Err(format!("sline: unknown --algo {other}")),
+    // `--kernel` supersedes `--algo` (kept as an alias); `auto` hands
+    // the choice to the planner
+    let kernel = args
+        .flag("kernel")
+        .or_else(|| args.flag("algo"))
+        .unwrap_or("hashmap");
+    let algo = match kernel {
+        "auto" => None,
+        "naive" => Some(Algorithm::Naive),
+        "intersection" => Some(Algorithm::Intersection),
+        "hashmap" => Some(Algorithm::Hashmap),
+        "queue1" => Some(Algorithm::QueueHashmap),
+        "queue2" => Some(Algorithm::QueueIntersection),
+        "pairsort" => Some(Algorithm::PairSort),
+        other => return Err(format!("sline: unknown --kernel {other}")),
+    };
+    let overlap = match args.flag("overlap") {
+        None => OverlapPolicy::default(),
+        Some(name) => {
+            OverlapPolicy::parse(name).ok_or_else(|| format!("sline: unknown --overlap {name}"))?
+        }
     };
     let relabel = match args.flag("relabel").unwrap_or("none") {
         "none" => Relabel::None,
@@ -447,22 +466,37 @@ fn cmd_sline(args: &Args) -> Result<(), String> {
     let t = std::time::Instant::now();
     // `SLineBuilder` is generic over `HyperAdjacency`: packed inputs
     // feed the construction kernels straight off the on-disk image
-    let pairs = match &input {
-        Input::Memory(h) => SLineBuilder::new(h)
-            .s(s)
-            .algorithm(algo)
-            .relabel(relabel)
-            .edges(),
-        Input::Packed(c) => SLineBuilder::new(c)
-            .s(s)
-            .algorithm(algo)
-            .relabel(relabel)
-            .edges(),
+    fn build<A: nwhy::core::HyperAdjacency + ?Sized>(
+        h: &A,
+        s: usize,
+        algo: Option<Algorithm>,
+        overlap: OverlapPolicy,
+        relabel: Relabel,
+    ) -> (Algorithm, Vec<(nwhy::core::Id, nwhy::core::Id)>) {
+        let builder = SLineBuilder::new(h).s(s).overlap(overlap).relabel(relabel);
+        // resolve `auto` once so the planner decision is both printed
+        // and counted exactly one time
+        let builder = match algo {
+            Some(a) => builder.algorithm(a),
+            None => {
+                let builder = builder.auto();
+                let chosen = builder.resolved_algorithm();
+                builder.algorithm(chosen)
+            }
+        };
+        (builder.resolved_algorithm(), builder.edges())
+    }
+    let (resolved, pairs) = match &input {
+        Input::Memory(h) => build(h, s, algo, overlap, relabel),
+        Input::Packed(c) => build(c, s, algo, overlap, relabel),
     };
     let secs = t.elapsed().as_secs_f64();
+    if algo.is_none() {
+        println!("auto: planner chose the {} kernel", resolved.name());
+    }
     println!(
         "{}: {}-line graph has {} edges over {ne} hyperedges ({secs:.4}s)",
-        algo.name(),
+        resolved.name(),
         s,
         pairs.len(),
     );

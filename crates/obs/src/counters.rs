@@ -34,6 +34,18 @@ pub enum Counter {
     SlineQueueSteals,
     /// s-line edges emitted (pre-canonicalization survivor count).
     SlineEdgesEmitted,
+    /// Candidate pairs routed to the short-circuiting merge scan by the
+    /// adaptive overlap engine.
+    OverlapPathMerge,
+    /// Candidate pairs routed to the galloping (exponential-search)
+    /// intersection (high degree-ratio pairs).
+    OverlapPathGallop,
+    /// Candidate pairs routed to the packed `u64`-word bitset
+    /// AND+popcount sweep (dense expanded rows).
+    OverlapPathBitset,
+    /// Kernel selections made by the s-line planner
+    /// (`SLineBuilder::auto()` / CLI `--kernel auto`).
+    PlannerKernelChosen,
     /// Full BFS rounds (one hyperedge→hypernode→hyperedge alternation).
     BfsRounds,
     /// Sparse (top-down / push) `edge_map` half-steps taken by a BFS.
@@ -62,7 +74,7 @@ pub enum Counter {
 impl Counter {
     /// Every counter, in declaration order (the snapshot iteration
     /// order).
-    pub const ALL: [Counter; 18] = [
+    pub const ALL: [Counter; 22] = [
         Counter::SlinePairsExamined,
         Counter::SlinePairsSkippedDegree,
         Counter::SlineHashmapInsertions,
@@ -70,6 +82,10 @@ impl Counter {
         Counter::SlineQueuePushes,
         Counter::SlineQueueSteals,
         Counter::SlineEdgesEmitted,
+        Counter::OverlapPathMerge,
+        Counter::OverlapPathGallop,
+        Counter::OverlapPathBitset,
+        Counter::PlannerKernelChosen,
         Counter::BfsRounds,
         Counter::BfsSparseSteps,
         Counter::BfsDenseSteps,
@@ -93,6 +109,10 @@ impl Counter {
             Counter::SlineQueuePushes => "sline.queue_pushes",
             Counter::SlineQueueSteals => "sline.queue_steals",
             Counter::SlineEdgesEmitted => "sline.edges_emitted",
+            Counter::OverlapPathMerge => "overlap.path_merge",
+            Counter::OverlapPathGallop => "overlap.path_gallop",
+            Counter::OverlapPathBitset => "overlap.path_bitset",
+            Counter::PlannerKernelChosen => "planner.kernel_chosen",
             Counter::BfsRounds => "bfs.rounds",
             Counter::BfsSparseSteps => "bfs.sparse_steps",
             Counter::BfsDenseSteps => "bfs.dense_steps",

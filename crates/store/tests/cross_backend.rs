@@ -8,10 +8,10 @@
 //! catch.
 
 use nwhy_core::algorithms::{hyper_bfs_generic, hyper_cc_generic};
-use nwhy_core::{Algorithm, Hypergraph, SLineBuilder};
+use nwhy_core::{Algorithm, Hypergraph, OverlapPath, OverlapPolicy, SLineBuilder};
 use nwhy_gen::powerlaw::PowerlawParams;
 use nwhy_gen::{powerlaw_hypergraph, uniform_random};
-use nwhy_store::{pack_hypergraph, CompressedHypergraph};
+use nwhy_store::{pack_hypergraph, Backend, CompressedHypergraph};
 
 fn fixtures() -> Vec<(&'static str, Hypergraph)> {
     vec![
@@ -59,6 +59,55 @@ fn all_algorithms_agree_across_backends() {
                 );
             }
         }
+    }
+}
+
+/// The adaptive overlap engine's per-pair path choice depends only on
+/// row *lengths*, never on how the rows are stored — so every forced
+/// path and the planner's `auto` must agree with the naive reference on
+/// the packed image and on a memory-mapped file, at every s.
+#[test]
+fn overlap_paths_and_planner_agree_across_backends() {
+    for (name, h) in fixtures() {
+        let packed = compress(&h);
+        let bytes = pack_hypergraph(&h);
+        let path = std::env::temp_dir().join(format!(
+            "nwhy-cross-backend-{}-{name}.nwhypak",
+            std::process::id()
+        ));
+        std::fs::write(&path, &bytes).expect("write pack image");
+        let mapped = CompressedHypergraph::open(&path, Backend::Auto).expect("open pack image");
+        for s in 1..=4 {
+            let reference = SLineBuilder::new(&h)
+                .algorithm(Algorithm::Naive)
+                .s(s)
+                .edges();
+            for policy in [
+                OverlapPolicy::Adaptive,
+                OverlapPolicy::Force(OverlapPath::Merge),
+                OverlapPolicy::Force(OverlapPath::Gallop),
+                OverlapPolicy::Force(OverlapPath::Bitset),
+            ] {
+                for (backend, c) in [("packed", &packed), ("mapped", &mapped)] {
+                    let got = SLineBuilder::new(c)
+                        .algorithm(Algorithm::Intersection)
+                        .overlap(policy)
+                        .s(s)
+                        .edges();
+                    assert_eq!(
+                        got,
+                        reference,
+                        "{name}/{backend}: {} disagrees at s={s}",
+                        policy.name()
+                    );
+                }
+            }
+            for (backend, c) in [("packed", &packed), ("mapped", &mapped)] {
+                let auto = SLineBuilder::new(c).auto().s(s).edges();
+                assert_eq!(auto, reference, "{name}/{backend}: auto disagrees at s={s}");
+            }
+        }
+        std::fs::remove_file(&path).ok();
     }
 }
 

@@ -115,6 +115,79 @@ impl AtomicBitmap {
     }
 }
 
+/// A plain single-owner bitset over packed `u64` words — the worker-local
+/// membership mask behind the s-line *bitset* overlap path.
+///
+/// Unlike [`AtomicBitmap`] there is no concurrency story at all: each
+/// worker owns one `WordBitset`, loads a hyperedge's members into it,
+/// probes candidates word-at-a-time (`AND` + `count_ones`, which LLVM
+/// autovectorizes), and then clears exactly the words it touched. The
+/// clear-by-members discipline keeps per-row cost proportional to the
+/// row, not the universe, so the buffer is reusable across millions of
+/// rows without a full rezero.
+#[derive(Debug, Default, Clone)]
+pub struct WordBitset {
+    words: Vec<u64>,
+}
+
+impl WordBitset {
+    /// An empty bitset; call [`WordBitset::ensure_bits`] before use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Grows the backing storage to address at least `bits` bits.
+    /// Existing bits are preserved; new words start clear.
+    pub fn ensure_bits(&mut self, bits: usize) {
+        let n_words = bits.div_ceil(BITS);
+        if self.words.len() < n_words {
+            self.words.resize(n_words, 0);
+        }
+    }
+
+    /// Number of addressable bits.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.words.len() * BITS
+    }
+
+    /// Sets bit `i`.
+    #[inline]
+    pub fn insert(&mut self, i: usize) {
+        debug_assert!(i < self.capacity(), "bit {i} beyond {}", self.capacity());
+        self.words[i / BITS] |= 1u64 << (i % BITS);
+    }
+
+    /// Tests bit `i`.
+    #[inline]
+    pub fn contains(&self, i: usize) -> bool {
+        debug_assert!(i < self.capacity(), "bit {i} beyond {}", self.capacity());
+        self.words[i / BITS] & (1u64 << (i % BITS)) != 0
+    }
+
+    /// The raw word holding bits `[64w, 64w + 64)` — the probe surface
+    /// for masked `AND`+popcount sweeps.
+    #[inline]
+    pub fn word(&self, w: usize) -> u64 {
+        self.words[w]
+    }
+
+    /// Zeroes every word containing one of `members` (callers pass the
+    /// same index list they inserted). Idempotent per word, so duplicate
+    /// or same-word members cost nothing extra.
+    #[inline]
+    pub fn clear_members(&mut self, members: impl IntoIterator<Item = usize>) {
+        for i in members {
+            self.words[i / BITS] = 0;
+        }
+    }
+
+    /// Total set bits (test/debug surface; the hot path never calls it).
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+}
+
 impl Clone for AtomicBitmap {
     fn clone(&self) -> Self {
         let words = self
@@ -233,6 +306,55 @@ mod tests {
         assert!(bm.set(63));
         assert_eq!(bm.count_ones(), 2);
         assert_eq!(bm.iter_ones().collect::<Vec<_>>(), vec![0, 63]);
+    }
+
+    #[test]
+    fn word_bitset_insert_probe_clear_cycle() {
+        let mut bs = WordBitset::new();
+        bs.ensure_bits(200);
+        let members = [3usize, 63, 64, 127, 128, 199];
+        for &i in &members {
+            bs.insert(i);
+        }
+        for &i in &members {
+            assert!(bs.contains(i));
+        }
+        assert!(!bs.contains(62));
+        assert_eq!(bs.count_ones(), members.len());
+        // word-level probe: bits 63 and 64 straddle the first boundary
+        assert_eq!((bs.word(0) & (1 << 63)).count_ones(), 1);
+        assert_eq!((bs.word(1) & 1).count_ones(), 1);
+        // clearing by member list rezeros only touched words — and leaves
+        // the bitset fully reusable
+        bs.clear_members(members.iter().copied());
+        assert_eq!(bs.count_ones(), 0);
+        bs.insert(5);
+        assert_eq!(bs.count_ones(), 1);
+    }
+
+    #[test]
+    fn word_bitset_ensure_grows_and_preserves() {
+        let mut bs = WordBitset::new();
+        assert_eq!(bs.capacity(), 0);
+        bs.ensure_bits(10);
+        bs.insert(9);
+        bs.ensure_bits(1000);
+        assert!(bs.capacity() >= 1000);
+        assert!(bs.contains(9), "growth must preserve existing bits");
+        // shrinking requests are no-ops
+        bs.ensure_bits(1);
+        assert!(bs.contains(9));
+    }
+
+    #[test]
+    fn word_bitset_same_word_members_clear_once() {
+        let mut bs = WordBitset::new();
+        bs.ensure_bits(64);
+        bs.insert(1);
+        bs.insert(2);
+        bs.insert(3);
+        bs.clear_members([1usize]); // same word as 2 and 3
+        assert_eq!(bs.count_ones(), 0, "clear zeroes the whole touched word");
     }
 
     mod props {

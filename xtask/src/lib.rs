@@ -3,4 +3,5 @@
 //! through the `.cargo/config.toml` alias, so CI and contributors need
 //! nothing beyond the Rust toolchain.
 
+pub mod bench_diff;
 pub mod lint;
