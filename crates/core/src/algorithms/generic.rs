@@ -34,6 +34,7 @@ use rayon::prelude::*;
 /// # Panics
 /// Panics if `source` is out of range.
 pub fn hyper_bfs_generic<A: HyperAdjacency + ?Sized>(h: &A, source: Id) -> HyperBfsResult {
+    let _span = nwhy_obs::span("algo.hyper_bfs.generic");
     let ne = h.num_hyperedges();
     let nv = h.num_hypernodes();
     assert!(
@@ -130,6 +131,7 @@ pub fn hyper_bfs_generic<A: HyperAdjacency + ?Sized>(h: &A, source: Id) -> Hyper
 /// i ↦ n_e + i`); final labels equal [`super::hyper_cc`]'s on any
 /// representation (label minima are deterministic).
 pub fn hyper_cc_generic<A: HyperAdjacency + ?Sized>(h: &A) -> HyperCcResult {
+    let _span = nwhy_obs::span("algo.hyper_cc.generic");
     let ne = h.num_hyperedges();
     let nv = h.num_hypernodes();
     let edge_labels: Vec<AtomicU32> = (0..ids::from_usize(ne)).map(AtomicU32::new).collect();

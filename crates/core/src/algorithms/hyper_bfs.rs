@@ -124,6 +124,7 @@ fn expand(
 
 /// Top-down HyperBFS from a source hyperedge.
 pub fn hyper_bfs_top_down(h: &Hypergraph, source: Id) -> HyperBfsResult {
+    let _span = nwhy_obs::span("algo.hyper_bfs.top_down");
     let (edge_levels, node_levels, edge_parents, node_parents) = init(h, source);
     let mut edge_frontier = vec![source];
     let mut depth = 0u32;
@@ -184,6 +185,7 @@ fn expand_bottom_up(
 /// over the unvisited side. Produces the same levels as
 /// [`hyper_bfs_top_down`].
 pub fn hyper_bfs_bottom_up(h: &Hypergraph, source: Id) -> HyperBfsResult {
+    let _span = nwhy_obs::span("algo.hyper_bfs.bottom_up");
     let (edge_levels, node_levels, edge_parents, node_parents) = init(h, source);
     let ne = h.num_hyperedges();
     let nv = h.num_hypernodes();

@@ -45,6 +45,7 @@ impl HyperCcResult {
 
 /// Label-propagation HyperCC.
 pub fn hyper_cc(h: &Hypergraph) -> HyperCcResult {
+    let _span = nwhy_obs::span("algo.hyper_cc");
     let ne = h.num_hyperedges();
     let nv = h.num_hypernodes();
     let edge_labels: Vec<AtomicU32> = (0..ids::from_usize(ne)).map(AtomicU32::new).collect();

@@ -43,6 +43,7 @@ impl KLCore {
 
 /// Computes the (k, ℓ)-core of `h` by alternating parallel peeling.
 pub fn kl_core(h: &Hypergraph, k: usize, l: usize) -> KLCore {
+    let _span = nwhy_obs::span("algo.kl_core");
     let nv = h.num_hypernodes();
     let ne = h.num_hyperedges();
     // live degrees, updated as the other side peels
@@ -102,6 +103,7 @@ pub fn kl_core(h: &Hypergraph, k: usize, l: usize) -> KLCore {
 /// the (k, 1)-core (every hyperedge only needs one member to survive).
 /// The standard scalar summary of hypergraph coreness.
 pub fn node_core_numbers(h: &Hypergraph) -> Vec<u32> {
+    let _span = nwhy_obs::span("algo.node_core_numbers");
     let nv = h.num_hypernodes();
     let mut core = vec![0u32; nv];
     let mut k = 1usize;
@@ -126,6 +128,7 @@ pub fn node_core_numbers(h: &Hypergraph) -> Vec<u32> {
 /// surviving edges, every surviving edge has ≥ ℓ surviving nodes, and the
 /// core is maximal (the all-dead complement cannot be resurrected —
 /// guaranteed by fixpoint peeling, checked here by one more sweep).
+// lint: obs: validation oracle for tests and `nwhy-cli check`, not a serving kernel
 pub fn validate_kl_core(h: &Hypergraph, k: usize, l: usize, core: &KLCore) -> Result<(), String> {
     for v in 0..ids::from_usize(h.num_hypernodes()) {
         let live = h

@@ -20,6 +20,7 @@ use rayon::prelude::*;
 /// Labels hyperedges by s-connected component (smallest member hyperedge
 /// ID per component, like `SLineGraph::s_connected_components`).
 pub fn s_connected_components_online<H: HyperAdjacency + ?Sized>(h: &H, s: usize) -> Vec<Id> {
+    let _span = nwhy_obs::span("algo.s_components");
     assert!(s >= 1, "s must be at least 1");
     let ne = h.num_hyperedges();
     let labels: Vec<AtomicU32> = (0..ne).map(|_| AtomicU32::new(u32::MAX)).collect();

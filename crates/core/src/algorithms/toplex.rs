@@ -41,6 +41,7 @@ use rayon::prelude::*;
 /// assert_eq!(toplexes(&h), vec![0, 2]);
 /// ```
 pub fn toplexes(h: &Hypergraph) -> Vec<Id> {
+    let _span = nwhy_obs::span("algo.toplex");
     let ne = h.num_hyperedges();
     if ne == 0 {
         return Vec::new();
@@ -79,6 +80,7 @@ pub fn toplexes(h: &Hypergraph) -> Vec<Id> {
 /// Direct transcription of Algorithm 3 run sequentially — the oracle for
 /// the parallel version. Quadratic; test/diagnostic use only.
 pub fn toplexes_sequential(h: &Hypergraph) -> Vec<Id> {
+    let _span = nwhy_obs::span("algo.toplex.sequential");
     let is_subset = |a: &[Id], b: &[Id]| -> bool {
         // both sorted
         let mut j = 0;
@@ -115,6 +117,7 @@ pub fn toplexes_sequential(h: &Hypergraph) -> Vec<Id> {
 /// Checks the toplex invariants: the returned set is an antichain under
 /// set inclusion (after collapsing duplicates) and every hyperedge is
 /// contained in some toplex.
+// lint: obs: validation oracle for tests and `nwhy-cli check`, not a serving kernel
 pub fn validate_toplexes(h: &Hypergraph, toplexes: &[Id]) -> Result<(), String> {
     let contains = |sup: &[Id], sub: &[Id]| sub.iter().all(|x| sup.binary_search(x).is_ok());
     for (i, &a) in toplexes.iter().enumerate() {

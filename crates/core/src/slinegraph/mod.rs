@@ -141,6 +141,7 @@ impl Default for BuildOptions {
 /// Canonicalizes an undirected pair list: orders each pair `(min, max)`,
 /// sorts, and deduplicates. All algorithms funnel through this so their
 /// outputs are directly comparable.
+// lint: obs: sort/dedup epilogue running inside every kernel's span
 pub fn canonicalize(mut pairs: Vec<(Id, Id)>) -> Vec<(Id, Id)> {
     for p in pairs.iter_mut() {
         if p.0 > p.1 {

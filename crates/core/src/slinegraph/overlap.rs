@@ -135,6 +135,7 @@ impl OverlapEngine {
     /// Starts expanding row `e_i`: loads its members into the bitset when
     /// the policy calls for it. Pair with [`OverlapEngine::end_row`].
     #[inline]
+    // lint: obs: per-row probe inside a kernel span; tallies flush via KernelStats
     pub fn begin_row(&mut self, nbrs_i: &[Id]) {
         self.row_loaded = self.wants_row(nbrs_i.len());
         if self.row_loaded {
@@ -216,6 +217,7 @@ impl OverlapEngine {
 /// Short-circuits at `s` found, abandons when the remaining short-row
 /// members cannot reach `s`. One probe = one element comparison in
 /// `comparisons`, the same unit the merge scan tallies.
+// lint: obs: inner probe under the kernel span; `comparisons` is the KernelStats tally (a count, not an ID)
 pub(super) fn gallop_at_least(a: &[Id], b: &[Id], s: usize, comparisons: &mut u64) -> bool {
     let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
     if small.len() < s || large.len() < s {
@@ -278,6 +280,7 @@ pub(super) fn gallop_at_least(a: &[Id], b: &[Id], s: usize, comparisons: &mut u6
 /// mask so each word costs a single `AND` + `count_ones`. One word-group
 /// = one tallied comparison — which is exactly why dense pairs show a
 /// measured comparison-count *reduction* versus the merge scan.
+// lint: obs: inner probe under the kernel span; `comparisons` is the KernelStats tally (a count, not an ID)
 pub(super) fn bitset_overlap_at_least(
     bits: &WordBitset,
     probe: &[Id],

@@ -105,6 +105,7 @@ pub struct Plan {
 
 /// Measures the planner features in one pass over the row lengths.
 pub fn measure<A: HyperAdjacency + ?Sized>(h: &A, s: usize) -> InputFeatures {
+    let _span = nwhy_obs::span("sline.planner.measure");
     let ne = h.num_hyperedges();
     let nv = h.num_hypernodes();
     let mut total_size = 0usize;

@@ -152,6 +152,7 @@ pub fn queue_intersection_with<'h, H: HyperAdjacency + ?Sized>(
 /// Phase-1-only variant: returns the candidate pair queue without the
 /// intersection pass. Exposed for the ablation bench that measures the
 /// two phases separately.
+// lint: obs: ablation-bench helper; the full kernel path flushes KernelStats
 pub fn candidate_pairs<H: HyperAdjacency + ?Sized>(
     h: &H,
     queue: &[Id],

@@ -73,6 +73,7 @@ pub fn slinegraph_weighted_edges<A: HyperAdjacency + ?Sized>(
 
 /// Assembles the symmetric weighted CSR (edge weight `1 / overlap`) from
 /// already-built canonical triples.
+// lint: obs: CSR assembly under the builder's `sline.weighted` span
 pub(crate) fn weighted_csr_from_triples(
     num_hyperedges: usize,
     triples: &[(Id, Id, Overlap)],

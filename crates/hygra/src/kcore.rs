@@ -16,6 +16,7 @@ use rayon::prelude::*;
 
 /// Computes hypernode core numbers under the dies-with-any-member model.
 pub fn hygra_kcore(h: &Hypergraph) -> Vec<u32> {
+    let _span = nwhy_obs::span("hygra.kcore");
     let nv = h.num_hypernodes();
     let ne = h.num_hyperedges();
     let mut core = vec![0u32; nv];
@@ -72,6 +73,7 @@ pub fn hygra_kcore(h: &Hypergraph) -> Vec<u32> {
 /// Validates the coreness array: for each `k`, the set `{v : core(v) ≥ k}`
 /// must be self-consistent — every member has ≥ k hyperedges fully inside
 /// the set.
+// lint: obs: validation oracle for tests and `nwhy-cli check`, not a serving kernel
 pub fn validate_hygra_kcore(h: &Hypergraph, core: &[u32]) -> Result<(), String> {
     let kmax = core.iter().copied().max().unwrap_or(0);
     for k in 1..=kmax {

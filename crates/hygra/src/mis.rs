@@ -29,6 +29,7 @@ fn priority(v: Id, seed: u64) -> u64 {
 
 /// Computes a hypergraph MIS over hypernodes; deterministic per seed.
 pub fn hygra_mis(h: &Hypergraph, seed: u64) -> Vec<bool> {
+    let _span = nwhy_obs::span("hygra.mis");
     let nv = h.num_hypernodes();
     let ne = h.num_hyperedges();
     let state: Vec<AtomicU8> = (0..nv).map(|_| AtomicU8::new(UNDECIDED)).collect();
@@ -93,6 +94,7 @@ pub fn hygra_mis(h: &Hypergraph, seed: u64) -> Vec<bool> {
 /// hypernodes, and every unchosen hypernode *that shares a hyperedge with
 /// anyone* shares one with a chosen hypernode. Hypernodes only in
 /// singleton hyperedges (or none) must be chosen.
+// lint: obs: validation oracle for tests and `nwhy-cli check`, not a serving kernel
 pub fn validate_hygra_mis(h: &Hypergraph, mis: &[bool]) -> Result<(), String> {
     for e in 0..ids::from_usize(h.num_hyperedges()) {
         let chosen: Vec<Id> = h

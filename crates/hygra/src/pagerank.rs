@@ -53,6 +53,7 @@ impl EdgeMapFns for Spread<'_> {
 /// Hypergraph PageRank over hypernodes. Returns `(node_ranks, iters)`;
 /// ranks sum to 1 (dangling mass redistributed uniformly).
 pub fn hygra_pagerank(h: &Hypergraph, opts: PageRankOptions) -> (Vec<f64>, usize) {
+    let _span = nwhy_obs::span("hygra.pagerank");
     let nv = h.num_hypernodes();
     let ne = h.num_hyperedges();
     if nv == 0 {

@@ -113,6 +113,7 @@ impl VertexSubset {
     }
 
     /// Converts in place to dense form.
+    // lint: obs: representation flip inside traversal spans, not a kernel itself
     pub fn to_dense(&mut self) {
         if let Repr::Sparse(ids) = &self.repr {
             let mut flags = vec![false; self.n];

@@ -23,6 +23,15 @@ use std::io::{Read, Write};
 const MAGIC: &[u8; 8] = b"NWHYBIN1";
 const FLAG_WEIGHTS: u64 = 1;
 
+/// Panic-free fixed-size split: a short slice becomes a parse error
+/// instead of an abort, keeping the whole decode path clear of the
+/// lint's `panic-path` rule.
+fn take_array<const N: usize>(b: &[u8]) -> Result<([u8; N], &[u8]), IoError> {
+    b.split_first_chunk::<N>()
+        .map(|(a, rest)| (*a, rest))
+        .ok_or_else(|| IoError::parse(1, "truncated record"))
+}
+
 fn read_u64<R: Read>(r: &mut R) -> Result<u64, IoError> {
     let mut buf = [0u8; 8];
     r.read_exact(&mut buf)?;
@@ -66,13 +75,16 @@ pub fn read_binary<R: Read>(mut r: R) -> Result<Hypergraph, IoError> {
     let mut remaining = nnz;
     while remaining > 0 {
         let take = remaining.min(READ_CHUNK);
+        // lint: panic: take ≤ buf capacity by construction (buf is sized to nnz.min(READ_CHUNK) * 8)
         let bytes = &mut buf[..take * 8];
         r.read_exact(bytes)?;
         incidences.reserve(take);
         for pair in bytes.chunks_exact(8) {
             // the pair words are read as u32 and are already `Id`-sized
-            let e = u32::from_le_bytes(pair[0..4].try_into().expect("4-byte chunk"));
-            let v = u32::from_le_bytes(pair[4..8].try_into().expect("4-byte chunk"));
+            let (e_bytes, rest) = take_array::<4>(pair)?;
+            let (v_bytes, _) = take_array::<4>(rest)?;
+            let e = u32::from_le_bytes(e_bytes);
+            let v = u32::from_le_bytes(v_bytes);
             if ids::to_usize(e) >= ne || ids::to_usize(v) >= nv {
                 return Err(IoError::parse(
                     1,
@@ -89,11 +101,13 @@ pub fn read_binary<R: Read>(mut r: R) -> Result<Hypergraph, IoError> {
         let mut remaining = nnz;
         while remaining > 0 {
             let take = remaining.min(READ_CHUNK);
+            // lint: panic: take ≤ buf capacity by construction (buf is sized to nnz.min(READ_CHUNK) * 8)
             let bytes = &mut buf[..take * 8];
             r.read_exact(bytes)?;
             weights.reserve(take);
             for w in bytes.chunks_exact(8) {
-                weights.push(f64::from_le_bytes(w.try_into().expect("8-byte chunk")));
+                let (w_bytes, _) = take_array::<8>(w)?;
+                weights.push(f64::from_le_bytes(w_bytes));
             }
             remaining -= take;
         }
@@ -243,6 +257,27 @@ mod tests {
         buf.extend_from_slice(&8u64.to_le_bytes()); // unknown flag bit
         buf.extend_from_slice(&[0u8; 24]);
         assert!(read_binary(Cursor::new(buf)).is_err());
+    }
+
+    #[test]
+    fn every_truncation_errors_never_aborts() {
+        // malformed inputs must surface as `Err`, not a process abort:
+        // every strict prefix of a valid weighted file is malformed
+        let bel = BiEdgeList::from_weighted_incidences(
+            2,
+            3,
+            vec![(0, 0), (0, 2), (1, 1)],
+            vec![0.25, -1.5, 7.0],
+        );
+        let h = Hypergraph::from_biedgelist(&bel);
+        let mut buf = Vec::new();
+        write_binary(&mut buf, &h).unwrap();
+        for len in 0..buf.len() {
+            assert!(
+                read_binary(Cursor::new(buf[..len].to_vec())).is_err(),
+                "prefix of {len} bytes must error"
+            );
+        }
     }
 
     #[test]

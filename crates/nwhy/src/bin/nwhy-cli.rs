@@ -67,6 +67,57 @@ use std::io::{BufReader, BufWriter, Write};
 use std::path::Path;
 use std::process::ExitCode;
 
+/// Typed CLI failure: the variant decides the process exit code, so
+/// scripts can distinguish misuse from environment failures from data
+/// that violates the framework's invariants.
+///
+/// ```text
+/// 2  usage      bad flags/arguments (also: unknown subcommand, --help)
+/// 3  io         file system or format errors on inputs/outputs
+/// 4  invariant  the data failed a structural check or query contract
+/// ```
+#[derive(Debug)]
+enum CliError {
+    /// Bad invocation: missing/unknown arguments, malformed flag values.
+    Usage(String),
+    /// Environment failure: open/read/parse/write on input or output.
+    Io(String),
+    /// The hypergraph (or a query against it) violated a contract.
+    Invariant(String),
+}
+
+impl CliError {
+    fn usage(msg: impl Into<String>) -> CliError {
+        CliError::Usage(msg.into())
+    }
+    fn io(msg: impl Into<String>) -> CliError {
+        CliError::Io(msg.into())
+    }
+    fn invariant(msg: impl Into<String>) -> CliError {
+        CliError::Invariant(msg.into())
+    }
+    fn exit_code(&self) -> u8 {
+        match self {
+            CliError::Usage(_) => 2,
+            CliError::Io(_) => 3,
+            CliError::Invariant(_) => 4,
+        }
+    }
+    fn message(&self) -> &str {
+        match self {
+            CliError::Usage(m) | CliError::Io(m) | CliError::Invariant(m) => m,
+        }
+    }
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.message())
+    }
+}
+
+type CliResult<T = ()> = Result<T, CliError>;
+
 fn usage() -> ! {
     eprintln!(
         "usage: nwhy-cli <stats|cc|bfs|sline|check|toplex|scomp|kcore|pagerank|gen|pack|info|\
@@ -117,12 +168,13 @@ impl Args {
     }
 }
 
-fn load(path: &str) -> Result<Hypergraph, String> {
+fn load(path: &str) -> CliResult<Hypergraph> {
     let lower = path.to_ascii_lowercase();
     if lower.ends_with(".nwhypak") {
-        return nwhy::io::read_packed(Path::new(path)).map_err(|e| format!("{path}: {e}"));
+        return nwhy::io::read_packed(Path::new(path))
+            .map_err(|e| CliError::io(format!("{path}: {e}")));
     }
-    let file = File::open(path).map_err(|e| format!("{path}: {e}"))?;
+    let file = File::open(path).map_err(|e| CliError::io(format!("{path}: {e}")))?;
     let reader = BufReader::new(file);
     let result = if lower.ends_with(".mtx") || lower.ends_with(".mm") {
         nwhy::io::read_matrix_market(reader)
@@ -133,17 +185,17 @@ fn load(path: &str) -> Result<Hypergraph, String> {
     } else {
         nwhy::io::read_hyperedge_list(reader)
     };
-    result.map_err(|e| format!("{path}: {e}"))
+    result.map_err(|e| CliError::io(format!("{path}: {e}")))
 }
 
-fn save(path: &str, h: &Hypergraph) -> Result<(), String> {
+fn save(path: &str, h: &Hypergraph) -> CliResult {
     let lower = path.to_ascii_lowercase();
     if lower.ends_with(".nwhypak") {
         return nwhy::io::write_packed_file(Path::new(path), h)
             .map(|_| ())
-            .map_err(|e| format!("{path}: {e}"));
+            .map_err(|e| CliError::io(format!("{path}: {e}")));
     }
-    let file = File::create(path).map_err(|e| format!("{path}: {e}"))?;
+    let file = File::create(path).map_err(|e| CliError::io(format!("{path}: {e}")))?;
     let mut writer = BufWriter::new(file);
     let result = if lower.ends_with(".mtx") || lower.ends_with(".mm") {
         nwhy::io::write_matrix_market(&mut writer, h)
@@ -154,8 +206,10 @@ fn save(path: &str, h: &Hypergraph) -> Result<(), String> {
     } else {
         nwhy::io::write_hyperedge_list(&mut writer, h)
     };
-    result.map_err(|e| format!("{path}: {e}"))?;
-    writer.flush().map_err(|e| format!("{path}: {e}"))
+    result.map_err(|e| CliError::io(format!("{path}: {e}")))?;
+    writer
+        .flush()
+        .map_err(|e| CliError::io(format!("{path}: {e}")))
 }
 
 /// A loaded analysis input: either the pointer-based in-memory
@@ -178,18 +232,20 @@ impl Input {
     /// Materializes the pointer-based representation (a no-op for
     /// in-memory inputs) for subcommands whose kernels are not generic
     /// over `HyperAdjacency`.
-    fn into_memory(self) -> Result<Hypergraph, String> {
+    fn into_memory(self) -> CliResult<Hypergraph> {
         match self {
             Input::Memory(h) => Ok(h),
-            Input::Packed(c) => c.to_hypergraph().map_err(|e| format!("packed image: {e}")),
+            Input::Packed(c) => c
+                .to_hypergraph()
+                .map_err(|e| CliError::io(format!("packed image: {e}"))),
         }
     }
 }
 
 /// Resolves the storage backend from the `--mmap` / `--no-mmap` flags.
-fn backend_choice(args: &Args) -> Result<Backend, String> {
+fn backend_choice(args: &Args) -> CliResult<Backend> {
     match (args.flag("mmap").is_some(), args.flag("no-mmap").is_some()) {
-        (true, true) => Err("--mmap conflicts with --no-mmap".into()),
+        (true, true) => Err(CliError::usage("--mmap conflicts with --no-mmap")),
         (true, false) => Ok(Backend::Mmap),
         (false, true) => Ok(Backend::Owned),
         (false, false) => Ok(Backend::Auto),
@@ -200,11 +256,11 @@ fn backend_choice(args: &Args) -> Result<Backend, String> {
 /// `--mmap` explicitly asks for the zero-copy path — open as packed
 /// images through the chosen backend; every other extension parses into
 /// the in-memory form.
-fn load_input(args: &Args, path: &str) -> Result<Input, String> {
+fn load_input(args: &Args, path: &str) -> CliResult<Input> {
     let packed = path.to_ascii_lowercase().ends_with(".nwhypak") || args.flag("mmap").is_some();
     if packed {
         let c = nwhy::io::open_packed(Path::new(path), backend_choice(args)?)
-            .map_err(|e| format!("{path}: {e}"))?;
+            .map_err(|e| CliError::io(format!("{path}: {e}")))?;
         Ok(Input::Packed(c))
     } else {
         Ok(Input::Memory(load(path)?))
@@ -214,8 +270,8 @@ fn load_input(args: &Args, path: &str) -> Result<Input, String> {
 /// Table I statistics computed straight off a packed image: shape from
 /// the header, degree extrema from per-row length prefixes — no payload
 /// decode, no materialization.
-fn packed_stats(c: &CompressedHypergraph) -> Result<nwhy::HypergraphStats, String> {
-    let err = |e: nwhy::store::StoreError| format!("packed image: {e}");
+fn packed_stats(c: &CompressedHypergraph) -> CliResult<nwhy::HypergraphStats> {
+    let err = |e: nwhy::store::StoreError| CliError::io(format!("packed image: {e}"));
     let (ne, nv, nnz) = (c.num_hyperedges(), c.num_hypernodes(), c.num_incidences());
     let mut max_edge_degree = 0;
     for e in 0..ne {
@@ -242,8 +298,22 @@ fn packed_stats(c: &CompressedHypergraph) -> Result<nwhy::HypergraphStats, Strin
     })
 }
 
-fn cmd_stats(args: &Args) -> Result<(), String> {
-    let path = args.positional.first().ok_or("stats: missing <file>")?;
+/// Parses a flag value strictly: a present-but-malformed value is a
+/// usage error, never a silent fallback to the default.
+fn parse_flag<T: std::str::FromStr>(args: &Args, cmd: &str, key: &str, default: T) -> CliResult<T> {
+    match args.flag(key) {
+        None => Ok(default),
+        Some(raw) => raw
+            .parse()
+            .map_err(|_| CliError::usage(format!("{cmd}: malformed --{key} value `{raw}`"))),
+    }
+}
+
+fn cmd_stats(args: &Args) -> CliResult {
+    let path = args
+        .positional
+        .first()
+        .ok_or_else(|| CliError::usage("stats: missing <file>"))?;
     let input = load_input(args, path)?;
     let s = match &input {
         Input::Memory(h) => h.stats(),
@@ -270,7 +340,9 @@ fn cmd_stats(args: &Args) -> Result<(), String> {
     println!("max edge size:   {}", s.max_edge_degree);
     if let Some(run) = args.flag("run") {
         if input.num_hyperedges() == 0 {
-            return Err("stats: --run needs a non-empty hypergraph".into());
+            return Err(CliError::invariant(
+                "stats: --run needs a non-empty hypergraph",
+            ));
         }
         match run {
             "bfs" => {
@@ -295,14 +367,18 @@ fn cmd_stats(args: &Args) -> Result<(), String> {
                 println!("ran cc: {n} components");
             }
             "sline" => {
-                let s: usize = args.flag("s").unwrap_or("2").parse().unwrap_or(2);
+                let s: usize = parse_flag(args, "stats", "s", 2)?;
                 let pairs = match &input {
                     Input::Memory(h) => SLineBuilder::new(h).s(s).edges(),
                     Input::Packed(c) => SLineBuilder::new(c).s(s).edges(),
                 };
                 println!("ran sline (s={s}): {} line-graph edges", pairs.len());
             }
-            other => return Err(format!("stats: unknown --run {other} (bfs|cc|sline)")),
+            other => {
+                return Err(CliError::usage(format!(
+                    "stats: unknown --run {other} (bfs|cc|sline)"
+                )))
+            }
         }
         let snap = nwhy::obs::snapshot();
         if snap.is_empty() {
@@ -314,8 +390,11 @@ fn cmd_stats(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_cc(args: &Args) -> Result<(), String> {
-    let path = args.positional.first().ok_or("cc: missing <file>")?;
+fn cmd_cc(args: &Args) -> CliResult {
+    let path = args
+        .positional
+        .first()
+        .ok_or_else(|| CliError::usage("cc: missing <file>"))?;
     let algo = args.flag("algo").unwrap_or("hyper");
     let input = load_input(args, path)?;
     let n = match (input, algo) {
@@ -331,7 +410,7 @@ fn cmd_cc(args: &Args) -> Result<(), String> {
                     adjoin_cc_label_propagation(&AdjoinGraph::from_hypergraph(&h)).num_components()
                 }
                 "hygra" => nwhy::hygra::hygra_cc(&h).num_components(),
-                other => return Err(format!("cc: unknown --algo {other}")),
+                other => return Err(CliError::usage(format!("cc: unknown --algo {other}"))),
             }
         }
     };
@@ -339,20 +418,23 @@ fn cmd_cc(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_bfs(args: &Args) -> Result<(), String> {
-    let path = args.positional.first().ok_or("bfs: missing <file>")?;
+fn cmd_bfs(args: &Args) -> CliResult {
+    let path = args
+        .positional
+        .first()
+        .ok_or_else(|| CliError::usage("bfs: missing <file>"))?;
     let source: u32 = args
         .flag("source")
-        .ok_or("bfs: missing --source")?
+        .ok_or_else(|| CliError::usage("bfs: missing --source"))?
         .parse()
-        .map_err(|_| "bfs: --source must be an integer")?;
+        .map_err(|_| CliError::usage("bfs: --source must be an integer"))?;
     let algo = args.flag("algo").unwrap_or("adjoin");
     let input = load_input(args, path)?;
     if source as usize >= input.num_hyperedges() {
-        return Err(format!(
+        return Err(CliError::invariant(format!(
             "bfs: source {source} out of range ({} hyperedges)",
             input.num_hyperedges()
-        ));
+        )));
     }
     let (edges_reached, nodes_reached, max_level) = match (input, algo) {
         // the generic top-down kernel serves packed inputs zero-copy
@@ -399,7 +481,7 @@ fn cmd_bfs(args: &Args) -> Result<(), String> {
                         max_finite(&r.edge_levels),
                     )
                 }
-                other => return Err(format!("bfs: unknown --algo {other}")),
+                other => return Err(CliError::usage(format!("bfs: unknown --algo {other}"))),
             }
         }
     };
@@ -423,15 +505,18 @@ fn max_finite(levels: &[u32]) -> u32 {
         .unwrap_or(0)
 }
 
-fn cmd_sline(args: &Args) -> Result<(), String> {
-    let path = args.positional.first().ok_or("sline: missing <file>")?;
+fn cmd_sline(args: &Args) -> CliResult {
+    let path = args
+        .positional
+        .first()
+        .ok_or_else(|| CliError::usage("sline: missing <file>"))?;
     let s: usize = args
         .flag("s")
-        .ok_or("sline: missing --s")?
+        .ok_or_else(|| CliError::usage("sline: missing --s"))?
         .parse()
-        .map_err(|_| "sline: --s must be a positive integer")?;
+        .map_err(|_| CliError::usage("sline: --s must be a positive integer"))?;
     if s == 0 {
-        return Err("sline: --s must be >= 1".into());
+        return Err(CliError::usage("sline: --s must be >= 1"));
     }
     // `--kernel` supersedes `--algo` (kept as an alias); `auto` hands
     // the choice to the planner
@@ -447,19 +532,18 @@ fn cmd_sline(args: &Args) -> Result<(), String> {
         "queue1" => Some(Algorithm::QueueHashmap),
         "queue2" => Some(Algorithm::QueueIntersection),
         "pairsort" => Some(Algorithm::PairSort),
-        other => return Err(format!("sline: unknown --kernel {other}")),
+        other => return Err(CliError::usage(format!("sline: unknown --kernel {other}"))),
     };
     let overlap = match args.flag("overlap") {
         None => OverlapPolicy::default(),
-        Some(name) => {
-            OverlapPolicy::parse(name).ok_or_else(|| format!("sline: unknown --overlap {name}"))?
-        }
+        Some(name) => OverlapPolicy::parse(name)
+            .ok_or_else(|| CliError::usage(format!("sline: unknown --overlap {name}")))?,
     };
     let relabel = match args.flag("relabel").unwrap_or("none") {
         "none" => Relabel::None,
         "asc" => Relabel::Ascending,
         "desc" => Relabel::Descending,
-        other => return Err(format!("sline: unknown --relabel {other}")),
+        other => return Err(CliError::usage(format!("sline: unknown --relabel {other}"))),
     };
     let input = load_input(args, path)?;
     let ne = input.num_hyperedges();
@@ -501,10 +585,10 @@ fn cmd_sline(args: &Args) -> Result<(), String> {
         pairs.len(),
     );
     if let Some(out) = args.flag("out") {
-        let file = File::create(out).map_err(|e| format!("{out}: {e}"))?;
+        let file = File::create(out).map_err(|e| CliError::io(format!("{out}: {e}")))?;
         let mut w = BufWriter::new(file);
         for (a, b) in &pairs {
-            writeln!(w, "{a}\t{b}").map_err(|e| format!("{out}: {e}"))?;
+            writeln!(w, "{a}\t{b}").map_err(|e| CliError::io(format!("{out}: {e}")))?;
         }
         println!("wrote edge list to {out}");
     }
@@ -516,10 +600,13 @@ fn cmd_sline(args: &Args) -> Result<(), String> {
 /// graph, and (when `--s` is given) the weighted s-line CSR checked
 /// against its source hypergraph. Reports each structure on its own
 /// line; any violation fails the command.
-fn cmd_check(args: &Args) -> Result<(), String> {
+fn cmd_check(args: &Args) -> CliResult {
     use nwhy::core::{DualView, SLineOutput, Validate};
 
-    let path = args.positional.first().ok_or("check: missing <file>")?;
+    let path = args
+        .positional
+        .first()
+        .ok_or_else(|| CliError::usage("check: missing <file>"))?;
     let input = load_input(args, path)?;
     let mut failures = 0usize;
     let mut report = |name: &str, result: Result<(), nwhy::InvariantViolation>| match result {
@@ -539,7 +626,7 @@ fn cmd_check(args: &Args) -> Result<(), String> {
                 c.validate(),
             );
             c.to_hypergraph()
-                .map_err(|e| format!("packed image: {e}"))?
+                .map_err(|e| CliError::io(format!("packed image: {e}")))?
         }
     };
     report(
@@ -552,9 +639,9 @@ fn cmd_check(args: &Args) -> Result<(), String> {
     if let Some(raw) = args.flag("s") {
         let s: usize = raw
             .parse()
-            .map_err(|_| "check: --s must be a positive integer")?;
+            .map_err(|_| CliError::usage("check: --s must be a positive integer"))?;
         if s == 0 {
-            return Err("check: --s must be >= 1".into());
+            return Err(CliError::usage("check: --s must be >= 1"));
         }
         let g = SLineBuilder::new(&h).s(s).weighted_csr();
         report(
@@ -571,14 +658,17 @@ fn cmd_check(args: &Args) -> Result<(), String> {
         println!("all invariants hold");
         Ok(())
     } else {
-        Err(format!(
+        Err(CliError::invariant(format!(
             "check: {failures} structure(s) violated invariants"
-        ))
+        )))
     }
 }
 
-fn cmd_toplex(args: &Args) -> Result<(), String> {
-    let path = args.positional.first().ok_or("toplex: missing <file>")?;
+fn cmd_toplex(args: &Args) -> CliResult {
+    let path = args
+        .positional
+        .first()
+        .ok_or_else(|| CliError::usage("toplex: missing <file>"))?;
     let h = load_input(args, path)?.into_memory()?;
     let t = toplexes(&h);
     println!(
@@ -591,15 +681,18 @@ fn cmd_toplex(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_scomp(args: &Args) -> Result<(), String> {
-    let path = args.positional.first().ok_or("scomp: missing <file>")?;
+fn cmd_scomp(args: &Args) -> CliResult {
+    let path = args
+        .positional
+        .first()
+        .ok_or_else(|| CliError::usage("scomp: missing <file>"))?;
     let s: usize = args
         .flag("s")
-        .ok_or("scomp: missing --s")?
+        .ok_or_else(|| CliError::usage("scomp: missing --s"))?
         .parse()
-        .map_err(|_| "scomp: --s must be a positive integer")?;
+        .map_err(|_| CliError::usage("scomp: --s must be a positive integer"))?;
     if s == 0 {
-        return Err("scomp: --s must be >= 1".into());
+        return Err(CliError::usage("scomp: --s must be >= 1"));
     }
     let input = load_input(args, path)?;
     let ne = input.num_hyperedges();
@@ -627,18 +720,21 @@ fn cmd_scomp(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_kcore(args: &Args) -> Result<(), String> {
-    let path = args.positional.first().ok_or("kcore: missing <file>")?;
+fn cmd_kcore(args: &Args) -> CliResult {
+    let path = args
+        .positional
+        .first()
+        .ok_or_else(|| CliError::usage("kcore: missing <file>"))?;
     let k: usize = args
         .flag("k")
-        .ok_or("kcore: missing --k")?
+        .ok_or_else(|| CliError::usage("kcore: missing --k"))?
         .parse()
-        .map_err(|_| "kcore: --k must be an integer")?;
+        .map_err(|_| CliError::usage("kcore: --k must be an integer"))?;
     let l: usize = args
         .flag("l")
-        .ok_or("kcore: missing --l")?
+        .ok_or_else(|| CliError::usage("kcore: missing --l"))?
         .parse()
-        .map_err(|_| "kcore: --l must be an integer")?;
+        .map_err(|_| CliError::usage("kcore: --l must be an integer"))?;
     let h = load_input(args, path)?.into_memory()?;
     let core = nwhy::core::algorithms::kcore::kl_core(&h, k, l);
     println!(
@@ -651,14 +747,13 @@ fn cmd_kcore(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_pagerank(args: &Args) -> Result<(), String> {
-    let path = args.positional.first().ok_or("pagerank: missing <file>")?;
-    let damping: f64 = args
-        .flag("damping")
-        .unwrap_or("0.85")
-        .parse()
-        .unwrap_or(0.85);
-    let top: usize = args.flag("top").unwrap_or("10").parse().unwrap_or(10);
+fn cmd_pagerank(args: &Args) -> CliResult {
+    let path = args
+        .positional
+        .first()
+        .ok_or_else(|| CliError::usage("pagerank: missing <file>"))?;
+    let damping: f64 = parse_flag(args, "pagerank", "damping", 0.85)?;
+    let top: usize = parse_flag(args, "pagerank", "top", 10)?;
     let h = load_input(args, path)?.into_memory()?;
     let (pr, iters) = nwhy::hygra::pagerank::hygra_pagerank(
         &h,
@@ -668,7 +763,7 @@ fn cmd_pagerank(args: &Args) -> Result<(), String> {
         },
     );
     let mut ranked: Vec<(usize, f64)> = pr.iter().copied().enumerate().collect();
-    ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+    ranked.sort_by(|a, b| b.1.total_cmp(&a.1));
     println!("hypergraph PageRank converged in {iters} iterations (damping {damping})");
     println!("top {} hypernodes:", top.min(ranked.len()));
     for &(v, score) in ranked.iter().take(top) {
@@ -680,13 +775,21 @@ fn cmd_pagerank(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_gen(args: &Args) -> Result<(), String> {
-    let name = args.positional.first().ok_or("gen: missing <profile>")?;
-    let profile = nwhy::gen::profiles::profile_by_name(name)
-        .ok_or_else(|| format!("gen: unknown profile {name} (see `table1` for the list)"))?;
-    let scale: usize = args.flag("scale").unwrap_or("2000").parse().unwrap_or(2000);
-    let seed: u64 = args.flag("seed").unwrap_or("42").parse().unwrap_or(42);
-    let out = args.flag("out").ok_or("gen: missing --out")?;
+fn cmd_gen(args: &Args) -> CliResult {
+    let name = args
+        .positional
+        .first()
+        .ok_or_else(|| CliError::usage("gen: missing <profile>"))?;
+    let profile = nwhy::gen::profiles::profile_by_name(name).ok_or_else(|| {
+        CliError::usage(format!(
+            "gen: unknown profile {name} (see `table1` for the list)"
+        ))
+    })?;
+    let scale: usize = parse_flag(args, "gen", "scale", 2000)?;
+    let seed: u64 = parse_flag(args, "gen", "seed", 42)?;
+    let out = args
+        .flag("out")
+        .ok_or_else(|| CliError::usage("gen: missing --out"))?;
     let h = profile.generate(scale, seed);
     save(out, &h)?;
     let s = h.stats();
@@ -697,9 +800,9 @@ fn cmd_gen(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_convert(args: &Args) -> Result<(), String> {
+fn cmd_convert(args: &Args) -> CliResult {
     let [input, output] = args.positional.as_slice() else {
-        return Err("convert: need <in> <out>".into());
+        return Err(CliError::usage("convert: need <in> <out>"));
     };
     let h = load(input)?;
     save(output, &h)?;
@@ -713,13 +816,13 @@ fn cmd_convert(args: &Args) -> Result<(), String> {
 
 /// `pack <in> <out>`: read any supported format and write the
 /// compressed NWHYPAK1 on-disk image.
-fn cmd_pack(args: &Args) -> Result<(), String> {
+fn cmd_pack(args: &Args) -> CliResult {
     let [input, output] = args.positional.as_slice() else {
-        return Err("pack: need <in> <out>".into());
+        return Err(CliError::usage("pack: need <in> <out>"));
     };
     let h = load(input)?;
-    let bytes =
-        nwhy::io::write_packed_file(Path::new(output), &h).map_err(|e| format!("{output}: {e}"))?;
+    let bytes = nwhy::io::write_packed_file(Path::new(output), &h)
+        .map_err(|e| CliError::io(format!("{output}: {e}")))?;
     let nnz = h.num_incidences();
     let bpi = if nnz == 0 {
         0.0
@@ -735,10 +838,13 @@ fn cmd_pack(args: &Args) -> Result<(), String> {
 
 /// `info <file>`: header shape, per-section byte sizes, and an integrity
 /// check of a packed image — without materializing the hypergraph.
-fn cmd_info(args: &Args) -> Result<(), String> {
-    let path = args.positional.first().ok_or("info: missing <file>")?;
+fn cmd_info(args: &Args) -> CliResult {
+    let path = args
+        .positional
+        .first()
+        .ok_or_else(|| CliError::usage("info: missing <file>"))?;
     let c = nwhy::io::open_packed(Path::new(path), backend_choice(args)?)
-        .map_err(|e| format!("{path}: {e}"))?;
+        .map_err(|e| CliError::io(format!("{path}: {e}")))?;
     let s = c.stats();
     println!("file:             {path}");
     println!("format:           NWHYPAK1 v{}", nwhy::store::VERSION);
@@ -763,7 +869,7 @@ fn cmd_info(args: &Args) -> Result<(), String> {
         s.bytes_per_incidence()
     );
     c.check_integrity()
-        .map_err(|e| format!("{path}: integrity check failed: {e}"))?;
+        .map_err(|e| CliError::invariant(format!("{path}: integrity check failed: {e}")))?;
     println!("integrity:        ok");
     Ok(())
 }
@@ -888,6 +994,41 @@ mod tests {
     }
 
     #[test]
+    fn cli_error_exit_codes_are_distinct() {
+        assert_eq!(CliError::usage("u").exit_code(), 2);
+        assert_eq!(CliError::io("i").exit_code(), 3);
+        assert_eq!(CliError::invariant("v").exit_code(), 4);
+        assert_eq!(CliError::usage("msg").to_string(), "msg");
+    }
+
+    #[test]
+    fn errors_classify_by_cause() {
+        // bad flags are usage errors
+        let conflict = backend_choice(&Args::parse(&to_vec(&["--mmap", "--no-mmap"])));
+        assert!(matches!(conflict, Err(CliError::Usage(_))));
+        let args = Args::parse(&to_vec(&["--top", "NaNbutworse"]));
+        assert!(matches!(
+            parse_flag::<usize>(&args, "pagerank", "top", 10),
+            Err(CliError::Usage(_))
+        ));
+        // a malformed value never falls back to the default silently
+        assert_eq!(
+            parse_flag::<usize>(&Args::parse(&[]), "x", "top", 10).unwrap(),
+            10
+        );
+        // missing files are io errors
+        assert!(matches!(
+            load("/nonexistent/nwhy-test.mtx"),
+            Err(CliError::Io(_))
+        ));
+        // missing positional is a usage error
+        assert!(matches!(
+            cmd_stats(&Args::parse(&[])),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
     fn packed_stats_matches_in_memory_stats() {
         let h = nwhy::core::fixtures::paper_hypergraph();
         let c = CompressedHypergraph::from_bytes(nwhy::store::pack_hypergraph(&h)).unwrap();
@@ -925,20 +1066,25 @@ fn span_name(cmd: &str) -> &'static str {
 /// Handles the global `--metrics[=text|json]` and `--trace-out FILE`
 /// flags after the subcommand finished (so its root span is closed and
 /// included in the snapshot).
-fn emit_observability(args: &Args) -> Result<(), String> {
+fn emit_observability(args: &Args) -> CliResult {
     if let Some(mode) = args.flag("metrics") {
         let snap = nwhy::obs::snapshot();
         match mode {
             "" | "text" => print!("{}", snap.to_text()),
             "json" => println!("{}", snap.to_json()),
-            other => return Err(format!("unknown --metrics mode {other} (text|json)")),
+            other => {
+                return Err(CliError::usage(format!(
+                    "unknown --metrics mode {other} (text|json)"
+                )))
+            }
         }
     }
     if let Some(path) = args.flag("trace-out") {
         if path.is_empty() {
-            return Err("--trace-out needs a file path".into());
+            return Err(CliError::usage("--trace-out needs a file path"));
         }
-        std::fs::write(path, nwhy::obs::chrome_trace()).map_err(|e| format!("{path}: {e}"))?;
+        std::fs::write(path, nwhy::obs::chrome_trace())
+            .map_err(|e| CliError::io(format!("{path}: {e}")))?;
     }
     Ok(())
 }
@@ -976,7 +1122,7 @@ fn main() -> ExitCode {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("error: {e}");
-            ExitCode::FAILURE
+            ExitCode::from(e.exit_code())
         }
     }
 }

@@ -1,0 +1,583 @@
+//! A hand-rolled, dependency-free Rust lexer for the repo lint engine.
+//!
+//! The PR 5 lint pass was line-lexical: it could not see through string
+//! literals, doc comments, or multi-line expressions, which produced
+//! known false-positive classes (`unsafe` quoted in a doc comment,
+//! ` as u32` inside a string). This lexer tokenizes real Rust surface
+//! syntax far enough for the rules in [`crate::lint`] to match on
+//! *tokens*:
+//!
+//! - line comments (`//`, `///`, `//!`) and **nested** block comments
+//!   (`/* /* */ */`), kept as [`Kind::Comment`] tokens so the
+//!   `// lint:` / `// SAFETY:` audit markers stay visible;
+//! - string literals: normal (`"…"` with escapes), raw (`r"…"`,
+//!   `r#"…"#` with any number of hashes), byte (`b"…"`, `br#"…"#`) and
+//!   C variants (`c"…"`, `cr#"…"#`);
+//! - char literals vs lifetimes (`'a'` vs `'a`), including escaped
+//!   chars (`'\''`, `'\u{1F600}'`) and byte chars (`b'x'`);
+//! - identifiers (including raw `r#ident`), numbers (ints, floats,
+//!   suffixes — without swallowing the `..` of a range), and
+//!   single-char punctuation.
+//!
+//! Every token carries its 1-based line number; multi-line tokens
+//! (block comments, multi-line strings) are anchored at their *start*
+//! line. The lexer never fails: unterminated literals are closed at
+//! end of input, which is the right behavior for a linter that must
+//! keep scanning whatever rustc would reject anyway.
+
+/// What a token is, at the granularity the lint rules need.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kind {
+    /// Identifier or keyword (rules distinguish by text).
+    Ident,
+    /// `'lifetime` (including `'static`, `'_`).
+    Lifetime,
+    /// Integer or float literal, with suffix if any.
+    Num,
+    /// Any string literal (normal/raw/byte/C), text excludes quotes.
+    Str,
+    /// Char or byte-char literal.
+    Char,
+    /// One punctuation character (`::` arrives as two `:` tokens).
+    Punct,
+    /// Line or block comment, text includes the delimiters.
+    Comment,
+}
+
+/// One lexed token: kind, verbatim text, and the 1-based line where it
+/// starts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Token class.
+    pub kind: Kind,
+    /// The token's text. For [`Kind::Str`] the quotes/prefix/hashes are
+    /// stripped (rules match on *content*); for everything else the
+    /// text is verbatim.
+    pub text: String,
+    /// 1-based line number of the token's first character.
+    pub line: usize,
+}
+
+impl Token {
+    fn new(kind: Kind, text: impl Into<String>, line: usize) -> Self {
+        Token {
+            kind,
+            text: text.into(),
+            line,
+        }
+    }
+}
+
+/// The 2021-edition keyword set (strict + reserved), used by rules that
+/// must tell an expression-position identifier from a keyword (e.g. the
+/// slice-indexing check: `x[i]` indexes, `return [i]` builds an array).
+pub fn is_keyword(word: &str) -> bool {
+    matches!(
+        word,
+        "as" | "async"
+            | "await"
+            | "box"
+            | "break"
+            | "const"
+            | "continue"
+            | "crate"
+            | "dyn"
+            | "else"
+            | "enum"
+            | "extern"
+            | "false"
+            | "fn"
+            | "for"
+            | "if"
+            | "impl"
+            | "in"
+            | "let"
+            | "loop"
+            | "match"
+            | "mod"
+            | "move"
+            | "mut"
+            | "pub"
+            | "ref"
+            | "return"
+            | "self"
+            | "Self"
+            | "static"
+            | "struct"
+            | "super"
+            | "trait"
+            | "true"
+            | "type"
+            | "union"
+            | "unsafe"
+            | "use"
+            | "where"
+            | "while"
+            | "yield"
+    )
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: usize,
+    out: Vec<Token>,
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+impl<'a> Lexer<'a> {
+    fn peek(&self, off: usize) -> Option<u8> {
+        self.src.get(self.pos + off).copied()
+    }
+
+    /// Advances one byte, tracking newlines.
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.src.get(self.pos).copied()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+        }
+        Some(b)
+    }
+
+    fn text_from(&self, start: usize) -> &'a str {
+        // the lexer only splits at ASCII boundaries, so this slice is
+        // valid UTF-8 whenever the input was
+        std::str::from_utf8(&self.src[start..self.pos]).unwrap_or("")
+    }
+
+    /// Consumes a line comment starting at `//`.
+    fn line_comment(&mut self) {
+        let start = self.pos;
+        let line = self.line;
+        while let Some(b) = self.peek(0) {
+            if b == b'\n' {
+                break;
+            }
+            self.bump();
+        }
+        let text = self.text_from(start).to_string();
+        self.out.push(Token::new(Kind::Comment, text, line));
+    }
+
+    /// Consumes a block comment starting at `/*`, handling nesting.
+    fn block_comment(&mut self) {
+        let start = self.pos;
+        let line = self.line;
+        self.bump(); // '/'
+        self.bump(); // '*'
+        let mut depth = 1usize;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some(b'/'), Some(b'*')) => {
+                    self.bump();
+                    self.bump();
+                    depth += 1;
+                }
+                (Some(b'*'), Some(b'/')) => {
+                    self.bump();
+                    self.bump();
+                    depth -= 1;
+                }
+                (Some(_), _) => {
+                    self.bump();
+                }
+                (None, _) => break, // unterminated: close at EOF
+            }
+        }
+        let text = self.text_from(start).to_string();
+        self.out.push(Token::new(Kind::Comment, text, line));
+    }
+
+    /// Consumes a normal (escaped) string body after the opening quote
+    /// was bumped; `quote` is `"` or `'` (for char literals the caller
+    /// handles length semantics — we just find the closing quote).
+    fn escaped_body(&mut self, quote: u8) -> String {
+        let start = self.pos;
+        loop {
+            match self.peek(0) {
+                None => break,
+                Some(b'\\') => {
+                    self.bump();
+                    self.bump(); // the escaped char (or '{' of \u{…})
+                }
+                Some(b) if b == quote => break,
+                Some(_) => {
+                    self.bump();
+                }
+            }
+        }
+        let text = self.text_from(start).to_string();
+        self.bump(); // closing quote (no-op at EOF)
+        text
+    }
+
+    /// Consumes a raw string after the `r`/`br`/`cr` prefix: counts the
+    /// hashes, expects `"`, scans to `"` followed by the same number of
+    /// hashes.
+    fn raw_string(&mut self, line: usize) {
+        let mut hashes = 0usize;
+        while self.peek(0) == Some(b'#') {
+            self.bump();
+            hashes += 1;
+        }
+        if self.peek(0) != Some(b'"') {
+            // `r#ident` handed to us by mistake — shouldn't happen, the
+            // caller peeks; treat the hashes as punctuation and return
+            for _ in 0..hashes {
+                self.out.push(Token::new(Kind::Punct, "#", line));
+            }
+            return;
+        }
+        self.bump(); // opening quote
+        let start = self.pos;
+        let end;
+        loop {
+            match self.peek(0) {
+                None => {
+                    end = self.pos;
+                    break;
+                }
+                Some(b'"') => {
+                    let close_at = self.pos;
+                    self.bump();
+                    let mut seen = 0usize;
+                    while seen < hashes && self.peek(0) == Some(b'#') {
+                        self.bump();
+                        seen += 1;
+                    }
+                    if seen == hashes {
+                        end = close_at;
+                        break;
+                    }
+                    // a quote with too few hashes is part of the body
+                }
+                Some(_) => {
+                    self.bump();
+                }
+            }
+        }
+        let text = std::str::from_utf8(&self.src[start..end])
+            .unwrap_or("")
+            .to_string();
+        self.out.push(Token::new(Kind::Str, text, line));
+    }
+
+    /// `'` was seen: lifetime (`'a`) or char literal (`'a'`, `'\n'`).
+    fn quote(&mut self) {
+        let line = self.line;
+        self.bump(); // '
+        match self.peek(0) {
+            Some(b) if is_ident_start(b) => {
+                // scan the ident run; a trailing `'` makes it a char
+                // literal (`'a'`), otherwise it is a lifetime (`'a`)
+                let start = self.pos;
+                let mut end = self.pos;
+                while end < self.src.len() && is_ident_continue(self.src[end]) {
+                    end += 1;
+                }
+                if self.src.get(end) == Some(&b'\'') {
+                    while self.pos < end {
+                        self.bump();
+                    }
+                    let text = self.text_from(start).to_string();
+                    self.bump(); // closing '
+                    self.out.push(Token::new(Kind::Char, text, line));
+                } else {
+                    while self.pos < end {
+                        self.bump();
+                    }
+                    let text = format!("'{}", self.text_from(start));
+                    self.out.push(Token::new(Kind::Lifetime, text, line));
+                }
+            }
+            Some(b'\'') => {
+                // `''` — empty char literal (invalid Rust, but close it)
+                self.bump();
+                self.out.push(Token::new(Kind::Char, "", line));
+            }
+            Some(_) => {
+                // escaped or punctuation char literal: `'\n'`, `'+'`
+                let text = self.escaped_body(b'\'');
+                self.out.push(Token::new(Kind::Char, text, line));
+            }
+            None => self.out.push(Token::new(Kind::Punct, "'", line)),
+        }
+    }
+
+    /// Number literal; stops before `..` so ranges lex as `0` `.` `.`.
+    fn number(&mut self) {
+        let start = self.pos;
+        let line = self.line;
+        self.bump(); // leading digit
+        while let Some(b) = self.peek(0) {
+            if b.is_ascii_alphanumeric() || b == b'_' {
+                // exponent sign: `1e+3` / `2.5E-7`
+                self.bump();
+                if (b == b'e' || b == b'E')
+                    && matches!(self.peek(0), Some(b'+') | Some(b'-'))
+                    && self.peek(1).is_some_and(|d| d.is_ascii_digit())
+                {
+                    self.bump();
+                }
+            } else if b == b'.' {
+                // a second dot means a range (`0..n`), not a float
+                if self.peek(1) == Some(b'.') {
+                    break;
+                }
+                // `1.max(2)` — method call on a literal, not a float
+                if self.peek(1).is_some_and(is_ident_start) {
+                    break;
+                }
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        let text = self.text_from(start).to_string();
+        self.out.push(Token::new(Kind::Num, text, line));
+    }
+
+    fn ident(&mut self) {
+        let start = self.pos;
+        let line = self.line;
+        while self.peek(0).is_some_and(is_ident_continue) {
+            self.bump();
+        }
+        let text = self.text_from(start).to_string();
+        self.out.push(Token::new(Kind::Ident, text, line));
+    }
+
+    fn run(mut self) -> Vec<Token> {
+        while let Some(b) = self.peek(0) {
+            match b {
+                b' ' | b'\t' | b'\r' | b'\n' => {
+                    self.bump();
+                }
+                b'/' if self.peek(1) == Some(b'/') => self.line_comment(),
+                b'/' if self.peek(1) == Some(b'*') => self.block_comment(),
+                b'"' => {
+                    let line = self.line;
+                    self.bump();
+                    let text = self.escaped_body(b'"');
+                    self.out.push(Token::new(Kind::Str, text, line));
+                }
+                b'\'' => self.quote(),
+                b'r' | b'b' | b'c' => {
+                    let line = self.line;
+                    // string prefixes: r" r#" b" b' br" br#" c" cr#"
+                    let (p1, p2) = (self.peek(1), self.peek(2));
+                    match (b, p1, p2) {
+                        (b'r', Some(b'"'), _) => {
+                            self.bump();
+                            self.raw_string(line);
+                        }
+                        (b'r', Some(b'#'), Some(n)) if n == b'"' || n == b'#' => {
+                            self.bump();
+                            self.raw_string(line);
+                        }
+                        (b'r', Some(b'#'), Some(n)) if is_ident_start(n) => {
+                            // raw identifier r#ident
+                            self.bump();
+                            self.bump();
+                            self.ident();
+                        }
+                        (b'b' | b'c', Some(b'"'), _) => {
+                            self.bump();
+                            self.bump();
+                            let text = self.escaped_body(b'"');
+                            self.out.push(Token::new(Kind::Str, text, line));
+                        }
+                        (b'b', Some(b'\''), _) => {
+                            self.bump();
+                            self.bump();
+                            let text = self.escaped_body(b'\'');
+                            self.out.push(Token::new(Kind::Char, text, line));
+                        }
+                        (b'b' | b'c', Some(b'r'), Some(n)) if n == b'"' || n == b'#' => {
+                            self.bump();
+                            self.bump();
+                            self.raw_string(line);
+                        }
+                        _ => self.ident(),
+                    }
+                }
+                b if is_ident_start(b) => self.ident(),
+                b if b.is_ascii_digit() => self.number(),
+                _ => {
+                    let line = self.line;
+                    self.bump();
+                    self.out
+                        .push(Token::new(Kind::Punct, (b as char).to_string(), line));
+                }
+            }
+        }
+        self.out
+    }
+}
+
+/// Tokenizes `src`. Comments are kept in-stream (callers that only want
+/// code tokens filter on [`Kind::Comment`]).
+pub fn lex(src: &str) -> Vec<Token> {
+    Lexer {
+        src: src.as_bytes(),
+        pos: 0,
+        line: 1,
+        out: Vec::new(),
+    }
+    .run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(Kind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    fn code_texts(src: &str) -> Vec<String> {
+        lex(src)
+            .into_iter()
+            .filter(|t| t.kind != Kind::Comment)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn idents_keywords_and_puncts() {
+        let toks = kinds("pub fn f(x: u32) -> u64 { x as u64 }");
+        assert!(toks.contains(&(Kind::Ident, "pub".into())));
+        assert!(toks.contains(&(Kind::Ident, "u32".into())));
+        assert!(toks.contains(&(Kind::Punct, "{".into())));
+        assert!(is_keyword("unsafe") && !is_keyword("unsafe_code"));
+    }
+
+    #[test]
+    fn string_contents_are_isolated() {
+        // the panic! and unsafe inside the string must be Str text, not
+        // Ident tokens — this is the false-positive class the lexical
+        // pass could not avoid
+        let texts = code_texts(r#"let s = "panic! unsafe as u32";"#);
+        assert_eq!(texts, vec!["let", "s", "=", "panic! unsafe as u32", ";"]);
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let toks = kinds(r####"let s = r#"quote " inside"#; let t = r##"x"#y"##;"####);
+        let strs: Vec<&str> = toks
+            .iter()
+            .filter(|(k, _)| *k == Kind::Str)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(strs, vec!["quote \" inside", "x\"#y"]);
+    }
+
+    #[test]
+    fn raw_string_without_hashes_and_byte_strings() {
+        let toks =
+            kinds(r##"let a = r"no \ escapes"; let b = b"bytes"; let c = br#"raw bytes"#;"##);
+        let strs: Vec<&str> = toks
+            .iter()
+            .filter(|(k, _)| *k == Kind::Str)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(strs, vec!["no \\ escapes", "bytes", "raw bytes"]);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = kinds("a /* outer /* inner */ still comment */ b");
+        assert_eq!(
+            toks,
+            vec![
+                (Kind::Ident, "a".into()),
+                (
+                    Kind::Comment,
+                    "/* outer /* inner */ still comment */".into()
+                ),
+                (Kind::Ident, "b".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn doc_comments_are_comments() {
+        // `unsafe` in a doc comment must not produce an Ident token
+        let texts = code_texts("/// this mentions unsafe code\nfn f() {}\n");
+        assert_eq!(texts, vec!["fn", "f", "(", ")", "{", "}"]);
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let toks = kinds("fn f<'a>(x: &'a str) { let c = 'x'; let q = '\\''; }");
+        assert!(toks.contains(&(Kind::Lifetime, "'a".into())));
+        assert!(toks.contains(&(Kind::Char, "x".into())));
+        assert!(toks.contains(&(Kind::Char, "\\'".into())));
+    }
+
+    #[test]
+    fn unicode_escape_char_literal() {
+        let toks = kinds(r"let c = '\u{1F600}';");
+        assert!(toks.iter().any(|(k, _)| *k == Kind::Char));
+        // the closing `;` must still arrive as punctuation
+        assert_eq!(toks.last().unwrap(), &(Kind::Punct, ";".into()));
+    }
+
+    #[test]
+    fn numbers_do_not_swallow_ranges() {
+        let texts = code_texts("for i in 0..n { a[i] = 1.5e-3; }");
+        assert!(texts.contains(&"0".to_string()));
+        assert!(texts.contains(&"1.5e-3".to_string()));
+        // the two range dots survive as puncts
+        assert_eq!(texts.iter().filter(|t| *t == ".").count(), 2);
+    }
+
+    #[test]
+    fn method_call_on_int_literal() {
+        let texts = code_texts("let x = 1.max(2);");
+        assert!(texts.contains(&"1".to_string()));
+        assert!(texts.contains(&"max".to_string()));
+    }
+
+    #[test]
+    fn line_numbers_track_multiline_tokens() {
+        let src = "a\n/* two\nlines */\nb\n\"multi\nline\"\nc";
+        let toks = lex(src);
+        let find = |text: &str| toks.iter().find(|t| t.text.contains(text)).unwrap().line;
+        assert_eq!(find("a"), 1);
+        assert_eq!(find("two"), 2); // comment anchored at its start
+        assert_eq!(toks.iter().find(|t| t.text == "b").unwrap().line, 4);
+        assert_eq!(find("multi"), 5);
+        assert_eq!(toks.iter().find(|t| t.text == "c").unwrap().line, 7);
+    }
+
+    #[test]
+    fn raw_identifiers() {
+        let texts = code_texts("let r#type = 1;");
+        assert!(texts.contains(&"type".to_string()));
+    }
+
+    #[test]
+    fn unterminated_literals_close_at_eof() {
+        // the linter must keep going on code rustc would reject
+        assert!(!lex("let s = \"open").is_empty());
+        assert!(!lex("/* open").is_empty());
+        assert!(!lex("let s = r#\"open").is_empty());
+    }
+
+    #[test]
+    fn shebang_like_and_attributes() {
+        let texts = code_texts("#![forbid(unsafe_code)]\n#[allow(dead_code)]\nfn f() {}");
+        assert!(texts.contains(&"#".to_string()));
+        assert!(texts.contains(&"unsafe_code".to_string()));
+        assert!(texts.contains(&"allow".to_string()));
+    }
+}

@@ -4,4 +4,7 @@
 //! nothing beyond the Rust toolchain.
 
 pub mod bench_diff;
+pub mod lexer;
 pub mod lint;
+pub mod model;
+pub mod sarif;

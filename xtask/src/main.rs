@@ -1,12 +1,17 @@
 //! `cargo xtask` entry point. Two tasks:
 //!
 //! ```text
-//! cargo xtask lint [--json] [ROOT]
+//! cargo xtask lint [--json | --sarif] [--update-baseline] [ROOT]
 //! cargo xtask bench-diff <OLD.json> <NEW.json> [--threshold PCT]
 //! ```
 //!
-//! `lint` runs the repo lint pass (see [`xtask::lint`]) over `ROOT`
-//! (default: the workspace root) and exits non-zero on any finding.
+//! `lint` runs the token-aware repo lint pass (see [`xtask::lint`])
+//! over `ROOT` (default: the workspace root) and exits non-zero on any
+//! finding. `--json` emits a findings array, `--sarif` a SARIF 2.1.0
+//! log for GitHub code scanning. `--update-baseline` rewrites
+//! `xtask/panic_baseline.txt` from the tree's current `panic-path`
+//! counts (use after burning sites down — the ratchet only moves one
+//! way).
 //!
 //! `bench-diff` is the CI perf gate (see [`xtask::bench_diff`]): it
 //! compares two `BENCH_*.json` counter files and exits non-zero when
@@ -22,12 +27,15 @@ fn main() -> ExitCode {
     match args.next().as_deref() {
         Some("lint") => {
             let mut json = false;
+            let mut sarif = false;
+            let mut update_baseline = false;
             let mut root: Option<PathBuf> = None;
             for a in args {
-                if a == "--json" {
-                    json = true;
-                } else {
-                    root = Some(PathBuf::from(a));
+                match a.as_str() {
+                    "--json" => json = true,
+                    "--sarif" => sarif = true,
+                    "--update-baseline" => update_baseline = true,
+                    _ => root = Some(PathBuf::from(a)),
                 }
             }
             let root = root.unwrap_or_else(|| {
@@ -36,11 +44,23 @@ fn main() -> ExitCode {
                     .expect("xtask sits one level under the workspace root")
                     .to_path_buf()
             });
-            let findings = xtask::lint::lint_tree(&root);
-            if json {
-                println!("{}", xtask::lint::to_json(&findings));
+            if update_baseline {
+                let content = xtask::lint::regenerate_baseline(&root);
+                let path = root.join(xtask::lint::PANIC_BASELINE);
+                if let Err(e) = std::fs::write(&path, &content) {
+                    eprintln!("xtask lint: cannot write {}: {e}", path.display());
+                    return ExitCode::from(2);
+                }
+                eprintln!("xtask lint: baseline rewritten at {}", path.display());
+            }
+            let report = xtask::lint::lint_tree_report(&root);
+            let findings = &report.findings;
+            if sarif {
+                println!("{}", xtask::sarif::to_sarif(findings));
+            } else if json {
+                println!("{}", xtask::lint::to_json(findings));
             } else {
-                for f in &findings {
+                for f in findings {
                     println!("{f}");
                 }
                 let rules: BTreeSet<&str> = findings.iter().map(|f| f.rule).collect();
@@ -49,6 +69,23 @@ fn main() -> ExitCode {
                     findings.len(),
                     rules.len()
                 );
+                eprintln!(
+                    "xtask lint: panic-path debt: {} panic site(s), {} index site(s) \
+                     ({} baselined)",
+                    report.baseline.panic_total,
+                    report.baseline.index_total,
+                    report.baseline.suppressed
+                );
+                if !report.baseline.shrinkable.is_empty() {
+                    eprintln!(
+                        "xtask lint: {} baseline entr(ies) can ratchet down — run \
+                         `cargo xtask lint --update-baseline`:",
+                        report.baseline.shrinkable.len()
+                    );
+                    for s in &report.baseline.shrinkable {
+                        eprintln!("  {s}");
+                    }
+                }
             }
             if findings.is_empty() {
                 ExitCode::SUCCESS
@@ -116,7 +153,7 @@ fn main() -> ExitCode {
         }
         _ => {
             eprintln!(
-                "usage: cargo xtask <lint [--json] [ROOT] | \
+                "usage: cargo xtask <lint [--json | --sarif] [--update-baseline] [ROOT] | \
                  bench-diff <OLD.json> <NEW.json> [--threshold PCT]>"
             );
             ExitCode::from(2)

@@ -1,0 +1,442 @@
+//! The item/block tracker the lint rules run against.
+//!
+//! [`FileModel`] digests one file's token stream (from [`crate::lexer`])
+//! into the structure the rules need:
+//!
+//! - **code tokens** with comments split out, plus a per-line index of
+//!   comment text and code presence, so the `// lint:` / `// SAFETY:`
+//!   audit-marker lookup works exactly as before (same line, or the
+//!   contiguous comment block immediately above);
+//! - **`#[cfg(test)]` regions** scoped to the *actual attribute
+//!   target* — the `mod tests { … }` block, a single `fn`, an `impl` —
+//!   by tracking braces to the matching close. (The PR 5 pass treated
+//!   everything after the first `#[cfg(test)]` to end-of-file as test
+//!   code, silently un-linting any item below a test module.)
+//! - **fn items**: visibility, start line, signature token range, and
+//!   body token range, found by brace matching.
+
+use crate::lexer::{lex, Kind, Token};
+
+/// A function item: where it starts, whether it is `pub`, and the token
+/// ranges of its signature and body within [`FileModel::code`].
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    /// 1-based line of the `fn` keyword.
+    pub line: usize,
+    /// `pub`, `pub(crate)`, `pub(super)`, … all count as public here:
+    /// the signature rule cares about API surface, not reachability.
+    pub is_pub: bool,
+    /// `[start, end)` code-token range from the `fn` keyword up to (not
+    /// including) the body `{` or the terminating `;`.
+    pub sig: (usize, usize),
+    /// `[start, end)` code-token range of the body *between* the braces
+    /// (empty for trait-method declarations ending in `;`).
+    pub body: Option<(usize, usize)>,
+}
+
+/// Per-file token model: code tokens, comment index, test regions, fns.
+pub struct FileModel {
+    /// Code tokens (comments stripped), in source order.
+    pub code: Vec<Token>,
+    /// Concatenated comment text per 1-based line (empty when none).
+    comment_on_line: Vec<String>,
+    /// Whether any code token starts on the 1-based line.
+    code_on_line: Vec<bool>,
+    /// `[start, end]` *inclusive* code-token index ranges under a
+    /// `#[cfg(test)]` attribute (the attribute's `#` through the
+    /// target's closing brace or `;`).
+    pub test_ranges: Vec<(usize, usize)>,
+    /// Function items in source order.
+    pub fns: Vec<FnItem>,
+}
+
+impl FileModel {
+    /// Lexes and digests `src`.
+    pub fn new(src: &str) -> FileModel {
+        let tokens = lex(src);
+        let n_lines = src.lines().count() + 2;
+        let mut comment_on_line = vec![String::new(); n_lines + 1];
+        let mut code_on_line = vec![false; n_lines + 1];
+        let mut code = Vec::new();
+        for t in tokens {
+            if t.line > n_lines {
+                continue; // defensive; lines() vs trailing newline drift
+            }
+            if t.kind == Kind::Comment {
+                comment_on_line[t.line].push_str(&t.text);
+                comment_on_line[t.line].push(' ');
+            } else {
+                code_on_line[t.line] = true;
+                code.push(t);
+            }
+        }
+        let test_ranges = find_test_ranges(&code);
+        let fns = find_fns(&code);
+        FileModel {
+            code,
+            comment_on_line,
+            code_on_line,
+            test_ranges,
+            fns,
+        }
+    }
+
+    /// Is the code token at `idx` inside a `#[cfg(test)]` region?
+    pub fn in_test(&self, idx: usize) -> bool {
+        self.test_ranges.iter().any(|&(s, e)| s <= idx && idx <= e)
+    }
+
+    /// `true` when `line` carries `marker` in a comment, or the
+    /// contiguous run of comment-only lines immediately above does.
+    pub fn marked(&self, line: usize, marker: &str) -> bool {
+        if self
+            .comment_on_line
+            .get(line)
+            .is_some_and(|c| c.contains(marker))
+        {
+            return true;
+        }
+        let mut j = line;
+        while j > 1 {
+            j -= 1;
+            let comment = self
+                .comment_on_line
+                .get(j)
+                .map(String::as_str)
+                .unwrap_or("");
+            let has_code = self.code_on_line.get(j).copied().unwrap_or(false);
+            if has_code || comment.is_empty() {
+                return false;
+            }
+            if comment.contains(marker) {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// `// lint:` justification on `line` or the comment block above.
+    pub fn justified(&self, line: usize) -> bool {
+        self.marked(line, "// lint:")
+    }
+
+    /// Convenience: the text of code token `idx`, or `""` past the end.
+    pub fn text(&self, idx: usize) -> &str {
+        self.code.get(idx).map(|t| t.text.as_str()).unwrap_or("")
+    }
+
+    /// `true` when code token `idx` exists, is not a string/char
+    /// literal, and has exactly `text`.
+    pub fn tok_is(&self, idx: usize, text: &str) -> bool {
+        self.code
+            .get(idx)
+            .is_some_and(|t| !matches!(t.kind, Kind::Str | Kind::Char) && t.text == text)
+    }
+
+    /// `true` when code token `idx` is an identifier with text `text`.
+    pub fn ident_is(&self, idx: usize, text: &str) -> bool {
+        self.code
+            .get(idx)
+            .is_some_and(|t| t.kind == Kind::Ident && t.text == text)
+    }
+
+    /// Matches `::` at `idx` (two consecutive `:` puncts).
+    pub fn path_sep(&self, idx: usize) -> bool {
+        self.tok_is(idx, ":") && self.tok_is(idx + 1, ":")
+    }
+}
+
+/// Finds the code-token index of the brace matching the `{` at `open`
+/// (which must point at a `{`). Returns the last token index when
+/// unbalanced (linter keeps going on broken input).
+fn matching_brace(code: &[Token], open: usize) -> usize {
+    let mut depth = 0usize;
+    for (i, t) in code.iter().enumerate().skip(open) {
+        if t.kind != Kind::Punct {
+            continue;
+        }
+        match t.text.as_str() {
+            "{" => depth += 1,
+            "}" => {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    return i;
+                }
+            }
+            _ => {}
+        }
+    }
+    code.len().saturating_sub(1)
+}
+
+/// Scans for the end of the attribute opening at `#` (idx points at the
+/// `#`): returns the index of its closing `]`.
+fn attr_end(code: &[Token], hash: usize) -> usize {
+    let mut i = hash + 1;
+    if code.get(i).is_some_and(|t| t.text == "!") {
+        i += 1;
+    }
+    if code.get(i).is_none_or(|t| t.text != "[") {
+        return hash;
+    }
+    let mut depth = 0usize;
+    while i < code.len() {
+        match code[i].text.as_str() {
+            "[" if code[i].kind == Kind::Punct => depth += 1,
+            "]" if code[i].kind == Kind::Punct => {
+                depth -= 1;
+                if depth == 0 {
+                    return i;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    code.len().saturating_sub(1)
+}
+
+/// Does the attribute spanning `[hash, end]` contain a `cfg(...)` whose
+/// argument list mentions the bare `test` flag?
+fn attr_is_cfg_test(code: &[Token], hash: usize, end: usize) -> bool {
+    let mut saw_cfg = false;
+    let last = end.min(code.len().saturating_sub(1));
+    for t in &code[hash..=last] {
+        if t.kind == Kind::Ident {
+            if t.text == "cfg" {
+                saw_cfg = true;
+            } else if t.text == "test" && saw_cfg {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// Computes the inclusive code-token ranges covered by `#[cfg(test)]`
+/// attributes: from the `#` through the target item's closing `}` (or
+/// its `;` for braceless items).
+fn find_test_ranges(code: &[Token]) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < code.len() {
+        if !(code[i].kind == Kind::Punct && code[i].text == "#") {
+            i += 1;
+            continue;
+        }
+        let end = attr_end(code, i);
+        if end == i || !attr_is_cfg_test(code, i, end) {
+            i += 1;
+            continue;
+        }
+        // skip any further attributes stacked on the same item
+        let mut j = end + 1;
+        while code
+            .get(j)
+            .is_some_and(|t| t.text == "#" && t.kind == Kind::Punct)
+        {
+            let e = attr_end(code, j);
+            if e == j {
+                break;
+            }
+            j = e + 1;
+        }
+        // the target item: everything to the first top-level `{` … its
+        // matching `}`, or to a `;` for braceless items (`use`, `type`)
+        let mut k = j;
+        let mut close = None;
+        while k < code.len() {
+            let t = &code[k];
+            if t.kind == Kind::Punct && t.text == "{" {
+                close = Some(matching_brace(code, k));
+                break;
+            }
+            if t.kind == Kind::Punct && t.text == ";" {
+                close = Some(k);
+                break;
+            }
+            k += 1;
+        }
+        let close = close.unwrap_or(code.len().saturating_sub(1));
+        out.push((i, close));
+        i = close + 1;
+    }
+    out
+}
+
+/// Finds fn items: a `fn` keyword followed by an identifier (type-level
+/// `fn(...)` pointers have `(` next and are skipped).
+fn find_fns(code: &[Token]) -> Vec<FnItem> {
+    let mut out = Vec::new();
+    for i in 0..code.len() {
+        let t = &code[i];
+        if !(t.kind == Kind::Ident && t.text == "fn") {
+            continue;
+        }
+        let Some(name) = code.get(i + 1) else {
+            continue;
+        };
+        if name.kind != Kind::Ident {
+            continue;
+        }
+        // visibility: walk back over fn qualifiers and `pub(...)` groups
+        let mut is_pub = false;
+        let mut j = i;
+        while j > 0 {
+            j -= 1;
+            let p = &code[j];
+            match (p.kind, p.text.as_str()) {
+                (Kind::Ident, "const" | "async" | "unsafe" | "extern") => continue,
+                (Kind::Str, _) => continue, // extern "C"
+                (Kind::Punct, ")") => {
+                    // a `pub(crate)`-style group: scan back to its `(`
+                    // and keep walking
+                    let mut depth = 1usize;
+                    while j > 0 && depth > 0 {
+                        j -= 1;
+                        match code[j].text.as_str() {
+                            ")" => depth += 1,
+                            "(" => depth -= 1,
+                            _ => {}
+                        }
+                    }
+                    continue;
+                }
+                (Kind::Ident, "pub") => {
+                    is_pub = true;
+                    break;
+                }
+                _ => break,
+            }
+        }
+        // signature: up to the body `{` or a `;`
+        let mut k = i;
+        let mut body = None;
+        let mut sig_end = code.len();
+        while k < code.len() {
+            let t = &code[k];
+            if t.kind == Kind::Punct && t.text == "{" {
+                sig_end = k;
+                let close = matching_brace(code, k);
+                body = Some((k + 1, close));
+                break;
+            }
+            if t.kind == Kind::Punct && t.text == ";" {
+                sig_end = k;
+                break;
+            }
+            k += 1;
+        }
+        out.push(FnItem {
+            line: t.line,
+            is_pub,
+            sig: (i, sig_end),
+            body,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_region_is_scoped_to_the_mod_block() {
+        let src = "\
+fn before() {}
+#[cfg(test)]
+mod tests {
+    fn inside() {}
+}
+fn after() {}
+";
+        let m = FileModel::new(src);
+        let idx_of = |name: &str| {
+            m.code
+                .iter()
+                .position(|t| t.text == name)
+                .expect("token present")
+        };
+        assert!(!m.in_test(idx_of("before")));
+        assert!(m.in_test(idx_of("inside")));
+        // the regression the block tracker fixes: code AFTER the test
+        // module is NOT test code
+        assert!(!m.in_test(idx_of("after")));
+    }
+
+    #[test]
+    fn cfg_test_on_a_single_fn() {
+        let src = "#[cfg(test)]\nfn helper() { body(); }\nfn real() {}\n";
+        let m = FileModel::new(src);
+        let idx_of = |name: &str| m.code.iter().position(|t| t.text == name).unwrap();
+        assert!(m.in_test(idx_of("helper")));
+        assert!(!m.in_test(idx_of("real")));
+    }
+
+    #[test]
+    fn cfg_all_test_counts() {
+        let src = "#[cfg(all(test, feature = \"x\"))]\nmod t { fn f() {} }\nfn g() {}\n";
+        let m = FileModel::new(src);
+        let idx_of = |name: &str| m.code.iter().position(|t| t.text == name).unwrap();
+        assert!(m.in_test(idx_of("f")));
+        assert!(!m.in_test(idx_of("g")));
+    }
+
+    #[test]
+    fn stacked_attributes_reach_the_item() {
+        let src = "#[cfg(test)]\n#[allow(dead_code)]\nmod t { fn f() {} }\nfn g() {}\n";
+        let m = FileModel::new(src);
+        let idx_of = |name: &str| m.code.iter().position(|t| t.text == name).unwrap();
+        assert!(m.in_test(idx_of("f")));
+        assert!(!m.in_test(idx_of("g")));
+    }
+
+    #[test]
+    fn fn_items_track_visibility_and_body() {
+        let src = "\
+pub fn a(x: usize) -> usize { x + 1 }
+fn b() {}
+pub(crate) fn c() { loop {} }
+";
+        let m = FileModel::new(src);
+        assert_eq!(m.fns.len(), 3);
+        assert!(m.fns[0].is_pub);
+        assert!(!m.fns[1].is_pub);
+        assert!(m.fns[2].is_pub);
+        let (s, e) = m.fns[0].body.unwrap();
+        let body: Vec<&str> = m.code[s..e].iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(body, vec!["x", "+", "1"]);
+    }
+
+    #[test]
+    fn marker_lookup_same_line_and_block_above() {
+        let src = "\
+// lint: audited here
+// second comment line
+let x = i as u32;
+let y = j as u32; // lint: trailing
+let z = k as u32;
+";
+        let m = FileModel::new(src);
+        assert!(m.justified(3));
+        assert!(m.justified(4));
+        assert!(!m.justified(5));
+    }
+
+    #[test]
+    fn marker_inside_string_does_not_justify() {
+        let src = "let s = \"// lint: not a comment\";\nlet x = i as u32;\n";
+        let m = FileModel::new(src);
+        assert!(!m.justified(1));
+        assert!(!m.justified(2));
+    }
+
+    #[test]
+    fn trait_method_declaration_has_no_body() {
+        let src = "trait T { fn m(&self) -> usize; }\n";
+        let m = FileModel::new(src);
+        assert_eq!(m.fns.len(), 1);
+        assert!(m.fns[0].body.is_none());
+    }
+}

@@ -1,0 +1,130 @@
+//! SARIF 2.1.0 output for `cargo xtask lint --sarif`.
+//!
+//! Emits the minimal valid shape GitHub code scanning ingests: one run
+//! with a `tool.driver` carrying the nine-rule table, and one `result`
+//! per finding with a `physicalLocation` (`artifactLocation.uri` +
+//! `region.startLine`). Hand-rolled JSON, same as the rest of xtask —
+//! the workspace adds no external dependencies for tooling.
+//!
+//! Schema pointer: <https://docs.oasis-open.org/sarif/sarif/v2.1.0/sarif-v2.1.0.html>
+
+use crate::lint::{json_escape, rule_description, Finding, ALL_RULES};
+
+/// Serializes findings as a SARIF 2.1.0 log. Every finding becomes a
+/// `result` at level `error` (the lint is binary: a finding fails CI).
+pub fn to_sarif(findings: &[Finding]) -> String {
+    let rules: Vec<String> = ALL_RULES
+        .iter()
+        .map(|r| {
+            format!(
+                "          {{\n\
+                 \x20           \"id\": \"{}\",\n\
+                 \x20           \"shortDescription\": {{\"text\": \"{}\"}},\n\
+                 \x20           \"defaultConfiguration\": {{\"level\": \"error\"}}\n\
+                 \x20         }}",
+                json_escape(r),
+                json_escape(rule_description(r))
+            )
+        })
+        .collect();
+    let results: Vec<String> = findings
+        .iter()
+        .map(|f| {
+            format!(
+                "        {{\n\
+                 \x20         \"ruleId\": \"{}\",\n\
+                 \x20         \"level\": \"error\",\n\
+                 \x20         \"message\": {{\"text\": \"{}\"}},\n\
+                 \x20         \"locations\": [\n\
+                 \x20           {{\n\
+                 \x20             \"physicalLocation\": {{\n\
+                 \x20               \"artifactLocation\": {{\"uri\": \"{}\"}},\n\
+                 \x20               \"region\": {{\"startLine\": {}}}\n\
+                 \x20             }}\n\
+                 \x20           }}\n\
+                 \x20         ]\n\
+                 \x20       }}",
+                json_escape(f.rule),
+                json_escape(&f.message),
+                json_escape(&f.file),
+                f.line
+            )
+        })
+        .collect();
+    format!(
+        "{{\n\
+         \x20 \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n\
+         \x20 \"version\": \"2.1.0\",\n\
+         \x20 \"runs\": [\n\
+         \x20   {{\n\
+         \x20     \"tool\": {{\n\
+         \x20       \"driver\": {{\n\
+         \x20         \"name\": \"xtask-lint\",\n\
+         \x20         \"informationUri\": \"https://github.com/nwhy/nwhy\",\n\
+         \x20         \"rules\": [\n{}\n\
+         \x20         ]\n\
+         \x20       }}\n\
+         \x20     }},\n\
+         \x20     \"results\": [{}]\n\
+         \x20   }}\n\
+         \x20 ]\n\
+         }}",
+        rules.join(",\n"),
+        if results.is_empty() {
+            String::new()
+        } else {
+            format!("\n{}\n      ", results.join(",\n"))
+        }
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lint::{Finding, PANIC_PATH};
+
+    #[test]
+    fn sarif_shape_has_tool_rules_and_locations() {
+        let f = Finding {
+            rule: PANIC_PATH,
+            kind: "panic",
+            file: "crates/io/src/binary.rs".into(),
+            line: 42,
+            message: "`.unwrap()` aborts".into(),
+        };
+        let s = to_sarif(&[f]);
+        // SARIF 2.1.0 required shape
+        assert!(s.contains("\"version\": \"2.1.0\""));
+        assert!(s.contains("\"tool\""));
+        assert!(s.contains("\"driver\""));
+        assert!(s.contains("\"name\": \"xtask-lint\""));
+        assert!(s.contains("\"ruleId\": \"panic-path\""));
+        assert!(s.contains("\"physicalLocation\""));
+        assert!(s.contains("\"artifactLocation\": {\"uri\": \"crates/io/src/binary.rs\"}"));
+        assert!(s.contains("\"startLine\": 42"));
+        // all nine rules are declared in the driver table
+        for r in ALL_RULES {
+            assert!(s.contains(&format!("\"id\": \"{r}\"")), "missing rule {r}");
+        }
+    }
+
+    #[test]
+    fn sarif_empty_findings_is_valid_run() {
+        let s = to_sarif(&[]);
+        assert!(s.contains("\"results\": []"));
+        assert!(s.contains("\"version\": \"2.1.0\""));
+    }
+
+    #[test]
+    fn sarif_escapes_messages() {
+        let f = Finding {
+            rule: PANIC_PATH,
+            kind: "panic",
+            file: "a.rs".into(),
+            line: 1,
+            message: "say \"no\"\nplease".into(),
+        };
+        let s = to_sarif(&[f]);
+        assert!(s.contains("say \\\"no\\\"\\nplease"));
+    }
+}

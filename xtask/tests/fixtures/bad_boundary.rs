@@ -1,0 +1,16 @@
+//! Fixture: dependency-DAG back-edges. Never compiled — fed to
+//! `lint_file` under a fake path inside `crates/core/`, where `hygra`
+//! and `nwhy_io` are both forbidden dependencies.
+
+use hygra::bfs::hygra_bfs;
+use nwhy_util::partition::Strategy;
+
+pub fn back_edge() {
+    let _ = nwhy_io::read_binary;
+    let _ = nwhy_core::ids::from_usize(0);
+}
+
+#[cfg(test)]
+mod tests {
+    use nwhy_gen::profiles::profile_by_name;
+}

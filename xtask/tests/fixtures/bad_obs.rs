@@ -1,0 +1,34 @@
+//! Fixture: an uninstrumented public traversal kernel. Never compiled.
+
+/// A kernel-shaped pub fn with a loop and no obs touch: the violation.
+pub fn uninstrumented_kernel(rows: &[Vec<u32>]) -> usize {
+    let mut total = 0;
+    for row in rows {
+        total += row.len();
+    }
+    total
+}
+
+/// Loop-free accessors are exempt by construction.
+pub fn accessor(rows: &[Vec<u32>]) -> usize {
+    rows.len()
+}
+
+/// Instrumented kernels satisfy the contract.
+pub fn instrumented_kernel(rows: &[Vec<u32>]) -> usize {
+    let _span = nwhy_obs::span("fixture.kernel");
+    let mut total = 0;
+    while total < rows.len() {
+        total += 1;
+    }
+    total
+}
+
+// lint: obs: fixture-sanctioned helper
+pub fn audited_kernel(rows: &[Vec<u32>]) -> usize {
+    let mut total = 0;
+    for row in rows {
+        total += row.len();
+    }
+    total
+}

@@ -1,0 +1,30 @@
+//! Fixture: every member of the panic family plus unchecked indexing.
+//! Never compiled — fed to `lint_file` under a fake in-scope path.
+
+pub fn aborts_everywhere(xs: &[u32], i: usize) -> u32 {
+    let head = xs.first().unwrap();
+    let tail = xs.last().expect("non-empty");
+    if i > xs.len() {
+        panic!("out of range");
+    }
+    match i {
+        0 => unreachable!(),
+        1 => todo!(),
+        2 => unimplemented!(),
+        _ => head + tail + xs[i],
+    }
+}
+
+pub fn audited(xs: &[u32]) -> u32 {
+    // lint: panic: fixture-sanctioned abort
+    xs[0]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_panic() {
+        let v = vec![1u32];
+        assert_eq!(*v.first().unwrap(), v[0]);
+    }
+}

@@ -1,0 +1,21 @@
+//! Fixture: the v1 engine treated everything after the FIRST
+//! `#[cfg(test)]` as test code to end-of-file. The block tracker must
+//! scope the exemption to the mod's braces and lint the code after it.
+
+pub fn before(i: usize) -> usize {
+    i
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_is_exempt() {
+        let i = 3usize;
+        assert_eq!(super::before(i), i as usize);
+    }
+}
+
+// v1 never saw this region: an unaudited cast AFTER the test module.
+pub fn after(i: usize) -> u32 {
+    i as u32
+}

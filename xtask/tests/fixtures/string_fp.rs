@@ -1,0 +1,16 @@
+//! Fixture: the v1 lexical scanner's false-positive classes. A
+//! token-aware pass must find NOTHING here — every pattern below sits
+//! inside a string literal or a comment, not in code.
+
+/// Doc comments may discuss `unsafe` code and ` as u32` casts freely,
+/// or even std::sync::atomic and #[allow(dead_code)].
+pub fn describe() -> &'static str {
+    let a = "x as u32 and y as Id and z as usize";
+    let b = "unsafe { transmute }";
+    let c = "use std::sync::atomic::AtomicU64;";
+    let d = "#[allow(dead_code)]";
+    let e = r#"raw: .unwrap() .expect("x") panic! xs[i]"#;
+    // a line comment quoting `unsafe` and `i as u32` is also not code
+    let _ = (a, b, c, d);
+    e
+}

@@ -8,7 +8,8 @@
 
 use std::path::Path;
 use xtask::lint::{
-    lint_file, lint_tree, to_json, RAW_PUB_SIGNATURE, STRAY_ATOMIC_IMPORT, UNAUDITED_ID_CAST,
+    lint_file, lint_tree, lint_tree_report, to_json, CRATE_BOUNDARY, KIND_INDEX, KIND_PANIC,
+    OBS_COVERAGE, PANIC_PATH, RAW_PUB_SIGNATURE, STRAY_ATOMIC_IMPORT, UNAUDITED_ID_CAST,
     UNJUSTIFIED_ALLOW, UNSAFE_CONFINEMENT, UNTYPED_ID_ARITHMETIC,
 };
 
@@ -166,19 +167,202 @@ fn json_output_is_wellformed() {
     assert!(json.contains("\"line\": 3"));
 }
 
+// ---------------------------------------------------------------------
+// v2 rules: panic-path, crate-boundary, obs-coverage
+// ---------------------------------------------------------------------
+
+#[test]
+fn bad_panic_fixture_trips_every_family_member() {
+    let src = include_str!("fixtures/bad_panic.rs");
+    let findings = lint_file(Path::new("crates/core/src/x.rs"), src);
+    let hits: Vec<_> = findings.iter().filter(|f| f.rule == PANIC_PATH).collect();
+    // unwrap, expect, panic!, unreachable!, todo!, unimplemented! — and
+    // one unchecked index; the audited fn and the test module are exempt
+    assert_eq!(
+        hits.iter().filter(|f| f.kind == KIND_PANIC).count(),
+        6,
+        "{findings:?}"
+    );
+    assert_eq!(
+        hits.iter().filter(|f| f.kind == KIND_INDEX).count(),
+        1,
+        "{findings:?}"
+    );
+}
+
+#[test]
+fn indexing_is_scoped_to_the_query_path_crates() {
+    let src = "pub fn f(xs: &[u32]) -> u32 { xs[0] }\n";
+    // in a query-path crate the index fires ...
+    let core = lint_file(Path::new("crates/core/src/x.rs"), src);
+    assert!(core.iter().any(|f| f.kind == KIND_INDEX), "{core:?}");
+    // ... in the CLI crate only the panic family is denied, not indexing
+    let cli = lint_file(Path::new("crates/nwhy/src/bin/nwhy-cli.rs"), src);
+    assert!(cli.iter().all(|f| f.kind != KIND_INDEX), "{cli:?}");
+    // ... and bench/test/example trees are fully exempt
+    let bench = lint_file(Path::new("crates/core/benches/b.rs"), src);
+    assert!(bench.iter().all(|f| f.rule != PANIC_PATH), "{bench:?}");
+}
+
+#[test]
+fn bad_boundary_fixture_trips_crate_boundary() {
+    let src = include_str!("fixtures/bad_boundary.rs");
+    let findings = lint_file(Path::new("crates/core/src/planner2.rs"), src);
+    let hits: Vec<_> = findings
+        .iter()
+        .filter(|f| f.rule == CRATE_BOUNDARY)
+        .collect();
+    // hygra and nwhy_io are back-edges from core; nwhy_gen is not a core
+    // dev-dependency so even the test module may not use it. nwhy_util
+    // (allowed) and nwhy_core (self) stay silent.
+    assert_eq!(hits.len(), 3, "{findings:?}");
+    for dep in ["hygra", "nwhy_io", "nwhy_gen"] {
+        assert!(
+            hits.iter().any(|f| f.message.contains(dep)),
+            "missing {dep}: {hits:?}"
+        );
+    }
+}
+
+#[test]
+fn dev_dependency_edges_are_test_scope_only() {
+    // store's manifest lists nwhy_gen under [dev-dependencies]
+    let in_test = "#[cfg(test)]\nmod tests {\n    use nwhy_gen::profiles::all;\n}\n";
+    let findings = lint_file(Path::new("crates/store/src/x.rs"), in_test);
+    assert!(
+        findings.iter().all(|f| f.rule != CRATE_BOUNDARY),
+        "{findings:?}"
+    );
+    let in_src = "use nwhy_gen::profiles::all;\n";
+    let findings = lint_file(Path::new("crates/store/src/x.rs"), in_src);
+    assert!(
+        findings.iter().any(|f| f.rule == CRATE_BOUNDARY),
+        "{findings:?}"
+    );
+}
+
+#[test]
+fn bad_obs_fixture_trips_obs_coverage_only_for_the_bare_kernel() {
+    let src = include_str!("fixtures/bad_obs.rs");
+    let findings = lint_file(Path::new("crates/hygra/src/fixture.rs"), src);
+    let hits: Vec<_> = findings.iter().filter(|f| f.rule == OBS_COVERAGE).collect();
+    // the span-carrying kernel, the loop-free accessor, and the audited
+    // helper are all exempt; only the bare loop fires
+    assert_eq!(hits.len(), 1, "{findings:?}");
+    assert_eq!(hits[0].line, 4, "{hits:?}");
+    // outside the instrumentation-contract scope the same file is silent
+    let outside = lint_file(Path::new("crates/util/src/fixture.rs"), src);
+    assert!(
+        outside.iter().all(|f| f.rule != OBS_COVERAGE),
+        "{outside:?}"
+    );
+}
+
+#[test]
+fn string_literal_false_positives_are_dead() {
+    // v1's lexical scanner flagged ` as u32`, `unsafe`, atomics, and
+    // `#[allow]` inside string literals and doc comments; the
+    // token-aware engine must stay silent on all of them — even under
+    // the strictest fake path (id module + index scope).
+    let src = include_str!("fixtures/string_fp.rs");
+    let findings = lint_file(Path::new("crates/core/src/repr.rs"), src);
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn code_after_a_test_module_is_linted_again() {
+    // v1 treated everything after the first `#[cfg(test)]` as test code
+    // to end-of-file; the block tracker scopes the exemption to the mod
+    // block, so the unaudited cast after it must fire.
+    let src = include_str!("fixtures/post_test_module.rs");
+    let findings = lint_file(Path::new("crates/core/src/adjoin.rs"), src);
+    assert!(
+        findings
+            .iter()
+            .any(|f| f.rule == UNAUDITED_ID_CAST && f.line == 20),
+        "the post-test-module cast must be seen: {findings:?}"
+    );
+    // while the cast inside the test module stays exempt
+    assert!(
+        findings.iter().all(|f| f.line != 14),
+        "test-module code must stay exempt: {findings:?}"
+    );
+}
+
+#[test]
+fn baseline_ratchet_rejects_a_synthetic_regression() {
+    // an on-disk mini-workspace whose baseline allows exactly the
+    // current number of panic sites ...
+    let root = std::env::temp_dir().join(format!("xtask_ratchet_{}", std::process::id()));
+    let src_dir = root.join("crates/demo/src");
+    std::fs::create_dir_all(&src_dir).unwrap();
+    std::fs::create_dir_all(root.join("xtask")).unwrap();
+    let two_sites =
+        "pub fn f(a: Option<u32>, b: Option<u32>) -> u32 {\n    a.unwrap() + b.unwrap()\n}\n";
+    std::fs::write(src_dir.join("lib.rs"), two_sites).unwrap();
+    std::fs::write(
+        root.join("xtask/panic_baseline.txt"),
+        "panic 2 crates/demo/src/lib.rs\n",
+    )
+    .unwrap();
+    let report = lint_tree_report(&root);
+    assert!(report.findings.is_empty(), "{:?}", report.findings);
+    assert_eq!(report.baseline.suppressed, 2);
+
+    // ... then a third site lands: the ratchet must fail the tree and
+    // surface every site in the regressed file
+    let three_sites = "pub fn f(a: Option<u32>, b: Option<u32>) -> u32 {\n    a.unwrap() + b.unwrap() + a.expect(\"x\")\n}\n";
+    std::fs::write(src_dir.join("lib.rs"), three_sites).unwrap();
+    let report = lint_tree_report(&root);
+    assert_eq!(report.findings.len(), 3, "{:?}", report.findings);
+    assert!(report.findings.iter().all(|f| f.rule == PANIC_PATH));
+
+    std::fs::remove_dir_all(&root).unwrap();
+}
+
+#[test]
+fn sarif_output_carries_the_fixture_findings() {
+    let src = include_str!("fixtures/bad_panic.rs");
+    let findings = lint_file(Path::new("crates/core/src/x.rs"), src);
+    let sarif = xtask::sarif::to_sarif(&findings);
+    // SARIF 2.1.0 shape: versioned log, tool.driver with the rule
+    // table, results with physicalLocation uri + startLine
+    assert!(sarif.contains("\"version\": \"2.1.0\""));
+    assert!(sarif.contains("\"driver\""));
+    assert!(sarif.contains("\"ruleId\": \"panic-path\""));
+    assert!(sarif.contains("\"artifactLocation\": {\"uri\": \"crates/core/src/x.rs\"}"));
+    assert!(sarif.contains("\"startLine\": 5"));
+}
+
 #[test]
 fn workspace_lints_clean() {
     let root = Path::new(env!("CARGO_MANIFEST_DIR"))
         .parent()
         .expect("xtask sits one level under the workspace root");
-    let findings = lint_tree(root);
+    let report = lint_tree_report(root);
     assert!(
-        findings.is_empty(),
-        "workspace must lint clean:\n{}",
-        findings
+        report.findings.is_empty(),
+        "workspace must lint clean under all nine rules:\n{}",
+        report
+            .findings
             .iter()
             .map(ToString::to_string)
             .collect::<Vec<_>>()
             .join("\n")
     );
+    // the merge acceptance gate: strictly fewer unaudited panic-family
+    // sites than the 190 the issue counted before the burn-down
+    assert!(
+        report.baseline.panic_total < 190,
+        "panic-family debt regressed: {}",
+        report.baseline.panic_total
+    );
+    // the baseline must be tight: no entry above the current count
+    assert!(
+        report.baseline.shrinkable.is_empty(),
+        "stale baseline entries — run `cargo xtask lint --update-baseline`: {:?}",
+        report.baseline.shrinkable
+    );
+    // exercise the compatibility wrapper too
+    assert!(lint_tree(root).is_empty());
 }
