@@ -124,6 +124,7 @@ pub fn read_binary<R: Read>(mut r: R) -> Result<Hypergraph, IoError> {
 
 /// Writes `h` in the binary format; round-trips with [`read_binary`].
 pub fn write_binary<W: Write>(mut w: W, h: &Hypergraph) -> Result<(), IoError> {
+    let _span = nwhy_obs::span("io.write_binary");
     w.write_all(MAGIC)?;
     let weighted = h.is_weighted();
     let flags: u64 = if weighted { FLAG_WEIGHTS } else { 0 };

@@ -16,6 +16,7 @@ use std::io::Write;
 
 /// Writes the bipartite representation of `h` as an undirected DOT graph.
 pub fn write_dot_bipartite<W: Write>(mut w: W, h: &Hypergraph) -> Result<(), IoError> {
+    let _span = nwhy_obs::span("io.write_dot_bipartite");
     writeln!(w, "graph hypergraph {{")?;
     writeln!(
         w,
@@ -46,6 +47,7 @@ pub fn write_dot_linegraph<W: Write>(
     s: usize,
     triples: &[(Id, Id, u32)],
 ) -> Result<(), IoError> {
+    let _span = nwhy_obs::span("io.write_dot_linegraph");
     writeln!(w, "graph slinegraph_s{s} {{")?;
     writeln!(w, "  label=\"{s}-line graph\";")?;
     for e in 0..num_hyperedges {

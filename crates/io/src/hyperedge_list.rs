@@ -57,6 +57,7 @@ pub fn read_hyperedge_list<R: BufRead>(reader: R) -> Result<Hypergraph, IoError>
 /// [`read_hyperedge_list`] when no trailing hyperedge is empty and the
 /// hypernode ID space has no trailing isolated IDs.
 pub fn write_hyperedge_list<W: Write>(mut w: W, h: &Hypergraph) -> Result<(), IoError> {
+    let _span = nwhy_obs::span("io.write_hyperedge_list");
     writeln!(w, "# nwhy hyperedge list: one hyperedge per line")?;
     for e in 0..ids::from_usize(h.num_hyperedges()) {
         let members: Vec<String> = h.edge_members(e).iter().map(|v| v.to_string()).collect();

@@ -148,6 +148,7 @@ pub fn read_biedgelist<R: BufRead>(reader: R) -> Result<BiEdgeList, IoError> {
 /// (rows = hypernodes, columns = hyperedges). Round-trips with
 /// [`read_matrix_market`].
 pub fn write_matrix_market<W: Write>(mut w: W, h: &Hypergraph) -> Result<(), IoError> {
+    let _span = nwhy_obs::span("io.write_mm");
     writeln!(w, "%%MatrixMarket matrix coordinate pattern general")?;
     writeln!(
         w,

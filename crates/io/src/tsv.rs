@@ -82,6 +82,7 @@ pub fn read_bipartite_tsv<R: BufRead>(
 /// `read_bipartite_tsv(_, Orientation::NodeEdge)` when the trailing IDs
 /// of both spaces are in use.
 pub fn write_bipartite_tsv<W: Write>(mut w: W, h: &Hypergraph) -> Result<(), IoError> {
+    let _span = nwhy_obs::span("io.write_bipartite_tsv");
     writeln!(w, "% bip unweighted (node edge), 1-based")?;
     for e in 0..ids::from_usize(h.num_hyperedges()) {
         for &v in h.edge_members(e) {

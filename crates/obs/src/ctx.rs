@@ -1,0 +1,174 @@
+//! `RequestCtx` — the per-query attribution layer.
+//!
+//! A [`RequestCtx`] is a `Copy` handle carrying a `u64` request id. While
+//! a context is *entered* on a thread (RAII [`CtxGuard`]), every flight
+//! event that thread records — span opens/closes and counter deltas —
+//! carries the id, so one query's work is attributable end-to-end in a
+//! recorder dump even when several queries interleave.
+//!
+//! Copy-on-spawn: the handle is plain data, so it crosses thread
+//! boundaries by value (`move` it into the closure, `enter` it inside).
+//! The nwhy kernels do not propagate it into rayon workers; instead they
+//! rely on `KernelStats`' one-flush-per-construction design — worker
+//! tallies are reduced into the caller thread and flushed there, where
+//! the context *is* entered, so the counter deltas still attribute
+//! correctly (DESIGN.md §6).
+//!
+//! Id 0 is reserved for "unattributed"; fresh ids start at 1. With the
+//! `enabled` feature off the handle is a ZST and every operation is a
+//! no-op.
+
+#[cfg(all(feature = "enabled", not(loom)))]
+mod active {
+    use std::cell::Cell;
+    // lint: deliberately std, not nwhy_util::sync — compiled out under
+    // `--cfg loom` with the rest of the active context layer
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static NEXT_ID: AtomicU64 = AtomicU64::new(1);
+
+    thread_local! {
+        static CURRENT: Cell<u64> = const { Cell::new(0) };
+    }
+
+    /// A request/query identity. Cheap to copy across threads.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+    pub struct RequestCtx {
+        id: u64,
+    }
+
+    impl RequestCtx {
+        /// A fresh context with a process-unique id (never 0).
+        pub fn new() -> RequestCtx {
+            RequestCtx {
+                id: NEXT_ID.fetch_add(1, Ordering::Relaxed),
+            }
+        }
+
+        /// Wraps an externally-assigned id (e.g. a server's request id).
+        /// Id 0 means "unattributed".
+        pub fn from_id(id: u64) -> RequestCtx {
+            RequestCtx { id }
+        }
+
+        /// This context's id.
+        pub fn id(self) -> u64 {
+            self.id
+        }
+
+        /// Makes this context current on the calling thread until the
+        /// returned guard drops (restoring whatever was current before —
+        /// contexts nest).
+        #[must_use = "the context is only current while the guard lives"]
+        pub fn enter(self) -> CtxGuard {
+            let prev = CURRENT.with(|c| c.replace(self.id));
+            CtxGuard { prev }
+        }
+    }
+
+    impl Default for RequestCtx {
+        fn default() -> RequestCtx {
+            RequestCtx::new()
+        }
+    }
+
+    /// RAII restore of the previously-current request id.
+    #[derive(Debug)]
+    pub struct CtxGuard {
+        prev: u64,
+    }
+
+    impl Drop for CtxGuard {
+        fn drop(&mut self) {
+            CURRENT.with(|c| c.set(self.prev));
+        }
+    }
+
+    /// The id entered on this thread, or 0.
+    pub fn current_request_id() -> u64 {
+        CURRENT.with(Cell::get)
+    }
+}
+
+#[cfg(not(all(feature = "enabled", not(loom))))]
+mod active {
+    /// A request/query identity (ZST in disabled builds).
+    #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+    pub struct RequestCtx;
+
+    impl RequestCtx {
+        /// A fresh context (no-op).
+        pub fn new() -> RequestCtx {
+            RequestCtx
+        }
+
+        /// Wraps an externally-assigned id (discarded; no-op).
+        pub fn from_id(_id: u64) -> RequestCtx {
+            RequestCtx
+        }
+
+        /// Always 0 in disabled builds.
+        pub fn id(self) -> u64 {
+            0
+        }
+
+        /// No-op guard.
+        #[must_use = "the context is only current while the guard lives"]
+        pub fn enter(self) -> CtxGuard {
+            CtxGuard
+        }
+    }
+
+    /// RAII restore (ZST no-op in disabled builds).
+    #[derive(Debug)]
+    pub struct CtxGuard;
+
+    /// Always 0 in disabled builds.
+    pub fn current_request_id() -> u64 {
+        0
+    }
+}
+
+pub use active::{current_request_id, CtxGuard, RequestCtx};
+
+#[cfg(all(test, feature = "enabled", not(loom)))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_unique_and_nonzero() {
+        let a = RequestCtx::new();
+        let b = RequestCtx::new();
+        assert_ne!(a.id(), 0);
+        assert_ne!(a.id(), b.id());
+    }
+
+    #[test]
+    fn enter_nests_and_restores() {
+        assert_eq!(current_request_id(), 0);
+        let outer = RequestCtx::from_id(10);
+        let inner = RequestCtx::from_id(20);
+        {
+            let _o = outer.enter();
+            assert_eq!(current_request_id(), 10);
+            {
+                let _i = inner.enter();
+                assert_eq!(current_request_id(), 20);
+            }
+            assert_eq!(current_request_id(), 10);
+        }
+        assert_eq!(current_request_id(), 0);
+    }
+
+    #[test]
+    fn copies_carry_the_same_id() {
+        let ctx = RequestCtx::new();
+        let copy = ctx;
+        assert_eq!(ctx.id(), copy.id());
+        let handle = std::thread::spawn(move || {
+            let _g = copy.enter();
+            current_request_id()
+        });
+        assert_eq!(handle.join().expect("ctx thread"), ctx.id());
+    }
+}

@@ -1,0 +1,134 @@
+//! The process-global flight recorder (active build only).
+//!
+//! Owns one lazily-created [`FlightRing`] plus the anomaly hook: when a
+//! span close exceeds the configured duration threshold, the ring is
+//! dumped as a Chrome `trace_event` JSON file so the events *leading up
+//! to* the slow span survive for post-mortem inspection
+//! (`nwhy-cli flightrec` renders the same document).
+//!
+//! Event stamps come from [`crate::clock`] (deterministic under manual
+//! ticks) and the request id from [`crate::ctx`]; the registry calls
+//! [`record`] from `span_enter`/`span_exit`/`add`.
+
+use std::path::{Path, PathBuf};
+// lint: deliberately std, not nwhy_util::sync — this module is compiled
+// out under `--cfg loom` alongside the registry; the loom model drives
+// the FlightRing directly
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+use crate::counters::Counter;
+use crate::json;
+use crate::ring::{FlightEvent, FlightKind, FlightRing};
+
+/// Events held by the global ring (latest-wins once full).
+const RING_CAPACITY: usize = 4096;
+
+/// Span duration (µs) at or above which the anomaly hook fires.
+/// `u64::MAX` disables it.
+static ANOMALY_US: AtomicU64 = AtomicU64::new(u64::MAX);
+
+static DUMP_PATH: Mutex<Option<PathBuf>> = Mutex::new(None);
+
+fn ring() -> &'static FlightRing {
+    static RING: OnceLock<FlightRing> = OnceLock::new();
+    RING.get_or_init(|| FlightRing::new(RING_CAPACITY))
+}
+
+/// Records one event, stamping the current tick and request id.
+pub(crate) fn record(kind: FlightKind, id: u32, value: u64, tid: u64) {
+    ring().record(FlightEvent {
+        kind,
+        id,
+        tick: crate::clock::now_ticks(),
+        req: crate::ctx::current_request_id(),
+        value,
+        tid,
+    });
+}
+
+/// Snapshot of the newest `n` events, oldest first.
+pub(crate) fn drain_last(n: usize) -> Vec<FlightEvent> {
+    ring().drain_last(n)
+}
+
+/// Empties the ring (part of `nwhy_obs::reset`).
+pub(crate) fn clear() {
+    ring().clear();
+}
+
+/// Sets the anomaly threshold (`None` disables) and the dump target.
+pub(crate) fn configure(anomaly_us: Option<u64>, dump_path: Option<&Path>) {
+    ANOMALY_US.store(anomaly_us.unwrap_or(u64::MAX), Ordering::Relaxed);
+    *DUMP_PATH.lock().unwrap_or_else(|p| p.into_inner()) = dump_path.map(Path::to_path_buf);
+}
+
+/// Called by `span_exit` with every completed span's duration; dumps the
+/// ring when the threshold trips and a dump path is configured. Returns
+/// the path written, if any (anomalies are rare; a failed write is
+/// swallowed — the recorder must never take down the workload).
+pub(crate) fn check_anomaly(dur_us: u64) -> Option<PathBuf> {
+    if dur_us < ANOMALY_US.load(Ordering::Relaxed) {
+        return None;
+    }
+    let path = DUMP_PATH
+        .lock()
+        .unwrap_or_else(|p| p.into_inner())
+        .clone()?;
+    let doc = render_chrome(&drain_last(RING_CAPACITY));
+    std::fs::write(&path, doc).ok()?;
+    Some(path)
+}
+
+/// The human-readable name behind an event id.
+fn event_name(ev: &FlightEvent) -> String {
+    match ev.kind {
+        FlightKind::SpanOpen | FlightKind::SpanClose => {
+            crate::registry::span_full_path(ev.id as usize)
+                .unwrap_or_else(|| format!("span#{}", ev.id))
+        }
+        FlightKind::CounterDelta => Counter::ALL
+            .get(ev.id as usize)
+            .map_or_else(|| format!("counter#{}", ev.id), |c| c.name().to_string()),
+    }
+}
+
+/// Renders flight events as a Chrome `trace_event` JSON document:
+/// span closes become complete (`"X"`) slices spanning their duration,
+/// span opens instant (`"i"`) marks, counter deltas counter (`"C"`)
+/// samples. Every event carries its request id in `args.req`.
+pub(crate) fn render_chrome(events: &[FlightEvent]) -> String {
+    let mut out = String::from("{\"traceEvents\":[");
+    for (i, ev) in events.iter().enumerate() {
+        if i != 0 {
+            out.push(',');
+        }
+        let name = json::escape(&event_name(ev));
+        match ev.kind {
+            FlightKind::SpanClose => {
+                let ts = ev.tick.saturating_sub(ev.value);
+                out.push_str(&format!(
+                    "{{\"name\":\"{name}\",\"ph\":\"X\",\"ts\":{ts},\"dur\":{},\
+                     \"pid\":0,\"tid\":{},\"args\":{{\"req\":{}}}}}",
+                    ev.value, ev.tid, ev.req
+                ));
+            }
+            FlightKind::SpanOpen => {
+                out.push_str(&format!(
+                    "{{\"name\":\"{name}\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{},\
+                     \"pid\":0,\"tid\":{},\"args\":{{\"req\":{}}}}}",
+                    ev.tick, ev.tid, ev.req
+                ));
+            }
+            FlightKind::CounterDelta => {
+                out.push_str(&format!(
+                    "{{\"name\":\"{name}\",\"ph\":\"C\",\"ts\":{},\
+                     \"pid\":0,\"tid\":{},\"args\":{{\"req\":{},\"delta\":{}}}}}",
+                    ev.tick, ev.tid, ev.req, ev.value
+                ));
+            }
+        }
+    }
+    out.push_str("]}");
+    out
+}

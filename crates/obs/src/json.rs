@@ -26,11 +26,13 @@ pub fn escape(s: &str) -> String {
     out
 }
 
-/// Formats an `f64` so it is always a valid JSON number (no `NaN`/`inf`,
-/// always a decimal point or exponent so it re-parses as a float).
+/// Formats an `f64` as a valid JSON value: non-finite inputs (`NaN`,
+/// `±inf` — e.g. the quantile of an empty window or the mean of a
+/// 0-count histogram) become `null`; finite values always carry a
+/// decimal point or exponent so they re-parse as floats.
 pub fn fmt_f64(x: f64) -> String {
     if !x.is_finite() {
-        return "0.0".into();
+        return "null".into();
     }
     let s = format!("{x}");
     if s.contains('.') || s.contains('e') || s.contains('E') {
@@ -323,9 +325,18 @@ mod tests {
     fn fmt_f64_is_json_safe() {
         assert_eq!(fmt_f64(1.0), "1.0");
         assert_eq!(fmt_f64(0.25), "0.25");
-        assert_eq!(fmt_f64(f64::NAN), "0.0");
         for x in [1.0, 0.25, 1e-9, 12345.678] {
             assert_eq!(parse(&fmt_f64(x)).unwrap().as_f64(), Some(x));
+        }
+    }
+
+    #[test]
+    fn fmt_f64_emits_null_for_non_finite() {
+        for x in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let doc = fmt_f64(x);
+            assert_eq!(doc, "null");
+            // and it stays valid JSON through the parser
+            assert_eq!(parse(&doc).unwrap(), Value::Null);
         }
     }
 

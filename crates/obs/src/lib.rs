@@ -36,16 +36,29 @@
 //! stand-in cannot back a lazy global); the model checker exercises
 //! [`sharded::ShardedU64`] directly.
 
+#[cfg(all(feature = "enabled", not(loom)))]
+mod clock;
 mod counters;
+mod ctx;
+#[cfg(all(feature = "enabled", not(loom)))]
+mod flight;
 pub mod json;
+pub mod prom;
 #[cfg(all(feature = "enabled", not(loom)))]
 mod registry;
+pub mod ring;
 pub mod sharded;
 mod snapshot;
 mod trace;
+pub mod window;
 
 pub use counters::{Counter, Hist};
-pub use snapshot::{CounterSnapshot, HistSnapshot, MetricsSnapshot, SpanSnapshot};
+pub use ctx::{current_request_id, CtxGuard, RequestCtx};
+pub use prom::render_prometheus;
+pub use ring::{FlightEvent, FlightKind};
+pub use snapshot::{
+    CounterSnapshot, HistSnapshot, MetricsSnapshot, QuantileSnapshot, SpanSnapshot,
+};
 pub use trace::{to_chrome_trace, TraceEvent};
 
 /// `true` iff the `enabled` feature is on (and the build is not a loom
@@ -177,4 +190,77 @@ pub fn take_trace() -> Vec<TraceEvent> {
 /// JSON document.
 pub fn chrome_trace() -> String {
     to_chrome_trace(&take_trace())
+}
+
+/// Records one latency observation (µs) into `op`'s trailing window.
+/// Span closes call this automatically with the span's leaf name;
+/// serving layers may call it directly for endpoint-level ops. No-op
+/// when disabled.
+#[inline]
+pub fn observe_latency(op: &'static str, micros: u64) {
+    #[cfg(all(feature = "enabled", not(loom)))]
+    registry::observe_latency(op, micros);
+    #[cfg(not(all(feature = "enabled", not(loom))))]
+    let _ = (op, micros);
+}
+
+/// Switches the telemetry clock between wall-clock microseconds and a
+/// deterministic manual counter (see [`advance_ticks`]). Tests use the
+/// manual mode so flight-event stamps and window rotation are exact.
+/// No-op when disabled.
+pub fn set_manual_ticks(on: bool) {
+    #[cfg(all(feature = "enabled", not(loom)))]
+    clock::set_manual(on);
+    #[cfg(not(all(feature = "enabled", not(loom))))]
+    let _ = on;
+}
+
+/// Advances the manual telemetry clock by `n` ticks. No-op when
+/// disabled (or while in wall-clock mode).
+pub fn advance_ticks(n: u64) {
+    #[cfg(all(feature = "enabled", not(loom)))]
+    clock::advance(n);
+    #[cfg(not(all(feature = "enabled", not(loom))))]
+    let _ = n;
+}
+
+/// Snapshot of the newest `n` flight-recorder events, oldest first.
+/// Always empty when disabled.
+pub fn flight_drain_last(n: usize) -> Vec<FlightEvent> {
+    #[cfg(all(feature = "enabled", not(loom)))]
+    {
+        flight::drain_last(n)
+    }
+    #[cfg(not(all(feature = "enabled", not(loom))))]
+    {
+        let _ = n;
+        Vec::new()
+    }
+}
+
+/// Configures the flight-recorder anomaly hook: when a span's duration
+/// reaches `anomaly_us`, the ring is dumped as a Chrome-trace JSON file
+/// at `dump_path`. `None` disables the respective half. No-op when
+/// disabled.
+pub fn flight_configure(anomaly_us: Option<u64>, dump_path: Option<&std::path::Path>) {
+    #[cfg(all(feature = "enabled", not(loom)))]
+    flight::configure(anomaly_us, dump_path);
+    #[cfg(not(all(feature = "enabled", not(loom))))]
+    let _ = (anomaly_us, dump_path);
+}
+
+/// Renders the newest `n` flight-recorder events as a Chrome
+/// `trace_event` JSON document (span closes as complete slices, opens as
+/// instants, counter deltas as counter samples; request ids in
+/// `args.req`). An empty document when disabled.
+pub fn flight_chrome_trace(n: usize) -> String {
+    #[cfg(all(feature = "enabled", not(loom)))]
+    {
+        flight::render_chrome(&flight::drain_last(n))
+    }
+    #[cfg(not(all(feature = "enabled", not(loom))))]
+    {
+        let _ = n;
+        String::from("{\"traceEvents\":[]}")
+    }
 }

@@ -20,13 +20,21 @@ use std::cell::{Cell, RefCell};
 // registry must stay usable outside loom models even in `--cfg loom`
 // builds (the loom tests themselves assert on it between models)
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Mutex, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 use crate::counters::{Counter, Hist};
+use crate::ring::FlightKind;
 use crate::sharded::ShardedU64;
-use crate::snapshot::{CounterSnapshot, HistSnapshot, MetricsSnapshot, SpanSnapshot};
+use crate::snapshot::{
+    CounterSnapshot, HistSnapshot, MetricsSnapshot, QuantileSnapshot, SpanSnapshot,
+};
 use crate::trace::TraceEvent;
+use crate::window::WindowedHist;
+
+/// Ticks (µs in wall-clock mode) per latency sub-window: 1 s each, so
+/// the 8-slot ring answers quantiles over a trailing ~8 s.
+const LATENCY_SUB_WIDTH: u64 = 1_000_000;
 
 /// Power-of-two histogram buckets: index `i` holds values `v` with
 /// `64 - v.leading_zeros() == i`, i.e. 0, 1, 2..3, 4..7, …
@@ -113,6 +121,10 @@ struct Registry {
     hists: Vec<HistSlab>,
     spans: Mutex<SpanTable>,
     trace: Mutex<Vec<TraceEvent>>,
+    /// Trailing-window latency per op name (span leaf or explicit
+    /// [`observe_latency`] op). The mutex guards only the name lookup;
+    /// observations go through the cloned `Arc` lock-free.
+    windows: Mutex<Vec<(&'static str, Arc<WindowedHist>)>>,
     epoch: Instant,
 }
 
@@ -123,6 +135,7 @@ fn registry() -> &'static Registry {
         hists: (0..Hist::ALL.len()).map(|_| HistSlab::new()).collect(),
         spans: Mutex::new(SpanTable::default()),
         trace: Mutex::new(Vec::new()),
+        windows: Mutex::new(Vec::new()),
         epoch: Instant::now(),
     })
 }
@@ -148,7 +161,45 @@ pub(crate) fn shard_index() -> usize {
 }
 
 pub(crate) fn add(counter: Counter, n: u64) {
-    registry().counters[counter.index()].add_to_shard(shard_index(), n);
+    let shard = shard_index();
+    registry().counters[counter.index()].add_to_shard(shard, n);
+    // lint: counter indices are tiny (Counter::ALL is a fixed 22-entry enum)
+    #[allow(clippy::cast_possible_truncation)]
+    crate::flight::record(
+        FlightKind::CounterDelta,
+        counter.index() as u32,
+        n,
+        shard as u64,
+    );
+}
+
+/// Records one latency observation (µs) into `op`'s trailing window.
+pub(crate) fn observe_latency(op: &'static str, micros: u64) {
+    let win = {
+        let mut windows = registry()
+            .windows
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        match windows.iter().find(|(name, _)| *name == op) {
+            Some((_, w)) => Arc::clone(w),
+            None => {
+                let w = Arc::new(WindowedHist::new(LATENCY_SUB_WIDTH));
+                windows.push((op, Arc::clone(&w)));
+                w
+            }
+        }
+    };
+    win.observe(crate::clock::now_ticks(), micros);
+}
+
+/// Resolves a span path id to its `/`-joined path (for flight-recorder
+/// rendering). `None` for ids the table has never interned.
+pub(crate) fn span_full_path(id: usize) -> Option<String> {
+    let table = registry()
+        .spans
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    (id < table.paths.len()).then(|| table.full_path(id))
 }
 
 pub(crate) fn counter_value(counter: Counter) -> u64 {
@@ -171,10 +222,19 @@ pub(crate) fn span_enter(name: &'static str) -> SpanInner {
     let reg = registry();
     let parent = SPAN_STACK.with(|s| s.borrow().last().copied().unwrap_or(NO_PARENT));
     let path_id = {
-        let mut table = reg.spans.lock().expect("span table poisoned");
+        let mut table = reg
+            .spans
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         table.intern(parent, name)
     };
     SPAN_STACK.with(|s| s.borrow_mut().push(path_id));
+    crate::flight::record(
+        FlightKind::SpanOpen,
+        u32::try_from(path_id).unwrap_or(u32::MAX),
+        0,
+        shard_index() as u64,
+    );
     SpanInner {
         path_id,
         name,
@@ -194,13 +254,19 @@ pub(crate) fn span_exit(inner: &SpanInner) {
         }
     });
     {
-        let mut table = reg.spans.lock().expect("span table poisoned");
+        let mut table = reg
+            .spans
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         let agg = &mut table.aggregates[inner.path_id];
         agg.0 += 1;
         agg.1 += elapsed;
     }
     {
-        let mut trace = reg.trace.lock().expect("trace buffer poisoned");
+        let mut trace = reg
+            .trace
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         if trace.len() < MAX_TRACE_EVENTS {
             // lint: u128 microsecond counts fit u64 for the next ~584k years
             #[allow(clippy::cast_possible_truncation)]
@@ -216,11 +282,22 @@ pub(crate) fn span_exit(inner: &SpanInner) {
             });
         }
     }
+    // lint: u128 microsecond counts fit u64 for the next ~584k years
+    #[allow(clippy::cast_possible_truncation)]
+    let dur_us = elapsed.as_micros() as u64;
+    crate::flight::record(
+        FlightKind::SpanClose,
+        u32::try_from(inner.path_id).unwrap_or(u32::MAX),
+        dur_us,
+        shard_index() as u64,
+    );
+    observe_latency(inner.name, dur_us);
+    crate::flight::check_anomaly(dur_us);
 }
 
 pub(crate) fn snapshot() -> MetricsSnapshot {
     let reg = registry();
-    let counters = Counter::ALL
+    let mut counters: Vec<CounterSnapshot> = Counter::ALL
         .iter()
         .filter_map(|&c| {
             let value = reg.counters[c.index()].sum();
@@ -230,8 +307,15 @@ pub(crate) fn snapshot() -> MetricsSnapshot {
             })
         })
         .collect();
-    let spans = {
-        let table = reg.spans.lock().expect("span table poisoned");
+    // Every section is key-sorted so repeated snapshots of the same
+    // state render identically in every sink (text, JSON, Prometheus,
+    // BENCH_*.json) regardless of declaration or first-use order.
+    counters.sort_unstable_by_key(|c| c.name);
+    let mut spans: Vec<SpanSnapshot> = {
+        let table = reg
+            .spans
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         (0..table.paths.len())
             .filter(|&id| table.aggregates[id].0 != 0)
             .map(|id| SpanSnapshot {
@@ -241,7 +325,8 @@ pub(crate) fn snapshot() -> MetricsSnapshot {
             })
             .collect()
     };
-    let hists = Hist::ALL
+    spans.sort_unstable_by(|a, b| a.path.cmp(&b.path));
+    let mut hists: Vec<HistSnapshot> = Hist::ALL
         .iter()
         .filter_map(|&h| {
             let slab = &reg.hists[h.index()];
@@ -270,10 +355,34 @@ pub(crate) fn snapshot() -> MetricsSnapshot {
             })
         })
         .collect();
+    hists.sort_unstable_by_key(|h| h.name);
+    let now = crate::clock::now_ticks();
+    let mut quantiles: Vec<QuantileSnapshot> = {
+        let windows = reg
+            .windows
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        windows
+            .iter()
+            .map(|(op, w)| {
+                let m = w.merged(now);
+                QuantileSnapshot {
+                    op: (*op).to_string(),
+                    count: m.count,
+                    p50: m.p50(),
+                    p90: m.p90(),
+                    p99: m.p99(),
+                    max: m.max,
+                }
+            })
+            .collect()
+    };
+    quantiles.sort_unstable_by(|a, b| a.op.cmp(&b.op));
     MetricsSnapshot {
         counters,
         spans,
         hists,
+        quantiles,
     }
 }
 
@@ -286,12 +395,29 @@ pub(crate) fn reset() {
         h.reset();
     }
     {
-        let mut table = reg.spans.lock().expect("span table poisoned");
+        let mut table = reg
+            .spans
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         *table = SpanTable::default();
     }
-    reg.trace.lock().expect("trace buffer poisoned").clear();
+    reg.trace
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .clear();
+    reg.windows
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .clear();
+    crate::flight::clear();
+    crate::clock::reset();
 }
 
 pub(crate) fn take_trace() -> Vec<TraceEvent> {
-    std::mem::take(&mut *registry().trace.lock().expect("trace buffer poisoned"))
+    std::mem::take(
+        &mut *registry()
+            .trace
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner),
+    )
 }

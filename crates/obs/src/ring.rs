@@ -1,0 +1,344 @@
+//! The flight-recorder ring: a fixed-capacity lock-free MPSC buffer of
+//! telemetry events.
+//!
+//! [`FlightRing`] keeps the last `capacity` events in a circular slab of
+//! per-slot seqlocks. Any thread may [`record`](FlightRing::record)
+//! concurrently (multi-producer); [`drain_last`](FlightRing::drain_last)
+//! takes a best-effort snapshot of the most recent events without
+//! stopping the writers (single logical consumer — concurrent drains are
+//! safe but may see overlapping windows).
+//!
+//! # Protocol (the loom-checked part)
+//!
+//! Every event claims a monotonically increasing *ticket* `t` with one
+//! `fetch_add`; the ticket names both the slot (`t % capacity`) and the
+//! slot's expected publication stamp. The writer then runs the slot's
+//! seqlock:
+//!
+//! ```text
+//! seq.store(2t + 1, Release)   // odd: write in progress, generation t
+//! payload word stores          // Relaxed — the words are themselves atomics
+//! seq.store(2t + 2, Release)   // even: published, generation t
+//! ```
+//!
+//! A reader accepts a slot only when `seq` reads `2t + 2` both before
+//! *and* after copying the payload words, which rejects in-progress
+//! writes and same-slot overwrites from a later ticket (`t' > t` stores
+//! a strictly larger stamp, odd first). Payload loads are `Acquire`
+//! against the writer's publishing `Release` store, so an accepted slot
+//! always carries the generation-`t` words. Because every word is an
+//! atomic there is no data race and nothing here needs `unsafe`; a
+//! rejected slot is simply skipped (the recorder is diagnostic — losing
+//! an event to an overwrite race is by design, tearing one is not).
+//!
+//! Memory-ordering policy (DESIGN.md §6): publication edges are
+//! `Release`/`Acquire` on `seq`; payload and ticket traffic is
+//! `Relaxed`. The atomics come from [`nwhy_util::sync`] so the
+//! writer/drain pair is exhaustively model-checked in `tests/loom.rs`.
+
+use nwhy_util::sync::{AtomicU64, Ordering};
+
+/// What happened, as recorded in the flight ring.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlightKind {
+    /// A span opened. `id` is the interned span *path* id, `value` 0.
+    SpanOpen,
+    /// A span closed. `id` is the path id, `value` the duration in µs.
+    SpanClose,
+    /// A counter was bumped. `id` is the counter index, `value` the
+    /// delta.
+    CounterDelta,
+}
+
+impl FlightKind {
+    fn code(self) -> u64 {
+        match self {
+            FlightKind::SpanOpen => 0,
+            FlightKind::SpanClose => 1,
+            FlightKind::CounterDelta => 2,
+        }
+    }
+
+    fn from_code(code: u64) -> Option<FlightKind> {
+        match code {
+            0 => Some(FlightKind::SpanOpen),
+            1 => Some(FlightKind::SpanClose),
+            2 => Some(FlightKind::CounterDelta),
+            _ => None,
+        }
+    }
+}
+
+/// One recorded telemetry event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlightEvent {
+    /// Event class.
+    pub kind: FlightKind,
+    /// Span path id or counter index, per [`FlightKind`].
+    pub id: u32,
+    /// Tick stamp from the injected clock (µs since epoch, or the
+    /// manual test counter).
+    pub tick: u64,
+    /// The request id active on the recording thread (0 = unattributed).
+    pub req: u64,
+    /// Duration (span close) or delta (counter), in the kind's unit.
+    pub value: u64,
+    /// Logical thread id (the recorder's shard index).
+    pub tid: u64,
+}
+
+/// One seqlocked slot: a stamp plus five payload words
+/// (`kind|id`, `tick`, `req`, `value`, `tid`).
+#[derive(Debug)]
+struct Slot {
+    seq: AtomicU64,
+    words: [AtomicU64; 5],
+}
+
+impl Slot {
+    fn new() -> Slot {
+        Slot {
+            // No ticket publishes stamp 0, so fresh slots never match.
+            seq: AtomicU64::new(0),
+            words: [
+                AtomicU64::new(0),
+                AtomicU64::new(0),
+                AtomicU64::new(0),
+                AtomicU64::new(0),
+                AtomicU64::new(0),
+            ],
+        }
+    }
+}
+
+/// A fixed-capacity lock-free MPSC ring of [`FlightEvent`]s.
+#[derive(Debug)]
+pub struct FlightRing {
+    slots: Vec<Slot>,
+    ticket: AtomicU64,
+}
+
+impl FlightRing {
+    /// A ring holding the last `capacity` events (rounded up to a power
+    /// of two, minimum 2).
+    pub fn new(capacity: usize) -> FlightRing {
+        let cap = capacity.max(2).next_power_of_two();
+        FlightRing {
+            slots: (0..cap).map(|_| Slot::new()).collect(),
+            ticket: AtomicU64::new(0),
+        }
+    }
+
+    /// Slot count (always a power of two).
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Total events ever recorded (drops are `recorded - capacity` at
+    /// most; the ring keeps the newest).
+    pub fn recorded(&self) -> u64 {
+        self.ticket.load(Ordering::Relaxed)
+    }
+
+    #[inline]
+    fn slot_for(&self, ticket: u64) -> &Slot {
+        // lint: slot index is ticket masked to the power-of-two capacity
+        #[allow(clippy::cast_possible_truncation)]
+        let idx = (ticket & (self.slots.len() as u64 - 1)) as usize;
+        // lint: panic: idx is masked to the pow2 slot count, always in bounds
+        &self.slots[idx]
+    }
+
+    /// Records one event. Lock-free; wait-free writers except for the
+    /// single `fetch_add` claim.
+    pub fn record(&self, ev: FlightEvent) {
+        let t = self.ticket.fetch_add(1, Ordering::Relaxed);
+        let slot = self.slot_for(t);
+        let payload = [
+            ev.kind.code() << 32 | u64::from(ev.id),
+            ev.tick,
+            ev.req,
+            ev.value,
+            ev.tid,
+        ];
+        slot.seq.store(2 * t + 1, Ordering::Release);
+        for (word, value) in slot.words.iter().zip(payload) {
+            word.store(value, Ordering::Relaxed);
+        }
+        slot.seq.store(2 * t + 2, Ordering::Release);
+    }
+
+    /// Copies out the newest `n` fully-published events, oldest first.
+    /// Events racing a concurrent overwrite are skipped, never torn.
+    pub fn drain_last(&self, n: usize) -> Vec<FlightEvent> {
+        let head = self.ticket.load(Ordering::Acquire);
+        let cap = self.slots.len() as u64;
+        let window = (n as u64).min(cap).min(head);
+        // lint: window is capped by `n: usize` above, so it fits
+        #[allow(clippy::cast_possible_truncation)]
+        let mut out = Vec::with_capacity(window as usize);
+        for t in (head - window)..head {
+            let slot = self.slot_for(t);
+            let want = 2 * t + 2;
+            if slot.seq.load(Ordering::Acquire) != want {
+                continue;
+            }
+            let mut words = [0u64; 5];
+            for (copy, word) in words.iter_mut().zip(&slot.words) {
+                *copy = word.load(Ordering::Acquire);
+            }
+            if slot.seq.load(Ordering::Acquire) != want {
+                continue;
+            }
+            let [head_word, tick, req, value, tid] = words;
+            let Some(kind) = FlightKind::from_code(head_word >> 32) else {
+                continue;
+            };
+            // lint: the low half of word 0 is the recorded u32 id
+            #[allow(clippy::cast_possible_truncation)]
+            let id = head_word as u32;
+            out.push(FlightEvent {
+                kind,
+                id,
+                tick,
+                req,
+                value,
+                tid,
+            });
+        }
+        out
+    }
+
+    /// Invalidates every slot and rewinds the ticket. Intended between
+    /// measurement windows, not concurrently with writers (same contract
+    /// as `nwhy_obs::reset`).
+    pub fn clear(&self) {
+        for slot in &self.slots {
+            slot.seq.store(0, Ordering::Relaxed);
+        }
+        self.ticket.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(all(test, not(loom)))]
+mod tests {
+    use super::*;
+
+    fn ev(id: u32, tick: u64, req: u64) -> FlightEvent {
+        FlightEvent {
+            kind: FlightKind::SpanClose,
+            id,
+            tick,
+            req,
+            value: tick * 10,
+            tid: 1,
+        }
+    }
+
+    #[test]
+    fn capacity_rounds_to_power_of_two() {
+        assert_eq!(FlightRing::new(0).capacity(), 2);
+        assert_eq!(FlightRing::new(5).capacity(), 8);
+        assert_eq!(FlightRing::new(4096).capacity(), 4096);
+    }
+
+    #[test]
+    fn records_and_drains_in_order() {
+        let r = FlightRing::new(8);
+        for i in 0..5u64 {
+            // lint: test ids stay tiny
+            #[allow(clippy::cast_possible_truncation)]
+            r.record(ev(i as u32, i, 7));
+        }
+        let got = r.drain_last(16);
+        assert_eq!(got.len(), 5);
+        assert_eq!(got.first().unwrap().id, 0);
+        assert_eq!(got.last().unwrap().id, 4);
+        assert!(got.iter().all(|e| e.req == 7));
+        // a smaller drain takes the newest suffix
+        let last2 = r.drain_last(2);
+        assert_eq!(last2.iter().map(|e| e.id).collect::<Vec<_>>(), vec![3, 4]);
+    }
+
+    #[test]
+    fn wraparound_keeps_only_the_newest() {
+        let r = FlightRing::new(4);
+        for i in 0..10u32 {
+            r.record(ev(i, u64::from(i), 0));
+        }
+        assert_eq!(r.recorded(), 10);
+        let got = r.drain_last(64);
+        assert_eq!(
+            got.iter().map(|e| e.id).collect::<Vec<_>>(),
+            vec![6, 7, 8, 9]
+        );
+    }
+
+    #[test]
+    fn clear_empties_the_ring() {
+        let r = FlightRing::new(4);
+        r.record(ev(1, 1, 0));
+        r.clear();
+        assert!(r.drain_last(4).is_empty());
+        assert_eq!(r.recorded(), 0);
+        r.record(ev(2, 2, 0));
+        assert_eq!(r.drain_last(4).len(), 1);
+    }
+
+    #[test]
+    fn kinds_round_trip_through_the_packing() {
+        let r = FlightRing::new(4);
+        for kind in [
+            FlightKind::SpanOpen,
+            FlightKind::SpanClose,
+            FlightKind::CounterDelta,
+        ] {
+            r.record(FlightEvent {
+                kind,
+                id: u32::MAX,
+                tick: 3,
+                req: 9,
+                value: u64::MAX,
+                tid: 2,
+            });
+        }
+        let got = r.drain_last(3);
+        assert_eq!(got.len(), 3);
+        assert_eq!(got[0].kind, FlightKind::SpanOpen);
+        assert_eq!(got[1].kind, FlightKind::SpanClose);
+        assert_eq!(got[2].kind, FlightKind::CounterDelta);
+        assert!(got.iter().all(|e| e.id == u32::MAX && e.value == u64::MAX));
+    }
+
+    #[test]
+    fn concurrent_writers_never_tear() {
+        let r = FlightRing::new(64);
+        std::thread::scope(|s| {
+            for w in 0..4u64 {
+                let r = &r;
+                s.spawn(move || {
+                    for i in 0..1_000u64 {
+                        r.record(FlightEvent {
+                            kind: FlightKind::CounterDelta,
+                            // lint: test ids stay tiny
+                            #[allow(clippy::cast_possible_truncation)]
+                            id: w as u32,
+                            tick: i,
+                            req: w + 1,
+                            value: (w + 1) * 1_000 + i,
+                            tid: w,
+                        });
+                    }
+                });
+            }
+        });
+        assert_eq!(r.recorded(), 4_000);
+        let got = r.drain_last(64);
+        assert!(!got.is_empty());
+        // un-torn: every event's value encodes its own req consistently
+        for e in got {
+            assert_eq!(e.value / 1_000, e.req, "torn event: {e:?}");
+            assert_eq!(u64::from(e.id) + 1, e.req, "torn event fields");
+        }
+    }
+}

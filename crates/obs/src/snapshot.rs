@@ -44,15 +44,44 @@ pub struct HistSnapshot {
     pub buckets: Vec<(u64, u64)>,
 }
 
+/// Windowed latency quantiles for one named operation.
+///
+/// Quantile fields are `None` when the trailing window is empty (the op
+/// fired once but its samples have aged out) — rendered as JSON `null`
+/// and omitted from the Prometheus gauges.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuantileSnapshot {
+    /// Operation name (a span leaf name or an explicit
+    /// [`crate::observe_latency`] op).
+    pub op: String,
+    /// Observations inside the trailing window.
+    pub count: u64,
+    /// Median latency (µs, pow2-bucket upper bound).
+    pub p50: Option<u64>,
+    /// 90th-percentile latency (µs).
+    pub p90: Option<u64>,
+    /// 99th-percentile latency (µs).
+    pub p99: Option<u64>,
+    /// Largest windowed observation (µs, exact).
+    pub max: u64,
+}
+
 /// Everything the registry knows at one instant.
+///
+/// Every section is sorted by its key (counter name, span path,
+/// histogram name, op name) so two snapshots of the same state are
+/// equal byte-for-byte in every rendering — `BENCH_*.json` diffs and
+/// the perf gate never churn on iteration order.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct MetricsSnapshot {
-    /// Non-zero counters, in [`crate::Counter::ALL`] order.
+    /// Non-zero counters, sorted by name.
     pub counters: Vec<CounterSnapshot>,
-    /// Completed-span aggregates, in first-use order.
+    /// Completed-span aggregates, sorted by path.
     pub spans: Vec<SpanSnapshot>,
-    /// Non-empty histograms, in [`crate::Hist::ALL`] order.
+    /// Non-empty histograms, sorted by name.
     pub hists: Vec<HistSnapshot>,
+    /// Windowed latency quantiles, sorted by op name.
+    pub quantiles: Vec<QuantileSnapshot>,
 }
 
 impl MetricsSnapshot {
@@ -69,15 +98,23 @@ impl MetricsSnapshot {
         self.spans.iter().find(|s| s.path == path)
     }
 
+    /// The windowed quantiles for an op by exact name.
+    pub fn quantile(&self, op: &str) -> Option<&QuantileSnapshot> {
+        self.quantiles.iter().find(|q| q.op == op)
+    }
+
     /// `true` when nothing was recorded.
     pub fn is_empty(&self) -> bool {
-        self.counters.is_empty() && self.spans.is_empty() && self.hists.is_empty()
+        self.counters.is_empty()
+            && self.spans.is_empty()
+            && self.hists.is_empty()
+            && self.quantiles.is_empty()
     }
 
     /// Human-readable rendering, one item per line.
     pub fn to_text(&self) -> String {
         let mut out = String::new();
-        if self.counters.is_empty() && self.spans.is_empty() && self.hists.is_empty() {
+        if self.is_empty() {
             out.push_str("(no metrics recorded)\n");
             return out;
         }
@@ -118,6 +155,22 @@ impl MetricsSnapshot {
                 for &(ub, n) in &h.buckets {
                     out.push_str(&format!("    <= {ub:>12}  {n}\n"));
                 }
+            }
+        }
+        if !self.quantiles.is_empty() {
+            out.push_str("latency (trailing window, \u{b5}s):\n");
+            let width = self.quantiles.iter().map(|q| q.op.len()).max().unwrap_or(0);
+            for q in &self.quantiles {
+                let fmt = |v: Option<u64>| v.map_or_else(|| "-".into(), |v| v.to_string());
+                out.push_str(&format!(
+                    "  {:width$}  n={} p50={} p90={} p99={} max={}\n",
+                    q.op,
+                    q.count,
+                    fmt(q.p50),
+                    fmt(q.p90),
+                    fmt(q.p99),
+                    q.max
+                ));
             }
         }
         out
@@ -172,6 +225,32 @@ impl MetricsSnapshot {
         if !self.hists.is_empty() {
             out.push_str("\n  ");
         }
+        out.push_str("],\n  \"quantiles\": [");
+        for (i, q) in self.quantiles.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            // None (empty window) goes through fmt_f64's non-finite path
+            // so it lands in the document as JSON null.
+            let qf = |v: Option<u64>| {
+                // lint: pow2 bucket bounds survive the f64 round-trip at
+                // diagnostic precision
+                #[allow(clippy::cast_precision_loss)]
+                fmt_f64(v.map_or(f64::NAN, |v| v as f64))
+            };
+            out.push_str(&format!(
+                "\n    {{\"op\": \"{}\", \"count\": {}, \"p50\": {}, \"p90\": {}, \"p99\": {}, \"max\": {}}}",
+                escape(&q.op),
+                q.count,
+                qf(q.p50),
+                qf(q.p90),
+                qf(q.p99),
+                q.max
+            ));
+        }
+        if !self.quantiles.is_empty() {
+            out.push_str("\n  ");
+        }
         out.push_str("]\n}\n");
         out
     }
@@ -206,6 +285,24 @@ mod tests {
                 max: 8,
                 buckets: vec![(1, 1), (2, 1), (8, 1)],
             }],
+            quantiles: vec![
+                QuantileSnapshot {
+                    op: "sline.hashmap".into(),
+                    count: 10,
+                    p50: Some(127),
+                    p90: Some(255),
+                    p99: Some(4095),
+                    max: 3000,
+                },
+                QuantileSnapshot {
+                    op: "stale.op".into(),
+                    count: 0,
+                    p50: None,
+                    p90: None,
+                    p99: None,
+                    max: 0,
+                },
+            ],
         }
     }
 
@@ -237,6 +334,12 @@ mod tests {
         assert_eq!(hists[0].get("max").unwrap().as_u64(), Some(8));
         let buckets = hists[0].get("buckets").unwrap().as_array().unwrap();
         assert_eq!(buckets.len(), 3);
+        let quantiles = v.get("quantiles").unwrap().as_array().unwrap();
+        assert_eq!(quantiles.len(), 2);
+        assert_eq!(quantiles[0].get("p99").unwrap().as_u64(), Some(4095));
+        // Regression (satellite): an empty window's quantile is JSON
+        // null, not an invalid token — and the whole doc still parses.
+        assert_eq!(quantiles[1].get("p50"), Some(&Value::Null));
     }
 
     #[test]

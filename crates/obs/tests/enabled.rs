@@ -5,7 +5,7 @@
 
 use std::sync::Mutex;
 
-use nwhy_obs::{json, Counter, Hist};
+use nwhy_obs::{json, Counter, FlightKind, Hist, RequestCtx};
 
 static GATE: Mutex<()> = Mutex::new(());
 
@@ -118,6 +118,186 @@ fn histograms_bucket_by_power_of_two() {
         assert_eq!(h.max, 1_000);
         // 0 | 1 | {2,3} | 8 | 1000 → buckets (0,1) (1,1) (3,2) (15,1) (1023,1)
         assert_eq!(h.buckets, vec![(0, 1), (1, 1), (3, 2), (15, 1), (1023, 1)]);
+    });
+}
+
+#[test]
+fn repeated_snapshots_are_identical() {
+    // Satellite: snapshot ordering is deterministic — two snapshots of
+    // the same registry state must be equal, and every rendering
+    // byte-identical (so BENCH_*.json diffs never churn).
+    isolated(|| {
+        nwhy_obs::add(Counter::IoBytesRead, 11);
+        nwhy_obs::add(Counter::SlinePairsExamined, 3);
+        nwhy_obs::observe(Hist::CcFrontier, 9);
+        nwhy_obs::observe(Hist::BfsFrontierEdges, 2);
+        nwhy_obs::observe_latency("op.b", 10);
+        nwhy_obs::observe_latency("op.a", 20);
+        {
+            let _s = nwhy_obs::span("snap.z");
+        }
+        {
+            let _s = nwhy_obs::span("snap.a");
+        }
+        let a = nwhy_obs::snapshot();
+        let b = nwhy_obs::snapshot();
+        assert_eq!(a, b);
+        assert_eq!(a.to_json(), b.to_json());
+        assert_eq!(a.to_text(), b.to_text());
+        assert_eq!(
+            nwhy_obs::render_prometheus(&a),
+            nwhy_obs::render_prometheus(&b)
+        );
+        // and sections are sorted by key regardless of recording order
+        let counter_names: Vec<&str> = a.counters.iter().map(|c| c.name).collect();
+        let mut sorted = counter_names.clone();
+        sorted.sort_unstable();
+        assert_eq!(counter_names, sorted);
+        let ops: Vec<&str> = a.quantiles.iter().map(|q| q.op.as_str()).collect();
+        assert_eq!(ops, ["op.a", "op.b", "snap.a", "snap.z"]);
+        let paths: Vec<&str> = a.spans.iter().map(|s| s.path.as_str()).collect();
+        assert_eq!(paths, ["snap.a", "snap.z"]);
+    });
+}
+
+#[test]
+fn windowed_quantiles_surface_in_snapshot_and_prom() {
+    isolated(|| {
+        nwhy_obs::set_manual_ticks(true);
+        for _ in 0..98 {
+            nwhy_obs::observe_latency("query.sline", 100);
+        }
+        nwhy_obs::observe_latency("query.sline", 5_000);
+        nwhy_obs::observe_latency("query.sline", 5_000);
+        let snap = nwhy_obs::snapshot();
+        let q = snap.quantile("query.sline").expect("windowed op present");
+        assert_eq!(q.count, 100);
+        assert_eq!(q.p50, Some(127)); // pow2 bucket 64..127
+        assert_eq!(q.p99, Some(8191)); // pow2 bucket 4096..8191
+        assert_eq!(q.max, 5_000);
+        let doc = nwhy_obs::render_prometheus(&snap);
+        assert!(
+            doc.contains("nwhy_op_latency_microseconds{op=\"query.sline\",quantile=\"0.99\"} 8191")
+        );
+        // The window slides: 9 s of manual ticks later (sub-windows are
+        // 1 s), the samples have aged out and quantiles go null-shaped.
+        nwhy_obs::advance_ticks(9_000_000);
+        let stale = nwhy_obs::snapshot();
+        let q = stale.quantile("query.sline").expect("op name persists");
+        assert_eq!(q.count, 0);
+        assert_eq!(q.p99, None);
+        let v = json::parse(&stale.to_json()).expect("stale snapshot parses");
+        let quantiles = v.get("quantiles").unwrap().as_array().unwrap();
+        assert_eq!(quantiles[0].get("p99"), Some(&json::Value::Null));
+    });
+}
+
+#[test]
+fn flight_recorder_captures_span_and_counter_events() {
+    isolated(|| {
+        nwhy_obs::set_manual_ticks(true);
+        nwhy_obs::advance_ticks(42);
+        {
+            let _s = nwhy_obs::span("flight.phase");
+            nwhy_obs::add(Counter::BfsRounds, 3);
+        }
+        let events = nwhy_obs::flight_drain_last(16);
+        let kinds: Vec<FlightKind> = events.iter().map(|e| e.kind).collect();
+        assert_eq!(
+            kinds,
+            [
+                FlightKind::SpanOpen,
+                FlightKind::CounterDelta,
+                FlightKind::SpanClose
+            ]
+        );
+        assert!(
+            events.iter().all(|e| e.tick == 42),
+            "manual ticks stamp events"
+        );
+        let delta = &events[1];
+        assert_eq!(delta.id, u32::try_from(Counter::BfsRounds.index()).unwrap());
+        assert_eq!(delta.value, 3);
+        // the rendering is parseable Chrome-trace JSON naming the span
+        let doc = nwhy_obs::flight_chrome_trace(16);
+        let v = json::parse(&doc).expect("flight chrome trace parses");
+        let rendered = v.get("traceEvents").unwrap().as_array().unwrap();
+        assert_eq!(rendered.len(), 3);
+        assert!(rendered
+            .iter()
+            .any(|e| e.get("name").unwrap().as_str() == Some("flight.phase")));
+        // drain is a snapshot, not a drain-and-clear: reset clears it
+        assert_eq!(nwhy_obs::flight_drain_last(16).len(), 3);
+        nwhy_obs::reset();
+        assert!(nwhy_obs::flight_drain_last(16).is_empty());
+    });
+}
+
+#[test]
+fn flight_events_partition_by_request_ctx() {
+    // The tentpole's attribution fixture at the obs layer: two
+    // interleaved "queries" on concurrent threads, each under its own
+    // RequestCtx — every span event in the recorder dump must carry the
+    // id of the query that produced it.
+    isolated(|| {
+        let ctx_a = RequestCtx::new();
+        let ctx_b = RequestCtx::new();
+        std::thread::scope(|s| {
+            for ctx in [ctx_a, ctx_b] {
+                s.spawn(move || {
+                    let _g = ctx.enter();
+                    for _ in 0..10 {
+                        let _span = nwhy_obs::span("query.run");
+                        nwhy_obs::incr(Counter::SlineEdgesEmitted);
+                    }
+                });
+            }
+        });
+        let events = nwhy_obs::flight_drain_last(256);
+        assert_eq!(events.len(), 60, "2 queries × 10 iterations × 3 events");
+        let by_a = events.iter().filter(|e| e.req == ctx_a.id()).count();
+        let by_b = events.iter().filter(|e| e.req == ctx_b.id()).count();
+        assert_eq!(by_a, 30, "query A owns exactly its own events");
+        assert_eq!(by_b, 30, "query B owns exactly its own events");
+        // ids partition: nothing unattributed, nothing cross-tagged
+        assert!(events
+            .iter()
+            .all(|e| e.req == ctx_a.id() || e.req == ctx_b.id()));
+        // and within one request id, the thread is consistent
+        for ctx in [ctx_a, ctx_b] {
+            let tids: Vec<u64> = events
+                .iter()
+                .filter(|e| e.req == ctx.id())
+                .map(|e| e.tid)
+                .collect();
+            assert!(tids.windows(2).all(|w| w[0] == w[1]));
+        }
+    });
+}
+
+#[test]
+fn anomaly_hook_dumps_the_ring() {
+    isolated(|| {
+        let path =
+            std::env::temp_dir().join(format!("nwhy-obs-anomaly-{}.json", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        nwhy_obs::flight_configure(Some(0), Some(&path));
+        {
+            let _s = nwhy_obs::span("slow.phase");
+        }
+        // threshold 0 ⇒ every span close trips the dump
+        let doc = std::fs::read_to_string(&path).expect("anomaly dump written");
+        let v = json::parse(&doc).expect("dump is valid chrome trace JSON");
+        assert!(v
+            .get("traceEvents")
+            .unwrap()
+            .as_array()
+            .unwrap()
+            .iter()
+            .any(|e| e.get("name").unwrap().as_str() == Some("slow.phase")));
+        // unconfigure so later tests never trip it
+        nwhy_obs::flight_configure(None, None);
+        let _ = std::fs::remove_file(&path);
     });
 }
 

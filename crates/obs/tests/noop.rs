@@ -8,7 +8,7 @@
 
 #![cfg(not(feature = "enabled"))]
 
-use nwhy_obs::{Counter, Hist, Span};
+use nwhy_obs::{Counter, CtxGuard, Hist, RequestCtx, Span};
 
 #[test]
 fn enabled_is_const_false() {
@@ -19,6 +19,36 @@ fn enabled_is_const_false() {
 #[test]
 fn span_is_a_zst() {
     assert_eq!(std::mem::size_of::<Span>(), 0);
+}
+
+#[test]
+fn request_ctx_is_a_zst() {
+    // The telemetry-backbone additions must cost nothing when disabled:
+    // the context handle and its guard are ZSTs, ids are always 0.
+    assert_eq!(std::mem::size_of::<RequestCtx>(), 0);
+    assert_eq!(std::mem::size_of::<CtxGuard>(), 0);
+    let ctx = RequestCtx::new();
+    assert_eq!(ctx.id(), 0);
+    assert_eq!(RequestCtx::from_id(77).id(), 0);
+    {
+        let _g = ctx.enter();
+        assert_eq!(nwhy_obs::current_request_id(), 0);
+    }
+}
+
+#[test]
+fn flight_recorder_is_inert() {
+    nwhy_obs::flight_configure(Some(0), Some(std::path::Path::new("/nonexistent")));
+    nwhy_obs::set_manual_ticks(true);
+    nwhy_obs::advance_ticks(1_000);
+    nwhy_obs::observe_latency("noop.op", 42);
+    {
+        let _s = nwhy_obs::span("noop.flight");
+        nwhy_obs::incr(Counter::BfsRounds);
+    }
+    assert!(nwhy_obs::flight_drain_last(64).is_empty());
+    assert_eq!(nwhy_obs::flight_chrome_trace(64), "{\"traceEvents\":[]}");
+    assert!(nwhy_obs::snapshot().quantiles.is_empty());
 }
 
 #[test]

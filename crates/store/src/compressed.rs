@@ -188,6 +188,9 @@ impl CompressedHypergraph {
     /// Parses and structurally checks the header against the image
     /// size; payload bytes are validated lazily (or eagerly via
     /// [`Validate`]).
+    // lint: obs: nwhy-store deliberately has no nwhy-obs dependency (it is the
+    // zero-copy leaf crate under the unsafe-island lint wall); callers
+    // instrument opens via the `io.open_packed` span in nwhy-io
     pub fn from_storage(bytes: Storage) -> Result<Self, StoreError> {
         let header = Header::parse(&bytes)?;
         let n_e = count(header.n_e, "n_e")?;
@@ -395,6 +398,8 @@ impl CompressedHypergraph {
     /// incidence totals. The [`Validate`] impl builds on this and adds
     /// the structural hypergraph invariants (mutual transposes, sorted
     /// rows, typed-ID round trip).
+    // lint: obs: nwhy-store has no nwhy-obs dependency; the CLI `verify`
+    // path wraps this walk in its own span
     pub fn check_integrity(&self) -> Result<(), StoreError> {
         for packed in [&self.edges, &self.nodes] {
             let payload = &self.bytes[packed.payload.clone()];

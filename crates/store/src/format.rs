@@ -95,6 +95,8 @@ impl Header {
     /// Rejects short buffers, wrong magic, unknown versions, and unknown
     /// flag bits; does *not* yet check the section lengths against the
     /// buffer (the caller knows the total size and does that).
+    // lint: obs: fixed-size header decode inside the (instrumented)
+    // open path; nwhy-store carries no nwhy-obs dependency
     pub fn parse(bytes: &[u8]) -> Result<Header, StoreError> {
         if bytes.len() < HEADER_LEN {
             // Report the magic mismatch first when even that much is
@@ -172,6 +174,8 @@ pub(crate) fn read_u64_checked(bytes: &[u8], pos: usize) -> Result<u64, StoreErr
 /// payload is the concatenated varint rows, the index a sampled
 /// row-start offset table (offsets relative to this CSR's payload
 /// start).
+// lint: obs: crate-internal packer covered by the `io.write_packed`
+// span in nwhy-io; nwhy-store carries no nwhy-obs dependency
 pub(crate) fn pack_csr(csr: &nwgraph::Csr) -> (Vec<u8>, Vec<u8>) {
     let mut index = Vec::new();
     let mut payload = Vec::new();

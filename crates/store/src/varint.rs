@@ -18,6 +18,8 @@ pub const MAX_LEN: usize = 10;
 
 /// Appends the LEB128 encoding of `value` to `out`.
 #[inline]
+// lint: obs: per-byte LEB128 hot loop — a span here would dominate the
+// work; the row-level pack/decode callers carry the instrumentation
 pub fn encode(mut value: u64, out: &mut Vec<u8>) {
     loop {
         #[allow(clippy::cast_possible_truncation)] // lint: masked to 7 bits first
@@ -36,6 +38,8 @@ pub fn encode(mut value: u64, out: &mut Vec<u8>) {
 /// Errors on a truncated buffer, on an encoding longer than
 /// [`MAX_LEN`] bytes, and on bit 64+ overflow.
 #[inline]
+// lint: obs: per-byte LEB128 hot loop — a span here would dominate the
+// work; the row-level pack/decode callers carry the instrumentation
 pub fn decode(bytes: &[u8], pos: &mut usize) -> Result<u64, StoreError> {
     let mut value: u64 = 0;
     let mut shift: u32 = 0;
@@ -64,6 +68,8 @@ pub fn decode(bytes: &[u8], pos: &mut usize) -> Result<u64, StoreError> {
 /// [`decode`] minus overflow detection (the continuation-length cap still
 /// applies, so a corrupt run cannot scan unboundedly).
 #[inline]
+// lint: obs: per-byte LEB128 hot loop — a span here would dominate the
+// work; the row-level pack/decode callers carry the instrumentation
 pub fn skip(bytes: &[u8], pos: &mut usize) -> Result<(), StoreError> {
     for _ in 0..MAX_LEN {
         let &byte = bytes.get(*pos).ok_or(StoreError::Truncated {

@@ -4,6 +4,7 @@
 //! nothing beyond the Rust toolchain.
 
 pub mod bench_diff;
+pub mod check_prom;
 pub mod lexer;
 pub mod lint;
 pub mod model;

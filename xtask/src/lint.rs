@@ -168,12 +168,16 @@ fn panic_exempt(file: &str) -> bool {
     file.contains("/tests/") || file.contains("/benches/") || file.contains("/examples/")
 }
 
-/// The instrumentation-contract scope (PR 4): s-line kernels, core
-/// algorithms, and the hygra traversal engine.
+/// The instrumentation-contract scope: s-line kernels, core
+/// algorithms, the hygra traversal engine (PR 4), and the store/io
+/// loop-bearing surfaces (PR 9 — parse/pack/decode loops feed the same
+/// serving dashboards as the kernels they precede).
 fn in_obs_scope(file: &str) -> bool {
     file.starts_with("crates/core/src/slinegraph/")
         || file.starts_with("crates/core/src/algorithms/")
         || file.starts_with("crates/hygra/src/")
+        || file.starts_with("crates/store/src/")
+        || file.starts_with("crates/io/src/")
 }
 
 /// Parameter names that denote an ID when typed `usize`.

@@ -3,6 +3,7 @@
 //! ```text
 //! cargo xtask lint [--json | --sarif] [--update-baseline] [ROOT]
 //! cargo xtask bench-diff <OLD.json> <NEW.json> [--threshold PCT]
+//! cargo xtask check-prom <FILE|-> [--require NAME]...
 //! ```
 //!
 //! `lint` runs the token-aware repo lint pass (see [`xtask::lint`])
@@ -17,6 +18,12 @@
 //! compares two `BENCH_*.json` counter files and exits non-zero when
 //! any kernel counter grew more than the threshold (default 15%, also
 //! settable via `NWHY_BENCH_DIFF_THRESHOLD`).
+//!
+//! `check-prom` validates a Prometheus text exposition (see
+//! [`xtask::check_prom`]) read from FILE (or stdin with `-`); each
+//! `--require NEEDLE` additionally demands a sample line containing
+//! NEEDLE (a metric name or a label fragment like `quantile="0.99"`).
+//! CI pipes `nwhy-cli … --metrics=prom --metrics-out` output through it.
 
 use std::collections::BTreeSet;
 use std::path::PathBuf;
@@ -151,10 +158,75 @@ fn main() -> ExitCode {
                 }
             }
         }
+        Some("check-prom") => {
+            let mut path: Option<String> = None;
+            let mut requires: Vec<String> = Vec::new();
+            let mut args = args.peekable();
+            while let Some(a) = args.next() {
+                if a == "--require" {
+                    match args.next() {
+                        Some(name) => requires.push(name),
+                        None => {
+                            eprintln!("check-prom: --require needs a metric name");
+                            return ExitCode::from(2);
+                        }
+                    }
+                } else if let Some(name) = a.strip_prefix("--require=") {
+                    requires.push(name.to_string());
+                } else {
+                    path = Some(a);
+                }
+            }
+            let Some(path) = path else {
+                eprintln!("usage: cargo xtask check-prom <FILE|-> [--require NAME]...");
+                return ExitCode::from(2);
+            };
+            let input = if path == "-" {
+                let mut buf = String::new();
+                use std::io::Read;
+                if let Err(e) = std::io::stdin().read_to_string(&mut buf) {
+                    eprintln!("check-prom: stdin: {e}");
+                    return ExitCode::from(2);
+                }
+                buf
+            } else {
+                match std::fs::read_to_string(&path) {
+                    Ok(s) => s,
+                    Err(e) => {
+                        eprintln!("check-prom: {path}: {e}");
+                        return ExitCode::from(2);
+                    }
+                }
+            };
+            let report = xtask::check_prom::check(&input);
+            for e in &report.errors {
+                println!("{e}");
+            }
+            let mut missing = 0usize;
+            for name in &requires {
+                if !xtask::check_prom::requires(&input, name) {
+                    println!("required sample `{name}` not found");
+                    missing += 1;
+                }
+            }
+            eprintln!(
+                "check-prom: {} familie(s), {} sample(s), {} error(s), {missing} missing \
+                 requirement(s)",
+                report.families,
+                report.samples,
+                report.errors.len()
+            );
+            if report.passed() && missing == 0 {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
         _ => {
             eprintln!(
                 "usage: cargo xtask <lint [--json | --sarif] [--update-baseline] [ROOT] | \
-                 bench-diff <OLD.json> <NEW.json> [--threshold PCT]>"
+                 bench-diff <OLD.json> <NEW.json> [--threshold PCT] | \
+                 check-prom <FILE|-> [--require NAME]...>"
             );
             ExitCode::from(2)
         }
