@@ -52,6 +52,7 @@ pub fn hashmap<A: HyperAdjacency + ?Sized>(h: &A, s: usize, strategy: Strategy) 
             local.stats.pairs_examined_n(local.counts.len() as u64);
             for (&j, &n) in &local.counts {
                 if meets(n, s) {
+                    // lint: alloc: per-thread output accumulator; push is amortized O(1)
                     local.pairs.push((i, j));
                 }
             }

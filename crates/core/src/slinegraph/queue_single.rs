@@ -64,6 +64,7 @@ pub fn queue_hashmap<H: HyperAdjacency + ?Sized>(
             // Alg. 1 lines 12–14
             for (&j, &n) in &local.counts {
                 if meets(n, s) {
+                    // lint: alloc: per-thread output accumulator; push is amortized O(1)
                     local.pairs.push((i, j));
                 }
             }
@@ -121,6 +122,7 @@ pub fn queue_hashmap_dynamic<H: HyperAdjacency + ?Sized>(
             local.stats.pairs_examined_n(local.counts.len() as u64);
             for (&j, &n) in &local.counts {
                 if meets(n, s) {
+                    // lint: alloc: per-thread output accumulator; push is amortized O(1)
                     local.pairs.push((i, j));
                 }
             }

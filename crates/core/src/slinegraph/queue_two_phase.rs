@@ -75,6 +75,7 @@ pub fn queue_intersection_with<'h, H: HyperAdjacency + ?Sized>(
                     }
                     local.stamp[ids::to_usize(j)] = mark;
                     if h.edge_degree(j) >= s {
+                        // lint: alloc: per-thread output accumulator; push is amortized O(1)
                         local.pairs.push((i, j));
                     } else {
                         local.stats.pairs_skipped(1);

@@ -28,20 +28,29 @@ struct Claim<'a> {
 
 impl EdgeMapFns for Claim<'_> {
     fn update_atomic(&self, src: Id, dst: Id) -> bool {
-        self.parents[dst as usize]
-            .compare_exchange(u32::MAX, src, Ordering::AcqRel, Ordering::Relaxed)
+        // An out-of-range destination cannot be claimed; returning false
+        // keeps it out of the frontier rather than aborting the traversal.
+        let Some(p) = self.parents.get(dst as usize) else {
+            return false;
+        };
+        p.compare_exchange(u32::MAX, src, Ordering::AcqRel, Ordering::Relaxed)
             .is_ok()
     }
     fn update(&self, src: Id, dst: Id) -> bool {
-        if self.parents[dst as usize].load(Ordering::Relaxed) == u32::MAX {
-            self.parents[dst as usize].store(src, Ordering::Relaxed);
+        let Some(p) = self.parents.get(dst as usize) else {
+            return false;
+        };
+        if p.load(Ordering::Relaxed) == u32::MAX {
+            p.store(src, Ordering::Relaxed);
             true
         } else {
             false
         }
     }
     fn cond(&self, dst: Id) -> bool {
-        self.parents[dst as usize].load(Ordering::Relaxed) == u32::MAX
+        self.parents
+            .get(dst as usize)
+            .is_some_and(|p| p.load(Ordering::Relaxed) == u32::MAX)
     }
 }
 
@@ -78,8 +87,13 @@ pub fn hygra_bfs_with_mode(h: &Hypergraph, source: Id, mode: Mode) -> HygraBfsRe
     let node_parents: Vec<AtomicU32> = (0..nv).map(|_| AtomicU32::new(u32::MAX)).collect();
     let mut edge_levels = vec![u32::MAX; ne];
     let mut node_levels = vec![u32::MAX; nv];
-    edge_parents[source as usize].store(source, Ordering::Relaxed);
-    edge_levels[source as usize] = 0;
+    // `source < ne` is asserted above, so both lookups succeed.
+    if let Some(p) = edge_parents.get(source as usize) {
+        p.store(source, Ordering::Relaxed);
+    }
+    if let Some(l) = edge_levels.get_mut(source as usize) {
+        *l = 0;
+    }
 
     let _span = nwhy_obs::span("hygra.bfs");
     let mut edge_frontier = VertexSubset::single(ne, source);
@@ -116,7 +130,9 @@ pub fn hygra_bfs_with_mode(h: &Hypergraph, source: Id, mode: Mode) -> HygraBfsRe
             break;
         }
         for &v in node_frontier.as_sparse() {
-            node_levels[v as usize] = depth;
+            if let Some(l) = node_levels.get_mut(v as usize) {
+                *l = depth;
+            }
         }
         // hypernodes → hyperedges
         depth += 1;
@@ -144,7 +160,9 @@ pub fn hygra_bfs_with_mode(h: &Hypergraph, source: Id, mode: Mode) -> HygraBfsRe
             break;
         }
         for &e in edge_frontier.as_sparse() {
-            edge_levels[e as usize] = depth;
+            if let Some(l) = edge_levels.get_mut(e as usize) {
+                *l = depth;
+            }
         }
     }
 

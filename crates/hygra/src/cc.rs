@@ -47,8 +47,15 @@ struct MinLabel<'a> {
 
 impl EdgeMapFns for MinLabel<'_> {
     fn update_atomic(&self, src: Id, dst: Id) -> bool {
-        let l = self.src_labels[src as usize].load(Ordering::Relaxed);
-        atomic_min_u32(&self.dst_labels[dst as usize], l)
+        // Out-of-range endpoints carry no label to propagate; returning
+        // false keeps the destination out of the woken frontier.
+        match (
+            self.src_labels.get(src as usize),
+            self.dst_labels.get(dst as usize),
+        ) {
+            (Some(s), Some(d)) => atomic_min_u32(d, s.load(Ordering::Relaxed)),
+            _ => false,
+        }
     }
     fn cond(&self, _dst: Id) -> bool {
         true

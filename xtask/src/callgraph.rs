@@ -1,0 +1,462 @@
+//! The workspace-wide call graph behind `cargo xtask audit`.
+//!
+//! Nodes are the function definitions [`crate::parse`] extracted from
+//! every workspace file, keyed `crate::module::[Type::]fn`. Edges come
+//! from best-effort **name + arity** resolution of the call expressions
+//! in each body:
+//!
+//! - [`CallStyle::Free`] `f(…)` resolves against free functions (no
+//!   `impl` type, no `self` receiver) with the same name and arity;
+//! - [`CallStyle::Method`] `recv.m(…)` resolves against associated
+//!   functions taking `self` with the same name and arity (the
+//!   receiver's type is unknown at token level, so *every* workspace
+//!   type's matching method gets an edge — a sound over-approximation);
+//! - [`CallStyle::Qualified`] `Q::f(…)` resolves against associated
+//!   functions of type `Q` or free functions in a module named `Q`
+//!   (`Self::f` uses the caller's own `impl` type). When no candidate
+//!   matches the arity exactly, any `Q`-qualified name match still gets
+//!   an edge — qualified calls carry enough context that keeping the
+//!   edge beats dropping it;
+//! - [`CallStyle::Macro`] and anything with zero candidates land in the
+//!   explicit **unresolved** bucket. Unresolved is reported, never
+//!   silently dropped: the audit can say "best-effort, N calls opaque",
+//!   it must never say "panic-free" because resolution failed.
+//!
+//! Trait-object dispatch (`dyn Trait` receivers) is indistinguishable
+//! from inherent method calls at token level; it resolves against every
+//! workspace implementor of the method name — over-approximate, or
+//! unresolved when no implementor is in the workspace. Both outcomes
+//! are conservative for reachability.
+//!
+//! Test functions (`#[cfg(test)]` or under `tests/`) keep their nodes
+//! but are excluded as resolution *candidates*: a production call must
+//! never resolve into a test helper that happens to share a name.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use crate::parse::{Call, CallStyle, FnDef, ParsedFile};
+
+/// A call the resolver could not attach to any workspace definition.
+#[derive(Debug, Clone)]
+pub struct Unresolved {
+    /// Index of the calling function in [`CallGraph::defs`].
+    pub caller: usize,
+    /// Callee name as written.
+    pub name: String,
+    /// Syntactic shape of the call.
+    pub style: CallStyle,
+    /// 1-based line of the call site.
+    pub line: usize,
+}
+
+/// The resolved workspace call graph.
+pub struct CallGraph {
+    /// Every function definition, in file order.
+    pub defs: Vec<FnDef>,
+    /// Resolved callee indices per definition (parallel to `defs`),
+    /// deduplicated.
+    edges: Vec<Vec<usize>>,
+    /// Calls with zero workspace candidates (plus all macros).
+    pub unresolved: Vec<Unresolved>,
+}
+
+impl CallGraph {
+    /// Builds the graph from every parsed file.
+    pub fn build(files: &[ParsedFile]) -> CallGraph {
+        let defs: Vec<FnDef> = files.iter().flat_map(|f| f.fns.iter().cloned()).collect();
+        // name → candidate def indices (production code only)
+        let mut by_name: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+        for (i, d) in defs.iter().enumerate() {
+            if !d.is_test && d.has_body {
+                by_name.entry(d.name.as_str()).or_default().push(i);
+            }
+        }
+        let mut edges: Vec<Vec<usize>> = vec![Vec::new(); defs.len()];
+        let mut unresolved = Vec::new();
+        for (i, d) in defs.iter().enumerate() {
+            for c in &d.calls {
+                match resolve(&defs, &by_name, d, c) {
+                    Resolution::Defs(targets) => edges[i].extend(targets),
+                    Resolution::Unresolved => unresolved.push(Unresolved {
+                        caller: i,
+                        name: c.name.clone(),
+                        style: c.style,
+                        line: c.line,
+                    }),
+                    Resolution::External => {}
+                }
+            }
+            edges[i].sort_unstable();
+            edges[i].dedup();
+        }
+        CallGraph {
+            defs,
+            edges,
+            unresolved,
+        }
+    }
+
+    /// Resolved callees of definition `i`.
+    pub fn callees(&self, i: usize) -> &[usize] {
+        self.edges.get(i).map_or(&[], Vec::as_slice)
+    }
+
+    /// Definitions matching an entry-point spec: a full key
+    /// (`nwhy_core::builder::SLineBuilder::edges`) or any unambiguous
+    /// suffix starting at a path segment (`SLineBuilder::edges`,
+    /// `cmd_stats`). Test definitions never match.
+    pub fn find(&self, spec: &str) -> Vec<usize> {
+        let suffix = format!("::{spec}");
+        self.defs
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| {
+                !d.is_test && d.has_body && (d.key == spec || d.key.ends_with(&suffix))
+            })
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Every definition reachable from `roots` (inclusive), as a
+    /// membership vector parallel to [`CallGraph::defs`].
+    pub fn reachable(&self, roots: &[usize]) -> Vec<bool> {
+        let mut seen = vec![false; self.defs.len()];
+        let mut queue: VecDeque<usize> = VecDeque::new();
+        for &r in roots {
+            if r < seen.len() && !seen[r] {
+                seen[r] = true;
+                queue.push_back(r);
+            }
+        }
+        while let Some(i) = queue.pop_front() {
+            for &j in self.callees(i) {
+                if !seen[j] {
+                    seen[j] = true;
+                    queue.push_back(j);
+                }
+            }
+        }
+        seen
+    }
+
+    /// Shortest call path (as def indices, root first) from any of
+    /// `roots` to the first definition satisfying `target`, by BFS.
+    pub fn shortest_path(
+        &self,
+        roots: &[usize],
+        target: impl Fn(usize) -> bool,
+    ) -> Option<Vec<usize>> {
+        let mut parent: Vec<Option<usize>> = vec![None; self.defs.len()];
+        let mut seen = vec![false; self.defs.len()];
+        let mut queue: VecDeque<usize> = VecDeque::new();
+        for &r in roots {
+            if r < seen.len() && !seen[r] {
+                seen[r] = true;
+                queue.push_back(r);
+            }
+        }
+        while let Some(i) = queue.pop_front() {
+            if target(i) {
+                let mut path = vec![i];
+                let mut cur = i;
+                while let Some(p) = parent[cur] {
+                    path.push(p);
+                    cur = p;
+                }
+                path.reverse();
+                return Some(path);
+            }
+            for &j in self.callees(i) {
+                if !seen[j] {
+                    seen[j] = true;
+                    parent[j] = Some(i);
+                    queue.push_back(j);
+                }
+            }
+        }
+        None
+    }
+}
+
+enum Resolution {
+    Defs(Vec<usize>),
+    /// Zero candidates — reported in the unresolved bucket.
+    Unresolved,
+    /// Known-external call (std/vendored) we deliberately do not chase:
+    /// currently only macros *could* go here, but macros stay
+    /// unresolved so the bucket reports them; nothing uses this yet
+    /// except the `Self`-without-impl corner.
+    External,
+}
+
+fn resolve(
+    defs: &[FnDef],
+    by_name: &BTreeMap<&str, Vec<usize>>,
+    caller: &FnDef,
+    c: &Call,
+) -> Resolution {
+    if c.style == CallStyle::Macro {
+        return Resolution::Unresolved;
+    }
+    let Some(cands) = by_name.get(c.name.as_str()) else {
+        return Resolution::Unresolved;
+    };
+    let arity = c.arity;
+    let hits: Vec<usize> = match c.style {
+        CallStyle::Free => cands
+            .iter()
+            .copied()
+            .filter(|&i| {
+                let d = &defs[i];
+                d.impl_type.is_none() && !d.has_self && Some(d.arity) == arity
+            })
+            .collect(),
+        CallStyle::Method => cands
+            .iter()
+            .copied()
+            .filter(|&i| {
+                let d = &defs[i];
+                d.has_self && Some(d.arity) == arity
+            })
+            .collect(),
+        CallStyle::Qualified => {
+            let q = match c.qualifier.as_deref() {
+                Some("Self") => match caller.impl_type.as_deref() {
+                    Some(t) => t.to_string(),
+                    None => return Resolution::External,
+                },
+                Some(q) => q.to_string(),
+                None => return Resolution::Unresolved,
+            };
+            let qualified: Vec<usize> = cands
+                .iter()
+                .copied()
+                .filter(|&i| {
+                    let d = &defs[i];
+                    d.impl_type.as_deref() == Some(q.as_str())
+                        || d.key.ends_with(&format!("::{q}::{}", c.name))
+                })
+                .collect();
+            let exact: Vec<usize> = qualified
+                .iter()
+                .copied()
+                .filter(|&i| Some(defs[i].arity) == arity)
+                .collect();
+            if exact.is_empty() {
+                qualified
+            } else {
+                exact
+            }
+        }
+        CallStyle::Macro => unreachable!("handled above"),
+    };
+    if hits.is_empty() {
+        Resolution::Unresolved
+    } else {
+        Resolution::Defs(hits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::FileModel;
+    use crate::parse::parse_file;
+
+    fn graph(files: &[(&str, &str)]) -> CallGraph {
+        let parsed: Vec<ParsedFile> = files
+            .iter()
+            .map(|(path, src)| parse_file(path, &FileModel::new(src)))
+            .collect();
+        CallGraph::build(&parsed)
+    }
+
+    fn idx(g: &CallGraph, key_suffix: &str) -> usize {
+        let hits = g.find(key_suffix);
+        assert_eq!(hits.len(), 1, "ambiguous or missing: {key_suffix}");
+        hits[0]
+    }
+
+    #[test]
+    fn free_call_resolves_by_name_and_arity() {
+        let g = graph(&[(
+            "crates/core/src/a.rs",
+            "fn top() { mid(1); }\nfn mid(_x: u32) { leaf(); }\nfn leaf() {}\n",
+        )]);
+        let top = idx(&g, "a::top");
+        let mid = idx(&g, "a::mid");
+        let leaf = idx(&g, "a::leaf");
+        assert_eq!(g.callees(top), &[mid]);
+        assert_eq!(g.callees(mid), &[leaf]);
+    }
+
+    #[test]
+    fn arity_mismatch_is_unresolved_not_a_false_edge() {
+        let g = graph(&[(
+            "crates/core/src/a.rs",
+            "fn top() { mid(1, 2); }\nfn mid(_x: u32) {}\n",
+        )]);
+        let top = idx(&g, "a::top");
+        assert!(g.callees(top).is_empty());
+        assert!(g
+            .unresolved
+            .iter()
+            .any(|u| u.caller == top && u.name == "mid"));
+    }
+
+    #[test]
+    fn method_call_reaches_every_matching_impl() {
+        let g = graph(&[(
+            "crates/core/src/a.rs",
+            "\
+struct A;
+struct B;
+impl A { fn go(&self) {} }
+impl B { fn go(&self) {} }
+fn drive(a: &A) { a.go(); }
+",
+        )]);
+        let drive = idx(&g, "a::drive");
+        // receiver type is unknown at token level: both `go`s get edges
+        assert_eq!(g.callees(drive).len(), 2);
+    }
+
+    #[test]
+    fn qualified_call_filters_by_type() {
+        let g = graph(&[(
+            "crates/core/src/a.rs",
+            "\
+struct A;
+struct B;
+impl A { fn make() -> A { A } }
+impl B { fn make() -> B { B } }
+fn drive() { let _ = A::make(); }
+",
+        )]);
+        let drive = idx(&g, "a::drive");
+        let a_make = idx(&g, "A::make");
+        assert_eq!(g.callees(drive), &[a_make]);
+    }
+
+    #[test]
+    fn module_qualified_free_fn_resolves() {
+        let g = graph(&[
+            (
+                "crates/core/src/ids.rs",
+                "pub fn from_usize(_x: usize) {}\n",
+            ),
+            (
+                "crates/core/src/a.rs",
+                "fn drive(n: usize) { ids::from_usize(n); }\n",
+            ),
+        ]);
+        let drive = idx(&g, "a::drive");
+        let target = idx(&g, "ids::from_usize");
+        assert_eq!(g.callees(drive), &[target]);
+    }
+
+    #[test]
+    fn self_qualified_uses_the_callers_impl_type() {
+        let g = graph(&[(
+            "crates/core/src/a.rs",
+            "\
+struct A;
+impl A {
+    fn helper() {}
+    fn go(&self) { Self::helper(); }
+}
+",
+        )]);
+        let go = idx(&g, "A::go");
+        let helper = idx(&g, "A::helper");
+        assert_eq!(g.callees(go), &[helper]);
+    }
+
+    #[test]
+    fn trait_object_method_with_no_impl_is_unresolved() {
+        let g = graph(&[(
+            "crates/core/src/a.rs",
+            "fn drive(h: &dyn Handler) { h.handle(1); }\n",
+        )]);
+        let drive = idx(&g, "a::drive");
+        assert!(g.callees(drive).is_empty());
+        assert!(
+            g.unresolved
+                .iter()
+                .any(|u| u.caller == drive && u.name == "handle"),
+            "dyn dispatch must land in the unresolved bucket, never vanish"
+        );
+    }
+
+    #[test]
+    fn macros_are_opaque_unresolved_calls() {
+        let g = graph(&[("crates/core/src/a.rs", "fn f() { seventeen!(a, b); }\n")]);
+        let f = idx(&g, "a::f");
+        assert!(g
+            .unresolved
+            .iter()
+            .any(|u| u.caller == f && u.style == CallStyle::Macro));
+    }
+
+    #[test]
+    fn test_fns_are_never_candidates() {
+        let g = graph(&[(
+            "crates/core/src/a.rs",
+            "\
+fn drive() { helper(); }
+#[cfg(test)]
+mod tests {
+    fn helper() {}
+}
+",
+        )]);
+        let drive = idx(&g, "a::drive");
+        assert!(g.callees(drive).is_empty());
+        assert!(g.unresolved.iter().any(|u| u.name == "helper"));
+    }
+
+    #[test]
+    fn reachability_is_transitive_and_inclusive() {
+        let g = graph(&[(
+            "crates/core/src/a.rs",
+            "fn a() { b(); }\nfn b() { c(); }\nfn c() {}\nfn island() {}\n",
+        )]);
+        let r = g.reachable(&[idx(&g, "a::a")]);
+        assert!(r[idx(&g, "a::a")]);
+        assert!(r[idx(&g, "a::b")]);
+        assert!(r[idx(&g, "a::c")]);
+        assert!(!r[idx(&g, "a::island")]);
+    }
+
+    #[test]
+    fn shortest_path_is_shortest() {
+        let g = graph(&[(
+            "crates/core/src/a.rs",
+            "\
+fn a() { b(); shortcut(); }
+fn b() { c(); }
+fn c() { target(); }
+fn shortcut() { target(); }
+fn target() {}
+",
+        )]);
+        let a = idx(&g, "a::a");
+        let t = idx(&g, "a::target");
+        let path = g.shortest_path(&[a], |i| i == t).unwrap();
+        assert_eq!(path.len(), 3); // a → shortcut → target
+        assert_eq!(path[0], a);
+        assert_eq!(*path.last().unwrap(), t);
+    }
+
+    #[test]
+    fn find_matches_full_key_and_suffix() {
+        let g = graph(&[(
+            "crates/core/src/builder.rs",
+            "struct SLineBuilder;\nimpl SLineBuilder { pub fn edges(&self) {} }\n",
+        )]);
+        assert_eq!(g.find("SLineBuilder::edges").len(), 1);
+        assert_eq!(g.find("nwhy_core::builder::SLineBuilder::edges").len(), 1);
+        assert_eq!(g.find("edges").len(), 1);
+        assert!(g.find("missing_fn").is_empty());
+    }
+}

@@ -3,9 +3,12 @@
 //! through the `.cargo/config.toml` alias, so CI and contributors need
 //! nothing beyond the Rust toolchain.
 
+pub mod audit;
 pub mod bench_diff;
+pub mod callgraph;
 pub mod check_prom;
 pub mod lexer;
 pub mod lint;
 pub mod model;
+pub mod parse;
 pub mod sarif;

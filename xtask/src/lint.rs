@@ -65,9 +65,20 @@ pub const PANIC_PATH: &str = "panic-path";
 pub const CRATE_BOUNDARY: &str = "crate-boundary";
 /// Rule identifier for uninstrumented public traversal kernels.
 pub const OBS_COVERAGE: &str = "obs-coverage";
+/// Rule identifier for transitive panic-reachability from declared
+/// entry points (call-graph audit, `cargo xtask audit`).
+pub const PANIC_REACH: &str = "panic-reach";
+/// Rule identifier for allocation calls inside loop bodies of functions
+/// reachable from the hot kernels (call-graph audit).
+pub const ALLOC_HOT_LOOP: &str = "alloc-in-hot-loop";
+/// Rule identifier for `Ordering::*` uses outside the declared
+/// memory-ordering policy (call-graph audit).
+pub const ORDERING_POLICY: &str = "ordering-policy";
 
-/// All nine rule identifiers, in reporting order (SARIF rule table).
-pub const ALL_RULES: [&str; 9] = [
+/// All twelve rule identifiers, in reporting order (SARIF rule table).
+/// The last three belong to the call-graph audit (`cargo xtask audit`);
+/// the per-file pass never emits them.
+pub const ALL_RULES: [&str; 12] = [
     RAW_PUB_SIGNATURE,
     UNAUDITED_ID_CAST,
     UNTYPED_ID_ARITHMETIC,
@@ -77,6 +88,9 @@ pub const ALL_RULES: [&str; 9] = [
     PANIC_PATH,
     CRATE_BOUNDARY,
     OBS_COVERAGE,
+    PANIC_REACH,
+    ALLOC_HOT_LOOP,
+    ORDERING_POLICY,
 ];
 
 /// One-line description per rule (SARIF `rules` metadata).
@@ -91,6 +105,9 @@ pub fn rule_description(rule: &str) -> &'static str {
         PANIC_PATH => "abort paths (unwrap/expect/panic!/indexing) in resident-process code",
         CRATE_BOUNDARY => "dependency-DAG back-edges read off use/extern/path tokens",
         OBS_COVERAGE => "public traversal kernels without a span or counter touch",
+        PANIC_REACH => "transitive panic-reachability from declared entry points grew",
+        ALLOC_HOT_LOOP => "allocation inside a loop body reachable from a hot kernel",
+        ORDERING_POLICY => "memory ordering outside the declared (module, op, ordering) policy",
         _ => "unknown rule",
     }
 }

@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! cargo xtask lint [--json | --sarif] [--update-baseline] [ROOT]
+//! cargo xtask audit [--json | --sarif] [--update-baseline] [ROOT]
 //! cargo xtask bench-diff <OLD.json> <NEW.json> [--threshold PCT]
 //! cargo xtask check-prom <FILE|-> [--require NAME]...
 //! ```
@@ -13,6 +14,14 @@
 //! `xtask/panic_baseline.txt` from the tree's current `panic-path`
 //! counts (use after burning sites down — the ratchet only moves one
 //! way).
+//!
+//! `audit` runs the call-graph analysis families (see [`xtask::audit`]):
+//! transitive panic-reachability from `xtask/entrypoints.txt` against
+//! the `xtask/reach_baseline.txt` ratchet, the hot-loop allocation
+//! rule, and the memory-ordering policy check. `--json` emits the full
+//! machine-readable report, `--sarif` the findings as SARIF 2.1.0, and
+//! `--update-baseline` rewrites `xtask/reach_baseline.txt` from the
+//! current reach counts.
 //!
 //! `bench-diff` is the CI perf gate (see [`xtask::bench_diff`]): it
 //! compares two `BENCH_*.json` counter files and exits non-zero when
@@ -95,6 +104,87 @@ fn main() -> ExitCode {
                 }
             }
             if findings.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Some("audit") => {
+            let mut json = false;
+            let mut sarif = false;
+            let mut update_baseline = false;
+            let mut root: Option<PathBuf> = None;
+            for a in args {
+                match a.as_str() {
+                    "--json" => json = true,
+                    "--sarif" => sarif = true,
+                    "--update-baseline" => update_baseline = true,
+                    _ => root = Some(PathBuf::from(a)),
+                }
+            }
+            let root = root.unwrap_or_else(|| {
+                PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+                    .parent()
+                    .expect("xtask sits one level under the workspace root")
+                    .to_path_buf()
+            });
+            let report = xtask::audit::audit_tree(&root);
+            if update_baseline {
+                let content = xtask::audit::format_reach_baseline(&report.entries);
+                let path = root.join(xtask::audit::REACH_BASELINE);
+                if let Err(e) = std::fs::write(&path, &content) {
+                    eprintln!("xtask audit: cannot write {}: {e}", path.display());
+                    return ExitCode::from(2);
+                }
+                eprintln!(
+                    "xtask audit: reach baseline rewritten at {}",
+                    path.display()
+                );
+            }
+            if sarif {
+                println!("{}", xtask::sarif::to_sarif(&report.findings));
+            } else if json {
+                println!("{}", xtask::audit::to_json(&report));
+            } else {
+                for f in &report.findings {
+                    println!("{f}");
+                }
+                for e in &report.entries {
+                    let verdict = if e.resolved.is_empty() {
+                        "UNRESOLVED".to_string()
+                    } else if e.sites <= e.baseline.unwrap_or(0) {
+                        format!("ok ({} ≤ {})", e.sites, e.baseline.unwrap_or(0))
+                    } else {
+                        format!("GREW ({} > {})", e.sites, e.baseline.unwrap_or(0))
+                    };
+                    eprintln!("  {} — {verdict}", e.spec);
+                    if e.sites > e.baseline.unwrap_or(0) {
+                        if let Some(w) = &e.witness {
+                            eprintln!("    witness: {w}");
+                        }
+                    }
+                }
+                eprintln!(
+                    "xtask audit: {} finding(s); {} entry point(s), {} fn(s) in the \
+                     call graph ({} hot), {} unresolved call(s)",
+                    report.findings.len(),
+                    report.entries.len(),
+                    report.total_defs,
+                    report.hot_fns.len(),
+                    report.unresolved_calls
+                );
+                if !report.shrinkable.is_empty() {
+                    eprintln!(
+                        "xtask audit: {} reach entr(ies) can ratchet down — run \
+                         `cargo xtask audit --update-baseline`:",
+                        report.shrinkable.len()
+                    );
+                    for s in &report.shrinkable {
+                        eprintln!("  {s}");
+                    }
+                }
+            }
+            if report.passed() {
                 ExitCode::SUCCESS
             } else {
                 ExitCode::FAILURE
@@ -225,6 +315,7 @@ fn main() -> ExitCode {
         _ => {
             eprintln!(
                 "usage: cargo xtask <lint [--json | --sarif] [--update-baseline] [ROOT] | \
+                 audit [--json | --sarif] [--update-baseline] [ROOT] | \
                  bench-diff <OLD.json> <NEW.json> [--threshold PCT] | \
                  check-prom <FILE|-> [--require NAME]...>"
             );

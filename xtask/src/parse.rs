@@ -1,0 +1,1038 @@
+//! A lightweight item/expression parser over the [`crate::lexer`]
+//! token stream, feeding the workspace call graph
+//! ([`crate::callgraph`]) and the audit families in [`crate::audit`].
+//!
+//! This is *not* a Rust parser. It recognizes exactly the structure the
+//! call-graph analysis needs, on a best-effort basis, and is explicit
+//! about what it cannot see (the `unresolved` bucket in the call graph
+//! — never a false guarantee):
+//!
+//! - **fn definitions** with their full module path: nested `mod`
+//!   blocks and `impl` blocks (including `impl Trait for Type`) are
+//!   tracked on a scope stack, so a function declared inside an `impl`
+//!   nested in a `mod` resolves to `crate::module::Type::fn` — the
+//!   call-graph key format. Arity counts every parameter including the
+//!   `self` receiver.
+//! - **call expressions**: free calls `ident(…)`, method calls
+//!   `recv.method(…)`, qualified/UFCS calls `Type::assoc(…)` or
+//!   `module::fn(…)` (with turbofish `::<…>` skipped), and macro
+//!   invocations `name!(…)` (conservatively treated as opaque calls —
+//!   they resolve to nothing and land in the unresolved bucket).
+//! - **loop bodies**: the brace-matched body of every `for`/`while`/
+//!   `loop` inside a function, so the hot-loop allocation audit can ask
+//!   "is this call inside a loop?". Nested loops union their regions.
+//! - **closure boundaries**: closure bodies are *not* separate
+//!   functions here — calls inside a closure attach to the enclosing
+//!   `fn`, which is the right attribution for `rayon`-style combinators
+//!   (the closure runs on behalf of the kernel that spawned it).
+//! - **allocation sites**: the token shapes the `alloc-in-hot-loop`
+//!   audit flags (`Vec::new`, `Box::new`, `with_capacity(0)`,
+//!   `collect`, `to_vec`, `to_owned`, `format!`/`vec!`, `clone`, and
+//!   `push` on a vec the function itself grew from empty).
+//!
+//! Arity counting is token-based: commas at argument-list depth 1,
+//! with closure parameter lists (`|a, b|`) skipped. Pathological
+//! expressions (comparison chains inside call arguments) can miscount;
+//! the resolution layer treats arity as a best-effort discriminator,
+//! never a soundness boundary.
+
+use crate::lexer::{is_keyword, Kind, Token};
+use crate::model::FileModel;
+
+/// How a call site was written — decides the resolution strategy in
+/// [`crate::callgraph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CallStyle {
+    /// `f(…)` — resolves against free functions.
+    Free,
+    /// `recv.m(…)` — resolves against associated functions taking
+    /// `self` (any impl type; the receiver's type is unknown here).
+    Method,
+    /// `Qual::f(…)` — resolves against associated functions of the
+    /// named type, or free functions in the named module.
+    Qualified,
+    /// `name!(…)` — opaque; always unresolved.
+    Macro,
+}
+
+/// One call expression inside a function body.
+#[derive(Debug, Clone)]
+pub struct Call {
+    /// Callee name (the identifier before the argument list; for
+    /// macros, without the `!`).
+    pub name: String,
+    /// The path segment immediately before `::name` for
+    /// [`CallStyle::Qualified`] calls (`Type` in `Type::assoc`).
+    pub qualifier: Option<String>,
+    /// Syntactic shape of the call.
+    pub style: CallStyle,
+    /// Argument count: explicit arguments, plus one for the receiver of
+    /// a method call. `None` for macros (token soup, not arguments).
+    pub arity: Option<usize>,
+    /// 1-based source line of the callee identifier.
+    pub line: usize,
+    /// `true` when the call sits inside a `for`/`while`/`loop` body.
+    pub in_loop: bool,
+}
+
+/// The allocation shapes the hot-loop audit recognizes.
+#[derive(Debug, Clone)]
+pub struct AllocSite {
+    /// Human-readable shape, e.g. "`Vec::new()`" or "`format!`".
+    pub what: String,
+    /// 1-based source line.
+    pub line: usize,
+    /// `true` when the site sits inside a loop body.
+    pub in_loop: bool,
+}
+
+/// A function definition with its call-graph identity.
+#[derive(Debug, Clone)]
+pub struct FnDef {
+    /// Full call-graph key: `crate::module::…::[Type::]name`.
+    pub key: String,
+    /// Bare function name.
+    pub name: String,
+    /// Enclosing `impl` type name, when any.
+    pub impl_type: Option<String>,
+    /// Parameter count, counting a `self` receiver as one parameter.
+    pub arity: usize,
+    /// `true` when the parameter list starts with a `self` receiver.
+    pub has_self: bool,
+    /// Repo-relative file, `/`-separated.
+    pub file: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: usize,
+    /// 1-based inclusive line span of the item (signature through the
+    /// body's closing brace), used to attribute findings to functions.
+    pub span: (usize, usize),
+    /// `true` when declared under `#[cfg(test)]` or in a test file.
+    pub is_test: bool,
+    /// `false` for bodyless declarations (trait-method signatures,
+    /// `extern` blocks): they carry no code, so letting them resolve a
+    /// call would manufacture a false "panic-free" guarantee.
+    pub has_body: bool,
+    /// Call expressions in the body (closures included).
+    pub calls: Vec<Call>,
+    /// Allocation-shaped expressions in the body.
+    pub allocs: Vec<AllocSite>,
+}
+
+/// Parse result for one file: every function with its calls.
+#[derive(Debug, Default)]
+pub struct ParsedFile {
+    /// Functions in source order.
+    pub fns: Vec<FnDef>,
+}
+
+/// Workspace crates: directory under `crates/` → the identifier the
+/// crate is referenced by in source (and used as the call-graph key
+/// root).
+pub const CRATE_IDENTS: [(&str, &str); 10] = [
+    ("util", "nwhy_util"),
+    ("nwgraph", "nwgraph"),
+    ("obs", "nwhy_obs"),
+    ("core", "nwhy_core"),
+    ("hygra", "hygra"),
+    ("store", "nwhy_store"),
+    ("io", "nwhy_io"),
+    ("gen", "nwhy_gen"),
+    ("nwhy", "nwhy"),
+    ("bench", "nwhy_bench"),
+];
+
+/// Maps a repo-relative path to its call-graph module prefix:
+/// `crates/core/src/slinegraph/naive.rs` → `nwhy_core::slinegraph::naive`,
+/// `crates/nwhy/src/bin/nwhy-cli.rs` → `nwhy::bin::nwhy_cli`,
+/// `crates/core/src/lib.rs` → `nwhy_core`. Unknown layouts fall back to
+/// a sanitized path so keys stay unique.
+pub fn module_prefix(file: &str) -> String {
+    let sanitized = |s: &str| s.replace(['-', '.'], "_");
+    let Some(rest) = file.strip_prefix("crates/") else {
+        return sanitized(file.trim_end_matches(".rs")).replace('/', "::");
+    };
+    let mut parts = rest.split('/');
+    let dir = parts.next().unwrap_or("");
+    let root = CRATE_IDENTS
+        .iter()
+        .find(|(d, _)| *d == dir)
+        .map_or(dir, |(_, id)| *id);
+    let tail: Vec<&str> = parts.collect();
+    let mut out = vec![root.to_string()];
+    let mut tail = tail.as_slice();
+    if tail.first() == Some(&"src") {
+        tail = &tail[1..];
+    }
+    for (i, seg) in tail.iter().enumerate() {
+        let last = i + 1 == tail.len();
+        if last {
+            let stem = seg.trim_end_matches(".rs");
+            if stem == "lib" || stem == "main" || stem == "mod" {
+                continue;
+            }
+            out.push(sanitized(stem));
+        } else {
+            out.push(sanitized(seg));
+        }
+    }
+    out.join("::")
+}
+
+/// The atomic-store method names whose argument lists we never treat as
+/// calls worth resolving (noise control is not needed — they resolve to
+/// nothing — but the alloc matcher must not confuse them).
+const LOOP_KEYWORDS: [&str; 3] = ["for", "while", "loop"];
+
+enum Scope {
+    Mod { name: String, close: usize },
+    Impl { ty: String, close: usize },
+}
+
+/// Parses one file into its function definitions and call sites.
+/// `file` is the repo-relative `/`-separated path (it seeds the
+/// call-graph keys); `m` is the file's token model.
+pub fn parse_file(file: &str, m: &FileModel) -> ParsedFile {
+    let code = &m.code;
+    let test_file = file.contains("/tests/");
+    let prefix = module_prefix(file);
+    let mut scopes: Vec<Scope> = Vec::new();
+    let mut fns: Vec<FnDef> = Vec::new();
+    let mut i = 0usize;
+    while i < code.len() {
+        // retire scopes whose block has closed
+        scopes.retain(|s| match s {
+            Scope::Mod { close, .. } | Scope::Impl { close, .. } => i <= *close,
+        });
+        let t = &code[i];
+        if t.kind != Kind::Ident {
+            i += 1;
+            continue;
+        }
+        match t.text.as_str() {
+            "mod" => {
+                // `mod name { … }` opens a module scope; `mod name;` is
+                // an out-of-line module (its file parses separately).
+                if let Some(name) = code.get(i + 1).filter(|n| n.kind == Kind::Ident) {
+                    if tok_text(code, i + 2) == Some("{") {
+                        let close = matching_brace_idx(code, i + 2);
+                        scopes.push(Scope::Mod {
+                            name: name.text.clone(),
+                            close,
+                        });
+                        i += 3;
+                        continue;
+                    }
+                }
+                i += 1;
+            }
+            "impl" => {
+                if let Some((ty, body_open)) = impl_type_name(code, i) {
+                    let close = matching_brace_idx(code, body_open);
+                    scopes.push(Scope::Impl { ty, close });
+                    i = body_open + 1;
+                } else {
+                    i += 1;
+                }
+            }
+            "trait" => {
+                // `trait Name[<…>][: Bounds] { … }` scopes like an impl:
+                // default methods get `…::Name::method` keys, and the
+                // bodyless signatures inside never become resolution
+                // candidates (`has_body` is false for them).
+                if let Some(name) = code.get(i + 1).filter(|n| n.kind == Kind::Ident) {
+                    let mut j = i + 2;
+                    while j < code.len() && !is_punct(code, j, "{") && !is_punct(code, j, ";") {
+                        if is_punct(code, j, "<") {
+                            j = skip_generics(code, j);
+                        } else {
+                            j += 1;
+                        }
+                    }
+                    if is_punct(code, j, "{") {
+                        let close = matching_brace_idx(code, j);
+                        scopes.push(Scope::Impl {
+                            ty: name.text.clone(),
+                            close,
+                        });
+                        i = j + 1;
+                        continue;
+                    }
+                }
+                i += 1;
+            }
+            "fn" => {
+                let Some(name) = code.get(i + 1).filter(|n| n.kind == Kind::Ident) else {
+                    i += 1; // `fn(…)` pointer type
+                    continue;
+                };
+                let def = parse_fn(file, &prefix, &scopes, m, i, &name.text, test_file);
+                let next = def.1;
+                fns.push(def.0);
+                i = next;
+            }
+            _ => i += 1,
+        }
+    }
+    ParsedFile { fns }
+}
+
+fn tok_text(code: &[Token], i: usize) -> Option<&str> {
+    code.get(i)
+        .filter(|t| !matches!(t.kind, Kind::Str | Kind::Char))
+        .map(|t| t.text.as_str())
+}
+
+fn is_punct(code: &[Token], i: usize, p: &str) -> bool {
+    code.get(i)
+        .is_some_and(|t| t.kind == Kind::Punct && t.text == p)
+}
+
+fn is_ident(code: &[Token], i: usize, w: &str) -> bool {
+    code.get(i)
+        .is_some_and(|t| t.kind == Kind::Ident && t.text == w)
+}
+
+/// `::` at `i`.
+fn path_sep(code: &[Token], i: usize) -> bool {
+    is_punct(code, i, ":") && is_punct(code, i + 1, ":")
+}
+
+/// Index of the `}` matching the `{` at `open` (which must be a `{`).
+/// Returns the last token on unbalanced input.
+fn matching_brace_idx(code: &[Token], open: usize) -> usize {
+    let mut depth = 0usize;
+    for (i, t) in code.iter().enumerate().skip(open) {
+        if t.kind != Kind::Punct {
+            continue;
+        }
+        match t.text.as_str() {
+            "{" => depth += 1,
+            "}" => {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    return i;
+                }
+            }
+            _ => {}
+        }
+    }
+    code.len().saturating_sub(1)
+}
+
+/// Skips a generics list starting at the `<` at `i`; returns the index
+/// just past the matching `>`. `->` arrows inside (e.g. `Fn(u32) -> u32`
+/// bounds) do not unbalance the scan.
+fn skip_generics(code: &[Token], i: usize) -> usize {
+    debug_assert!(is_punct(code, i, "<"));
+    let mut depth = 0usize;
+    let mut j = i;
+    while j < code.len() {
+        if is_punct(code, j, "-") && is_punct(code, j + 1, ">") {
+            j += 2;
+            continue;
+        }
+        if is_punct(code, j, "<") {
+            depth += 1;
+        } else if is_punct(code, j, ">") {
+            depth = depth.saturating_sub(1);
+            if depth == 0 {
+                return j + 1;
+            }
+        }
+        j += 1;
+    }
+    code.len()
+}
+
+/// For an `impl` at `kw`, extracts the implemented type's name (the
+/// last path segment before generic arguments — for `impl Trait for
+/// Type` the *type*, not the trait) and the index of the body `{`.
+/// Returns `None` for bodyless shapes the scan cannot follow.
+fn impl_type_name(code: &[Token], kw: usize) -> Option<(String, usize)> {
+    let mut j = kw + 1;
+    if is_punct(code, j, "<") {
+        j = skip_generics(code, j);
+    }
+    // scan to the body `{`, tracking the last `for` at angle depth 0
+    let mut ty_start = j;
+    let mut k = j;
+    let mut body = None;
+    while k < code.len() {
+        if is_punct(code, k, "<") {
+            k = skip_generics(code, k);
+            continue;
+        }
+        match tok_text(code, k) {
+            Some("{") => {
+                body = Some(k);
+                break;
+            }
+            Some(";") => return None, // e.g. `impl Foo;` (never valid, bail)
+            Some("for") if code[k].kind == Kind::Ident => ty_start = k + 1,
+            Some("where") if code[k].kind == Kind::Ident => {
+                // type tokens end here; keep scanning for the `{`
+            }
+            _ => {}
+        }
+        k += 1;
+    }
+    let body = body?;
+    // the type name: last plain identifier at angle depth 0 in
+    // [ty_start, body), skipping `where` clauses
+    let mut name = None;
+    let mut j = ty_start;
+    while j < body {
+        if is_punct(code, j, "<") {
+            j = skip_generics(code, j);
+            continue;
+        }
+        if is_ident(code, j, "where") {
+            break;
+        }
+        if code[j].kind == Kind::Ident && !is_keyword(&code[j].text) {
+            name = Some(code[j].text.clone());
+        }
+        j += 1;
+    }
+    name.map(|n| (n, body))
+}
+
+/// Counts the arguments in the paren group opening at `open` (`(`).
+/// Returns `(count, index past the closing paren)`. Commas nested in
+/// `()`/`[]`/`{}` or inside closure parameter pipes do not count;
+/// trailing commas are ignored.
+fn count_args(code: &[Token], open: usize) -> (usize, usize) {
+    debug_assert!(is_punct(code, open, "("));
+    let mut paren = 0usize;
+    let mut square = 0usize;
+    let mut brace = 0usize;
+    let mut commas = 0usize;
+    let mut any = false;
+    let mut j = open;
+    while j < code.len() {
+        let t = &code[j];
+        if t.kind == Kind::Punct {
+            match t.text.as_str() {
+                "(" => {
+                    paren += 1;
+                    j += 1;
+                    continue;
+                }
+                ")" => {
+                    paren = paren.saturating_sub(1);
+                    if paren == 0 {
+                        return (if any { commas + 1 } else { 0 }, j + 1);
+                    }
+                    any = true;
+                    j += 1;
+                    continue;
+                }
+                "[" => square += 1,
+                "]" => square = square.saturating_sub(1),
+                "{" => brace += 1,
+                "}" => brace = brace.saturating_sub(1),
+                "," if paren == 1 && square == 0 && brace == 0 => {
+                    // a trailing comma right before `)` is not a new arg
+                    if !is_punct(code, j + 1, ")") {
+                        commas += 1;
+                    }
+                    j += 1;
+                    continue;
+                }
+                "|" if paren == 1 && square == 0 && brace == 0 && closure_open(code, j) => {
+                    // skip closure parameter pipes: `|a, b|`
+                    let mut k = j + 1;
+                    while k < code.len() && !is_punct(code, k, "|") {
+                        k += 1;
+                    }
+                    any = true;
+                    j = k + 1;
+                    continue;
+                }
+                _ => {}
+            }
+            if paren >= 1 && t.text != ")" {
+                any = true;
+            }
+        } else {
+            any = true;
+        }
+        j += 1;
+    }
+    (if any { commas + 1 } else { 0 }, code.len())
+}
+
+/// Is the `|` at `j` opening a closure parameter list? True when the
+/// previous token cannot end an expression (so `a | b` stays bitwise).
+fn closure_open(code: &[Token], j: usize) -> bool {
+    let Some(prev) = j.checked_sub(1).and_then(|p| code.get(p)) else {
+        return true;
+    };
+    match prev.kind {
+        Kind::Ident => is_keyword(&prev.text) && prev.text != "self" && prev.text != "true",
+        Kind::Num | Kind::Str | Kind::Char | Kind::Lifetime => false,
+        Kind::Punct => !matches!(prev.text.as_str(), ")" | "]" | "}"),
+        Kind::Comment => true,
+    }
+}
+
+/// Counts parameters of the fn whose param `(` sits at `open`,
+/// reporting whether the first parameter is a `self` receiver. Commas
+/// inside nested groups or generics (`HashMap<K, V>`) do not count.
+fn count_params(code: &[Token], open: usize) -> (usize, bool, usize) {
+    debug_assert!(is_punct(code, open, "("));
+    let mut depth = 0usize;
+    let mut commas = 0usize;
+    let mut any = false;
+    let mut has_self = false;
+    let mut j = open;
+    while j < code.len() {
+        if depth == 1 && is_punct(code, j, "<") {
+            j = skip_generics(code, j);
+            continue;
+        }
+        let t = &code[j];
+        if t.kind == Kind::Punct {
+            match t.text.as_str() {
+                "(" | "[" | "{" => depth += 1,
+                ")" | "]" | "}" => {
+                    depth = depth.saturating_sub(1);
+                    if depth == 0 {
+                        return (if any { commas + 1 } else { 0 }, has_self, j + 1);
+                    }
+                }
+                "," if depth == 1 && !is_punct(code, j + 1, ")") => commas += 1,
+                _ => {}
+            }
+        } else if t.kind == Kind::Ident {
+            any = true;
+            if t.text == "self" && depth == 1 && commas == 0 {
+                has_self = true;
+            }
+        } else {
+            any = true;
+        }
+        j += 1;
+    }
+    (if any { commas + 1 } else { 0 }, has_self, code.len())
+}
+
+/// Parses the fn whose `fn` keyword sits at `kw`; returns the def and
+/// the token index to resume scanning at (just past the signature, so
+/// nested items inside the body are found by the caller's loop — no:
+/// the body is scanned *here* for calls, and the caller resumes past
+/// the whole item).
+#[allow(clippy::too_many_arguments)] // lint: internal parser plumbing, not API surface
+fn parse_fn(
+    file: &str,
+    prefix: &str,
+    scopes: &[Scope],
+    m: &FileModel,
+    kw: usize,
+    name: &str,
+    test_file: bool,
+) -> (FnDef, usize) {
+    let code = &m.code;
+    // signature: skip generics after the name, find the param `(`
+    let mut j = kw + 2;
+    if is_punct(code, j, "<") {
+        j = skip_generics(code, j);
+    }
+    let (arity, has_self, mut k) = if is_punct(code, j, "(") {
+        count_params(code, j)
+    } else {
+        (0, false, j)
+    };
+    // scan past the return type / where clause to the body `{` or `;`
+    let mut body: Option<(usize, usize)> = None;
+    while k < code.len() {
+        if is_punct(code, k, "<") {
+            k = skip_generics(code, k);
+            continue;
+        }
+        if is_punct(code, k, "{") {
+            body = Some((k + 1, matching_brace_idx(code, k)));
+            break;
+        }
+        if is_punct(code, k, ";") {
+            break;
+        }
+        k += 1;
+    }
+    let mut path = vec![prefix.to_string()];
+    let mut impl_type = None;
+    for s in scopes {
+        match s {
+            Scope::Mod { name, .. } => path.push(name.clone()),
+            Scope::Impl { ty, .. } => impl_type = Some(ty.clone()),
+        }
+    }
+    if let Some(ty) = &impl_type {
+        path.push(ty.clone());
+    }
+    path.push(name.to_string());
+    let end_line = body
+        .map(|(_, close)| code.get(close).map_or(code[kw].line, |t| t.line))
+        .unwrap_or(code[kw].line);
+    let mut def = FnDef {
+        key: path.join("::"),
+        name: name.to_string(),
+        impl_type,
+        arity,
+        has_self,
+        file: file.to_string(),
+        line: code[kw].line,
+        span: (code[kw].line, end_line),
+        is_test: test_file || m.in_test(kw),
+        has_body: body.is_some(),
+        calls: Vec::new(),
+        allocs: Vec::new(),
+    };
+    let resume = match body {
+        Some((b0, b1)) => {
+            scan_body(code, b0, b1, &mut def);
+            // resume INSIDE the body: nested `fn` items (and mods/impls
+            // declared in fn scope) get their own defs from the outer
+            // scan loop; scan_body skipped their tokens for this def
+            b0
+        }
+        None => k + 1,
+    };
+    (def, resume)
+}
+
+/// The fresh-vec binding shapes tracked for the `push` alloc matcher:
+/// `let [mut] NAME = Vec::new()`, `= vec![...]`, or a struct-literal
+/// field `NAME: Vec::new()`.
+fn fresh_vec_names(code: &[Token], b0: usize, b1: usize) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut i = b0;
+    while i < b1 {
+        // `NAME = Vec::new` / `NAME: Vec::new` / `NAME = vec!`
+        if code[i].kind == Kind::Ident && !is_keyword(&code[i].text) {
+            let mut j = i + 1;
+            // `=` binds a `let`, a single `:` binds a struct-literal
+            // field; either way the initializer starts one token later
+            let binder = (is_punct(code, j, "=") && !is_punct(code, j + 1, "="))
+                || (is_punct(code, j, ":") && !is_punct(code, j + 1, ":"));
+            if binder {
+                j += 1;
+            }
+            if binder {
+                let fresh = (is_ident(code, j, "Vec")
+                    && path_sep(code, j + 1)
+                    && (is_ident(code, j + 3, "new")
+                        || (is_ident(code, j + 3, "with_capacity")
+                            && is_punct(code, j + 4, "(")
+                            && tok_text(code, j + 5) == Some("0"))))
+                    || (is_ident(code, j, "vec") && is_punct(code, j + 1, "!"));
+                if fresh {
+                    out.push(code[i].text.clone());
+                }
+            }
+        }
+        i += 1;
+    }
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+/// Token ranges of `fn` items nested inside `[b0, b1)` — their bodies
+/// belong to their own [`FnDef`]s, not the enclosing one.
+fn nested_fn_ranges(code: &[Token], b0: usize, b1: usize) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    let mut i = b0;
+    while i < b1 {
+        if is_ident(code, i, "fn") && code.get(i + 1).is_some_and(|t| t.kind == Kind::Ident) {
+            let mut j = i + 2;
+            while j < b1 && !is_punct(code, j, "{") && !is_punct(code, j, ";") {
+                j += 1;
+            }
+            if is_punct(code, j, "{") {
+                let close = matching_brace_idx(code, j);
+                out.push((i, close));
+                i = close + 1;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Scans a fn body `[b0, b1)` for loop regions, call expressions, and
+/// allocation sites, appending into `def`. Tokens belonging to nested
+/// `fn` items are skipped — they get their own defs.
+fn scan_body(code: &[Token], b0: usize, b1: usize, def: &mut FnDef) {
+    let nested = nested_fn_ranges(code, b0, b1);
+    let in_nested = |idx: usize| nested.iter().any(|&(s, e)| s <= idx && idx <= e);
+    // loop regions: `for`/`while`/`loop` … `{` … matching `}`
+    let mut loops: Vec<(usize, usize)> = Vec::new();
+    let mut i = b0;
+    while i < b1 {
+        let t = &code[i];
+        if t.kind == Kind::Ident && LOOP_KEYWORDS.contains(&t.text.as_str()) && !in_nested(i) {
+            let mut j = i + 1;
+            while j < b1 && !is_punct(code, j, "{") {
+                j += 1;
+            }
+            if j < b1 {
+                loops.push((j, matching_brace_idx(code, j)));
+            }
+        }
+        i += 1;
+    }
+    let in_loop = |idx: usize| loops.iter().any(|&(s, e)| s < idx && idx < e);
+    let grown_vecs = fresh_vec_names(code, b0, b1);
+
+    let mut i = b0;
+    while i < b1 {
+        if in_nested(i) {
+            i += 1;
+            continue;
+        }
+        let t = &code[i];
+        if t.kind != Kind::Ident || is_keyword(&t.text) {
+            i += 1;
+            continue;
+        }
+        let line = t.line;
+        let name = t.text.clone();
+        // macro invocation: `name ! (` / `name ! [` / `name ! {`
+        if is_punct(code, i + 1, "!") && matches!(tok_text(code, i + 2), Some("(" | "[" | "{")) {
+            if name == "format" || name == "vec" {
+                def.allocs.push(AllocSite {
+                    what: format!("`{name}!`"),
+                    line,
+                    in_loop: in_loop(i),
+                });
+            }
+            def.calls.push(Call {
+                name,
+                qualifier: None,
+                style: CallStyle::Macro,
+                arity: None,
+                line,
+                in_loop: in_loop(i),
+            });
+            i += 2;
+            continue;
+        }
+        // possible turbofish after the name: `name::<T>(…)`
+        let mut after = i + 1;
+        let mut saw_turbofish = false;
+        if path_sep(code, after) && is_punct(code, after + 2, "<") {
+            after = skip_generics(code, after + 2);
+            saw_turbofish = true;
+        }
+        if !is_punct(code, after, "(") {
+            i += 1;
+            continue;
+        }
+        // classify by what precedes the callee name
+        let prev_dot =
+            i > 0 && is_punct(code, i - 1, ".") && !is_punct(code, i.saturating_sub(2), ".");
+        let prev_path = i >= 2 && path_sep(code, i - 2) && !saw_turbofish && {
+            // a qualifier segment must itself be an identifier
+            code.get(i.saturating_sub(3))
+                .is_some_and(|q| q.kind == Kind::Ident)
+        } || (saw_turbofish && i >= 2 && path_sep(code, i - 2));
+        let (args, _) = count_args(code, after);
+        if prev_dot {
+            let what = match name.as_str() {
+                "collect" => Some("`.collect()`"),
+                "to_vec" => Some("`.to_vec()`"),
+                "to_owned" => Some("`.to_owned()`"),
+                "clone" => Some("`.clone()`"),
+                "with_capacity" => {
+                    if tok_text(code, after + 1) == Some("0") {
+                        Some("`with_capacity(0)`")
+                    } else {
+                        None
+                    }
+                }
+                "push" => {
+                    let recv = i.checked_sub(2).and_then(|p| code.get(p));
+                    if recv.is_some_and(|r| r.kind == Kind::Ident && grown_vecs.contains(&r.text)) {
+                        Some("`.push()` on a locally-grown vec")
+                    } else {
+                        None
+                    }
+                }
+                _ => None,
+            };
+            if let Some(what) = what {
+                def.allocs.push(AllocSite {
+                    what: what.to_string(),
+                    line,
+                    in_loop: in_loop(i),
+                });
+            }
+            def.calls.push(Call {
+                name,
+                qualifier: None,
+                style: CallStyle::Method,
+                arity: Some(args + 1),
+                line,
+                in_loop: in_loop(i),
+            });
+        } else if prev_path {
+            let qualifier = code.get(i - 3).map(|q| q.text.clone());
+            if let Some(q) = &qualifier {
+                if (q == "Vec" || q == "Box" || q == "String") && name == "new" {
+                    def.allocs.push(AllocSite {
+                        what: format!("`{q}::new()`"),
+                        line,
+                        in_loop: in_loop(i),
+                    });
+                }
+                if q == "Vec" && name == "with_capacity" && tok_text(code, after + 1) == Some("0") {
+                    def.allocs.push(AllocSite {
+                        what: "`Vec::with_capacity(0)`".to_string(),
+                        line,
+                        in_loop: in_loop(i),
+                    });
+                }
+            }
+            def.calls.push(Call {
+                name,
+                qualifier,
+                style: CallStyle::Qualified,
+                arity: Some(args),
+                line,
+                in_loop: in_loop(i),
+            });
+        } else {
+            def.calls.push(Call {
+                name,
+                qualifier: None,
+                style: CallStyle::Free,
+                arity: Some(args),
+                line,
+                in_loop: in_loop(i),
+            });
+        }
+        i = after + 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(file: &str, src: &str) -> ParsedFile {
+        parse_file(file, &FileModel::new(src))
+    }
+
+    #[test]
+    fn module_prefix_maps_layouts() {
+        assert_eq!(
+            module_prefix("crates/core/src/slinegraph/naive.rs"),
+            "nwhy_core::slinegraph::naive"
+        );
+        assert_eq!(module_prefix("crates/core/src/lib.rs"), "nwhy_core");
+        assert_eq!(
+            module_prefix("crates/nwhy/src/bin/nwhy-cli.rs"),
+            "nwhy::bin::nwhy_cli"
+        );
+        assert_eq!(
+            module_prefix("crates/core/src/slinegraph/mod.rs"),
+            "nwhy_core::slinegraph"
+        );
+        assert_eq!(module_prefix("crates/hygra/src/bfs.rs"), "hygra::bfs");
+    }
+
+    #[test]
+    fn fn_in_impl_in_mod_gets_full_path() {
+        let src = "\
+mod inner {
+    pub struct Foo;
+    impl Foo {
+        pub fn bar(&self, x: usize) -> usize { x }
+    }
+}
+";
+        let p = parse("crates/core/src/x.rs", src);
+        assert_eq!(p.fns.len(), 1);
+        assert_eq!(p.fns[0].key, "nwhy_core::x::inner::Foo::bar");
+        assert_eq!(p.fns[0].arity, 2);
+        assert!(p.fns[0].has_self);
+    }
+
+    #[test]
+    fn impl_trait_for_type_uses_the_type() {
+        let src = "impl<'a> Display for Claim<'a> { fn fmt(&self) {} }\n";
+        let p = parse("crates/hygra/src/bfs.rs", src);
+        assert_eq!(p.fns[0].key, "hygra::bfs::Claim::fmt");
+    }
+
+    #[test]
+    fn call_styles_and_arity() {
+        let src = "\
+fn f() {
+    free(1, 2);
+    recv.method(3);
+    Type::assoc(a, b, c);
+    ids::from_usize(n);
+    mac!(whatever, tokens);
+    turbo::<u32>(x);
+}
+";
+        let p = parse("crates/core/src/x.rs", src);
+        let calls = &p.fns[0].calls;
+        let find = |n: &str| calls.iter().find(|c| c.name == n).unwrap();
+        assert_eq!(find("free").style, CallStyle::Free);
+        assert_eq!(find("free").arity, Some(2));
+        assert_eq!(find("method").style, CallStyle::Method);
+        assert_eq!(find("method").arity, Some(2)); // receiver counts
+        assert_eq!(find("assoc").style, CallStyle::Qualified);
+        assert_eq!(find("assoc").qualifier.as_deref(), Some("Type"));
+        assert_eq!(find("assoc").arity, Some(3));
+        assert_eq!(find("from_usize").qualifier.as_deref(), Some("ids"));
+        assert_eq!(find("mac").style, CallStyle::Macro);
+        assert_eq!(find("mac").arity, None);
+        assert_eq!(find("turbo").style, CallStyle::Free);
+        assert_eq!(find("turbo").arity, Some(1));
+    }
+
+    #[test]
+    fn closure_args_do_not_inflate_arity() {
+        let src = "fn f() { run(|a, b| a + b, seed); }\n";
+        let p = parse("crates/core/src/x.rs", src);
+        let run = p.fns[0].calls.iter().find(|c| c.name == "run").unwrap();
+        assert_eq!(run.arity, Some(2));
+    }
+
+    #[test]
+    fn calls_in_closures_attach_to_the_enclosing_fn() {
+        let src = "\
+pub fn kernel(xs: &[u32]) {
+    xs.iter().for_each(|x| helper(*x));
+}
+fn helper(_x: u32) {}
+";
+        let p = parse("crates/core/src/x.rs", src);
+        let kernel = &p.fns[0];
+        assert!(kernel.calls.iter().any(|c| c.name == "helper"));
+    }
+
+    #[test]
+    fn loop_regions_mark_calls_and_allocs() {
+        let src = "\
+fn f(n: usize) {
+    setup();
+    for i in 0..n {
+        let v = Vec::new();
+        inner(i);
+    }
+    teardown();
+}
+";
+        let p = parse("crates/core/src/x.rs", src);
+        let f = &p.fns[0];
+        let call = |n: &str| f.calls.iter().find(|c| c.name == n).unwrap();
+        assert!(!call("setup").in_loop);
+        assert!(call("inner").in_loop);
+        assert!(!call("teardown").in_loop);
+        assert_eq!(f.allocs.len(), 1);
+        assert!(f.allocs[0].in_loop);
+        assert_eq!(f.allocs[0].what, "`Vec::new()`");
+    }
+
+    #[test]
+    fn while_and_loop_bodies_count() {
+        let src = "fn f() { while go() { a(); } loop { b(); break; } }\n";
+        let p = parse("crates/core/src/x.rs", src);
+        let f = &p.fns[0];
+        let call = |n: &str| f.calls.iter().find(|c| c.name == n).unwrap();
+        assert!(call("a").in_loop);
+        assert!(call("b").in_loop);
+    }
+
+    #[test]
+    fn push_on_locally_grown_vec_is_an_alloc_site() {
+        let src = "\
+fn f(n: usize) -> Vec<usize> {
+    let mut out = Vec::new();
+    for i in 0..n {
+        out.push(i);
+    }
+    out
+}
+";
+        let p = parse("crates/core/src/x.rs", src);
+        let allocs = &p.fns[0].allocs;
+        assert!(
+            allocs
+                .iter()
+                .any(|a| a.in_loop && a.what.contains("locally-grown")),
+            "{allocs:?}"
+        );
+    }
+
+    #[test]
+    fn push_on_presized_vec_is_not_flagged() {
+        let src = "\
+fn f(n: usize) -> Vec<usize> {
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        out.push(i);
+    }
+    out
+}
+";
+        let p = parse("crates/core/src/x.rs", src);
+        assert!(p.fns[0].allocs.is_empty(), "{:?}", p.fns[0].allocs);
+    }
+
+    #[test]
+    fn format_and_collect_in_loops_are_alloc_sites() {
+        let src = "\
+fn f(xs: &[u32]) {
+    for x in xs {
+        let s = format!(\"{x}\");
+        let v: Vec<u32> = xs.iter().copied().collect();
+        use_it(&s, &v);
+    }
+}
+";
+        let p = parse("crates/core/src/x.rs", src);
+        let whats: Vec<&str> = p.fns[0].allocs.iter().map(|a| a.what.as_str()).collect();
+        assert!(whats.contains(&"`format!`"), "{whats:?}");
+        assert!(whats.contains(&"`.collect()`"), "{whats:?}");
+    }
+
+    #[test]
+    fn test_fns_are_marked() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn t() { x(); }\n}\nfn prod() {}\n";
+        let p = parse("crates/core/src/x.rs", src);
+        assert!(p.fns[0].is_test);
+        assert!(!p.fns[1].is_test);
+    }
+
+    #[test]
+    fn spans_cover_the_body() {
+        let src = "fn a() {\n    x();\n    y();\n}\nfn b() {}\n";
+        let p = parse("crates/core/src/x.rs", src);
+        assert_eq!(p.fns[0].span, (1, 4));
+        assert_eq!(p.fns[1].span, (5, 5));
+    }
+
+    #[test]
+    fn nested_fn_owns_its_calls() {
+        let src = "\
+fn outer() {
+    fn inner() { deep(); }
+    shallow();
+}
+";
+        let p = parse("crates/core/src/x.rs", src);
+        assert_eq!(p.fns.len(), 2);
+        let outer = p.fns.iter().find(|f| f.name == "outer").unwrap();
+        let inner = p.fns.iter().find(|f| f.name == "inner").unwrap();
+        assert!(inner.calls.iter().any(|c| c.name == "deep"));
+        assert!(outer.calls.iter().any(|c| c.name == "shallow"));
+        assert!(!outer.calls.iter().any(|c| c.name == "deep"));
+    }
+}

@@ -1,0 +1,22 @@
+//! Fixture: allocations inside the loop body of a hot kernel. The
+//! `format!` and the push onto a locally-grown vec must both be
+//! flagged by `alloc-in-hot-loop`; `cold` has the same shape but is
+//! not reachable from any hot root, so it stays silent.
+
+pub fn kernel(xs: &[u32]) -> Vec<String> {
+    let mut out = Vec::new();
+    for x in xs {
+        let s = format!("{x}");
+        out.push(s);
+    }
+    out
+}
+
+pub fn cold(xs: &[u32]) -> Vec<String> {
+    let mut out = Vec::new();
+    for x in xs {
+        let s = format!("{x}");
+        out.push(s);
+    }
+    out
+}

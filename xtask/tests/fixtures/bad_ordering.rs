@@ -1,0 +1,13 @@
+//! Fixture: memory-ordering policy violations. `SeqCst` is denied
+//! unconditionally, and the `load Acquire` here is not declared by the
+//! fixture policy, so both sites must be flagged by `ordering-policy`.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+
+pub fn bump(c: &AtomicU32) {
+    c.fetch_add(1, Ordering::SeqCst);
+}
+
+pub fn peek(c: &AtomicU32) -> u32 {
+    c.load(Ordering::Acquire)
+}

@@ -1,0 +1,23 @@
+//! Fixture: call-graph edge cases. A trait-object method call with no
+//! workspace impl must land in the unresolved bucket (the bodyless
+//! trait signature is NOT a candidate — that would be a false
+//! "panic-free" guarantee); calls inside a closure handed to a
+//! rayon-style combinator attach to the enclosing fn; macro
+//! invocations stay opaque.
+
+pub trait Sink {
+    fn emit(&self, v: u32);
+}
+
+pub fn drive(s: &dyn Sink) {
+    s.emit(7);
+}
+
+pub fn fan_out(xs: &[u32]) -> u32 {
+    xs.iter().map(|x| crunch(*x)).sum()
+}
+
+pub fn crunch(x: u32) -> u32 {
+    log_it!(x);
+    x * 2
+}

@@ -1,0 +1,12 @@
+//! Clean twin of `bad_alloc_hot.rs`: the buffer is hoisted out of the
+//! loop and the one remaining in-loop push carries a justification
+//! marker, so `alloc-in-hot-loop` has nothing to say.
+
+pub fn kernel(xs: &[u32]) -> Vec<u32> {
+    let mut out = Vec::with_capacity(xs.len());
+    for x in xs {
+        // lint: alloc: output accumulator sized up front; push is amortized O(1)
+        out.push(x + 1);
+    }
+    out
+}

@@ -1,0 +1,18 @@
+//! Clean twin of `bad_ordering.rs`: every (module, op, ordering)
+//! triple is declared by the fixture policy, and `std::cmp::Ordering`
+//! is naturally out of the rule's scope.
+
+use std::cmp::Ordering as CmpOrdering;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+pub fn bump(c: &AtomicU32) {
+    c.fetch_add(1, Ordering::Relaxed);
+}
+
+pub fn peek(c: &AtomicU32) -> u32 {
+    c.load(Ordering::Relaxed)
+}
+
+pub fn classify(a: u32, b: u32) -> CmpOrdering {
+    a.cmp(&b)
+}

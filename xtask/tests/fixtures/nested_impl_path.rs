@@ -1,0 +1,24 @@
+//! Fixture: a fn inside an `impl` nested in a `mod` must be keyed by
+//! its full module path — `<crate>::<file>::outer::inner::Widget::poke`
+//! — so call-graph resolution and reachability see the real item, not a
+//! file-root orphan.
+
+pub mod outer {
+    pub mod inner {
+        pub struct Widget;
+
+        impl Widget {
+            pub fn poke(&self) -> u32 {
+                helper(1)
+            }
+        }
+
+        pub fn helper(x: u32) -> u32 {
+            x + 1
+        }
+    }
+
+    pub fn sibling() -> u32 {
+        7
+    }
+}
